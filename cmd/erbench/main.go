@@ -1,0 +1,58 @@
+// Command erbench runs the reproduction experiment suite E1–E12 (see
+// DESIGN.md §3) and prints the result tables that EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	erbench [-experiment E1|E2|...|all] [-scale small|medium] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"entityres/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "experiment id (E1..E12) or 'all'")
+		scale = flag.String("scale", "small", "experiment scale: small or medium")
+		seed  = flag.Int64("seed", 42, "deterministic data-generation seed")
+	)
+	flag.Parse()
+	var sc experiments.Scale
+	switch strings.ToLower(*scale) {
+	case "small":
+		sc = experiments.Small
+	case "medium":
+		sc = experiments.Medium
+	default:
+		fmt.Fprintf(os.Stderr, "erbench: unknown scale %q (want small or medium)\n", *scale)
+		os.Exit(2)
+	}
+	ran := 0
+	for _, e := range experiments.All() {
+		if *which != "all" && !strings.EqualFold(*which, e.ID) {
+			continue
+		}
+		ran++
+		t0 := time.Now()
+		res, err := e.Run(sc, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := res.Table.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "erbench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,182 @@
+// Command erctl runs a configurable end-to-end resolution pipeline over
+// N-Triples knowledge bases and reports the matches and, when a truth file
+// is given, the output quality.
+//
+// Usage:
+//
+//	erctl -kb0 FILE [-kb1 FILE] [-truth FILE]
+//	      [-blocker token|attrclustering|standard|qgrams|sortednbhd]
+//	      [-weight ARCS|CBS|ECBS|JS|EJS] [-prune WNP|WEP|CEP|CNP]
+//	      [-threshold T] [-mode batch|swoosh|iterblock|progressive]
+//	      [-budget N] [-print-matches]
+//
+// With one -kb0 the collection is dirty (deduplication); with -kb1 it is
+// clean-clean (interlinking). The truth file holds one tab-separated URI
+// pair per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"entityres/er"
+)
+
+func main() {
+	var (
+		kb0       = flag.String("kb0", "", "first KB, N-Triples (required)")
+		kb1       = flag.String("kb1", "", "second KB for clean-clean resolution")
+		truth     = flag.String("truth", "", "tab-separated URI pairs for evaluation")
+		blockerNm = flag.String("blocker", "token", "blocking method")
+		weightNm  = flag.String("weight", "ARCS", "meta-blocking weight scheme ('' disables)")
+		pruneNm   = flag.String("prune", "WNP", "meta-blocking prune scheme")
+		threshold = flag.Float64("threshold", 0.4, "match similarity threshold")
+		mode      = flag.String("mode", "batch", "batch, swoosh, iterblock or progressive")
+		budget    = flag.Int64("budget", 0, "progressive comparison budget (0 = unlimited)")
+		printAll  = flag.Bool("print-matches", false, "print matched URI pairs")
+	)
+	flag.Parse()
+	if *kb0 == "" {
+		fmt.Fprintln(os.Stderr, "erctl: -kb0 is required")
+		os.Exit(2)
+	}
+	kind := er.Dirty
+	if *kb1 != "" {
+		kind = er.CleanClean
+	}
+	c := er.NewCollection(kind)
+	if err := load(c, *kb0, 0); err != nil {
+		fail(err)
+	}
+	if *kb1 != "" {
+		if err := load(c, *kb1, 1); err != nil {
+			fail(err)
+		}
+	}
+
+	pipe := &er.Pipeline{
+		Processors: []er.BlockProcessor{&er.SizePurge{}},
+		Matcher:    &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: *threshold},
+	}
+	switch strings.ToLower(*blockerNm) {
+	case "token":
+		pipe.Blocker = &er.TokenBlocking{}
+	case "attrclustering":
+		pipe.Blocker = &er.AttributeClustering{}
+	case "standard":
+		pipe.Blocker = &er.StandardBlocking{}
+	case "qgrams":
+		pipe.Blocker = &er.QGramsBlocking{}
+	case "sortednbhd":
+		pipe.Blocker = &er.SortedNeighborhood{}
+	default:
+		fail(fmt.Errorf("unknown blocker %q", *blockerNm))
+	}
+	if *weightNm != "" {
+		w, err := parseWeight(*weightNm)
+		if err != nil {
+			fail(err)
+		}
+		p, err := parsePrune(*pruneNm)
+		if err != nil {
+			fail(err)
+		}
+		pipe.Meta = &er.MetaBlocker{Weight: w, Prune: p}
+	}
+	switch strings.ToLower(*mode) {
+	case "batch":
+		pipe.Mode = er.Batch
+	case "swoosh":
+		pipe.Mode = er.MergingIterative
+		pipe.Matcher.Sim = &er.TokenContainment{}
+	case "iterblock":
+		pipe.Mode = er.IterativeBlocks
+		pipe.Matcher.Sim = &er.TokenContainment{}
+	case "progressive":
+		pipe.Mode = er.ProgressiveMode
+		pipe.Budget = *budget
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	res, err := pipe.Run(c)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("descriptions: %d, blocks: %d, comparisons: %d (exhaustive %d)\n",
+		c.Len(), res.Blocks.Len(), res.Comparisons, c.TotalComparisons())
+	fmt.Printf("matches: %d pairs, %d clusters\n", res.Matches.Len(), len(res.Clusters()))
+	for _, ph := range res.Phases {
+		fmt.Printf("phase %-16s %v\n", ph.Name, ph.Duration)
+	}
+	if *printAll {
+		res.Matches.Each(func(p er.Pair) bool {
+			fmt.Printf("%s\t%s\n", c.Get(p.A).URI, c.Get(p.B).URI)
+			return true
+		})
+	}
+	if *truth != "" {
+		gt, err := loadTruth(c, *truth)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("pair quality:   ", er.ComparePairs(res.Matches, gt))
+		fmt.Println("cluster quality:", er.EvaluateClusters(c, res.Matches, gt))
+	}
+}
+
+func load(c *er.Collection, path string, source int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return er.ReadNTriples(c, bufio.NewReader(f), source)
+}
+
+func loadTruth(c *er.Collection, path string) (*er.Matches, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return er.ReadTruthTSV(c, bufio.NewReader(f))
+}
+
+func parseWeight(s string) (er.WeightScheme, error) {
+	switch strings.ToUpper(s) {
+	case "CBS":
+		return er.CBS, nil
+	case "ECBS":
+		return er.ECBS, nil
+	case "JS":
+		return er.JS, nil
+	case "EJS":
+		return er.EJS, nil
+	case "ARCS":
+		return er.ARCS, nil
+	}
+	return 0, fmt.Errorf("unknown weight scheme %q", s)
+}
+
+func parsePrune(s string) (er.PruneScheme, error) {
+	switch strings.ToUpper(s) {
+	case "WEP":
+		return er.WEP, nil
+	case "CEP":
+		return er.CEP, nil
+	case "WNP":
+		return er.WNP, nil
+	case "CNP":
+		return er.CNP, nil
+	}
+	return 0, fmt.Errorf("unknown prune scheme %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "erctl:", err)
+	os.Exit(1)
+}

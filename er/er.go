@@ -1,0 +1,366 @@
+// Package er is the public API of the entity-resolution framework: a
+// faithful, production-oriented implementation of the ER framework for the
+// Web of data presented in "Web-scale Blocking, Iterative and Progressive
+// Entity Resolution" (Stefanidis, Christophides, Efthymiou; ICDE 2017).
+//
+// The package re-exports the supported surface of the internal subsystem
+// packages as stable aliases, organized by framework phase:
+//
+//   - data model: Description, Collection, Pair, Matches (entity model of
+//     Web-of-data descriptions);
+//   - blocking: TokenBlocking, StandardBlocking, AttributeClustering,
+//     SortedNeighborhood, QGramsBlocking, SuffixArrayBlocking, Canopy,
+//     PrefixInfixSuffix, SimJoinBlocking, FrequentItemsetBlocking,
+//     MultiBlock;
+//   - block cleaning: AutoPurge, MaxComparisonsPurge, BlockFiltering;
+//   - meta-blocking: MetaBlocker with CBS/ECBS/JS/EJS/ARCS weighting and
+//     WEP/CEP/WNP/CNP pruning;
+//   - matching: TokenJaccard, TokenContainment, TFIDFCosine, BestValueJW,
+//     Weighted, Matcher;
+//   - iterative resolution: RSwoosh, Collective, IterativeBlocking;
+//   - progressive resolution: PSNM, SlidingWindow, Hierarchy, BenefitCost
+//     schedulers and the budgeted runner;
+//   - the Pipeline tying the phases together (Fig. 1 of the paper);
+//   - synthetic data generation, N-Triples I/O and evaluation metrics.
+//
+// The quickstart in examples/quickstart shows an end-to-end run in ~40
+// lines.
+package er
+
+import (
+	"io"
+
+	"entityres/internal/blocking"
+	"entityres/internal/blockproc"
+	"entityres/internal/core"
+	"entityres/internal/datagen"
+	"entityres/internal/entity"
+	"entityres/internal/evaluation"
+	"entityres/internal/freqmine"
+	"entityres/internal/graph"
+	"entityres/internal/iterative"
+	"entityres/internal/iterblock"
+	"entityres/internal/matching"
+	"entityres/internal/metablocking"
+	"entityres/internal/multiblock"
+	"entityres/internal/progressive"
+	"entityres/internal/rdf"
+	"entityres/internal/simjoin"
+	"entityres/internal/token"
+)
+
+// Data model.
+type (
+	// Description is one entity description: URI plus schema-free
+	// attribute-value pairs.
+	Description = entity.Description
+	// Attribute is one attribute-value pair.
+	Attribute = entity.Attribute
+	// Collection is an ordered set of descriptions (dirty or clean-clean).
+	Collection = entity.Collection
+	// Kind distinguishes dirty from clean-clean collections.
+	Kind = entity.Kind
+	// ID is a dense description identifier within a collection.
+	ID = entity.ID
+	// Pair is an unordered description pair in canonical form.
+	Pair = entity.Pair
+	// Matches is a set of matching pairs (ground truth or output).
+	Matches = entity.Matches
+)
+
+// Collection kinds.
+const (
+	Dirty      = entity.Dirty
+	CleanClean = entity.CleanClean
+)
+
+// NewDescription returns a description with the given URI.
+func NewDescription(uri string) *Description { return entity.NewDescription(uri) }
+
+// NewCollection returns an empty collection of the given kind.
+func NewCollection(kind Kind) *Collection { return entity.NewCollection(kind) }
+
+// NewMatches returns an empty match set.
+func NewMatches() *Matches { return entity.NewMatches() }
+
+// NewPair returns the canonical pair {a, b}.
+func NewPair(a, b ID) Pair { return entity.NewPair(a, b) }
+
+// Tokenization.
+type (
+	// Profiler converts descriptions to tokens (see Scheme).
+	Profiler = token.Profiler
+	// Stopwords is a token exclusion set.
+	Stopwords = token.Stopwords
+)
+
+// Tokenization schemes.
+const (
+	SchemaAgnostic = token.SchemaAgnostic
+	SchemaAware    = token.SchemaAware
+)
+
+// DefaultProfiler returns the schema-agnostic profiler with default
+// stopwords.
+func DefaultProfiler() *Profiler { return token.DefaultProfiler() }
+
+// Blocking.
+type (
+	// Blocker builds a block collection from an entity collection.
+	Blocker = blocking.Blocker
+	// Block is one blocking unit.
+	Block = blocking.Block
+	// Blocks is a blocking collection.
+	Blocks = blocking.Blocks
+	// KeyFunc derives blocking keys from a description.
+	KeyFunc = blocking.KeyFunc
+	// ScalarKeyFunc derives a single sortable key per description.
+	ScalarKeyFunc = blocking.ScalarKeyFunc
+
+	// TokenBlocking is schema-agnostic token blocking.
+	TokenBlocking = blocking.TokenBlocking
+	// StandardBlocking is classic key-based blocking.
+	StandardBlocking = blocking.StandardBlocking
+	// AttributeClustering is attribute-clustering token blocking.
+	AttributeClustering = blocking.AttributeClustering
+	// SortedNeighborhood is (multi-pass) sorted neighborhood blocking.
+	SortedNeighborhood = blocking.SortedNeighborhood
+	// QGramsBlocking blocks on padded character q-grams.
+	QGramsBlocking = blocking.QGramsBlocking
+	// ExtendedQGrams blocks on q-gram combination sub-keys.
+	ExtendedQGrams = blocking.ExtendedQGrams
+	// SuffixArrayBlocking blocks on bounded-frequency key suffixes.
+	SuffixArrayBlocking = blocking.SuffixArrayBlocking
+	// Canopy is canopy clustering with cheap TF-IDF distances.
+	Canopy = blocking.Canopy
+	// PrefixInfixSuffix is URI-aware blocking for Linked Data.
+	PrefixInfixSuffix = blocking.PrefixInfixSuffix
+	// SimJoinBlocking blocks through a threshold similarity join (PPJoin).
+	SimJoinBlocking = simjoin.Blocking
+	// FrequentItemsetBlocking blocks on frequent token co-occurrence.
+	FrequentItemsetBlocking = freqmine.Blocking
+	// MultiBlock aggregates several blockers into one multidimensional
+	// collection.
+	MultiBlock = multiblock.Aggregator
+)
+
+// Key helpers.
+var (
+	// WholeValueKeys derives one key per attribute value.
+	WholeValueKeys = blocking.WholeValueKeys
+	// AttributeValueKey concatenates the named attributes into a sort key.
+	AttributeValueKey = blocking.AttributeValueKey
+	// SortedTokensKey is the schema-agnostic sort key.
+	SortedTokensKey = blocking.SortedTokensKey
+)
+
+// Block cleaning.
+type (
+	// BlockProcessor transforms a blocking collection.
+	BlockProcessor = blockproc.Processor
+	// MaxComparisonsPurge drops blocks above a comparison bound.
+	MaxComparisonsPurge = blockproc.MaxComparisonsPurge
+	// AutoPurge derives the purge bound from the collection itself.
+	AutoPurge = blockproc.AutoPurge
+	// SizePurge drops blocks covering a large fraction of the collection.
+	SizePurge = blockproc.SizePurge
+	// BlockFiltering keeps each description in its most selective blocks.
+	BlockFiltering = blockproc.BlockFiltering
+)
+
+// Meta-blocking.
+type (
+	// MetaBlocker restructures blocks through the weighted blocking graph.
+	MetaBlocker = metablocking.MetaBlocker
+	// WeightScheme selects the edge weighting.
+	WeightScheme = metablocking.WeightScheme
+	// PruneScheme selects the graph pruning.
+	PruneScheme = metablocking.PruneScheme
+	// BlockingGraph is the weighted graph meta-blocking operates on.
+	BlockingGraph = graph.Graph
+)
+
+// Meta-blocking schemes.
+const (
+	CBS  = metablocking.CBS
+	ECBS = metablocking.ECBS
+	JS   = metablocking.JS
+	EJS  = metablocking.EJS
+	ARCS = metablocking.ARCS
+
+	WEP = metablocking.WEP
+	CEP = metablocking.CEP
+	WNP = metablocking.WNP
+	CNP = metablocking.CNP
+)
+
+// BuildBlockingGraph constructs the weighted blocking graph of a block
+// collection.
+func BuildBlockingGraph(bs *Blocks, w WeightScheme) *BlockingGraph {
+	return metablocking.BuildGraph(bs, w)
+}
+
+// Matching.
+type (
+	// ProfileSimilarity scores description pairs in [0,1].
+	ProfileSimilarity = matching.ProfileSimilarity
+	// TokenJaccard is schema-agnostic token Jaccard similarity.
+	TokenJaccard = matching.TokenJaccard
+	// TokenContainment is the merge-friendly overlap coefficient.
+	TokenContainment = matching.TokenContainment
+	// TFIDFCosine is TF-IDF weighted cosine similarity.
+	TFIDFCosine = matching.TFIDFCosine
+	// BestValueJW is the best Jaro-Winkler over value pairs.
+	BestValueJW = matching.BestValueJW
+	// Weighted combines measures with weights.
+	Weighted = matching.Weighted
+	// WeightedPart is one component of Weighted.
+	WeightedPart = matching.WeightedPart
+	// Matcher is a thresholded similarity decision.
+	Matcher = matching.Matcher
+	// MatchResult is the outcome of executing a matcher over candidates.
+	MatchResult = matching.Result
+)
+
+// NewTFIDFCosine indexes the collection for TF-IDF cosine matching.
+func NewTFIDFCosine(c *Collection, p *Profiler) *TFIDFCosine {
+	return matching.NewTFIDFCosine(c, p)
+}
+
+// ResolveBlocks executes a matcher over a block collection's distinct
+// comparisons.
+func ResolveBlocks(c *Collection, bs *Blocks, m *Matcher) MatchResult {
+	return matching.ResolveBlocks(c, bs, m)
+}
+
+// Iterative resolution.
+type (
+	// SwooshResult is the outcome of merging-based resolution.
+	SwooshResult = iterative.SwooshResult
+	// CollectiveResolver is relationship-based iterative resolution.
+	CollectiveResolver = iterative.Collective
+	// IterBlockResult is the outcome of iterative blocking.
+	IterBlockResult = iterblock.Result
+)
+
+// RSwoosh runs merging-based resolution over the collection.
+func RSwoosh(c *Collection, m *Matcher) SwooshResult { return iterative.RSwoosh(c, m) }
+
+// IterativeBlocking runs block-at-a-time resolution with merge propagation.
+func IterativeBlocking(c *Collection, bs *Blocks, m *Matcher) IterBlockResult {
+	return iterblock.Resolve(c, bs, m)
+}
+
+// Progressive resolution.
+type (
+	// Scheduler orders candidate comparisons and accepts match feedback.
+	Scheduler = progressive.Scheduler
+	// ProgressiveResult is the outcome of a budgeted run.
+	ProgressiveResult = progressive.RunResult
+)
+
+// Progressive scheduler constructors.
+var (
+	NewStaticOrder   = progressive.NewStaticOrder
+	NewRandomOrder   = progressive.NewRandomOrder
+	NewSlidingWindow = progressive.NewSlidingWindow
+	NewHierarchy     = progressive.NewHierarchy
+	NewPSNM          = progressive.NewPSNM
+	NewBenefitCost   = progressive.NewBenefitCost
+)
+
+// RunProgressive executes comparisons from the scheduler within the
+// budget, recording the recall curve against gt (pass an empty Matches
+// when no ground truth is available).
+func RunProgressive(c *Collection, s Scheduler, m *Matcher, gt *Matches, budget int64) ProgressiveResult {
+	return progressive.Run(c, s, m, gt, budget)
+}
+
+// Framework pipeline (Fig. 1).
+type (
+	// Pipeline wires the framework phases.
+	Pipeline = core.Pipeline
+	// PipelineResult is the outcome of a pipeline run.
+	PipelineResult = core.Result
+	// Mode selects the pipeline execution strategy.
+	Mode = core.Mode
+	// SchedulerFactory builds a progressive scheduler from the blocks.
+	SchedulerFactory = core.SchedulerFactory
+)
+
+// Pipeline modes.
+const (
+	Batch            = core.Batch
+	MergingIterative = core.MergingIterative
+	IterativeBlocks  = core.IterativeBlocks
+	CollectiveMode   = core.Collective
+	ProgressiveMode  = core.Progressive
+)
+
+// Synthetic data generation.
+type (
+	// GenConfig parameterizes synthetic KB generation.
+	GenConfig = datagen.Config
+	// Corruption sets duplicate noise levels.
+	Corruption = datagen.Corruption
+	// Domain selects the generated vocabulary profile.
+	Domain = datagen.Domain
+)
+
+// Generator domains.
+const (
+	People        = datagen.People
+	Movies        = datagen.Movies
+	Bibliographic = datagen.Bibliographic
+)
+
+// Generators and corruption presets.
+var (
+	GenerateDirty         = datagen.GenerateDirty
+	GenerateCleanClean    = datagen.GenerateCleanClean
+	GenerateBibliographic = datagen.GenerateBibliographic
+	LightCorruption       = datagen.LightCorruption
+	HeavyCorruption       = datagen.HeavyCorruption
+)
+
+// Evaluation.
+type (
+	// BlockingMetrics is PC/PQ/RR of a blocking collection.
+	BlockingMetrics = evaluation.BlockingMetrics
+	// PRF is precision/recall/F1 of a match output.
+	PRF = evaluation.PRF
+	// ClusterMetrics is entity-level (cluster) quality plus Rand index.
+	ClusterMetrics = evaluation.ClusterMetrics
+	// Curve is a progressive recall curve.
+	Curve = evaluation.Curve
+)
+
+// Evaluation functions.
+var (
+	EvaluateBlocking = evaluation.EvaluateBlocking
+	ComparePairs     = evaluation.ComparePairs
+	EvaluateClusters = evaluation.EvaluateClusters
+)
+
+// ReadTruthTSV parses tab-separated URI pairs into a match set over c.
+func ReadTruthTSV(c *Collection, r io.Reader) (*Matches, error) {
+	return entity.ReadURIMatches(c, r)
+}
+
+// WriteTruthTSV serializes a match set as tab-separated URI pairs.
+func WriteTruthTSV(w io.Writer, c *Collection, m *Matches) error {
+	return entity.WriteURIMatches(w, c, m)
+}
+
+// RDF I/O.
+
+// ReadNTriples parses an N-Triples document into the collection, tagging
+// descriptions with the source index.
+func ReadNTriples(c *Collection, r io.Reader, source int) error {
+	return rdf.AddToCollection(c, r, source)
+}
+
+// WriteNTriples serializes the collection as N-Triples.
+func WriteNTriples(w io.Writer, c *Collection) error {
+	return rdf.WriteCollection(w, c)
+}

@@ -1,0 +1,61 @@
+// Progressive resolution under a budget: when only a fraction of the
+// comparisons can be afforded, the scheduling heuristics of §IV report far
+// more matches early than a batch (static) or random order. Prints the
+// recall each scheduler reaches at increasing budget fractions.
+//
+// Run with: go run ./examples/progressivebudget
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"entityres/er"
+)
+
+func main() {
+	c, gt, err := er.GenerateDirty(er.GenConfig{Seed: 11, Entities: 800, DupRatio: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs, err := (&er.TokenBlocking{}).Block(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := int64(bs.DistinctPairs().Len())
+	matcher := &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5}
+	key := er.SortedTokensKey(nil)
+
+	schedulers := map[string]func() er.Scheduler{
+		"random":         func() er.Scheduler { return er.NewRandomOrder(bs, 1) },
+		"static":         func() er.Scheduler { return er.NewStaticOrder(bs) },
+		"slidingwindow":  func() er.Scheduler { return er.NewSlidingWindow(c, key, 0) },
+		"hierarchy":      func() er.Scheduler { return er.NewHierarchy(c, key, nil) },
+		"psnm+lookahead": func() er.Scheduler { return er.NewPSNM(c, key, true, 0) },
+		"benefitcost": func() er.Scheduler {
+			return er.NewBenefitCost(er.BuildBlockingGraph(bs, er.ARCS), 64, 1)
+		},
+	}
+	fractions := []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.00}
+
+	fmt.Printf("descriptions: %d, candidate comparisons: %d, true matches: %d\n\n",
+		c.Len(), total, gt.Len())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "scheduler")
+	for _, f := range fractions {
+		fmt.Fprintf(tw, "\t%.0f%%", f*100)
+	}
+	fmt.Fprintln(tw)
+	for _, name := range []string{"random", "static", "slidingwindow", "hierarchy", "psnm+lookahead", "benefitcost"} {
+		res := er.RunProgressive(c, schedulers[name](), matcher, gt, total)
+		fmt.Fprint(tw, name)
+		for _, f := range fractions {
+			fmt.Fprintf(tw, "\t%.3f", res.Curve.RecallAt(int64(f*float64(total))))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Println("\nrows show ground-truth recall reached within each budget fraction")
+}

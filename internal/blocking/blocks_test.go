@@ -1,0 +1,134 @@
+package blocking
+
+import (
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func TestBlockComparisons(t *testing.T) {
+	b := &Block{S0: []entity.ID{1, 2, 3}}
+	if got := b.Comparisons(entity.Dirty); got != 3 {
+		t.Fatalf("dirty comparisons = %d", got)
+	}
+	cc := &Block{S0: []entity.ID{1, 2}, S1: []entity.ID{3, 4, 5}}
+	if got := cc.Comparisons(entity.CleanClean); got != 6 {
+		t.Fatalf("clean-clean comparisons = %d", got)
+	}
+	if cc.Size() != 5 {
+		t.Fatalf("Size = %d", cc.Size())
+	}
+}
+
+func TestBlockEachComparison(t *testing.T) {
+	b := &Block{S0: []entity.ID{1, 2, 3}}
+	var got []entity.Pair
+	b.EachComparison(entity.Dirty, func(x, y entity.ID) bool {
+		got = append(got, entity.NewPair(x, y))
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("pairs = %v", got)
+	}
+	// Early stop.
+	n := 0
+	b.EachComparison(entity.Dirty, func(x, y entity.ID) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	cc := &Block{S0: []entity.ID{1}, S1: []entity.ID{9, 8}}
+	var cross []entity.Pair
+	cc.EachComparison(entity.CleanClean, func(x, y entity.ID) bool {
+		cross = append(cross, entity.NewPair(x, y))
+		return true
+	})
+	if len(cross) != 2 {
+		t.Fatalf("cross pairs = %v", cross)
+	}
+}
+
+func TestBlocksAddDropsUseless(t *testing.T) {
+	bs := NewBlocks(entity.Dirty)
+	bs.Add(&Block{S0: []entity.ID{1}})      // 0 comparisons
+	bs.Add(nil)                             // nil
+	bs.Add(&Block{S0: []entity.ID{1, 2}})   // 1 comparison
+	ccOnly := &Block{S0: []entity.ID{1, 2}} // would be 0 in clean-clean
+	cs := NewBlocks(entity.CleanClean)
+	cs.Add(ccOnly)
+	if bs.Len() != 1 {
+		t.Fatalf("dirty Len = %d", bs.Len())
+	}
+	if cs.Len() != 0 {
+		t.Fatalf("clean-clean Len = %d", cs.Len())
+	}
+}
+
+func TestBlocksDistinctPairs(t *testing.T) {
+	bs := NewBlocks(entity.Dirty)
+	bs.Add(&Block{Key: "a", S0: []entity.ID{1, 2, 3}})
+	bs.Add(&Block{Key: "b", S0: []entity.ID{2, 3, 4}})
+	if got := bs.TotalComparisons(); got != 6 {
+		t.Fatalf("TotalComparisons = %d", got)
+	}
+	dp := bs.DistinctPairs()
+	if dp.Len() != 5 { // {1,2},{1,3},{2,3},{2,4},{3,4}
+		t.Fatalf("DistinctPairs = %d", dp.Len())
+	}
+	var seen []entity.Pair
+	bs.EachDistinctComparison(func(p entity.Pair) bool {
+		seen = append(seen, p)
+		return true
+	})
+	if len(seen) != 5 {
+		t.Fatalf("EachDistinctComparison yielded %d", len(seen))
+	}
+	n := 0
+	bs.EachDistinctComparison(func(entity.Pair) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestBlocksSortBySize(t *testing.T) {
+	bs := NewBlocks(entity.Dirty)
+	bs.Add(&Block{Key: "big", S0: []entity.ID{1, 2, 3, 4}})
+	bs.Add(&Block{Key: "small", S0: []entity.ID{5, 6}})
+	bs.SortBySize()
+	if bs.Get(0).Key != "small" || bs.Get(1).Key != "big" {
+		t.Fatalf("SortBySize order = %v, %v", bs.Get(0).Key, bs.Get(1).Key)
+	}
+}
+
+func TestBlocksOf(t *testing.T) {
+	bs := NewBlocks(entity.Dirty)
+	bs.Add(&Block{Key: "a", S0: []entity.ID{1, 2}})
+	bs.Add(&Block{Key: "b", S0: []entity.ID{2, 3}})
+	m := bs.BlocksOf()
+	if len(m[2]) != 2 || len(m[1]) != 1 {
+		t.Fatalf("BlocksOf = %v", m)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	bs := NewBlocks(entity.Dirty)
+	bs.Add(&Block{Key: "a", S0: []entity.ID{1, 2, 3}})
+	bs.Add(&Block{Key: "b", S0: []entity.ID{2, 3}})
+	st := bs.ComputeStats(true)
+	if st.NumBlocks != 2 || st.TotalComparisons != 4 || st.MaxBlockSize != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DistinctComparison != 3 { // {1,2},{1,3},{2,3}; the {2,3} suggestion is redundant
+		t.Fatalf("distinct = %d", st.DistinctComparison)
+	}
+	if st.AvgBlockSize != 2.5 {
+		t.Fatalf("avg = %v", st.AvgBlockSize)
+	}
+	st2 := bs.ComputeStats(false)
+	if st2.DistinctComparison != -1 {
+		t.Fatal("distinct should be skipped")
+	}
+	if !strings.Contains(st.String(), "blocks=2") {
+		t.Fatalf("String = %q", st.String())
+	}
+}

@@ -1,0 +1,65 @@
+package blocking
+
+import (
+	"sort"
+
+	"entityres/internal/entity"
+)
+
+// builder accumulates key → members and emits a deterministic block
+// collection (blocks sorted by key, members in insertion order).
+type builder struct {
+	kind entity.Kind
+	m    map[string]*Block
+}
+
+func newBuilder(kind entity.Kind) *builder {
+	return &builder{kind: kind, m: make(map[string]*Block)}
+}
+
+// add records that the description id from the given source carries the
+// blocking key. Duplicate (key, id) insertions are the caller's concern:
+// every blocker deduplicates keys per description first, because a
+// description must appear at most once per block.
+func (bb *builder) add(key string, id entity.ID, source int) {
+	b, ok := bb.m[key]
+	if !ok {
+		b = &Block{Key: key}
+		bb.m[key] = b
+	}
+	if source == 1 {
+		b.S1 = append(b.S1, id)
+	} else {
+		b.S0 = append(b.S0, id)
+	}
+}
+
+// addDescription adds every distinct key of keys for the description.
+func (bb *builder) addDescription(d *entity.Description, keys []string) {
+	seen := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		if k == "" {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		bb.add(k, d.ID, d.Source)
+	}
+}
+
+// blocks finalizes the collection: keys sorted ascending, comparison-free
+// blocks dropped by Blocks.Add.
+func (bb *builder) blocks() *Blocks {
+	keys := make([]string, 0, len(bb.m))
+	for k := range bb.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bs := NewBlocks(bb.kind)
+	for _, k := range keys {
+		bs.Add(bb.m[k])
+	}
+	return bs
+}

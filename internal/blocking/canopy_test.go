@@ -1,0 +1,102 @@
+package blocking
+
+import (
+	"testing"
+)
+
+func TestCanopyGroupsSimilar(t *testing.T) {
+	c := dirtyCollection(t,
+		[]string{"name", "alice smith painter"},
+		[]string{"name", "alice smith artist"},
+		[]string{"name", "zzz qqq www"},
+	)
+	bs := blockWith(t, &Canopy{Loose: 0.1, Tight: 0.9}, c)
+	if !sharesBlock(bs, 0, 1) {
+		t.Fatal("similar descriptions must share a canopy")
+	}
+	if sharesBlock(bs, 0, 2) {
+		t.Fatal("token-disjoint descriptions must not share a canopy")
+	}
+}
+
+func TestCanopyTightRetiresSeeds(t *testing.T) {
+	c := dirtyCollection(t,
+		[]string{"name", "x y z"},
+		[]string{"name", "x y z"},
+		[]string{"name", "x y z"},
+	)
+	// With a low tight threshold every near-identical description is
+	// retired after the first canopy: exactly one block.
+	bs := blockWith(t, &Canopy{Loose: 0.1, Tight: 0.1}, c)
+	if bs.Len() != 1 {
+		t.Fatalf("blocks = %d, want 1", bs.Len())
+	}
+	// With tight = 1.0-ish semantics impossible to reach via distinct IDF
+	// weights? identical docs reach cosine 1, so use disjoint docs to see
+	// multiple canopies instead.
+	c2 := dirtyCollection(t,
+		[]string{"name", "aa bb"},
+		[]string{"name", "aa bb"},
+		[]string{"name", "cc dd"},
+		[]string{"name", "cc dd"},
+	)
+	bs2 := blockWith(t, &Canopy{Loose: 0.1, Tight: 0.5}, c2)
+	if bs2.Len() != 2 {
+		t.Fatalf("blocks = %d, want 2 disjoint canopies", bs2.Len())
+	}
+}
+
+func TestCanopyThresholdValidation(t *testing.T) {
+	c := dirtyCollection(t, []string{"n", "a"}, []string{"n", "a"})
+	if _, err := (&Canopy{Loose: 0.6, Tight: 0.2}).Block(c); err == nil {
+		t.Fatal("tight < loose must be rejected")
+	}
+}
+
+func TestCanopyCleanClean(t *testing.T) {
+	c := ccCollection(t,
+		[][]string{{"n", "matrix reloaded sci fi"}},
+		[][]string{{"m", "matrix reloaded movie"}},
+	)
+	bs := blockWith(t, &Canopy{Loose: 0.1, Tight: 0.9}, c)
+	if !sharesBlock(bs, 0, 1) {
+		t.Fatal("cross-source canopy member lost")
+	}
+}
+
+func TestPrefixInfixSuffixURIBlocks(t *testing.T) {
+	c := ccCollection(t, nil, nil)
+	_ = c
+	cc := ccCollection(t,
+		[][]string{{"type", "person"}},
+		[][]string{{"kind", "human"}},
+	)
+	// Attach URIs embedding entity labels; values share nothing.
+	cc.Get(0).URI = "http://kb1.org/resource/Alan_Turing"
+	cc.Get(1).URI = "http://kb2.org/page/alan-turing"
+	bs := blockWith(t, &PrefixInfixSuffix{}, cc)
+	if !sharesBlock(bs, 0, 1) {
+		t.Fatal("URI-token pair must be blocked")
+	}
+	tb := blockWith(t, &TokenBlocking{}, cc)
+	if sharesBlock(tb, 0, 1) {
+		t.Fatal("precondition: plain token blocking must miss URI-only pair")
+	}
+}
+
+func TestCommonURIPrefixes(t *testing.T) {
+	c := ccCollection(t,
+		[][]string{{"a", "1"}, {"a", "2"}},
+		[][]string{{"b", "3"}},
+	)
+	c.Get(0).URI = "http://kb1.org/resource/Alpha"
+	c.Get(1).URI = "http://kb1.org/resource/Beta"
+	c.Get(2).URI = "http://kb2.org/thing#Gamma"
+	got := commonURIPrefixes(c)
+	if got[0] != "http://kb1.org/resource/" {
+		t.Fatalf("prefix0 = %q", got[0])
+	}
+	if got[1] != "http://kb2.org/thing#" {
+		t.Fatalf("prefix1 = %q", got[1])
+	}
+}

@@ -1,0 +1,104 @@
+package blocking
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtendedQGramsTypoToleranceWithPrecision(t *testing.T) {
+	c := dirtyCollection(t,
+		[]string{"name", "katherine"},
+		[]string{"name", "katherina"}, // one edit away
+		[]string{"name", "kzthzrinz"}, // shares a few grams only
+	)
+	ext := blockWith(t, &ExtendedQGrams{Q: 2, T: 0.6}, c)
+	if !sharesBlock(ext, 0, 1) {
+		t.Fatal("near-identical tokens must share an extended-gram key")
+	}
+	if sharesBlock(ext, 0, 2) {
+		t.Fatal("low-overlap tokens must not share a sixty-percent-gram key")
+	}
+	// Plain q-grams would pair them (precondition for the precision claim).
+	plain := blockWith(t, &QGramsBlocking{Q: 2}, c)
+	if !sharesBlock(plain, 0, 2) {
+		t.Fatal("precondition: plain q-grams should pair low-overlap tokens")
+	}
+}
+
+func TestExtendedQGramsFewerComparisonsThanPlain(t *testing.T) {
+	var rows [][]string
+	names := []string{"smith", "smyth", "smithe", "jones", "johns", "jonas", "baker", "barker"}
+	for _, n := range names {
+		rows = append(rows, []string{"name", n})
+	}
+	c := dirtyCollection(t, rows...)
+	plain := blockWith(t, &QGramsBlocking{Q: 2}, c)
+	ext := blockWith(t, &ExtendedQGrams{Q: 2, T: 0.8}, c)
+	if ext.TotalComparisons() >= plain.TotalComparisons() {
+		t.Fatalf("extended grams should cut comparisons: %d vs %d",
+			ext.TotalComparisons(), plain.TotalComparisons())
+	}
+}
+
+func TestExtendedKeysWholeTokenWhenTIsOne(t *testing.T) {
+	keys := extendedKeys("abc", 2, 1.0, 32)
+	if len(keys) != 1 {
+		t.Fatalf("T=1 keys = %v", keys)
+	}
+	if !strings.Contains(keys[0], "ab") {
+		t.Fatalf("key should concatenate grams: %v", keys)
+	}
+}
+
+func TestExtendedKeysCombinationCount(t *testing.T) {
+	// "abcd" with q=2 → grams #a ab bc cd d# (5). T=0.8 → k=4 → C(5,4)=5.
+	keys := extendedKeys("abcd", 2, 0.8, 32)
+	if len(keys) != 5 {
+		t.Fatalf("keys = %d, want 5", len(keys))
+	}
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestExtendedKeysWindowFallback(t *testing.T) {
+	// A long token with small T explodes combinatorially; the fallback
+	// must emit n−k+1 contiguous windows instead.
+	long := "abcdefghijklmnop"
+	keys := extendedKeys(long, 2, 0.5, 8)
+	grams := len([]rune(long)) + 1 // padded bigram count
+	k := (grams + 1) / 2
+	if len(keys) != grams-k+1 {
+		t.Fatalf("window keys = %d, want %d", len(keys), grams-k+1)
+	}
+}
+
+func TestExtendedKeysEmptyToken(t *testing.T) {
+	if got := extendedKeys("", 2, 0.8, 32); got != nil {
+		t.Fatalf("empty token keys = %v", got)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := map[[2]int]int{
+		{5, 2}: 10, {5, 0}: 1, {5, 5}: 1, {5, 6}: 0, {6, 3}: 20,
+	}
+	for in, want := range cases {
+		if got := binomial(in[0], in[1]); got != want {
+			t.Fatalf("binomial(%d,%d) = %d, want %d", in[0], in[1], got, want)
+		}
+	}
+	if binomial(100, 50) <= 0 {
+		t.Fatal("saturation should stay positive")
+	}
+}
+
+func TestExtendedQGramsName(t *testing.T) {
+	if (&ExtendedQGrams{}).Name() != "extqgrams" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,109 @@
+package blocking
+
+import (
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func TestSortedOrderDeterministic(t *testing.T) {
+	c := dirtyCollection(t,
+		[]string{"name", "zeta"},
+		[]string{"name", "alpha"},
+		[]string{"name", "midway"},
+	)
+	order := SortedOrder(c, SortedTokensKey(nil))
+	want := []entity.ID{1, 2, 0} // alpha, midway, zeta
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSortedOrderTieBreakByID(t *testing.T) {
+	c := dirtyCollection(t,
+		[]string{"name", "same"},
+		[]string{"name", "same"},
+	)
+	order := SortedOrder(c, SortedTokensKey(nil))
+	if order[0] != 0 || order[1] != 1 {
+		t.Fatalf("tie-break order = %v", order)
+	}
+}
+
+func TestSortedNeighborhoodWindows(t *testing.T) {
+	c := dirtyCollection(t,
+		[]string{"name", "aaa"},
+		[]string{"name", "aab"},
+		[]string{"name", "aac"},
+		[]string{"name", "zzz"},
+	)
+	bs := blockWith(t, &SortedNeighborhood{Window: 2}, c)
+	// n=4, w=2 → 3 windows.
+	if bs.Len() != 3 {
+		t.Fatalf("windows = %d", bs.Len())
+	}
+	if !sharesBlock(bs, 0, 1) || !sharesBlock(bs, 1, 2) {
+		t.Fatal("adjacent keys must share a window")
+	}
+	if sharesBlock(bs, 0, 3) {
+		t.Fatal("distant keys must not share a window of size 2")
+	}
+}
+
+func TestSortedNeighborhoodMultiPass(t *testing.T) {
+	c := dirtyCollection(t,
+		[]string{"a", "xx", "b", "11"},
+		[]string{"a", "xy", "b", "99"},
+		[]string{"a", "zz", "b", "12"},
+	)
+	passA := AttributeValueKey("a")
+	passB := AttributeValueKey("b")
+	single := blockWith(t, &SortedNeighborhood{Window: 2, Keys: []ScalarKeyFunc{passA}}, c)
+	multi := blockWith(t, &SortedNeighborhood{Window: 2, Keys: []ScalarKeyFunc{passA, passB}}, c)
+	if multi.Len() <= single.Len() {
+		t.Fatal("second pass must add windows")
+	}
+	if !sharesBlock(multi, 0, 2) {
+		t.Fatal("pass over attribute b must pair 11 with 12")
+	}
+}
+
+func TestSortedNeighborhoodCleanClean(t *testing.T) {
+	c := ccCollection(t,
+		[][]string{{"n", "abc"}},
+		[][]string{{"n", "abd"}},
+	)
+	bs := blockWith(t, &SortedNeighborhood{Window: 2}, c)
+	if !sharesBlock(bs, 0, 1) {
+		t.Fatal("cross-source neighbors must block")
+	}
+}
+
+func TestSortedNeighborhoodDefaultWindow(t *testing.T) {
+	var rows [][]string
+	for i := 0; i < 6; i++ {
+		rows = append(rows, []string{"n", string(rune('a' + i))})
+	}
+	c := dirtyCollection(t, rows...)
+	bs := blockWith(t, &SortedNeighborhood{}, c)
+	if bs.Len() != 3 { // n=6, default w=4 → 3 windows
+		t.Fatalf("default window blocks = %d", bs.Len())
+	}
+}
+
+func TestAttributeValueKeyAndFirstTokenKey(t *testing.T) {
+	c := dirtyCollection(t, []string{"last", "Smith", "zip", "75"})
+	d := c.Get(0)
+	if got := AttributeValueKey("last", "zip")(d); got != "smith 75" {
+		t.Fatalf("AttributeValueKey = %q", got)
+	}
+	if got := FirstTokenKey(nil)(d); got != "75" {
+		t.Fatalf("FirstTokenKey = %q", got)
+	}
+	empty := entity.NewDescription("")
+	if got := FirstTokenKey(nil)(empty); got != "" {
+		t.Fatalf("FirstTokenKey(empty) = %q", got)
+	}
+}

@@ -1,0 +1,65 @@
+package blocking
+
+import (
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+// dirtyCollection builds a dirty collection from (attr, value) rows, one
+// description per row group.
+func dirtyCollection(t *testing.T, rows ...[]string) *entity.Collection {
+	t.Helper()
+	c := entity.NewCollection(entity.Dirty)
+	for _, row := range rows {
+		d := entity.NewDescription("")
+		for i := 0; i+1 < len(row); i += 2 {
+			d.Add(row[i], row[i+1])
+		}
+		c.MustAdd(d)
+	}
+	return c
+}
+
+// ccCollection builds a clean-clean collection: rows0 go to source 0 and
+// rows1 to source 1.
+func ccCollection(t *testing.T, rows0, rows1 [][]string) *entity.Collection {
+	t.Helper()
+	c := entity.NewCollection(entity.CleanClean)
+	add := func(rows [][]string, src int) {
+		for _, row := range rows {
+			d := entity.NewDescription("")
+			d.Source = src
+			for i := 0; i+1 < len(row); i += 2 {
+				d.Add(row[i], row[i+1])
+			}
+			c.MustAdd(d)
+		}
+	}
+	add(rows0, 0)
+	add(rows1, 1)
+	return c
+}
+
+// blockWith runs a blocker and fails the test on error.
+func blockWith(t *testing.T, b Blocker, c *entity.Collection) *Blocks {
+	t.Helper()
+	bs, err := b.Block(c)
+	if err != nil {
+		t.Fatalf("%s.Block: %v", b.Name(), err)
+	}
+	return bs
+}
+
+// sharesBlock reports whether ids a and b co-occur in any block.
+func sharesBlock(bs *Blocks, a, b entity.ID) bool {
+	found := false
+	bs.EachDistinctComparison(func(p entity.Pair) bool {
+		if p == entity.NewPair(a, b) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,76 @@
+package blockproc
+
+import (
+	"sort"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+)
+
+// Propagator implements comparison propagation: executing every distinct
+// comparison of an overlapping blocking collection exactly once, without
+// materializing the deduplicated pair set. A pair is executed only inside
+// its least common block index (LeCoBI): the first block, in processing
+// order, that contains both descriptions. All later co-occurrences are
+// redundant and skipped in O(common blocks) time.
+type Propagator struct {
+	blocksOf map[entity.ID][]int
+}
+
+// NewPropagator indexes the collection for least-common-block tests. The
+// block order of bs at construction time defines the processing order.
+func NewPropagator(bs *blocking.Blocks) *Propagator {
+	m := bs.BlocksOf()
+	for _, idxs := range m {
+		sort.Ints(idxs)
+	}
+	return &Propagator{blocksOf: m}
+}
+
+// LeastCommonBlock returns the smallest block index containing both a and
+// b, or -1 when they share no block.
+func (p *Propagator) LeastCommonBlock(a, b entity.ID) int {
+	ia, ib := p.blocksOf[a], p.blocksOf[b]
+	i, j := 0, 0
+	for i < len(ia) && j < len(ib) {
+		switch {
+		case ia[i] == ib[j]:
+			return ia[i]
+		case ia[i] < ib[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return -1
+}
+
+// ShouldCompare reports whether the comparison (a, b) encountered inside
+// block blockIdx is non-redundant, i.e. blockIdx is the pair's least common
+// block index.
+func (p *Propagator) ShouldCompare(blockIdx int, a, b entity.ID) bool {
+	return p.LeastCommonBlock(a, b) == blockIdx
+}
+
+// EachNonRedundant enumerates every distinct comparison of bs exactly once
+// using least-common-block tests instead of a pair hash set; fn receives
+// the block index and the pair. Enumeration stops early if fn returns
+// false.
+func EachNonRedundant(bs *blocking.Blocks, fn func(blockIdx int, pair entity.Pair) bool) {
+	p := NewPropagator(bs)
+	for idx, b := range bs.All() {
+		stop := false
+		b.EachComparison(bs.Kind(), func(x, y entity.ID) bool {
+			if p.ShouldCompare(idx, x, y) {
+				if !fn(idx, entity.NewPair(x, y)) {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package core implements the paper's central artifact: the ER framework
+// of Fig. 1. A Pipeline wires the framework's phases — Blocking, block
+// cleaning and Meta-blocking (the planning of comparisons), Scheduling,
+// Matching, and the optional Update/iteration feeding results back — with
+// pluggable implementations from the substrate packages, and runs them in
+// one of the execution modes the tutorial organizes: batch, merging-based
+// iterative (Swoosh), iterative blocking, relationship-based collective,
+// and budget-bounded progressive.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"entityres/internal/blocking"
+	"entityres/internal/blockproc"
+	"entityres/internal/entity"
+	"entityres/internal/evaluation"
+	"entityres/internal/iterative"
+	"entityres/internal/iterblock"
+	"entityres/internal/matching"
+	"entityres/internal/metablocking"
+	"entityres/internal/progressive"
+)
+
+// Mode selects the execution strategy of the matching/update phases.
+type Mode int
+
+const (
+	// Batch resolves every blocked comparison once, in block order.
+	Batch Mode = iota
+	// MergingIterative runs R-Swoosh over the collection: matches merge
+	// and merged profiles re-enter resolution (blocking is still applied
+	// first to report stats, but resolution is exhaustive over profiles,
+	// per the Swoosh model).
+	MergingIterative
+	// IterativeBlocks runs iterative blocking: block-at-a-time resolution
+	// with merge propagation across blocks until fixpoint.
+	IterativeBlocks
+	// Collective runs relationship-based iterative resolution over the
+	// blocked candidates.
+	Collective
+	// Progressive resolves blocked candidates under a comparison budget
+	// using a pluggable scheduler.
+	Progressive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Batch:
+		return "batch"
+	case MergingIterative:
+		return "merging-iterative"
+	case IterativeBlocks:
+		return "iterative-blocking"
+	case Collective:
+		return "collective"
+	case Progressive:
+		return "progressive"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SchedulerFactory builds the progressive scheduler once the blocking
+// collection is known.
+type SchedulerFactory func(c *entity.Collection, bs *blocking.Blocks) progressive.Scheduler
+
+// Pipeline is the configurable ER framework.
+type Pipeline struct {
+	// Blocker is the blocking phase (required).
+	Blocker blocking.Blocker
+	// Processors clean the blocking collection (purging, filtering, ...)
+	// in order.
+	Processors []blockproc.Processor
+	// Meta optionally restructures the collection through the weighted
+	// blocking graph.
+	Meta *metablocking.MetaBlocker
+	// Matcher is the matching phase (required for every mode except
+	// Collective, which carries its own similarity).
+	Matcher *matching.Matcher
+	// Mode selects the execution strategy (default Batch).
+	Mode Mode
+	// Scheduler builds the progressive schedule (Progressive mode;
+	// defaults to the static block order).
+	Scheduler SchedulerFactory
+	// Budget caps comparisons in Progressive mode (0 = unlimited).
+	Budget int64
+	// CollectiveConfig configures Collective mode (nil = defaults with
+	// the Matcher's similarity and threshold).
+	CollectiveConfig *iterative.Collective
+	// GroundTruth, when provided, annotates the progressive recall curve;
+	// it never influences resolution.
+	GroundTruth *entity.Matches
+}
+
+// PhaseStat records one framework phase execution.
+type PhaseStat struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Matches is the pairwise match output.
+	Matches *entity.Matches
+	// Comparisons counts matcher invocations.
+	Comparisons int64
+	// Blocks is the final blocking collection that fed matching.
+	Blocks *blocking.Blocks
+	// Curve is the progressive recall curve (Progressive mode with
+	// GroundTruth set).
+	Curve evaluation.Curve
+	// Phases records per-phase wall time in execution order.
+	Phases []PhaseStat
+}
+
+// Clusters returns the resolved entities as ID clusters (connected
+// components of the match output).
+func (r *Result) Clusters() [][]entity.ID { return r.Matches.Clusters() }
+
+// Run executes the pipeline over the collection.
+func (p *Pipeline) Run(c *entity.Collection) (*Result, error) {
+	if p.Blocker == nil {
+		return nil, fmt.Errorf("core: pipeline requires a Blocker")
+	}
+	if p.Matcher == nil && p.Mode != Collective {
+		return nil, fmt.Errorf("core: pipeline requires a Matcher in %s mode", p.Mode)
+	}
+	if p.Mode == Collective && p.CollectiveConfig == nil && p.Matcher == nil {
+		return nil, fmt.Errorf("core: collective mode requires CollectiveConfig or Matcher")
+	}
+	res := &Result{}
+	phase := func(name string, fn func() error) error {
+		t0 := time.Now()
+		err := fn()
+		res.Phases = append(res.Phases, PhaseStat{Name: name, Duration: time.Since(t0)})
+		return err
+	}
+
+	// Blocking phase.
+	var bs *blocking.Blocks
+	if err := phase("blocking", func() error {
+		var err error
+		bs, err = p.Blocker.Block(c)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: blocking: %w", err)
+	}
+
+	// Planning phase: block cleaning + meta-blocking.
+	if len(p.Processors) > 0 {
+		_ = phase("block-cleaning", func() error {
+			bs = blockproc.Chain(p.Processors).Process(bs)
+			return nil
+		})
+	}
+	if p.Meta != nil {
+		_ = phase("meta-blocking", func() error {
+			bs = p.Meta.Restructure(c, bs)
+			return nil
+		})
+	}
+	res.Blocks = bs
+
+	// Scheduling + matching + update phases, by mode.
+	err := phase(p.Mode.String(), func() error {
+		switch p.Mode {
+		case Batch:
+			out := matching.ResolveBlocks(c, bs, p.Matcher)
+			res.Matches, res.Comparisons = out.Matches, out.Comparisons
+		case MergingIterative:
+			out := iterative.RSwoosh(c, p.Matcher)
+			res.Matches, res.Comparisons = out.Matches, out.Comparisons
+		case IterativeBlocks:
+			out := iterblock.Resolve(c, bs, p.Matcher)
+			res.Matches, res.Comparisons = out.Matches, out.Comparisons
+		case Collective:
+			cfg := p.CollectiveConfig
+			if cfg == nil {
+				cfg = &iterative.Collective{Base: p.Matcher.Sim, Threshold: p.Matcher.Threshold}
+			}
+			out := cfg.Resolve(c, bs.DistinctPairs().Pairs())
+			res.Matches, res.Comparisons = out.Matches, out.Comparisons
+		case Progressive:
+			factory := p.Scheduler
+			if factory == nil {
+				factory = func(_ *entity.Collection, bs *blocking.Blocks) progressive.Scheduler {
+					return progressive.NewStaticOrder(bs)
+				}
+			}
+			budget := p.Budget
+			if budget <= 0 {
+				budget = 1 << 62
+			}
+			gt := p.GroundTruth
+			if gt == nil {
+				gt = entity.NewMatches()
+			}
+			out := progressive.Run(c, factory(c, bs), p.Matcher, gt, budget)
+			res.Matches, res.Comparisons, res.Curve = out.Matches, out.Comparisons, out.Curve
+		default:
+			return fmt.Errorf("core: unknown mode %v", p.Mode)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

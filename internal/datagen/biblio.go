@@ -1,0 +1,147 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"entityres/internal/entity"
+)
+
+// GenerateBibliographic builds the relationship-rich clean-clean dataset
+// used by collective (relationship-based) resolution experiments: two
+// sources containing author descriptions and paper descriptions, where each
+// paper references its authors by URI through the "author" attribute.
+//
+// Papers are duplicated into source 1 with the configured (typically heavy)
+// corruption on their titles, while their authors are duplicated with light
+// corruption — so attribute evidence alone struggles on papers, but
+// resolving the authors first makes the papers' relationship evidence
+// decisive. The returned ground truth covers both author and paper pairs.
+func GenerateBibliographic(cfg Config) (*entity.Collection, *entity.Matches, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	numPapers := cfg.Entities
+	numAuthors := max(4, cfg.Entities/3)
+	c := entity.NewCollection(entity.CleanClean)
+	gt := entity.NewMatches()
+	renames := attributeSynonyms[Bibliographic]
+	authorCor := LightCorruption()
+
+	// Source-0 authors.
+	first := newZipfPicker(rng, len(firstNames), cfg.ZipfS)
+	last := newZipfPicker(rng, len(lastNames), cfg.ZipfS)
+	authorIDs := make([]entity.ID, numAuthors)
+	authorURIs := make([]string, numAuthors)
+	for i := 0; i < numAuthors; i++ {
+		name := firstNames[first.pick()] + " " + lastNames[last.pick()]
+		uri := fmt.Sprintf("http://kb0.example.org/author/%s_%d", sanitize(name), i)
+		d := entity.NewDescription(uri).Add("name", name)
+		id, err := c.Add(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		authorIDs[i] = id
+		authorURIs[i] = uri
+	}
+
+	// Source-0 papers referencing source-0 authors.
+	topic := newZipfPicker(rng, len(paperTopics), cfg.ZipfS)
+	venue := newZipfPicker(rng, len(venues), cfg.ZipfS)
+	type paper struct {
+		id      entity.ID
+		authors []int
+	}
+	papers := make([]paper, numPapers)
+	for i := 0; i < numPapers; i++ {
+		nw := 3 + rng.Intn(3)
+		title := ""
+		for w := 0; w < nw; w++ {
+			if w > 0 {
+				title += " "
+			}
+			title += paperTopics[topic.pick()]
+		}
+		d := entity.NewDescription(fmt.Sprintf("http://kb0.example.org/paper/p%d", i)).
+			Add("title", title).
+			Add("venue", venues[venue.pick()]).
+			Add("year", strconv.Itoa(1995+rng.Intn(25)))
+		na := 1 + rng.Intn(3)
+		seen := map[int]bool{}
+		var refs []int
+		for a := 0; a < na; a++ {
+			ai := rng.Intn(numAuthors)
+			if !seen[ai] {
+				seen[ai] = true
+				refs = append(refs, ai)
+				d.Add("author", authorURIs[ai])
+			}
+		}
+		id, err := c.Add(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		papers[i] = paper{id: id, authors: refs}
+	}
+
+	// Source-1 copies. Duplicated papers drag their authors along, so the
+	// relationship structure is mirrored.
+	dupAuthor := make(map[int]entity.ID) // source-0 author index → source-1 id
+	dupAuthorURI := make(map[int]string)
+	ensureAuthor := func(ai int) (string, error) {
+		if uri, ok := dupAuthorURI[ai]; ok {
+			return uri, nil
+		}
+		src := c.Get(authorIDs[ai])
+		dup := corruptCopy(rng, src, authorCor, renames, cfg.SchemaNoise)
+		dup.Source = 1
+		dup.URI = fmt.Sprintf("http://kb1.example.org/author/a%d", ai)
+		id, err := c.Add(dup)
+		if err != nil {
+			return "", err
+		}
+		dupAuthor[ai] = id
+		dupAuthorURI[ai] = dup.URI
+		gt.Add(authorIDs[ai], id)
+		return dup.URI, nil
+	}
+	for i, p := range papers {
+		if rng.Float64() >= cfg.DupRatio {
+			continue
+		}
+		src := c.Get(p.id)
+		dup := entity.NewDescription(fmt.Sprintf("http://kb1.example.org/paper/p%d", i))
+		dup.Source = 1
+		for _, a := range src.Attrs {
+			if a.Name == "author" {
+				continue // re-linked below to source-1 authors
+			}
+			name := a.Name
+			if alt, ok := renames[name]; ok && rng.Float64() < cfg.SchemaNoise {
+				name = alt
+			}
+			value := a.Value
+			if a.Name == "title" {
+				value = corruptValue(rng, value, *cfg.Corruption)
+			}
+			dup.Add(name, value)
+		}
+		authorAttr := "author"
+		if alt, ok := renames["author"]; ok && rng.Float64() < cfg.SchemaNoise {
+			authorAttr = alt
+		}
+		for _, ai := range p.authors {
+			uri, err := ensureAuthor(ai)
+			if err != nil {
+				return nil, nil, err
+			}
+			dup.Add(authorAttr, uri)
+		}
+		id, err := c.Add(dup)
+		if err != nil {
+			return nil, nil, err
+		}
+		gt.Add(p.id, id)
+	}
+	return c, gt, nil
+}

@@ -1,0 +1,88 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+
+	"entityres/internal/entity"
+)
+
+// corruptValue applies token-level noise to one attribute value.
+func corruptValue(rng *rand.Rand, value string, cor Corruption) string {
+	tokens := strings.Fields(value)
+	if len(tokens) == 0 {
+		return value
+	}
+	var out []string
+	for _, tok := range tokens {
+		if len(tokens) > 1 && rng.Float64() < cor.TokenDrop {
+			continue
+		}
+		switch {
+		case rng.Float64() < cor.Abbreviate && len(tok) > 1:
+			tok = tok[:1]
+		case rng.Float64() < cor.Typo:
+			tok = typo(rng, tok)
+		}
+		out = append(out, tok)
+	}
+	if len(out) == 0 {
+		out = tokens[:1]
+	}
+	if len(out) > 1 && rng.Float64() < cor.TokenSwap {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// typo applies one random character edit: substitution, deletion,
+// insertion or adjacent transposition.
+func typo(rng *rand.Rand, tok string) string {
+	r := []rune(tok)
+	if len(r) == 0 {
+		return tok
+	}
+	pos := rng.Intn(len(r))
+	switch rng.Intn(4) {
+	case 0: // substitution
+		r[pos] = 'a' + rune(rng.Intn(26))
+	case 1: // deletion
+		if len(r) > 1 {
+			r = append(r[:pos], r[pos+1:]...)
+		}
+	case 2: // insertion
+		r = append(r[:pos], append([]rune{'a' + rune(rng.Intn(26))}, r[pos:]...)...)
+	default: // transposition
+		if pos+1 < len(r) {
+			r[pos], r[pos+1] = r[pos+1], r[pos]
+		} else if pos > 0 {
+			r[pos-1], r[pos] = r[pos], r[pos-1]
+		}
+	}
+	return string(r)
+}
+
+// corruptCopy derives a noisy duplicate of d: attribute drops, value noise
+// and optional attribute renaming into the synonym vocabulary.
+func corruptCopy(rng *rand.Rand, d *entity.Description, cor Corruption, renames map[string]string, renameProb float64) *entity.Description {
+	out := entity.NewDescription(d.URI)
+	out.Source = d.Source
+	for _, a := range d.Attrs {
+		if len(d.Attrs) > 1 && rng.Float64() < cor.AttrDrop {
+			continue
+		}
+		name := a.Name
+		if alt, ok := renames[name]; ok && rng.Float64() < renameProb {
+			name = alt
+		}
+		out.Add(name, corruptValue(rng, a.Value, cor))
+	}
+	if len(out.Attrs) == 0 {
+		// Never emit an empty description: keep the first attribute.
+		a := d.Attrs[0]
+		out.Add(a.Name, corruptValue(rng, a.Value, cor))
+	}
+	return out
+}

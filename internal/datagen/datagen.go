@@ -1,0 +1,168 @@
+// Package datagen generates synthetic knowledge bases with exact ground
+// truth, substituting for the LOD-cloud corpora (DBpedia, Freebase,
+// GeoNames, ...) used by the systems the paper surveys. The generator
+// controls precisely the statistical structure those algorithms are
+// sensitive to: token overlap between matching descriptions (corruption
+// knobs), schema overlap across sources (attribute-rename maps simulating
+// proprietary vocabularies), popularity skew (Zipf vocabulary sampling, so
+// blocks have the heavy-tailed size distribution of real KBs) and the
+// dirty vs clean-clean setting.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Domain selects the vocabulary profile of generated entities, mirroring
+// the benchmark families of [13].
+type Domain int
+
+const (
+	// People is census-style person data (name, city, occupation, birth
+	// year) — the classic deduplication profile.
+	People Domain = iota
+	// Movies is film data (title, director, year, genre) — the
+	// IMDB-vs-DBpedia interlinking profile.
+	Movies
+	// Bibliographic is publication data with author relationships — the
+	// collective-resolution profile (use GenerateBibliographic).
+	Bibliographic
+)
+
+// String implements fmt.Stringer.
+func (d Domain) String() string {
+	switch d {
+	case People:
+		return "people"
+	case Movies:
+		return "movies"
+	case Bibliographic:
+		return "bibliographic"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// Corruption sets the per-copy noise applied to duplicated descriptions.
+// All fields are probabilities in [0,1].
+type Corruption struct {
+	// Typo corrupts a token with a random character edit.
+	Typo float64
+	// TokenDrop removes a token from a value.
+	TokenDrop float64
+	// Abbreviate truncates a token to its initial ("alice" → "a").
+	Abbreviate float64
+	// AttrDrop removes an entire attribute from the copy.
+	AttrDrop float64
+	// TokenSwap reverses the token order of a value.
+	TokenSwap float64
+}
+
+// LightCorruption mimics well-curated duplicate sources (center of the LOD
+// cloud): highly similar descriptions.
+func LightCorruption() Corruption {
+	return Corruption{Typo: 0.05, TokenDrop: 0.05, Abbreviate: 0.03, AttrDrop: 0.05, TokenSwap: 0.1}
+}
+
+// HeavyCorruption mimics periphery sources: somehow similar descriptions
+// with few common tokens.
+func HeavyCorruption() Corruption {
+	return Corruption{Typo: 0.2, TokenDrop: 0.25, Abbreviate: 0.1, AttrDrop: 0.25, TokenSwap: 0.3}
+}
+
+// Config parameterizes generation.
+type Config struct {
+	// Seed drives the deterministic PRNG (default 1).
+	Seed int64
+	// Entities is the number of distinct real-world entities (default
+	// 100).
+	Entities int
+	// DupRatio is, for dirty collections, the fraction of entities that
+	// receive duplicate descriptions; for clean-clean collections, the
+	// fraction present in both KBs (default 0.5).
+	DupRatio float64
+	// MaxDuplicates bounds extra copies per duplicated entity in dirty
+	// collections (default 1, i.e. pairs).
+	MaxDuplicates int
+	// Corruption is applied to every duplicate copy (default
+	// LightCorruption).
+	Corruption *Corruption
+	// SchemaNoise is the probability that source 1 renames an attribute to
+	// its proprietary synonym in clean-clean generation (default 0.5);
+	// dirty generation applies it to duplicate copies.
+	SchemaNoise float64
+	// ZipfS is the Zipf skew parameter for vocabulary sampling (must be
+	// > 1; default 1.2). Larger values concentrate tokens, producing more
+	// heavily skewed block sizes.
+	ZipfS float64
+	// Domain selects the vocabulary profile (default People).
+	Domain Domain
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Entities <= 0 {
+		c.Entities = 100
+	}
+	if c.DupRatio <= 0 {
+		c.DupRatio = 0.5
+	}
+	if c.MaxDuplicates <= 0 {
+		c.MaxDuplicates = 1
+	}
+	if c.Corruption == nil {
+		lc := LightCorruption()
+		c.Corruption = &lc
+	}
+	if c.SchemaNoise < 0 {
+		c.SchemaNoise = 0
+	} else if c.SchemaNoise == 0 {
+		c.SchemaNoise = 0.5
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	return c
+}
+
+// zipfPicker samples indices in [0, n) with Zipf-distributed popularity,
+// shuffled so popularity is not correlated with lexicographic order.
+type zipfPicker struct {
+	z    *rand.Zipf
+	perm []int
+}
+
+func newZipfPicker(rng *rand.Rand, n int, s float64) *zipfPicker {
+	return &zipfPicker{
+		z:    rand.NewZipf(rng, s, 1, uint64(n-1)),
+		perm: rng.Perm(n),
+	}
+}
+
+func (p *zipfPicker) pick() int { return p.perm[int(p.z.Uint64())] }
+
+// attributeSynonyms maps canonical attribute names to the proprietary
+// vocabulary of a second source, per domain.
+var attributeSynonyms = map[Domain]map[string]string{
+	People: {
+		"name":       "label",
+		"city":       "location",
+		"occupation": "profession",
+		"born":       "birthYear",
+	},
+	Movies: {
+		"title":    "label",
+		"director": "directedBy",
+		"year":     "releaseDate",
+		"genre":    "category",
+	},
+	Bibliographic: {
+		"title":  "label",
+		"venue":  "publishedIn",
+		"year":   "date",
+		"author": "creator",
+	},
+}

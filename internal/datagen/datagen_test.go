@@ -1,0 +1,256 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func TestGenerateDirtyDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Entities: 50}
+	c1, gt1, err := GenerateDirty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, gt2, err := GenerateDirty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Len() != c2.Len() || gt1.Len() != gt2.Len() {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", c1.Len(), gt1.Len(), c2.Len(), gt2.Len())
+	}
+	for i := 0; i < c1.Len(); i++ {
+		if c1.Get(i).String() != c2.Get(i).String() {
+			t.Fatalf("description %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDirtyShape(t *testing.T) {
+	c, gt, err := GenerateDirty(Config{Seed: 7, Entities: 100, DupRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() <= 100 {
+		t.Fatalf("no duplicates generated: %d", c.Len())
+	}
+	if gt.Len() == 0 {
+		t.Fatal("empty ground truth")
+	}
+	if c.Kind() != entity.Dirty {
+		t.Fatal("kind")
+	}
+	// Every ground-truth pair refers to valid ids.
+	gt.Each(func(p entity.Pair) bool {
+		if c.Get(p.A) == nil || c.Get(p.B) == nil {
+			t.Fatalf("dangling gt pair %v", p)
+		}
+		return true
+	})
+	// No empty descriptions.
+	for _, d := range c.All() {
+		if len(d.Attrs) == 0 {
+			t.Fatalf("empty description %d", d.ID)
+		}
+	}
+}
+
+func TestGenerateDirtyMaxDuplicates(t *testing.T) {
+	c, gt, err := GenerateDirty(Config{Seed: 5, Entities: 40, DupRatio: 1, MaxDuplicates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < 80 {
+		t.Fatalf("dup ratio 1 yielded %d descriptions", c.Len())
+	}
+	clusters := gt.Clusters()
+	maxSize := 0
+	for _, cl := range clusters {
+		if len(cl) > maxSize {
+			maxSize = len(cl)
+		}
+	}
+	if maxSize < 3 || maxSize > 4 {
+		t.Fatalf("max cluster size = %d, want in [3,4]", maxSize)
+	}
+}
+
+func TestGenerateCleanCleanShape(t *testing.T) {
+	c, gt, err := GenerateCleanClean(Config{Seed: 9, Entities: 80, DupRatio: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind() != entity.CleanClean {
+		t.Fatal("kind")
+	}
+	if c.SourceLen(0) != 80 {
+		t.Fatalf("source0 = %d", c.SourceLen(0))
+	}
+	if c.SourceLen(1) == 0 || c.SourceLen(1) >= 80 {
+		t.Fatalf("source1 = %d", c.SourceLen(1))
+	}
+	if gt.Len() != c.SourceLen(1) {
+		t.Fatalf("gt = %d, source1 = %d", gt.Len(), c.SourceLen(1))
+	}
+	// Ground truth is strictly cross-source.
+	gt.Each(func(p entity.Pair) bool {
+		if c.Get(p.A).Source == c.Get(p.B).Source {
+			t.Fatalf("same-source gt pair %v", p)
+		}
+		return true
+	})
+}
+
+func TestCleanCleanSchemaNoiseRenamesAttributes(t *testing.T) {
+	c, _, err := GenerateCleanClean(Config{Seed: 3, Entities: 60, DupRatio: 1, SchemaNoise: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawAlt := false
+	for _, d := range c.All() {
+		if d.Source != 1 {
+			continue
+		}
+		for _, a := range d.Attrs {
+			if a.Name == "label" || a.Name == "location" || a.Name == "profession" || a.Name == "birthYear" {
+				sawAlt = true
+			}
+			if a.Name == "name" || a.Name == "city" {
+				t.Fatalf("schemaNoise=1 left canonical attr %q", a.Name)
+			}
+		}
+	}
+	if !sawAlt {
+		t.Fatal("no renamed attributes found")
+	}
+}
+
+func TestGenerateMoviesDomain(t *testing.T) {
+	c, _, err := GenerateCleanClean(Config{Seed: 4, Entities: 30, Domain: Movies})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := c.Get(0)
+	if _, ok := d.Value("title"); !ok {
+		t.Fatalf("movie without title: %v", d)
+	}
+	if _, ok := d.Value("director"); !ok {
+		t.Fatal("movie without director")
+	}
+}
+
+func TestBibliographicRelationships(t *testing.T) {
+	c, gt, err := GenerateBibliographic(Config{Seed: 6, Entities: 30, DupRatio: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index URIs.
+	byURI := map[string]*entity.Description{}
+	for _, d := range c.All() {
+		byURI[d.URI] = d
+	}
+	papers, authors, refs := 0, 0, 0
+	for _, d := range c.All() {
+		if strings.Contains(d.URI, "/paper/") {
+			papers++
+			for _, name := range []string{"author", "creator"} {
+				for _, v := range d.Values(name) {
+					refs++
+					ref, ok := byURI[v]
+					if !ok {
+						t.Fatalf("dangling author ref %q", v)
+					}
+					if ref.Source != d.Source {
+						t.Fatalf("cross-source author ref %q", v)
+					}
+				}
+			}
+		} else {
+			authors++
+		}
+	}
+	if papers == 0 || authors == 0 || refs == 0 {
+		t.Fatalf("papers=%d authors=%d refs=%d", papers, authors, refs)
+	}
+	if gt.Len() == 0 {
+		t.Fatal("empty ground truth")
+	}
+	// GT must include both paper and author pairs.
+	paperPairs, authorPairs := 0, 0
+	gt.Each(func(p entity.Pair) bool {
+		if strings.Contains(c.Get(p.A).URI, "/paper/") {
+			paperPairs++
+		} else {
+			authorPairs++
+		}
+		return true
+	})
+	if paperPairs == 0 || authorPairs == 0 {
+		t.Fatalf("paperPairs=%d authorPairs=%d", paperPairs, authorPairs)
+	}
+}
+
+func TestBibliographicRejectedByScalarGenerators(t *testing.T) {
+	if _, _, err := GenerateDirty(Config{Domain: Bibliographic}); err == nil {
+		t.Fatal("GenerateDirty must reject Bibliographic")
+	}
+	if _, _, err := GenerateCleanClean(Config{Domain: Bibliographic}); err == nil {
+		t.Fatal("GenerateCleanClean must reject Bibliographic")
+	}
+}
+
+func TestCorruptValueNeverEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cor := Corruption{TokenDrop: 1}
+	for i := 0; i < 50; i++ {
+		if got := corruptValue(rng, "alpha beta gamma", cor); got == "" {
+			t.Fatal("corruption emptied value")
+		}
+	}
+	if corruptValue(rng, "", cor) != "" {
+		t.Fatal("empty value should stay empty")
+	}
+}
+
+func TestTypoKeepsNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		got := typo(rng, "ab")
+		if got == "" {
+			t.Fatal("typo produced empty token")
+		}
+	}
+	if typo(rng, "") != "" {
+		t.Fatal("typo on empty should be no-op")
+	}
+}
+
+func TestCorruptCopyKeepsAtLeastOneAttr(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := entity.NewDescription("u").Add("name", "alice smith")
+	cor := Corruption{AttrDrop: 1}
+	for i := 0; i < 20; i++ {
+		cp := corruptCopy(rng, d, cor, nil, 0)
+		if len(cp.Attrs) == 0 {
+			t.Fatal("copy lost all attributes")
+		}
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	if People.String() != "people" || Movies.String() != "movies" || Bibliographic.String() != "bibliographic" {
+		t.Fatal("domain strings")
+	}
+	if Domain(9).String() != "Domain(9)" {
+		t.Fatal("unknown domain string")
+	}
+}
+
+func TestCorruptionPresets(t *testing.T) {
+	l, h := LightCorruption(), HeavyCorruption()
+	if !(h.Typo > l.Typo && h.TokenDrop > l.TokenDrop && h.AttrDrop > l.AttrDrop) {
+		t.Fatal("heavy corruption should dominate light")
+	}
+}

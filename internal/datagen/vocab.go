@@ -1,0 +1,69 @@
+package datagen
+
+// Seed vocabularies. Sizes are chosen so that realistic collisions occur
+// (shared surnames, shared cities) without making every block enormous.
+
+var firstNames = []string{
+	"alice", "robert", "maria", "james", "elena", "david", "sophia", "michael",
+	"laura", "daniel", "emma", "thomas", "julia", "peter", "anna", "george",
+	"carol", "stephen", "nina", "victor", "irene", "hugo", "clara", "martin",
+	"olivia", "felix", "diana", "oscar", "ruth", "henry", "ida", "walter",
+	"paula", "simon", "vera", "arthur", "lydia", "edgar", "nora", "frank",
+	"alicia", "roberto", "marie", "jim", "helena", "dave", "sofia", "mikhail",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "garcia", "mueller", "rossi", "tanaka", "kowalski",
+	"ivanov", "nielsen", "dubois", "santos", "okafor", "yilmaz", "novak",
+	"andersson", "papadopoulos", "fernandez", "schmidt", "brown", "lee",
+	"wilson", "taylor", "moreau", "ricci", "sato", "nowak", "petrov",
+	"jensen", "laurent", "silva", "adeyemi", "kaya", "horvat", "lindberg",
+	"economou", "lopez", "weber", "davies", "kim", "clark",
+}
+
+var cities = []string{
+	"paris", "london", "berlin", "madrid", "rome", "vienna", "prague",
+	"athens", "lisbon", "dublin", "warsaw", "budapest", "helsinki", "oslo",
+	"stockholm", "copenhagen", "amsterdam", "brussels", "zurich", "geneva",
+	"munich", "hamburg", "lyon", "marseille", "naples", "milan", "porto",
+	"seville", "valencia", "krakow", "gdansk", "tampere",
+}
+
+var occupations = []string{
+	"painter", "composer", "engineer", "teacher", "physician", "architect",
+	"journalist", "historian", "chemist", "biologist", "novelist", "poet",
+	"sculptor", "violinist", "economist", "linguist", "astronomer",
+	"photographer", "cartographer", "librarian", "geologist", "surgeon",
+	"mathematician", "philosopher",
+}
+
+var titleAdjectives = []string{
+	"silent", "crimson", "endless", "broken", "golden", "hidden", "savage",
+	"electric", "frozen", "burning", "midnight", "scarlet", "hollow",
+	"restless", "shattered", "luminous", "forgotten", "velvet", "iron",
+	"paper",
+}
+
+var titleNouns = []string{
+	"horizon", "empire", "garden", "river", "mirror", "shadow", "harvest",
+	"voyage", "monument", "orchard", "labyrinth", "sanctuary", "avalanche",
+	"carnival", "archive", "meridian", "pendulum", "lighthouse", "station",
+	"cathedral",
+}
+
+var genres = []string{
+	"drama", "comedy", "thriller", "documentary", "western", "noir",
+	"musical", "adventure", "romance", "mystery",
+}
+
+var paperTopics = []string{
+	"entity", "resolution", "blocking", "indexing", "parallel", "query",
+	"graph", "stream", "schema", "matching", "linkage", "knowledge",
+	"semantic", "distributed", "scalable", "adaptive", "incremental",
+	"probabilistic", "crowdsourced", "progressive",
+}
+
+var venues = []string{
+	"icde", "sigmod", "vldb", "edbt", "cikm", "wsdm", "kdd", "www",
+	"iswc", "eswc",
+}

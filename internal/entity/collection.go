@@ -1,0 +1,127 @@
+package entity
+
+import "fmt"
+
+// Kind distinguishes the two resolution settings of the paper.
+type Kind int
+
+const (
+	// Dirty is a single collection that may contain duplicates; every pair
+	// of descriptions is a potential match (deduplication).
+	Dirty Kind = iota
+	// CleanClean is two individually duplicate-free collections; only
+	// cross-source pairs are potential matches (record linkage / KB
+	// interlinking).
+	CleanClean
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Dirty:
+		return "dirty"
+	case CleanClean:
+		return "clean-clean"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Collection is an ordered set of entity descriptions with dense IDs.
+// For CleanClean collections the descriptions of both sources live in the
+// same ID space, distinguished by Description.Source; this keeps every
+// downstream structure (blocks, graphs, schedules) a flat array indexed by
+// ID regardless of setting.
+type Collection struct {
+	kind  Kind
+	descs []*Description
+	// perSource counts descriptions per source index.
+	perSource [2]int
+}
+
+// NewCollection returns an empty collection of the given kind.
+func NewCollection(kind Kind) *Collection {
+	return &Collection{kind: kind}
+}
+
+// Kind reports whether the collection is dirty or clean-clean.
+func (c *Collection) Kind() Kind { return c.kind }
+
+// Len returns the number of descriptions.
+func (c *Collection) Len() int { return len(c.descs) }
+
+// SourceLen returns the number of descriptions from the given source
+// (0 or 1).
+func (c *Collection) SourceLen(source int) int {
+	if source < 0 || source >= len(c.perSource) {
+		return 0
+	}
+	return c.perSource[source]
+}
+
+// Add inserts a description, assigns its dense ID, validates its source
+// index against the collection kind, and returns the assigned ID.
+func (c *Collection) Add(d *Description) (ID, error) {
+	switch c.kind {
+	case Dirty:
+		if d.Source != 0 {
+			return -1, fmt.Errorf("entity: dirty collection requires source 0, got %d", d.Source)
+		}
+	case CleanClean:
+		if d.Source != 0 && d.Source != 1 {
+			return -1, fmt.Errorf("entity: clean-clean collection requires source 0 or 1, got %d", d.Source)
+		}
+	}
+	d.ID = len(c.descs)
+	c.descs = append(c.descs, d)
+	c.perSource[d.Source]++
+	return d.ID, nil
+}
+
+// MustAdd is Add for construction code paths where the source index is
+// statically correct; it panics on error.
+func (c *Collection) MustAdd(d *Description) ID {
+	id, err := c.Add(d)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Get returns the description with the given ID, or nil when out of range.
+func (c *Collection) Get(id ID) *Description {
+	if id < 0 || id >= len(c.descs) {
+		return nil
+	}
+	return c.descs[id]
+}
+
+// All returns the backing slice of descriptions ordered by ID. Callers must
+// not mutate the slice structure (element fields other than ID may be read
+// freely).
+func (c *Collection) All() []*Description { return c.descs }
+
+// Comparable reports whether two descriptions form a valid candidate pair
+// under the collection's kind: distinct IDs always, and cross-source for
+// clean-clean collections.
+func (c *Collection) Comparable(a, b ID) bool {
+	if a == b || a < 0 || b < 0 || a >= len(c.descs) || b >= len(c.descs) {
+		return false
+	}
+	if c.kind == CleanClean {
+		return c.descs[a].Source != c.descs[b].Source
+	}
+	return true
+}
+
+// TotalComparisons returns the number of distinct candidate pairs an
+// exhaustive (blocking-free) resolution would execute: n·(n−1)/2 for dirty
+// collections, |source0|·|source1| for clean-clean ones. This is the
+// denominator of the reduction ratio.
+func (c *Collection) TotalComparisons() int64 {
+	if c.kind == CleanClean {
+		return int64(c.perSource[0]) * int64(c.perSource[1])
+	}
+	n := int64(len(c.descs))
+	return n * (n - 1) / 2
+}

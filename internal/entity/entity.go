@@ -1,0 +1,135 @@
+// Package entity defines the core data model for entity resolution in the
+// Web of data: entity descriptions with multi-valued, schema-free
+// attributes, collections of descriptions (dirty or clean-clean), pairs,
+// ground-truth match sets and merged profiles.
+//
+// A Description models what the paper calls an "entity description": a
+// named set of attribute-value pairs published by some knowledge base.
+// Descriptions are deliberately schema-free — two descriptions of the same
+// real-world entity may share no attribute names at all, which is exactly
+// the heterogeneity that schema-agnostic blocking (package blocking) and
+// meta-blocking (package metablocking) are designed to survive.
+package entity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID is the dense, collection-local identifier of a description. IDs are
+// assigned consecutively from 0 by Collection.Add, so they can be used to
+// index slices sized to Collection.Len.
+type ID = int
+
+// Attribute is a single attribute-value pair of a description. Descriptions
+// may carry several attributes with the same name (multi-valued
+// properties, as in RDF).
+type Attribute struct {
+	Name  string
+	Value string
+}
+
+// Description is one entity description: a URI-identified set of
+// attribute-value pairs originating from one source KB.
+type Description struct {
+	// ID is the dense identifier within the owning Collection. It is
+	// assigned by Collection.Add and must not be modified afterwards.
+	ID ID
+	// URI is the global identifier of the description (may be empty for
+	// non-RDF data).
+	URI string
+	// Source is the index of the KB this description comes from: always 0
+	// for dirty collections; 0 or 1 for clean-clean collections.
+	Source int
+	// Attrs holds the attribute-value pairs in insertion order.
+	Attrs []Attribute
+}
+
+// NewDescription returns a description with the given URI and no
+// attributes. The ID is assigned when the description is added to a
+// Collection.
+func NewDescription(uri string) *Description {
+	return &Description{ID: -1, URI: uri}
+}
+
+// Add appends an attribute-value pair and returns the description to allow
+// chaining. Empty values are kept: emptiness is meaningful for coverage
+// statistics.
+func (d *Description) Add(name, value string) *Description {
+	d.Attrs = append(d.Attrs, Attribute{Name: name, Value: value})
+	return d
+}
+
+// Values returns all values of the named attribute, in insertion order.
+func (d *Description) Values(name string) []string {
+	var out []string
+	for _, a := range d.Attrs {
+		if a.Name == name {
+			out = append(out, a.Value)
+		}
+	}
+	return out
+}
+
+// Value returns the first value of the named attribute and whether it
+// exists.
+func (d *Description) Value(name string) (string, bool) {
+	for _, a := range d.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttributeNames returns the distinct attribute names of the description in
+// sorted order.
+func (d *Description) AttributeNames() []string {
+	seen := make(map[string]struct{}, len(d.Attrs))
+	var names []string
+	for _, a := range d.Attrs {
+		if _, ok := seen[a.Name]; !ok {
+			seen[a.Name] = struct{}{}
+			names = append(names, a.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AllValues returns every attribute value of the description, in insertion
+// order. This is the raw material of schema-agnostic blocking.
+func (d *Description) AllValues() []string {
+	out := make([]string, 0, len(d.Attrs))
+	for _, a := range d.Attrs {
+		out = append(out, a.Value)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the description.
+func (d *Description) Clone() *Description {
+	c := &Description{ID: d.ID, URI: d.URI, Source: d.Source}
+	c.Attrs = make([]Attribute, len(d.Attrs))
+	copy(c.Attrs, d.Attrs)
+	return c
+}
+
+// String renders the description compactly for debugging and logs.
+func (d *Description) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%d", d.ID)
+	if d.URI != "" {
+		fmt.Fprintf(&b, " %s", d.URI)
+	}
+	b.WriteString(">{")
+	for i, a := range d.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%q", a.Name, a.Value)
+	}
+	b.WriteString("}")
+	return b.String()
+}

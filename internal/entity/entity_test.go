@@ -1,0 +1,155 @@
+package entity
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescriptionAddAndValues(t *testing.T) {
+	d := NewDescription("http://ex.org/p1").
+		Add("name", "Alice Smith").
+		Add("name", "A. Smith").
+		Add("city", "Paris")
+	if got := d.Values("name"); len(got) != 2 || got[0] != "Alice Smith" || got[1] != "A. Smith" {
+		t.Fatalf("Values(name) = %v", got)
+	}
+	if v, ok := d.Value("city"); !ok || v != "Paris" {
+		t.Fatalf("Value(city) = %q, %v", v, ok)
+	}
+	if _, ok := d.Value("missing"); ok {
+		t.Fatal("Value(missing) reported ok")
+	}
+}
+
+func TestDescriptionAttributeNamesSortedDistinct(t *testing.T) {
+	d := NewDescription("").Add("b", "1").Add("a", "2").Add("b", "3")
+	got := d.AttributeNames()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("AttributeNames = %v", got)
+	}
+}
+
+func TestDescriptionAllValuesOrder(t *testing.T) {
+	d := NewDescription("").Add("x", "v1").Add("y", "v2").Add("x", "v3")
+	got := d.AllValues()
+	want := []string{"v1", "v2", "v3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AllValues = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDescriptionCloneIsDeep(t *testing.T) {
+	d := NewDescription("u").Add("a", "1")
+	c := d.Clone()
+	c.Attrs[0].Value = "changed"
+	c.Add("b", "2")
+	if d.Attrs[0].Value != "1" || len(d.Attrs) != 1 {
+		t.Fatalf("clone mutation leaked into original: %v", d)
+	}
+}
+
+func TestDescriptionString(t *testing.T) {
+	d := NewDescription("u1").Add("a", "x")
+	s := d.String()
+	for _, want := range []string{"u1", "a=", `"x"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCollectionAddAssignsDenseIDs(t *testing.T) {
+	c := NewCollection(Dirty)
+	for i := 0; i < 5; i++ {
+		id, err := c.Add(NewDescription(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("Add assigned ID %d, want %d", id, i)
+		}
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Get(3).ID != 3 {
+		t.Fatalf("Get(3).ID = %d", c.Get(3).ID)
+	}
+	if c.Get(99) != nil || c.Get(-1) != nil {
+		t.Fatal("Get out of range should return nil")
+	}
+}
+
+func TestCollectionSourceValidation(t *testing.T) {
+	dirty := NewCollection(Dirty)
+	d := NewDescription("")
+	d.Source = 1
+	if _, err := dirty.Add(d); err == nil {
+		t.Fatal("dirty collection accepted source 1")
+	}
+	cc := NewCollection(CleanClean)
+	d2 := NewDescription("")
+	d2.Source = 2
+	if _, err := cc.Add(d2); err == nil {
+		t.Fatal("clean-clean collection accepted source 2")
+	}
+}
+
+func TestCollectionComparable(t *testing.T) {
+	cc := NewCollection(CleanClean)
+	a := NewDescription("")
+	b := NewDescription("")
+	b.Source = 1
+	c := NewDescription("")
+	cc.MustAdd(a) // id 0, source 0
+	cc.MustAdd(b) // id 1, source 1
+	cc.MustAdd(c) // id 2, source 0
+	if !cc.Comparable(0, 1) {
+		t.Fatal("cross-source pair should be comparable")
+	}
+	if cc.Comparable(0, 2) {
+		t.Fatal("same-source pair comparable in clean-clean")
+	}
+	if cc.Comparable(0, 0) {
+		t.Fatal("self pair comparable")
+	}
+	dirty := NewCollection(Dirty)
+	dirty.MustAdd(NewDescription(""))
+	dirty.MustAdd(NewDescription(""))
+	if !dirty.Comparable(0, 1) {
+		t.Fatal("dirty pair should be comparable")
+	}
+}
+
+func TestCollectionTotalComparisons(t *testing.T) {
+	dirty := NewCollection(Dirty)
+	for i := 0; i < 10; i++ {
+		dirty.MustAdd(NewDescription(""))
+	}
+	if got := dirty.TotalComparisons(); got != 45 {
+		t.Fatalf("dirty TotalComparisons = %d, want 45", got)
+	}
+	cc := NewCollection(CleanClean)
+	for i := 0; i < 4; i++ {
+		cc.MustAdd(NewDescription(""))
+	}
+	for i := 0; i < 6; i++ {
+		d := NewDescription("")
+		d.Source = 1
+		cc.MustAdd(d)
+	}
+	if got := cc.TotalComparisons(); got != 24 {
+		t.Fatalf("clean-clean TotalComparisons = %d, want 24", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Dirty.String() != "dirty" || CleanClean.String() != "clean-clean" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatalf("unknown kind string = %q", Kind(9).String())
+	}
+}

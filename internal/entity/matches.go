@@ -1,0 +1,83 @@
+package entity
+
+// Matches is the ground truth (or the accumulating output) of an entity
+// resolution task: the set of description pairs that refer to the same
+// real-world entity. Matches are stored transitively closed when built via
+// FromClusters; pairwise Add does not close them — use Closure for that.
+type Matches struct {
+	set *PairSet
+	// byID indexes, for every description, the IDs it matches with.
+	byID map[ID][]ID
+}
+
+// NewMatches returns an empty match set.
+func NewMatches() *Matches {
+	return &Matches{set: NewPairSet(0), byID: make(map[ID][]ID)}
+}
+
+// Add records that a and b match. It reports whether the pair was new.
+func (m *Matches) Add(a, b ID) bool {
+	if a == b {
+		return false
+	}
+	if !m.set.Add(a, b) {
+		return false
+	}
+	m.byID[a] = append(m.byID[a], b)
+	m.byID[b] = append(m.byID[b], a)
+	return true
+}
+
+// Contains reports whether {a, b} is a known match.
+func (m *Matches) Contains(a, b ID) bool { return m.set.Contains(a, b) }
+
+// Of returns the IDs known to match id. The returned slice is owned by the
+// Matches and must not be mutated.
+func (m *Matches) Of(id ID) []ID { return m.byID[id] }
+
+// Len returns the number of matching pairs.
+func (m *Matches) Len() int { return m.set.Len() }
+
+// Each iterates over all matching pairs in unspecified order.
+func (m *Matches) Each(fn func(Pair) bool) { m.set.Each(fn) }
+
+// Pairs returns all matching pairs in unspecified order.
+func (m *Matches) Pairs() []Pair { return m.set.Pairs() }
+
+// FromClusters builds a transitively-closed match set from ground-truth
+// clusters: every pair of IDs within one cluster is a match.
+func FromClusters(clusters [][]ID) *Matches {
+	m := NewMatches()
+	for _, cl := range clusters {
+		for i := 0; i < len(cl); i++ {
+			for j := i + 1; j < len(cl); j++ {
+				m.Add(cl[i], cl[j])
+			}
+		}
+	}
+	return m
+}
+
+// Closure returns a new match set that is the transitive closure of m:
+// if {a,b} and {b,c} are matches then {a,c} is a match in the result.
+// Entity resolution outputs are equivalence relations, so evaluation
+// against a closed ground truth requires closing the system output too.
+func (m *Matches) Closure() *Matches {
+	uf := NewUnionFind(0)
+	m.Each(func(p Pair) bool {
+		uf.Union(p.A, p.B)
+		return true
+	})
+	return FromClusters(uf.Clusters())
+}
+
+// Clusters groups the matched IDs into connected components. Singleton
+// descriptions (those matching nothing) do not appear.
+func (m *Matches) Clusters() [][]ID {
+	uf := NewUnionFind(0)
+	m.Each(func(p Pair) bool {
+		uf.Union(p.A, p.B)
+		return true
+	})
+	return uf.Clusters()
+}

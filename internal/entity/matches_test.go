@@ -1,0 +1,83 @@
+package entity
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestMatchesAddContains(t *testing.T) {
+	m := NewMatches()
+	if !m.Add(1, 2) || m.Add(2, 1) {
+		t.Fatal("Add dedup failed")
+	}
+	if m.Add(3, 3) {
+		t.Fatal("self match should be rejected")
+	}
+	if !m.Contains(2, 1) || m.Contains(1, 3) {
+		t.Fatal("Contains failed")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMatchesOf(t *testing.T) {
+	m := NewMatches()
+	m.Add(1, 2)
+	m.Add(1, 5)
+	got := append([]ID(nil), m.Of(1)...)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("Of(1) = %v", got)
+	}
+	if len(m.Of(9)) != 0 {
+		t.Fatal("Of(unknown) should be empty")
+	}
+}
+
+func TestFromClustersClosed(t *testing.T) {
+	m := FromClusters([][]ID{{1, 2, 3}, {7, 8}})
+	wantPairs := [][2]ID{{1, 2}, {1, 3}, {2, 3}, {7, 8}}
+	if m.Len() != len(wantPairs) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(wantPairs))
+	}
+	for _, p := range wantPairs {
+		if !m.Contains(p[0], p[1]) {
+			t.Fatalf("missing pair %v", p)
+		}
+	}
+}
+
+func TestClosure(t *testing.T) {
+	m := NewMatches()
+	m.Add(1, 2)
+	m.Add(2, 3)
+	closed := m.Closure()
+	if !closed.Contains(1, 3) {
+		t.Fatal("closure missing transitive pair")
+	}
+	if closed.Len() != 3 {
+		t.Fatalf("closure Len = %d, want 3", closed.Len())
+	}
+	// Closure must not mutate the original.
+	if m.Contains(1, 3) {
+		t.Fatal("Closure mutated receiver")
+	}
+}
+
+func TestMatchesClusters(t *testing.T) {
+	m := NewMatches()
+	m.Add(5, 1)
+	m.Add(1, 9)
+	m.Add(20, 21)
+	cl := m.Clusters()
+	if len(cl) != 2 {
+		t.Fatalf("Clusters = %v", cl)
+	}
+	if cl[0][0] != 1 || len(cl[0]) != 3 {
+		t.Fatalf("first cluster = %v", cl[0])
+	}
+	if cl[1][0] != 20 || len(cl[1]) != 2 {
+		t.Fatalf("second cluster = %v", cl[1])
+	}
+}

@@ -1,0 +1,42 @@
+package entity
+
+// Merge combines several descriptions of the same real-world entity into a
+// single merged profile, as done by merging-based iterative resolution
+// (Swoosh-style) and iterative blocking. The merge is the attribute union:
+// every distinct (name, value) pair of any input appears exactly once, in
+// first-seen order, so Merge is idempotent, commutative up to ordering and
+// associative — the algebraic properties the Swoosh family requires of its
+// merge operator.
+//
+// The merged description carries the smallest input ID (its canonical
+// representative), the first non-empty URI, and the source of the first
+// input.
+func Merge(descs ...*Description) *Description {
+	if len(descs) == 0 {
+		return nil
+	}
+	if len(descs) == 1 {
+		return descs[0].Clone()
+	}
+	out := &Description{ID: descs[0].ID, Source: descs[0].Source}
+	seen := make(map[Attribute]struct{})
+	for _, d := range descs {
+		if d == nil {
+			continue
+		}
+		if d.ID < out.ID {
+			out.ID = d.ID
+		}
+		if out.URI == "" && d.URI != "" {
+			out.URI = d.URI
+		}
+		for _, a := range d.Attrs {
+			if _, ok := seen[a]; ok {
+				continue
+			}
+			seen[a] = struct{}{}
+			out.Attrs = append(out.Attrs, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package entity
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeUnionsAttributes(t *testing.T) {
+	a := NewDescription("uriA").Add("name", "alice").Add("city", "paris")
+	a.ID = 4
+	b := NewDescription("").Add("name", "alice").Add("job", "cto")
+	b.ID = 2
+	m := Merge(a, b)
+	if m.ID != 2 {
+		t.Fatalf("merged ID = %d, want smallest input ID 2", m.ID)
+	}
+	if m.URI != "uriA" {
+		t.Fatalf("merged URI = %q", m.URI)
+	}
+	want := []Attribute{{"name", "alice"}, {"city", "paris"}, {"job", "cto"}}
+	if !reflect.DeepEqual(m.Attrs, want) {
+		t.Fatalf("merged attrs = %v, want %v", m.Attrs, want)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	a := NewDescription("u").Add("x", "1").Add("y", "2")
+	m := Merge(a, a)
+	if len(m.Attrs) != 2 {
+		t.Fatalf("idempotent merge duplicated attrs: %v", m.Attrs)
+	}
+}
+
+func TestMergeAssociativeUpToSet(t *testing.T) {
+	a := NewDescription("").Add("p", "1")
+	b := NewDescription("").Add("q", "2")
+	c := NewDescription("").Add("r", "3")
+	left := Merge(Merge(a, b), c)
+	right := Merge(a, Merge(b, c))
+	toSet := func(d *Description) map[Attribute]bool {
+		s := map[Attribute]bool{}
+		for _, at := range d.Attrs {
+			s[at] = true
+		}
+		return s
+	}
+	if !reflect.DeepEqual(toSet(left), toSet(right)) {
+		t.Fatalf("merge not associative: %v vs %v", left, right)
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	if Merge() != nil {
+		t.Fatal("Merge() should be nil")
+	}
+	a := NewDescription("u").Add("x", "1")
+	single := Merge(a)
+	single.Attrs[0].Value = "mut"
+	if a.Attrs[0].Value != "1" {
+		t.Fatal("single merge must clone")
+	}
+	if m := Merge(a, nil); len(m.Attrs) != 1 {
+		t.Fatal("nil inputs should be skipped")
+	}
+}

@@ -1,0 +1,85 @@
+package entity
+
+// Pair is an unordered pair of description IDs. The canonical form keeps
+// A < B so that a Pair can be used directly as a map key for
+// redundancy-free comparison bookkeeping.
+type Pair struct {
+	A, B ID
+}
+
+// NewPair returns the canonical (A < B) form of the pair {a, b}.
+func NewPair(a, b ID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// Canonical returns the canonical form of p. It is a no-op when p is
+// already canonical.
+func (p Pair) Canonical() Pair { return NewPair(p.A, p.B) }
+
+// Other returns the member of the pair that is not id. If id is not a
+// member, it returns -1.
+func (p Pair) Other(id ID) ID {
+	switch id {
+	case p.A:
+		return p.B
+	case p.B:
+		return p.A
+	default:
+		return -1
+	}
+}
+
+// Contains reports whether id is a member of the pair.
+func (p Pair) Contains(id ID) bool { return p.A == id || p.B == id }
+
+// PairSet is a set of canonical pairs with O(1) membership. The zero value
+// is not usable; construct with NewPairSet.
+type PairSet struct {
+	m map[Pair]struct{}
+}
+
+// NewPairSet returns an empty pair set with capacity hint n.
+func NewPairSet(n int) *PairSet {
+	return &PairSet{m: make(map[Pair]struct{}, n)}
+}
+
+// Add inserts the pair {a, b}; it reports whether the pair was newly added.
+func (s *PairSet) Add(a, b ID) bool {
+	p := NewPair(a, b)
+	if _, ok := s.m[p]; ok {
+		return false
+	}
+	s.m[p] = struct{}{}
+	return true
+}
+
+// Contains reports whether the pair {a, b} is in the set.
+func (s *PairSet) Contains(a, b ID) bool {
+	_, ok := s.m[NewPair(a, b)]
+	return ok
+}
+
+// Len returns the number of pairs in the set.
+func (s *PairSet) Len() int { return len(s.m) }
+
+// Each calls fn for every pair in the set in unspecified order; iteration
+// stops early if fn returns false.
+func (s *PairSet) Each(fn func(Pair) bool) {
+	for p := range s.m {
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// Pairs returns the pairs in the set in unspecified order.
+func (s *PairSet) Pairs() []Pair {
+	out := make([]Pair, 0, len(s.m))
+	for p := range s.m {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package entity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPairCanonical(t *testing.T) {
+	p := NewPair(7, 3)
+	if p.A != 3 || p.B != 7 {
+		t.Fatalf("NewPair(7,3) = %+v", p)
+	}
+	if p != NewPair(3, 7) {
+		t.Fatal("NewPair not order-independent")
+	}
+}
+
+func TestPairCanonicalProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		p := NewPair(int(a), int(b))
+		return p.A <= p.B && p == p.Canonical() && p == NewPair(int(b), int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairOtherAndContains(t *testing.T) {
+	p := NewPair(2, 9)
+	if p.Other(2) != 9 || p.Other(9) != 2 {
+		t.Fatal("Other failed")
+	}
+	if p.Other(5) != -1 {
+		t.Fatal("Other on non-member should be -1")
+	}
+	if !p.Contains(2) || !p.Contains(9) || p.Contains(5) {
+		t.Fatal("Contains failed")
+	}
+}
+
+func TestPairSetDedup(t *testing.T) {
+	s := NewPairSet(4)
+	if !s.Add(1, 2) {
+		t.Fatal("first Add should be new")
+	}
+	if s.Add(2, 1) {
+		t.Fatal("reversed Add should be duplicate")
+	}
+	if !s.Contains(2, 1) {
+		t.Fatal("Contains should be order-independent")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Add(3, 4)
+	seen := 0
+	s.Each(func(Pair) bool { seen++; return true })
+	if seen != 2 {
+		t.Fatalf("Each visited %d", seen)
+	}
+	seen = 0
+	s.Each(func(Pair) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatalf("Each early stop visited %d", seen)
+	}
+	if len(s.Pairs()) != 2 {
+		t.Fatal("Pairs length mismatch")
+	}
+}

@@ -1,0 +1,94 @@
+package entity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: FromClusters output is transitively closed (its own closure).
+func TestFromClustersIsClosed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var clusters [][]ID
+		next := 0
+		for k := 0; k < 4; k++ {
+			size := 1 + rng.Intn(4)
+			cl := make([]ID, size)
+			for i := range cl {
+				cl[i] = next
+				next++
+			}
+			clusters = append(clusters, cl)
+		}
+		m := FromClusters(clusters)
+		return m.Closure().Len() == m.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: closing twice equals closing once (idempotence), and the
+// closure contains the original matches.
+func TestClosureIdempotent(t *testing.T) {
+	f := func(edges []uint8) bool {
+		m := NewMatches()
+		for i := 0; i+1 < len(edges); i += 2 {
+			m.Add(int(edges[i]%12), int(edges[i+1]%12))
+		}
+		c1 := m.Closure()
+		c2 := c1.Closure()
+		if c1.Len() != c2.Len() {
+			return false
+		}
+		ok := true
+		m.Each(func(p Pair) bool {
+			if !c1.Contains(p.A, p.B) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge covers every input attribute exactly once.
+func TestMergeCoversInputs(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var descs []*Description
+		want := map[Attribute]bool{}
+		for i, v := range vals {
+			d := NewDescription("")
+			a := Attribute{Name: string(rune('a' + v%4)), Value: string(rune('0' + v%8))}
+			d.Attrs = append(d.Attrs, a)
+			want[a] = true
+			descs = append(descs, d)
+			_ = i
+		}
+		m := Merge(descs...)
+		got := map[Attribute]int{}
+		for _, a := range m.Attrs {
+			got[a]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for a, n := range got {
+			if n != 1 || !want[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

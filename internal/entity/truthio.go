@@ -1,0 +1,87 @@
+package entity
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadURIMatches parses a truth file of tab-separated URI pairs (one per
+// line, blank lines and #-comments skipped) into a match set over c's IDs.
+// Unknown URIs are an error: silently dropping ground truth corrupts every
+// downstream metric.
+func ReadURIMatches(c *Collection, r io.Reader) (*Matches, error) {
+	byURI := make(map[string]ID, c.Len())
+	for _, d := range c.All() {
+		if d.URI != "" {
+			byURI[d.URI] = d.ID
+		}
+	}
+	out := NewMatches()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("entity: truth line %d: want two tab-separated URIs, got %d fields", line, len(parts))
+		}
+		a, okA := byURI[parts[0]]
+		if !okA {
+			return nil, fmt.Errorf("entity: truth line %d: unknown URI %q", line, parts[0])
+		}
+		b, okB := byURI[parts[1]]
+		if !okB {
+			return nil, fmt.Errorf("entity: truth line %d: unknown URI %q", line, parts[1])
+		}
+		out.Add(a, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("entity: truth: %w", err)
+	}
+	return out, nil
+}
+
+// WriteURIMatches serializes a match set as tab-separated URI pairs in
+// deterministic (pair-sorted) order. Descriptions without URIs get their
+// synthetic urn:entityres:<id> name, mirroring the N-Triples writer.
+func WriteURIMatches(w io.Writer, c *Collection, m *Matches) error {
+	pairs := m.Pairs()
+	sortPairsByID(pairs)
+	bw := bufio.NewWriter(w)
+	for _, p := range pairs {
+		ua, ub := uriOf(c, p.A), uriOf(c, p.B)
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", ua, ub); err != nil {
+			return fmt.Errorf("entity: truth write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+func uriOf(c *Collection, id ID) string {
+	if d := c.Get(id); d != nil && d.URI != "" {
+		return d.URI
+	}
+	return fmt.Sprintf("urn:entityres:%d", id)
+}
+
+func sortPairsByID(ps []Pair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && less(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func less(a, b Pair) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}

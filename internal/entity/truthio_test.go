@@ -1,0 +1,80 @@
+package entity
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func truthCollection(t *testing.T) *Collection {
+	t.Helper()
+	c := NewCollection(Dirty)
+	for _, uri := range []string{"http://kb/a", "http://kb/b", "http://kb/c"} {
+		c.MustAdd(NewDescription(uri))
+	}
+	c.MustAdd(NewDescription("")) // anonymous
+	return c
+}
+
+func TestReadURIMatches(t *testing.T) {
+	c := truthCollection(t)
+	in := "# comment\n\nhttp://kb/a\thttp://kb/b\nhttp://kb/b\thttp://kb/c\n"
+	m, err := ReadURIMatches(c, strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 || !m.Contains(0, 1) || !m.Contains(1, 2) {
+		t.Fatalf("matches = %v", m.Pairs())
+	}
+}
+
+func TestReadURIMatchesErrors(t *testing.T) {
+	c := truthCollection(t)
+	cases := []string{
+		"http://kb/a\n",                     // one field
+		"http://kb/a\thttp://kb/a\textra\n", // three fields
+		"http://kb/a\thttp://kb/missing\n",  // unknown URI right
+		"http://kb/missing\thttp://kb/a\n",  // unknown URI left
+	}
+	for _, in := range cases {
+		if _, err := ReadURIMatches(c, strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}
+
+func TestWriteURIMatchesRoundTrip(t *testing.T) {
+	c := truthCollection(t)
+	m := NewMatches()
+	m.Add(2, 0)
+	m.Add(1, 2)
+	var buf bytes.Buffer
+	if err := WriteURIMatches(&buf, c, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Deterministic pair-sorted order.
+	if !strings.HasPrefix(out, "http://kb/a\thttp://kb/c\n") {
+		t.Fatalf("order wrong:\n%s", out)
+	}
+	back, err := ReadURIMatches(c, strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || !back.Contains(0, 2) || !back.Contains(1, 2) {
+		t.Fatalf("round trip = %v", back.Pairs())
+	}
+}
+
+func TestWriteURIMatchesSyntheticURI(t *testing.T) {
+	c := truthCollection(t)
+	m := NewMatches()
+	m.Add(0, 3) // description 3 has no URI
+	var buf bytes.Buffer
+	if err := WriteURIMatches(&buf, c, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "urn:entityres:3") {
+		t.Fatalf("synthetic URI missing: %s", buf.String())
+	}
+}

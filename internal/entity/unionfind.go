@@ -1,0 +1,76 @@
+package entity
+
+import "sort"
+
+// UnionFind is a disjoint-set forest over description IDs with path
+// compression and union by size. IDs need not be pre-registered: Union and
+// Find grow the structure on demand, which suits match graphs discovered
+// incrementally by iterative and progressive resolution.
+type UnionFind struct {
+	parent map[ID]ID
+	size   map[ID]int
+}
+
+// NewUnionFind returns a union-find with capacity hint n.
+func NewUnionFind(n int) *UnionFind {
+	return &UnionFind{
+		parent: make(map[ID]ID, n),
+		size:   make(map[ID]int, n),
+	}
+}
+
+// Find returns the representative of id's set, registering id as a
+// singleton if unseen.
+func (u *UnionFind) Find(id ID) ID {
+	p, ok := u.parent[id]
+	if !ok {
+		u.parent[id] = id
+		u.size[id] = 1
+		return id
+	}
+	if p == id {
+		return id
+	}
+	root := u.Find(p)
+	u.parent[id] = root // path compression
+	return root
+}
+
+// Union merges the sets of a and b and reports whether a merge happened
+// (false when they were already in the same set).
+func (u *UnionFind) Union(a, b ID) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (u *UnionFind) Same(a, b ID) bool { return u.Find(a) == u.Find(b) }
+
+// Clusters returns the non-singleton sets, each sorted ascending, with the
+// sets themselves ordered by their smallest member. The deterministic order
+// makes cluster output directly comparable in tests.
+func (u *UnionFind) Clusters() [][]ID {
+	groups := make(map[ID][]ID)
+	for id := range u.parent {
+		root := u.Find(id)
+		groups[root] = append(groups[root], id)
+	}
+	var out [][]ID
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

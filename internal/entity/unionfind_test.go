@@ -1,0 +1,84 @@
+package entity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(8)
+	if u.Same(1, 2) {
+		t.Fatal("fresh ids should not be same")
+	}
+	if !u.Union(1, 2) {
+		t.Fatal("first union should merge")
+	}
+	if u.Union(2, 1) {
+		t.Fatal("repeat union should be no-op")
+	}
+	u.Union(3, 4)
+	u.Union(1, 4)
+	if !u.Same(2, 3) {
+		t.Fatal("transitively merged ids should be same")
+	}
+}
+
+func TestUnionFindClustersDeterministic(t *testing.T) {
+	u := NewUnionFind(0)
+	u.Union(9, 7)
+	u.Union(7, 8)
+	u.Union(2, 1)
+	u.Find(100) // singleton must not appear
+	cl := u.Clusters()
+	if len(cl) != 2 {
+		t.Fatalf("Clusters = %v", cl)
+	}
+	if cl[0][0] != 1 || cl[1][0] != 7 {
+		t.Fatalf("cluster ordering not by smallest member: %v", cl)
+	}
+	for _, g := range cl {
+		for i := 1; i < len(g); i++ {
+			if g[i-1] >= g[i] {
+				t.Fatalf("cluster not sorted: %v", g)
+			}
+		}
+	}
+}
+
+// Property: union-find equivalence matches a brute-force reference built
+// from the same random union sequence.
+func TestUnionFindMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 30
+		u := NewUnionFind(n)
+		ref := make([]int, n) // ref[i] = group label
+		for i := range ref {
+			ref[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range ref {
+				if ref[i] == from {
+					ref[i] = to
+				}
+			}
+		}
+		for k := 0; k < 50; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			u.Union(a, b)
+			relabel(ref[a], ref[b])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if u.Same(i, j) != (ref[i] == ref[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

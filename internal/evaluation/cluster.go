@@ -1,0 +1,112 @@
+package evaluation
+
+import (
+	"fmt"
+	"sort"
+
+	"entityres/internal/entity"
+)
+
+// ClusterMetrics evaluates a resolution output at the entity (cluster)
+// level rather than the pair level: pairwise F1 rewards partial credit
+// inside big clusters, while downstream consumers of resolved entities
+// care whether whole entities were reconstructed exactly.
+type ClusterMetrics struct {
+	// Precision is the fraction of output clusters that exactly equal a
+	// ground-truth cluster.
+	Precision float64
+	// Recall is the fraction of ground-truth clusters reconstructed
+	// exactly.
+	Recall float64
+	// F1 combines the two.
+	F1 float64
+	// RandIndex is the probability that a random description pair is
+	// classified consistently (together/apart) by output and truth, in
+	// [0,1], computed over the descriptions of the universe collection.
+	RandIndex float64
+}
+
+// String renders the metrics compactly.
+func (m ClusterMetrics) String() string {
+	return fmt.Sprintf("clusterP=%.4f clusterR=%.4f clusterF1=%.4f rand=%.4f",
+		m.Precision, m.Recall, m.F1, m.RandIndex)
+}
+
+// EvaluateClusters compares output matches against ground truth at the
+// cluster level over the collection c (whose size fixes the Rand index
+// denominator). Both sides are transitively closed by construction of
+// Clusters(); singleton entities never count as clusters.
+func EvaluateClusters(c *entity.Collection, found, gt *entity.Matches) ClusterMetrics {
+	fc := found.Clusters()
+	gc := gt.Clusters()
+	var m ClusterMetrics
+	exact := 0
+	gset := make(map[string]struct{}, len(gc))
+	for _, cl := range gc {
+		gset[clusterKey(cl)] = struct{}{}
+	}
+	for _, cl := range fc {
+		if _, ok := gset[clusterKey(cl)]; ok {
+			exact++
+		}
+	}
+	if len(fc) > 0 {
+		m.Precision = float64(exact) / float64(len(fc))
+	}
+	if len(gc) > 0 {
+		m.Recall = float64(exact) / float64(len(gc))
+	}
+	m.F1 = HarmonicMean(m.Precision, m.Recall)
+	m.RandIndex = randIndex(c, found, gt)
+	return m
+}
+
+func clusterKey(cl []entity.ID) string {
+	sorted := append([]entity.ID(nil), cl...)
+	sort.Ints(sorted)
+	key := ""
+	for _, id := range sorted {
+		key += fmt.Sprintf("%d,", id)
+	}
+	return key
+}
+
+// randIndex computes (agreements) / (total pairs) where an agreement is a
+// description pair that output and truth both link (transitively) or both
+// separate. Closures are evaluated through union-find labels, so the cost
+// is O(n²) over the collection — fine for evaluation-sized data.
+func randIndex(c *entity.Collection, found, gt *entity.Matches) float64 {
+	n := c.Len()
+	if n < 2 {
+		return 1
+	}
+	labelOf := func(m *entity.Matches) []int {
+		uf := entity.NewUnionFind(n)
+		m.Each(func(p entity.Pair) bool {
+			uf.Union(p.A, p.B)
+			return true
+		})
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			labels[i] = uf.Find(i)
+		}
+		return labels
+	}
+	lf, lg := labelOf(found), labelOf(gt)
+	var agree, total int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !c.Comparable(i, j) {
+				continue
+			}
+			total++
+			if (lf[i] == lf[j]) == (lg[i] == lg[j]) {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(agree) / float64(total)
+}

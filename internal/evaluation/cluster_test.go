@@ -1,0 +1,94 @@
+package evaluation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func clusterUniverse(n int) *entity.Collection {
+	c := entity.NewCollection(entity.Dirty)
+	for i := 0; i < n; i++ {
+		c.MustAdd(entity.NewDescription(""))
+	}
+	return c
+}
+
+func TestEvaluateClustersExactMatch(t *testing.T) {
+	c := clusterUniverse(6)
+	gt := entity.FromClusters([][]entity.ID{{0, 1, 2}, {3, 4}})
+	found := entity.FromClusters([][]entity.ID{{0, 1, 2}, {3, 4}})
+	m := EvaluateClusters(c, found, gt)
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 || m.RandIndex != 1 {
+		t.Fatalf("perfect output metrics = %+v", m)
+	}
+}
+
+func TestEvaluateClustersPartial(t *testing.T) {
+	c := clusterUniverse(6)
+	gt := entity.FromClusters([][]entity.ID{{0, 1, 2}, {3, 4}})
+	// One cluster exact, one under-merged (split).
+	found := entity.FromClusters([][]entity.ID{{0, 1}, {3, 4}})
+	m := EvaluateClusters(c, found, gt)
+	if m.Precision != 0.5 {
+		t.Fatalf("precision = %v", m.Precision)
+	}
+	if m.Recall != 0.5 {
+		t.Fatalf("recall = %v", m.Recall)
+	}
+	// Rand: disagreement only on pairs (0,2) and (1,2) of 15 → 13/15.
+	if math.Abs(m.RandIndex-13.0/15.0) > 1e-12 {
+		t.Fatalf("rand = %v", m.RandIndex)
+	}
+	if !strings.Contains(m.String(), "clusterF1=0.5000") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestEvaluateClustersOverMerge(t *testing.T) {
+	c := clusterUniverse(5)
+	gt := entity.FromClusters([][]entity.ID{{0, 1}, {2, 3}})
+	found := entity.FromClusters([][]entity.ID{{0, 1, 2, 3}})
+	m := EvaluateClusters(c, found, gt)
+	if m.Precision != 0 || m.Recall != 0 {
+		t.Fatalf("over-merged clusters should score 0 exact: %+v", m)
+	}
+	if m.RandIndex >= 1 {
+		t.Fatalf("rand = %v", m.RandIndex)
+	}
+}
+
+func TestEvaluateClustersEmpty(t *testing.T) {
+	c := clusterUniverse(3)
+	m := EvaluateClusters(c, entity.NewMatches(), entity.NewMatches())
+	if m.Precision != 0 || m.Recall != 0 || m.F1 != 0 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+	if m.RandIndex != 1 {
+		t.Fatalf("empty-vs-empty rand = %v", m.RandIndex)
+	}
+	tiny := clusterUniverse(1)
+	if got := EvaluateClusters(tiny, entity.NewMatches(), entity.NewMatches()).RandIndex; got != 1 {
+		t.Fatalf("singleton rand = %v", got)
+	}
+}
+
+func TestRandIndexRespectsCleanClean(t *testing.T) {
+	c := entity.NewCollection(entity.CleanClean)
+	c.MustAdd(entity.NewDescription(""))
+	c.MustAdd(entity.NewDescription(""))
+	d := entity.NewDescription("")
+	d.Source = 1
+	c.MustAdd(d)
+	// Only cross-source pairs count: (0,2) and (1,2).
+	gt := entity.NewMatches()
+	gt.Add(0, 2)
+	found := entity.NewMatches()
+	found.Add(0, 2)
+	m := EvaluateClusters(c, found, gt)
+	if m.RandIndex != 1 {
+		t.Fatalf("rand = %v", m.RandIndex)
+	}
+}

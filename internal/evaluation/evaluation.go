@@ -1,0 +1,211 @@
+// Package evaluation implements the quality and efficiency metrics used
+// throughout the blocking and entity-resolution literature the paper
+// surveys: pair completeness (PC), pairs quality (PQ) and reduction ratio
+// (RR) for blocking collections; precision/recall/F1 for match output; and
+// progressive recall curves with normalized area-under-curve for
+// budget-bounded (progressive) resolution.
+package evaluation
+
+import (
+	"fmt"
+	"math"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+)
+
+// BlockingMetrics summarizes the quality of a blocking collection against
+// ground truth.
+type BlockingMetrics struct {
+	// PC (pair completeness) is the fraction of ground-truth matches whose
+	// pair is suggested by some block — the recall ceiling of any matcher
+	// running after this blocking.
+	PC float64
+	// PQ (pairs quality) is the fraction of distinct suggested comparisons
+	// that are matches — blocking precision.
+	PQ float64
+	// RR (reduction ratio) is 1 − distinct comparisons / exhaustive
+	// comparisons.
+	RR float64
+	// Distinct is the number of distinct suggested comparisons.
+	Distinct int64
+	// Total is the number of suggested comparisons counting redundancy.
+	Total int64
+	// Blocks is the number of blocks.
+	Blocks int
+}
+
+// String renders the metrics compactly for tables.
+func (m BlockingMetrics) String() string {
+	return fmt.Sprintf("PC=%.4f PQ=%.4f RR=%.4f comparisons=%d blocks=%d",
+		m.PC, m.PQ, m.RR, m.Distinct, m.Blocks)
+}
+
+// EvaluateBlocking measures bs against the ground truth over collection c.
+func EvaluateBlocking(c *entity.Collection, bs *blocking.Blocks, gt *entity.Matches) BlockingMetrics {
+	m := BlockingMetrics{Blocks: bs.Len(), Total: bs.TotalComparisons()}
+	found := 0
+	var distinct int64
+	bs.EachDistinctComparison(func(p entity.Pair) bool {
+		distinct++
+		if gt.Contains(p.A, p.B) {
+			found++
+		}
+		return true
+	})
+	m.Distinct = distinct
+	if gt.Len() > 0 {
+		m.PC = float64(found) / float64(gt.Len())
+	}
+	if distinct > 0 {
+		m.PQ = float64(found) / float64(distinct)
+	}
+	if total := c.TotalComparisons(); total > 0 {
+		m.RR = 1 - float64(distinct)/float64(total)
+		if m.RR < 0 {
+			m.RR = 0
+		}
+	}
+	return m
+}
+
+// PRF is precision / recall / F1 of a match output against ground truth.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// TruePositives, FalsePositives, FalseNegatives are the raw counts.
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// String renders the metrics compactly for tables.
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.4f R=%.4f F1=%.4f (tp=%d fp=%d fn=%d)",
+		p.Precision, p.Recall, p.F1, p.TruePositives, p.FalsePositives, p.FalseNegatives)
+}
+
+// ComparePairs scores found pairs against ground-truth pairs. Both sides
+// are compared as-is; callers that treat resolution output as an
+// equivalence relation should pass found.Closure() explicitly.
+func ComparePairs(found, gt *entity.Matches) PRF {
+	var out PRF
+	found.Each(func(p entity.Pair) bool {
+		if gt.Contains(p.A, p.B) {
+			out.TruePositives++
+		} else {
+			out.FalsePositives++
+		}
+		return true
+	})
+	out.FalseNegatives = gt.Len() - out.TruePositives
+	if tp := float64(out.TruePositives); tp > 0 {
+		out.Precision = tp / float64(out.TruePositives+out.FalsePositives)
+		out.Recall = tp / float64(gt.Len())
+		out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// CurvePoint is one sample of a progressive recall curve.
+type CurvePoint struct {
+	// Comparisons executed so far.
+	Comparisons int64
+	// Recall achieved so far (fraction of ground truth found).
+	Recall float64
+}
+
+// Curve is a progressive recall curve: recall as a function of executed
+// comparisons, non-decreasing in both coordinates.
+type Curve []CurvePoint
+
+// RecallAt returns the recall achieved within the given comparison budget
+// (the last sample at or below it).
+func (c Curve) RecallAt(budget int64) float64 {
+	r := 0.0
+	for _, p := range c {
+		if p.Comparisons > budget {
+			break
+		}
+		r = p.Recall
+	}
+	return r
+}
+
+// AUC returns the normalized area under the curve over [0, maxComparisons]
+// in [0, 1]: 1 means all matches found instantly, 0 means nothing found.
+// The curve is treated as a right-continuous step function.
+func (c Curve) AUC(maxComparisons int64) float64 {
+	if maxComparisons <= 0 || len(c) == 0 {
+		return 0
+	}
+	area := 0.0
+	prevX := int64(0)
+	prevY := 0.0
+	for _, p := range c {
+		if p.Comparisons > maxComparisons {
+			break
+		}
+		area += float64(p.Comparisons-prevX) * prevY
+		prevX, prevY = p.Comparisons, p.Recall
+	}
+	area += float64(maxComparisons-prevX) * prevY
+	return area / float64(maxComparisons)
+}
+
+// Final returns the last point of the curve (zero value when empty).
+func (c Curve) Final() CurvePoint {
+	if len(c) == 0 {
+		return CurvePoint{}
+	}
+	return c[len(c)-1]
+}
+
+// Validate reports an error if the curve is not monotone.
+func (c Curve) Validate() error {
+	for i := 1; i < len(c); i++ {
+		if c[i].Comparisons < c[i-1].Comparisons || c[i].Recall+1e-12 < c[i-1].Recall {
+			return fmt.Errorf("evaluation: curve not monotone at %d: %+v → %+v", i, c[i-1], c[i])
+		}
+	}
+	return nil
+}
+
+// HarmonicMean is the F-measure combination used for PC/PQ trade-off
+// summaries.
+func HarmonicMean(a, b float64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}
+
+// FitSlope returns the log-log slope of y against x (least squares),
+// ignoring non-positive samples — the complexity-order estimate used by
+// the scale-sweep experiment (slope ≈ 1 linear, ≈ 2 quadratic).
+func FitSlope(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := float64(len(lx))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

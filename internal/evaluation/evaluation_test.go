@@ -1,0 +1,164 @@
+package evaluation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+)
+
+func TestEvaluateBlocking(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	for i := 0; i < 6; i++ {
+		c.MustAdd(entity.NewDescription(""))
+	}
+	gt := entity.NewMatches()
+	gt.Add(0, 1)
+	gt.Add(2, 3)
+	bs := blocking.NewBlocks(entity.Dirty)
+	bs.Add(&blocking.Block{Key: "a", S0: []entity.ID{0, 1, 4}}) // finds (0,1), 3 comparisons
+	bs.Add(&blocking.Block{Key: "b", S0: []entity.ID{0, 1}})    // redundant
+	m := EvaluateBlocking(c, bs, gt)
+	if m.PC != 0.5 {
+		t.Fatalf("PC = %v", m.PC)
+	}
+	if m.Distinct != 3 || m.Total != 4 {
+		t.Fatalf("distinct=%d total=%d", m.Distinct, m.Total)
+	}
+	if math.Abs(m.PQ-1.0/3.0) > 1e-12 {
+		t.Fatalf("PQ = %v", m.PQ)
+	}
+	// RR = 1 - 3/15.
+	if math.Abs(m.RR-0.8) > 1e-12 {
+		t.Fatalf("RR = %v", m.RR)
+	}
+	if !strings.Contains(m.String(), "PC=0.5000") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestEvaluateBlockingEmptyGT(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	c.MustAdd(entity.NewDescription(""))
+	c.MustAdd(entity.NewDescription(""))
+	bs := blocking.NewBlocks(entity.Dirty)
+	m := EvaluateBlocking(c, bs, entity.NewMatches())
+	if m.PC != 0 || m.PQ != 0 || m.RR != 1 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+}
+
+func TestComparePairs(t *testing.T) {
+	gt := entity.NewMatches()
+	gt.Add(1, 2)
+	gt.Add(3, 4)
+	gt.Add(5, 6)
+	found := entity.NewMatches()
+	found.Add(1, 2) // tp
+	found.Add(3, 4) // tp
+	found.Add(7, 8) // fp
+	prf := ComparePairs(found, gt)
+	if prf.TruePositives != 2 || prf.FalsePositives != 1 || prf.FalseNegatives != 1 {
+		t.Fatalf("counts = %+v", prf)
+	}
+	if math.Abs(prf.Precision-2.0/3.0) > 1e-12 || math.Abs(prf.Recall-2.0/3.0) > 1e-12 {
+		t.Fatalf("P/R = %v/%v", prf.Precision, prf.Recall)
+	}
+	if math.Abs(prf.F1-2.0/3.0) > 1e-12 {
+		t.Fatalf("F1 = %v", prf.F1)
+	}
+	if !strings.Contains(prf.String(), "tp=2") {
+		t.Fatalf("String = %q", prf.String())
+	}
+	zero := ComparePairs(entity.NewMatches(), gt)
+	if zero.Precision != 0 || zero.Recall != 0 || zero.F1 != 0 {
+		t.Fatalf("zero = %+v", zero)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c := Curve{{10, 0.2}, {20, 0.5}, {40, 0.9}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RecallAt(25); got != 0.5 {
+		t.Fatalf("RecallAt(25) = %v", got)
+	}
+	if got := c.RecallAt(5); got != 0 {
+		t.Fatalf("RecallAt(5) = %v", got)
+	}
+	if got := c.RecallAt(100); got != 0.9 {
+		t.Fatalf("RecallAt(100) = %v", got)
+	}
+	// AUC over [0,40]: 10*0 + 10*0.2 + 20*0.5 = 12 → /40 = 0.3.
+	if got := c.AUC(40); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("AUC = %v", got)
+	}
+	if got := c.AUC(0); got != 0 {
+		t.Fatal("AUC with no budget should be 0")
+	}
+	if c.Final().Recall != 0.9 {
+		t.Fatalf("Final = %+v", c.Final())
+	}
+	if (Curve{}).Final() != (CurvePoint{}) {
+		t.Fatal("empty Final")
+	}
+	bad := Curve{{10, 0.5}, {5, 0.6}}
+	if bad.Validate() == nil {
+		t.Fatal("non-monotone curve validated")
+	}
+	bad2 := Curve{{10, 0.5}, {20, 0.4}}
+	if bad2.Validate() == nil {
+		t.Fatal("recall regression validated")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if HarmonicMean(0, 0) != 0 {
+		t.Fatal("hm(0,0)")
+	}
+	if got := HarmonicMean(1, 1); got != 1 {
+		t.Fatalf("hm(1,1) = %v", got)
+	}
+	if got := HarmonicMean(0.2, 0.8); math.Abs(got-0.32) > 1e-12 {
+		t.Fatalf("hm = %v", got)
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	// y = x² → slope 2 in log-log.
+	xs := []float64{10, 100, 1000}
+	ys := []float64{100, 10000, 1000000}
+	if got := FitSlope(xs, ys); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("slope = %v", got)
+	}
+	// y = 3x → slope 1.
+	ys2 := []float64{30, 300, 3000}
+	if got := FitSlope(xs, ys2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("slope = %v", got)
+	}
+	if FitSlope([]float64{1}, []float64{1}) != 0 {
+		t.Fatal("underdetermined slope should be 0")
+	}
+	if FitSlope([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Fatal("non-positive xs should be ignored")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("demo", "col1", "col2")
+	tb.AddRow("x", 0.5)
+	tb.AddRow(3, "y")
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "col1", "0.5000", "y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

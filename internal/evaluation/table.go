@@ -1,0 +1,69 @@
+package evaluation
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Table accumulates experiment rows and renders them aligned — the output
+// device of cmd/erbench and the benchmark harness.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	printRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := fmt.Fprint(tw, "\t"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprint(tw, c); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(tw)
+		return err
+	}
+	if len(t.Headers) > 0 {
+		if err := printRow(t.Headers); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := printRow(r); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

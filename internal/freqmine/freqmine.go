@@ -1,0 +1,225 @@
+// Package freqmine implements frequent token-set mining and its use as a
+// blocking device (§II of the paper, after the scalable frequent-set ideas
+// of [19]): blocking keys built from sets of tokens that co-occur in many
+// descriptions are far more selective than single tokens, trading a little
+// recall for much smaller blocks.
+//
+// The miner is a classic Apriori over token transactions, plus a
+// gap-constrained frequent-sequence variant for ordered token evidence.
+package freqmine
+
+import (
+	"sort"
+	"strings"
+)
+
+// Itemset is a frequent set of tokens with its support (number of
+// transactions containing all items). Items are sorted ascending.
+type Itemset struct {
+	Items   []string
+	Support int
+}
+
+// Key renders the itemset as a canonical blocking key.
+func (s Itemset) Key() string { return strings.Join(s.Items, "+") }
+
+// Apriori mines all frequent itemsets with 1 ≤ |items| ≤ maxLen and
+// support ≥ minSupport. Results are ordered by (length, key). minSupport
+// values below 1 default to 2 — support 1 itemsets block nothing.
+func Apriori(transactions [][]string, minSupport, maxLen int) []Itemset {
+	if minSupport < 1 {
+		minSupport = 2
+	}
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	// Deduplicate and sort each transaction once.
+	txs := make([][]string, len(transactions))
+	for i, t := range transactions {
+		seen := make(map[string]struct{}, len(t))
+		var d []string
+		for _, tok := range t {
+			if _, dup := seen[tok]; !dup {
+				seen[tok] = struct{}{}
+				d = append(d, tok)
+			}
+		}
+		sort.Strings(d)
+		txs[i] = d
+	}
+	// L1.
+	counts := make(map[string]int)
+	for _, t := range txs {
+		for _, tok := range t {
+			counts[tok]++
+		}
+	}
+	var level []Itemset
+	for tok, n := range counts {
+		if n >= minSupport {
+			level = append(level, Itemset{Items: []string{tok}, Support: n})
+		}
+	}
+	sortItemsets(level)
+	all := append([]Itemset(nil), level...)
+	for k := 2; k <= maxLen && len(level) > 1; k++ {
+		cands := generateCandidates(level)
+		if len(cands) == 0 {
+			break
+		}
+		next := countAndFilter(cands, txs, minSupport)
+		if len(next) == 0 {
+			break
+		}
+		sortItemsets(next)
+		all = append(all, next...)
+		level = next
+	}
+	return all
+}
+
+func sortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool {
+		if len(sets[i].Items) != len(sets[j].Items) {
+			return len(sets[i].Items) < len(sets[j].Items)
+		}
+		return sets[i].Key() < sets[j].Key()
+	})
+}
+
+// generateCandidates joins frequent (k−1)-itemsets sharing their first k−2
+// items and prunes candidates with an infrequent (k−1)-subset.
+func generateCandidates(level []Itemset) [][]string {
+	frequent := make(map[string]struct{}, len(level))
+	for _, s := range level {
+		frequent[s.Key()] = struct{}{}
+	}
+	var cands [][]string
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i].Items, level[j].Items
+			k := len(a)
+			if !equalPrefix(a, b, k-1) {
+				continue
+			}
+			cand := make([]string, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			if cand[k-1] > cand[k] {
+				cand[k-1], cand[k] = cand[k], cand[k-1]
+			}
+			if allSubsetsFrequent(cand, frequent) {
+				cands = append(cands, cand)
+			}
+		}
+	}
+	return cands
+}
+
+func equalPrefix(a, b []string, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(cand []string, frequent map[string]struct{}) bool {
+	sub := make([]string, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if _, ok := frequent[strings.Join(sub, "+")]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func countAndFilter(cands [][]string, txs [][]string, minSupport int) []Itemset {
+	counts := make(map[string]int, len(cands))
+	byKey := make(map[string][]string, len(cands))
+	for _, c := range cands {
+		byKey[strings.Join(c, "+")] = c
+	}
+	for _, t := range txs {
+		for key, c := range byKey {
+			if containsAllSorted(t, c) {
+				counts[key]++
+			}
+		}
+	}
+	var out []Itemset
+	for key, n := range counts {
+		if n >= minSupport {
+			out = append(out, Itemset{Items: byKey[key], Support: n})
+		}
+	}
+	return out
+}
+
+// containsAllSorted reports whether sorted transaction t contains all items
+// of sorted candidate c.
+func containsAllSorted(t, c []string) bool {
+	i := 0
+	for _, item := range c {
+		for i < len(t) && t[i] < item {
+			i++
+		}
+		if i >= len(t) || t[i] != item {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// SequencePair is a frequent ordered token pair (a before b with at most
+// Gap intervening tokens) — the gap-constrained sequence evidence of [19].
+type SequencePair struct {
+	First, Second string
+	Support       int
+}
+
+// FrequentSequences mines ordered token pairs occurring within maxGap in at
+// least minSupport transactions. Results are sorted by (First, Second).
+func FrequentSequences(transactions [][]string, minSupport, maxGap int) []SequencePair {
+	if minSupport < 1 {
+		minSupport = 2
+	}
+	if maxGap < 0 {
+		maxGap = 0
+	}
+	type pair struct{ a, b string }
+	counts := make(map[pair]int)
+	for _, t := range transactions {
+		seen := make(map[pair]struct{})
+		for i := 0; i < len(t); i++ {
+			for j := i + 1; j <= i+1+maxGap && j < len(t); j++ {
+				p := pair{t[i], t[j]}
+				if _, dup := seen[p]; !dup {
+					seen[p] = struct{}{}
+					counts[p]++
+				}
+			}
+		}
+	}
+	var out []SequencePair
+	for p, n := range counts {
+		if n >= minSupport {
+			out = append(out, SequencePair{First: p.a, Second: p.b, Support: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].First != out[j].First {
+			return out[i].First < out[j].First
+		}
+		return out[i].Second < out[j].Second
+	})
+	return out
+}

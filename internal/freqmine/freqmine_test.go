@@ -1,0 +1,214 @@
+package freqmine
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"entityres/internal/entity"
+)
+
+func TestAprioriSimple(t *testing.T) {
+	txs := [][]string{
+		{"a", "b", "c"},
+		{"a", "b"},
+		{"a", "c"},
+		{"b", "c"},
+	}
+	got := Apriori(txs, 2, 2)
+	bySupport := map[string]int{}
+	for _, s := range got {
+		bySupport[s.Key()] = s.Support
+	}
+	want := map[string]int{
+		"a": 3, "b": 3, "c": 3,
+		"a+b": 2, "a+c": 2, "b+c": 2,
+	}
+	if !reflect.DeepEqual(bySupport, want) {
+		t.Fatalf("Apriori = %v, want %v", bySupport, want)
+	}
+}
+
+func TestAprioriMaxLenAndSupport(t *testing.T) {
+	txs := [][]string{
+		{"a", "b", "c"},
+		{"a", "b", "c"},
+		{"a", "b", "c"},
+	}
+	got := Apriori(txs, 3, 3)
+	keys := make([]string, 0, len(got))
+	for _, s := range got {
+		keys = append(keys, s.Key())
+	}
+	joined := strings.Join(keys, " ")
+	if !strings.Contains(joined, "a+b+c") {
+		t.Fatalf("3-itemset missing: %v", keys)
+	}
+	// maxLen caps the size.
+	got2 := Apriori(txs, 3, 1)
+	for _, s := range got2 {
+		if len(s.Items) > 1 {
+			t.Fatalf("maxLen violated: %v", s)
+		}
+	}
+	// Too-high support finds nothing.
+	if got3 := Apriori(txs, 4, 2); len(got3) != 0 {
+		t.Fatalf("overhigh support = %v", got3)
+	}
+}
+
+func TestAprioriDedupesWithinTransaction(t *testing.T) {
+	txs := [][]string{{"a", "a", "a"}, {"a"}}
+	got := Apriori(txs, 2, 1)
+	if len(got) != 1 || got[0].Support != 2 {
+		t.Fatalf("dedup failed: %v", got)
+	}
+}
+
+// Property: every reported itemset's support matches a brute-force count,
+// and every frequent pair is reported.
+func TestAprioriMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vocab := []string{"a", "b", "c", "d", "e"}
+		txs := make([][]string, 12)
+		for i := range txs {
+			for _, v := range vocab {
+				if rng.Intn(2) == 0 {
+					txs[i] = append(txs[i], v)
+				}
+			}
+		}
+		const minSup = 3
+		got := Apriori(txs, minSup, 2)
+		count := func(items []string) int {
+			n := 0
+			for _, tx := range txs {
+				have := map[string]bool{}
+				for _, tok := range tx {
+					have[tok] = true
+				}
+				ok := true
+				for _, it := range items {
+					if !have[it] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					n++
+				}
+			}
+			return n
+		}
+		reported := map[string]int{}
+		for _, s := range got {
+			if s.Support != count(s.Items) {
+				return false
+			}
+			reported[s.Key()] = s.Support
+		}
+		for i := 0; i < len(vocab); i++ {
+			for j := i + 1; j < len(vocab); j++ {
+				items := []string{vocab[i], vocab[j]}
+				if c := count(items); c >= minSup {
+					if _, ok := reported[strings.Join(items, "+")]; !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrequentSequences(t *testing.T) {
+	txs := [][]string{
+		{"new", "york", "city"},
+		{"new", "york", "times"},
+		{"york", "new"},
+	}
+	got := FrequentSequences(txs, 2, 0)
+	if len(got) != 1 || got[0].First != "new" || got[0].Second != "york" || got[0].Support != 2 {
+		t.Fatalf("FrequentSequences = %v", got)
+	}
+	// Gap 1 admits "new ... city/times" pairs only at support 1, so result
+	// set is unchanged at support 2.
+	got = FrequentSequences(txs, 2, 1)
+	if len(got) != 1 {
+		t.Fatalf("gap=1 result = %v", got)
+	}
+}
+
+func TestBlockingOnItemsets(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	c.MustAdd(entity.NewDescription("").Add("n", "alice smith paris"))
+	c.MustAdd(entity.NewDescription("").Add("n", "alice smith london"))
+	c.MustAdd(entity.NewDescription("").Add("n", "alice jones rome"))
+	bs, err := (&Blocking{K: 2, MinSupport: 2}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only {alice,smith} is a frequent 2-itemset → one block of {0,1}.
+	if bs.Len() != 1 {
+		t.Fatalf("blocks = %d", bs.Len())
+	}
+	b := bs.Get(0)
+	if b.Key != "alice+smith" || len(b.S0) != 2 {
+		t.Fatalf("block = %q %v", b.Key, b.S0)
+	}
+}
+
+func TestBlockingName(t *testing.T) {
+	if (&Blocking{}).Name() != "freqitemset" {
+		t.Fatal("name")
+	}
+}
+
+func TestBlockingDefaults(t *testing.T) {
+	// K and MinSupport default to 2; an empty collection yields no blocks.
+	c := entity.NewCollection(entity.Dirty)
+	bs, err := (&Blocking{}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Len() != 0 {
+		t.Fatalf("empty collection blocks = %d", bs.Len())
+	}
+}
+
+func TestBlockingCleanCleanSources(t *testing.T) {
+	c := entity.NewCollection(entity.CleanClean)
+	c.MustAdd(entity.NewDescription("").Add("n", "alpha beta"))
+	d := entity.NewDescription("").Add("n", "alpha beta")
+	d.Source = 1
+	c.MustAdd(d)
+	bs, err := (&Blocking{K: 2, MinSupport: 2}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Len() != 1 {
+		t.Fatalf("blocks = %d", bs.Len())
+	}
+	b := bs.Get(0)
+	if len(b.S0) != 1 || len(b.S1) != 1 {
+		t.Fatalf("sources not preserved: %+v", b)
+	}
+}
+
+func TestFrequentSequencesEdgeCases(t *testing.T) {
+	if got := FrequentSequences(nil, 2, 1); len(got) != 0 {
+		t.Fatalf("nil transactions = %v", got)
+	}
+	// minSupport < 1 defaults to 2; maxGap < 0 defaults to 0.
+	txs := [][]string{{"a", "b"}, {"a", "b"}}
+	got := FrequentSequences(txs, 0, -5)
+	if len(got) != 1 || got[0].Support != 2 {
+		t.Fatalf("defaulted mining = %v", got)
+	}
+}

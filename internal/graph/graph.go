@@ -1,0 +1,119 @@
+// Package graph provides the weighted undirected blocking-graph substrate
+// of meta-blocking (§II of the paper): nodes are entity descriptions, edges
+// connect descriptions that co-occur in at least one block, and edge
+// weights estimate the likelihood that the endpoints match. Parallel edges
+// are impossible by construction, which is exactly how meta-blocking
+// discards redundant comparisons.
+package graph
+
+import (
+	"sort"
+
+	"entityres/internal/entity"
+)
+
+// Edge is one undirected weighted edge in canonical (A < B) form.
+type Edge struct {
+	A, B   entity.ID
+	Weight float64
+}
+
+// Graph is a weighted undirected graph over description IDs.
+type Graph struct {
+	adj      map[entity.ID]map[entity.ID]float64
+	numEdges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[entity.ID]map[entity.ID]float64)}
+}
+
+// SetWeight inserts or updates the undirected edge {a, b}. Self-loops are
+// ignored: a description is never a matching candidate of itself.
+func (g *Graph) SetWeight(a, b entity.ID, w float64) {
+	if a == b {
+		return
+	}
+	if _, exists := g.adj[a][b]; !exists {
+		g.numEdges++
+	}
+	g.setDirected(a, b, w)
+	g.setDirected(b, a, w)
+}
+
+func (g *Graph) setDirected(from, to entity.ID, w float64) {
+	m, ok := g.adj[from]
+	if !ok {
+		m = make(map[entity.ID]float64)
+		g.adj[from] = m
+	}
+	m[to] = w
+}
+
+// Weight returns the weight of edge {a, b} and whether it exists.
+func (g *Graph) Weight(a, b entity.ID) (float64, bool) {
+	w, ok := g.adj[a][b]
+	return w, ok
+}
+
+// Degree returns the number of edges incident to id.
+func (g *Graph) Degree(id entity.ID) int { return len(g.adj[id]) }
+
+// NumNodes returns the number of nodes with at least one edge.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Neighbors returns the neighbors of id sorted ascending.
+func (g *Graph) Neighbors(id entity.ID) []entity.ID {
+	m := g.adj[id]
+	out := make([]entity.ID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// EachEdge calls fn once per undirected edge in unspecified order, stopping
+// early if fn returns false.
+func (g *Graph) EachEdge(fn func(e Edge) bool) {
+	for a, m := range g.adj {
+		for b, w := range m {
+			if a < b {
+				if !fn(Edge{A: a, B: b, Weight: w}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Edges returns all undirected edges sorted by (A, B) — the deterministic
+// form used by tests and experiment output.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.numEdges)
+	g.EachEdge(func(e Edge) bool {
+		out = append(out, e)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	g.EachEdge(func(e Edge) bool {
+		s += e.Weight
+		return true
+	})
+	return s
+}

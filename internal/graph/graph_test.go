@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func TestSetWeightAndLookup(t *testing.T) {
+	g := New()
+	g.SetWeight(1, 2, 0.5)
+	if w, ok := g.Weight(2, 1); !ok || w != 0.5 {
+		t.Fatalf("Weight(2,1) = %v, %v", w, ok)
+	}
+	if _, ok := g.Weight(1, 3); ok {
+		t.Fatal("phantom edge")
+	}
+	g.SetWeight(1, 2, 0.9) // update, not new edge
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if w, _ := g.Weight(1, 2); w != 0.9 {
+		t.Fatal("update lost")
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New()
+	g.SetWeight(3, 3, 1)
+	if g.NumEdges() != 0 || g.NumNodes() != 0 {
+		t.Fatal("self loop inserted")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New()
+	g.SetWeight(1, 2, 1)
+	g.SetWeight(1, 3, 1)
+	g.SetWeight(2, 3, 1)
+	if g.Degree(1) != 2 || g.Degree(3) != 2 {
+		t.Fatalf("degrees = %d, %d", g.Degree(1), g.Degree(3))
+	}
+	if got := g.Neighbors(1); !reflect.DeepEqual(got, []entity.ID{2, 3}) {
+		t.Fatalf("Neighbors = %v", got)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := New()
+	g.SetWeight(5, 2, 0.1)
+	g.SetWeight(1, 9, 0.2)
+	g.SetWeight(1, 2, 0.3)
+	got := g.Edges()
+	want := []Edge{{1, 2, 0.3}, {1, 9, 0.2}, {2, 5, 0.1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v", got)
+	}
+}
+
+func TestEachEdgeEarlyStopAndTotalWeight(t *testing.T) {
+	g := New()
+	g.SetWeight(1, 2, 0.25)
+	g.SetWeight(3, 4, 0.75)
+	n := 0
+	g.EachEdge(func(Edge) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if math.Abs(g.TotalWeight()-1.0) > 1e-12 {
+		t.Fatalf("TotalWeight = %v", g.TotalWeight())
+	}
+}

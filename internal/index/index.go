@@ -1,0 +1,142 @@
+// Package index provides the inverted-index substrate that the paper's
+// blocking family is built on: token → posting list over entity
+// descriptions, with document-frequency statistics and TF-IDF weighting.
+//
+// Token blocking *is* this inverted index read block-wise; similarity joins
+// use it with prefix filtering; canopy clustering and TF-IDF matchers use
+// its weighted vectors. Centralizing it keeps corpus statistics consistent
+// across all consumers.
+package index
+
+import (
+	"math"
+	"sort"
+
+	"entityres/internal/entity"
+	"entityres/internal/similarity"
+	"entityres/internal/token"
+)
+
+// Posting is one document occurrence of a token.
+type Posting struct {
+	Doc entity.ID
+	// TF is the number of occurrences of the token in the document.
+	TF int
+}
+
+// Inverted is an inverted index over the token profiles of a collection.
+type Inverted struct {
+	postings map[string][]Posting
+	docLen   map[entity.ID]int
+	numDocs  int
+}
+
+// Build tokenizes every description of c with p and indexes it. Documents
+// with no tokens still count toward the corpus size (they exist; they are
+// simply unreachable through any posting list).
+func Build(c *entity.Collection, p *token.Profiler) *Inverted {
+	ix := &Inverted{
+		postings: make(map[string][]Posting),
+		docLen:   make(map[entity.ID]int, c.Len()),
+	}
+	for _, d := range c.All() {
+		ix.AddDocument(d.ID, p.Tokens(d))
+	}
+	return ix
+}
+
+// BuildFromTokens indexes pre-tokenized documents: docs[i] is the token
+// list of the description with ID ids[i].
+func BuildFromTokens(ids []entity.ID, docs [][]string) *Inverted {
+	ix := &Inverted{
+		postings: make(map[string][]Posting),
+		docLen:   make(map[entity.ID]int, len(ids)),
+	}
+	for i, id := range ids {
+		ix.AddDocument(id, docs[i])
+	}
+	return ix
+}
+
+// AddDocument indexes one document given its token list (with duplicates
+// preserved for TF). Adding the same document twice corrupts statistics;
+// the index is append-only by construction.
+func (ix *Inverted) AddDocument(id entity.ID, tokens []string) {
+	ix.numDocs++
+	ix.docLen[id] = len(tokens)
+	if len(tokens) == 0 {
+		return
+	}
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	for t, n := range tf {
+		ix.postings[t] = append(ix.postings[t], Posting{Doc: id, TF: n})
+	}
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Inverted) NumDocs() int { return ix.numDocs }
+
+// NumTokens returns the number of distinct tokens.
+func (ix *Inverted) NumTokens() int { return len(ix.postings) }
+
+// DF returns the document frequency of t.
+func (ix *Inverted) DF(t string) int { return len(ix.postings[t]) }
+
+// IDF returns the smoothed inverse document frequency
+// ln(1 + N/df); 0 for unseen tokens.
+func (ix *Inverted) IDF(t string) float64 {
+	df := ix.DF(t)
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(ix.numDocs)/float64(df))
+}
+
+// Postings returns the posting list of t (owned by the index; do not
+// mutate). The list is in document insertion order.
+func (ix *Inverted) Postings(t string) []Posting { return ix.postings[t] }
+
+// Tokens returns all indexed tokens in ascending order.
+func (ix *Inverted) Tokens() []string {
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DocLen returns the token count of document id (0 if unknown).
+func (ix *Inverted) DocLen(id entity.ID) int { return ix.docLen[id] }
+
+// TFIDFVector returns the TF-IDF vector of the given token list under this
+// index's corpus statistics. The vector is L2-unnormalized; use
+// similarity.Cosine which normalizes internally.
+func (ix *Inverted) TFIDFVector(tokens []string) similarity.Vector {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	v := make(similarity.Vector, len(tf))
+	for t, n := range tf {
+		if idf := ix.IDF(t); idf > 0 {
+			v[t] = float64(n) * idf
+		}
+	}
+	return v
+}
+
+// EachToken iterates tokens and posting lists in unspecified order;
+// iteration stops if fn returns false. This is the streaming access path
+// used by block builders, which must not materialize Tokens() for large
+// corpora.
+func (ix *Inverted) EachToken(fn func(t string, ps []Posting) bool) {
+	for t, ps := range ix.postings {
+		if !fn(t, ps) {
+			return
+		}
+	}
+}

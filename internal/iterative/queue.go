@@ -1,0 +1,91 @@
+// Package iterative implements the iterative entity-resolution approaches
+// of §III of the paper: the general framework of an initialization phase
+// that seeds a queue of description pairs and an iterative phase that pops
+// pairs, decides them and updates the queue [16]; the merging-based
+// R-Swoosh algorithm [2], where matched descriptions merge and the merged
+// profile re-enters resolution; and relationship-based collective
+// resolution [3], [24], where a match between related descriptions raises
+// the matching likelihood of the pairs that reference them.
+package iterative
+
+import (
+	"container/heap"
+
+	"entityres/internal/entity"
+)
+
+// PairQueue is a max-priority queue of description pairs supporting
+// priority updates (the "update the queue" step of the iterative
+// framework). Updates are lazy: stale heap entries are skipped on Pop.
+type PairQueue struct {
+	h       pairHeap
+	current map[entity.Pair]float64
+	seq     int
+}
+
+// NewPairQueue returns an empty queue.
+func NewPairQueue() *PairQueue {
+	return &PairQueue{current: make(map[entity.Pair]float64)}
+}
+
+type pairItem struct {
+	pair     entity.Pair
+	priority float64
+	seq      int // FIFO tie-break for equal priorities, keeps runs deterministic
+}
+
+type pairHeap []pairItem
+
+func (h pairHeap) Len() int { return len(h) }
+func (h pairHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pairHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x any)   { *h = append(*h, x.(pairItem)) }
+func (h *pairHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Push inserts the pair or raises its priority; pushes that lower an
+// existing priority are ignored (scores in iterative resolution only
+// grow).
+func (q *PairQueue) Push(p entity.Pair, priority float64) {
+	p = p.Canonical()
+	if cur, ok := q.current[p]; ok && cur >= priority {
+		return
+	}
+	q.current[p] = priority
+	heap.Push(&q.h, pairItem{pair: p, priority: priority, seq: q.seq})
+	q.seq++
+}
+
+// Pop removes and returns the highest-priority pair. ok is false when the
+// queue is empty.
+func (q *PairQueue) Pop() (p entity.Pair, priority float64, ok bool) {
+	for q.h.Len() > 0 {
+		it := heap.Pop(&q.h).(pairItem)
+		cur, live := q.current[it.pair]
+		if !live || cur != it.priority {
+			continue // stale entry superseded by an update
+		}
+		delete(q.current, it.pair)
+		return it.pair, it.priority, true
+	}
+	return entity.Pair{}, 0, false
+}
+
+// Len returns the number of live pairs in the queue.
+func (q *PairQueue) Len() int { return len(q.current) }
+
+// Contains reports whether the pair is queued.
+func (q *PairQueue) Contains(p entity.Pair) bool {
+	_, ok := q.current[p.Canonical()]
+	return ok
+}

@@ -1,0 +1,74 @@
+package iterative
+
+import (
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func TestPairQueueOrder(t *testing.T) {
+	q := NewPairQueue()
+	q.Push(entity.NewPair(1, 2), 0.5)
+	q.Push(entity.NewPair(3, 4), 0.9)
+	q.Push(entity.NewPair(5, 6), 0.1)
+	p, pr, ok := q.Pop()
+	if !ok || p != entity.NewPair(3, 4) || pr != 0.9 {
+		t.Fatalf("first pop = %v %v %v", p, pr, ok)
+	}
+	p, _, _ = q.Pop()
+	if p != entity.NewPair(1, 2) {
+		t.Fatalf("second pop = %v", p)
+	}
+	p, _, _ = q.Pop()
+	if p != entity.NewPair(5, 6) {
+		t.Fatalf("third pop = %v", p)
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("empty queue popped")
+	}
+}
+
+func TestPairQueueUpdateRaises(t *testing.T) {
+	q := NewPairQueue()
+	q.Push(entity.NewPair(1, 2), 0.2)
+	q.Push(entity.NewPair(3, 4), 0.5)
+	q.Push(entity.NewPair(1, 2), 0.8) // raise
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	p, pr, _ := q.Pop()
+	if p != entity.NewPair(1, 2) || pr != 0.8 {
+		t.Fatalf("raised pair not first: %v %v", p, pr)
+	}
+	// Lowering is ignored.
+	q.Push(entity.NewPair(3, 4), 0.1)
+	_, pr, _ = q.Pop()
+	if pr != 0.5 {
+		t.Fatalf("lowered priority applied: %v", pr)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestPairQueueCanonicalizes(t *testing.T) {
+	q := NewPairQueue()
+	q.Push(entity.Pair{A: 9, B: 2}, 0.3)
+	if !q.Contains(entity.NewPair(2, 9)) {
+		t.Fatal("Contains should canonicalize")
+	}
+	q.Push(entity.Pair{A: 2, B: 9}, 0.3) // same pair
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestPairQueueFIFOTieBreak(t *testing.T) {
+	q := NewPairQueue()
+	q.Push(entity.NewPair(1, 2), 0.5)
+	q.Push(entity.NewPair(3, 4), 0.5)
+	p, _, _ := q.Pop()
+	if p != entity.NewPair(1, 2) {
+		t.Fatalf("tie-break violated FIFO: %v", p)
+	}
+}

@@ -1,0 +1,102 @@
+package iterative
+
+import (
+	"testing"
+
+	"entityres/internal/datagen"
+	"entityres/internal/entity"
+	"entityres/internal/evaluation"
+	"entityres/internal/matching"
+)
+
+func swooshCollection(t *testing.T) *entity.Collection {
+	t.Helper()
+	c := entity.NewCollection(entity.Dirty)
+	// Three descriptions of one entity forming a chain: a~b and b~c are
+	// above threshold, a~c alone is not — only merging finds all three.
+	c.MustAdd(entity.NewDescription("").Add("name", "alice smith").Add("city", "paris"))
+	c.MustAdd(entity.NewDescription("").Add("name", "alice smith").Add("job", "painter"))
+	c.MustAdd(entity.NewDescription("").Add("job", "painter").Add("city", "paris"))
+	c.MustAdd(entity.NewDescription("").Add("name", "bob jones").Add("city", "rome"))
+	return c
+}
+
+func TestRSwooshTransitiveViaMerge(t *testing.T) {
+	c := swooshCollection(t)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.4}
+	// Precondition: the direct pair (0,2) is below threshold.
+	if ok, _ := m.Match(c.Get(0), c.Get(2)); ok {
+		t.Fatal("precondition: (0,2) should not match directly")
+	}
+	res := RSwoosh(c, m)
+	if !res.Matches.Contains(0, 2) {
+		t.Fatal("merge-based iteration must unify the chain")
+	}
+	if len(res.Resolved) != 2 {
+		t.Fatalf("resolved profiles = %d, want 2", len(res.Resolved))
+	}
+	// The merged profile accumulates all attributes of the cluster.
+	prof := res.Resolved[0]
+	for _, want := range []string{"name", "city", "job"} {
+		if _, ok := prof.Value(want); !ok {
+			t.Fatalf("merged profile missing %q: %v", want, prof)
+		}
+	}
+}
+
+func TestRSwooshNoDuplicates(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	c.MustAdd(entity.NewDescription("").Add("n", "aaa"))
+	c.MustAdd(entity.NewDescription("").Add("n", "bbb"))
+	c.MustAdd(entity.NewDescription("").Add("n", "ccc"))
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.9}
+	res := RSwoosh(c, m)
+	if res.Matches.Len() != 0 || len(res.Resolved) != 3 {
+		t.Fatalf("clean input resolved wrongly: %d matches, %d profiles",
+			res.Matches.Len(), len(res.Resolved))
+	}
+	// Worst case comparisons: n(n-1)/2.
+	if res.Comparisons != 3 {
+		t.Fatalf("comparisons = %d", res.Comparisons)
+	}
+}
+
+func TestRSwooshSavesComparisonsOnDuplicates(t *testing.T) {
+	c, gt, err := datagen.GenerateDirty(datagen.Config{
+		Seed: 21, Entities: 60, DupRatio: 1, MaxDuplicates: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	naive := NaivePairwise(c, m)
+	sw := RSwoosh(c, m)
+	if sw.Comparisons >= naive.Comparisons {
+		t.Fatalf("R-Swoosh did not save comparisons: %d vs %d",
+			sw.Comparisons, naive.Comparisons)
+	}
+	// Merge-based recall dominates pairwise recall (closure included).
+	prfNaive := evaluation.ComparePairs(naive.Matches.Closure(), gt)
+	prfSw := evaluation.ComparePairs(sw.Matches, gt)
+	if prfSw.Recall+1e-9 < prfNaive.Recall {
+		t.Fatalf("R-Swoosh recall %v below naive %v", prfSw.Recall, prfNaive.Recall)
+	}
+}
+
+func TestNaivePairwiseRespectsKind(t *testing.T) {
+	c := entity.NewCollection(entity.CleanClean)
+	c.MustAdd(entity.NewDescription("").Add("n", "x y"))
+	c.MustAdd(entity.NewDescription("").Add("n", "x y"))
+	d := entity.NewDescription("").Add("n", "x y")
+	d.Source = 1
+	c.MustAdd(d)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.9}
+	res := NaivePairwise(c, m)
+	// Only the two cross-source pairs are comparable.
+	if res.Comparisons != 2 {
+		t.Fatalf("comparisons = %d", res.Comparisons)
+	}
+	if res.Matches.Contains(0, 1) {
+		t.Fatal("same-source match emitted")
+	}
+}

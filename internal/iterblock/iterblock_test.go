@@ -1,0 +1,131 @@
+package iterblock
+
+import (
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/datagen"
+	"entityres/internal/entity"
+	"entityres/internal/evaluation"
+	"entityres/internal/matching"
+)
+
+// chained builds a collection where matches in one block unlock matches in
+// another only through merged profiles.
+func chained(t *testing.T) (*entity.Collection, *blocking.Blocks) {
+	t.Helper()
+	c := entity.NewCollection(entity.Dirty)
+	c.MustAdd(entity.NewDescription("").Add("name", "alice smith").Add("city", "paris"))  // 0
+	c.MustAdd(entity.NewDescription("").Add("name", "alice smith").Add("job", "painter")) // 1
+	c.MustAdd(entity.NewDescription("").Add("job", "painter").Add("city", "paris"))       // 2
+	c.MustAdd(entity.NewDescription("").Add("name", "bob jones"))                         // 3
+	bs := blocking.NewBlocks(entity.Dirty)
+	bs.Add(&blocking.Block{Key: "k1", S0: []entity.ID{0, 1}})    // direct match
+	bs.Add(&blocking.Block{Key: "k2", S0: []entity.ID{1, 2, 3}}) // 1-2 only after merge? (1,2) share painter
+	bs.Add(&blocking.Block{Key: "k3", S0: []entity.ID{0, 2}})    // below threshold directly
+	return c, bs
+}
+
+func TestIterativeBlockingFindsMoreThanOnePass(t *testing.T) {
+	c, bs := chained(t)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.4}
+	one := OnePass(c, bs, m)
+	iter := Resolve(c, bs, m)
+	if iter.Matches.Len() <= one.Matches.Len() {
+		t.Fatalf("iterative should find more: %d vs %d", iter.Matches.Len(), one.Matches.Len())
+	}
+	if !iter.Matches.Contains(0, 2) {
+		t.Fatal("merge-propagated match (0,2) missing")
+	}
+	if iter.Rounds <= bs.Len() {
+		t.Fatalf("no block was re-processed: rounds = %d", iter.Rounds)
+	}
+}
+
+func TestIterativeBlockingSavesRedundantComparisons(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	c.MustAdd(entity.NewDescription("").Add("n", "same tokens here"))
+	c.MustAdd(entity.NewDescription("").Add("n", "same tokens here"))
+	bs := blocking.NewBlocks(entity.Dirty)
+	// The pair co-occurs in three blocks; it must be compared only once.
+	for _, k := range []string{"a", "b", "c"} {
+		bs.Add(&blocking.Block{Key: k, S0: []entity.ID{0, 1}})
+	}
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	res := Resolve(c, bs, m)
+	if res.Comparisons != 1 {
+		t.Fatalf("comparisons = %d, want 1", res.Comparisons)
+	}
+	if res.Matches.Len() != 1 {
+		t.Fatalf("matches = %d", res.Matches.Len())
+	}
+}
+
+func TestIterativeBlockingSkipsUnchangedNonMatches(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	c.MustAdd(entity.NewDescription("").Add("n", "aaa bbb"))
+	c.MustAdd(entity.NewDescription("").Add("n", "ccc ddd"))
+	bs := blocking.NewBlocks(entity.Dirty)
+	bs.Add(&blocking.Block{Key: "a", S0: []entity.ID{0, 1}})
+	bs.Add(&blocking.Block{Key: "b", S0: []entity.ID{0, 1}})
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	res := Resolve(c, bs, m)
+	if res.Comparisons != 1 {
+		t.Fatalf("unchanged non-match recompared: %d", res.Comparisons)
+	}
+}
+
+func TestIterativeBlockingProfiles(t *testing.T) {
+	c, bs := chained(t)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.4}
+	res := Resolve(c, bs, m)
+	if len(res.Profiles) != 2 { // {0,1,2} merged + {3}
+		t.Fatalf("profiles = %d", len(res.Profiles))
+	}
+	root, ok := res.Profiles[0]
+	if !ok {
+		// Root may be any cluster member depending on union order; find it.
+		for id, p := range res.Profiles {
+			if id != 3 {
+				root = p
+				ok = true
+			}
+		}
+	}
+	if !ok {
+		t.Fatal("merged cluster profile missing")
+	}
+	for _, attr := range []string{"name", "city", "job"} {
+		if _, has := root.Value(attr); !has {
+			t.Fatalf("merged profile missing %q: %v", attr, root)
+		}
+	}
+}
+
+func TestIterativeBlockingOnGenerated(t *testing.T) {
+	c, gt, err := datagen.GenerateDirty(datagen.Config{Seed: 31, Entities: 80, DupRatio: 0.8, MaxDuplicates: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := (&blocking.TokenBlocking{}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merging-based resolution wants a merge-compatible similarity: the
+	// attribute-union of a cluster must not dilute its similarity to the
+	// remaining duplicates, so containment, not Jaccard.
+	m := &matching.Matcher{Sim: &matching.TokenContainment{}, Threshold: 0.7}
+	one := OnePass(c, bs, m)
+	iter := Resolve(c, bs, m)
+	prfOne := evaluation.ComparePairs(one.Matches.Closure(), gt)
+	prfIter := evaluation.ComparePairs(iter.Matches, gt)
+	if prfIter.Recall+1e-9 < prfOne.Recall {
+		t.Fatalf("iterative recall %v below one-pass %v", prfIter.Recall, prfOne.Recall)
+	}
+	if prfIter.Precision+1e-9 < prfOne.Precision {
+		t.Fatalf("iterative precision %v below one-pass %v", prfIter.Precision, prfOne.Precision)
+	}
+	if iter.Comparisons > one.Comparisons {
+		t.Fatalf("iterative executed more comparisons: %d vs %d", iter.Comparisons, one.Comparisons)
+	}
+}

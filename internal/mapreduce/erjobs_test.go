@@ -1,0 +1,155 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/metablocking"
+)
+
+// randomCollection builds a dirty collection with overlapping token values.
+func randomCollection(seed int64, n int) *entity.Collection {
+	rng := rand.New(rand.NewSource(seed))
+	c := entity.NewCollection(entity.Dirty)
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}
+	for i := 0; i < n; i++ {
+		d := entity.NewDescription("")
+		val := ""
+		for _, v := range vocab {
+			if rng.Intn(3) == 0 {
+				val += v + " "
+			}
+		}
+		d.Add("v", val)
+		c.MustAdd(d)
+	}
+	return c
+}
+
+func TestParallelTokenBlockingEqualsSequential(t *testing.T) {
+	c := randomCollection(7, 40)
+	seq, err := (&blocking.TokenBlocking{}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		par, err := ParallelTokenBlocking(c, nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Len() != seq.Len() {
+			t.Fatalf("workers=%d blocks %d vs %d", workers, par.Len(), seq.Len())
+		}
+		for i := 0; i < par.Len(); i++ {
+			a, b := par.Get(i), seq.Get(i)
+			if a.Key != b.Key || len(a.S0) != len(b.S0) {
+				t.Fatalf("block %d differs: %q/%d vs %q/%d", i, a.Key, len(a.S0), b.Key, len(b.S0))
+			}
+		}
+		if par.DistinctPairs().Len() != seq.DistinctPairs().Len() {
+			t.Fatal("distinct pairs differ")
+		}
+	}
+}
+
+func TestParallelBuildGraphEqualsSequentialAllSchemes(t *testing.T) {
+	c := randomCollection(11, 30)
+	bs, err := (&blocking.TokenBlocking{}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range metablocking.WeightSchemes() {
+		seq := metablocking.BuildGraph(bs, scheme)
+		par, err := ParallelBuildGraph(bs, scheme, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if par.NumEdges() != seq.NumEdges() {
+			t.Fatalf("%v: edges %d vs %d", scheme, par.NumEdges(), seq.NumEdges())
+		}
+		seqEdges := seq.Edges()
+		for _, e := range seqEdges {
+			w, ok := par.Weight(e.A, e.B)
+			if !ok || math.Abs(w-e.Weight) > 1e-9 {
+				t.Fatalf("%v: edge (%d,%d) weight %v vs %v", scheme, e.A, e.B, w, e.Weight)
+			}
+		}
+	}
+}
+
+func TestParallelMetaBlockingEqualsSequential(t *testing.T) {
+	c := randomCollection(13, 30)
+	bs, err := (&blocking.TokenBlocking{}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prune := range metablocking.PruneSchemes() {
+		m := &metablocking.MetaBlocker{Weight: metablocking.JS, Prune: prune}
+		seq := m.Restructure(c, bs)
+		par, err := ParallelMetaBlocking(c, bs, m, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", prune, err)
+		}
+		seqPairs, parPairs := seq.DistinctPairs(), par.DistinctPairs()
+		if seqPairs.Len() != parPairs.Len() {
+			t.Fatalf("%v: pairs %d vs %d", prune, parPairs.Len(), seqPairs.Len())
+		}
+		seqPairs.Each(func(p entity.Pair) bool {
+			if !parPairs.Contains(p.A, p.B) {
+				t.Fatalf("%v: pair %v missing in parallel result", prune, p)
+			}
+			return true
+		})
+	}
+}
+
+func TestParsePairKey(t *testing.T) {
+	p, err := parsePairKey("12:34")
+	if err != nil || p.A != 12 || p.B != 34 {
+		t.Fatalf("parsePairKey = %v, %v", p, err)
+	}
+	for _, bad := range []string{"12", "a:b", "1:b", ":"} {
+		if _, err := parsePairKey(bad); err == nil {
+			t.Fatalf("bad key %q accepted", bad)
+		}
+	}
+	if got := pairKey(entity.Pair{A: 3, B: 9}); got != "3:9" {
+		t.Fatalf("pairKey = %q", got)
+	}
+}
+
+func TestParallelTokenBlockingCleanClean(t *testing.T) {
+	c := entity.NewCollection(entity.CleanClean)
+	c.MustAdd(entity.NewDescription("").Add("n", "shared token"))
+	d := entity.NewDescription("").Add("m", "shared other")
+	d.Source = 1
+	c.MustAdd(d)
+	bs, err := ParallelTokenBlocking(c, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Len() != 1 {
+		t.Fatalf("blocks = %d", bs.Len())
+	}
+	b := bs.Get(0)
+	if b.Key != "shared" || len(b.S0) != 1 || len(b.S1) != 1 {
+		t.Fatalf("block = %+v", b)
+	}
+}
+
+func BenchmarkParallelTokenBlocking(b *testing.B) {
+	c := randomCollection(3, 2000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ParallelTokenBlocking(c, nil, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,142 @@
+// Package mapreduce provides an in-memory MapReduce engine over goroutines
+// plus the parallel entity-resolution jobs the paper surveys in §II:
+// Dedoop-style parallel blocking [18] and parallel meta-blocking [10],
+// [11]. The engine reproduces the programming model — a map function
+// emitting intermediate (key, value) pairs per input split and a reduce
+// function processing the merged value list of each key — with hash
+// partitioning of the intermediate key space across reduce workers, so the
+// logical algorithms and their scaling behaviour carry over from cluster
+// implementations to a multicore machine.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// KV is an output key-value pair.
+type KV struct {
+	Key   string
+	Value any
+}
+
+// MapFunc processes one input record and emits intermediate pairs.
+type MapFunc func(input any, emit func(key string, value any))
+
+// ReduceFunc processes the complete value list of one intermediate key and
+// emits output pairs.
+type ReduceFunc func(key string, values []any, emit func(key string, value any))
+
+// Job configures one MapReduce execution.
+type Job struct {
+	// Name labels the job in errors.
+	Name string
+	// Map is required.
+	Map MapFunc
+	// Reduce is optional; nil applies the identity reduce (one output per
+	// intermediate value).
+	Reduce ReduceFunc
+	// Workers bounds both map and reduce parallelism; values < 1 default
+	// to GOMAXPROCS.
+	Workers int
+}
+
+// Run executes the job over inputs and returns the outputs sorted by key
+// (ties keep reduce emission order). The run is deterministic for a fixed
+// input order regardless of Workers: inputs are sharded round-robin, and
+// each key's value list is ordered by (mapper shard, emission order).
+func Run(job Job, inputs []any) ([]KV, error) {
+	if job.Map == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no map function", job.Name)
+	}
+	workers := job.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reduce := job.Reduce
+	if reduce == nil {
+		reduce = func(key string, values []any, emit func(string, any)) {
+			for _, v := range values {
+				emit(key, v)
+			}
+		}
+	}
+
+	// Map phase: each worker owns one input shard (round-robin) and one
+	// local partition table — no shared state, no locks.
+	type partition map[string][]any
+	local := make([][]partition, workers) // local[mapper][reducer]
+	var wg sync.WaitGroup
+	for m := 0; m < workers; m++ {
+		local[m] = make([]partition, workers)
+		for r := range local[m] {
+			local[m][r] = make(partition)
+		}
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			emit := func(key string, value any) {
+				r := int(hashKey(key) % uint32(workers))
+				local[m][r][key] = append(local[m][r][key], value)
+			}
+			for i := m; i < len(inputs); i += workers {
+				job.Map(inputs[i], emit)
+			}
+		}(m)
+	}
+	wg.Wait()
+
+	// Shuffle + reduce phase: reducer r merges partition r of every mapper
+	// in mapper order, then reduces its keys in sorted order.
+	outs := make([][]KV, workers)
+	for r := 0; r < workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			merged := make(map[string][]any)
+			for m := 0; m < workers; m++ {
+				for k, vs := range local[m][r] {
+					merged[k] = append(merged[k], vs...)
+				}
+			}
+			keys := make([]string, 0, len(merged))
+			for k := range merged {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			emit := func(key string, value any) {
+				outs[r] = append(outs[r], KV{Key: key, Value: value})
+			}
+			for _, k := range keys {
+				reduce(k, merged[k], emit)
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	var out []KV
+	for r := 0; r < workers; r++ {
+		out = append(out, outs[r]...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return h.Sum32()
+}
+
+// Values extracts the values of a KV slice, preserving order — the
+// convenience for chaining jobs.
+func Values(kvs []KV) []any {
+	out := make([]any, len(kvs))
+	for i, kv := range kvs {
+		out[i] = kv.Value
+	}
+	return out
+}

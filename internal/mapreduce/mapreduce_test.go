@@ -1,0 +1,93 @@
+package mapreduce
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func wordCountJob(workers int) Job {
+	return Job{
+		Name:    "wordcount",
+		Workers: workers,
+		Map: func(input any, emit func(string, any)) {
+			for _, w := range strings.Fields(input.(string)) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(key string, values []any, emit func(string, any)) {
+			emit(key, len(values))
+		},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	inputs := []any{"a b a", "b c", "a"}
+	got, err := Run(wordCountJob(4), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KV{{"a", 3}, {"b", 2}, {"c", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("wordcount = %v", got)
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	inputs := make([]any, 50)
+	for i := range inputs {
+		inputs[i] = strings.Repeat("x ", i%7) + "y z"
+	}
+	base, err := Run(wordCountJob(1), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		got, err := Run(wordCountJob(w), inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d output differs", w)
+		}
+	}
+}
+
+func TestIdentityReduce(t *testing.T) {
+	job := Job{
+		Name: "identity",
+		Map: func(input any, emit func(string, any)) {
+			emit("k", input)
+		},
+	}
+	got, err := Run(job, []any{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("identity outputs = %v", got)
+	}
+	// Round-robin sharding with one key preserves per-mapper order; with
+	// workers=1 the original order survives.
+	got1, _ := Run(Job{Name: "id1", Workers: 1, Map: job.Map}, []any{1, 2, 3})
+	vals := Values(got1)
+	if !reflect.DeepEqual(vals, []any{1, 2, 3}) {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+func TestMissingMapIsError(t *testing.T) {
+	if _, err := Run(Job{Name: "bad"}, nil); err == nil {
+		t.Fatal("nil map accepted")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	got, err := Run(wordCountJob(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("outputs = %v", got)
+	}
+}

@@ -1,0 +1,222 @@
+// Package matching implements the entity-matching phase of the framework
+// (Fig. 1 of the paper): profile similarity functions over whole
+// descriptions, a thresholded Matcher, and executors that run a matcher
+// over the candidate pairs suggested by blocking. Matching decisions are
+// pairwise; equivalence classes are obtained through
+// entity.Matches.Clusters (connected components).
+package matching
+
+import (
+	"fmt"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/index"
+	"entityres/internal/similarity"
+	"entityres/internal/token"
+)
+
+// ProfileSimilarity scores pairs of whole descriptions in [0, 1].
+type ProfileSimilarity interface {
+	// Name identifies the measure in experiment tables.
+	Name() string
+	// Sim returns the similarity of a and b.
+	Sim(a, b *entity.Description) float64
+}
+
+// TokenJaccard is the schema-agnostic Jaccard similarity of the two
+// descriptions' token sets — robust to schema heterogeneity, blind to
+// token importance.
+type TokenJaccard struct {
+	// Profiler controls tokenization; nil means token.DefaultProfiler.
+	Profiler *token.Profiler
+}
+
+// Name implements ProfileSimilarity.
+func (t *TokenJaccard) Name() string { return "token-jaccard" }
+
+// Sim implements ProfileSimilarity.
+func (t *TokenJaccard) Sim(a, b *entity.Description) float64 {
+	p := t.Profiler
+	if p == nil {
+		p = token.DefaultProfiler()
+	}
+	return similarity.Jaccard(p.Set(a), p.Set(b))
+}
+
+// TokenContainment is the overlap coefficient |A∩B| / min(|A|,|B|) of the
+// two descriptions' token sets. Unlike Jaccard it is not diluted when one
+// side accumulates extra attributes, which makes it the right similarity
+// for merging-based resolution (R-Swoosh, iterative blocking): a merged
+// profile that absorbs new tokens never loses containment against the
+// still-unmerged duplicates whose token sets it covers.
+type TokenContainment struct {
+	// Profiler controls tokenization; nil means token.DefaultProfiler.
+	Profiler *token.Profiler
+}
+
+// Name implements ProfileSimilarity.
+func (t *TokenContainment) Name() string { return "token-containment" }
+
+// Sim implements ProfileSimilarity.
+func (t *TokenContainment) Sim(a, b *entity.Description) float64 {
+	p := t.Profiler
+	if p == nil {
+		p = token.DefaultProfiler()
+	}
+	return similarity.Overlap(p.Set(a), p.Set(b))
+}
+
+// TFIDFCosine is the cosine similarity of TF-IDF weighted token vectors
+// under a corpus index: common tokens count little, discriminative tokens
+// dominate. Vectors are cached per description pointer, so merged profiles
+// (new pointers) are re-vectorized automatically.
+type TFIDFCosine struct {
+	ix    *index.Inverted
+	prof  *token.Profiler
+	cache map[*entity.Description]similarity.Vector
+}
+
+// NewTFIDFCosine indexes the collection and returns the measure.
+func NewTFIDFCosine(c *entity.Collection, p *token.Profiler) *TFIDFCosine {
+	if p == nil {
+		p = token.DefaultProfiler()
+	}
+	return &TFIDFCosine{
+		ix:    index.Build(c, p),
+		prof:  p,
+		cache: make(map[*entity.Description]similarity.Vector, c.Len()),
+	}
+}
+
+// Name implements ProfileSimilarity.
+func (t *TFIDFCosine) Name() string { return "tfidf-cosine" }
+
+// Sim implements ProfileSimilarity.
+func (t *TFIDFCosine) Sim(a, b *entity.Description) float64 {
+	return similarity.Cosine(t.vector(a), t.vector(b))
+}
+
+func (t *TFIDFCosine) vector(d *entity.Description) similarity.Vector {
+	if v, ok := t.cache[d]; ok {
+		return v
+	}
+	v := t.ix.TFIDFVector(t.prof.Tokens(d))
+	t.cache[d] = v
+	return v
+}
+
+// BestValueJW is the maximum Jaro-Winkler similarity over the cross
+// product of the two descriptions' attribute values (optionally restricted
+// to the named attributes) — the classic name-matching measure.
+type BestValueJW struct {
+	// Attrs restricts which attributes contribute values; empty means all.
+	Attrs []string
+}
+
+// Name implements ProfileSimilarity.
+func (m *BestValueJW) Name() string { return "best-value-jw" }
+
+// Sim implements ProfileSimilarity.
+func (m *BestValueJW) Sim(a, b *entity.Description) float64 {
+	va, vb := m.values(a), m.values(b)
+	best := 0.0
+	for _, x := range va {
+		for _, y := range vb {
+			if s := similarity.JaroWinkler(x, y); s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+func (m *BestValueJW) values(d *entity.Description) []string {
+	if len(m.Attrs) == 0 {
+		return d.AllValues()
+	}
+	var out []string
+	for _, a := range m.Attrs {
+		out = append(out, d.Values(a)...)
+	}
+	return out
+}
+
+// WeightedPart is one component of a Weighted similarity.
+type WeightedPart struct {
+	Measure ProfileSimilarity
+	Weight  float64
+}
+
+// Weighted is the normalized weighted sum of component similarities — the
+// composite matcher configuration of record-linkage practice.
+type Weighted struct {
+	Parts []WeightedPart
+}
+
+// Name implements ProfileSimilarity.
+func (w *Weighted) Name() string { return "weighted" }
+
+// Sim implements ProfileSimilarity.
+func (w *Weighted) Sim(a, b *entity.Description) float64 {
+	total, sum := 0.0, 0.0
+	for _, p := range w.Parts {
+		if p.Weight <= 0 {
+			continue
+		}
+		total += p.Weight
+		sum += p.Weight * p.Measure.Sim(a, b)
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / total
+}
+
+// Matcher is a thresholded similarity decision.
+type Matcher struct {
+	Sim       ProfileSimilarity
+	Threshold float64
+}
+
+// Name identifies the matcher configuration.
+func (m *Matcher) Name() string {
+	return fmt.Sprintf("%s@%.2f", m.Sim.Name(), m.Threshold)
+}
+
+// Match reports the decision and the underlying similarity.
+func (m *Matcher) Match(a, b *entity.Description) (bool, float64) {
+	s := m.Sim.Sim(a, b)
+	return s >= m.Threshold, s
+}
+
+// Result is the outcome of executing a matcher over candidate pairs.
+type Result struct {
+	Matches     *entity.Matches
+	Comparisons int64
+}
+
+// ResolveBlocks executes the matcher over every distinct comparison of bs.
+func ResolveBlocks(c *entity.Collection, bs *blocking.Blocks, m *Matcher) Result {
+	res := Result{Matches: entity.NewMatches()}
+	bs.EachDistinctComparison(func(p entity.Pair) bool {
+		res.Comparisons++
+		if ok, _ := m.Match(c.Get(p.A), c.Get(p.B)); ok {
+			res.Matches.Add(p.A, p.B)
+		}
+		return true
+	})
+	return res
+}
+
+// ResolvePairs executes the matcher over an explicit pair list.
+func ResolvePairs(c *entity.Collection, pairs []entity.Pair, m *Matcher) Result {
+	res := Result{Matches: entity.NewMatches()}
+	for _, p := range pairs {
+		res.Comparisons++
+		if ok, _ := m.Match(c.Get(p.A), c.Get(p.B)); ok {
+			res.Matches.Add(p.A, p.B)
+		}
+	}
+	return res
+}

@@ -1,0 +1,50 @@
+package metablocking
+
+import (
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/datagen"
+)
+
+func benchBlocks(b *testing.B) (*blocking.Blocks, *datagen.Config) {
+	b.Helper()
+	cfg := &datagen.Config{Seed: 9, Entities: 800, DupRatio: 0.5}
+	c, _, err := datagen.GenerateDirty(*cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bs, err := (&blocking.TokenBlocking{}).Block(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bs, cfg
+}
+
+// BenchmarkBuildGraph measures blocking-graph construction per weighting
+// scheme (the dominant cost of meta-blocking).
+func BenchmarkBuildGraph(b *testing.B) {
+	bs, _ := benchBlocks(b)
+	for _, w := range WeightSchemes() {
+		b.Run(w.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BuildGraph(bs, w)
+			}
+		})
+	}
+}
+
+// BenchmarkPrune measures each pruning scheme over a prebuilt graph.
+func BenchmarkPrune(b *testing.B) {
+	bs, _ := benchBlocks(b)
+	g := BuildGraph(bs, ARCS)
+	for _, p := range PruneSchemes() {
+		m := &MetaBlocker{Weight: ARCS, Prune: p}
+		b.Run(p.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.PruneGraph(g, bs)
+			}
+		})
+	}
+}

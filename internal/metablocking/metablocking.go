@@ -1,0 +1,390 @@
+// Package metablocking implements meta-blocking [22] (§II of the paper):
+// an existing blocking collection B is transformed into a blocking graph —
+// nodes are descriptions, undirected edges connect co-occurring
+// descriptions (eliminating all redundant comparisons by construction) —
+// edges are weighted by the likelihood that their endpoints match, the
+// low-weight edges are pruned, and the surviving edges are returned as a
+// restructured collection of two-description blocks.
+//
+// Five weighting schemes (CBS, ECBS, JS, EJS, ARCS) and four pruning
+// schemes (WEP, CEP, WNP, CNP, plus reciprocal node-centric variants)
+// reproduce the design space the paper surveys.
+package metablocking
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/graph"
+)
+
+// WeightScheme selects how edge weights are computed from block
+// co-occurrence statistics.
+type WeightScheme int
+
+const (
+	// CBS (Common Blocks Scheme) weighs an edge by the number of blocks
+	// its endpoints share.
+	CBS WeightScheme = iota
+	// ECBS (Enhanced CBS) discounts descriptions that appear in many
+	// blocks: CBS · log(|B|/|B_a|) · log(|B|/|B_b|).
+	ECBS
+	// JS weighs an edge by the Jaccard coefficient of the endpoints' block
+	// sets.
+	JS
+	// EJS (Enhanced JS) additionally discounts high-degree nodes:
+	// JS · log(|E|/deg(a)) · log(|E|/deg(b)).
+	EJS
+	// ARCS (Aggregate Reciprocal Comparisons Scheme) credits small blocks:
+	// Σ over common blocks of 1/||b||.
+	ARCS
+)
+
+// String implements fmt.Stringer.
+func (w WeightScheme) String() string {
+	switch w {
+	case CBS:
+		return "CBS"
+	case ECBS:
+		return "ECBS"
+	case JS:
+		return "JS"
+	case EJS:
+		return "EJS"
+	case ARCS:
+		return "ARCS"
+	default:
+		return fmt.Sprintf("WeightScheme(%d)", int(w))
+	}
+}
+
+// WeightSchemes lists all supported schemes in experiment order.
+func WeightSchemes() []WeightScheme { return []WeightScheme{CBS, ECBS, JS, EJS, ARCS} }
+
+// PruneScheme selects how the weighted blocking graph is pruned.
+type PruneScheme int
+
+const (
+	// WEP (Weighted Edge Pruning) keeps edges whose weight is at least the
+	// global mean edge weight.
+	WEP PruneScheme = iota
+	// CEP (Cardinality Edge Pruning) keeps the globally top-K edges with
+	// K = ⌊total block assignments / 2⌋.
+	CEP
+	// WNP (Weighted Node Pruning) keeps an edge if its weight reaches the
+	// local mean of either endpoint's neighborhood (both, if Reciprocal).
+	WNP
+	// CNP (Cardinality Node Pruning) keeps an edge if it is among the
+	// top-k of either endpoint (both, if Reciprocal), with k derived from
+	// the average blocks per description.
+	CNP
+)
+
+// String implements fmt.Stringer.
+func (p PruneScheme) String() string {
+	switch p {
+	case WEP:
+		return "WEP"
+	case CEP:
+		return "CEP"
+	case WNP:
+		return "WNP"
+	case CNP:
+		return "CNP"
+	default:
+		return fmt.Sprintf("PruneScheme(%d)", int(p))
+	}
+}
+
+// PruneSchemes lists all supported schemes in experiment order.
+func PruneSchemes() []PruneScheme { return []PruneScheme{WEP, CEP, WNP, CNP} }
+
+// MetaBlocker restructures a blocking collection through the weighted
+// blocking graph.
+type MetaBlocker struct {
+	Weight WeightScheme
+	Prune  PruneScheme
+	// Reciprocal makes the node-centric schemes (WNP, CNP) require an edge
+	// to survive in the neighborhoods of both endpoints, trading recall
+	// for precision.
+	Reciprocal bool
+	// K overrides the retained-edge budget of CEP (0 = automatic).
+	K int
+}
+
+// Name identifies the configuration in experiment tables.
+func (m *MetaBlocker) Name() string {
+	r := ""
+	if m.Reciprocal {
+		r = "-R"
+	}
+	return fmt.Sprintf("meta(%s,%s%s)", m.Weight, m.Prune, r)
+}
+
+// stats carries the co-occurrence statistics of one graph edge.
+type stats struct {
+	cbs  int
+	arcs float64
+}
+
+// BuildGraph constructs the weighted blocking graph of bs under the given
+// scheme. The graph has one edge per distinct comparison in bs.
+func BuildGraph(bs *blocking.Blocks, scheme WeightScheme) *graph.Graph {
+	kind := bs.Kind()
+	pairStats := make(map[entity.Pair]*stats)
+	blocksPer := make(map[entity.ID]int)
+	for _, b := range bs.All() {
+		comp := b.Comparisons(kind)
+		for _, id := range b.S0 {
+			blocksPer[id]++
+		}
+		for _, id := range b.S1 {
+			blocksPer[id]++
+		}
+		b.EachComparison(kind, func(x, y entity.ID) bool {
+			p := entity.NewPair(x, y)
+			st, ok := pairStats[p]
+			if !ok {
+				st = &stats{}
+				pairStats[p] = st
+			}
+			st.cbs++
+			st.arcs += 1 / float64(comp)
+			return true
+		})
+	}
+	numBlocks := float64(bs.Len())
+	// Degrees: number of distinct co-occurring partners per description.
+	degree := make(map[entity.ID]int)
+	for p := range pairStats {
+		degree[p.A]++
+		degree[p.B]++
+	}
+	numEdges := float64(len(pairStats))
+	g := graph.New()
+	for p, st := range pairStats {
+		var w float64
+		switch scheme {
+		case CBS:
+			w = float64(st.cbs)
+		case ECBS:
+			w = float64(st.cbs) *
+				math.Log(numBlocks/float64(blocksPer[p.A])) *
+				math.Log(numBlocks/float64(blocksPer[p.B]))
+		case JS:
+			w = js(st.cbs, blocksPer[p.A], blocksPer[p.B])
+		case EJS:
+			w = js(st.cbs, blocksPer[p.A], blocksPer[p.B]) *
+				math.Log(numEdges/float64(degree[p.A])) *
+				math.Log(numEdges/float64(degree[p.B]))
+		case ARCS:
+			w = st.arcs
+		}
+		g.SetWeight(p.A, p.B, w)
+	}
+	return g
+}
+
+func js(cbs, ba, bb int) float64 {
+	union := ba + bb - cbs
+	if union == 0 {
+		return 0
+	}
+	return float64(cbs) / float64(union)
+}
+
+// Restructure builds the weighted graph of bs, prunes it, and returns the
+// surviving edges as a collection of two-description blocks ordered by
+// descending weight (strongest candidates first — the order progressive
+// schedulers rely on).
+func (m *MetaBlocker) Restructure(c *entity.Collection, bs *blocking.Blocks) *blocking.Blocks {
+	g := BuildGraph(bs, m.Weight)
+	kept := m.PruneGraph(g, bs)
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Weight != kept[j].Weight {
+			return kept[i].Weight > kept[j].Weight
+		}
+		if kept[i].A != kept[j].A {
+			return kept[i].A < kept[j].A
+		}
+		return kept[i].B < kept[j].B
+	})
+	out := blocking.NewBlocks(bs.Kind())
+	for _, e := range kept {
+		b := &blocking.Block{Key: fmt.Sprintf("meta:%d-%d", e.A, e.B)}
+		for _, id := range []entity.ID{e.A, e.B} {
+			if c.Get(id) != nil && c.Get(id).Source == 1 {
+				b.S1 = append(b.S1, id)
+			} else {
+				b.S0 = append(b.S0, id)
+			}
+		}
+		out.Add(b)
+	}
+	return out
+}
+
+// PruneGraph applies the configured pruning scheme and returns the
+// retained edges.
+func (m *MetaBlocker) PruneGraph(g *graph.Graph, bs *blocking.Blocks) []graph.Edge {
+	switch m.Prune {
+	case WEP:
+		return pruneWEP(g)
+	case CEP:
+		return pruneCEP(g, m.cepBudget(bs))
+	case WNP:
+		return pruneWNP(g, m.Reciprocal)
+	case CNP:
+		return pruneCNP(g, cnpK(bs, g), m.Reciprocal)
+	default:
+		return g.Edges()
+	}
+}
+
+// cepBudget returns the CEP retention budget: K override, else half the
+// total block assignments (the budget used in [22]).
+func (m *MetaBlocker) cepBudget(bs *blocking.Blocks) int {
+	if m.K > 0 {
+		return m.K
+	}
+	assignments := 0
+	for _, b := range bs.All() {
+		assignments += b.Size()
+	}
+	k := assignments / 2
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// cnpK distributes the CEP budget over the graph nodes: each node retains
+// its top-k neighbors with k = max(1, ⌊assignments/|V|⌋).
+func cnpK(bs *blocking.Blocks, g *graph.Graph) int {
+	nodes := g.NumNodes()
+	if nodes == 0 {
+		return 1
+	}
+	assignments := 0
+	for _, b := range bs.All() {
+		assignments += b.Size()
+	}
+	k := assignments / nodes
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func pruneWEP(g *graph.Graph) []graph.Edge {
+	if g.NumEdges() == 0 {
+		return nil
+	}
+	// Sum over the sorted edge list for run-to-run determinism of edges
+	// sitting exactly at the mean (see pruneWNP).
+	edges := g.Edges()
+	total := 0.0
+	for _, e := range edges {
+		total += e.Weight
+	}
+	mean := total / float64(len(edges))
+	var out []graph.Edge
+	for _, e := range edges {
+		if e.Weight >= mean {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func pruneCEP(g *graph.Graph, k int) []graph.Edge {
+	edges := g.Edges()
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Weight > edges[j].Weight })
+	if k > len(edges) {
+		k = len(edges)
+	}
+	return edges[:k]
+}
+
+func pruneWNP(g *graph.Graph, reciprocal bool) []graph.Edge {
+	// Accumulate local means over the sorted edge list: float summation is
+	// order-sensitive in its last ulp, and edges sitting exactly at a
+	// node's mean (common when all of a node's edges share one weight)
+	// would otherwise be kept or dropped depending on map iteration order.
+	edges := g.Edges()
+	sum := make(map[entity.ID]float64)
+	for _, e := range edges {
+		sum[e.A] += e.Weight
+		sum[e.B] += e.Weight
+	}
+	localMean := make(map[entity.ID]float64, len(sum))
+	for id, s := range sum {
+		localMean[id] = s / float64(g.Degree(id))
+	}
+	var out []graph.Edge
+	for _, e := range edges {
+		inA := e.Weight >= localMean[e.A]
+		inB := e.Weight >= localMean[e.B]
+		if (reciprocal && inA && inB) || (!reciprocal && (inA || inB)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func pruneCNP(g *graph.Graph, k int, reciprocal bool) []graph.Edge {
+	// Per-node weight rank: an edge is in the node's top-k if fewer than k
+	// incident edges weigh strictly more (ties resolved by neighbor ID to
+	// stay deterministic).
+	topOf := func(id entity.ID) map[entity.ID]struct{} {
+		ns := g.Neighbors(id)
+		type nw struct {
+			n entity.ID
+			w float64
+		}
+		arr := make([]nw, 0, len(ns))
+		for _, n := range ns {
+			w, _ := g.Weight(id, n)
+			arr = append(arr, nw{n, w})
+		}
+		sort.Slice(arr, func(i, j int) bool {
+			if arr[i].w != arr[j].w {
+				return arr[i].w > arr[j].w
+			}
+			return arr[i].n < arr[j].n
+		})
+		lim := k
+		if lim > len(arr) {
+			lim = len(arr)
+		}
+		set := make(map[entity.ID]struct{}, lim)
+		for _, x := range arr[:lim] {
+			set[x.n] = struct{}{}
+		}
+		return set
+	}
+	tops := make(map[entity.ID]map[entity.ID]struct{})
+	var out []graph.Edge
+	g.EachEdge(func(e graph.Edge) bool {
+		ta, ok := tops[e.A]
+		if !ok {
+			ta = topOf(e.A)
+			tops[e.A] = ta
+		}
+		tb, ok := tops[e.B]
+		if !ok {
+			tb = topOf(e.B)
+			tops[e.B] = tb
+		}
+		_, inA := ta[e.B]
+		_, inB := tb[e.A]
+		if (reciprocal && inA && inB) || (!reciprocal && (inA || inB)) {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,241 @@
+package metablocking
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/graph"
+)
+
+// fixture: blocks over 4 entities; the pair (0,1) co-occurs twice, all
+// other pairs once.
+//
+//	b0: {0,1}        b1: {0,1,2}       b2: {2,3}
+func fixture() *blocking.Blocks {
+	bs := blocking.NewBlocks(entity.Dirty)
+	bs.Add(&blocking.Block{Key: "b0", S0: []entity.ID{0, 1}})
+	bs.Add(&blocking.Block{Key: "b1", S0: []entity.ID{0, 1, 2}})
+	bs.Add(&blocking.Block{Key: "b2", S0: []entity.ID{2, 3}})
+	return bs
+}
+
+func collection4() *entity.Collection {
+	c := entity.NewCollection(entity.Dirty)
+	for i := 0; i < 4; i++ {
+		c.MustAdd(entity.NewDescription(""))
+	}
+	return c
+}
+
+func TestBuildGraphCBS(t *testing.T) {
+	g := BuildGraph(fixture(), CBS)
+	if g.NumEdges() != 4 { // (0,1),(0,2),(1,2),(2,3)
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if w, _ := g.Weight(0, 1); w != 2 {
+		t.Fatalf("CBS(0,1) = %v", w)
+	}
+	if w, _ := g.Weight(0, 2); w != 1 {
+		t.Fatalf("CBS(0,2) = %v", w)
+	}
+}
+
+func TestBuildGraphJS(t *testing.T) {
+	g := BuildGraph(fixture(), JS)
+	// |B_0|=2, |B_1|=2, common=2 → JS = 2/(2+2-2) = 1.
+	if w, _ := g.Weight(0, 1); w != 1 {
+		t.Fatalf("JS(0,1) = %v", w)
+	}
+	// |B_2|=2, |B_3|=1, common=1 → JS = 1/2.
+	if w, _ := g.Weight(2, 3); w != 0.5 {
+		t.Fatalf("JS(2,3) = %v", w)
+	}
+}
+
+func TestBuildGraphARCS(t *testing.T) {
+	g := BuildGraph(fixture(), ARCS)
+	// (0,1): b0 has 1 comparison, b1 has 3 → 1/1 + 1/3.
+	if w, _ := g.Weight(0, 1); math.Abs(w-(1+1.0/3)) > 1e-12 {
+		t.Fatalf("ARCS(0,1) = %v", w)
+	}
+	// (2,3): only b2 (1 comparison) → 1.
+	if w, _ := g.Weight(2, 3); w != 1 {
+		t.Fatalf("ARCS(2,3) = %v", w)
+	}
+}
+
+func TestBuildGraphECBS(t *testing.T) {
+	g := BuildGraph(fixture(), ECBS)
+	// w(0,1) = CBS · ln(|B|/|B_0|) · ln(|B|/|B_1|) = 2·ln(3/2)².
+	w01, _ := g.Weight(0, 1)
+	want := 2 * math.Log(1.5) * math.Log(1.5)
+	if math.Abs(w01-want) > 1e-12 {
+		t.Fatalf("ECBS(0,1) = %v, want %v", w01, want)
+	}
+	// At equal block-count profiles, double co-occurrence dominates:
+	// (0,2) has cbs=1 with the same |B_x| factors.
+	w02, _ := g.Weight(0, 2)
+	if !(w01 > w02) {
+		t.Fatalf("ECBS ordering: w01=%v w02=%v", w01, w02)
+	}
+	// The rarity boost: entity 3 sits in a single block, so (2,3) beats
+	// (0,2) despite equal CBS.
+	w23, _ := g.Weight(2, 3)
+	if !(w23 > w02) {
+		t.Fatalf("ECBS rarity: w23=%v w02=%v", w23, w02)
+	}
+}
+
+func TestBuildGraphEJSUsesDegrees(t *testing.T) {
+	g := BuildGraph(fixture(), EJS)
+	// deg(3)=1 < deg(0)=2: the (2,3) edge gets a bigger degree boost than
+	// (0,2) despite equal JS.
+	w23, _ := g.Weight(2, 3)
+	w02, _ := g.Weight(0, 2)
+	if !(w23 > w02) {
+		t.Fatalf("EJS ordering: w23=%v w02=%v", w23, w02)
+	}
+}
+
+func TestPruneWEPKeepsAboveMean(t *testing.T) {
+	g := BuildGraph(fixture(), CBS) // weights: 2,1,1,1 → mean 1.25
+	kept := (&MetaBlocker{Weight: CBS, Prune: WEP}).PruneGraph(g, fixture())
+	if len(kept) != 1 || kept[0].A != 0 || kept[0].B != 1 {
+		t.Fatalf("WEP kept %v", kept)
+	}
+}
+
+func TestPruneCEPBudget(t *testing.T) {
+	bs := fixture()
+	g := BuildGraph(bs, CBS)
+	m := &MetaBlocker{Weight: CBS, Prune: CEP, K: 2}
+	kept := m.PruneGraph(g, bs)
+	if len(kept) != 2 {
+		t.Fatalf("CEP kept %d", len(kept))
+	}
+	if kept[0].Weight < kept[1].Weight {
+		t.Fatal("CEP must keep heaviest first")
+	}
+	// Automatic budget: assignments = 2+3+2 = 7 → K = 3.
+	auto := &MetaBlocker{Weight: CBS, Prune: CEP}
+	if got := len(auto.PruneGraph(g, bs)); got != 3 {
+		t.Fatalf("auto CEP kept %d", got)
+	}
+}
+
+func TestPruneWNP(t *testing.T) {
+	bs := fixture()
+	g := BuildGraph(bs, CBS)
+	// Node 0: edges 2 (to 1) and 1 (to 2); mean 1.5 → only (0,1) locally.
+	// Node 2: edges 1,1,1 → mean 1 → all kept locally.
+	std := (&MetaBlocker{Weight: CBS, Prune: WNP}).PruneGraph(g, bs)
+	rec := (&MetaBlocker{Weight: CBS, Prune: WNP, Reciprocal: true}).PruneGraph(g, bs)
+	if len(std) < len(rec) {
+		t.Fatalf("reciprocal WNP must not keep more: %d vs %d", len(std), len(rec))
+	}
+	contains := func(es []graph.Edge, a, b entity.ID) bool {
+		for _, e := range es {
+			if e.A == a && e.B == b {
+				return true
+			}
+		}
+		return false
+	}
+	if !contains(std, 0, 1) || !contains(rec, 0, 1) {
+		t.Fatal("strongest edge lost")
+	}
+	// (0,2): below node 0's mean but at node 2's mean → kept by standard,
+	// dropped by reciprocal.
+	if !contains(std, 0, 2) {
+		t.Fatal("standard WNP should keep (0,2)")
+	}
+	if contains(rec, 0, 2) {
+		t.Fatal("reciprocal WNP should drop (0,2)")
+	}
+}
+
+func TestPruneCNP(t *testing.T) {
+	bs := fixture()
+	g := BuildGraph(bs, CBS)
+	// assignments=7, |V|=4 → k=1: every node keeps one best neighbor.
+	std := (&MetaBlocker{Weight: CBS, Prune: CNP}).PruneGraph(g, bs)
+	rec := (&MetaBlocker{Weight: CBS, Prune: CNP, Reciprocal: true}).PruneGraph(g, bs)
+	if len(std) < len(rec) {
+		t.Fatal("reciprocal CNP kept more than standard")
+	}
+	found01 := false
+	for _, e := range rec {
+		if e.A == 0 && e.B == 1 {
+			found01 = true
+		}
+	}
+	if !found01 {
+		t.Fatal("mutual best edge (0,1) must survive reciprocal CNP")
+	}
+}
+
+func TestRestructureOrdering(t *testing.T) {
+	bs := fixture()
+	c := collection4()
+	out := (&MetaBlocker{Weight: CBS, Prune: CEP, K: 4}).Restructure(c, bs)
+	if out.Len() != 4 {
+		t.Fatalf("restructured blocks = %d", out.Len())
+	}
+	// Strongest pair first, and every block is a pair.
+	first := out.Get(0)
+	if first.Size() != 2 || first.S0[0] != 0 || first.S0[1] != 1 {
+		t.Fatalf("first block = %+v", first)
+	}
+	// No redundant comparisons remain.
+	if out.TotalComparisons() != int64(out.DistinctPairs().Len()) {
+		t.Fatal("restructured collection contains redundancy")
+	}
+}
+
+func TestRestructureCleanCleanSources(t *testing.T) {
+	c := entity.NewCollection(entity.CleanClean)
+	c.MustAdd(entity.NewDescription(""))
+	d := entity.NewDescription("")
+	d.Source = 1
+	c.MustAdd(d)
+	bs := blocking.NewBlocks(entity.CleanClean)
+	bs.Add(&blocking.Block{Key: "k", S0: []entity.ID{0}, S1: []entity.ID{1}})
+	out := (&MetaBlocker{Weight: CBS, Prune: WEP}).Restructure(c, bs)
+	if out.Len() != 1 {
+		t.Fatalf("blocks = %d", out.Len())
+	}
+	b := out.Get(0)
+	if len(b.S0) != 1 || len(b.S1) != 1 {
+		t.Fatalf("sources not preserved: %+v", b)
+	}
+}
+
+func TestSchemeStringsAndName(t *testing.T) {
+	if CBS.String() != "CBS" || ARCS.String() != "ARCS" || WEP.String() != "WEP" || CNP.String() != "CNP" {
+		t.Fatal("scheme names")
+	}
+	if WeightScheme(99).String() == "" || PruneScheme(99).String() == "" {
+		t.Fatal("unknown scheme string empty")
+	}
+	m := &MetaBlocker{Weight: ECBS, Prune: WNP, Reciprocal: true}
+	if !strings.Contains(m.Name(), "ECBS") || !strings.Contains(m.Name(), "-R") {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	if len(WeightSchemes()) != 5 || len(PruneSchemes()) != 4 {
+		t.Fatal("scheme lists")
+	}
+}
+
+func TestPruneEmptyGraph(t *testing.T) {
+	empty := blocking.NewBlocks(entity.Dirty)
+	g := BuildGraph(empty, CBS)
+	for _, p := range PruneSchemes() {
+		m := &MetaBlocker{Weight: CBS, Prune: p}
+		if kept := m.PruneGraph(g, empty); len(kept) != 0 {
+			t.Fatalf("%v kept %d on empty graph", p, len(kept))
+		}
+	}
+}

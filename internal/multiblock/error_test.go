@@ -1,0 +1,26 @@
+package multiblock
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+)
+
+type failingBlocker struct{}
+
+func (f *failingBlocker) Name() string { return "failing" }
+
+func (f *failingBlocker) Block(*entity.Collection) (*blocking.Blocks, error) {
+	return nil, errors.New("boom")
+}
+
+func TestAggregatorPropagatesDimensionError(t *testing.T) {
+	a := &Aggregator{Blockers: []blocking.Blocker{&failingBlocker{}}}
+	_, err := a.Block(entity.NewCollection(entity.Dirty))
+	if err == nil || !strings.Contains(err.Error(), "failing") {
+		t.Fatalf("err = %v", err)
+	}
+}

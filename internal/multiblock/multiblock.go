@@ -1,0 +1,84 @@
+// Package multiblock implements multidimensional overlapping blocks in the
+// spirit of MultiBlock [17] (§II of the paper): several blockers — one per
+// similarity dimension — each produce a block collection, and the
+// collections are aggregated into a single multidimensional one. A
+// candidate pair is retained when it co-occurs in at least MinAgree
+// dimensions, so agreement across independent similarity views substitutes
+// for any single view's precision.
+package multiblock
+
+import (
+	"fmt"
+	"sort"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+)
+
+// Aggregator combines the block collections of several blockers.
+type Aggregator struct {
+	// Blockers are the similarity dimensions; at least one is required.
+	Blockers []blocking.Blocker
+	// MinAgree is the number of dimensions that must suggest a pair for it
+	// to survive (default: majority, ⌈(len(Blockers)+1)/2⌉).
+	MinAgree int
+}
+
+// Name implements blocking.Blocker.
+func (a *Aggregator) Name() string { return "multiblock" }
+
+// Block implements blocking.Blocker. Each surviving pair becomes one
+// two-description block whose key records the agreement count, ordered by
+// (agreement desc, pair) so that stronger evidence is processed first.
+func (a *Aggregator) Block(c *entity.Collection) (*blocking.Blocks, error) {
+	if len(a.Blockers) == 0 {
+		return nil, fmt.Errorf("multiblock: no blockers configured")
+	}
+	minAgree := a.MinAgree
+	if minAgree < 1 {
+		minAgree = (len(a.Blockers) + 2) / 2
+	}
+	votes := make(map[entity.Pair]int)
+	for _, bl := range a.Blockers {
+		bs, err := bl.Block(c)
+		if err != nil {
+			return nil, fmt.Errorf("multiblock: dimension %s: %w", bl.Name(), err)
+		}
+		bs.EachDistinctComparison(func(p entity.Pair) bool {
+			votes[p]++
+			return true
+		})
+	}
+	type scored struct {
+		p entity.Pair
+		n int
+	}
+	var keep []scored
+	for p, n := range votes {
+		if n >= minAgree {
+			keep = append(keep, scored{p, n})
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool {
+		if keep[i].n != keep[j].n {
+			return keep[i].n > keep[j].n
+		}
+		if keep[i].p.A != keep[j].p.A {
+			return keep[i].p.A < keep[j].p.A
+		}
+		return keep[i].p.B < keep[j].p.B
+	})
+	bs := blocking.NewBlocks(c.Kind())
+	for _, s := range keep {
+		b := &blocking.Block{Key: fmt.Sprintf("multi:%d:%d-%d", s.n, s.p.A, s.p.B)}
+		for _, id := range []entity.ID{s.p.A, s.p.B} {
+			if c.Get(id).Source == 1 {
+				b.S1 = append(b.S1, id)
+			} else {
+				b.S0 = append(b.S0, id)
+			}
+		}
+		bs.Add(b)
+	}
+	return bs, nil
+}

@@ -1,0 +1,102 @@
+package multiblock
+
+import (
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+)
+
+// stubBlocker emits a fixed pair list as blocks.
+type stubBlocker struct {
+	name  string
+	pairs [][2]entity.ID
+}
+
+func (s *stubBlocker) Name() string { return s.name }
+
+func (s *stubBlocker) Block(c *entity.Collection) (*blocking.Blocks, error) {
+	bs := blocking.NewBlocks(c.Kind())
+	for _, p := range s.pairs {
+		bs.Add(&blocking.Block{Key: s.name, S0: []entity.ID{p[0], p[1]}})
+	}
+	return bs, nil
+}
+
+func collection(n int) *entity.Collection {
+	c := entity.NewCollection(entity.Dirty)
+	for i := 0; i < n; i++ {
+		c.MustAdd(entity.NewDescription("").Add("x", "v"))
+	}
+	return c
+}
+
+func TestAggregatorMajority(t *testing.T) {
+	c := collection(4)
+	a := &Aggregator{Blockers: []blocking.Blocker{
+		&stubBlocker{"d1", [][2]entity.ID{{0, 1}, {2, 3}}},
+		&stubBlocker{"d2", [][2]entity.ID{{0, 1}}},
+		&stubBlocker{"d3", [][2]entity.ID{{0, 1}, {1, 2}}},
+	}}
+	bs, err := a.Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := bs.DistinctPairs()
+	if !pairs.Contains(0, 1) {
+		t.Fatal("3-vote pair lost")
+	}
+	if pairs.Contains(2, 3) || pairs.Contains(1, 2) {
+		t.Fatal("1-vote pair survived majority aggregation")
+	}
+}
+
+func TestAggregatorMinAgreeOne(t *testing.T) {
+	c := collection(4)
+	a := &Aggregator{
+		MinAgree: 1,
+		Blockers: []blocking.Blocker{
+			&stubBlocker{"d1", [][2]entity.ID{{0, 1}}},
+			&stubBlocker{"d2", [][2]entity.ID{{2, 3}}},
+		},
+	}
+	bs, err := a.Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.DistinctPairs().Len() != 2 {
+		t.Fatalf("union size = %d", bs.DistinctPairs().Len())
+	}
+}
+
+func TestAggregatorOrdering(t *testing.T) {
+	c := collection(4)
+	a := &Aggregator{
+		MinAgree: 1,
+		Blockers: []blocking.Blocker{
+			&stubBlocker{"d1", [][2]entity.ID{{2, 3}, {0, 1}}},
+			&stubBlocker{"d2", [][2]entity.ID{{0, 1}}},
+		},
+	}
+	bs, err := a.Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strongest agreement first.
+	first := bs.Get(0)
+	if first.S0[0] != 0 || first.S0[1] != 1 {
+		t.Fatalf("strongest pair not first: %v", first.S0)
+	}
+}
+
+func TestAggregatorNoBlockers(t *testing.T) {
+	if _, err := (&Aggregator{}).Block(collection(2)); err == nil {
+		t.Fatal("empty aggregator must error")
+	}
+}
+
+func TestAggregatorName(t *testing.T) {
+	if (&Aggregator{}).Name() != "multiblock" {
+		t.Fatal("name")
+	}
+}

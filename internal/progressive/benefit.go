@@ -1,0 +1,208 @@
+package progressive
+
+import (
+	"sort"
+
+	"entityres/internal/entity"
+	"entityres/internal/graph"
+)
+
+// BenefitCost is the windowed benefit/cost scheduler of [1]: candidate
+// pairs are nodes whose resolution influences the nodes they share
+// descriptions with; the comparison budget is divided into windows of
+// equal cost (here, equal comparison count), and each window executes the
+// pairs with the highest current expected benefit. After a window, the
+// matches it produced propagate a benefit boost to the influenced pairs,
+// raising their chances of selection in the next window.
+type BenefitCost struct {
+	// WindowSize is the number of comparisons per scheduling window
+	// (default 64).
+	WindowSize int
+	// Boost is the relative benefit increase applied to a pair for each
+	// matched pair sharing a description with it: priority ×= (1+Boost)
+	// (default 1.0, i.e. doubling). The boost is multiplicative so that
+	// influence promotes among plausible candidates without lifting the
+	// mass of near-zero-weight neighbors above strong unseen pairs — an
+	// additive boost on the weight scale floods later windows with the
+	// matched entities' garbage neighbors.
+	Boost float64
+
+	queue    *pairQueue
+	byEntity map[entity.ID][]entity.Pair
+	window   []entity.Pair
+	winNext  int
+	pending  []entity.Pair // matches of the current window awaiting propagation
+}
+
+// NewBenefitCost builds the scheduler from a weighted blocking graph (the
+// meta-blocking graph is the natural source of initial benefits).
+func NewBenefitCost(g *graph.Graph, windowSize int, boost float64) *BenefitCost {
+	if windowSize <= 0 {
+		windowSize = 64
+	}
+	if boost <= 0 {
+		boost = 1.0
+	}
+	bc := &BenefitCost{
+		WindowSize: windowSize,
+		Boost:      boost,
+		queue:      newPairQueue(),
+		byEntity:   make(map[entity.ID][]entity.Pair),
+	}
+	for _, e := range g.Edges() {
+		p := entity.NewPair(e.A, e.B)
+		bc.queue.push(p, e.Weight)
+		bc.byEntity[p.A] = append(bc.byEntity[p.A], p)
+		bc.byEntity[p.B] = append(bc.byEntity[p.B], p)
+	}
+	return bc
+}
+
+// Name implements Scheduler.
+func (bc *BenefitCost) Name() string { return "benefitcost" }
+
+// Next implements Scheduler.
+func (bc *BenefitCost) Next() (entity.Pair, bool) {
+	if bc.winNext >= len(bc.window) {
+		bc.refill()
+		if len(bc.window) == 0 {
+			return entity.Pair{}, false
+		}
+	}
+	p := bc.window[bc.winNext]
+	bc.winNext++
+	return p, true
+}
+
+// refill closes the current window — propagating the benefit of its
+// matches to influenced queued pairs — and selects the next window.
+func (bc *BenefitCost) refill() {
+	for _, m := range bc.pending {
+		for _, id := range []entity.ID{m.A, m.B} {
+			for _, ip := range bc.byEntity[id] {
+				if cur, ok := bc.queue.priority(ip); ok {
+					bc.queue.push(ip, cur*(1+bc.Boost))
+				}
+			}
+		}
+	}
+	bc.pending = bc.pending[:0]
+	bc.window = bc.window[:0]
+	bc.winNext = 0
+	for len(bc.window) < bc.WindowSize {
+		p, _, ok := bc.queue.pop()
+		if !ok {
+			break
+		}
+		bc.window = append(bc.window, p)
+	}
+}
+
+// Feedback implements Scheduler: matches are buffered and propagated at
+// the next window boundary, following the per-window update phase of [1].
+func (bc *BenefitCost) Feedback(p entity.Pair, matched bool) {
+	if matched {
+		bc.pending = append(bc.pending, p)
+	}
+}
+
+// pairQueue is a max-priority queue over pairs with raise-only updates and
+// deterministic tie-breaking, specialized for the scheduler (it also
+// supports priority lookup, which iterative.PairQueue does not expose).
+type pairQueue struct {
+	current map[entity.Pair]float64
+	heap    []queueItem
+	seq     int
+}
+
+type queueItem struct {
+	pair     entity.Pair
+	priority float64
+	seq      int
+}
+
+func newPairQueue() *pairQueue {
+	return &pairQueue{current: make(map[entity.Pair]float64)}
+}
+
+func (q *pairQueue) priority(p entity.Pair) (float64, bool) {
+	w, ok := q.current[p]
+	return w, ok
+}
+
+func (q *pairQueue) push(p entity.Pair, priority float64) {
+	if cur, ok := q.current[p]; ok && cur >= priority {
+		return
+	}
+	q.current[p] = priority
+	q.heap = append(q.heap, queueItem{pair: p, priority: priority, seq: q.seq})
+	q.seq++
+	q.up(len(q.heap) - 1)
+}
+
+func (q *pairQueue) pop() (entity.Pair, float64, bool) {
+	for len(q.heap) > 0 {
+		top := q.heap[0]
+		last := len(q.heap) - 1
+		q.heap[0] = q.heap[last]
+		q.heap = q.heap[:last]
+		if len(q.heap) > 0 {
+			q.down(0)
+		}
+		cur, live := q.current[top.pair]
+		if !live || cur != top.priority {
+			continue // stale
+		}
+		delete(q.current, top.pair)
+		return top.pair, top.priority, true
+	}
+	return entity.Pair{}, 0, false
+}
+
+func (q *pairQueue) less(i, j int) bool {
+	if q.heap[i].priority != q.heap[j].priority {
+		return q.heap[i].priority > q.heap[j].priority
+	}
+	return q.heap[i].seq < q.heap[j].seq
+}
+
+func (q *pairQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *pairQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}
+
+// sortPairs orders pairs canonically; a shared helper for deterministic
+// test output.
+func sortPairs(ps []entity.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}

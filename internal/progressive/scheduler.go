@@ -1,0 +1,90 @@
+// Package progressive implements progressive entity resolution (§IV of the
+// paper): maximizing the matches reported within a limited comparison
+// budget by scheduling promising comparisons first and exploiting the
+// matches found so far. It provides the scheduling heuristics the paper
+// surveys — static and random baselines, the sorted-list sliding window
+// and hierarchy of partitions of pay-as-you-go resolution [26], progressive
+// sorted neighborhood with local lookahead [23], and a benefit/cost
+// windowed scheduler over an influence graph [1] — plus the budgeted
+// runner that records progressive recall curves.
+package progressive
+
+import (
+	"math/rand"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+)
+
+// Scheduler emits candidate comparisons in its preferred order. After
+// executing a comparison, the runner reports the outcome through Feedback,
+// which adaptive schedulers (PSNM lookahead, benefit/cost) use to reorder
+// upcoming work. Next returning ok=false ends the schedule.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment tables.
+	Name() string
+	// Next returns the next comparison to execute.
+	Next() (entity.Pair, bool)
+	// Feedback reports the outcome of an executed comparison.
+	Feedback(p entity.Pair, matched bool)
+}
+
+// StaticOrder replays the distinct comparisons of a blocking collection in
+// block order — the non-progressive baseline: exactly what a batch
+// resolution would do, truncated by the budget. When the collection is the
+// output of meta-blocking, block order is descending edge weight, making
+// this the "weight-static" schedule.
+type StaticOrder struct {
+	pairs []entity.Pair
+	next  int
+}
+
+// NewStaticOrder builds the schedule from the blocks' distinct
+// comparisons.
+func NewStaticOrder(bs *blocking.Blocks) *StaticOrder {
+	s := &StaticOrder{}
+	bs.EachDistinctComparison(func(p entity.Pair) bool {
+		s.pairs = append(s.pairs, p)
+		return true
+	})
+	return s
+}
+
+// Name implements Scheduler.
+func (s *StaticOrder) Name() string { return "static" }
+
+// Next implements Scheduler.
+func (s *StaticOrder) Next() (entity.Pair, bool) {
+	if s.next >= len(s.pairs) {
+		return entity.Pair{}, false
+	}
+	p := s.pairs[s.next]
+	s.next++
+	return p, true
+}
+
+// Feedback implements Scheduler (no-op).
+func (s *StaticOrder) Feedback(entity.Pair, bool) {}
+
+// Remaining returns how many comparisons are left in the schedule.
+func (s *StaticOrder) Remaining() int { return len(s.pairs) - s.next }
+
+// RandomOrder replays the distinct comparisons in a seeded random
+// permutation — the floor every progressive heuristic must beat: its
+// expected recall curve is the diagonal.
+type RandomOrder struct {
+	StaticOrder
+}
+
+// NewRandomOrder builds the shuffled schedule.
+func NewRandomOrder(bs *blocking.Blocks, seed int64) *RandomOrder {
+	s := &RandomOrder{StaticOrder: *NewStaticOrder(bs)}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(s.pairs), func(i, j int) {
+		s.pairs[i], s.pairs[j] = s.pairs[j], s.pairs[i]
+	})
+	return s
+}
+
+// Name implements Scheduler.
+func (s *RandomOrder) Name() string { return "random" }

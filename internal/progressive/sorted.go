@@ -1,0 +1,237 @@
+package progressive
+
+import (
+	"sort"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+)
+
+// SlidingWindow is the sorted-list heuristic of pay-as-you-go resolution
+// [26]: descriptions are sorted by a blocking key and pairs are emitted in
+// increasing key distance — all neighbors at distance 1 first, then
+// distance 2, and so on. Descriptions with similar keys are compared long
+// before dissimilar ones.
+type SlidingWindow struct {
+	c           *entity.Collection
+	order       []entity.ID
+	maxDistance int
+	d, i        int // current distance and position
+}
+
+// NewSlidingWindow builds the schedule over the key-sorted order of c.
+// maxDistance ≤ 0 means the full n−1 (every comparable pair is eventually
+// emitted).
+func NewSlidingWindow(c *entity.Collection, key blocking.ScalarKeyFunc, maxDistance int) *SlidingWindow {
+	order := blocking.SortedOrder(c, key)
+	if maxDistance <= 0 || maxDistance > len(order)-1 {
+		maxDistance = len(order) - 1
+	}
+	return &SlidingWindow{c: c, order: order, maxDistance: maxDistance, d: 1}
+}
+
+// Name implements Scheduler.
+func (s *SlidingWindow) Name() string { return "slidingwindow" }
+
+// Next implements Scheduler.
+func (s *SlidingWindow) Next() (entity.Pair, bool) {
+	for s.d <= s.maxDistance {
+		for s.i+s.d < len(s.order) {
+			a, b := s.order[s.i], s.order[s.i+s.d]
+			s.i++
+			if s.c.Comparable(a, b) {
+				return entity.NewPair(a, b), true
+			}
+		}
+		s.d++
+		s.i = 0
+	}
+	return entity.Pair{}, false
+}
+
+// Feedback implements Scheduler (no-op).
+func (s *SlidingWindow) Feedback(entity.Pair, bool) {}
+
+// Hierarchy is the hierarchy-of-partitions heuristic of [26]: descriptions
+// are partitioned at several granularities — here by decreasing prefix
+// length of the blocking key, the longest prefix giving the finest, most
+// similar partitions — and the hierarchy is traversed bottom-up, emitting
+// the pairs of each partition level by level. Highly similar descriptions
+// (long shared prefixes) are therefore resolved first, and each level only
+// emits pairs unseen at finer levels.
+type Hierarchy struct {
+	c       *entity.Collection
+	keys    map[entity.ID]string
+	order   []entity.ID
+	levels  []int // prefix lengths, descending
+	emitted *entity.PairSet
+
+	level   int
+	buffer  []entity.Pair
+	bufNext int
+}
+
+// NewHierarchy builds the partition hierarchy. levels are key prefix
+// lengths; they are sorted descending. Empty levels defaults to
+// [8, 4, 2, 1, 0] — 0 being the root partition containing everything.
+func NewHierarchy(c *entity.Collection, key blocking.ScalarKeyFunc, levels []int) *Hierarchy {
+	if len(levels) == 0 {
+		levels = []int{8, 4, 2, 1, 0}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	keys := make(map[entity.ID]string, c.Len())
+	for _, d := range c.All() {
+		keys[d.ID] = key(d)
+	}
+	return &Hierarchy{
+		c:       c,
+		keys:    keys,
+		order:   blocking.SortedOrder(c, key),
+		levels:  levels,
+		emitted: entity.NewPairSet(0),
+	}
+}
+
+// Name implements Scheduler.
+func (h *Hierarchy) Name() string { return "hierarchy" }
+
+// Next implements Scheduler.
+func (h *Hierarchy) Next() (entity.Pair, bool) {
+	for {
+		if h.bufNext < len(h.buffer) {
+			p := h.buffer[h.bufNext]
+			h.bufNext++
+			return p, true
+		}
+		if h.level >= len(h.levels) {
+			return entity.Pair{}, false
+		}
+		h.fillLevel(h.levels[h.level])
+		h.level++
+	}
+}
+
+// fillLevel materializes the unseen pairs of all partitions at one prefix
+// length, in sorted-order position.
+func (h *Hierarchy) fillLevel(prefixLen int) {
+	h.buffer = h.buffer[:0]
+	h.bufNext = 0
+	start := 0
+	for start < len(h.order) {
+		end := start + 1
+		p0 := prefix(h.keys[h.order[start]], prefixLen)
+		for end < len(h.order) && prefix(h.keys[h.order[end]], prefixLen) == p0 {
+			end++
+		}
+		for i := start; i < end; i++ {
+			for j := i + 1; j < end; j++ {
+				a, b := h.order[i], h.order[j]
+				if !h.c.Comparable(a, b) {
+					continue
+				}
+				if h.emitted.Add(a, b) {
+					h.buffer = append(h.buffer, entity.NewPair(a, b))
+				}
+			}
+		}
+		start = end
+	}
+}
+
+func prefix(s string, n int) string {
+	if n >= len(s) {
+		return s
+	}
+	return s[:n]
+}
+
+// Feedback implements Scheduler (no-op).
+func (h *Hierarchy) Feedback(entity.Pair, bool) {}
+
+// PSNM is the progressive sorted neighborhood method of [23]: the base
+// schedule is the sliding window over the key-sorted order, and the local
+// lookahead exploits the cluster structure of real duplicates — when the
+// descriptions at sorted positions (i, j) match, positions (i−1, j) and
+// (i, j+1) are scheduled immediately, since duplicates concentrate in
+// dense areas of the sorting.
+type PSNM struct {
+	window *SlidingWindow
+	// Lookahead toggles the local lookahead (the ablation knob of E10).
+	lookahead bool
+	posOf     map[entity.ID]int
+	order     []entity.ID
+	pending   []entity.Pair
+	emitted   *entity.PairSet
+}
+
+// NewPSNM builds the scheduler over the key-sorted order of c.
+func NewPSNM(c *entity.Collection, key blocking.ScalarKeyFunc, lookahead bool, maxDistance int) *PSNM {
+	w := NewSlidingWindow(c, key, maxDistance)
+	posOf := make(map[entity.ID]int, len(w.order))
+	for i, id := range w.order {
+		posOf[id] = i
+	}
+	return &PSNM{
+		window:    w,
+		lookahead: lookahead,
+		posOf:     posOf,
+		order:     w.order,
+		emitted:   entity.NewPairSet(0),
+	}
+}
+
+// Name implements Scheduler.
+func (p *PSNM) Name() string {
+	if p.lookahead {
+		return "psnm+lookahead"
+	}
+	return "psnm"
+}
+
+// Next implements Scheduler.
+func (p *PSNM) Next() (entity.Pair, bool) {
+	for len(p.pending) > 0 {
+		pr := p.pending[len(p.pending)-1]
+		p.pending = p.pending[:len(p.pending)-1]
+		if p.emitted.Add(pr.A, pr.B) {
+			return pr, true
+		}
+	}
+	for {
+		pr, ok := p.window.Next()
+		if !ok {
+			return entity.Pair{}, false
+		}
+		if p.emitted.Add(pr.A, pr.B) {
+			return pr, true
+		}
+	}
+}
+
+// Feedback implements Scheduler: a match at sorted positions (i, j)
+// schedules (i−1, j) and (i, j+1) next.
+func (p *PSNM) Feedback(pr entity.Pair, matched bool) {
+	if !matched || !p.lookahead {
+		return
+	}
+	i, j := p.posOf[pr.A], p.posOf[pr.B]
+	if i > j {
+		i, j = j, i
+	}
+	if i-1 >= 0 {
+		p.push(p.order[i-1], p.order[j])
+	}
+	if j+1 < len(p.order) {
+		p.push(p.order[i], p.order[j+1])
+	}
+}
+
+func (p *PSNM) push(a, b entity.ID) {
+	if !p.window.c.Comparable(a, b) {
+		return
+	}
+	if p.emitted.Contains(a, b) {
+		return
+	}
+	p.pending = append(p.pending, entity.NewPair(a, b))
+}

@@ -1,0 +1,83 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"entityres/internal/entity"
+)
+
+// AddToCollection parses an N-Triples document and appends one description
+// per distinct subject to c, tagged with the given source. Predicate local
+// names become attribute names; literal objects keep their lexical form and
+// IRI objects keep the full IRI (so relationship-based resolution can
+// follow them). Subjects are added in first-appearance order, attribute
+// values in document order.
+func AddToCollection(c *entity.Collection, r io.Reader, source int) error {
+	triples, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	descs := make(map[string]*entity.Description)
+	var order []string
+	for _, t := range triples {
+		d, ok := descs[t.Subject]
+		if !ok {
+			d = entity.NewDescription(t.Subject)
+			d.Source = source
+			descs[t.Subject] = d
+			order = append(order, t.Subject)
+		}
+		d.Add(LocalName(t.Predicate), t.Object)
+	}
+	for _, uri := range order {
+		if _, err := c.Add(descs[uri]); err != nil {
+			return fmt.Errorf("rdf: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteCollection serializes every description of c as N-Triples, one
+// triple per attribute-value pair. Descriptions without a URI receive a
+// synthetic urn:entityres:<id> subject. Attribute names become predicates
+// under the urn:entityres:attr/ namespace; values that look like IRIs
+// (http://, https://, urn:) are written as IRI objects, everything else as
+// escaped literals.
+func WriteCollection(w io.Writer, c *entity.Collection) error {
+	for _, d := range c.All() {
+		subj := d.URI
+		if subj == "" {
+			subj = fmt.Sprintf("urn:entityres:%d", d.ID)
+		}
+		// Deterministic attribute order: document order is preserved as
+		// inserted; sort a copy by (name, value) for stable output.
+		attrs := append([]entity.Attribute(nil), d.Attrs...)
+		sort.Slice(attrs, func(i, j int) bool {
+			if attrs[i].Name != attrs[j].Name {
+				return attrs[i].Name < attrs[j].Name
+			}
+			return attrs[i].Value < attrs[j].Value
+		})
+		for _, a := range attrs {
+			var obj string
+			if looksLikeIRI(a.Value) {
+				obj = "<" + a.Value + ">"
+			} else {
+				obj = `"` + EscapeLiteral(a.Value) + `"`
+			}
+			if _, err := fmt.Fprintf(w, "<%s> <urn:entityres:attr/%s> %s .\n", subj, a.Name, obj); err != nil {
+				return fmt.Errorf("rdf: write: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+func looksLikeIRI(v string) bool {
+	return strings.HasPrefix(v, "http://") ||
+		strings.HasPrefix(v, "https://") ||
+		strings.HasPrefix(v, "urn:")
+}

@@ -1,0 +1,56 @@
+package rdf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+func TestWriteCollectionPropagatesWriterError(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	c.MustAdd(entity.NewDescription("http://kb/x").Add("name", "alice"))
+	err := WriteCollection(&failWriter{}, c)
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteCollectionDeterministicAttrOrder(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	c.MustAdd(entity.NewDescription("http://kb/x").
+		Add("zeta", "2").
+		Add("alpha", "1"))
+	var a, b strings.Builder
+	if err := WriteCollection(&a, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCollection(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("nondeterministic serialization")
+	}
+	if !strings.Contains(strings.Split(a.String(), "\n")[0], "alpha") {
+		t.Fatalf("attributes not sorted:\n%s", a.String())
+	}
+}
+
+func TestLooksLikeIRI(t *testing.T) {
+	for _, v := range []string{"http://x", "https://x", "urn:x"} {
+		if !looksLikeIRI(v) {
+			t.Fatalf("looksLikeIRI(%q) = false", v)
+		}
+	}
+	if looksLikeIRI("plain text") {
+		t.Fatal("plain text treated as IRI")
+	}
+}

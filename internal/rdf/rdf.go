@@ -1,0 +1,208 @@
+// Package rdf provides the Linked-Data ingestion substrate: a parser and
+// serializer for the N-Triples exchange format, and the mapping between
+// triple sets and entity descriptions (subject URI → description; predicate
+// local name → attribute name; literal or object IRI → attribute value).
+// The paper's setting is entity descriptions published as RDF in the Web of
+// data; this package is how such data enters the framework.
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Triple is one RDF statement. Object IRIs and literals are distinguished
+// by ObjectIsIRI; literal datatype/language tags are parsed and dropped
+// (the lexical form is what entity resolution consumes).
+type Triple struct {
+	Subject     string
+	Predicate   string
+	Object      string
+	ObjectIsIRI bool
+}
+
+// Parse reads an N-Triples document, skipping blank lines and comments.
+// Errors identify the offending line number.
+func Parse(r io.Reader) ([]Triple, error) {
+	var out []Triple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: %w", err)
+	}
+	return out, nil
+}
+
+// ParseLine parses a single N-Triples statement (without trailing
+// newline).
+func ParseLine(line string) (Triple, error) {
+	rest := strings.TrimSpace(line)
+	subj, rest, err := parseIRI(rest)
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	pred, rest, err := parseIRI(strings.TrimSpace(rest))
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return Triple{}, fmt.Errorf("missing object")
+	}
+	var t Triple
+	t.Subject, t.Predicate = subj, pred
+	switch rest[0] {
+	case '<':
+		obj, tail, err := parseIRI(rest)
+		if err != nil {
+			return Triple{}, fmt.Errorf("object: %w", err)
+		}
+		t.Object, t.ObjectIsIRI = obj, true
+		rest = tail
+	case '"':
+		lit, tail, err := parseLiteral(rest)
+		if err != nil {
+			return Triple{}, fmt.Errorf("object: %w", err)
+		}
+		t.Object = lit
+		rest = tail
+	default:
+		return Triple{}, fmt.Errorf("object must be IRI or literal, got %q", rest)
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "." {
+		return Triple{}, fmt.Errorf("statement must end with '.', got %q", rest)
+	}
+	return t, nil
+}
+
+// parseIRI consumes "<...>" from the front of s.
+func parseIRI(s string) (iri, rest string, err error) {
+	if len(s) == 0 || s[0] != '<' {
+		return "", "", fmt.Errorf("expected '<', got %q", s)
+	}
+	end := strings.IndexByte(s, '>')
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated IRI in %q", s)
+	}
+	return s[1:end], s[end+1:], nil
+}
+
+// parseLiteral consumes a quoted literal with optional @lang or ^^<type>
+// suffix from the front of s, unescaping the lexical form.
+func parseLiteral(s string) (lit, rest string, err error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("expected '\"', got %q", s)
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		if c == '"' {
+			break
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", "", fmt.Errorf("dangling escape in %q", s)
+		}
+		switch s[i+1] {
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'u':
+			if i+6 > len(s) {
+				return "", "", fmt.Errorf("short \\u escape in %q", s)
+			}
+			code, err := strconv.ParseUint(s[i+2:i+6], 16, 32)
+			if err != nil {
+				return "", "", fmt.Errorf("bad \\u escape in %q", s)
+			}
+			b.WriteRune(rune(code))
+			i += 6
+			continue
+		default:
+			return "", "", fmt.Errorf("unknown escape \\%c", s[i+1])
+		}
+		i += 2
+	}
+	if i >= len(s) {
+		return "", "", fmt.Errorf("unterminated literal in %q", s)
+	}
+	rest = s[i+1:]
+	// Optional tags.
+	switch {
+	case strings.HasPrefix(rest, "@"):
+		j := 1
+		for j < len(rest) && rest[j] != ' ' && rest[j] != '\t' {
+			j++
+		}
+		rest = rest[j:]
+	case strings.HasPrefix(rest, "^^"):
+		_, tail, err := parseIRI(rest[2:])
+		if err != nil {
+			return "", "", fmt.Errorf("bad datatype: %w", err)
+		}
+		rest = tail
+	}
+	return b.String(), rest, nil
+}
+
+// LocalName returns the fragment after the last '#' or '/' of an IRI; the
+// conventional attribute-name extraction for RDF predicates.
+func LocalName(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '#' || iri[i] == '/' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}
+
+// EscapeLiteral escapes a literal's lexical form for N-Triples output.
+func EscapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func TestParseLineIRIObject(t *testing.T) {
+	got, err := ParseLine(`<http://a> <http://p> <http://b> .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Triple{Subject: "http://a", Predicate: "http://p", Object: "http://b", ObjectIsIRI: true}
+	if got != want {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestParseLineLiteralVariants(t *testing.T) {
+	cases := []struct {
+		line string
+		want string
+	}{
+		{`<s:a> <p:b> "plain" .`, "plain"},
+		{`<s:a> <p:b> "tagged"@en .`, "tagged"},
+		{`<s:a> <p:b> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`, "42"},
+		{`<s:a> <p:b> "esc \"q\" \\ \n \t" .`, "esc \"q\" \\ \n \t"},
+		{`<s:a> <p:b> "état" .`, "état"},
+	}
+	for _, c := range cases {
+		got, err := ParseLine(c.line)
+		if err != nil {
+			t.Fatalf("%q: %v", c.line, err)
+		}
+		if got.Object != c.want || got.ObjectIsIRI {
+			t.Fatalf("%q → %+v, want object %q", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<s:a>`,
+		`<s:a> <p:b>`,
+		`<s:a> <p:b> bare .`,
+		`<s:a> <p:b> "unterminated .`,
+		`<s:a> <p:b> "x"`,
+		`<s:a> <p:b> "x" extra .`,
+		`<s:a <p:b> "x" .`,
+		`<s:a> <p:b> "bad \q escape" .`,
+		`<s:a> <p:b> "short \u12" .`,
+		`<s:a> <p:b> "x"^^bad .`,
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseDocumentSkipsCommentsAndReportsLines(t *testing.T) {
+	doc := "# comment\n\n<s:a> <p:n> \"x\" .\n<s:b> <p:n> broken .\n"
+	_, err := Parse(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("err = %v", err)
+	}
+	ok, err := Parse(strings.NewReader("# only comments\n\n"))
+	if err != nil || len(ok) != 0 {
+		t.Fatalf("comments-only: %v, %v", ok, err)
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := map[string]string{
+		"http://ex.org/onto#name": "name",
+		"http://ex.org/res/Alan":  "Alan",
+		"nolocal":                 "nolocal",
+	}
+	for in, want := range cases {
+		if got := LocalName(in); got != want {
+			t.Fatalf("LocalName(%q) = %q", in, got)
+		}
+	}
+}
+
+func TestAddToCollection(t *testing.T) {
+	doc := `<http://kb/e1> <http://onto/name> "Alice Smith" .
+<http://kb/e1> <http://onto/knows> <http://kb/e2> .
+<http://kb/e2> <http://onto/name> "Bob" .
+`
+	c := entity.NewCollection(entity.Dirty)
+	if err := AddToCollection(c, strings.NewReader(doc), 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	d := c.Get(0)
+	if d.URI != "http://kb/e1" {
+		t.Fatalf("URI = %q", d.URI)
+	}
+	if v, _ := d.Value("name"); v != "Alice Smith" {
+		t.Fatalf("name = %q", v)
+	}
+	if v, _ := d.Value("knows"); v != "http://kb/e2" {
+		t.Fatalf("knows = %q (full IRI expected)", v)
+	}
+}
+
+func TestAddToCollectionSourceValidation(t *testing.T) {
+	doc := `<http://kb/e1> <http://onto/name> "x" .` + "\n"
+	c := entity.NewCollection(entity.Dirty)
+	if err := AddToCollection(c, strings.NewReader(doc), 1); err == nil {
+		t.Fatal("source 1 into dirty collection must fail")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	d := entity.NewDescription("http://kb/x").
+		Add("name", `weird "value" with \ and`+"\ttab").
+		Add("link", "http://kb/y")
+	c.MustAdd(d)
+	c.MustAdd(entity.NewDescription("").Add("name", "anon"))
+	var buf bytes.Buffer
+	if err := WriteCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2 := entity.NewCollection(entity.Dirty)
+	if err := AddToCollection(c2, bytes.NewReader(buf.Bytes()), 0); err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, buf.String())
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("round-trip Len = %d", c2.Len())
+	}
+	var rt *entity.Description
+	for _, cand := range c2.All() {
+		if cand.URI == "http://kb/x" {
+			rt = cand
+		}
+	}
+	if rt == nil {
+		t.Fatal("subject lost")
+	}
+	if v, _ := rt.Value("name"); v != `weird "value" with \ and`+"\ttab" {
+		t.Fatalf("escaped value = %q", v)
+	}
+	if v, _ := rt.Value("link"); v != "http://kb/y" {
+		t.Fatalf("IRI value = %q", v)
+	}
+}
+
+func TestEscapeLiteral(t *testing.T) {
+	if got := EscapeLiteral("a\"b\\c\nd\re\tf"); got != `a\"b\\c\nd\re\tf` {
+		t.Fatalf("EscapeLiteral = %q", got)
+	}
+}

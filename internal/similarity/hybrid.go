@@ -1,0 +1,82 @@
+package similarity
+
+import "entityres/internal/token"
+
+// QGramSim returns the Jaccard similarity of the padded q-gram sets of a
+// and b. It tolerates both typos and token reordering, sitting between
+// pure edit distance and pure token overlap.
+func QGramSim(a, b string, q int) float64 {
+	return Jaccard(token.NewSet(token.QGrams(a, q)...), token.NewSet(token.QGrams(b, q)...))
+}
+
+// MongeElkan computes the Monge-Elkan hybrid similarity: for each token of
+// a, the best inner similarity against any token of b, averaged. The inner
+// measure defaults to JaroWinkler when nil. Note the measure is asymmetric;
+// use MongeElkanSym for a symmetric variant.
+func MongeElkan(a, b []string, inner func(string, string) float64) float64 {
+	if inner == nil {
+		inner = JaroWinkler
+	}
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, ta := range a {
+		best := 0.0
+		for _, tb := range b {
+			if s := inner(ta, tb); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(a))
+}
+
+// MongeElkanSym symmetrizes MongeElkan by averaging both directions.
+func MongeElkanSym(a, b []string, inner func(string, string) float64) float64 {
+	return (MongeElkan(a, b, inner) + MongeElkan(b, a, inner)) / 2
+}
+
+// Vector is a sparse weighted term vector (e.g. TF-IDF weights).
+type Vector map[string]float64
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 {
+	s := 0.0
+	for _, w := range v {
+		s += w * w
+	}
+	return sqrt(s)
+}
+
+// Dot returns the dot product of v and o.
+func (v Vector) Dot(o Vector) float64 {
+	small, large := v, o
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	s := 0.0
+	for t, w := range small {
+		if w2, ok := large[t]; ok {
+			s += w * w2
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of two weighted vectors; 1 when both
+// are empty, 0 when exactly one is empty.
+func Cosine(a, b Vector) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / (na * nb)
+}

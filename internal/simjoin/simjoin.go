@@ -1,0 +1,224 @@
+// Package simjoin implements string-similarity joins as a blocking device
+// (§II of the paper, after [5] and [28]): find all pairs of token records
+// whose Jaccard similarity reaches a threshold, without comparing all
+// pairs. The implementation is the AllPairs/PPJoin family: tokens are
+// canonically ordered by ascending document frequency, only the short
+// prefix of each record is indexed and probed (prefix filter), candidates
+// violating the length filter are skipped, and the optional positional
+// filter (PPJoin proper) prunes candidates whose remaining suffixes cannot
+// reach the required overlap.
+package simjoin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"entityres/internal/entity"
+)
+
+// Input is one record to join: a description ID, its source (used when
+// joining clean-clean collections) and its raw token set.
+type Input struct {
+	ID     entity.ID
+	Source int
+	Tokens []string
+}
+
+// Result is one joined pair with its exact Jaccard similarity (≥ the join
+// threshold).
+type Result struct {
+	Pair entity.Pair
+	Sim  float64
+}
+
+// Options tunes the join.
+type Options struct {
+	// Positional enables the PPJoin positional filter on top of the prefix
+	// and length filters of AllPairs.
+	Positional bool
+	// CrossOnly keeps only pairs whose inputs have different Source values
+	// (clean-clean joins).
+	CrossOnly bool
+}
+
+// Jaccard runs the self-join: every pair of inputs with Jaccard similarity
+// ≥ threshold is returned, sorted by (Pair.A, Pair.B). The threshold must
+// be in (0, 1].
+func Jaccard(inputs []Input, threshold float64, opts Options) ([]Result, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("simjoin: threshold %v outside (0,1]", threshold)
+	}
+	recs := canonicalize(inputs)
+	// Ascending size order: when r probes the index, every indexed record
+	// s satisfies |s| ≤ |r|, so the length filter is one-sided.
+	sort.Slice(recs, func(i, j int) bool {
+		if len(recs[i].tokens) != len(recs[j].tokens) {
+			return len(recs[i].tokens) < len(recs[j].tokens)
+		}
+		return recs[i].id < recs[j].id
+	})
+	type post struct {
+		rec int // index into recs
+		pos int // token position within the record prefix
+	}
+	index := make(map[int][]post)
+	var out []Result
+	overlap := make(map[int]int) // candidate rec → accumulated prefix overlap
+	pruned := make(map[int]bool)
+	for ri, r := range recs {
+		lr := len(r.tokens)
+		if lr == 0 {
+			continue
+		}
+		clear(overlap)
+		clear(pruned)
+		minLen := int(math.Ceil(threshold*float64(lr) - 1e-9))
+		prefix := lr - int(math.Ceil(threshold*float64(lr)-1e-9)) + 1
+		for i := 0; i < prefix; i++ {
+			tok := r.tokens[i]
+			for _, p := range index[tok] {
+				s := recs[p.rec]
+				ls := len(s.tokens)
+				if ls < minLen {
+					continue // length filter
+				}
+				if pruned[p.rec] {
+					continue
+				}
+				if opts.Positional {
+					// α is the overlap needed for Jaccard ≥ t.
+					alpha := int(math.Ceil(threshold/(1+threshold)*float64(lr+ls) - 1e-9))
+					ubound := 1 + min(lr-1-i, ls-1-p.pos)
+					if overlap[p.rec]+ubound < alpha {
+						pruned[p.rec] = true
+						continue
+					}
+				}
+				overlap[p.rec]++
+			}
+			index[tok] = append(index[tok], post{rec: ri, pos: i})
+		}
+		for cand := range overlap {
+			if pruned[cand] {
+				continue
+			}
+			s := recs[cand]
+			if opts.CrossOnly && s.source == r.source {
+				continue
+			}
+			sim := jaccardSortedInts(r.tokens, s.tokens)
+			if sim+1e-12 >= threshold {
+				out = append(out, Result{Pair: entity.NewPair(r.id, s.id), Sim: sim})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		return out[i].Pair.B < out[j].Pair.B
+	})
+	return out, nil
+}
+
+// rec is a canonicalized record: distinct tokens as integer ranks sorted
+// ascending, where rank order is (document frequency asc, token asc).
+type rec struct {
+	id     entity.ID
+	source int
+	tokens []int
+}
+
+// canonicalize computes global token ranks by ascending document frequency
+// and rewrites every record as a sorted rank slice. Rare-first ordering
+// makes prefixes maximally selective.
+func canonicalize(inputs []Input) []rec {
+	df := make(map[string]int)
+	for _, in := range inputs {
+		seen := make(map[string]struct{}, len(in.Tokens))
+		for _, t := range in.Tokens {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				df[t]++
+			}
+		}
+	}
+	toks := make([]string, 0, len(df))
+	for t := range df {
+		toks = append(toks, t)
+	}
+	sort.Slice(toks, func(i, j int) bool {
+		if df[toks[i]] != df[toks[j]] {
+			return df[toks[i]] < df[toks[j]]
+		}
+		return toks[i] < toks[j]
+	})
+	rank := make(map[string]int, len(toks))
+	for i, t := range toks {
+		rank[t] = i
+	}
+	recs := make([]rec, 0, len(inputs))
+	for _, in := range inputs {
+		seen := make(map[string]struct{}, len(in.Tokens))
+		r := rec{id: in.ID, source: in.Source}
+		for _, t := range in.Tokens {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				r.tokens = append(r.tokens, rank[t])
+			}
+		}
+		sort.Ints(r.tokens)
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+func jaccardSortedInts(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	i, j, inter := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// BruteForce computes the exact join by comparing all pairs; the oracle for
+// tests and the baseline for experiment E5.
+func BruteForce(inputs []Input, threshold float64, crossOnly bool) []Result {
+	recs := canonicalize(inputs)
+	var out []Result
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j++ {
+			if crossOnly && recs[i].source == recs[j].source {
+				continue
+			}
+			sim := jaccardSortedInts(recs[i].tokens, recs[j].tokens)
+			if sim+1e-12 >= threshold {
+				out = append(out, Result{Pair: entity.NewPair(recs[i].id, recs[j].id), Sim: sim})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		return out[i].Pair.B < out[j].Pair.B
+	})
+	return out
+}

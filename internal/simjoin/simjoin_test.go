@@ -1,0 +1,180 @@
+package simjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"entityres/internal/entity"
+)
+
+func inputsFrom(tokenLists ...[]string) []Input {
+	out := make([]Input, len(tokenLists))
+	for i, ts := range tokenLists {
+		out[i] = Input{ID: i, Tokens: ts}
+	}
+	return out
+}
+
+func TestJaccardJoinSimple(t *testing.T) {
+	inputs := inputsFrom(
+		[]string{"a", "b", "c"},
+		[]string{"a", "b", "d"}, // sim 0.5 with rec 0
+		[]string{"x", "y", "z"},
+	)
+	got, err := Jaccard(inputs, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Pair != entity.NewPair(0, 1) {
+		t.Fatalf("join results = %v", got)
+	}
+	if got[0].Sim != 0.5 {
+		t.Fatalf("sim = %v", got[0].Sim)
+	}
+}
+
+func TestJaccardJoinThresholdValidation(t *testing.T) {
+	for _, th := range []float64{0, -0.5, 1.5} {
+		if _, err := Jaccard(nil, th, Options{}); err == nil {
+			t.Fatalf("threshold %v accepted", th)
+		}
+	}
+}
+
+func TestJaccardJoinIdentical(t *testing.T) {
+	inputs := inputsFrom([]string{"p", "q"}, []string{"q", "p", "p"})
+	got, err := Jaccard(inputs, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Sim != 1 {
+		t.Fatalf("identical join = %v", got)
+	}
+}
+
+func TestJaccardJoinEmptyRecords(t *testing.T) {
+	inputs := inputsFrom(nil, []string{"a"})
+	got, err := Jaccard(inputs, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty record joined: %v", got)
+	}
+}
+
+func TestCrossOnly(t *testing.T) {
+	inputs := []Input{
+		{ID: 0, Source: 0, Tokens: []string{"a", "b"}},
+		{ID: 1, Source: 0, Tokens: []string{"a", "b"}},
+		{ID: 2, Source: 1, Tokens: []string{"a", "b"}},
+	}
+	got, err := Jaccard(inputs, 0.9, Options{CrossOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if (r.Pair.A == 0 && r.Pair.B == 1) || (r.Pair.A == 1 && r.Pair.B == 0) {
+			t.Fatalf("same-source pair emitted: %v", r)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("cross pairs = %v", got)
+	}
+}
+
+// randomInputs generates records over a small vocabulary so overlaps are
+// frequent.
+func randomInputs(rng *rand.Rand, n int) []Input {
+	vocab := make([]string, 12)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("t%02d", i)
+	}
+	inputs := make([]Input, n)
+	for i := range inputs {
+		sz := 1 + rng.Intn(6)
+		toks := make([]string, 0, sz)
+		for j := 0; j < sz; j++ {
+			toks = append(toks, vocab[rng.Intn(len(vocab))])
+		}
+		inputs[i] = Input{ID: i, Source: rng.Intn(2), Tokens: toks}
+	}
+	return inputs
+}
+
+// Property: the filtered join (with and without positional filter) returns
+// exactly the brute-force result set at several thresholds.
+func TestJoinMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inputs := randomInputs(rng, 25)
+		for _, th := range []float64{0.3, 0.5, 0.8, 1.0} {
+			want := BruteForce(inputs, th, false)
+			for _, positional := range []bool{false, true} {
+				got, err := Jaccard(inputs, th, Options{Positional: positional})
+				if err != nil || !reflect.DeepEqual(got, want) {
+					t.Logf("seed=%d th=%v pos=%v got=%v want=%v", seed, th, positional, got, want)
+					return false
+				}
+			}
+			// Cross-only agreement too.
+			wantX := BruteForce(inputs, th, true)
+			gotX, err := Jaccard(inputs, th, Options{CrossOnly: true})
+			if err != nil || !reflect.DeepEqual(gotX, wantX) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockingAdapter(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	c.MustAdd(entity.NewDescription("").Add("n", "alpha beta gamma"))
+	c.MustAdd(entity.NewDescription("").Add("n", "alpha beta delta"))
+	c.MustAdd(entity.NewDescription("").Add("n", "omega psi chi"))
+	bs, err := (&Blocking{Threshold: 0.5}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Len() != 1 {
+		t.Fatalf("blocks = %d", bs.Len())
+	}
+	b := bs.Get(0)
+	if len(b.S0) != 2 {
+		t.Fatalf("block members = %v", b.S0)
+	}
+}
+
+func TestBlockingAdapterCleanClean(t *testing.T) {
+	c := entity.NewCollection(entity.CleanClean)
+	c.MustAdd(entity.NewDescription("").Add("n", "alpha beta"))
+	d := entity.NewDescription("").Add("n", "alpha beta")
+	d.Source = 1
+	c.MustAdd(d)
+	e := entity.NewDescription("").Add("n", "alpha beta")
+	c.MustAdd(e) // same source as first: must not pair
+	bs, err := (&Blocking{Threshold: 0.9}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := bs.DistinctPairs()
+	if pairs.Contains(0, 2) {
+		t.Fatal("same-source pair blocked")
+	}
+	if !pairs.Contains(0, 1) || !pairs.Contains(1, 2) {
+		t.Fatal("cross-source pairs missing")
+	}
+}
+
+func TestBlockerName(t *testing.T) {
+	if (&Blocking{}).Name() != "simjoin" {
+		t.Fatal("name")
+	}
+}

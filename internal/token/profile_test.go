@@ -1,0 +1,72 @@
+package token
+
+import (
+	"reflect"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func TestProfilerSchemaAgnostic(t *testing.T) {
+	d := entity.NewDescription("").Add("name", "Alice Smith").Add("job", "Smith Forge")
+	p := &Profiler{Scheme: SchemaAgnostic}
+	got := p.Tokens(d)
+	want := []string{"alice", "smith", "smith", "forge"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokens = %v, want %v", got, want)
+	}
+	set := p.Set(d)
+	if set.Len() != 3 {
+		t.Fatalf("Set = %v", set)
+	}
+}
+
+func TestProfilerSchemaAware(t *testing.T) {
+	d := entity.NewDescription("").Add("name", "smith").Add("city", "smith")
+	p := &Profiler{Scheme: SchemaAware}
+	set := p.Set(d)
+	if !set.Contains("name#smith") || !set.Contains("city#smith") || set.Len() != 2 {
+		t.Fatalf("schema-aware set = %v", set)
+	}
+}
+
+func TestProfilerStopwordsAndMinLen(t *testing.T) {
+	d := entity.NewDescription("").Add("t", "the of ab abc")
+	p := &Profiler{Scheme: SchemaAgnostic, Stopwords: DefaultStopwords(), MinTokenLen: 3}
+	got := p.Tokens(d)
+	if !reflect.DeepEqual(got, []string{"abc"}) {
+		t.Fatalf("Tokens = %v", got)
+	}
+}
+
+func TestProfilerURITokens(t *testing.T) {
+	d := entity.NewDescription("http://dbpedia.org/resource/Alan_Turing")
+	p := &Profiler{Scheme: SchemaAgnostic, IncludeURITokens: true}
+	got := p.Tokens(d)
+	want := []string{"alan", "turing"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("URI tokens = %v, want %v", got, want)
+	}
+	p.IncludeURITokens = false
+	if len(p.Tokens(d)) != 0 {
+		t.Fatal("URI tokens leaked with flag off")
+	}
+}
+
+func TestURITokensHashFragment(t *testing.T) {
+	got := URITokens("http://ex.org/onto#Person_Name", nil, 0)
+	want := []string{"person", "name"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("URITokens = %v", got)
+	}
+	if got := URITokens("nolocalpart", nil, 0); !reflect.DeepEqual(got, []string{"nolocalpart"}) {
+		t.Fatalf("URITokens without separator = %v", got)
+	}
+}
+
+func TestDefaultProfiler(t *testing.T) {
+	p := DefaultProfiler()
+	if p.Scheme != SchemaAgnostic || p.Stopwords == nil {
+		t.Fatal("DefaultProfiler misconfigured")
+	}
+}

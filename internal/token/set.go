@@ -1,0 +1,112 @@
+package token
+
+import "sort"
+
+// Set is a set of tokens. It is the unit of set-based similarity (Jaccard,
+// Dice, cosine) and of schema-agnostic description signatures.
+type Set map[string]struct{}
+
+// NewSet builds a set from the given tokens.
+func NewSet(tokens ...string) Set {
+	s := make(Set, len(tokens))
+	for _, t := range tokens {
+		s[t] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts t and reports whether it was new.
+func (s Set) Add(t string) bool {
+	if _, ok := s[t]; ok {
+		return false
+	}
+	s[t] = struct{}{}
+	return true
+}
+
+// Contains reports membership.
+func (s Set) Contains(t string) bool {
+	_, ok := s[t]
+	return ok
+}
+
+// Len returns the set cardinality.
+func (s Set) Len() int { return len(s) }
+
+// Sorted returns the tokens in ascending order. Sorted token lists are the
+// input to prefix-filtered similarity joins, where a global total order on
+// tokens is required.
+func (s Set) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for t := range s {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IntersectionSize returns |s ∩ o| without materializing the intersection.
+func (s Set) IntersectionSize(o Set) int {
+	small, large := s, o
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	n := 0
+	for t := range small {
+		if _, ok := large[t]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// UnionSize returns |s ∪ o|.
+func (s Set) UnionSize(o Set) int {
+	return len(s) + len(o) - s.IntersectionSize(o)
+}
+
+// Union returns a new set s ∪ o.
+func (s Set) Union(o Set) Set {
+	out := make(Set, len(s)+len(o))
+	for t := range s {
+		out[t] = struct{}{}
+	}
+	for t := range o {
+		out[t] = struct{}{}
+	}
+	return out
+}
+
+// Bag is a multiset of tokens with integer multiplicities; the basis of
+// TF-weighted similarity.
+type Bag map[string]int
+
+// NewBag builds a bag from the given tokens.
+func NewBag(tokens ...string) Bag {
+	b := make(Bag, len(tokens))
+	for _, t := range tokens {
+		b[t]++
+	}
+	return b
+}
+
+// Add increments the multiplicity of t by n.
+func (b Bag) Add(t string, n int) { b[t] += n }
+
+// Total returns the total number of token occurrences.
+func (b Bag) Total() int {
+	n := 0
+	for _, c := range b {
+		n += c
+	}
+	return n
+}
+
+// ToSet forgets multiplicities.
+func (b Bag) ToSet() Set {
+	s := make(Set, len(b))
+	for t := range b {
+		s[t] = struct{}{}
+	}
+	return s
+}

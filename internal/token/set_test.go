@@ -1,0 +1,74 @@
+package token
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet("a", "b", "a")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Add("c") || s.Add("c") {
+		t.Fatal("Add semantics wrong")
+	}
+	if !s.Contains("a") || s.Contains("z") {
+		t.Fatal("Contains wrong")
+	}
+	if got := s.Sorted(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Sorted = %v", got)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet("x", "y", "z")
+	b := NewSet("y", "z", "w")
+	if a.IntersectionSize(b) != 2 {
+		t.Fatalf("IntersectionSize = %d", a.IntersectionSize(b))
+	}
+	if a.UnionSize(b) != 4 {
+		t.Fatalf("UnionSize = %d", a.UnionSize(b))
+	}
+	u := a.Union(b)
+	if u.Len() != 4 || !u.Contains("w") || !u.Contains("x") {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+// Property: inclusion-exclusion holds for random sets.
+func TestSetInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := NewSet(), NewSet()
+		for _, x := range xs {
+			a.Add(string(rune('a' + x%16)))
+		}
+		for _, y := range ys {
+			b.Add(string(rune('a' + y%16)))
+		}
+		return a.UnionSize(b) == a.Len()+b.Len()-a.IntersectionSize(b) &&
+			a.IntersectionSize(b) == b.IntersectionSize(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBag(t *testing.T) {
+	b := NewBag("a", "b", "a")
+	if b["a"] != 2 || b["b"] != 1 {
+		t.Fatalf("bag = %v", b)
+	}
+	if b.Total() != 3 {
+		t.Fatalf("Total = %d", b.Total())
+	}
+	b.Add("c", 4)
+	if b.Total() != 7 {
+		t.Fatalf("Total after Add = %d", b.Total())
+	}
+	s := b.ToSet()
+	if s.Len() != 3 {
+		t.Fatalf("ToSet = %v", s)
+	}
+}
