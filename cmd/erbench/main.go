@@ -1,26 +1,36 @@
 // Command erbench runs the reproduction experiment suite E1–E12 (see
 // DESIGN.md §3) and prints the result tables that EXPERIMENTS.md records.
+// With -parallel it instead benchmarks the concurrent pipeline engine
+// against the sequential pipeline on a synthetic workload and prints the
+// per-phase comparison.
 //
 // Usage:
 //
 //	erbench [-experiment E1|E2|...|all] [-scale small|medium] [-seed N]
+//	erbench -parallel [-shards N] [-workers N] [-scale small|medium] [-seed N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"entityres/er"
 	"entityres/internal/experiments"
 )
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (E1..E12) or 'all'")
-		scale = flag.String("scale", "small", "experiment scale: small or medium")
-		seed  = flag.Int64("seed", 42, "deterministic data-generation seed")
+		which    = flag.String("experiment", "all", "experiment id (E1..E12) or 'all'")
+		scale    = flag.String("scale", "small", "experiment scale: small or medium")
+		seed     = flag.Int64("seed", 42, "deterministic data-generation seed")
+		parallel = flag.Bool("parallel", false, "benchmark the concurrent pipeline engine against the sequential pipeline")
+		shards   = flag.Int("shards", 0, "blocking shards for -parallel (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "matcher/weighting workers for -parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	var sc experiments.Scale
@@ -32,6 +42,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "erbench: unknown scale %q (want small or medium)\n", *scale)
 		os.Exit(2)
+	}
+	if *parallel {
+		if err := runParallelComparison(sc, *seed, *shards, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	ran := 0
 	for _, e := range experiments.All() {
@@ -55,4 +72,89 @@ func main() {
 		fmt.Fprintf(os.Stderr, "erbench: unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
+}
+
+// runParallelComparison runs the same pipeline configuration through the
+// sequential core pipeline and the concurrent engine, asserts the match
+// sets are identical, and prints per-phase wall times with the speedup.
+func runParallelComparison(sc experiments.Scale, seed int64, shards, workers int) error {
+	entities := 1500
+	if sc == experiments.Medium {
+		entities = 6000
+	}
+	c, gt, err := er.GenerateDirty(er.GenConfig{Seed: seed, Entities: entities, MaxDuplicates: 2})
+	if err != nil {
+		return err
+	}
+	cfg := er.Pipeline{
+		Blocker:    &er.TokenBlocking{},
+		Processors: []er.BlockProcessor{&er.BlockFiltering{}},
+		Meta:       &er.MetaBlocker{Weight: er.ECBS, Prune: er.WEP},
+		Matcher:    &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+	}
+	// Report the resolved parallelism, not the raw flags, so recorded
+	// output says what the measured run actually used.
+	opt := er.ParallelOptions{Workers: workers, Shards: shards}.Resolve()
+	fmt.Printf("pipeline comparison: %d descriptions, seed %d, GOMAXPROCS %d, shards %d, workers %d\n",
+		c.Len(), seed, runtime.GOMAXPROCS(0), opt.Shards, opt.Workers)
+
+	// Discarded warm-up pass: the first run through the data pays allocator
+	// growth and cache warm-up that whichever run goes second would
+	// otherwise inherit for free, biasing the reported speedup.
+	warmCfg := cfg
+	if _, err := warmCfg.Run(c); err != nil {
+		return fmt.Errorf("warm-up: %w", err)
+	}
+
+	seqCfg := cfg
+	t0 := time.Now()
+	seqRes, err := seqCfg.Run(c)
+	if err != nil {
+		return fmt.Errorf("sequential: %w", err)
+	}
+	seqTotal := time.Since(t0)
+
+	eng := er.NewParallelPipeline(cfg, opt)
+	t0 = time.Now()
+	parRes, err := eng.Run(context.Background(), c)
+	if err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
+	parTotal := time.Since(t0)
+
+	if !sameMatches(seqRes.Matches, parRes.Matches) {
+		return fmt.Errorf("match sets differ: sequential %d, parallel %d", seqRes.Matches.Len(), parRes.Matches.Len())
+	}
+
+	fmt.Printf("\n%-16s %14s %14s\n", "phase", "sequential", "parallel")
+	par := phaseIndex(parRes)
+	for _, ph := range seqRes.Phases {
+		fmt.Printf("%-16s %14v %14v\n", ph.Name, ph.Duration.Round(time.Microsecond), par[ph.Name].Round(time.Microsecond))
+	}
+	fmt.Printf("%-16s %14v %14v\n", "total", seqTotal.Round(time.Microsecond), parTotal.Round(time.Microsecond))
+	fmt.Printf("\nmatches=%d comparisons=%d identical=true speedup=%.2fx recall=%.3f\n",
+		parRes.Matches.Len(), parRes.Comparisons,
+		float64(seqTotal)/float64(parTotal),
+		er.ComparePairs(parRes.Matches, gt).Recall)
+	return nil
+}
+
+func phaseIndex(res *er.PipelineResult) map[string]time.Duration {
+	m := make(map[string]time.Duration, len(res.Phases))
+	for _, ph := range res.Phases {
+		m[ph.Name] = ph.Duration
+	}
+	return m
+}
+
+func sameMatches(a, b *er.Matches) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	same := true
+	a.Each(func(p er.Pair) bool {
+		same = b.Contains(p.A, p.B)
+		return same
+	})
+	return same
 }

@@ -28,6 +28,7 @@
 package er
 
 import (
+	"context"
 	"io"
 
 	"entityres/internal/blocking"
@@ -43,6 +44,7 @@ import (
 	"entityres/internal/matching"
 	"entityres/internal/metablocking"
 	"entityres/internal/multiblock"
+	"entityres/internal/pipeline"
 	"entityres/internal/progressive"
 	"entityres/internal/rdf"
 	"entityres/internal/simjoin"
@@ -296,6 +298,57 @@ const (
 	CollectiveMode   = core.Collective
 	ProgressiveMode  = core.Progressive
 )
+
+// Concurrent execution engine.
+type (
+	// ParallelPipeline executes a Pipeline configuration with sharded
+	// worker pools: sharded blocking index build, parallel meta-blocking
+	// edge weighting, a worker-pool matcher fed by a streaming comparison
+	// iterator, and wave-parallel budgeted progressive runs. Results are
+	// deterministic across worker/shard counts (ARCS-weighted
+	// meta-blocking excepted — see the pipeline package docs).
+	ParallelPipeline = pipeline.Engine
+	// ParallelOptions sets the engine's worker and shard counts.
+	ParallelOptions = pipeline.Options
+	// KeyedBlocker is implemented by blockers whose index build can be
+	// sharded across the collection (token, standard, q-grams,
+	// suffix-array, prefix-infix-suffix blocking).
+	KeyedBlocker = blocking.KeyedBlocker
+	// CompareIterator streams the distinct comparisons of a block
+	// collection without materializing the pair list.
+	CompareIterator = blocking.CompareIterator
+)
+
+// NewParallelPipeline returns the concurrent engine for a pipeline
+// configuration; run it with Run(ctx, c).
+func NewParallelPipeline(cfg Pipeline, opt ParallelOptions) *ParallelPipeline {
+	return pipeline.New(cfg, opt)
+}
+
+// NewCompareIterator returns a streaming iterator over the distinct
+// comparisons of bs, in deterministic block order.
+func NewCompareIterator(bs *Blocks) *CompareIterator { return blocking.NewCompareIterator(bs) }
+
+// BuildShardedBlocks builds kb's block collection with the entity
+// collection sharded across concurrent workers; the result is identical to
+// kb.Block(c) for any shard count.
+func BuildShardedBlocks(ctx context.Context, c *Collection, kb KeyedBlocker, shards int) (*Blocks, error) {
+	return blocking.BuildSharded(ctx, c, kb, shards)
+}
+
+// ResolveBlocksParallel executes a matcher over a block collection's
+// distinct comparisons with a pool of concurrent workers; the match output
+// equals ResolveBlocks for any worker count.
+func ResolveBlocksParallel(ctx context.Context, c *Collection, bs *Blocks, m *Matcher, workers int) (MatchResult, error) {
+	return matching.ResolveBlocksParallel(ctx, c, bs, m, workers)
+}
+
+// RunProgressiveParallel is RunProgressive with matcher execution fanned
+// out to workers in fixed-size waves; it stops exactly at the comparison
+// budget and its result does not depend on the worker count.
+func RunProgressiveParallel(ctx context.Context, c *Collection, s Scheduler, m *Matcher, gt *Matches, budget int64, workers int) (ProgressiveResult, error) {
+	return progressive.RunParallel(ctx, c, s, m, gt, budget, workers)
+}
 
 // Synthetic data generation.
 type (

@@ -2,6 +2,7 @@ package er_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"entityres/er"
@@ -155,5 +156,66 @@ func TestFacadeBlockingMetrics(t *testing.T) {
 	}
 	if m.RR <= 0 {
 		t.Fatalf("RR = %v", m.RR)
+	}
+}
+
+// TestFacadeParallelPipeline exercises the concurrent engine through the
+// public surface and checks it agrees with the sequential pipeline.
+func TestFacadeParallelPipeline(t *testing.T) {
+	c, gt, err := er.GenerateDirty(er.GenConfig{Seed: 6, Entities: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := er.Pipeline{
+		Blocker:    &er.TokenBlocking{},
+		Processors: []er.BlockProcessor{&er.BlockFiltering{}},
+		Meta:       &er.MetaBlocker{Weight: er.ECBS, Prune: er.WEP},
+		Matcher:    &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+	}
+	seq := cfg
+	want, err := seq.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := er.NewParallelPipeline(cfg, er.ParallelOptions{Workers: 4, Shards: 4}).Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matches.Len() != want.Matches.Len() || got.Comparisons != want.Comparisons {
+		t.Fatalf("parallel: %d matches / %d comparisons, sequential: %d / %d",
+			got.Matches.Len(), got.Comparisons, want.Matches.Len(), want.Comparisons)
+	}
+	want.Matches.Each(func(p er.Pair) bool {
+		if !got.Matches.Contains(p.A, p.B) {
+			t.Fatalf("parallel result missing match %v", p)
+		}
+		return true
+	})
+	if prf := er.ComparePairs(got.Matches, gt); prf.Recall == 0 {
+		t.Fatal("parallel pipeline found none of the ground truth")
+	}
+}
+
+// TestFacadeShardedBlocking covers the sharded build + streaming iterator
+// public helpers.
+func TestFacadeShardedBlocking(t *testing.T) {
+	c, _, err := er.GenerateDirty(er.GenConfig{Seed: 6, Entities: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := er.BuildShardedBlocks(context.Background(), c, &er.TokenBlocking{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := er.NewCompareIterator(bs)
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if int64(n) != bs.ComputeStats(true).DistinctComparison {
+		t.Fatalf("iterator emitted %d pairs, stats say %d", n, bs.ComputeStats(true).DistinctComparison)
 	}
 }

@@ -1,0 +1,3 @@
+module entityres
+
+go 1.24

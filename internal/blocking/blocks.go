@@ -132,21 +132,18 @@ func (bs *Blocks) DistinctPairs() *entity.PairSet {
 }
 
 // EachDistinctComparison enumerates each distinct suggested pair exactly
-// once (first block wins), stopping early if fn returns false.
+// once (first block wins), stopping early if fn returns false. It is a
+// wrapper over CompareIterator so the push- and pull-based enumerations —
+// which the sequential and parallel matchers respectively rely on — cannot
+// drift apart.
 func (bs *Blocks) EachDistinctComparison(fn func(p entity.Pair) bool) {
-	seen := entity.NewPairSet(0)
-	for _, b := range bs.list {
-		stop := false
-		b.EachComparison(bs.kind, func(x, y entity.ID) bool {
-			if seen.Add(x, y) {
-				if !fn(entity.NewPair(x, y)) {
-					stop = true
-					return false
-				}
-			}
-			return true
-		})
-		if stop {
+	it := NewCompareIterator(bs)
+	for {
+		p, ok := it.Next()
+		if !ok {
+			return
+		}
+		if !fn(p) {
 			return
 		}
 	}

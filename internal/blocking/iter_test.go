@@ -1,0 +1,85 @@
+package blocking
+
+import (
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+// distinctComparisonSpec is the reference enumeration the iterator (and
+// through it, EachDistinctComparison) must reproduce: blocks in order,
+// each block's comparisons in EachComparison order, first block wins. It
+// is written out independently here precisely because the production code
+// has a single shared implementation.
+func distinctComparisonSpec(bs *Blocks) []entity.Pair {
+	seen := entity.NewPairSet(0)
+	var out []entity.Pair
+	for _, b := range bs.All() {
+		b.EachComparison(bs.Kind(), func(x, y entity.ID) bool {
+			if seen.Add(x, y) {
+				out = append(out, entity.NewPair(x, y))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// TestCompareIteratorMatchesEachDistinct verifies the pull-based iterator
+// and the push-based EachDistinctComparison both emit exactly the
+// reference sequence, for both resolution settings, including the
+// first-block-wins deduplication.
+func TestCompareIteratorMatchesEachDistinct(t *testing.T) {
+	for _, kind := range []entity.Kind{entity.Dirty, entity.CleanClean} {
+		c := shardTestCollection(t, kind)
+		bs, err := (&TokenBlocking{}).Block(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := distinctComparisonSpec(bs)
+		var pushed []entity.Pair
+		bs.EachDistinctComparison(func(p entity.Pair) bool {
+			pushed = append(pushed, p)
+			return true
+		})
+		if len(pushed) != len(want) {
+			t.Fatalf("%v: EachDistinctComparison pushed %d pairs, spec has %d", kind, len(pushed), len(want))
+		}
+		for i := range want {
+			if pushed[i] != want[i] {
+				t.Fatalf("%v: pushed pair %d is %v, spec says %v", kind, i, pushed[i], want[i])
+			}
+		}
+		it := NewCompareIterator(bs)
+		var got []entity.Pair
+		for {
+			p, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, p)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: iterator emitted %d pairs, EachDistinctComparison %d", kind, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: pair %d: iterator %v, EachDistinctComparison %v", kind, i, got[i], want[i])
+			}
+		}
+		if it.Seen() != len(want) {
+			t.Fatalf("%v: Seen() = %d, want %d", kind, it.Seen(), len(want))
+		}
+		// Exhausted iterator keeps reporting ok=false.
+		if _, ok := it.Next(); ok {
+			t.Fatalf("%v: Next after exhaustion returned ok=true", kind)
+		}
+	}
+}
+
+func TestCompareIteratorEmpty(t *testing.T) {
+	it := NewCompareIterator(NewBlocks(entity.Dirty))
+	if _, ok := it.Next(); ok {
+		t.Fatal("empty collection: want ok=false")
+	}
+}

@@ -22,15 +22,16 @@ type PrefixInfixSuffix struct {
 // Name implements Blocker.
 func (ps *PrefixInfixSuffix) Name() string { return "prefixinfixsuffix" }
 
-// Block implements Blocker.
-func (ps *PrefixInfixSuffix) Block(c *entity.Collection) (*Blocks, error) {
+// Keyer implements KeyedBlocker. The longest-common-prefix scan is the
+// only collection-wide pass; it happens here, once, so the returned
+// KeyFunc is a pure per-description function safe for concurrent shards.
+func (ps *PrefixInfixSuffix) Keyer(c *entity.Collection) KeyFunc {
 	p := ps.Profiler
 	if p == nil {
 		p = token.DefaultProfiler()
 	}
 	prefixes := commonURIPrefixes(c)
-	b := newBuilder(c.Kind())
-	for _, d := range c.All() {
+	return func(d *entity.Description) []string {
 		keys := p.Tokens(d)
 		if d.URI != "" {
 			infix := strings.TrimPrefix(d.URI, prefixes[d.Source])
@@ -39,9 +40,13 @@ func (ps *PrefixInfixSuffix) Block(c *entity.Collection) (*Blocks, error) {
 			}
 			keys = append(keys, token.TokenizeFiltered(infix, p.Stopwords, p.MinTokenLen)...)
 		}
-		b.addDescription(d, keys)
+		return keys
 	}
-	return b.blocks(), nil
+}
+
+// Block implements Blocker.
+func (ps *PrefixInfixSuffix) Block(c *entity.Collection) (*Blocks, error) {
+	return buildFromKeys(c, ps.Keyer(c)), nil
 }
 
 // commonURIPrefixes computes the longest common prefix of the URIs of each

@@ -1,0 +1,86 @@
+package blocking
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+// shardTestCollection builds a small dirty collection with overlapping
+// token keys so blocks have several members.
+func shardTestCollection(t *testing.T, kind entity.Kind) *entity.Collection {
+	t.Helper()
+	c := entity.NewCollection(kind)
+	names := []string{
+		"alice blue marine", "alice blue", "bob marine", "carol stone",
+		"carol stone blue", "dave hill", "dave hill marine", "erin blue stone",
+		"frank marine hill", "grace stone", "heidi blue hill", "ivan marine stone",
+	}
+	for i, n := range names {
+		d := entity.NewDescription(fmt.Sprintf("http://kb%d.example.org/p/%d", i%2, i))
+		if kind == entity.CleanClean {
+			d.Source = i % 2
+		}
+		d.Attrs = append(d.Attrs, entity.Attribute{Name: "name", Value: n})
+		c.MustAdd(d)
+	}
+	return c
+}
+
+func assertSameBlocks(t *testing.T, want, got *Blocks) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("block count: sequential %d, sharded %d", want.Len(), got.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		w, g := want.Get(i), got.Get(i)
+		if w.Key != g.Key {
+			t.Fatalf("block %d key: sequential %q, sharded %q", i, w.Key, g.Key)
+		}
+		if !reflect.DeepEqual(w.S0, g.S0) || !reflect.DeepEqual(w.S1, g.S1) {
+			t.Fatalf("block %q members: sequential S0=%v S1=%v, sharded S0=%v S1=%v",
+				w.Key, w.S0, w.S1, g.S0, g.S1)
+		}
+	}
+}
+
+// TestBuildShardedMatchesSequential verifies the sharded index build
+// reproduces Block exactly — keys, member order, block order — for every
+// keyed blocker, shard counts beyond the collection size included.
+func TestBuildShardedMatchesSequential(t *testing.T) {
+	blockers := []KeyedBlocker{
+		&TokenBlocking{},
+		&StandardBlocking{},
+		&QGramsBlocking{Q: 3},
+		&SuffixArrayBlocking{MinLen: 3, MaxBlockSize: 6},
+		&PrefixInfixSuffix{},
+	}
+	for _, kind := range []entity.Kind{entity.Dirty, entity.CleanClean} {
+		c := shardTestCollection(t, kind)
+		for _, kb := range blockers {
+			want, err := kb.Block(c)
+			if err != nil {
+				t.Fatalf("%s: sequential: %v", kb.Name(), err)
+			}
+			for _, shards := range []int{1, 2, 3, 4, 100} {
+				got, err := BuildSharded(context.Background(), c, kb, shards)
+				if err != nil {
+					t.Fatalf("%s shards=%d: %v", kb.Name(), shards, err)
+				}
+				assertSameBlocks(t, want, got)
+			}
+		}
+	}
+}
+
+func TestBuildShardedCancelled(t *testing.T) {
+	c := shardTestCollection(t, entity.Dirty)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildSharded(ctx, c, &TokenBlocking{}, 4); err == nil {
+		t.Fatal("BuildSharded with cancelled context: want error, got nil")
+	}
+}

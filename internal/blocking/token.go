@@ -19,17 +19,18 @@ type TokenBlocking struct {
 // Name implements Blocker.
 func (t *TokenBlocking) Name() string { return "token" }
 
-// Block implements Blocker.
-func (t *TokenBlocking) Block(c *entity.Collection) (*Blocks, error) {
+// Keyer implements KeyedBlocker.
+func (t *TokenBlocking) Keyer(*entity.Collection) KeyFunc {
 	p := t.Profiler
 	if p == nil {
 		p = token.DefaultProfiler()
 	}
-	b := newBuilder(c.Kind())
-	for _, d := range c.All() {
-		b.addDescription(d, p.Tokens(d))
-	}
-	return b.blocks(), nil
+	return p.Tokens
+}
+
+// Block implements Blocker.
+func (t *TokenBlocking) Block(c *entity.Collection) (*Blocks, error) {
+	return buildFromKeys(c, t.Keyer(c)), nil
 }
 
 // StandardBlocking is classic key-based blocking for (semi-)structured
@@ -38,24 +39,25 @@ func (t *TokenBlocking) Block(c *entity.Collection) (*Blocks, error) {
 // rarely agree on attribute names), which experiment E1 demonstrates.
 type StandardBlocking struct {
 	// Keys derives the blocking keys; nil means WholeValueKeys() over all
-	// attributes.
+	// attributes. A caller-supplied KeyFunc must be safe for concurrent
+	// use on distinct descriptions when the blocker runs sharded.
 	Keys KeyFunc
 }
 
 // Name implements Blocker.
 func (s *StandardBlocking) Name() string { return "standard" }
 
+// Keyer implements KeyedBlocker.
+func (s *StandardBlocking) Keyer(*entity.Collection) KeyFunc {
+	if s.Keys == nil {
+		return WholeValueKeys()
+	}
+	return s.Keys
+}
+
 // Block implements Blocker.
 func (s *StandardBlocking) Block(c *entity.Collection) (*Blocks, error) {
-	keys := s.Keys
-	if keys == nil {
-		keys = WholeValueKeys()
-	}
-	b := newBuilder(c.Kind())
-	for _, d := range c.All() {
-		b.addDescription(d, keys(d))
-	}
-	return b.blocks(), nil
+	return buildFromKeys(c, s.Keyer(c)), nil
 }
 
 // QGramsBlocking maps every blocking key to its padded character q-grams,
@@ -72,8 +74,8 @@ type QGramsBlocking struct {
 // Name implements Blocker.
 func (q *QGramsBlocking) Name() string { return "qgrams" }
 
-// Block implements Blocker.
-func (q *QGramsBlocking) Block(c *entity.Collection) (*Blocks, error) {
+// Keyer implements KeyedBlocker.
+func (q *QGramsBlocking) Keyer(*entity.Collection) KeyFunc {
 	p := q.Profiler
 	if p == nil {
 		p = token.DefaultProfiler()
@@ -82,15 +84,18 @@ func (q *QGramsBlocking) Block(c *entity.Collection) (*Blocks, error) {
 	if size < 2 {
 		size = 3
 	}
-	b := newBuilder(c.Kind())
-	for _, d := range c.All() {
+	return func(d *entity.Description) []string {
 		var keys []string
 		for t := range p.Set(d) {
 			keys = append(keys, token.QGrams(t, size)...)
 		}
-		b.addDescription(d, keys)
+		return keys
 	}
-	return b.blocks(), nil
+}
+
+// Block implements Blocker.
+func (q *QGramsBlocking) Block(c *entity.Collection) (*Blocks, error) {
+	return buildFromKeys(c, q.Keyer(c)), nil
 }
 
 // SuffixArrayBlocking generates, for every blocking token, its suffixes of
@@ -110,8 +115,8 @@ type SuffixArrayBlocking struct {
 // Name implements Blocker.
 func (s *SuffixArrayBlocking) Name() string { return "suffix" }
 
-// Block implements Blocker.
-func (s *SuffixArrayBlocking) Block(c *entity.Collection) (*Blocks, error) {
+// Keyer implements KeyedBlocker.
+func (s *SuffixArrayBlocking) Keyer(*entity.Collection) KeyFunc {
 	p := s.Profiler
 	if p == nil {
 		p = token.DefaultProfiler()
@@ -120,12 +125,7 @@ func (s *SuffixArrayBlocking) Block(c *entity.Collection) (*Blocks, error) {
 	if minLen <= 0 {
 		minLen = 4
 	}
-	maxSize := s.MaxBlockSize
-	if maxSize <= 0 {
-		maxSize = 50
-	}
-	b := newBuilder(c.Kind())
-	for _, d := range c.All() {
+	return func(d *entity.Description) []string {
 		var keys []string
 		for t := range p.Set(d) {
 			r := []rune(t)
@@ -133,14 +133,26 @@ func (s *SuffixArrayBlocking) Block(c *entity.Collection) (*Blocks, error) {
 				keys = append(keys, string(r[i:]))
 			}
 		}
-		b.addDescription(d, keys)
+		return keys
 	}
-	all := b.blocks()
-	out := NewBlocks(c.Kind())
+}
+
+// RefineBlocks implements BlockRefiner: drop blocks above MaxBlockSize.
+func (s *SuffixArrayBlocking) RefineBlocks(all *Blocks) *Blocks {
+	maxSize := s.MaxBlockSize
+	if maxSize <= 0 {
+		maxSize = 50
+	}
+	out := NewBlocks(all.Kind())
 	for _, blk := range all.All() {
 		if blk.Size() <= maxSize {
 			out.Add(blk)
 		}
 	}
-	return out, nil
+	return out
+}
+
+// Block implements Blocker.
+func (s *SuffixArrayBlocking) Block(c *entity.Collection) (*Blocks, error) {
+	return s.RefineBlocks(buildFromKeys(c, s.Keyer(c))), nil
 }

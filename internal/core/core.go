@@ -120,16 +120,57 @@ type Result struct {
 // components of the match output).
 func (r *Result) Clusters() [][]entity.ID { return r.Matches.Clusters() }
 
-// Run executes the pipeline over the collection.
-func (p *Pipeline) Run(c *entity.Collection) (*Result, error) {
+// Validate checks that the configuration is runnable. Both the sequential
+// runner and the concurrent engine (package pipeline) call it, so the two
+// cannot drift apart on what counts as a valid configuration.
+func (p *Pipeline) Validate() error {
 	if p.Blocker == nil {
-		return nil, fmt.Errorf("core: pipeline requires a Blocker")
+		return fmt.Errorf("core: pipeline requires a Blocker")
 	}
 	if p.Matcher == nil && p.Mode != Collective {
-		return nil, fmt.Errorf("core: pipeline requires a Matcher in %s mode", p.Mode)
+		return fmt.Errorf("core: pipeline requires a Matcher in %s mode", p.Mode)
 	}
 	if p.Mode == Collective && p.CollectiveConfig == nil && p.Matcher == nil {
-		return nil, fmt.Errorf("core: collective mode requires CollectiveConfig or Matcher")
+		return fmt.Errorf("core: collective mode requires CollectiveConfig or Matcher")
+	}
+	return nil
+}
+
+// CollectiveSetup returns the collective-mode configuration with the
+// default (the Matcher's similarity and threshold) applied.
+func (p *Pipeline) CollectiveSetup() *iterative.Collective {
+	if p.CollectiveConfig != nil {
+		return p.CollectiveConfig
+	}
+	return &iterative.Collective{Base: p.Matcher.Sim, Threshold: p.Matcher.Threshold}
+}
+
+// ProgressiveSetup returns the progressive-mode scheduler factory,
+// effective budget and ground truth with defaults applied: static block
+// order, unlimited budget, empty ground truth. Shared with the concurrent
+// engine so both runners execute the same effective configuration.
+func (p *Pipeline) ProgressiveSetup() (SchedulerFactory, int64, *entity.Matches) {
+	factory := p.Scheduler
+	if factory == nil {
+		factory = func(_ *entity.Collection, bs *blocking.Blocks) progressive.Scheduler {
+			return progressive.NewStaticOrder(bs)
+		}
+	}
+	budget := p.Budget
+	if budget <= 0 {
+		budget = 1 << 62
+	}
+	gt := p.GroundTruth
+	if gt == nil {
+		gt = entity.NewMatches()
+	}
+	return factory, budget, gt
+}
+
+// Run executes the pipeline over the collection.
+func (p *Pipeline) Run(c *entity.Collection) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	res := &Result{}
 	phase := func(name string, fn func() error) error {
@@ -177,27 +218,10 @@ func (p *Pipeline) Run(c *entity.Collection) (*Result, error) {
 			out := iterblock.Resolve(c, bs, p.Matcher)
 			res.Matches, res.Comparisons = out.Matches, out.Comparisons
 		case Collective:
-			cfg := p.CollectiveConfig
-			if cfg == nil {
-				cfg = &iterative.Collective{Base: p.Matcher.Sim, Threshold: p.Matcher.Threshold}
-			}
-			out := cfg.Resolve(c, bs.DistinctPairs().Pairs())
+			out := p.CollectiveSetup().Resolve(c, bs.DistinctPairs().Pairs())
 			res.Matches, res.Comparisons = out.Matches, out.Comparisons
 		case Progressive:
-			factory := p.Scheduler
-			if factory == nil {
-				factory = func(_ *entity.Collection, bs *blocking.Blocks) progressive.Scheduler {
-					return progressive.NewStaticOrder(bs)
-				}
-			}
-			budget := p.Budget
-			if budget <= 0 {
-				budget = 1 << 62
-			}
-			gt := p.GroundTruth
-			if gt == nil {
-				gt = entity.NewMatches()
-			}
+			factory, budget, gt := p.ProgressiveSetup()
 			out := progressive.Run(c, factory(c, bs), p.Matcher, gt, budget)
 			res.Matches, res.Comparisons, res.Curve = out.Matches, out.Comparisons, out.Curve
 		default:

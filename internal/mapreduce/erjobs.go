@@ -15,7 +15,9 @@ import (
 // ParallelTokenBlocking is token blocking as a MapReduce job (the Dedoop
 // pattern of [18]): map emits (token, description) for every profile
 // token; reduce materializes one block per token. The result equals the
-// sequential blocking.TokenBlocking output.
+// sequential blocking.TokenBlocking output. blocking.BuildSharded is the
+// in-process counterpart the pipeline engine uses (shared-memory shard
+// merge instead of shuffle, generalized over every KeyedBlocker).
 func ParallelTokenBlocking(c *entity.Collection, p *token.Profiler, workers int) (*blocking.Blocks, error) {
 	if p == nil {
 		p = token.DefaultProfiler()
@@ -82,7 +84,9 @@ type partial struct {
 //  3. EJS only: a degree-counting job over the distinct edges.
 //
 // Weights are then computed per edge from the aggregates. The result
-// equals metablocking.BuildGraph.
+// equals metablocking.BuildGraph. metablocking.BuildGraphParallel is the
+// in-process counterpart the pipeline engine uses; a weighting-semantics
+// change in either place must be mirrored in the other.
 func ParallelBuildGraph(bs *blocking.Blocks, scheme metablocking.WeightScheme, workers int) (*graph.Graph, error) {
 	kind := bs.Kind()
 	blockInputs := make([]any, 0, bs.Len())

@@ -7,7 +7,9 @@
 package matching
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"entityres/internal/blocking"
 	"entityres/internal/entity"
@@ -70,10 +72,12 @@ func (t *TokenContainment) Sim(a, b *entity.Description) float64 {
 // TFIDFCosine is the cosine similarity of TF-IDF weighted token vectors
 // under a corpus index: common tokens count little, discriminative tokens
 // dominate. Vectors are cached per description pointer, so merged profiles
-// (new pointers) are re-vectorized automatically.
+// (new pointers) are re-vectorized automatically. The cache is guarded so
+// the measure is safe for concurrent use by matcher worker pools.
 type TFIDFCosine struct {
 	ix    *index.Inverted
 	prof  *token.Profiler
+	mu    sync.RWMutex
 	cache map[*entity.Description]similarity.Vector
 }
 
@@ -98,11 +102,16 @@ func (t *TFIDFCosine) Sim(a, b *entity.Description) float64 {
 }
 
 func (t *TFIDFCosine) vector(d *entity.Description) similarity.Vector {
-	if v, ok := t.cache[d]; ok {
+	t.mu.RLock()
+	v, ok := t.cache[d]
+	t.mu.RUnlock()
+	if ok {
 		return v
 	}
-	v := t.ix.TFIDFVector(t.prof.Tokens(d))
+	v = t.ix.TFIDFVector(t.prof.Tokens(d))
+	t.mu.Lock()
 	t.cache[d] = v
+	t.mu.Unlock()
 	return v
 }
 
@@ -197,15 +206,10 @@ type Result struct {
 }
 
 // ResolveBlocks executes the matcher over every distinct comparison of bs.
+// It delegates to the engine's workers==1 streaming path so the sequential
+// pipeline and the parallel engine share one resolve loop.
 func ResolveBlocks(c *entity.Collection, bs *blocking.Blocks, m *Matcher) Result {
-	res := Result{Matches: entity.NewMatches()}
-	bs.EachDistinctComparison(func(p entity.Pair) bool {
-		res.Comparisons++
-		if ok, _ := m.Match(c.Get(p.A), c.Get(p.B)); ok {
-			res.Matches.Add(p.A, p.B)
-		}
-		return true
-	})
+	res, _ := resolveIteratorSequential(context.Background(), c, bs, m)
 	return res
 }
 

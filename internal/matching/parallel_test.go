@@ -1,0 +1,85 @@
+package matching
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/datagen"
+	"entityres/internal/entity"
+)
+
+func sortedPairs(m *entity.Matches) []entity.Pair {
+	ps := m.Pairs()
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+	return ps
+}
+
+func parallelTestFixture(t testing.TB) (*entity.Collection, *blocking.Blocks) {
+	t.Helper()
+	c, _, err := datagen.GenerateDirty(datagen.Config{Entities: 150, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := (&blocking.TokenBlocking{}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, bs
+}
+
+// TestResolveBlocksParallelMatchesSequential checks the worker-pool
+// executor returns the same match set and comparison count as the
+// sequential executor, for several pool sizes and both similarity kinds
+// (stateless and cached).
+func TestResolveBlocksParallelMatchesSequential(t *testing.T) {
+	c, bs := parallelTestFixture(t)
+	matchers := []*Matcher{
+		{Sim: &TokenJaccard{}, Threshold: 0.5},
+		{Sim: NewTFIDFCosine(c, nil), Threshold: 0.5},
+	}
+	for _, m := range matchers {
+		want := ResolveBlocks(c, bs, m)
+		for _, workers := range []int{0, 1, 2, 4, 8} {
+			got, err := ResolveBlocksParallel(context.Background(), c, bs, m, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", m.Name(), workers, err)
+			}
+			if got.Comparisons != want.Comparisons {
+				t.Fatalf("%s workers=%d: comparisons %d, want %d", m.Name(), workers, got.Comparisons, want.Comparisons)
+			}
+			gp, wp := sortedPairs(got.Matches), sortedPairs(want.Matches)
+			if len(gp) != len(wp) {
+				t.Fatalf("%s workers=%d: %d matches, want %d", m.Name(), workers, len(gp), len(wp))
+			}
+			for i := range wp {
+				if gp[i] != wp[i] {
+					t.Fatalf("%s workers=%d: match %d is %v, want %v", m.Name(), workers, i, gp[i], wp[i])
+				}
+			}
+		}
+	}
+}
+
+func TestResolveBlocksParallelCancelled(t *testing.T) {
+	c, bs := parallelTestFixture(t)
+	m := &Matcher{Sim: &TokenJaccard{}, Threshold: 0.5}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		res, err := ResolveBlocksParallel(ctx, c, bs, m, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: want context error, got nil", workers)
+		}
+		full := ResolveBlocks(c, bs, m)
+		if res.Comparisons >= full.Comparisons {
+			t.Fatalf("workers=%d: cancelled run executed all %d comparisons", workers, res.Comparisons)
+		}
+	}
+}

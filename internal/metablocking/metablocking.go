@@ -156,6 +156,13 @@ func BuildGraph(bs *blocking.Blocks, scheme WeightScheme) *graph.Graph {
 			return true
 		})
 	}
+	return graphFromStats(bs, scheme, pairStats, blocksPer)
+}
+
+// graphFromStats turns accumulated co-occurrence statistics into the
+// weighted graph — the scheme-dependent tail shared by the sequential and
+// sharded graph builds.
+func graphFromStats(bs *blocking.Blocks, scheme WeightScheme, pairStats map[entity.Pair]*stats, blocksPer map[entity.ID]int) *graph.Graph {
 	numBlocks := float64(bs.Len())
 	// Degrees: number of distinct co-occurring partners per description.
 	degree := make(map[entity.ID]int)
@@ -201,7 +208,12 @@ func js(cbs, ba, bb int) float64 {
 // descending weight (strongest candidates first — the order progressive
 // schedulers rely on).
 func (m *MetaBlocker) Restructure(c *entity.Collection, bs *blocking.Blocks) *blocking.Blocks {
-	g := BuildGraph(bs, m.Weight)
+	return m.restructure(c, bs, BuildGraph(bs, m.Weight))
+}
+
+// restructure prunes g and emits the surviving edges as weight-ordered
+// two-description blocks; shared by Restructure and RestructureParallel.
+func (m *MetaBlocker) restructure(c *entity.Collection, bs *blocking.Blocks, g *graph.Graph) *blocking.Blocks {
 	kept := m.PruneGraph(g, bs)
 	sort.Slice(kept, func(i, j int) bool {
 		if kept[i].Weight != kept[j].Weight {

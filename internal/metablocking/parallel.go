@@ -1,0 +1,107 @@
+package metablocking
+
+import (
+	"runtime"
+	"sync"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/graph"
+)
+
+// BuildGraphParallel builds the weighted blocking graph with the block list
+// sharded across concurrent workers: each shard accumulates co-occurrence
+// statistics (common-block counts, reciprocal-comparison mass, blocks per
+// description) over a contiguous block range, and the shard partials are
+// merged in block order before weighting.
+//
+// For the counting-based schemes — CBS, ECBS, JS, EJS — every statistic is
+// an integer count, so the weights are bit-identical to BuildGraph for any
+// worker count. ARCS sums floating-point reciprocals; merging shard
+// subtotals can differ from the sequential left-to-right sum in the last
+// ulp, so ARCS weights are equal up to that rounding (the edge ranking is
+// unaffected except on exact ties).
+//
+// mapreduce.ParallelBuildGraph computes the same graph as an explicit
+// MapReduce job (the distributed formulation the paper surveys) with its
+// own weighting tail; this function is the in-process fast path the
+// pipeline engine uses. A change to weighting semantics here (in
+// graphFromStats, shared with the sequential build) must be mirrored
+// there.
+func BuildGraphParallel(bs *blocking.Blocks, scheme WeightScheme, workers int) *graph.Graph {
+	nb := bs.Len()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nb {
+		workers = nb
+	}
+	if workers <= 1 {
+		return BuildGraph(bs, scheme)
+	}
+	type shardAcc struct {
+		pairStats map[entity.Pair]*stats
+		blocksPer map[entity.ID]int
+	}
+	kind := bs.Kind()
+	accs := make([]shardAcc, workers)
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo, hi := s*nb/workers, (s+1)*nb/workers
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			ps := make(map[entity.Pair]*stats)
+			bp := make(map[entity.ID]int)
+			for i := lo; i < hi; i++ {
+				b := bs.Get(i)
+				comp := b.Comparisons(kind)
+				for _, id := range b.S0 {
+					bp[id]++
+				}
+				for _, id := range b.S1 {
+					bp[id]++
+				}
+				b.EachComparison(kind, func(x, y entity.ID) bool {
+					p := entity.NewPair(x, y)
+					st, ok := ps[p]
+					if !ok {
+						st = &stats{}
+						ps[p] = st
+					}
+					st.cbs++
+					st.arcs += 1 / float64(comp)
+					return true
+				})
+			}
+			accs[s] = shardAcc{pairStats: ps, blocksPer: bp}
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	// Merge partials in ascending shard order (= block order).
+	pairStats := accs[0].pairStats
+	blocksPer := accs[0].blocksPer
+	for s := 1; s < workers; s++ {
+		for p, st := range accs[s].pairStats {
+			dst, ok := pairStats[p]
+			if !ok {
+				pairStats[p] = st
+				continue
+			}
+			dst.cbs += st.cbs
+			dst.arcs += st.arcs
+		}
+		for id, n := range accs[s].blocksPer {
+			blocksPer[id] += n
+		}
+	}
+	return graphFromStats(bs, scheme, pairStats, blocksPer)
+}
+
+// RestructureParallel is Restructure with the graph build sharded across
+// workers. Pruning and emission are unchanged, so the output equals
+// Restructure whenever the weights do (always, for the counting schemes;
+// up to last-ulp ARCS rounding otherwise — see BuildGraphParallel).
+func (m *MetaBlocker) RestructureParallel(c *entity.Collection, bs *blocking.Blocks, workers int) *blocking.Blocks {
+	return m.restructure(c, bs, BuildGraphParallel(bs, m.Weight, workers))
+}

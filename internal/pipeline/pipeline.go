@@ -1,0 +1,180 @@
+// Package pipeline is the concurrent execution engine for the ER framework
+// of Fig. 1: the same phase configuration as core.Pipeline — blocking,
+// block cleaning, meta-blocking, scheduling, matching — executed with
+// sharded worker pools sized to the machine. Blocking shards the entity
+// collection across workers into per-shard inverted indexes merged in ID
+// order (blocking.BuildSharded); meta-blocking shards the edge-weight
+// accumulation over the block list (metablocking.BuildGraphParallel);
+// matching fans comparisons out to a worker pool fed by a streaming
+// blocking.CompareIterator, so the distinct-pair list is never
+// materialized; progressive runs execute wave-synchronously under an exact
+// comparison budget (progressive.RunParallel).
+//
+// The engine is deterministic with respect to its parallelism knobs: for a
+// fixed configuration and collection, any (Workers, Shards) setting
+// produces the same match set as any other, and the same match set as the
+// sequential core.Pipeline. Two documented exceptions: ARCS-weighted
+// meta-blocking accumulates floating-point weights in a partition-dependent
+// order, so its weights — and, on exact pruning-threshold ties, the
+// surviving edges — can differ across worker counts and from the
+// sequential build (see metablocking.BuildGraphParallel); and adaptive
+// schedulers in Progressive mode observe wave-synchronous feedback, which
+// is identical across worker counts but not to the strictly sequential
+// runner (see progressive.RunParallel).
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"entityres/internal/blocking"
+	"entityres/internal/blockproc"
+	"entityres/internal/core"
+	"entityres/internal/entity"
+	"entityres/internal/iterative"
+	"entityres/internal/iterblock"
+	"entityres/internal/matching"
+	"entityres/internal/progressive"
+)
+
+// Options sets the parallelism of an Engine.
+type Options struct {
+	// Workers sizes the worker pools of the matching, meta-blocking and
+	// progressive phases; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Shards is the number of collection shards for the blocking build;
+	// <= 0 means Workers. Shards only takes effect when the configured
+	// Blocker implements blocking.KeyedBlocker; other blockers fall back
+	// to their sequential build.
+	Shards int
+}
+
+// Resolve returns the options with defaults filled in: Workers <= 0
+// becomes runtime.GOMAXPROCS(0), Shards <= 0 becomes Workers. Exported so
+// tooling that reports the parallelism of a run (erbench) prints exactly
+// what the engine will use.
+func (o Options) Resolve() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards <= 0 {
+		o.Shards = o.Workers
+	}
+	return o
+}
+
+// Engine executes a core.Pipeline configuration concurrently.
+type Engine struct {
+	// Config is the phase configuration, identical to the sequential
+	// pipeline's: Blocker, Processors, Meta, Matcher, Mode, Scheduler,
+	// Budget, CollectiveConfig, GroundTruth.
+	Config core.Pipeline
+	// Options sets the parallelism.
+	Options Options
+}
+
+// New returns an engine for the given configuration.
+func New(cfg core.Pipeline, opt Options) *Engine {
+	return &Engine{Config: cfg, Options: opt}
+}
+
+// Run executes the pipeline over the collection, honoring ctx: the run
+// stops between phases — and, inside the streaming phases, between pair
+// chunks — when ctx is cancelled, returning ctx.Err(). A nil ctx means
+// context.Background().
+func (e *Engine) Run(ctx context.Context, c *entity.Collection) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &e.Config
+	opt := e.Options.Resolve()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &core.Result{}
+	// phase times fn and attributes its error, so cancellations and phase
+	// failures surface as "pipeline: <phase>: <cause>" wherever they occur.
+	phase := func(name string, fn func() error) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("pipeline: %s: %w", name, err)
+		}
+		t0 := time.Now()
+		err := fn()
+		res.Phases = append(res.Phases, core.PhaseStat{Name: name, Duration: time.Since(t0)})
+		if err != nil {
+			return fmt.Errorf("pipeline: %s: %w", name, err)
+		}
+		return nil
+	}
+
+	// Blocking phase: sharded when the blocker exposes a key function.
+	var bs *blocking.Blocks
+	if err := phase("blocking", func() error {
+		var err error
+		if kb, ok := p.Blocker.(blocking.KeyedBlocker); ok && opt.Shards > 1 {
+			bs, err = blocking.BuildSharded(ctx, c, kb, opt.Shards)
+		} else {
+			bs, err = p.Blocker.Block(c)
+		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Planning phase: block cleaning (cheap, sequential) + meta-blocking
+	// (edge weighting sharded over the block list).
+	if len(p.Processors) > 0 {
+		if err := phase("block-cleaning", func() error {
+			bs = blockproc.Chain(p.Processors).Process(bs)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if p.Meta != nil {
+		if err := phase("meta-blocking", func() error {
+			bs = p.Meta.RestructureParallel(c, bs, opt.Workers)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	res.Blocks = bs
+
+	// Scheduling + matching + update phases, by mode. Batch and
+	// Progressive stream through worker pools; the inherently sequential
+	// iterative modes (Swoosh-style merging mutates the profile set it is
+	// iterating, collective resolution reorders on every merge) run their
+	// sequential algorithms unchanged.
+	err := phase(p.Mode.String(), func() error {
+		switch p.Mode {
+		case core.Batch:
+			out, err := matching.ResolveBlocksParallel(ctx, c, bs, p.Matcher, opt.Workers)
+			res.Matches, res.Comparisons = out.Matches, out.Comparisons
+			return err
+		case core.MergingIterative:
+			out := iterative.RSwoosh(c, p.Matcher)
+			res.Matches, res.Comparisons = out.Matches, out.Comparisons
+		case core.IterativeBlocks:
+			out := iterblock.Resolve(c, bs, p.Matcher)
+			res.Matches, res.Comparisons = out.Matches, out.Comparisons
+		case core.Collective:
+			out := p.CollectiveSetup().Resolve(c, bs.DistinctPairs().Pairs())
+			res.Matches, res.Comparisons = out.Matches, out.Comparisons
+		case core.Progressive:
+			factory, budget, gt := p.ProgressiveSetup()
+			out, err := progressive.RunParallel(ctx, c, factory(c, bs), p.Matcher, gt, budget, opt.Workers)
+			res.Matches, res.Comparisons, res.Curve = out.Matches, out.Comparisons, out.Curve
+			return err
+		default:
+			return fmt.Errorf("unknown mode %v", p.Mode)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

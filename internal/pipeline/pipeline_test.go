@@ -1,0 +1,218 @@
+package pipeline
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/blockproc"
+	"entityres/internal/core"
+	"entityres/internal/datagen"
+	"entityres/internal/entity"
+	"entityres/internal/matching"
+	"entityres/internal/metablocking"
+	"entityres/internal/progressive"
+)
+
+func testCollection(t testing.TB, entities int, seed int64) (*entity.Collection, *entity.Matches) {
+	t.Helper()
+	c, gt, err := datagen.GenerateDirty(datagen.Config{Entities: entities, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, gt
+}
+
+func sortedPairs(m *entity.Matches) []entity.Pair {
+	ps := m.Pairs()
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+	return ps
+}
+
+func assertSameMatches(t *testing.T, label string, want, got *entity.Matches) {
+	t.Helper()
+	wp, gp := sortedPairs(want), sortedPairs(got)
+	if len(wp) != len(gp) {
+		t.Fatalf("%s: %d matches, want %d", label, len(gp), len(wp))
+	}
+	for i := range wp {
+		if wp[i] != gp[i] {
+			t.Fatalf("%s: match %d is %v, want %v", label, i, gp[i], wp[i])
+		}
+	}
+}
+
+// batchConfig exercises every planning phase: blocking, cleaning and
+// meta-blocking ahead of batch matching.
+func batchConfig() core.Pipeline {
+	return core.Pipeline{
+		Blocker:    &blocking.TokenBlocking{},
+		Processors: []blockproc.Processor{&blockproc.BlockFiltering{}},
+		Meta:       &metablocking.MetaBlocker{Weight: metablocking.ECBS, Prune: metablocking.WEP},
+		Matcher:    &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+		Mode:       core.Batch,
+	}
+}
+
+// TestEngineShardDeterminism is the pipeline determinism contract: a
+// parallel run with shards=1/workers=1 and shards=N/workers=N produce
+// identical match sets on a fixed-seed datagen collection.
+func TestEngineShardDeterminism(t *testing.T) {
+	c, gt := testCollection(t, 250, 42)
+	configs := map[string]core.Pipeline{
+		"batch+meta": batchConfig(),
+		"batch-plain": {
+			Blocker: &blocking.TokenBlocking{},
+			Matcher: &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+			Mode:    core.Batch,
+		},
+		"progressive": {
+			Blocker:     &blocking.TokenBlocking{},
+			Matcher:     &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+			Mode:        core.Progressive,
+			Budget:      2000,
+			GroundTruth: gt,
+		},
+	}
+	for label, cfg := range configs {
+		base, err := New(cfg, Options{Workers: 1, Shards: 1}).Run(context.Background(), c)
+		if err != nil {
+			t.Fatalf("%s shards=1: %v", label, err)
+		}
+		for _, par := range []Options{{Workers: 2, Shards: 2}, {Workers: 4, Shards: 4}, {Workers: 4, Shards: 13}, {}} {
+			got, err := New(cfg, par).Run(context.Background(), c)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", label, par, err)
+			}
+			assertSameMatches(t, label, base.Matches, got.Matches)
+			if got.Comparisons != base.Comparisons {
+				t.Fatalf("%s %+v: comparisons %d, want %d", label, par, got.Comparisons, base.Comparisons)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesSequentialPipeline: the parallel engine reproduces the
+// sequential core.Pipeline result for batch and progressive modes.
+func TestEngineMatchesSequentialPipeline(t *testing.T) {
+	c, gt := testCollection(t, 250, 42)
+	for label, cfg := range map[string]core.Pipeline{
+		"batch+meta": batchConfig(),
+		"progressive": {
+			Blocker:     &blocking.TokenBlocking{},
+			Matcher:     &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+			Mode:        core.Progressive,
+			Budget:      2000,
+			GroundTruth: gt,
+		},
+	} {
+		seqCfg := cfg
+		want, err := seqCfg.Run(c)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", label, err)
+		}
+		got, err := New(cfg, Options{}).Run(context.Background(), c)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", label, err)
+		}
+		assertSameMatches(t, label, want.Matches, got.Matches)
+		if got.Comparisons != want.Comparisons {
+			t.Fatalf("%s: comparisons %d, want %d", label, got.Comparisons, want.Comparisons)
+		}
+		if got.Blocks.Len() != want.Blocks.Len() {
+			t.Fatalf("%s: %d final blocks, want %d", label, got.Blocks.Len(), want.Blocks.Len())
+		}
+	}
+}
+
+// TestEngineNonKeyedBlockerFallback: blockers without a key function run
+// sequentially but the rest of the pipeline still parallelizes.
+func TestEngineNonKeyedBlockerFallback(t *testing.T) {
+	c, _ := testCollection(t, 150, 9)
+	cfg := core.Pipeline{
+		Blocker: &blocking.SortedNeighborhood{Window: 5},
+		Matcher: &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+		Mode:    core.Batch,
+	}
+	seqCfg := cfg
+	want, err := seqCfg.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(cfg, Options{Workers: 4, Shards: 4}).Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatches(t, "sorted-neighborhood", want.Matches, got.Matches)
+}
+
+// TestEngineIterativeModes: the sequential fallback modes still work under
+// the engine and agree with core.
+func TestEngineIterativeModes(t *testing.T) {
+	c, _ := testCollection(t, 80, 9)
+	for _, mode := range []core.Mode{core.MergingIterative, core.IterativeBlocks} {
+		cfg := core.Pipeline{
+			Blocker: &blocking.TokenBlocking{},
+			Matcher: &matching.Matcher{Sim: &matching.TokenContainment{}, Threshold: 0.7},
+			Mode:    mode,
+		}
+		seqCfg := cfg
+		want, err := seqCfg.Run(c)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", mode, err)
+		}
+		got, err := New(cfg, Options{}).Run(context.Background(), c)
+		if err != nil {
+			t.Fatalf("%s engine: %v", mode, err)
+		}
+		assertSameMatches(t, mode.String(), want.Matches, got.Matches)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := New(core.Pipeline{}, Options{}).Run(context.Background(), entity.NewCollection(entity.Dirty)); err == nil {
+		t.Fatal("engine without Blocker: want error")
+	}
+	cfg := core.Pipeline{Blocker: &blocking.TokenBlocking{}}
+	if _, err := New(cfg, Options{}).Run(context.Background(), entity.NewCollection(entity.Dirty)); err == nil {
+		t.Fatal("engine without Matcher: want error")
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	c, _ := testCollection(t, 250, 42)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(batchConfig(), Options{Workers: 4, Shards: 4}).Run(ctx, c); err == nil {
+		t.Fatal("cancelled engine run: want error")
+	}
+}
+
+// TestEngineProgressiveBudgetExact: the engine's progressive mode stops at
+// exactly the configured comparison budget.
+func TestEngineProgressiveBudgetExact(t *testing.T) {
+	c, gt := testCollection(t, 250, 42)
+	cfg := core.Pipeline{
+		Blocker:     &blocking.TokenBlocking{},
+		Matcher:     &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+		Mode:        core.Progressive,
+		Budget:      777,
+		GroundTruth: gt,
+		Scheduler: func(c *entity.Collection, bs *blocking.Blocks) progressive.Scheduler {
+			return progressive.NewStaticOrder(bs)
+		},
+	}
+	got, err := New(cfg, Options{Workers: 4, Shards: 4}).Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Comparisons != 777 {
+		t.Fatalf("executed %d comparisons, want exactly 777", got.Comparisons)
+	}
+}
