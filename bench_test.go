@@ -17,9 +17,14 @@ import (
 const benchSeed = 42
 
 // runExperiment executes one experiment per iteration and reports its
-// headline metrics (from the final iteration).
+// headline metrics (from the final iteration). The experiments are the
+// slow part of the tree, so short mode skips them: `go test -short -bench
+// ./...` stays a fast compile-and-smoke pass.
 func runExperiment(b *testing.B, run func(experiments.Scale, int64) (*experiments.Result, error)) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("experiment benchmarks are skipped in short mode")
+	}
 	var last *experiments.Result
 	for i := 0; i < b.N; i++ {
 		res, err := run(experiments.Small, benchSeed)

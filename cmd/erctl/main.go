@@ -7,16 +7,26 @@
 //	erctl -kb0 FILE [-kb1 FILE] [-truth FILE]
 //	      [-blocker token|attrclustering|standard|qgrams|sortednbhd]
 //	      [-weight ARCS|CBS|ECBS|JS|EJS] [-prune WNP|WEP|CEP|CNP]
-//	      [-threshold T] [-mode batch|swoosh|iterblock|progressive]
+//	      [-threshold T] [-mode batch|swoosh|iterblock|progressive|streaming]
 //	      [-budget N] [-print-matches]
+//
+//	erctl watch -ops FILE [-kind dirty|cleanclean]
+//	      [-blocker token|standard|qgrams] [-threshold T] [-workers N]
+//	      [-stats-every N] [-print-matches]
 //
 // With one -kb0 the collection is dirty (deduplication); with -kb1 it is
 // clean-clean (interlinking). The truth file holds one tab-separated URI
 // pair per line.
+//
+// The watch subcommand replays a JSON-lines operation log (one
+// {"op":"insert|update|delete","uri":...,"source":...,"attrs":[...]}
+// object per line) through the streaming resolver, maintaining matches and
+// clusters incrementally and reporting state as the stream advances.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +36,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		watch(os.Args[2:])
+		return
+	}
 	var (
 		kb0       = flag.String("kb0", "", "first KB, N-Triples (required)")
 		kb1       = flag.String("kb1", "", "second KB for clean-clean resolution")
@@ -98,6 +112,16 @@ func main() {
 	case "progressive":
 		pipe.Mode = er.ProgressiveMode
 		pipe.Budget = *budget
+	case "streaming":
+		// Streaming replays the loaded collection through the incremental
+		// resolver; block cleaning and meta-blocking are collection-global
+		// and do not apply.
+		pipe.Mode = er.StreamingMode
+		if len(pipe.Processors) > 0 || pipe.Meta != nil {
+			fmt.Fprintln(os.Stderr, "erctl: streaming mode ignores block cleaning and meta-blocking")
+		}
+		pipe.Processors = nil
+		pipe.Meta = nil
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -125,6 +149,82 @@ func main() {
 		}
 		fmt.Println("pair quality:   ", er.ComparePairs(res.Matches, gt))
 		fmt.Println("cluster quality:", er.EvaluateClusters(c, res.Matches, gt))
+	}
+}
+
+// watch replays an operation log through the streaming resolver.
+func watch(args []string) {
+	fs := flag.NewFlagSet("erctl watch", flag.ExitOnError)
+	var (
+		opsPath    = fs.String("ops", "", "JSON-lines operation log (required)")
+		kindNm     = fs.String("kind", "dirty", "dirty or cleanclean")
+		blockerNm  = fs.String("blocker", "token", "streamable blocking method: token, standard or qgrams")
+		threshold  = fs.Float64("threshold", 0.4, "match similarity threshold")
+		workers    = fs.Int("workers", 0, "delta-matching workers (0 = 1)")
+		statsEvery = fs.Int("stats-every", 0, "print resolver stats every N ops (0 = only at end)")
+		printAll   = fs.Bool("print-matches", false, "print final matched URI pairs")
+	)
+	_ = fs.Parse(args)
+	if *opsPath == "" {
+		fmt.Fprintln(os.Stderr, "erctl watch: -ops is required")
+		os.Exit(2)
+	}
+	kind := er.Dirty
+	switch strings.ToLower(*kindNm) {
+	case "dirty":
+	case "cleanclean", "clean-clean":
+		kind = er.CleanClean
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kindNm))
+	}
+	var blocker er.StreamableBlocker
+	switch strings.ToLower(*blockerNm) {
+	case "token":
+		blocker = &er.TokenBlocking{}
+	case "standard":
+		blocker = &er.StandardBlocking{}
+	case "qgrams":
+		blocker = &er.QGramsBlocking{}
+	default:
+		fail(fmt.Errorf("blocker %q cannot stream (need token, standard or qgrams)", *blockerNm))
+	}
+
+	f, err := os.Open(*opsPath)
+	if err != nil {
+		fail(err)
+	}
+	ops, err := er.ReadStreamOps(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	r, err := er.NewStreamingResolver(er.StreamingConfig{
+		Kind:    kind,
+		Blocker: blocker,
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: *threshold},
+		Workers: *workers,
+	})
+	if err != nil {
+		fail(err)
+	}
+	ctx := context.Background()
+	for i, op := range ops {
+		if err := r.Apply(ctx, op); err != nil {
+			fail(fmt.Errorf("op %d (%s %s): %w", i+1, op.Kind, op.URI, err))
+		}
+		if *statsEvery > 0 && (i+1)%*statsEvery == 0 {
+			fmt.Printf("after %4d ops: %s\n", i+1, r.Stats())
+		}
+	}
+	fmt.Printf("final: %s\n", r.Stats())
+	if *printAll {
+		r.Matches().Each(func(p er.Pair) bool {
+			a, _ := r.Get(p.A)
+			b, _ := r.Get(p.B)
+			fmt.Printf("%s\t%s\n", a.URI, b.URI)
+			return true
+		})
 	}
 }
 

@@ -20,6 +20,9 @@
 //   - iterative resolution: RSwoosh, Collective, IterativeBlocking;
 //   - progressive resolution: PSNM, SlidingWindow, Hierarchy, BenefitCost
 //     schedulers and the budgeted runner;
+//   - streaming resolution: StreamingResolver maintaining blocks, matches
+//     and clusters under live insert/update/delete traffic, with an op-log
+//     exchange format (ReadStreamOps/WriteStreamOps);
 //   - the Pipeline tying the phases together (Fig. 1 of the paper);
 //   - synthetic data generation, N-Triples I/O and evaluation metrics.
 //
@@ -39,6 +42,7 @@ import (
 	"entityres/internal/evaluation"
 	"entityres/internal/freqmine"
 	"entityres/internal/graph"
+	"entityres/internal/incremental"
 	"entityres/internal/iterative"
 	"entityres/internal/iterblock"
 	"entityres/internal/matching"
@@ -297,6 +301,61 @@ const (
 	IterativeBlocks  = core.IterativeBlocks
 	CollectiveMode   = core.Collective
 	ProgressiveMode  = core.Progressive
+	StreamingMode    = core.Streaming
+)
+
+// Streaming resolution.
+type (
+	// StreamingResolver is a long-lived incremental resolver: it accepts a
+	// stream of insert/update/delete operations and maintains blocks,
+	// matches and entity clusters under them, with the differential
+	// guarantee that its state always equals a from-scratch batch run over
+	// the surviving descriptions.
+	StreamingResolver = incremental.Resolver
+	// StreamingConfig parameterizes a StreamingResolver.
+	StreamingConfig = incremental.Config
+	// StreamingStats summarizes a resolver's work.
+	StreamingStats = incremental.Stats
+	// StreamOp is one URI-addressed streaming operation (the op-log form).
+	StreamOp = incremental.Op
+	// StreamOpKind enumerates streaming operations.
+	StreamOpKind = incremental.OpKind
+	// StreamableBlocker is a blocker whose keys depend only on the
+	// description itself, as streaming requires (token, standard and
+	// q-grams blocking qualify).
+	StreamableBlocker = blocking.StreamableBlocker
+	// BlockIndex is the incrementally maintained key → block mapping.
+	BlockIndex = blocking.BlockIndex
+	// DynamicGraph maintains match-graph connected components under edge
+	// insertion and node removal.
+	DynamicGraph = graph.Dynamic
+)
+
+// Streaming operation kinds.
+const (
+	StreamInsert = incremental.OpInsert
+	StreamUpdate = incremental.OpUpdate
+	StreamDelete = incremental.OpDelete
+)
+
+// NewStreamingResolver validates the configuration and returns an empty
+// streaming resolver.
+func NewStreamingResolver(cfg StreamingConfig) (*StreamingResolver, error) {
+	return incremental.New(cfg)
+}
+
+// NewBlockIndex returns an empty incremental block index.
+func NewBlockIndex(kind Kind) *BlockIndex { return blocking.NewBlockIndex(kind) }
+
+// NewDynamicGraph returns an empty dynamic match graph.
+func NewDynamicGraph() *DynamicGraph { return graph.NewDynamic() }
+
+// Op-log I/O: JSON-lines encoding of streaming operations.
+var (
+	// ReadStreamOps parses a JSON-lines operation log.
+	ReadStreamOps = incremental.ReadOps
+	// WriteStreamOps serializes operations as JSON lines.
+	WriteStreamOps = incremental.WriteOps
 )
 
 // Concurrent execution engine.

@@ -1,0 +1,109 @@
+package er_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"entityres/er"
+)
+
+// TestFacadeStreamingResolver exercises the public streaming surface end to
+// end: build an op log, replay it through a StreamingResolver, and check
+// the maintained state equals a batch pipeline over the survivors.
+func TestFacadeStreamingResolver(t *testing.T) {
+	attrs := func(name, city string) []er.Attribute {
+		return []er.Attribute{{Name: "name", Value: name}, {Name: "city", Value: city}}
+	}
+	ops := []er.StreamOp{
+		{Kind: er.StreamInsert, URI: "u:a", Attrs: attrs("alice smith", "berlin")},
+		{Kind: er.StreamInsert, URI: "u:b", Attrs: attrs("alice smith", "berlin")},
+		{Kind: er.StreamInsert, URI: "u:c", Attrs: attrs("carol jones", "paris")},
+		{Kind: er.StreamUpdate, URI: "u:c", Attrs: attrs("alice smith", "berlin")},
+		{Kind: er.StreamDelete, URI: "u:b"},
+	}
+
+	// Round-trip through the op-log wire format first.
+	var buf bytes.Buffer
+	if err := er.WriteStreamOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := er.ReadStreamOps(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := er.NewStreamingResolver(er.StreamingConfig{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i, op := range decoded {
+		if err := r.Apply(ctx, op); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+
+	// Survivors: a and (updated) c, now identical — one match, one cluster.
+	a, ok := r.Lookup("u:a")
+	if !ok {
+		t.Fatal("u:a not live")
+	}
+	c, ok := r.Lookup("u:c")
+	if !ok {
+		t.Fatal("u:c not live")
+	}
+	if m := r.Matches(); m.Len() != 1 || !m.Contains(a, c) {
+		t.Fatalf("matches = %v, want {%d,%d}", m.Pairs(), a, c)
+	}
+
+	// Differential check through the public snapshot + batch pipeline.
+	snap, matches := r.Snapshot()
+	batch := &er.Pipeline{
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+	}
+	res, err := batch.Run(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches.Len() != matches.Len() {
+		t.Fatalf("batch over snapshot found %d matches, streaming %d", res.Matches.Len(), matches.Len())
+	}
+	res.Matches.Each(func(p er.Pair) bool {
+		if !matches.Contains(p.A, p.B) {
+			t.Fatalf("batch match %v missing from streaming state", p)
+		}
+		return true
+	})
+	if st := r.Stats(); st.Live != 2 || st.Clusters != 1 {
+		t.Fatalf("stats = %s", st)
+	}
+}
+
+// TestFacadeStreamingMode checks the Streaming pipeline mode is exported
+// and produces the batch result on a static collection.
+func TestFacadeStreamingMode(t *testing.T) {
+	c, _, err := er.GenerateDirty(er.GenConfig{Seed: 3, Entities: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5}
+	batch, err := (&er.Pipeline{Blocker: &er.TokenBlocking{}, Matcher: m, Mode: er.Batch}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := (&er.Pipeline{Blocker: &er.TokenBlocking{}, Matcher: m, Mode: er.StreamingMode}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Matches.Len() != stream.Matches.Len() || batch.Comparisons != stream.Comparisons {
+		t.Fatalf("streaming (%d matches, %d comparisons) != batch (%d matches, %d comparisons)",
+			stream.Matches.Len(), stream.Comparisons, batch.Matches.Len(), batch.Comparisons)
+	}
+}

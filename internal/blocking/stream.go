@@ -1,0 +1,188 @@
+package blocking
+
+import (
+	"fmt"
+	"sort"
+
+	"entityres/internal/entity"
+	"entityres/internal/index"
+)
+
+// StreamableBlocker is a KeyedBlocker whose key function is independent of
+// the collection: the blocking keys of a description depend only on the
+// description itself, never on corpus-wide statistics. That independence is
+// what makes the blocker's output maintainable under a stream of inserts,
+// updates and deletes — a description entering or leaving the collection
+// changes only the blocks named by its own keys. Token, standard and
+// q-grams blocking qualify; attribute clustering and prefix-infix-suffix
+// blocking (collection-wide precomputation) and suffix-array blocking
+// (block refinement couples blocks through global size bounds) do not.
+type StreamableBlocker interface {
+	KeyedBlocker
+	// StreamKeyer returns the collection-independent key function.
+	StreamKeyer() KeyFunc
+}
+
+// StreamKeyer implements StreamableBlocker.
+func (t *TokenBlocking) StreamKeyer() KeyFunc { return t.Keyer(nil) }
+
+// StreamKeyer implements StreamableBlocker.
+func (s *StandardBlocking) StreamKeyer() KeyFunc { return s.Keyer(nil) }
+
+// StreamKeyer implements StreamableBlocker.
+func (q *QGramsBlocking) StreamKeyer() KeyFunc { return q.Keyer(nil) }
+
+// BlockIndex is the incremental form of a keyed blocker's output: the
+// key → members mapping maintained under single-description Add and Remove,
+// with the posting lists and key document frequencies kept by an
+// index.Inverted underneath. Materializing it with Blocks yields exactly
+// the collection the batch build (Blocker.Block) would produce for the
+// same live descriptions; DeltaBlocks exposes, for one description, only
+// the blocks its keys touch — the comparison frontier the streaming
+// resolver feeds to the matcher.
+//
+// A BlockIndex is not safe for concurrent mutation; the streaming resolver
+// serializes operations.
+type BlockIndex struct {
+	kind entity.Kind
+	ix   *index.Inverted
+	// source records each live member's source index (S0/S1 split).
+	source map[entity.ID]int
+	// keys records each live member's distinct sorted key set, so Remove
+	// and re-keying on update need no access to the description.
+	keys map[entity.ID][]string
+}
+
+// NewBlockIndex returns an empty incremental block index for the given
+// resolution setting.
+func NewBlockIndex(kind entity.Kind) *BlockIndex {
+	return &BlockIndex{
+		kind:   kind,
+		ix:     index.New(),
+		source: make(map[entity.ID]int),
+		keys:   make(map[entity.ID][]string),
+	}
+}
+
+// Kind returns the resolution setting of the index.
+func (bi *BlockIndex) Kind() entity.Kind { return bi.kind }
+
+// Len returns the number of indexed descriptions.
+func (bi *BlockIndex) Len() int { return len(bi.keys) }
+
+// NumKeys returns the number of distinct live blocking keys.
+func (bi *BlockIndex) NumKeys() int { return bi.ix.NumTokens() }
+
+// DF returns how many live descriptions carry the key.
+func (bi *BlockIndex) DF(key string) int { return bi.ix.DF(key) }
+
+// Keys returns the distinct sorted keys the description was indexed under
+// (owned by the index; do not mutate), or nil when it is not indexed.
+func (bi *BlockIndex) Keys(id entity.ID) []string { return bi.keys[id] }
+
+// Add indexes a description under its blocking keys. Keys are deduplicated
+// and empty keys dropped, mirroring the batch builder. Adding an ID that is
+// already indexed is an error: update is Remove followed by Add.
+func (bi *BlockIndex) Add(id entity.ID, source int, keys []string) error {
+	if _, dup := bi.keys[id]; dup {
+		return fmt.Errorf("blocking: description %d already indexed", id)
+	}
+	switch bi.kind {
+	case entity.CleanClean:
+		if source != 0 && source != 1 {
+			return fmt.Errorf("blocking: clean-clean index requires source 0 or 1, got %d", source)
+		}
+	default:
+		if source != 0 {
+			return fmt.Errorf("blocking: dirty index requires source 0, got %d", source)
+		}
+	}
+	distinct := make([]string, 0, len(keys))
+	seen := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		if k == "" {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		distinct = append(distinct, k)
+	}
+	sort.Strings(distinct)
+	bi.keys[id] = distinct
+	bi.source[id] = source
+	bi.ix.AddDocument(id, distinct)
+	return nil
+}
+
+// Remove un-indexes a description, updating only the posting lists of its
+// own keys. It reports whether the description was indexed.
+func (bi *BlockIndex) Remove(id entity.ID) bool {
+	keys, ok := bi.keys[id]
+	if !ok {
+		return false
+	}
+	bi.ix.RemoveDocument(id, keys)
+	delete(bi.keys, id)
+	delete(bi.source, id)
+	return true
+}
+
+// DeltaBlocks returns the comparison frontier of one indexed description:
+// for every key of id, a block pairing id (S0) against the other live
+// members of that key that are comparable to it under the index's kind
+// (S1, sorted ascending). The returned collection is always CleanClean-
+// shaped — S0×S1 enumeration — regardless of the index kind, because the
+// frontier is inherently bipartite: id against everyone else. Feeding it to
+// a CompareIterator enumerates each candidate pair of id exactly once
+// (first key wins), which is the delta comparison schedule of an insert or
+// update.
+func (bi *BlockIndex) DeltaBlocks(id entity.ID) *Blocks {
+	out := NewBlocks(entity.CleanClean)
+	keys, live := bi.keys[id]
+	if !live {
+		return out
+	}
+	src := bi.source[id]
+	for _, k := range keys {
+		var others []entity.ID
+		for _, p := range bi.ix.Postings(k) {
+			if p.Doc == id {
+				continue
+			}
+			if bi.kind == entity.CleanClean && bi.source[p.Doc] == src {
+				continue
+			}
+			others = append(others, p.Doc)
+		}
+		if len(others) == 0 {
+			continue
+		}
+		sort.Ints(others)
+		out.Add(&Block{Key: k, S0: []entity.ID{id}, S1: others})
+	}
+	return out
+}
+
+// Blocks materializes the full block collection of the live descriptions:
+// keys ascending, members ascending by ID, comparison-free blocks dropped —
+// byte-identical to the batch build of the same blocker over a collection
+// holding the live descriptions with the same IDs.
+func (bi *BlockIndex) Blocks() *Blocks {
+	out := NewBlocks(bi.kind)
+	for _, k := range bi.ix.Tokens() {
+		b := &Block{Key: k}
+		for _, p := range bi.ix.Postings(k) {
+			if bi.source[p.Doc] == 1 {
+				b.S1 = append(b.S1, p.Doc)
+			} else {
+				b.S0 = append(b.S0, p.Doc)
+			}
+		}
+		sortIDs(b.S0)
+		sortIDs(b.S1)
+		out.Add(b)
+	}
+	return out
+}

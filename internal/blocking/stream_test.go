@@ -1,0 +1,196 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"entityres/internal/datagen"
+	"entityres/internal/entity"
+)
+
+// streamBlockers are the blockers that support incremental maintenance.
+func streamBlockers() []StreamableBlocker {
+	return []StreamableBlocker{
+		&TokenBlocking{},
+		&StandardBlocking{},
+		&QGramsBlocking{Q: 3},
+	}
+}
+
+// renderBlocks prints a block collection in its deterministic order so two
+// collections can be compared byte-for-byte.
+func renderBlocks(bs *Blocks) string {
+	out := ""
+	for _, b := range bs.All() {
+		out += fmt.Sprintf("%q %v %v\n", b.Key, b.S0, b.S1)
+	}
+	return out
+}
+
+// TestBlockIndexMatchesBatchBuild maintains a BlockIndex under random
+// add/remove/re-add churn and checks the materialized collection equals the
+// batch build over the surviving descriptions at every checkpoint.
+func TestBlockIndexMatchesBatchBuild(t *testing.T) {
+	for _, kind := range []entity.Kind{entity.Dirty, entity.CleanClean} {
+		for _, sb := range streamBlockers() {
+			t.Run(fmt.Sprintf("%s/%s", kind, sb.Name()), func(t *testing.T) {
+				var c *entity.Collection
+				var err error
+				if kind == entity.Dirty {
+					c, _, err = datagen.GenerateDirty(datagen.Config{Seed: 11, Entities: 60})
+				} else {
+					c, _, err = datagen.GenerateCleanClean(datagen.Config{Seed: 11, Entities: 60})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				keyer := sb.StreamKeyer()
+				bi := NewBlockIndex(kind)
+				live := map[entity.ID]bool{}
+				rng := rand.New(rand.NewSource(99))
+
+				check := func() {
+					t.Helper()
+					sub := entity.NewCollection(kind)
+					remap := map[entity.ID]entity.ID{}
+					for _, d := range c.All() {
+						if !live[d.ID] {
+							continue
+						}
+						cp := d.Clone()
+						id := sub.MustAdd(cp)
+						remap[id] = d.ID
+					}
+					want, err := sb.Block(sub)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// Rewrite the batch members into the index's ID space.
+					rewritten := NewBlocks(kind)
+					for _, b := range want.All() {
+						nb := &Block{Key: b.Key}
+						for _, id := range b.S0 {
+							nb.S0 = append(nb.S0, remap[id])
+						}
+						for _, id := range b.S1 {
+							nb.S1 = append(nb.S1, remap[id])
+						}
+						sortIDs(nb.S0)
+						sortIDs(nb.S1)
+						rewritten.Add(nb)
+					}
+					got, want2 := renderBlocks(bi.Blocks()), renderBlocks(rewritten)
+					if got != want2 {
+						t.Fatalf("incremental blocks diverge from batch build:\nincremental:\n%s\nbatch:\n%s", got, want2)
+					}
+				}
+
+				for step := 0; step < 200; step++ {
+					id := entity.ID(rng.Intn(c.Len()))
+					d := c.Get(id)
+					if live[id] {
+						bi.Remove(id)
+						live[id] = false
+					} else {
+						if err := bi.Add(id, d.Source, keyer(d)); err != nil {
+							t.Fatal(err)
+						}
+						live[id] = true
+					}
+					if step%50 == 49 {
+						check()
+					}
+				}
+				check()
+			})
+		}
+	}
+}
+
+// TestBlockIndexDeltaBlocks checks the delta frontier of a description is
+// exactly its comparable co-blocked candidates, each pair enumerated once.
+func TestBlockIndexDeltaBlocks(t *testing.T) {
+	bi := NewBlockIndex(entity.CleanClean)
+	if err := bi.Add(0, 0, []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bi.Add(1, 0, []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bi.Add(2, 1, []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bi.Add(3, 1, []string{"y", "z"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Description 0 (source 0) must see only source-1 members: 2 via x and
+	// y, 3 via y — pair {0,2} deduplicated across keys by the iterator.
+	delta := bi.DeltaBlocks(0)
+	got := map[entity.Pair]int{}
+	it := NewCompareIterator(delta)
+	for {
+		p, ok := it.Next()
+		if !ok {
+			break
+		}
+		got[p]++
+	}
+	want := map[entity.Pair]int{
+		entity.NewPair(0, 2): 1,
+		entity.NewPair(0, 3): 1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("delta pairs = %v, want %v", got, want)
+	}
+	for p, n := range want {
+		if got[p] != n {
+			t.Fatalf("pair %v enumerated %d times, want %d", p, got[p], n)
+		}
+	}
+
+	// Unknown descriptions have an empty frontier.
+	if delta := bi.DeltaBlocks(42); delta.Len() != 0 {
+		t.Fatalf("DeltaBlocks(42) has %d blocks, want 0", delta.Len())
+	}
+
+	// Accessor semantics.
+	if bi.Kind() != entity.CleanClean {
+		t.Fatalf("Kind = %v", bi.Kind())
+	}
+	if bi.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", bi.Len())
+	}
+	if bi.NumKeys() != 3 {
+		t.Fatalf("NumKeys = %d, want 3 (x, y, z)", bi.NumKeys())
+	}
+	if bi.DF("y") != 3 || bi.DF("absent") != 0 {
+		t.Fatalf("DF(y) = %d, DF(absent) = %d", bi.DF("y"), bi.DF("absent"))
+	}
+	if keys := bi.Keys(3); !reflect.DeepEqual(keys, []string{"y", "z"}) {
+		t.Fatalf("Keys(3) = %v", keys)
+	}
+	if bi.Keys(42) != nil {
+		t.Fatalf("Keys(42) = %v, want nil", bi.Keys(42))
+	}
+}
+
+// TestBlockIndexAddValidation checks duplicate and source validation.
+func TestBlockIndexAddValidation(t *testing.T) {
+	bi := NewBlockIndex(entity.Dirty)
+	if err := bi.Add(0, 0, []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bi.Add(0, 0, []string{"k"}); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if err := bi.Add(1, 1, []string{"k"}); err == nil {
+		t.Fatal("dirty index accepted source 1")
+	}
+	cc := NewBlockIndex(entity.CleanClean)
+	if err := cc.Add(0, 2, []string{"k"}); err == nil {
+		t.Fatal("clean-clean index accepted source 2")
+	}
+}

@@ -5,10 +5,12 @@
 // pluggable implementations from the substrate packages, and runs them in
 // one of the execution modes the tutorial organizes: batch, merging-based
 // iterative (Swoosh), iterative blocking, relationship-based collective,
-// and budget-bounded progressive.
+// budget-bounded progressive, and streaming (incremental resolution of
+// arriving descriptions, package incremental).
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"entityres/internal/blockproc"
 	"entityres/internal/entity"
 	"entityres/internal/evaluation"
+	"entityres/internal/incremental"
 	"entityres/internal/iterative"
 	"entityres/internal/iterblock"
 	"entityres/internal/matching"
@@ -43,6 +46,14 @@ const (
 	// Progressive resolves blocked candidates under a comparison budget
 	// using a pluggable scheduler.
 	Progressive
+	// Streaming replays the collection through the incremental resolver
+	// (package incremental): every description is inserted one at a time
+	// and resolved against only the blocks its keys touch. On a static
+	// collection the result is identical to Batch — same matches, same
+	// comparison count — which is exactly the differential contract that
+	// lets the same configuration serve live insert/update/delete traffic
+	// through core.Pipeline.Streaming.
+	Streaming
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +69,8 @@ func (m Mode) String() string {
 		return "collective"
 	case Progressive:
 		return "progressive"
+	case Streaming:
+		return "streaming"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -133,6 +146,54 @@ func (p *Pipeline) Validate() error {
 	if p.Mode == Collective && p.CollectiveConfig == nil && p.Matcher == nil {
 		return fmt.Errorf("core: collective mode requires CollectiveConfig or Matcher")
 	}
+	if p.Mode == Streaming {
+		if _, ok := p.Blocker.(blocking.StreamableBlocker); !ok {
+			return fmt.Errorf("core: streaming mode requires a collection-independent blocker (blocking.StreamableBlocker), got %q", p.Blocker.Name())
+		}
+		if len(p.Processors) > 0 || p.Meta != nil {
+			return fmt.Errorf("core: streaming mode supports neither block cleaning nor meta-blocking (both are collection-global)")
+		}
+	}
+	return nil
+}
+
+// StreamingSetup builds the incremental resolver for a Streaming-mode
+// pipeline over a collection of the given kind. Shared by the sequential
+// runner and the concurrent engine so both construct identical resolvers
+// (the engine passes its worker count; the match output is
+// worker-independent).
+func (p *Pipeline) StreamingSetup(kind entity.Kind, workers int) (*incremental.Resolver, error) {
+	sb, ok := p.Blocker.(blocking.StreamableBlocker)
+	if !ok {
+		return nil, fmt.Errorf("core: streaming mode requires a blocking.StreamableBlocker")
+	}
+	return incremental.New(incremental.Config{
+		Kind:    kind,
+		Blocker: sb,
+		Matcher: p.Matcher,
+		Workers: workers,
+	})
+}
+
+// ReplayStreaming replays c through a fresh incremental resolver built
+// from the pipeline configuration and shapes the outcome as a batch
+// result (matches, comparison count, block collection). It is the single
+// streaming-mode execution path, shared by the sequential runner (one
+// worker, background context) and the concurrent engine (its worker pool
+// and cancellable context) so the two cannot drift apart.
+func (p *Pipeline) ReplayStreaming(ctx context.Context, res *Result, c *entity.Collection, workers int) error {
+	r, err := p.StreamingSetup(c.Kind(), workers)
+	if err != nil {
+		return err
+	}
+	for _, d := range c.All() {
+		if _, err := r.Insert(ctx, d); err != nil {
+			return err
+		}
+	}
+	res.Matches = r.Matches()
+	res.Comparisons = r.Stats().Comparisons
+	res.Blocks = r.Blocks()
 	return nil
 }
 
@@ -178,6 +239,18 @@ func (p *Pipeline) Run(c *entity.Collection) (*Result, error) {
 		err := fn()
 		res.Phases = append(res.Phases, PhaseStat{Name: name, Duration: time.Since(t0)})
 		return err
+	}
+
+	// Streaming mode owns its whole phase sequence: the incremental
+	// resolver blocks, schedules and matches each arriving description in
+	// one pass, so the batch blocking/planning phases below never run.
+	if p.Mode == Streaming {
+		if err := phase("streaming", func() error {
+			return p.ReplayStreaming(context.Background(), res, c, 1)
+		}); err != nil {
+			return nil, fmt.Errorf("core: streaming: %w", err)
+		}
+		return res, nil
 	}
 
 	// Blocking phase.

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/blockproc"
+	"entityres/internal/entity"
+	"entityres/internal/matching"
+	"entityres/internal/metablocking"
+)
+
+// TestPipelineStreamingEqualsBatch is the mode-level differential contract:
+// replaying a static collection through Streaming mode produces exactly the
+// Batch result — same matches, same clusters, same distinct comparison
+// count, same block collection.
+func TestPipelineStreamingEqualsBatch(t *testing.T) {
+	c, _ := testData(t)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	batch := &Pipeline{Blocker: &blocking.TokenBlocking{}, Matcher: m, Mode: Batch}
+	stream := &Pipeline{Blocker: &blocking.TokenBlocking{}, Matcher: m, Mode: Streaming}
+
+	want, err := batch.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stream.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := func(r *Result) []string {
+		var out []string
+		for _, p := range r.Matches.Pairs() {
+			out = append(out, fmt.Sprintf("%d-%d", p.A, p.B))
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(sorted(got), sorted(want)) {
+		t.Fatalf("streaming matches diverge from batch:\nstreaming %v\nbatch     %v", sorted(got), sorted(want))
+	}
+	if got.Comparisons != want.Comparisons {
+		t.Fatalf("streaming comparisons = %d, batch = %d", got.Comparisons, want.Comparisons)
+	}
+	if !reflect.DeepEqual(got.Clusters(), want.Clusters()) {
+		t.Fatalf("streaming clusters diverge from batch")
+	}
+	if got.Blocks.Len() != want.Blocks.Len() {
+		t.Fatalf("streaming blocks = %d, batch = %d", got.Blocks.Len(), want.Blocks.Len())
+	}
+	if len(got.Phases) != 1 || got.Phases[0].Name != "streaming" {
+		t.Fatalf("phases = %v", got.Phases)
+	}
+}
+
+// TestStreamingValidation checks the configurations streaming rejects.
+func TestStreamingValidation(t *testing.T) {
+	c, _ := testData(t)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	cases := map[string]*Pipeline{
+		"collection-dependent blocker": {
+			Blocker: &blocking.AttributeClustering{}, Matcher: m, Mode: Streaming,
+		},
+		"refining blocker": {
+			Blocker: &blocking.SuffixArrayBlocking{}, Matcher: m, Mode: Streaming,
+		},
+		"block cleaning": {
+			Blocker:    &blocking.TokenBlocking{},
+			Processors: []blockproc.Processor{&blockproc.SizePurge{}},
+			Matcher:    m, Mode: Streaming,
+		},
+		"meta-blocking": {
+			Blocker: &blocking.TokenBlocking{},
+			Meta:    &metablocking.MetaBlocker{Weight: metablocking.CBS, Prune: metablocking.WEP},
+			Matcher: m, Mode: Streaming,
+		},
+	}
+	for name, p := range cases {
+		if _, err := p.Run(c); err == nil {
+			t.Errorf("%s: accepted by streaming mode", name)
+		}
+	}
+}
+
+// TestStreamingSetupErrors covers the construction error paths reachable
+// when the engine calls StreamingSetup outside Run's validation.
+func TestStreamingSetupErrors(t *testing.T) {
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	p := &Pipeline{Blocker: &blocking.AttributeClustering{}, Matcher: m}
+	if _, err := p.StreamingSetup(0, 1); err == nil {
+		t.Fatal("StreamingSetup accepted a collection-dependent blocker")
+	}
+}
+
+// TestStreamingDuplicateURIs: streams address descriptions by URI, so a
+// collection carrying the same URI twice cannot replay.
+func TestStreamingDuplicateURIs(t *testing.T) {
+	c := entity.NewCollection(entity.Dirty)
+	for i := 0; i < 2; i++ {
+		d := entity.NewDescription("http://dup.example.org/x")
+		d.Add("name", "alice smith")
+		c.MustAdd(d)
+	}
+	p := &Pipeline{
+		Blocker: &blocking.TokenBlocking{},
+		Matcher: &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+		Mode:    Streaming,
+	}
+	if _, err := p.Run(c); err == nil {
+		t.Fatal("streaming replay accepted duplicate URIs")
+	}
+}
+
+func TestStreamingModeString(t *testing.T) {
+	if Streaming.String() != "streaming" {
+		t.Fatalf("Streaming.String() = %q", Streaming.String())
+	}
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"sort"
+
+	"entityres/internal/entity"
+)
+
+// RemoveEdge deletes the undirected edge {a, b}, reporting whether it
+// existed. Nodes left without edges remain absent from NumNodes, matching
+// the construction invariant that nodes exist through their edges.
+func (g *Graph) RemoveEdge(a, b entity.ID) bool {
+	if _, ok := g.adj[a][b]; !ok {
+		return false
+	}
+	g.numEdges--
+	g.removeDirected(a, b)
+	g.removeDirected(b, a)
+	return true
+}
+
+// RemoveNode deletes id and every incident edge, returning the neighbors it
+// was connected to (sorted ascending; nil when the node had no edges). The
+// cost is proportional to the node's degree — the targeted maintenance the
+// streaming resolver relies on.
+func (g *Graph) RemoveNode(id entity.ID) []entity.ID {
+	m, ok := g.adj[id]
+	if !ok {
+		return nil
+	}
+	neighbors := make([]entity.ID, 0, len(m))
+	for n := range m {
+		neighbors = append(neighbors, n)
+		g.removeDirected(n, id)
+		g.numEdges--
+	}
+	delete(g.adj, id)
+	sort.Ints(neighbors)
+	return neighbors
+}
+
+func (g *Graph) removeDirected(from, to entity.ID) {
+	m := g.adj[from]
+	delete(m, to)
+	if len(m) == 0 {
+		delete(g.adj, from)
+	}
+}
+
+// Dynamic maintains the connected components of a mutating match graph:
+// union-by-size on edge insertion, targeted recomputation of the single
+// affected component on node removal. It is the incremental counterpart of
+// entity.Matches.Clusters — the resolved-entity view kept current while
+// matches stream in and descriptions are deleted or updated, without ever
+// recomputing components from scratch.
+type Dynamic struct {
+	g *Graph
+	// comp maps every node that has (or ever had, while still live) an
+	// edge to its component representative.
+	comp map[entity.ID]entity.ID
+	// members maps a representative to its component's member set.
+	members map[entity.ID]map[entity.ID]struct{}
+}
+
+// NewDynamic returns an empty dynamic component structure.
+func NewDynamic() *Dynamic {
+	return &Dynamic{
+		g:       New(),
+		comp:    make(map[entity.ID]entity.ID),
+		members: make(map[entity.ID]map[entity.ID]struct{}),
+	}
+}
+
+// Graph returns the underlying match graph. Callers must mutate it only
+// through AddEdge and RemoveNode, or the component index drifts.
+func (d *Dynamic) Graph() *Graph { return d.g }
+
+// NumEdges returns the number of match edges.
+func (d *Dynamic) NumEdges() int { return d.g.NumEdges() }
+
+// Same reports whether a and b currently belong to one component.
+func (d *Dynamic) Same(a, b entity.ID) bool {
+	ra, ok := d.comp[a]
+	if !ok {
+		return false
+	}
+	rb, ok := d.comp[b]
+	return ok && ra == rb
+}
+
+// AddEdge inserts the match edge {a, b} with the given weight, merging the
+// endpoints' components (smaller into larger). Self-loops are ignored.
+func (d *Dynamic) AddEdge(a, b entity.ID, w float64) {
+	if a == b {
+		return
+	}
+	d.g.SetWeight(a, b, w)
+	ra, rb := d.ensure(a), d.ensure(b)
+	if ra == rb {
+		return
+	}
+	if len(d.members[ra]) < len(d.members[rb]) {
+		ra, rb = rb, ra
+	}
+	for id := range d.members[rb] {
+		d.comp[id] = ra
+		d.members[ra][id] = struct{}{}
+	}
+	delete(d.members, rb)
+}
+
+// ensure registers id as a singleton component if unseen and returns its
+// representative.
+func (d *Dynamic) ensure(id entity.ID) entity.ID {
+	if r, ok := d.comp[id]; ok {
+		return r
+	}
+	d.comp[id] = id
+	d.members[id] = map[entity.ID]struct{}{id: {}}
+	return id
+}
+
+// RemoveNode deletes id and its incident match edges, then recomputes the
+// connectivity of (only) the component it belonged to: removing a node can
+// split its component into several, and which nodes end up together is
+// decided by breadth-first search over the surviving edges of the old
+// component's members — every other component is untouched.
+func (d *Dynamic) RemoveNode(id entity.ID) {
+	rep, ok := d.comp[id]
+	if !ok {
+		return
+	}
+	old := d.members[rep]
+	d.g.RemoveNode(id)
+	delete(d.comp, id)
+	delete(old, id)
+	delete(d.members, rep)
+	// Reassign the survivors by BFS; each unvisited survivor seeds a new
+	// component represented by its seed.
+	visited := make(map[entity.ID]struct{}, len(old))
+	for seed := range old {
+		if _, done := visited[seed]; done {
+			continue
+		}
+		comp := map[entity.ID]struct{}{seed: {}}
+		visited[seed] = struct{}{}
+		queue := []entity.ID{seed}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for nb := range d.g.adj[n] {
+				if _, done := visited[nb]; done {
+					continue
+				}
+				visited[nb] = struct{}{}
+				comp[nb] = struct{}{}
+				queue = append(queue, nb)
+			}
+		}
+		d.members[seed] = comp
+		for n := range comp {
+			d.comp[n] = seed
+		}
+	}
+}
+
+// Clusters returns the non-singleton components, each sorted ascending,
+// ordered by smallest member — the same deterministic shape as
+// entity.UnionFind.Clusters, so dynamic and batch cluster output compare
+// directly.
+func (d *Dynamic) Clusters() [][]entity.ID {
+	var out [][]entity.ID
+	for _, m := range d.members {
+		if len(m) < 2 {
+			continue
+		}
+		cl := make([]entity.ID, 0, len(m))
+		for id := range m {
+			cl = append(cl, id)
+		}
+		sort.Ints(cl)
+		out = append(out, cl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Matches materializes the current match edges as an entity.Matches.
+func (d *Dynamic) Matches() *entity.Matches {
+	m := entity.NewMatches()
+	d.g.EachEdge(func(e Edge) bool {
+		m.Add(e.A, e.B)
+		return true
+	})
+	return m
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	g.SetWeight(1, 2, 0.5)
+	g.SetWeight(2, 3, 0.7)
+	if !g.RemoveEdge(2, 1) {
+		t.Fatal("RemoveEdge(2,1) = false, want true")
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Fatal("second RemoveEdge(1,2) = true, want false")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if _, ok := g.Weight(1, 2); ok {
+		t.Fatal("edge {1,2} still present")
+	}
+	// Node 1 lost its last edge and must vanish from the node count.
+	if g.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", g.NumNodes())
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := New()
+	g.SetWeight(1, 2, 1)
+	g.SetWeight(1, 3, 1)
+	g.SetWeight(2, 3, 1)
+	got := g.RemoveNode(1)
+	if want := []entity.ID{2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("RemoveNode(1) neighbors = %v, want %v", got, want)
+	}
+	if g.NumEdges() != 1 || g.NumNodes() != 2 {
+		t.Fatalf("after removal: %d edges, %d nodes; want 1, 2", g.NumEdges(), g.NumNodes())
+	}
+	if got := g.RemoveNode(99); got != nil {
+		t.Fatalf("RemoveNode(99) = %v, want nil", got)
+	}
+}
+
+func TestDynamicUnionAndSplit(t *testing.T) {
+	d := NewDynamic()
+	d.AddEdge(1, 2, 1)
+	d.AddEdge(3, 4, 1)
+	if d.Same(1, 3) {
+		t.Fatal("disjoint components reported same")
+	}
+	d.AddEdge(2, 3, 1) // bridge: one component {1,2,3,4}
+	if !d.Same(1, 4) {
+		t.Fatal("bridged components not merged")
+	}
+	want := [][]entity.ID{{1, 2, 3, 4}}
+	if got := d.Clusters(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Clusters = %v, want %v", got, want)
+	}
+	// Removing the bridge node 2 splits {1} (singleton, dropped) from {3,4}.
+	d.RemoveNode(2)
+	want = [][]entity.ID{{3, 4}}
+	if got := d.Clusters(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Clusters after split = %v, want %v", got, want)
+	}
+	if d.Same(1, 3) {
+		t.Fatal("split components reported same")
+	}
+	// Re-adding an edge through a former singleton works.
+	d.AddEdge(1, 3, 1)
+	want = [][]entity.ID{{1, 3, 4}}
+	if got := d.Clusters(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Clusters after re-add = %v, want %v", got, want)
+	}
+}
+
+// TestDynamicRandomizedAgainstUnionFind churns a Dynamic with random edge
+// insertions and node removals, checking its clusters against a from-scratch
+// union-find over the surviving edges at every step.
+func TestDynamicRandomizedAgainstUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDynamic()
+	edges := map[entity.Pair]struct{}{}
+	const nodes = 30
+	for step := 0; step < 600; step++ {
+		if rng.Intn(4) > 0 {
+			a, b := rng.Intn(nodes), rng.Intn(nodes)
+			if a == b {
+				continue
+			}
+			d.AddEdge(a, b, 1)
+			edges[entity.NewPair(a, b)] = struct{}{}
+		} else {
+			n := rng.Intn(nodes)
+			d.RemoveNode(n)
+			for p := range edges {
+				if p.Contains(n) {
+					delete(edges, p)
+				}
+			}
+		}
+		if step%20 != 19 {
+			continue
+		}
+		uf := entity.NewUnionFind(nodes)
+		for p := range edges {
+			uf.Union(p.A, p.B)
+		}
+		if got, want := d.Clusters(), uf.Clusters(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: dynamic clusters %v, union-find %v", step, got, want)
+		}
+		if got, want := d.NumEdges(), len(edges); got != want {
+			t.Fatalf("step %d: NumEdges = %d, want %d", step, got, want)
+		}
+	}
+}
+
+// TestDynamicMatches checks the edge materialization round-trips.
+func TestDynamicMatches(t *testing.T) {
+	d := NewDynamic()
+	d.AddEdge(5, 1, 0.9)
+	d.AddEdge(1, 2, 0.8)
+	m := d.Matches()
+	if m.Len() != 2 || !m.Contains(1, 5) || !m.Contains(1, 2) {
+		t.Fatalf("Matches = %v", m.Pairs())
+	}
+	if g := d.Graph(); g.NumEdges() != 2 || g.NumNodes() != 3 {
+		t.Fatalf("Graph() reports %d edges, %d nodes", g.NumEdges(), g.NumNodes())
+	}
+}

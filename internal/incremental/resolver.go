@@ -1,0 +1,340 @@
+// Package incremental implements streaming entity resolution: a long-lived
+// Resolver that accepts a stream of insert, update and delete operations
+// and maintains the resolved state — blocks, candidate comparisons, match
+// graph and entity clusters — incrementally, touching only the state the
+// operation reaches instead of re-running the pipeline from scratch.
+//
+// This is the paper's §III iteration model pushed to its serving-time
+// conclusion: the comparison "queue" is re-derived per operation from the
+// blocks the operation changed (the delta frontier of
+// blocking.BlockIndex.DeltaBlocks), matcher execution reuses the batch
+// engine's worker pool (matching.ResolveBlocksParallel over a streaming
+// blocking.CompareIterator), and the match graph and its connected
+// components are maintained by graph.Dynamic with targeted recomputation.
+//
+// The Resolver's contract is differential equivalence: after any sequence
+// of operations, its match set and clusters are identical to a from-scratch
+// batch core.Pipeline run over the surviving descriptions. That holds
+// because (1) the blocker is a blocking.StreamableBlocker, so a
+// description's keys depend only on itself, (2) the matcher similarity is a
+// pure function of the two descriptions, and (3) every pair's co-occurrence
+// and contents are unchanged by operations that touch neither endpoint.
+// Corpus-dependent matchers (TFIDFCosine) and collection-dependent blockers
+// are rejected by construction — their decisions shift with every arrival,
+// which is incompatible with incremental maintenance (see ROADMAP open
+// items for the re-weighting follow-on).
+package incremental
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/graph"
+	"entityres/internal/matching"
+)
+
+// Config parameterizes a Resolver.
+type Config struct {
+	// Kind is the resolution setting of the stream (default Dirty).
+	Kind entity.Kind
+	// Blocker derives the blocking keys (required). It must be a
+	// collection-independent keyed blocker; see blocking.StreamableBlocker.
+	Blocker blocking.StreamableBlocker
+	// Matcher is the thresholded match decision (required). Its similarity
+	// must depend only on the two descriptions — corpus-weighted measures
+	// like TFIDFCosine drift as the corpus changes and are not supported.
+	Matcher *matching.Matcher
+	// Workers sizes the delta-matching worker pool; <= 0 means 1. The
+	// match output is worker-count independent.
+	Workers int
+}
+
+// Stats summarizes the work a resolver has performed.
+type Stats struct {
+	// Ops counts applied operations by kind.
+	Inserts, Updates, Deletes int64
+	// Comparisons counts matcher invocations across all operations.
+	Comparisons int64
+	// Live is the number of live descriptions.
+	Live int
+	// Matches is the number of current match pairs.
+	Matches int
+	// Clusters is the number of current non-singleton entity clusters.
+	Clusters int
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("ops=%d/%d/%d live=%d comparisons=%d matches=%d clusters=%d",
+		s.Inserts, s.Updates, s.Deletes, s.Live, s.Comparisons, s.Matches, s.Clusters)
+}
+
+// Resolver is a long-lived streaming entity resolver. All methods are safe
+// for concurrent use; operations are serialized internally.
+type Resolver struct {
+	cfg   Config
+	keyer blocking.KeyFunc
+
+	mu sync.Mutex
+	// coll holds every description ever inserted, at its internal ID
+	// (slot). Deleted slots keep their tombstone description so the slot
+	// space stays dense for the matcher's Get path; live tracks liveness
+	// and liveCount the number of true entries.
+	coll      *entity.Collection
+	live      []bool
+	liveCount int
+	// byURI maps the URI of each live description to its slot.
+	byURI map[string]entity.ID
+
+	blocks *blocking.BlockIndex
+	dyn    *graph.Dynamic
+
+	stats Stats
+}
+
+// New validates the configuration and returns an empty resolver.
+func New(cfg Config) (*Resolver, error) {
+	if cfg.Blocker == nil {
+		return nil, fmt.Errorf("incremental: resolver requires a streamable Blocker")
+	}
+	if _, refines := cfg.Blocker.(blocking.BlockRefiner); refines {
+		return nil, fmt.Errorf("incremental: blocker %q refines its block collection globally and cannot stream", cfg.Blocker.Name())
+	}
+	if cfg.Matcher == nil {
+		return nil, fmt.Errorf("incremental: resolver requires a Matcher")
+	}
+	if _, corpus := cfg.Matcher.Sim.(*matching.TFIDFCosine); corpus {
+		return nil, fmt.Errorf("incremental: matcher %q depends on corpus statistics and cannot stream", cfg.Matcher.Sim.Name())
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	return &Resolver{
+		cfg:    cfg,
+		keyer:  cfg.Blocker.StreamKeyer(),
+		coll:   entity.NewCollection(cfg.Kind),
+		byURI:  make(map[string]entity.ID),
+		blocks: blocking.NewBlockIndex(cfg.Kind),
+		dyn:    graph.NewDynamic(),
+	}, nil
+}
+
+// Kind returns the resolution setting of the stream.
+func (r *Resolver) Kind() entity.Kind { return r.cfg.Kind }
+
+// Insert adds a new description and resolves it against its delta frontier:
+// only the pairs its blocking keys suggest are compared. The description is
+// cloned; the caller keeps ownership of d. It returns the internal handle
+// of the description. Non-empty URIs must be unique across live
+// descriptions.
+func (r *Resolver) Insert(ctx context.Context, d *entity.Description) (entity.ID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d == nil {
+		return -1, fmt.Errorf("incremental: insert of nil description")
+	}
+	if d.URI != "" {
+		if _, taken := r.byURI[d.URI]; taken {
+			return -1, fmt.Errorf("incremental: URI %q already live", d.URI)
+		}
+	}
+	cp := d.Clone()
+	id, err := r.coll.Add(cp)
+	if err != nil {
+		return -1, fmt.Errorf("incremental: %w", err)
+	}
+	r.live = append(r.live, true)
+	if cp.URI != "" {
+		r.byURI[cp.URI] = id
+	}
+	if err := r.index(ctx, id); err != nil {
+		// Roll the insert back to a tombstone: the slot is burned but the
+		// resolved state is exactly what it was before the operation.
+		r.live[id] = false
+		if cp.URI != "" {
+			delete(r.byURI, cp.URI)
+		}
+		return -1, err
+	}
+	r.liveCount++
+	r.stats.Inserts++
+	return id, nil
+}
+
+// Update replaces the attributes of the live description with the given
+// handle and re-resolves it: its old matches are retired, its block
+// membership is re-keyed, and only pairs in the new delta frontier are
+// compared. The source of a description is immutable. If the context is
+// cancelled mid-operation the description stays live but unresolved (no
+// blocks, no matches); retrying the Update — or Deleting the description —
+// restores consistency.
+func (r *Resolver) Update(ctx context.Context, id entity.ID, attrs []entity.Attribute) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.isLive(id) {
+		return fmt.Errorf("incremental: update of unknown description %d", id)
+	}
+	r.retire(id)
+	d := r.coll.Get(id)
+	d.Attrs = append([]entity.Attribute(nil), attrs...)
+	if err := r.index(ctx, id); err != nil {
+		return err
+	}
+	r.stats.Updates++
+	return nil
+}
+
+// Delete removes the live description with the given handle: its blocks
+// shed the member, its match edges disappear, and its cluster is split by
+// targeted recomputation. No comparisons are executed.
+func (r *Resolver) Delete(id entity.ID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.isLive(id) {
+		return fmt.Errorf("incremental: delete of unknown description %d", id)
+	}
+	r.retire(id)
+	d := r.coll.Get(id)
+	if d.URI != "" {
+		delete(r.byURI, d.URI)
+	}
+	r.live[id] = false
+	r.liveCount--
+	r.stats.Deletes++
+	return nil
+}
+
+// Lookup returns the handle of the live description with the given URI.
+func (r *Resolver) Lookup(uri string) (entity.ID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.byURI[uri]
+	return id, ok
+}
+
+// isLive reports whether id is a live slot. Callers hold r.mu.
+func (r *Resolver) isLive(id entity.ID) bool {
+	return id >= 0 && id < len(r.live) && r.live[id]
+}
+
+// retire removes id's block membership and match edges, splitting its
+// cluster if it was an articulation point. Callers hold r.mu.
+func (r *Resolver) retire(id entity.ID) {
+	r.blocks.Remove(id)
+	r.dyn.RemoveNode(id)
+}
+
+// index keys the (live, current) description id into the block index and
+// resolves its delta frontier through the matching worker pool, folding the
+// positives into the match graph. Callers hold r.mu.
+func (r *Resolver) index(ctx context.Context, id entity.ID) error {
+	d := r.coll.Get(id)
+	if err := r.blocks.Add(id, d.Source, r.keyer(d)); err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	delta := r.blocks.DeltaBlocks(id)
+	// Small frontiers skip the worker pool: a pool spin-up costs more than
+	// matching a handful of pairs, and most per-op deltas are far below one
+	// scheduling chunk.
+	workers := r.cfg.Workers
+	if delta.TotalComparisons() < sequentialDeltaMax {
+		workers = 1
+	}
+	out, err := matching.ResolveBlocksParallel(ctx, r.coll, delta, r.cfg.Matcher, workers)
+	if err != nil {
+		// The context fired mid-delta: some candidate pairs of id were
+		// never evaluated. Roll the description back out so the maintained
+		// state never holds a partially resolved member; the caller can
+		// retry the operation. The aborted delta's partial comparisons are
+		// not counted — Stats.Comparisons sums successful operations only,
+		// keeping it equal to a batch run's count on insert-only streams.
+		r.blocks.Remove(id)
+		r.dyn.RemoveNode(id)
+		return fmt.Errorf("incremental: delta matching: %w", err)
+	}
+	r.stats.Comparisons += out.Comparisons
+	out.Matches.Each(func(p entity.Pair) bool {
+		r.dyn.AddEdge(p.A, p.B, 1)
+		return true
+	})
+	return nil
+}
+
+// sequentialDeltaMax is the frontier size (suggested comparisons,
+// redundancy included) below which delta matching runs sequentially even
+// when the resolver has a worker budget; it matches the matcher pool's
+// chunk size, the point where fan-out can begin to pay for itself.
+const sequentialDeltaMax = 256
+
+// Stats returns a snapshot of the resolver's counters.
+func (r *Resolver) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.Live = r.liveCount
+	st.Matches = r.dyn.NumEdges()
+	st.Clusters = len(r.dyn.Clusters())
+	return st
+}
+
+// Matches returns the current match pairs over internal handles.
+func (r *Resolver) Matches() *entity.Matches {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dyn.Matches()
+}
+
+// Clusters returns the current non-singleton entity clusters over internal
+// handles, in the deterministic order of entity.UnionFind.Clusters.
+func (r *Resolver) Clusters() [][]entity.ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dyn.Clusters()
+}
+
+// Blocks materializes the current block collection — identical to what the
+// configured blocker would build over the live descriptions.
+func (r *Resolver) Blocks() *blocking.Blocks {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.blocks.Blocks()
+}
+
+// Get returns a copy of the live description with the given handle.
+func (r *Resolver) Get(id entity.ID) (*entity.Description, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.isLive(id) {
+		return nil, false
+	}
+	return r.coll.Get(id).Clone(), true
+}
+
+// Snapshot materializes the resolver's state as a fresh batch-shaped
+// result: a collection holding clones of the live descriptions with dense
+// IDs in insertion order, and the match set remapped into that ID space.
+// Running a batch pipeline with the same blocker and matcher over the
+// returned collection produces exactly the returned matches — the
+// differential-equivalence contract the test suite enforces.
+func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := entity.NewCollection(r.cfg.Kind)
+	remap := make(map[entity.ID]entity.ID, r.liveCount)
+	for _, d := range r.coll.All() {
+		if !r.live[d.ID] {
+			continue
+		}
+		cp := d.Clone()
+		remap[d.ID] = out.MustAdd(cp)
+	}
+	matches := entity.NewMatches()
+	r.dyn.Graph().EachEdge(func(e graph.Edge) bool {
+		matches.Add(remap[e.A], remap[e.B])
+		return true
+	})
+	return out, matches
+}

@@ -31,6 +31,15 @@ type Inverted struct {
 	numDocs  int
 }
 
+// New returns an empty index, to be populated with AddDocument — the
+// constructor for incrementally maintained indexes.
+func New() *Inverted {
+	return &Inverted{
+		postings: make(map[string][]Posting),
+		docLen:   make(map[entity.ID]int),
+	}
+}
+
 // Build tokenizes every description of c with p and indexes it. Documents
 // with no tokens still count toward the corpus size (they exist; they are
 // simply unreachable through any posting list).
@@ -60,7 +69,7 @@ func BuildFromTokens(ids []entity.ID, docs [][]string) *Inverted {
 
 // AddDocument indexes one document given its token list (with duplicates
 // preserved for TF). Adding the same document twice corrupts statistics;
-// the index is append-only by construction.
+// remove the old version first (RemoveDocument) when re-indexing.
 func (ix *Inverted) AddDocument(id entity.ID, tokens []string) {
 	ix.numDocs++
 	ix.docLen[id] = len(tokens)
@@ -74,6 +83,41 @@ func (ix *Inverted) AddDocument(id entity.ID, tokens []string) {
 	for t, n := range tf {
 		ix.postings[t] = append(ix.postings[t], Posting{Doc: id, TF: n})
 	}
+}
+
+// RemoveDocument un-indexes one document given the same token list it was
+// added with, splicing it out of every posting list (order of the remaining
+// postings is preserved), deleting emptied lists, and updating the corpus
+// statistics. It reports whether the document was indexed. This is the
+// single-description maintenance path of the streaming resolver: only the
+// posting lists of the document's own tokens are touched, never the whole
+// index.
+func (ix *Inverted) RemoveDocument(id entity.ID, tokens []string) bool {
+	if _, ok := ix.docLen[id]; !ok {
+		return false
+	}
+	ix.numDocs--
+	delete(ix.docLen, id)
+	seen := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		ps := ix.postings[t]
+		for i, p := range ps {
+			if p.Doc == id {
+				ps = append(ps[:i], ps[i+1:]...)
+				break
+			}
+		}
+		if len(ps) == 0 {
+			delete(ix.postings, t)
+		} else {
+			ix.postings[t] = ps
+		}
+	}
+	return true
 }
 
 // NumDocs returns the number of indexed documents.

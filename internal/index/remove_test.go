@@ -1,0 +1,133 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+// TestRemoveDocument checks that removing a document reverses AddDocument
+// exactly: postings spliced in order, DF/IDF and corpus size updated,
+// emptied posting lists deleted.
+func TestRemoveDocument(t *testing.T) {
+	ix := New()
+	ix.AddDocument(0, []string{"alice", "smith", "smith"})
+	ix.AddDocument(1, []string{"bob", "smith"})
+	ix.AddDocument(2, []string{"alice", "jones"})
+
+	if !ix.RemoveDocument(1, []string{"bob", "smith"}) {
+		t.Fatal("RemoveDocument(1) = false, want true")
+	}
+	if ix.RemoveDocument(1, []string{"bob", "smith"}) {
+		t.Fatal("second RemoveDocument(1) = true, want false")
+	}
+	if got := ix.NumDocs(); got != 2 {
+		t.Fatalf("NumDocs = %d, want 2", got)
+	}
+	if got := ix.DF("bob"); got != 0 {
+		t.Fatalf("DF(bob) = %d, want 0 (posting list deleted)", got)
+	}
+	if got := ix.IDF("bob"); got != 0 {
+		t.Fatalf("IDF(bob) = %v, want 0", got)
+	}
+	if got := ix.DF("smith"); got != 1 {
+		t.Fatalf("DF(smith) = %d, want 1", got)
+	}
+	if got := ix.Postings("smith"); len(got) != 1 || got[0].Doc != 0 || got[0].TF != 2 {
+		t.Fatalf("Postings(smith) = %v, want [{0 2}]", got)
+	}
+	if got := ix.DocLen(1); got != 0 {
+		t.Fatalf("DocLen(1) = %d, want 0", got)
+	}
+	if got := ix.Tokens(); !reflect.DeepEqual(got, []string{"alice", "jones", "smith"}) {
+		t.Fatalf("Tokens = %v", got)
+	}
+}
+
+// TestRemoveDocumentPreservesOrder checks the surviving postings keep their
+// insertion order when a middle document is spliced out.
+func TestRemoveDocumentPreservesOrder(t *testing.T) {
+	ix := New()
+	for id := 0; id < 5; id++ {
+		ix.AddDocument(id, []string{"tok"})
+	}
+	ix.RemoveDocument(2, []string{"tok"})
+	want := []entity.ID{0, 1, 3, 4}
+	got := ix.Postings("tok")
+	if len(got) != len(want) {
+		t.Fatalf("got %d postings, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if p.Doc != want[i] {
+			t.Fatalf("posting %d = doc %d, want %d", i, p.Doc, want[i])
+		}
+	}
+}
+
+// TestAddRemoveRandomized interleaves adds and removes and checks the final
+// index equals a fresh build over the surviving documents.
+func TestAddRemoveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g"}
+	docTokens := func(id int) []string {
+		r := rand.New(rand.NewSource(int64(id) * 31))
+		n := 1 + r.Intn(4)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[r.Intn(len(vocab))]
+		}
+		return out
+	}
+
+	ix := New()
+	live := map[entity.ID]bool{}
+	next := 0
+	for step := 0; step < 500; step++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			ix.AddDocument(next, docTokens(next))
+			live[next] = true
+			next++
+		} else {
+			for id := range live {
+				ix.RemoveDocument(id, docTokens(id))
+				delete(live, id)
+				break
+			}
+		}
+	}
+
+	var ids []entity.ID
+	for id := range live {
+		ids = append(ids, id)
+	}
+	fresh := New()
+	for _, id := range ids {
+		fresh.AddDocument(id, docTokens(id))
+	}
+	if ix.NumDocs() != fresh.NumDocs() {
+		t.Fatalf("NumDocs: incremental %d, fresh %d", ix.NumDocs(), fresh.NumDocs())
+	}
+	if !reflect.DeepEqual(ix.Tokens(), fresh.Tokens()) {
+		t.Fatalf("Tokens: incremental %v, fresh %v", ix.Tokens(), fresh.Tokens())
+	}
+	for _, tok := range fresh.Tokens() {
+		if ix.DF(tok) != fresh.DF(tok) {
+			t.Fatalf("DF(%s): incremental %d, fresh %d", tok, ix.DF(tok), fresh.DF(tok))
+		}
+		// Posting multisets must agree; order may differ (incremental
+		// preserves original insertion order, fresh inserts ascending).
+		gotTF := map[entity.ID]int{}
+		for _, p := range ix.Postings(tok) {
+			gotTF[p.Doc] = p.TF
+		}
+		wantTF := map[entity.ID]int{}
+		for _, p := range fresh.Postings(tok) {
+			wantTF[p.Doc] = p.TF
+		}
+		if !reflect.DeepEqual(gotTF, wantTF) {
+			t.Fatalf("Postings(%s): incremental %v, fresh %v", tok, gotTF, wantTF)
+		}
+	}
+}

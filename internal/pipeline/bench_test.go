@@ -39,6 +39,9 @@ func benchCollection(b *testing.B) *entity.Collection {
 }
 
 func BenchmarkPipelineSequential(b *testing.B) {
+	if testing.Short() {
+		b.Skip("pipeline benchmarks are skipped in short mode")
+	}
 	c := benchCollection(b)
 	cfg := batchConfig()
 	b.ReportAllocs()
@@ -55,6 +58,9 @@ func BenchmarkPipelineSequential(b *testing.B) {
 }
 
 func BenchmarkPipelineParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("pipeline benchmarks are skipped in short mode")
+	}
 	c := benchCollection(b)
 	// Untimed setup: the parallel result must be identical to the
 	// sequential one — a speedup that changes the answer is no speedup.

@@ -109,6 +109,19 @@ func (e *Engine) Run(ctx context.Context, c *entity.Collection) (*core.Result, e
 		return nil
 	}
 
+	// Streaming mode owns its whole phase sequence (the incremental
+	// resolver blocks, schedules and matches each arriving description),
+	// so the batch phases below never run; the delta matcher inside the
+	// resolver gets the engine's worker pool.
+	if p.Mode == core.Streaming {
+		if err := phase("streaming", func() error {
+			return p.ReplayStreaming(ctx, res, c, opt.Workers)
+		}); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
 	// Blocking phase: sharded when the blocker exposes a key function.
 	var bs *blocking.Blocks
 	if err := phase("blocking", func() error {

@@ -1,0 +1,54 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/core"
+	"entityres/internal/matching"
+)
+
+// TestEngineStreamingEqualsBatch checks the engine's Streaming mode against
+// the sequential batch pipeline across worker counts: the delta-matching
+// worker pool must not change the result.
+func TestEngineStreamingEqualsBatch(t *testing.T) {
+	c, _ := testCollection(t, 200, 7)
+	cfg := core.Pipeline{
+		Blocker: &blocking.TokenBlocking{},
+		Matcher: &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+		Mode:    core.Batch,
+	}
+	want, err := cfg.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		stream := cfg
+		stream.Mode = core.Streaming
+		res, err := New(stream, Options{Workers: workers}).Run(context.Background(), c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertSameMatches(t, "streaming", want.Matches, res.Matches)
+		if res.Comparisons != want.Comparisons {
+			t.Fatalf("workers=%d: streaming comparisons = %d, batch = %d", workers, res.Comparisons, want.Comparisons)
+		}
+	}
+}
+
+// TestEngineStreamingCancellation checks a cancelled context stops the
+// replay with an error.
+func TestEngineStreamingCancellation(t *testing.T) {
+	c, _ := testCollection(t, 200, 7)
+	cfg := core.Pipeline{
+		Blocker: &blocking.TokenBlocking{},
+		Matcher: &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+		Mode:    core.Streaming,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(cfg, Options{}).Run(ctx, c); err == nil {
+		t.Fatal("cancelled streaming run succeeded")
+	}
+}

@@ -1,0 +1,83 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLine checks the N-Triples statement parser never panics and that
+// every accepted statement survives a serialize → re-parse round trip with
+// identical fields — the invariant that makes WriteCollection/Parse a
+// lossless exchange path.
+func FuzzParseLine(f *testing.F) {
+	seeds := []string{
+		`<http://a> <http://p> <http://b> .`,
+		`<http://a> <http://p> "literal" .`,
+		`<http://a> <http://p> "esc \" \\ \t \n \r" .`,
+		`<http://a> <http://p> "unicode é€" .`,
+		`<http://a> <http://p> "tagged"@en .`,
+		`<http://a> <http://p> "typed"^^<http://www.w3.org/2001/XMLSchema#string> .`,
+		`<s> <p> "" .`,
+		`<s> <p> "dangling`,
+		`<s> <p> "bad \u12" .`,
+		`<s> <p> missing .`,
+		`<s> <p> "x" junk`,
+		`  <s>   <p>   "spaced"   .  `,
+		``,
+		`# comment`,
+		`<s> <p`,
+		"\x00\x01\x02",
+		`<s> <p> "\uD800" .`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		// Accepted statements must re-serialize into a parseable statement
+		// with the same content. IRIs cannot contain '>' (the parser stops
+		// at the first one) and literals go through EscapeLiteral.
+		var obj string
+		if tr.ObjectIsIRI {
+			obj = "<" + tr.Object + ">"
+		} else {
+			obj = `"` + EscapeLiteral(tr.Object) + `"`
+		}
+		line2 := "<" + tr.Subject + "> <" + tr.Predicate + "> " + obj + " ."
+		tr2, err := ParseLine(line2)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", line2, line, err)
+		}
+		if tr2 != tr {
+			t.Fatalf("round trip changed the triple: %+v -> %+v", tr, tr2)
+		}
+	})
+}
+
+// FuzzParse checks the document parser: never panics, and accepted
+// documents report as many triples as non-blank non-comment lines.
+func FuzzParse(f *testing.F) {
+	f.Add("<a> <b> \"c\" .\n# comment\n\n<d> <e> <f> .\n")
+	f.Add("<a> <b> \"multi\\nline\" .\n")
+	f.Add("bogus\n")
+	f.Add(strings.Repeat(`<s> <p> "v" .`+"\n", 50))
+	f.Fuzz(func(t *testing.T, doc string) {
+		triples, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		statements := 0
+		for _, line := range strings.Split(doc, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if trimmed != "" && !strings.HasPrefix(trimmed, "#") {
+				statements++
+			}
+		}
+		if len(triples) != statements {
+			t.Fatalf("parsed %d triples from %d statements", len(triples), statements)
+		}
+	})
+}

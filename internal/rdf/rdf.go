@@ -12,6 +12,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Triple is one RDF statement. Object IRIs and literals are distinguished
@@ -50,8 +51,13 @@ func Parse(r io.Reader) ([]Triple, error) {
 }
 
 // ParseLine parses a single N-Triples statement (without trailing
-// newline).
+// newline). Statements must be valid UTF-8, per the N-Triples
+// specification; accepting raw invalid bytes would produce triples that
+// cannot round-trip through the serializer, which escapes rune-wise.
 func ParseLine(line string) (Triple, error) {
+	if !utf8.ValidString(line) {
+		return Triple{}, fmt.Errorf("statement is not valid UTF-8")
+	}
 	rest := strings.TrimSpace(line)
 	subj, rest, err := parseIRI(rest)
 	if err != nil {
