@@ -2,12 +2,17 @@
 // DESIGN.md §3) and prints the result tables that EXPERIMENTS.md records.
 // With -parallel it instead benchmarks the concurrent pipeline engine
 // against the sequential pipeline on a synthetic workload and prints the
-// per-phase comparison.
+// per-phase comparison. With -streaming-meta it replays a synthetic insert
+// stream through the streaming resolver with and without live
+// meta-blocking and reports throughput and the pruning ratio (comparisons
+// saved by the live weighted blocking graph).
 //
 // Usage:
 //
 //	erbench [-experiment E1|E2|...|all] [-scale small|medium] [-seed N]
 //	erbench -parallel [-shards N] [-workers N] [-scale small|medium] [-seed N]
+//	erbench -streaming-meta [-meta-weight CBS|ECBS|JS] [-meta-prune WEP|WNP]
+//	        [-workers N] [-scale small|medium] [-seed N]
 package main
 
 import (
@@ -31,6 +36,10 @@ func main() {
 		parallel = flag.Bool("parallel", false, "benchmark the concurrent pipeline engine against the sequential pipeline")
 		shards   = flag.Int("shards", 0, "blocking shards for -parallel (0 = GOMAXPROCS)")
 		workers  = flag.Int("workers", 0, "matcher/weighting workers for -parallel (0 = GOMAXPROCS)")
+
+		streamMeta = flag.Bool("streaming-meta", false, "benchmark the streaming resolver with and without live meta-blocking and report the pruning ratio")
+		metaWeight = flag.String("meta-weight", "CBS", "stream-safe weight scheme for -streaming-meta: CBS, ECBS or JS")
+		metaPrune  = flag.String("meta-prune", "WEP", "stream-safe prune scheme for -streaming-meta: WEP or WNP")
 	)
 	flag.Parse()
 	var sc experiments.Scale
@@ -45,6 +54,17 @@ func main() {
 	}
 	if *parallel {
 		if err := runParallelComparison(sc, *seed, *shards, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamMeta {
+		entities := 1500
+		if sc == experiments.Medium {
+			entities = 6000
+		}
+		if err := runStreamingMeta(entities, *seed, *workers, *metaWeight, *metaPrune); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -136,6 +156,94 @@ func runParallelComparison(sc experiments.Scale, seed int64, shards, workers int
 		parRes.Matches.Len(), parRes.Comparisons,
 		float64(seqTotal)/float64(parTotal),
 		er.ComparePairs(parRes.Matches, gt).Recall)
+	return nil
+}
+
+// runStreamingMeta replays one synthetic insert stream through two
+// streaming resolvers — frontier matching vs. live meta-blocking — and
+// reports throughput plus the pruning ratio: the share of matcher
+// comparisons the live weighted blocking graph saved.
+func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm string) error {
+	var weight er.WeightScheme
+	switch strings.ToUpper(weightNm) {
+	case "CBS":
+		weight = er.CBS
+	case "ECBS":
+		weight = er.ECBS
+	case "JS":
+		weight = er.JS
+	default:
+		return fmt.Errorf("-meta-weight %q is not stream-safe (want CBS, ECBS or JS)", weightNm)
+	}
+	var prune er.PruneScheme
+	switch strings.ToUpper(pruneNm) {
+	case "WEP":
+		prune = er.WEP
+	case "WNP":
+		prune = er.WNP
+	default:
+		return fmt.Errorf("-meta-prune %q is not stream-safe (want WEP or WNP)", pruneNm)
+	}
+	c, _, err := er.GenerateDirty(er.GenConfig{Seed: seed, Entities: entities, MaxDuplicates: 2})
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	meta := &er.MetaBlocker{Weight: weight, Prune: prune}
+	fmt.Printf("streaming meta-blocking: %d descriptions, seed %d, workers %d, %s\n",
+		c.Len(), seed, workers, meta.Name())
+
+	replay := func(meta *er.MetaBlocker) (er.StreamingStats, time.Duration, error) {
+		r, err := er.NewStreamingResolver(er.StreamingConfig{
+			Kind:    er.Dirty,
+			Blocker: &er.TokenBlocking{},
+			Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+			Workers: workers,
+			Meta:    meta,
+		})
+		if err != nil {
+			return er.StreamingStats{}, 0, err
+		}
+		ctx := context.Background()
+		t0 := time.Now()
+		for _, d := range c.All() {
+			if _, err := r.Insert(ctx, d); err != nil {
+				return er.StreamingStats{}, 0, err
+			}
+		}
+		if meta != nil {
+			if err := r.Flush(ctx); err != nil {
+				return er.StreamingStats{}, 0, err
+			}
+		}
+		return r.Stats(), time.Since(t0), nil
+	}
+
+	base, baseDur, err := replay(nil)
+	if err != nil {
+		return fmt.Errorf("without meta: %w", err)
+	}
+	pruned, prunedDur, err := replay(meta)
+	if err != nil {
+		return fmt.Errorf("with meta: %w", err)
+	}
+
+	fmt.Printf("\n%-14s %14s %14s %12s %10s\n", "run", "comparisons", "matches", "wall", "ops/sec")
+	opsPerSec := func(d time.Duration) float64 { return float64(c.Len()) / d.Seconds() }
+	fmt.Printf("%-14s %14d %14d %12v %10.0f\n", "frontier", base.Comparisons, base.Matches, baseDur.Round(time.Microsecond), opsPerSec(baseDur))
+	fmt.Printf("%-14s %14d %14d %12v %10.0f\n", meta.Name(), pruned.Comparisons, pruned.Matches, prunedDur.Round(time.Microsecond), opsPerSec(prunedDur))
+	saved := 0.0
+	if base.Comparisons > 0 {
+		saved = 1 - float64(pruned.Comparisons)/float64(base.Comparisons)
+	}
+	keptRatio := 0.0
+	if pruned.CandidatePairs > 0 {
+		keptRatio = float64(pruned.KeptPairs) / float64(pruned.CandidatePairs)
+	}
+	fmt.Printf("\npruning ratio: %.3f comparisons saved (kept %d of %d candidate pairs, %.3f)\n",
+		saved, pruned.KeptPairs, pruned.CandidatePairs, keptRatio)
 	return nil
 }
 

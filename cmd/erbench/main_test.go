@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"entityres/er"
+	"entityres/internal/core"
+)
+
+// TestRunStreamingMeta drives the -streaming-meta comparison end to end on
+// a small stream, including the stream-safety flag validation.
+func TestRunStreamingMeta(t *testing.T) {
+	if err := runStreamingMeta(120, 7, 2, "CBS", "WEP"); err != nil {
+		t.Fatalf("runStreamingMeta: %v", err)
+	}
+	if err := runStreamingMeta(120, 7, 0, "ARCS", "WEP"); err == nil {
+		t.Fatal("batch-only weight accepted")
+	}
+	if err := runStreamingMeta(120, 7, 0, "CBS", "CEP"); err == nil {
+		t.Fatal("batch-only prune accepted")
+	}
+}
+
+// TestResultHelpers covers the comparison plumbing shared by the
+// benchmark modes.
+func TestResultHelpers(t *testing.T) {
+	a, b := er.NewMatches(), er.NewMatches()
+	a.Add(1, 2)
+	b.Add(2, 1)
+	if !sameMatches(a, b) {
+		t.Fatal("equal match sets reported different")
+	}
+	b.Add(3, 4)
+	if sameMatches(a, b) {
+		t.Fatal("different lengths reported same")
+	}
+	a.Add(5, 6)
+	if sameMatches(a, b) {
+		t.Fatal("disjoint same-length sets reported same")
+	}
+	res := &er.PipelineResult{Phases: []core.PhaseStat{{Name: "blocking", Duration: time.Second}}}
+	if idx := phaseIndex(res); idx["blocking"] != time.Second {
+		t.Fatalf("phaseIndex = %v", idx)
+	}
+}

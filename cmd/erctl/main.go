@@ -12,6 +12,7 @@
 //
 //	erctl watch -ops FILE [-kind dirty|cleanclean]
 //	      [-blocker token|standard|qgrams] [-threshold T] [-workers N]
+//	      [-weight CBS|ECBS|JS] [-prune WEP|WNP]
 //	      [-stats-every N] [-print-matches]
 //
 // With one -kb0 the collection is dirty (deduplication); with -kb1 it is
@@ -114,14 +115,31 @@ func main() {
 		pipe.Budget = *budget
 	case "streaming":
 		// Streaming replays the loaded collection through the incremental
-		// resolver; block cleaning and meta-blocking are collection-global
-		// and do not apply.
+		// resolver. Block cleaning is collection-global and dropped.
+		// Meta-blocking streams for the stream-safe subset (WEP/WNP ×
+		// CBS/ECBS/JS): an explicitly chosen configuration is passed
+		// through — a batch-only scheme fails with its specific validation
+		// error — while the implicit batch default (ARCS/WNP) is dropped
+		// so plain streaming runs keep working.
 		pipe.Mode = er.StreamingMode
-		if len(pipe.Processors) > 0 || pipe.Meta != nil {
-			fmt.Fprintln(os.Stderr, "erctl: streaming mode ignores block cleaning and meta-blocking")
+		if len(pipe.Processors) > 0 {
+			fmt.Fprintln(os.Stderr, "erctl: streaming mode ignores block cleaning")
 		}
 		pipe.Processors = nil
-		pipe.Meta = nil
+		// Only -weight opts in: like the watch subcommand, a lone -prune
+		// leaves the batch-default (ARCS) weight in place, which would turn
+		// a previously working streaming run into a validation failure the
+		// user never asked for.
+		explicitMeta := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "weight" {
+				explicitMeta = true
+			}
+		})
+		if pipe.Meta != nil && !explicitMeta {
+			fmt.Fprintln(os.Stderr, "erctl: streaming mode drops the default batch-only meta-blocking; pass -weight CBS|ECBS|JS -prune WEP|WNP to prune the live frontier")
+			pipe.Meta = nil
+		}
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
@@ -161,6 +179,8 @@ func watch(args []string) {
 		blockerNm  = fs.String("blocker", "token", "streamable blocking method: token, standard or qgrams")
 		threshold  = fs.Float64("threshold", 0.4, "match similarity threshold")
 		workers    = fs.Int("workers", 0, "delta-matching workers (0 = 1)")
+		weightNm   = fs.String("weight", "", "live meta-blocking weight scheme: CBS, ECBS or JS ('' disables)")
+		pruneNm    = fs.String("prune", "WNP", "live meta-blocking prune scheme: WEP or WNP")
 		statsEvery = fs.Int("stats-every", 0, "print resolver stats every N ops (0 = only at end)")
 		printAll   = fs.Bool("print-matches", false, "print final matched URI pairs")
 	)
@@ -199,11 +219,26 @@ func watch(args []string) {
 		fail(err)
 	}
 
+	var meta *er.MetaBlocker
+	if *weightNm != "" {
+		w, err := parseWeight(*weightNm)
+		if err != nil {
+			fail(err)
+		}
+		p, err := parsePrune(*pruneNm)
+		if err != nil {
+			fail(err)
+		}
+		// The resolver validates stream-safety (WEP/WNP × CBS/ECBS/JS) and
+		// reports the specific reason a batch-only scheme cannot stream.
+		meta = &er.MetaBlocker{Weight: w, Prune: p}
+	}
 	r, err := er.NewStreamingResolver(er.StreamingConfig{
 		Kind:    kind,
 		Blocker: blocker,
 		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: *threshold},
 		Workers: *workers,
+		Meta:    meta,
 	})
 	if err != nil {
 		fail(err)
@@ -214,10 +249,10 @@ func watch(args []string) {
 			fail(fmt.Errorf("op %d (%s %s): %w", i+1, op.Kind, op.URI, err))
 		}
 		if *statsEvery > 0 && (i+1)%*statsEvery == 0 {
-			fmt.Printf("after %4d ops: %s\n", i+1, r.Stats())
+			fmt.Printf("after %4d ops: %s\n", i+1, statsLine(r, meta))
 		}
 	}
-	fmt.Printf("final: %s\n", r.Stats())
+	fmt.Printf("final: %s\n", statsLine(r, meta))
 	if *printAll {
 		r.Matches().Each(func(p er.Pair) bool {
 			a, _ := r.Get(p.A)
@@ -226,6 +261,16 @@ func watch(args []string) {
 			return true
 		})
 	}
+}
+
+// statsLine renders resolver stats, extending them with the live pruning
+// counters when meta-blocking is active.
+func statsLine(r *er.StreamingResolver, meta *er.MetaBlocker) string {
+	st := r.Stats()
+	if meta == nil {
+		return st.String()
+	}
+	return fmt.Sprintf("%s kept=%d/%d candidate pairs", st, st.KeptPairs, st.CandidatePairs)
 }
 
 func load(c *er.Collection, path string, source int) error {

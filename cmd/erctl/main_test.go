@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"entityres/er"
+)
+
+func TestParseSchemes(t *testing.T) {
+	for name, want := range map[string]er.WeightScheme{
+		"cbs": er.CBS, "ECBS": er.ECBS, "js": er.JS, "EJS": er.EJS, "arcs": er.ARCS,
+	} {
+		got, err := parseWeight(name)
+		if err != nil || got != want {
+			t.Errorf("parseWeight(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseWeight("nope"); err == nil {
+		t.Error("parseWeight accepted junk")
+	}
+	for name, want := range map[string]er.PruneScheme{
+		"wep": er.WEP, "CEP": er.CEP, "wnp": er.WNP, "CNP": er.CNP,
+	} {
+		got, err := parsePrune(name)
+		if err != nil || got != want {
+			t.Errorf("parsePrune(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parsePrune("nope"); err == nil {
+		t.Error("parsePrune accepted junk")
+	}
+}
+
+// TestWatchWithLivePruning replays an op log through the watch subcommand
+// with live meta-blocking enabled.
+func TestWatchWithLivePruning(t *testing.T) {
+	ops := []er.StreamOp{
+		{Kind: er.StreamInsert, URI: "u:a", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+		{Kind: er.StreamInsert, URI: "u:b", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+		{Kind: er.StreamInsert, URI: "u:c", Attrs: []er.Attribute{{Name: "name", Value: "carol jones"}}},
+		{Kind: er.StreamDelete, URI: "u:c"},
+	}
+	var buf bytes.Buffer
+	if err := er.WriteStreamOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ops.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	watch([]string{"-ops", path, "-weight", "CBS", "-prune", "WEP", "-stats-every", "2", "-print-matches"})
+	watch([]string{"-ops", path}) // no pruning path
+}
+
+func TestStatsLine(t *testing.T) {
+	meta := &er.MetaBlocker{Weight: er.CBS, Prune: er.WEP}
+	r, err := er.NewStreamingResolver(er.StreamingConfig{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+		Meta:    meta,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := statsLine(r, nil); got == "" {
+		t.Fatal("empty stats line")
+	}
+	withMeta := statsLine(r, meta)
+	if withMeta == "" || withMeta == statsLine(r, nil) {
+		t.Fatalf("meta stats line %q not extended", withMeta)
+	}
+}
+
+// TestLoadHelpers covers the KB and truth loading paths.
+func TestLoadHelpers(t *testing.T) {
+	dir := t.TempDir()
+	kb := filepath.Join(dir, "kb.nt")
+	nt := `<http://x/a> <http://x/name> "alice" .` + "\n" + `<http://x/b> <http://x/name> "alice" .` + "\n"
+	if err := os.WriteFile(kb, []byte(nt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := er.NewCollection(er.Dirty)
+	if err := load(c, kb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("loaded %d descriptions, want 2", c.Len())
+	}
+	truth := filepath.Join(dir, "truth.tsv")
+	if err := os.WriteFile(truth, []byte("http://x/a\thttp://x/b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gt, err := loadTruth(c, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Len() != 1 {
+		t.Fatalf("loaded %d truth pairs, want 1", gt.Len())
+	}
+	if err := load(c, filepath.Join(dir, "missing.nt"), 0); err == nil {
+		t.Fatal("missing KB accepted")
+	}
+	if _, err := loadTruth(c, filepath.Join(dir, "missing.tsv")); err == nil {
+		t.Fatal("missing truth accepted")
+	}
+}

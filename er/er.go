@@ -22,7 +22,9 @@
 //     schedulers and the budgeted runner;
 //   - streaming resolution: StreamingResolver maintaining blocks, matches
 //     and clusters under live insert/update/delete traffic, with an op-log
-//     exchange format (ReadStreamOps/WriteStreamOps);
+//     exchange format (ReadStreamOps/WriteStreamOps) and optional live
+//     meta-blocking (StreamingConfig.Meta: WEP/WNP pruning of CBS/ECBS/JS
+//     weights over the incrementally-maintained WeightedBlockingGraph);
 //   - the Pipeline tying the phases together (Fig. 1 of the paper);
 //   - synthetic data generation, N-Triples I/O and evaluation metrics.
 //
@@ -184,6 +186,13 @@ type (
 	PruneScheme = metablocking.PruneScheme
 	// BlockingGraph is the weighted graph meta-blocking operates on.
 	BlockingGraph = graph.Graph
+	// WeightedBlockingGraph is the incrementally-maintained co-occurrence
+	// statistics core behind every weighting scheme: build it from a
+	// finished block collection (WeightedGraphFromBlocks) or keep it
+	// current under a stream of per-document deltas by registering it as
+	// an observer of a BlockIndex (it implements the membership-observer
+	// interface). Materialize weights with its Graph method.
+	WeightedBlockingGraph = metablocking.WeightedGraph
 )
 
 // Meta-blocking schemes.
@@ -204,6 +213,18 @@ const (
 // collection.
 func BuildBlockingGraph(bs *Blocks, w WeightScheme) *BlockingGraph {
 	return metablocking.BuildGraph(bs, w)
+}
+
+// NewWeightedBlockingGraph returns an empty weighted blocking graph for
+// incremental (per-document delta) maintenance.
+func NewWeightedBlockingGraph(kind Kind) *WeightedBlockingGraph {
+	return metablocking.NewWeightedGraph(kind)
+}
+
+// WeightedGraphFromBlocks accumulates the co-occurrence statistics of a
+// whole block collection.
+func WeightedGraphFromBlocks(bs *Blocks) *WeightedBlockingGraph {
+	return metablocking.FromBlocks(bs)
 }
 
 // Matching.
@@ -310,7 +331,8 @@ type (
 	// stream of insert/update/delete operations and maintains blocks,
 	// matches and entity clusters under them, with the differential
 	// guarantee that its state always equals a from-scratch batch run over
-	// the surviving descriptions.
+	// the surviving descriptions — including, when StreamingConfig.Meta is
+	// set, a batch run with the same meta-blocking configuration.
 	StreamingResolver = incremental.Resolver
 	// StreamingConfig parameterizes a StreamingResolver.
 	StreamingConfig = incremental.Config

@@ -107,3 +107,73 @@ func TestFacadeStreamingMode(t *testing.T) {
 			stream.Matches.Len(), stream.Comparisons, batch.Matches.Len(), batch.Comparisons)
 	}
 }
+
+// TestFacadeStreamingMetaBlocking exercises the public live meta-blocking
+// surface: a StreamingResolver with a stream-safe MetaBlocker equals the
+// batch meta pipeline on a static replay, reports its pruning counters,
+// and renders the same restructured block collection.
+func TestFacadeStreamingMetaBlocking(t *testing.T) {
+	c, _, err := er.GenerateDirty(er.GenConfig{Seed: 13, Entities: 60, DupRatio: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := &er.MetaBlocker{Weight: er.ECBS, Prune: er.WEP}
+	matcher := &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5}
+
+	batch := &er.Pipeline{Blocker: &er.TokenBlocking{}, Meta: meta, Matcher: matcher, Mode: er.Batch}
+	want, err := batch.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := er.NewStreamingResolver(er.StreamingConfig{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: matcher,
+		Meta:    meta,
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, d := range c.All() {
+		if _, err := r.Insert(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Comparisons != want.Comparisons {
+		t.Fatalf("streaming comparisons = %d, batch = %d", st.Comparisons, want.Comparisons)
+	}
+	if st.Matches != want.Matches.Len() {
+		t.Fatalf("streaming matches = %d, batch = %d", st.Matches, want.Matches.Len())
+	}
+	if st.KeptPairs <= 0 || st.CandidatePairs < st.KeptPairs {
+		t.Fatalf("pruning counters kept=%d candidates=%d", st.KeptPairs, st.CandidatePairs)
+	}
+	if got := r.RestructuredBlocks(); got.Len() != want.Blocks.Len() {
+		t.Fatalf("restructured blocks = %d, batch = %d", got.Len(), want.Blocks.Len())
+	}
+	// The incremental statistics core is exported too: batch-accumulated
+	// and stream-maintained graphs weigh identically.
+	wg := er.WeightedGraphFromBlocks(want.Blocks)
+	if wg.NumBlocks() != want.Blocks.Len() {
+		t.Fatalf("WeightedGraphFromBlocks.NumBlocks = %d, want %d", wg.NumBlocks(), want.Blocks.Len())
+	}
+	if nw := er.NewWeightedBlockingGraph(er.Dirty); nw.NumPairs() != 0 {
+		t.Fatalf("NewWeightedBlockingGraph not empty")
+	}
+	// A batch-only scheme is rejected with its specific reason.
+	if _, err := er.NewStreamingResolver(er.StreamingConfig{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: matcher,
+		Meta:    &er.MetaBlocker{Weight: er.ARCS, Prune: er.WEP},
+	}); err == nil {
+		t.Fatal("ARCS-weighted streaming resolver accepted")
+	}
+}

@@ -51,6 +51,49 @@ type BlockIndex struct {
 	// keys records each live member's distinct sorted key set, so Remove
 	// and re-keying on update need no access to the description.
 	keys map[entity.ID][]string
+	// observers are notified on every membership change (see Observe).
+	observers []MembershipObserver
+}
+
+// MembershipObserver is notified as a BlockIndex's membership changes, so
+// derived structures — the incrementally weighted blocking graph of
+// metablocking.WeightedGraph above all — stay current without re-scanning
+// the index. Keys are the description's distinct sorted key set, exactly
+// as indexed.
+type MembershipObserver interface {
+	// AddDocument is invoked after the description has been indexed: the
+	// index already lists id among the members of each key.
+	AddDocument(bi *BlockIndex, id entity.ID, source int, keys []string)
+	// RemoveDocument is invoked before the description is un-indexed: the
+	// index still lists id among the members of each key, so the observer
+	// can see the membership the departure dissolves.
+	RemoveDocument(bi *BlockIndex, id entity.ID, source int, keys []string)
+}
+
+// Observe registers an observer for subsequent membership changes.
+// Observers are invoked in registration order, only for successful Add and
+// Remove calls, and must not mutate the index from within a notification.
+func (bi *BlockIndex) Observe(o MembershipObserver) {
+	if o != nil {
+		bi.observers = append(bi.observers, o)
+	}
+}
+
+// EachMember enumerates the live members of one key with their source
+// index, in unspecified order, stopping early if fn returns false.
+func (bi *BlockIndex) EachMember(key string, fn func(id entity.ID, source int) bool) {
+	for _, p := range bi.ix.Postings(key) {
+		if !fn(p.Doc, bi.source[p.Doc]) {
+			return
+		}
+	}
+}
+
+// SourceOf returns the source index the description was indexed under and
+// whether it is indexed.
+func (bi *BlockIndex) SourceOf(id entity.ID) (int, bool) {
+	s, ok := bi.source[id]
+	return s, ok
 }
 
 // NewBlockIndex returns an empty incremental block index for the given
@@ -113,6 +156,9 @@ func (bi *BlockIndex) Add(id entity.ID, source int, keys []string) error {
 	bi.keys[id] = distinct
 	bi.source[id] = source
 	bi.ix.AddDocument(id, distinct)
+	for _, o := range bi.observers {
+		o.AddDocument(bi, id, source, distinct)
+	}
 	return nil
 }
 
@@ -122,6 +168,9 @@ func (bi *BlockIndex) Remove(id entity.ID) bool {
 	keys, ok := bi.keys[id]
 	if !ok {
 		return false
+	}
+	for _, o := range bi.observers {
+		o.RemoveDocument(bi, id, bi.source[id], keys)
 	}
 	bi.ix.RemoveDocument(id, keys)
 	delete(bi.keys, id)

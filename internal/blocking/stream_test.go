@@ -194,3 +194,84 @@ func TestBlockIndexAddValidation(t *testing.T) {
 		t.Fatal("clean-clean index accepted source 2")
 	}
 }
+
+// recordingObserver logs membership notifications and probes the index
+// state at notification time, pinning the MembershipObserver contract:
+// AddDocument sees the member already indexed, RemoveDocument sees it
+// still indexed.
+type recordingObserver struct {
+	t   *testing.T
+	log []string
+}
+
+func (o *recordingObserver) AddDocument(bi *BlockIndex, id entity.ID, source int, keys []string) {
+	o.expectIndexed(bi, id, source, keys, "add")
+}
+
+func (o *recordingObserver) RemoveDocument(bi *BlockIndex, id entity.ID, source int, keys []string) {
+	o.expectIndexed(bi, id, source, keys, "remove")
+}
+
+func (o *recordingObserver) expectIndexed(bi *BlockIndex, id entity.ID, source int, keys []string, kind string) {
+	o.t.Helper()
+	if s, ok := bi.SourceOf(id); !ok || s != source {
+		o.t.Errorf("%s(%d): SourceOf = %d,%t, want %d,true", kind, id, s, ok, source)
+	}
+	for _, k := range keys {
+		seen := false
+		bi.EachMember(k, func(m entity.ID, ms int) bool {
+			if m == id {
+				seen = ms == source
+			}
+			return true
+		})
+		if !seen {
+			o.t.Errorf("%s(%d): not listed under key %q at notification time", kind, id, k)
+		}
+	}
+	o.log = append(o.log, fmt.Sprintf("%s %d %v", kind, id, keys))
+}
+
+// TestBlockIndexObserver checks notification order, payloads and the
+// only-on-success rule.
+func TestBlockIndexObserver(t *testing.T) {
+	bi := NewBlockIndex(entity.Dirty)
+	obs := &recordingObserver{t: t}
+	bi.Observe(obs)
+	bi.Observe(nil) // nil observers are dropped, not invoked
+
+	if err := bi.Add(1, 0, []string{"b", "a", "a", ""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bi.Add(2, 0, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Failed adds notify nobody: duplicate ID, bad source.
+	if err := bi.Add(1, 0, []string{"x"}); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if err := bi.Add(3, 1, []string{"x"}); err == nil {
+		t.Fatal("dirty index accepted source 1")
+	}
+	if !bi.Remove(2) {
+		t.Fatal("Remove(2) = false")
+	}
+	if bi.Remove(2) { // second removal: no notification
+		t.Fatal("second Remove(2) = true")
+	}
+	// Keys arrive deduplicated, empty-stripped and sorted — the indexed
+	// form, not the raw argument.
+	want := []string{"add 1 [a b]", "add 2 [a]", "remove 2 [a]"}
+	if !reflect.DeepEqual(obs.log, want) {
+		t.Fatalf("observer log = %v, want %v", obs.log, want)
+	}
+	// EachMember stops early when fn returns false.
+	n := 0
+	bi.EachMember("a", func(entity.ID, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("EachMember early stop visited %d members", n)
+	}
+	if _, ok := bi.SourceOf(99); ok {
+		t.Fatal("SourceOf(99) reported indexed")
+	}
+}

@@ -150,8 +150,16 @@ func (p *Pipeline) Validate() error {
 		if _, ok := p.Blocker.(blocking.StreamableBlocker); !ok {
 			return fmt.Errorf("core: streaming mode requires a collection-independent blocker (blocking.StreamableBlocker), got %q", p.Blocker.Name())
 		}
-		if len(p.Processors) > 0 || p.Meta != nil {
-			return fmt.Errorf("core: streaming mode supports neither block cleaning nor meta-blocking (both are collection-global)")
+		if len(p.Processors) > 0 {
+			return fmt.Errorf("core: streaming mode does not support block cleaning (collection-global)")
+		}
+		if p.Meta != nil {
+			// Meta-blocking streams for the stream-safe subset — WEP/WNP
+			// pruning of CBS/ECBS/JS weights, maintained incrementally by
+			// the resolver; the rest is rejected with a specific reason.
+			if err := p.Meta.ValidateStreaming(); err != nil {
+				return fmt.Errorf("core: streaming mode: %w", err)
+			}
 		}
 	}
 	return nil
@@ -172,6 +180,7 @@ func (p *Pipeline) StreamingSetup(kind entity.Kind, workers int) (*incremental.R
 		Blocker: sb,
 		Matcher: p.Matcher,
 		Workers: workers,
+		Meta:    p.Meta,
 	})
 }
 
@@ -191,9 +200,19 @@ func (p *Pipeline) ReplayStreaming(ctx context.Context, res *Result, c *entity.C
 			return err
 		}
 	}
+	if p.Meta != nil {
+		// Settle the deferred weighting/pruning under the caller's context,
+		// and report the pruned pair blocks — the collection batch
+		// meta-blocking would hand its matcher.
+		if err := r.Flush(ctx); err != nil {
+			return err
+		}
+		res.Blocks = r.RestructuredBlocks()
+	} else {
+		res.Blocks = r.Blocks()
+	}
 	res.Matches = r.Matches()
 	res.Comparisons = r.Stats().Comparisons
-	res.Blocks = r.Blocks()
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"entityres/internal/blocking"
@@ -56,31 +57,155 @@ func TestPipelineStreamingEqualsBatch(t *testing.T) {
 	}
 }
 
-// TestStreamingValidation checks the configurations streaming rejects.
+// TestPipelineStreamingMetaEqualsBatch is the incremental meta-blocking
+// contract: replaying a static collection through Streaming mode with a
+// stream-safe MetaBlocker reproduces the Batch result bit for bit — same
+// matches, same clusters, same comparison count (the number of pruned-graph
+// survivors), and the same restructured block collection in the same
+// weight order.
+func TestPipelineStreamingMetaEqualsBatch(t *testing.T) {
+	c, _ := testData(t)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	renderBlocks := func(bs *blocking.Blocks) []string {
+		out := make([]string, 0, bs.Len())
+		for _, b := range bs.All() {
+			out = append(out, fmt.Sprintf("%s S0=%v S1=%v", b.Key, b.S0, b.S1))
+		}
+		return out
+	}
+	for _, w := range []metablocking.WeightScheme{metablocking.CBS, metablocking.ECBS, metablocking.JS} {
+		for _, pr := range []metablocking.PruneScheme{metablocking.WEP, metablocking.WNP} {
+			for _, rec := range []bool{false, true} {
+				if rec && pr != metablocking.WNP {
+					continue
+				}
+				meta := &metablocking.MetaBlocker{Weight: w, Prune: pr, Reciprocal: rec}
+				t.Run(meta.Name(), func(t *testing.T) {
+					batch := &Pipeline{Blocker: &blocking.TokenBlocking{}, Meta: meta, Matcher: m, Mode: Batch}
+					stream := &Pipeline{Blocker: &blocking.TokenBlocking{}, Meta: meta, Matcher: m, Mode: Streaming}
+					want, err := batch.Run(c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := stream.Run(c)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Comparisons != want.Comparisons {
+						t.Errorf("streaming comparisons = %d, batch = %d", got.Comparisons, want.Comparisons)
+					}
+					if gm, wm := sortedPairs(got.Matches), sortedPairs(want.Matches); !reflect.DeepEqual(gm, wm) {
+						t.Errorf("streaming matches diverge from batch:\nstreaming %v\nbatch     %v", gm, wm)
+					}
+					if !reflect.DeepEqual(got.Clusters(), want.Clusters()) {
+						t.Errorf("streaming clusters diverge from batch")
+					}
+					if gb, wb := renderBlocks(got.Blocks), renderBlocks(want.Blocks); !reflect.DeepEqual(gb, wb) {
+						t.Errorf("streaming restructured blocks diverge from batch:\nstreaming %v\nbatch     %v", gb, wb)
+					}
+					// The batch run compared exactly the pruned-graph
+					// survivors; a comparison saved is one the exhaustive
+					// blocked run would have made.
+					if want.Comparisons <= 0 {
+						t.Fatalf("batch meta run made no comparisons")
+					}
+				})
+			}
+		}
+	}
+}
+
+// sortedPairs renders a match set deterministically.
+func sortedPairs(m *entity.Matches) []string {
+	var out []string
+	for _, p := range m.Pairs() {
+		out = append(out, fmt.Sprintf("%d-%d", p.A, p.B))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestStreamingValidation checks the configurations streaming rejects —
+// and that each batch-only meta-blocking scheme is refused with its
+// specific reason, not a blanket error.
 func TestStreamingValidation(t *testing.T) {
 	c, _ := testData(t)
 	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
-	cases := map[string]*Pipeline{
+	cases := map[string]struct {
+		p    *Pipeline
+		want string // substring the error must carry
+	}{
 		"collection-dependent blocker": {
-			Blocker: &blocking.AttributeClustering{}, Matcher: m, Mode: Streaming,
+			p:    &Pipeline{Blocker: &blocking.AttributeClustering{}, Matcher: m, Mode: Streaming},
+			want: "StreamableBlocker",
 		},
 		"refining blocker": {
-			Blocker: &blocking.SuffixArrayBlocking{}, Matcher: m, Mode: Streaming,
+			p:    &Pipeline{Blocker: &blocking.SuffixArrayBlocking{}, Matcher: m, Mode: Streaming},
+			want: "StreamableBlocker",
 		},
 		"block cleaning": {
-			Blocker:    &blocking.TokenBlocking{},
-			Processors: []blockproc.Processor{&blockproc.SizePurge{}},
-			Matcher:    m, Mode: Streaming,
+			p: &Pipeline{
+				Blocker:    &blocking.TokenBlocking{},
+				Processors: []blockproc.Processor{&blockproc.SizePurge{}},
+				Matcher:    m, Mode: Streaming,
+			},
+			want: "block cleaning",
 		},
-		"meta-blocking": {
-			Blocker: &blocking.TokenBlocking{},
-			Meta:    &metablocking.MetaBlocker{Weight: metablocking.CBS, Prune: metablocking.WEP},
-			Matcher: m, Mode: Streaming,
+		"EJS weighting": {
+			p: &Pipeline{
+				Blocker: &blocking.TokenBlocking{},
+				Meta:    &metablocking.MetaBlocker{Weight: metablocking.EJS, Prune: metablocking.WEP},
+				Matcher: m, Mode: Streaming,
+			},
+			want: "EJS weighting cannot stream",
+		},
+		"ARCS weighting": {
+			p: &Pipeline{
+				Blocker: &blocking.TokenBlocking{},
+				Meta:    &metablocking.MetaBlocker{Weight: metablocking.ARCS, Prune: metablocking.WNP},
+				Matcher: m, Mode: Streaming,
+			},
+			want: "ARCS weighting cannot stream",
+		},
+		"CEP pruning": {
+			p: &Pipeline{
+				Blocker: &blocking.TokenBlocking{},
+				Meta:    &metablocking.MetaBlocker{Weight: metablocking.CBS, Prune: metablocking.CEP},
+				Matcher: m, Mode: Streaming,
+			},
+			want: "CEP pruning cannot stream",
+		},
+		"CNP pruning": {
+			p: &Pipeline{
+				Blocker: &blocking.TokenBlocking{},
+				Meta:    &metablocking.MetaBlocker{Weight: metablocking.JS, Prune: metablocking.CNP},
+				Matcher: m, Mode: Streaming,
+			},
+			want: "CNP pruning cannot stream",
 		},
 	}
-	for name, p := range cases {
-		if _, err := p.Run(c); err == nil {
+	for name, tc := range cases {
+		_, err := tc.p.Run(c)
+		if err == nil {
 			t.Errorf("%s: accepted by streaming mode", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not carry %q", name, err, tc.want)
+		}
+	}
+	// The stream-safe subset is accepted: every WEP/WNP × CBS/ECBS/JS
+	// combination runs (Reciprocal included).
+	for _, w := range []metablocking.WeightScheme{metablocking.CBS, metablocking.ECBS, metablocking.JS} {
+		for _, pr := range []metablocking.PruneScheme{metablocking.WEP, metablocking.WNP} {
+			p := &Pipeline{
+				Blocker: &blocking.TokenBlocking{},
+				Meta:    &metablocking.MetaBlocker{Weight: w, Prune: pr, Reciprocal: pr == metablocking.WNP},
+				Matcher: m, Mode: Streaming,
+			}
+			if _, err := p.Run(c); err != nil {
+				t.Errorf("meta(%s,%s) rejected by streaming mode: %v", w, pr, err)
+			}
 		}
 	}
 }

@@ -72,7 +72,8 @@ func NewDynamic() *Dynamic {
 }
 
 // Graph returns the underlying match graph. Callers must mutate it only
-// through AddEdge and RemoveNode, or the component index drifts.
+// through AddEdge, RemoveEdge and RemoveNode, or the component index
+// drifts.
 func (d *Dynamic) Graph() *Graph { return d.g }
 
 // NumEdges returns the number of match edges.
@@ -135,8 +136,53 @@ func (d *Dynamic) RemoveNode(id entity.ID) {
 	delete(d.comp, id)
 	delete(old, id)
 	delete(d.members, rep)
-	// Reassign the survivors by BFS; each unvisited survivor seeds a new
-	// component represented by its seed.
+	d.reassign(old)
+}
+
+// RemoveEdge deletes the match edge {a, b} — both endpoints stay — and
+// recomputes the connectivity of (only) the component it belonged to,
+// which the removal may have split in two. It reports whether the edge
+// existed.
+func (d *Dynamic) RemoveEdge(a, b entity.ID) bool {
+	return d.RemoveEdges([]entity.Pair{entity.NewPair(a, b)}) == 1
+}
+
+// RemoveEdges deletes a batch of match edges — endpoints stay — and then
+// recomputes the connectivity of every affected component in ONE pass,
+// returning how many of the edges existed. Bulk removal is what the
+// streaming resolver's live meta-blocking retires pruned-out matches
+// with: m retirements inside one component cost a single reassignment of
+// that component instead of m (which would be quadratic edge-by-edge).
+func (d *Dynamic) RemoveEdges(pairs []entity.Pair) int {
+	// Dissolve each affected component once, before any BFS: comp and
+	// members are only rebuilt by the final reassign, so representatives
+	// looked up mid-loop are still the pre-removal ones.
+	dissolved := make(map[entity.ID]struct{})
+	removed := 0
+	for _, p := range pairs {
+		if !d.g.RemoveEdge(p.A, p.B) {
+			continue
+		}
+		removed++
+		rep := d.comp[p.A]
+		if old, ok := d.members[rep]; ok {
+			for id := range old {
+				dissolved[id] = struct{}{}
+			}
+			delete(d.members, rep)
+		}
+	}
+	if removed > 0 {
+		d.reassign(dissolved)
+	}
+	return removed
+}
+
+// reassign rebuilds the components of one dissolved member set by BFS over
+// the surviving edges; each unvisited member seeds a new component
+// represented by its seed. Members left edgeless become singleton
+// components (invisible to Clusters).
+func (d *Dynamic) reassign(old map[entity.ID]struct{}) {
 	visited := make(map[entity.ID]struct{}, len(old))
 	for seed := range old {
 		if _, done := visited[seed]; done {

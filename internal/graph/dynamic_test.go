@@ -133,3 +133,114 @@ func TestDynamicMatches(t *testing.T) {
 		t.Fatalf("Graph() reports %d edges, %d nodes", g.NumEdges(), g.NumNodes())
 	}
 }
+
+// TestDynamicRemoveEdge: deleting one match edge splits the component when
+// the edge was a bridge and leaves it whole otherwise; both endpoints stay.
+func TestDynamicRemoveEdge(t *testing.T) {
+	d := NewDynamic()
+	d.AddEdge(1, 2, 1)
+	d.AddEdge(2, 3, 1)
+	d.AddEdge(3, 1, 1) // triangle: removing one edge must NOT split
+	if !d.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge(1,2) = false, want true")
+	}
+	if d.RemoveEdge(1, 2) {
+		t.Fatal("second RemoveEdge(1,2) = true, want false")
+	}
+	if want := [][]entity.ID{{1, 2, 3}}; !reflect.DeepEqual(d.Clusters(), want) {
+		t.Fatalf("triangle minus one edge: Clusters = %v, want %v", d.Clusters(), want)
+	}
+	// Now {1,2} hangs on the bridge 3-1 via 2-3 and 3-1: removing 2-3
+	// isolates 2 (singleton, dropped from Clusters).
+	if !d.RemoveEdge(2, 3) {
+		t.Fatal("RemoveEdge(2,3) = false, want true")
+	}
+	if want := [][]entity.ID{{1, 3}}; !reflect.DeepEqual(d.Clusters(), want) {
+		t.Fatalf("after bridge removal: Clusters = %v, want %v", d.Clusters(), want)
+	}
+	if d.Same(2, 3) {
+		t.Fatal("split endpoints reported same")
+	}
+	// The isolated endpoint can rejoin through a later edge.
+	d.AddEdge(2, 1, 1)
+	if !d.Same(2, 3) {
+		t.Fatal("rejoined endpoints not same")
+	}
+}
+
+// TestDynamicRandomizedRemoveEdge churns edge insertions AND edge removals,
+// checking clusters against a from-scratch union-find at every step — the
+// RemoveEdge counterpart of TestDynamicRandomizedAgainstUnionFind.
+func TestDynamicRandomizedRemoveEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := NewDynamic()
+	edges := map[entity.Pair]struct{}{}
+	var list []entity.Pair
+	const nodes = 25
+	for step := 0; step < 600; step++ {
+		if rng.Intn(3) > 0 || len(list) == 0 {
+			a, b := rng.Intn(nodes), rng.Intn(nodes)
+			if a == b {
+				continue
+			}
+			p := entity.NewPair(a, b)
+			if _, dup := edges[p]; !dup {
+				edges[p] = struct{}{}
+				list = append(list, p)
+			}
+			d.AddEdge(a, b, 1)
+		} else {
+			i := rng.Intn(len(list))
+			p := list[i]
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			delete(edges, p)
+			if !d.RemoveEdge(p.A, p.B) {
+				t.Fatalf("step %d: RemoveEdge(%v) = false", step, p)
+			}
+		}
+		if step%20 != 19 {
+			continue
+		}
+		uf := entity.NewUnionFind(nodes)
+		for p := range edges {
+			uf.Union(p.A, p.B)
+		}
+		if got, want := d.Clusters(), uf.Clusters(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: dynamic clusters %v, union-find %v", step, got, want)
+		}
+		if got, want := d.NumEdges(), len(edges); got != want {
+			t.Fatalf("step %d: NumEdges = %d, want %d", step, got, want)
+		}
+	}
+}
+
+// TestDynamicRemoveEdgesBulk: a batch removal spanning several components
+// (including duplicates and non-existent edges) equals edge-by-edge
+// removal, with every affected component reassigned correctly.
+func TestDynamicRemoveEdgesBulk(t *testing.T) {
+	d := NewDynamic()
+	// Two components: a path 1-2-3-4 and a triangle 5-6-7.
+	for _, e := range [][2]entity.ID{{1, 2}, {2, 3}, {3, 4}, {5, 6}, {6, 7}, {7, 5}} {
+		d.AddEdge(e[0], e[1], 1)
+	}
+	removed := d.RemoveEdges([]entity.Pair{
+		entity.NewPair(2, 3), // splits the path
+		entity.NewPair(5, 6), // triangle survives connected
+		entity.NewPair(5, 6), // duplicate: already gone
+		entity.NewPair(1, 9), // never existed
+	})
+	if removed != 2 {
+		t.Fatalf("RemoveEdges removed %d, want 2", removed)
+	}
+	want := [][]entity.ID{{1, 2}, {3, 4}, {5, 6, 7}}
+	if got := d.Clusters(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Clusters = %v, want %v", got, want)
+	}
+	if d.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", d.NumEdges())
+	}
+	if d.RemoveEdges(nil) != 0 {
+		t.Fatal("empty batch removed something")
+	}
+}

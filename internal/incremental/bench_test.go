@@ -1,0 +1,87 @@
+package incremental_test
+
+import (
+	"context"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/datagen"
+	"entityres/internal/entity"
+	"entityres/internal/incremental"
+	"entityres/internal/matching"
+	"entityres/internal/metablocking"
+)
+
+// benchStream builds the replayed description stream once per benchmark.
+func benchStream(b *testing.B) []*entity.Description {
+	b.Helper()
+	entities := 400
+	if testing.Short() {
+		entities = 80
+	}
+	c, _, err := datagen.GenerateDirty(datagen.Config{Seed: 77, Entities: entities, DupRatio: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c.All()
+}
+
+// replayOnce streams every description through a fresh resolver and reads
+// the final state (which, with meta-blocking, settles the deferred
+// reconcile), returning the resolver's stats.
+func replayOnce(b *testing.B, descs []*entity.Description, meta *metablocking.MetaBlocker) incremental.Stats {
+	b.Helper()
+	r, err := incremental.New(incremental.Config{
+		Kind:    entity.Dirty,
+		Blocker: &blocking.TokenBlocking{},
+		Matcher: &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+		Workers: 4,
+		Meta:    meta,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, d := range descs {
+		if _, err := r.Insert(ctx, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r.Stats()
+}
+
+// BenchmarkStreamingMetaBlocking measures the streaming resolver with and
+// without live WEP/CBS pruning on the same insert stream, reporting
+// throughput as ops/sec and, for the pruned run, the fraction of matcher
+// comparisons the live meta-blocking saved against the unpruned frontier
+// (saved-ratio) plus the pruned-graph survival rate (kept/candidates).
+func BenchmarkStreamingMetaBlocking(b *testing.B) {
+	descs := benchStream(b)
+	baseline := replayOnce(b, descs, nil)
+
+	b.Run("nometa", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			replayOnce(b, descs, nil)
+		}
+		b.ReportMetric(float64(len(descs))*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+	})
+	for _, prune := range []metablocking.PruneScheme{metablocking.WEP, metablocking.WNP} {
+		meta := &metablocking.MetaBlocker{Weight: metablocking.CBS, Prune: prune}
+		b.Run("meta-"+prune.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var st incremental.Stats
+			for i := 0; i < b.N; i++ {
+				st = replayOnce(b, descs, meta)
+			}
+			b.ReportMetric(float64(len(descs))*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+			if baseline.Comparisons > 0 {
+				saved := 1 - float64(st.Comparisons)/float64(baseline.Comparisons)
+				b.ReportMetric(saved, "saved-ratio")
+			}
+			if st.CandidatePairs > 0 {
+				b.ReportMetric(float64(st.KeptPairs)/float64(st.CandidatePairs), "kept-ratio")
+			}
+		})
+	}
+}

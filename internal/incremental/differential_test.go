@@ -13,6 +13,7 @@ import (
 	"entityres/internal/entity"
 	"entityres/internal/incremental"
 	"entityres/internal/matching"
+	"entityres/internal/metablocking"
 )
 
 // The differential property: after ANY sequence of insert/update/delete
@@ -44,10 +45,18 @@ type diffConfig struct {
 	mix     opMix
 	seed    int64
 	ops     int
+	// meta, when set, runs the scenario with live meta-blocking: the
+	// resolver prunes its frontiers through the incrementally weighted
+	// blocking graph, and the batch reference runs the same MetaBlocker.
+	meta *metablocking.MetaBlocker
 }
 
 func (dc diffConfig) String() string {
-	return fmt.Sprintf("%s/%s/w%d/%s/seed%d", dc.kind, dc.blocker.Name(), dc.workers, dc.mix.name, dc.seed)
+	s := fmt.Sprintf("%s/%s/w%d/%s/seed%d", dc.kind, dc.blocker.Name(), dc.workers, dc.mix.name, dc.seed)
+	if dc.meta != nil {
+		s += "/" + dc.meta.Name()
+	}
+	return s
 }
 
 // pool generates the universe of descriptions the op stream draws from:
@@ -105,7 +114,7 @@ func renderState(m *entity.Matches) string {
 func checkDifferential(t *testing.T, r *incremental.Resolver, dc diffConfig, m *matching.Matcher, step int) {
 	t.Helper()
 	snap, matches := r.Snapshot()
-	batch := &core.Pipeline{Blocker: dc.blocker, Matcher: m, Mode: core.Batch}
+	batch := &core.Pipeline{Blocker: dc.blocker, Meta: dc.meta, Matcher: m, Mode: core.Batch}
 	res, err := batch.Run(snap)
 	if err != nil {
 		t.Fatalf("step %d: batch run: %v", step, err)
@@ -120,7 +129,7 @@ func checkDifferential(t *testing.T, r *incremental.Resolver, dc diffConfig, m *
 // runDifferential drives one scenario.
 func runDifferential(t *testing.T, dc diffConfig) {
 	matcher := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
-	r, err := incremental.New(incremental.Config{Kind: dc.kind, Blocker: dc.blocker, Matcher: matcher, Workers: dc.workers})
+	r, err := incremental.New(incremental.Config{Kind: dc.kind, Blocker: dc.blocker, Matcher: matcher, Workers: dc.workers, Meta: dc.meta})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,6 +250,59 @@ func TestDifferentialEquivalence(t *testing.T) {
 		t.Run(dc.String(), func(t *testing.T) {
 			if testing.Short() && dc.seed > 3 {
 				t.Skip("short mode runs the core seed matrix only")
+			}
+			t.Parallel()
+			runDifferential(t, dc)
+		})
+	}
+}
+
+// TestDifferentialEquivalenceMetaBlocking extends the differential matrix
+// to live meta-blocking: 3 seeds × {WEP, WNP} × {CBS, ECBS, JS} op streams
+// (plus reciprocal-WNP, clean-clean and multi-worker probes), asserting
+// after every checkpoint that the incrementally pruned-and-matched state
+// equals a from-scratch batch run with the same MetaBlocker over the
+// surviving descriptions. Weight thresholds (WEP's global mean, WNP's
+// neighborhood means) shift with every insert, update and delete, so this
+// is the test that catches any drift between the delta-maintained
+// statistics and the batch accumulation.
+func TestDifferentialEquivalenceMetaBlocking(t *testing.T) {
+	var configs []diffConfig
+	for si, seed := range []int64{21, 22, 23} {
+		for _, w := range []metablocking.WeightScheme{metablocking.CBS, metablocking.ECBS, metablocking.JS} {
+			for _, p := range []metablocking.PruneScheme{metablocking.WEP, metablocking.WNP} {
+				configs = append(configs, diffConfig{
+					kind: entity.Dirty, blocker: &blocking.TokenBlocking{},
+					workers: 4, mix: opMixes[si%len(opMixes)], seed: seed, ops: 160,
+					meta: &metablocking.MetaBlocker{Weight: w, Prune: p},
+				})
+			}
+		}
+	}
+	// Reciprocal node pruning, clean-clean streams and the sequential
+	// reconcile path each probe one extra dimension.
+	configs = append(configs,
+		diffConfig{
+			kind: entity.Dirty, blocker: &blocking.TokenBlocking{},
+			workers: 4, mix: opMixes[1], seed: 24, ops: 160,
+			meta: &metablocking.MetaBlocker{Weight: metablocking.ECBS, Prune: metablocking.WNP, Reciprocal: true},
+		},
+		diffConfig{
+			kind: entity.CleanClean, blocker: &blocking.TokenBlocking{},
+			workers: 4, mix: opMixes[1], seed: 25, ops: 160,
+			meta: &metablocking.MetaBlocker{Weight: metablocking.JS, Prune: metablocking.WEP},
+		},
+		diffConfig{
+			kind: entity.Dirty, blocker: &blocking.StandardBlocking{},
+			workers: 1, mix: opMixes[2], seed: 26, ops: 160,
+			meta: &metablocking.MetaBlocker{Weight: metablocking.CBS, Prune: metablocking.WEP},
+		},
+	)
+	for _, dc := range configs {
+		dc := dc
+		t.Run(dc.String(), func(t *testing.T) {
+			if testing.Short() && dc.seed != 21 {
+				t.Skip("short mode runs the first meta seed only")
 			}
 			t.Parallel()
 			runDifferential(t, dc)

@@ -1,0 +1,187 @@
+// Live meta-blocking: the resolver's deferred weighting-and-pruning path.
+//
+// With cfg.Meta set, every insert, update and delete flows its membership
+// delta into an incrementally maintained metablocking.WeightedGraph (wired
+// as a blocking.MembershipObserver of the block index) and defers all
+// matching. Reads — Matches, Clusters, Stats, Snapshot, Flush,
+// RestructuredBlocks — reconcile: materialize the current weights, prune
+// with the exact batch pruning code, evaluate the surviving pairs that have
+// no cached matcher decision through the worker pool, and diff the match
+// graph against {kept ∧ similar}.
+//
+// Deferral is what makes the batch contract exact. Edge weights (and WEP's
+// global mean, WNP's neighborhood means) shift with every arrival, so a
+// pair's pruning fate is only settled at read time; an eager per-operation
+// decision would compare pairs a batch run over the final collection never
+// compares. Deferred, a static replay followed by one read evaluates
+// exactly the finally-kept pairs — matches AND comparison counts equal the
+// batch pipeline bit for bit. Between reads the maintained weighted graph
+// is the live frontier; each reconcile only pays for pairs whose decisions
+// are not already cached, so a serving workload's reads stay incremental.
+package incremental
+
+import (
+	"context"
+	"fmt"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/graph"
+	"entityres/internal/matching"
+	"entityres/internal/metablocking"
+)
+
+// Flush reconciles any deferred meta-blocking work under the caller's
+// context: prunes the live weighted blocking graph and resolves the kept,
+// not-yet-evaluated pairs through the matcher pool. It is a no-op without
+// a Meta configuration or when nothing changed since the last reconcile.
+// On cancellation the match state is left as it was before the call (the
+// evaluated decisions are not folded in) and the deferred work remains
+// pending; retrying restores consistency.
+func (r *Resolver) Flush(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reconcile(ctx)
+}
+
+// RestructuredBlocks reconciles and renders the pruned blocking graph the
+// way batch meta-blocking emits it: one two-description block per kept
+// edge, ordered by descending weight. It is the streaming counterpart of
+// MetaBlocker.Restructure over the live descriptions; without a Meta
+// configuration it returns nil.
+func (r *Resolver) RestructuredBlocks() *blocking.Blocks {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.weighted == nil {
+		return nil
+	}
+	r.mustReconcile()
+	kept := make([]graph.Edge, len(r.lastKept))
+	copy(kept, r.lastKept)
+	return metablocking.EmitKept(r.coll, r.cfg.Kind, kept)
+}
+
+// mustReconcile is reconcile under a background context, for the read
+// accessors that predate meta-blocking and return no error. It cannot
+// fail: the matcher pool's only error is context cancellation, and the
+// background context never cancels. Callers hold r.mu.
+func (r *Resolver) mustReconcile() {
+	if err := r.reconcile(context.Background()); err != nil {
+		panic(fmt.Sprintf("incremental: reconcile under background context: %v", err))
+	}
+}
+
+// reconcile settles the deferred meta-blocking state: weights the live
+// blocking graph, prunes it, evaluates the kept pairs that miss the
+// decision cache, and makes the match graph equal {kept ∧ similar}.
+// Callers hold r.mu.
+func (r *Resolver) reconcile(ctx context.Context) error {
+	if r.weighted == nil || !r.metaDirty {
+		return nil
+	}
+	// Materialize and prune with the exact batch code path
+	// (WeightedGraph.Graph + the WEP/WNP pruners), so identical statistics
+	// yield bit-identical surviving edges. WEP and WNP never consult the
+	// block collection (only the batch-only CEP/CNP budgets do, and
+	// ValidateStreaming rejected those), hence the nil.
+	g := r.weighted.Graph(r.cfg.Meta.Weight)
+	kept := r.cfg.Meta.PruneGraph(g, nil)
+
+	// Evaluate the kept pairs whose matcher decision is not cached. The
+	// similarity is a pure function of the two descriptions (enforced at
+	// construction), so a cached decision stays valid until one endpoint
+	// is updated or deleted, which invalidates it (retire).
+	var fresh []entity.Pair
+	for _, e := range kept {
+		if _, ok := r.cachedSim(e.A, e.B); !ok {
+			fresh = append(fresh, entity.NewPair(e.A, e.B))
+		}
+	}
+	if len(fresh) > 0 {
+		frontier := blocking.NewBlocks(entity.CleanClean)
+		for _, p := range fresh {
+			frontier.Add(&blocking.Block{
+				Key: fmt.Sprintf("meta:%d-%d", p.A, p.B),
+				S0:  []entity.ID{p.A},
+				S1:  []entity.ID{p.B},
+			})
+		}
+		// Small frontiers skip the worker pool, mirroring index().
+		workers := r.cfg.Workers
+		if frontier.TotalComparisons() < sequentialDeltaMax {
+			workers = 1
+		}
+		out, err := matching.ResolveBlocksParallel(ctx, r.coll, frontier, r.cfg.Matcher, workers)
+		if err != nil {
+			// Cancelled mid-frontier: drop the partial result so the match
+			// state stays exactly what it was before the call, and leave
+			// the work pending. Partial comparisons are not counted —
+			// Stats.Comparisons sums completed reconciles only, keeping it
+			// equal to a batch run's count on replayed static collections.
+			return fmt.Errorf("incremental: meta reconcile: %w", err)
+		}
+		r.stats.Comparisons += out.Comparisons
+		for _, p := range fresh {
+			r.setCachedSim(p.A, p.B, out.Matches.Contains(p.A, p.B))
+		}
+	}
+
+	// Make the match graph equal {kept ∧ similar}: retire edges whose pair
+	// fell out of the pruned graph, add edges that newly entered it.
+	desired := make(map[entity.Pair]struct{}, len(kept))
+	for _, e := range kept {
+		if sim, _ := r.cachedSim(e.A, e.B); sim {
+			desired[entity.NewPair(e.A, e.B)] = struct{}{}
+		}
+	}
+	var stale []entity.Pair
+	r.dyn.Graph().EachEdge(func(e graph.Edge) bool {
+		p := entity.NewPair(e.A, e.B)
+		if _, keep := desired[p]; !keep {
+			stale = append(stale, p)
+		}
+		return true
+	})
+	r.dyn.RemoveEdges(stale)
+	for p := range desired {
+		r.dyn.AddEdge(p.A, p.B, 1)
+	}
+
+	r.lastKept = kept
+	r.metaDirty = false
+	return nil
+}
+
+// cachedSim returns the cached matcher decision for {a, b} and whether one
+// exists. Callers hold r.mu.
+func (r *Resolver) cachedSim(a, b entity.ID) (sim, ok bool) {
+	sim, ok = r.simCache[a][b]
+	return sim, ok
+}
+
+// setCachedSim records the matcher decision for {a, b} in both directions,
+// so invalidation by either endpoint finds it. Callers hold r.mu.
+func (r *Resolver) setCachedSim(a, b entity.ID, sim bool) {
+	for _, d := range [2][2]entity.ID{{a, b}, {b, a}} {
+		m, ok := r.simCache[d[0]]
+		if !ok {
+			m = make(map[entity.ID]bool)
+			r.simCache[d[0]] = m
+		}
+		m[d[1]] = sim
+	}
+}
+
+// invalidateSims drops every cached decision involving id — its content is
+// about to change or disappear. Cost is proportional to id's cached
+// degree. Callers hold r.mu.
+func (r *Resolver) invalidateSims(id entity.ID) {
+	for other := range r.simCache[id] {
+		m := r.simCache[other]
+		delete(m, id)
+		if len(m) == 0 {
+			delete(r.simCache, other)
+		}
+	}
+	delete(r.simCache, id)
+}

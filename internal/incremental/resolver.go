@@ -23,6 +23,15 @@
 // are rejected by construction — their decisions shift with every arrival,
 // which is incompatible with incremental maintenance (see ROADMAP open
 // items for the re-weighting follow-on).
+//
+// With a MetaBlocker configured (stream-safe subset: WEP/WNP pruning of
+// CBS/ECBS/JS weights), the resolver additionally maintains the weighted
+// blocking graph incrementally — a metablocking.WeightedGraph observing
+// the block index's membership changes — and prunes the comparison
+// frontier through it before anything reaches the matcher pool: see
+// meta.go. The differential contract extends to meta-blocking: at every
+// read, matches and clusters equal a batch run with the same MetaBlocker
+// over the surviving descriptions.
 package incremental
 
 import (
@@ -34,6 +43,7 @@ import (
 	"entityres/internal/entity"
 	"entityres/internal/graph"
 	"entityres/internal/matching"
+	"entityres/internal/metablocking"
 )
 
 // Config parameterizes a Resolver.
@@ -50,6 +60,12 @@ type Config struct {
 	// Workers sizes the delta-matching worker pool; <= 0 means 1. The
 	// match output is worker-count independent.
 	Workers int
+	// Meta, when set, prunes the comparison frontier through the live
+	// weighted blocking graph before it reaches the matcher. Only the
+	// stream-safe subset is accepted — WEP or WNP pruning of CBS, ECBS or
+	// JS weights (metablocking.MetaBlocker.ValidateStreaming); EJS, ARCS,
+	// CEP and CNP are batch-only and rejected with a specific error.
+	Meta *metablocking.MetaBlocker
 }
 
 // Stats summarizes the work a resolver has performed.
@@ -64,6 +80,11 @@ type Stats struct {
 	Matches int
 	// Clusters is the number of current non-singleton entity clusters.
 	Clusters int
+	// CandidatePairs is the number of distinct co-occurring pairs in the
+	// live weighted blocking graph, and KeptPairs the number that survived
+	// the latest pruning pass — their ratio is the live comparisons-saved
+	// measure of meta-blocking. Both are zero without a Meta configuration.
+	CandidatePairs, KeptPairs int
 }
 
 // String renders the stats compactly.
@@ -92,6 +113,15 @@ type Resolver struct {
 	blocks *blocking.BlockIndex
 	dyn    *graph.Dynamic
 
+	// Live meta-blocking state (nil / unused without cfg.Meta): the
+	// incrementally weighted blocking graph, the cached pairwise matcher
+	// decisions, the edges retained by the latest pruning pass, and the
+	// dirty flag driving the deferred reconcile (see meta.go).
+	weighted  *metablocking.WeightedGraph
+	simCache  map[entity.ID]map[entity.ID]bool
+	lastKept  []graph.Edge
+	metaDirty bool
+
 	stats Stats
 }
 
@@ -109,17 +139,30 @@ func New(cfg Config) (*Resolver, error) {
 	if _, corpus := cfg.Matcher.Sim.(*matching.TFIDFCosine); corpus {
 		return nil, fmt.Errorf("incremental: matcher %q depends on corpus statistics and cannot stream", cfg.Matcher.Sim.Name())
 	}
+	if cfg.Meta != nil {
+		if err := cfg.Meta.ValidateStreaming(); err != nil {
+			return nil, fmt.Errorf("incremental: %w", err)
+		}
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	return &Resolver{
+	r := &Resolver{
 		cfg:    cfg,
 		keyer:  cfg.Blocker.StreamKeyer(),
 		coll:   entity.NewCollection(cfg.Kind),
 		byURI:  make(map[string]entity.ID),
 		blocks: blocking.NewBlockIndex(cfg.Kind),
 		dyn:    graph.NewDynamic(),
-	}, nil
+	}
+	if cfg.Meta != nil {
+		// The weighted blocking graph rides the block index's membership
+		// notifications, so every Add/Remove below keeps it current.
+		r.weighted = metablocking.NewWeightedGraph(cfg.Kind)
+		r.blocks.Observe(r.weighted)
+		r.simCache = make(map[entity.ID]map[entity.ID]bool)
+	}
+	return r, nil
 }
 
 // Kind returns the resolution setting of the stream.
@@ -221,19 +264,35 @@ func (r *Resolver) isLive(id entity.ID) bool {
 }
 
 // retire removes id's block membership and match edges, splitting its
-// cluster if it was an articulation point. Callers hold r.mu.
+// cluster if it was an articulation point. With meta-blocking the removal
+// also flows into the weighted graph (through the membership observer) and
+// invalidates the cached matcher decisions of id's pairs, since a later
+// update may re-key the same handle with different content. Callers hold
+// r.mu.
 func (r *Resolver) retire(id entity.ID) {
 	r.blocks.Remove(id)
 	r.dyn.RemoveNode(id)
+	if r.weighted != nil {
+		r.invalidateSims(id)
+		r.metaDirty = true
+	}
 }
 
 // index keys the (live, current) description id into the block index and
 // resolves its delta frontier through the matching worker pool, folding the
-// positives into the match graph. Callers hold r.mu.
+// positives into the match graph. With meta-blocking configured the delta
+// instead flows into the weighted blocking graph (via the membership
+// observer) and matching is deferred to the next read's reconcile, which
+// prunes the accumulated frontier before the matcher sees it — see
+// meta.go. Callers hold r.mu.
 func (r *Resolver) index(ctx context.Context, id entity.ID) error {
 	d := r.coll.Get(id)
 	if err := r.blocks.Add(id, d.Source, r.keyer(d)); err != nil {
 		return fmt.Errorf("incremental: %w", err)
+	}
+	if r.weighted != nil {
+		r.metaDirty = true
+		return nil
 	}
 	delta := r.blocks.DeltaBlocks(id)
 	// Small frontiers skip the worker pool: a pool spin-up costs more than
@@ -269,29 +328,39 @@ func (r *Resolver) index(ctx context.Context, id entity.ID) error {
 // chunk size, the point where fan-out can begin to pay for itself.
 const sequentialDeltaMax = 256
 
-// Stats returns a snapshot of the resolver's counters.
+// Stats returns a snapshot of the resolver's counters, reconciling any
+// deferred meta-blocking work first.
 func (r *Resolver) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.mustReconcile()
 	st := r.stats
 	st.Live = r.liveCount
 	st.Matches = r.dyn.NumEdges()
 	st.Clusters = len(r.dyn.Clusters())
+	if r.weighted != nil {
+		st.CandidatePairs = r.weighted.NumPairs()
+		st.KeptPairs = len(r.lastKept)
+	}
 	return st
 }
 
-// Matches returns the current match pairs over internal handles.
+// Matches returns the current match pairs over internal handles,
+// reconciling any deferred meta-blocking work first.
 func (r *Resolver) Matches() *entity.Matches {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.mustReconcile()
 	return r.dyn.Matches()
 }
 
 // Clusters returns the current non-singleton entity clusters over internal
-// handles, in the deterministic order of entity.UnionFind.Clusters.
+// handles, in the deterministic order of entity.UnionFind.Clusters,
+// reconciling any deferred meta-blocking work first.
 func (r *Resolver) Clusters() [][]entity.ID {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.mustReconcile()
 	return r.dyn.Clusters()
 }
 
@@ -322,6 +391,7 @@ func (r *Resolver) Get(id entity.ID) (*entity.Description, bool) {
 func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.mustReconcile()
 	out := entity.NewCollection(r.cfg.Kind)
 	remap := make(map[entity.ID]entity.ID, r.liveCount)
 	for _, d := range r.coll.All() {

@@ -9,11 +9,18 @@
 // Five weighting schemes (CBS, ECBS, JS, EJS, ARCS) and four pruning
 // schemes (WEP, CEP, WNP, CNP, plus reciprocal node-centric variants)
 // reproduce the design space the paper surveys.
+//
+// The co-occurrence statistics behind every scheme live in WeightedGraph,
+// a core maintained either by batch accumulation over a finished block
+// collection (BuildGraph, BuildGraphParallel) or by per-document deltas
+// under a stream of inserts, updates and deletes (AddDocument /
+// RemoveDocument, driven by blocking.BlockIndex membership notifications)
+// — the incremental regime the streaming resolver uses for live WEP/WNP
+// pruning of its comparison frontiers.
 package metablocking
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"entityres/internal/blocking"
@@ -124,75 +131,12 @@ func (m *MetaBlocker) Name() string {
 	return fmt.Sprintf("meta(%s,%s%s)", m.Weight, m.Prune, r)
 }
 
-// stats carries the co-occurrence statistics of one graph edge.
-type stats struct {
-	cbs  int
-	arcs float64
-}
-
 // BuildGraph constructs the weighted blocking graph of bs under the given
-// scheme. The graph has one edge per distinct comparison in bs.
+// scheme. The graph has one edge per distinct comparison in bs. It is the
+// batch regime of the WeightedGraph core: accumulate every block, then
+// materialize the scheme's weights.
 func BuildGraph(bs *blocking.Blocks, scheme WeightScheme) *graph.Graph {
-	kind := bs.Kind()
-	pairStats := make(map[entity.Pair]*stats)
-	blocksPer := make(map[entity.ID]int)
-	for _, b := range bs.All() {
-		comp := b.Comparisons(kind)
-		for _, id := range b.S0 {
-			blocksPer[id]++
-		}
-		for _, id := range b.S1 {
-			blocksPer[id]++
-		}
-		b.EachComparison(kind, func(x, y entity.ID) bool {
-			p := entity.NewPair(x, y)
-			st, ok := pairStats[p]
-			if !ok {
-				st = &stats{}
-				pairStats[p] = st
-			}
-			st.cbs++
-			st.arcs += 1 / float64(comp)
-			return true
-		})
-	}
-	return graphFromStats(bs, scheme, pairStats, blocksPer)
-}
-
-// graphFromStats turns accumulated co-occurrence statistics into the
-// weighted graph — the scheme-dependent tail shared by the sequential and
-// sharded graph builds.
-func graphFromStats(bs *blocking.Blocks, scheme WeightScheme, pairStats map[entity.Pair]*stats, blocksPer map[entity.ID]int) *graph.Graph {
-	numBlocks := float64(bs.Len())
-	// Degrees: number of distinct co-occurring partners per description.
-	degree := make(map[entity.ID]int)
-	for p := range pairStats {
-		degree[p.A]++
-		degree[p.B]++
-	}
-	numEdges := float64(len(pairStats))
-	g := graph.New()
-	for p, st := range pairStats {
-		var w float64
-		switch scheme {
-		case CBS:
-			w = float64(st.cbs)
-		case ECBS:
-			w = float64(st.cbs) *
-				math.Log(numBlocks/float64(blocksPer[p.A])) *
-				math.Log(numBlocks/float64(blocksPer[p.B]))
-		case JS:
-			w = js(st.cbs, blocksPer[p.A], blocksPer[p.B])
-		case EJS:
-			w = js(st.cbs, blocksPer[p.A], blocksPer[p.B]) *
-				math.Log(numEdges/float64(degree[p.A])) *
-				math.Log(numEdges/float64(degree[p.B]))
-		case ARCS:
-			w = st.arcs
-		}
-		g.SetWeight(p.A, p.B, w)
-	}
-	return g
+	return FromBlocks(bs).Graph(scheme)
 }
 
 func js(cbs, ba, bb int) float64 {
@@ -214,7 +158,17 @@ func (m *MetaBlocker) Restructure(c *entity.Collection, bs *blocking.Blocks) *bl
 // restructure prunes g and emits the surviving edges as weight-ordered
 // two-description blocks; shared by Restructure and RestructureParallel.
 func (m *MetaBlocker) restructure(c *entity.Collection, bs *blocking.Blocks, g *graph.Graph) *blocking.Blocks {
-	kept := m.PruneGraph(g, bs)
+	return EmitKept(c, bs.Kind(), m.PruneGraph(g, bs))
+}
+
+// EmitKept renders retained edges as a collection of two-description
+// blocks ordered by descending weight (strongest candidates first — the
+// order progressive schedulers rely on), splitting members by source for
+// clean-clean collections. It is the emission tail shared by the batch
+// restructuring paths and the streaming resolver's RestructuredBlocks, so
+// the two render identical collections from identical kept edges. The
+// kept slice is reordered in place.
+func EmitKept(c *entity.Collection, kind entity.Kind, kept []graph.Edge) *blocking.Blocks {
 	sort.Slice(kept, func(i, j int) bool {
 		if kept[i].Weight != kept[j].Weight {
 			return kept[i].Weight > kept[j].Weight
@@ -224,7 +178,7 @@ func (m *MetaBlocker) restructure(c *entity.Collection, bs *blocking.Blocks, g *
 		}
 		return kept[i].B < kept[j].B
 	})
-	out := blocking.NewBlocks(bs.Kind())
+	out := blocking.NewBlocks(kind)
 	for _, e := range kept {
 		b := &blocking.Block{Key: fmt.Sprintf("meta:%d-%d", e.A, e.B)}
 		for _, id := range []entity.ID{e.A, e.B} {

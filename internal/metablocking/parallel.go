@@ -10,10 +10,10 @@ import (
 )
 
 // BuildGraphParallel builds the weighted blocking graph with the block list
-// sharded across concurrent workers: each shard accumulates co-occurrence
-// statistics (common-block counts, reciprocal-comparison mass, blocks per
-// description) over a contiguous block range, and the shard partials are
-// merged in block order before weighting.
+// sharded across concurrent workers: each shard accumulates a WeightedGraph
+// (common-block counts, reciprocal-comparison mass, blocks per description)
+// over a contiguous block range, and the shard partials are merged in block
+// order before weighting.
 //
 // For the counting-based schemes — CBS, ECBS, JS, EJS — every statistic is
 // an integer count, so the weights are bit-identical to BuildGraph for any
@@ -26,8 +26,8 @@ import (
 // MapReduce job (the distributed formulation the paper surveys) with its
 // own weighting tail; this function is the in-process fast path the
 // pipeline engine uses. A change to weighting semantics here (in
-// graphFromStats, shared with the sequential build) must be mirrored
-// there.
+// WeightedGraph.Graph, shared with the sequential build and the streaming
+// resolver) must be mirrored there.
 func BuildGraphParallel(bs *blocking.Blocks, scheme WeightScheme, workers int) *graph.Graph {
 	nb := bs.Len()
 	if workers <= 0 {
@@ -39,63 +39,27 @@ func BuildGraphParallel(bs *blocking.Blocks, scheme WeightScheme, workers int) *
 	if workers <= 1 {
 		return BuildGraph(bs, scheme)
 	}
-	type shardAcc struct {
-		pairStats map[entity.Pair]*stats
-		blocksPer map[entity.ID]int
-	}
-	kind := bs.Kind()
-	accs := make([]shardAcc, workers)
+	accs := make([]*WeightedGraph, workers)
 	var wg sync.WaitGroup
 	for s := 0; s < workers; s++ {
 		lo, hi := s*nb/workers, (s+1)*nb/workers
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			ps := make(map[entity.Pair]*stats)
-			bp := make(map[entity.ID]int)
+			acc := NewWeightedGraph(bs.Kind())
 			for i := lo; i < hi; i++ {
-				b := bs.Get(i)
-				comp := b.Comparisons(kind)
-				for _, id := range b.S0 {
-					bp[id]++
-				}
-				for _, id := range b.S1 {
-					bp[id]++
-				}
-				b.EachComparison(kind, func(x, y entity.ID) bool {
-					p := entity.NewPair(x, y)
-					st, ok := ps[p]
-					if !ok {
-						st = &stats{}
-						ps[p] = st
-					}
-					st.cbs++
-					st.arcs += 1 / float64(comp)
-					return true
-				})
+				acc.AccumulateBlock(bs.Get(i))
 			}
-			accs[s] = shardAcc{pairStats: ps, blocksPer: bp}
+			accs[s] = acc
 		}(s, lo, hi)
 	}
 	wg.Wait()
 	// Merge partials in ascending shard order (= block order).
-	pairStats := accs[0].pairStats
-	blocksPer := accs[0].blocksPer
+	merged := accs[0]
 	for s := 1; s < workers; s++ {
-		for p, st := range accs[s].pairStats {
-			dst, ok := pairStats[p]
-			if !ok {
-				pairStats[p] = st
-				continue
-			}
-			dst.cbs += st.cbs
-			dst.arcs += st.arcs
-		}
-		for id, n := range accs[s].blocksPer {
-			blocksPer[id] += n
-		}
+		merged.Merge(accs[s])
 	}
-	return graphFromStats(bs, scheme, pairStats, blocksPer)
+	return merged.Graph(scheme)
 }
 
 // RestructureParallel is Restructure with the graph build sharded across

@@ -1,0 +1,254 @@
+package metablocking
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/datagen"
+	"entityres/internal/entity"
+)
+
+// TestWeightedGraphDeltaEqualsBatch is the core invariant of incremental
+// meta-blocking: a WeightedGraph maintained by AddDocument/RemoveDocument
+// deltas under random add/remove/re-add churn carries, at every
+// checkpoint, exactly the statistics FromBlocks accumulates over the
+// surviving membership — and therefore bit-identical CBS/ECBS/JS/EJS
+// weights.
+func TestWeightedGraphDeltaEqualsBatch(t *testing.T) {
+	for _, kind := range []entity.Kind{entity.Dirty, entity.CleanClean} {
+		t.Run(kind.String(), func(t *testing.T) {
+			var c *entity.Collection
+			var err error
+			if kind == entity.Dirty {
+				c, _, err = datagen.GenerateDirty(datagen.Config{Seed: 17, Entities: 50, DupRatio: 0.6})
+			} else {
+				c, _, err = datagen.GenerateCleanClean(datagen.Config{Seed: 17, Entities: 50, DupRatio: 0.6})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb := &blocking.TokenBlocking{}
+			keyer := sb.StreamKeyer()
+			bi := blocking.NewBlockIndex(kind)
+			wg := NewWeightedGraph(kind)
+			bi.Observe(wg)
+
+			rng := rand.New(rand.NewSource(99))
+			descs := c.All()
+			live := make(map[entity.ID]bool)
+			for step := 0; step < 400; step++ {
+				d := descs[rng.Intn(len(descs))]
+				if live[d.ID] {
+					bi.Remove(d.ID)
+					live[d.ID] = false
+				} else {
+					if err := bi.Add(d.ID, d.Source, keyer(d)); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					live[d.ID] = true
+				}
+				if step%25 == 0 || step == 399 {
+					assertSameStats(t, step, wg, FromBlocks(bi.Blocks()))
+				}
+			}
+		})
+	}
+}
+
+// assertSameStats compares every maintained statistic and the materialized
+// weights of the counting schemes. ARCS is exempt: its reciprocal mass is
+// only accumulated by the batch regime (the documented reason streaming
+// rejects it).
+func assertSameStats(t *testing.T, step int, got, want *WeightedGraph) {
+	t.Helper()
+	if got.NumBlocks() != want.NumBlocks() {
+		t.Fatalf("step %d: NumBlocks = %d, batch = %d", step, got.NumBlocks(), want.NumBlocks())
+	}
+	if got.NumPairs() != want.NumPairs() {
+		t.Fatalf("step %d: NumPairs = %d, batch = %d", step, got.NumPairs(), want.NumPairs())
+	}
+	want.EachPair(func(p entity.Pair, cbs int) bool {
+		if g := got.CommonBlocks(p); g != cbs {
+			t.Fatalf("step %d: CommonBlocks(%v) = %d, batch = %d", step, p, g, cbs)
+		}
+		if g, w := got.BlockCount(p.A), want.BlockCount(p.A); g != w {
+			t.Fatalf("step %d: BlockCount(%d) = %d, batch = %d", step, p.A, g, w)
+		}
+		return true
+	})
+	for _, scheme := range []WeightScheme{CBS, ECBS, JS, EJS} {
+		ge, we := got.Graph(scheme).Edges(), want.Graph(scheme).Edges()
+		if !reflect.DeepEqual(ge, we) {
+			t.Fatalf("step %d: %s weights diverge:\nincremental %v\nbatch       %v", step, scheme, ge, we)
+		}
+	}
+}
+
+// TestWeightedGraphSpringsAndDissolves pins the block-existence edge
+// cases: a block contributes nothing until it suggests a comparison, is
+// credited to all members the moment it does, and is debited from all the
+// moment it no longer does.
+func TestWeightedGraphSpringsAndDissolves(t *testing.T) {
+	bi := blocking.NewBlockIndex(entity.Dirty)
+	wg := NewWeightedGraph(entity.Dirty)
+	bi.Observe(wg)
+
+	if err := bi.Add(1, 0, []string{"k"}); err != nil {
+		t.Fatal(err)
+	}
+	// A singleton block suggests no comparison and stays invisible.
+	if wg.NumBlocks() != 0 || wg.BlockCount(1) != 0 {
+		t.Fatalf("singleton block counted: blocks=%d count=%d", wg.NumBlocks(), wg.BlockCount(1))
+	}
+	if err := bi.Add(2, 0, []string{"k", "solo"}); err != nil {
+		t.Fatal(err)
+	}
+	// The second member springs "k" into existence for BOTH members; the
+	// still-singleton "solo" stays out.
+	if wg.NumBlocks() != 1 || wg.BlockCount(1) != 1 || wg.BlockCount(2) != 1 {
+		t.Fatalf("after spring: blocks=%d counts=%d/%d", wg.NumBlocks(), wg.BlockCount(1), wg.BlockCount(2))
+	}
+	if cbs := wg.CommonBlocks(entity.NewPair(1, 2)); cbs != 1 {
+		t.Fatalf("CommonBlocks(1,2) = %d, want 1", cbs)
+	}
+	// Removing 2 dissolves "k": every statistic returns to zero.
+	bi.Remove(2)
+	if wg.NumBlocks() != 0 || wg.NumPairs() != 0 || wg.BlockCount(1) != 0 {
+		t.Fatalf("after dissolve: blocks=%d pairs=%d count=%d", wg.NumBlocks(), wg.NumPairs(), wg.BlockCount(1))
+	}
+}
+
+// TestWeightedGraphCleanCleanSides: a one-sided clean-clean block never
+// contributes, and only cross-source pairs exist.
+func TestWeightedGraphCleanCleanSides(t *testing.T) {
+	bi := blocking.NewBlockIndex(entity.CleanClean)
+	wg := NewWeightedGraph(entity.CleanClean)
+	bi.Observe(wg)
+	for id, src := range map[entity.ID]int{1: 0, 2: 0, 3: 1} {
+		if err := bi.Add(id, src, []string{"k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wg.NumBlocks() != 1 {
+		t.Fatalf("NumBlocks = %d, want 1", wg.NumBlocks())
+	}
+	if wg.NumPairs() != 2 {
+		t.Fatalf("NumPairs = %d, want 2 (cross-source only)", wg.NumPairs())
+	}
+	if wg.CommonBlocks(entity.NewPair(1, 2)) != 0 {
+		t.Fatal("same-source pair {1,2} counted")
+	}
+	// Removing the only source-1 member makes the block one-sided again.
+	bi.Remove(3)
+	if wg.NumBlocks() != 0 || wg.NumPairs() != 0 || wg.BlockCount(1) != 0 {
+		t.Fatalf("one-sided block still counted: blocks=%d pairs=%d", wg.NumBlocks(), wg.NumPairs())
+	}
+}
+
+// TestValidateStreaming pins the accept set and the specific rejection
+// reasons of the stream-safety check.
+func TestValidateStreaming(t *testing.T) {
+	for _, w := range []WeightScheme{CBS, ECBS, JS} {
+		for _, p := range []PruneScheme{WEP, WNP} {
+			m := &MetaBlocker{Weight: w, Prune: p, Reciprocal: true}
+			if err := m.ValidateStreaming(); err != nil {
+				t.Errorf("%s rejected: %v", m.Name(), err)
+			}
+		}
+	}
+	rejected := map[string]*MetaBlocker{
+		"EJS weighting cannot stream":  {Weight: EJS, Prune: WEP},
+		"ARCS weighting cannot stream": {Weight: ARCS, Prune: WNP},
+		"CEP pruning cannot stream":    {Weight: CBS, Prune: CEP},
+		"CNP pruning cannot stream":    {Weight: JS, Prune: CNP},
+	}
+	for want, m := range rejected {
+		err := m.ValidateStreaming()
+		if err == nil {
+			t.Errorf("%s accepted by ValidateStreaming", m.Name())
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: error %q does not carry %q", m.Name(), err, want)
+		}
+	}
+	for _, m := range []*MetaBlocker{
+		{Weight: WeightScheme(99), Prune: WEP},
+		{Weight: CBS, Prune: PruneScheme(99)},
+	} {
+		if err := m.ValidateStreaming(); err == nil || !strings.Contains(err.Error(), "unknown") {
+			t.Errorf("%s: unknown scheme not rejected, err=%v", m.Name(), err)
+		}
+	}
+}
+
+// TestFromBlocksMatchesBuildGraph: the batch regime of the WeightedGraph
+// reproduces BuildGraph exactly for every scheme (they share the code, but
+// this pins the refactor against the original public contract).
+func TestFromBlocksMatchesBuildGraph(t *testing.T) {
+	c, _, err := datagen.GenerateDirty(datagen.Config{Seed: 5, Entities: 80, DupRatio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := (&blocking.TokenBlocking{}).Block(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := FromBlocks(bs)
+	if wg.Kind() != bs.Kind() {
+		t.Fatalf("Kind = %v, want %v", wg.Kind(), bs.Kind())
+	}
+	for _, scheme := range WeightSchemes() {
+		got, want := wg.Graph(scheme).Edges(), BuildGraph(bs, scheme).Edges()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: FromBlocks weights diverge from BuildGraph", scheme)
+		}
+	}
+	// EachPair enumerates every edge exactly once.
+	seen := 0
+	wg.EachPair(func(p entity.Pair, cbs int) bool {
+		if cbs <= 0 {
+			t.Fatalf("EachPair(%v) cbs = %d", p, cbs)
+		}
+		seen++
+		return true
+	})
+	if seen != wg.NumPairs() {
+		t.Fatalf("EachPair enumerated %d pairs, NumPairs = %d", seen, wg.NumPairs())
+	}
+	wg.EachPair(func(entity.Pair, int) bool { return false }) // early stop
+}
+
+// TestWeightedGraphBumpDefensive: a negative delta for an untracked pair is
+// ignored rather than creating a phantom negative-count edge.
+func TestWeightedGraphBumpDefensive(t *testing.T) {
+	wg := NewWeightedGraph(entity.Dirty)
+	wg.bump(entity.NewPair(1, 2), -1)
+	if wg.NumPairs() != 0 {
+		t.Fatalf("NumPairs = %d after negative bump of untracked pair", wg.NumPairs())
+	}
+	if wg.CommonBlocks(entity.NewPair(1, 2)) != 0 {
+		t.Fatal("phantom pair created")
+	}
+}
+
+// TestMergeLeavesSourceIndependent: merged graphs must not share stats
+// storage — mutating either afterwards cannot leak into the other.
+func TestMergeLeavesSourceIndependent(t *testing.T) {
+	b := &blocking.Block{Key: "k", S0: []entity.ID{1, 2}}
+	src := NewWeightedGraph(entity.Dirty)
+	src.AccumulateBlock(b)
+	dst := NewWeightedGraph(entity.Dirty)
+	dst.Merge(src)
+	dst.AccumulateBlock(b) // bump the pair only in dst
+	p := entity.NewPair(1, 2)
+	if got := src.CommonBlocks(p); got != 1 {
+		t.Fatalf("source CommonBlocks mutated through merge: %d, want 1", got)
+	}
+	if got := dst.CommonBlocks(p); got != 2 {
+		t.Fatalf("merged CommonBlocks = %d, want 2", got)
+	}
+}

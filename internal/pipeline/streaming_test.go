@@ -7,6 +7,7 @@ import (
 	"entityres/internal/blocking"
 	"entityres/internal/core"
 	"entityres/internal/matching"
+	"entityres/internal/metablocking"
 )
 
 // TestEngineStreamingEqualsBatch checks the engine's Streaming mode against
@@ -50,5 +51,38 @@ func TestEngineStreamingCancellation(t *testing.T) {
 	cancel()
 	if _, err := New(cfg, Options{}).Run(ctx, c); err == nil {
 		t.Fatal("cancelled streaming run succeeded")
+	}
+}
+
+// TestEngineStreamingMetaEqualsBatch checks the engine's Streaming mode
+// with live meta-blocking against the sequential batch meta pipeline
+// across worker counts: the deferred reconcile runs under the engine's
+// pool and context and must not change the result.
+func TestEngineStreamingMetaEqualsBatch(t *testing.T) {
+	c, _ := testCollection(t, 200, 7)
+	cfg := core.Pipeline{
+		Blocker: &blocking.TokenBlocking{},
+		Meta:    &metablocking.MetaBlocker{Weight: metablocking.ECBS, Prune: metablocking.WNP},
+		Matcher: &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+		Mode:    core.Batch,
+	}
+	want, err := cfg.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		stream := cfg
+		stream.Mode = core.Streaming
+		res, err := New(stream, Options{Workers: workers}).Run(context.Background(), c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		assertSameMatches(t, "streaming-meta", want.Matches, res.Matches)
+		if res.Comparisons != want.Comparisons {
+			t.Fatalf("workers=%d: streaming comparisons = %d, batch = %d", workers, res.Comparisons, want.Comparisons)
+		}
+		if res.Blocks.Len() != want.Blocks.Len() {
+			t.Fatalf("workers=%d: restructured blocks = %d, batch = %d", workers, res.Blocks.Len(), want.Blocks.Len())
+		}
 	}
 }
