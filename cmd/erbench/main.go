@@ -4,19 +4,24 @@
 // against the sequential pipeline on a synthetic workload and prints the
 // per-phase comparison. With -streaming-meta it replays a synthetic insert
 // stream through the streaming resolver with and without live
-// meta-blocking and reports throughput and the pruning ratio (comparisons
-// saved by the live weighted blocking graph).
+// meta-blocking and reports throughput, the pruning ratio (comparisons
+// saved by the live weighted blocking graph), and the durable leg: WAL
+// persistence throughput plus crash-recovery time (snapshot restore + tail
+// replay). Adding -json FILE also writes the -streaming-meta measurement as
+// machine-readable JSON (e.g. BENCH_streaming.json) so the perf trajectory
+// accumulates data points.
 //
 // Usage:
 //
 //	erbench [-experiment E1|E2|...|all] [-scale small|medium] [-seed N]
 //	erbench -parallel [-shards N] [-workers N] [-scale small|medium] [-seed N]
 //	erbench -streaming-meta [-meta-weight CBS|ECBS|JS] [-meta-prune WEP|WNP]
-//	        [-workers N] [-scale small|medium] [-seed N]
+//	        [-workers N] [-scale small|medium] [-seed N] [-json FILE]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +45,7 @@ func main() {
 		streamMeta = flag.Bool("streaming-meta", false, "benchmark the streaming resolver with and without live meta-blocking and report the pruning ratio")
 		metaWeight = flag.String("meta-weight", "CBS", "stream-safe weight scheme for -streaming-meta: CBS, ECBS or JS")
 		metaPrune  = flag.String("meta-prune", "WEP", "stream-safe prune scheme for -streaming-meta: WEP or WNP")
+		jsonPath   = flag.String("json", "", "with -streaming-meta: also write the machine-readable benchmark result (ns/op, comparisons saved, recovery time) to this file, e.g. BENCH_streaming.json")
 	)
 	flag.Parse()
 	var sc experiments.Scale
@@ -50,6 +56,10 @@ func main() {
 		sc = experiments.Medium
 	default:
 		fmt.Fprintf(os.Stderr, "erbench: unknown scale %q (want small or medium)\n", *scale)
+		os.Exit(2)
+	}
+	if *jsonPath != "" && !*streamMeta {
+		fmt.Fprintln(os.Stderr, "erbench: -json requires -streaming-meta")
 		os.Exit(2)
 	}
 	if *parallel {
@@ -64,7 +74,7 @@ func main() {
 		if sc == experiments.Medium {
 			entities = 6000
 		}
-		if err := runStreamingMeta(entities, *seed, *workers, *metaWeight, *metaPrune); err != nil {
+		if err := runStreamingMeta(entities, *seed, *workers, *metaWeight, *metaPrune, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -159,11 +169,48 @@ func runParallelComparison(sc experiments.Scale, seed int64, shards, workers int
 	return nil
 }
 
+// benchRunJSON is one measured replay in the machine-readable output.
+type benchRunJSON struct {
+	Comparisons int64 `json:"comparisons"`
+	Matches     int   `json:"matches"`
+	WallNS      int64 `json:"wall_ns"`
+	NSPerOp     int64 `json:"ns_per_op"`
+}
+
+// benchRecoveryJSON measures the durable leg: persist the stream through
+// the WAL, then reopen the directory (snapshot restore + tail replay).
+type benchRecoveryJSON struct {
+	Ops             int64  `json:"ops"`
+	SnapshotEvery   int    `json:"snapshot_every"`
+	SnapshotSegment uint64 `json:"snapshot_segment"`
+	ReplayedRecords int    `json:"replayed_records"`
+	PersistWallNS   int64  `json:"persist_wall_ns"`
+	PersistNSPerOp  int64  `json:"persist_ns_per_op"`
+	RecoveryWallNS  int64  `json:"recovery_wall_ns"`
+}
+
+// benchJSON is the machine-readable -json payload (BENCH_streaming.json):
+// the perf trajectory's data points for the streaming resolver.
+type benchJSON struct {
+	Name                  string            `json:"name"`
+	Entities              int               `json:"entities"`
+	Seed                  int64             `json:"seed"`
+	Workers               int               `json:"workers"`
+	Meta                  string            `json:"meta"`
+	Frontier              benchRunJSON      `json:"frontier"`
+	Pruned                benchRunJSON      `json:"pruned"`
+	ComparisonsSavedRatio float64           `json:"comparisons_saved_ratio"`
+	Recovery              benchRecoveryJSON `json:"recovery"`
+}
+
 // runStreamingMeta replays one synthetic insert stream through two
 // streaming resolvers — frontier matching vs. live meta-blocking — and
 // reports throughput plus the pruning ratio: the share of matcher
-// comparisons the live weighted blocking graph saved.
-func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm string) error {
+// comparisons the live weighted blocking graph saved. It then persists the
+// stream through a WAL-backed resolver and measures crash recovery
+// (reopen = snapshot restore + tail replay). With jsonPath set the whole
+// measurement is also written as machine-readable JSON.
+func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, jsonPath string) error {
 	var weight er.WeightScheme
 	switch strings.ToUpper(weightNm) {
 	case "CBS":
@@ -244,6 +291,93 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm s
 	}
 	fmt.Printf("\npruning ratio: %.3f comparisons saved (kept %d of %d candidate pairs, %.3f)\n",
 		saved, pruned.KeptPairs, pruned.CandidatePairs, keptRatio)
+
+	// Durable leg: persist the same stream through the WAL-backed resolver,
+	// hard-close, and measure recovery. A quarter-stream snapshot cadence
+	// leaves a real tail for the reopen to replay.
+	walDir, err := os.MkdirTemp("", "erbench-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	durable := er.StreamingDurable{SnapshotEvery: entities / 4, NoSync: true}
+	pr, err := er.PersistentResolver(walDir, er.StreamingConfig{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+		Workers: workers,
+		Durable: durable,
+	})
+	if err != nil {
+		return fmt.Errorf("persistent: %w", err)
+	}
+	ctx := context.Background()
+	t0 := time.Now()
+	for _, d := range c.All() {
+		if _, err := pr.Insert(ctx, d); err != nil {
+			return fmt.Errorf("persistent: %w", err)
+		}
+	}
+	persistDur := time.Since(t0)
+	if err := pr.Close(); err != nil {
+		return err
+	}
+	t0 = time.Now()
+	re, err := er.PersistentResolver(walDir, er.StreamingConfig{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+		Workers: workers,
+		Durable: durable,
+	})
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	recoveryDur := time.Since(t0)
+	rec := re.Recovery()
+	if st := re.Stats(); st.Live != c.Len() {
+		return fmt.Errorf("recovery restored %d live descriptions, want %d", st.Live, c.Len())
+	}
+	if err := re.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("durable:       persist %v (%.0f ops/sec, unsynced), recovery %v (snapshot at segment %d + %d wal records)\n",
+		persistDur.Round(time.Microsecond), opsPerSec(persistDur),
+		recoveryDur.Round(time.Microsecond), rec.SnapshotSegment, rec.ReplayedRecords)
+
+	if jsonPath == "" {
+		return nil
+	}
+	nsPerOp := func(d time.Duration) int64 { return d.Nanoseconds() / int64(c.Len()) }
+	out := benchJSON{
+		Name:     "streaming",
+		Entities: c.Len(),
+		Seed:     seed,
+		Workers:  workers,
+		Meta:     meta.Name(),
+		Frontier: benchRunJSON{Comparisons: base.Comparisons, Matches: base.Matches,
+			WallNS: baseDur.Nanoseconds(), NSPerOp: nsPerOp(baseDur)},
+		Pruned: benchRunJSON{Comparisons: pruned.Comparisons, Matches: pruned.Matches,
+			WallNS: prunedDur.Nanoseconds(), NSPerOp: nsPerOp(prunedDur)},
+		ComparisonsSavedRatio: saved,
+		Recovery: benchRecoveryJSON{
+			Ops:             int64(c.Len()),
+			SnapshotEvery:   durable.SnapshotEvery,
+			SnapshotSegment: rec.SnapshotSegment,
+			ReplayedRecords: rec.ReplayedRecords,
+			PersistWallNS:   persistDur.Nanoseconds(),
+			PersistNSPerOp:  nsPerOp(persistDur),
+			RecoveryWallNS:  recoveryDur.Nanoseconds(),
+		},
+	}
+	payload, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(payload, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 	return nil
 }
 

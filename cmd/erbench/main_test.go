@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -9,15 +12,44 @@ import (
 )
 
 // TestRunStreamingMeta drives the -streaming-meta comparison end to end on
-// a small stream, including the stream-safety flag validation.
+// a small stream — including the durable persist/recovery leg and the
+// machine-readable -json output — plus the stream-safety flag validation.
 func TestRunStreamingMeta(t *testing.T) {
-	if err := runStreamingMeta(120, 7, 2, "CBS", "WEP"); err != nil {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_streaming.json")
+	if err := runStreamingMeta(120, 7, 2, "CBS", "WEP", jsonPath); err != nil {
 		t.Fatalf("runStreamingMeta: %v", err)
 	}
-	if err := runStreamingMeta(120, 7, 0, "ARCS", "WEP"); err == nil {
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("-json wrote nothing: %v", err)
+	}
+	var out benchJSON
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if out.Name != "streaming" || out.Entities == 0 {
+		t.Fatalf("-json header malformed: %+v", out)
+	}
+	if out.Frontier.NSPerOp <= 0 || out.Pruned.NSPerOp <= 0 {
+		t.Fatalf("-json ns/op not measured: %+v", out)
+	}
+	if out.Frontier.Comparisons <= out.Pruned.Comparisons && out.ComparisonsSavedRatio > 0 {
+		t.Fatalf("-json comparisons-saved inconsistent: %+v", out)
+	}
+	if out.Recovery.Ops != int64(out.Entities) || out.Recovery.RecoveryWallNS <= 0 {
+		t.Fatalf("-json recovery leg not measured: %+v", out)
+	}
+	if out.Recovery.SnapshotSegment == 0 {
+		t.Fatalf("-json recovery did not anchor on a snapshot: %+v", out)
+	}
+	// Without -json the run still succeeds and writes nothing.
+	if err := runStreamingMeta(120, 7, 2, "CBS", "WEP", ""); err != nil {
+		t.Fatalf("runStreamingMeta without json: %v", err)
+	}
+	if err := runStreamingMeta(120, 7, 0, "ARCS", "WEP", ""); err == nil {
 		t.Fatal("batch-only weight accepted")
 	}
-	if err := runStreamingMeta(120, 7, 0, "CBS", "CEP"); err == nil {
+	if err := runStreamingMeta(120, 7, 0, "CBS", "CEP", ""); err == nil {
 		t.Fatal("batch-only prune accepted")
 	}
 }

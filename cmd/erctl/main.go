@@ -14,6 +14,7 @@
 //	      [-blocker token|standard|qgrams] [-threshold T] [-workers N]
 //	      [-weight CBS|ECBS|JS] [-prune WEP|WNP]
 //	      [-stats-every N] [-print-matches]
+//	      [-wal DIR [-snapshot-every N] [-wal-nosync]]
 //
 // With one -kb0 the collection is dirty (deduplication); with -kb1 it is
 // clean-clean (interlinking). The truth file holds one tab-separated URI
@@ -22,7 +23,12 @@
 // The watch subcommand replays a JSON-lines operation log (one
 // {"op":"insert|update|delete","uri":...,"source":...,"attrs":[...]}
 // object per line) through the streaming resolver, maintaining matches and
-// clusters incrementally and reporting state as the stream advances.
+// clusters incrementally and reporting state as the stream advances. With
+// -wal DIR the resolver is durable: every op is journaled to a write-ahead
+// log in DIR before it is applied and compacted into snapshots, and
+// restarting the same command resumes the replay where the previous run
+// stopped — crash recovery restores the journaled state and the
+// already-applied prefix of the ops log is skipped.
 package main
 
 import (
@@ -183,6 +189,9 @@ func watch(args []string) {
 		pruneNm    = fs.String("prune", "WNP", "live meta-blocking prune scheme: WEP or WNP")
 		statsEvery = fs.Int("stats-every", 0, "print resolver stats every N ops (0 = only at end)")
 		printAll   = fs.Bool("print-matches", false, "print final matched URI pairs")
+		walDir     = fs.String("wal", "", "durable WAL directory: journal every op, compact into snapshots, and resume an interrupted replay of the same -ops log after restart")
+		snapEvery  = fs.Int("snapshot-every", 0, "ops between WAL snapshot compactions (0 = default; requires -wal)")
+		noSync     = fs.Bool("wal-nosync", false, "skip the per-op fsync on the WAL (requires -wal)")
 	)
 	_ = fs.Parse(args)
 	if *opsPath == "" {
@@ -233,26 +242,62 @@ func watch(args []string) {
 		// reports the specific reason a batch-only scheme cannot stream.
 		meta = &er.MetaBlocker{Weight: w, Prune: p}
 	}
-	r, err := er.NewStreamingResolver(er.StreamingConfig{
+	if *walDir == "" && (*snapEvery != 0 || *noSync) {
+		fail(fmt.Errorf("-snapshot-every and -wal-nosync tune the durable journal and require -wal DIR"))
+	}
+	cfg := er.StreamingConfig{
 		Kind:    kind,
 		Blocker: blocker,
 		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: *threshold},
 		Workers: *workers,
 		Meta:    meta,
-	})
-	if err != nil {
-		fail(err)
+		Durable: er.StreamingDurable{SnapshotEvery: *snapEvery, NoSync: *noSync},
+	}
+	var r *er.StreamingResolver
+	var err2 error
+	skipped := 0
+	if *walDir != "" {
+		// Durable replay: every applied op is journaled under -wal, and a
+		// restart resumes where the previous run stopped — recovery restores
+		// the journal's state, and the ops it already covers are skipped.
+		// Resumption assumes the same -ops log; the skip count is the number
+		// of operations the recovered state acknowledges.
+		r, err2 = er.PersistentResolver(*walDir, cfg)
+		if err2 != nil {
+			fail(err2)
+		}
+		if rec := r.Recovery(); rec.Recovered {
+			st := r.Stats()
+			applied := int(st.Inserts + st.Updates + st.Deletes)
+			if applied > len(ops) {
+				fail(fmt.Errorf("wal %s holds %d applied ops but %s has only %d — resuming a different log?", *walDir, applied, *opsPath, len(ops)))
+			}
+			skipped = applied
+			fmt.Printf("resumed from %s: %d ops already applied (snapshot at segment %d, %d wal records replayed)\n",
+				*walDir, applied, rec.SnapshotSegment, rec.ReplayedRecords)
+		}
+	} else {
+		r, err2 = er.NewStreamingResolver(cfg)
+		if err2 != nil {
+			fail(err2)
+		}
 	}
 	ctx := context.Background()
-	for i, op := range ops {
+	for i, op := range ops[skipped:] {
+		n := skipped + i + 1
 		if err := r.Apply(ctx, op); err != nil {
-			fail(fmt.Errorf("op %d (%s %s): %w", i+1, op.Kind, op.URI, err))
+			fail(fmt.Errorf("op %d (%s %s): %w", n, op.Kind, op.URI, err))
 		}
-		if *statsEvery > 0 && (i+1)%*statsEvery == 0 {
-			fmt.Printf("after %4d ops: %s\n", i+1, statsLine(r, meta))
+		if *statsEvery > 0 && n%*statsEvery == 0 {
+			fmt.Printf("after %4d ops: %s\n", n, statsLine(r, meta))
 		}
 	}
 	fmt.Printf("final: %s\n", statsLine(r, meta))
+	if *walDir != "" {
+		if err := r.Close(); err != nil {
+			fail(err)
+		}
+	}
 	if *printAll {
 		r.Matches().Each(func(p er.Pair) bool {
 			a, _ := r.Get(p.A)

@@ -108,3 +108,47 @@ func TestLoadHelpers(t *testing.T) {
 		t.Fatal("missing truth accepted")
 	}
 }
+
+// TestWatchWalResume replays an op log with -wal twice: the first run
+// journals everything, the second recovers from the directory and skips the
+// already-applied prefix — the resume-after-restart workflow.
+func TestWatchWalResume(t *testing.T) {
+	ops := []er.StreamOp{
+		{Kind: er.StreamInsert, URI: "u:a", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+		{Kind: er.StreamInsert, URI: "u:b", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+		{Kind: er.StreamInsert, URI: "u:c", Attrs: []er.Attribute{{Name: "name", Value: "carol jones"}}},
+		{Kind: er.StreamUpdate, URI: "u:c", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+	}
+	var buf bytes.Buffer
+	if err := er.WriteStreamOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opsPath := filepath.Join(dir, "ops.jsonl")
+	if err := os.WriteFile(opsPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+	// First run journals all 4 ops; the rerun resumes, skips them all, and
+	// leaves the same final state. Runs exercise both the snapshot path
+	// (cadence 2 ⇒ snapshots mid-stream) and plain tail replay.
+	watch([]string{"-ops", opsPath, "-wal", walDir, "-snapshot-every", "2", "-wal-nosync", "-print-matches"})
+	watch([]string{"-ops", opsPath, "-wal", walDir, "-snapshot-every", "2", "-wal-nosync", "-print-matches"})
+
+	// The WAL directory holds the full state: reopening it directly shows
+	// all four ops applied exactly once.
+	r, err := er.PersistentResolver(walDir, er.StreamingConfig{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.4},
+		Durable: er.StreamingDurable{NoSync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st := r.Stats()
+	if st.Inserts != 3 || st.Updates != 1 || st.Live != 3 {
+		t.Fatalf("state after resume: %+v, want 3 inserts + 1 update applied once", st)
+	}
+}

@@ -22,9 +22,13 @@
 //     schedulers and the budgeted runner;
 //   - streaming resolution: StreamingResolver maintaining blocks, matches
 //     and clusters under live insert/update/delete traffic, with an op-log
-//     exchange format (ReadStreamOps/WriteStreamOps) and optional live
+//     exchange format (ReadStreamOps/WriteStreamOps), optional live
 //     meta-blocking (StreamingConfig.Meta: WEP/WNP pruning of CBS/ECBS/JS
-//     weights over the incrementally-maintained WeightedBlockingGraph);
+//     weights over the incrementally-maintained WeightedBlockingGraph),
+//     and a durable storage layer (PersistentResolver: every operation
+//     journaled to fsync'd CRC-framed WAL segments, compacted into
+//     snapshots, crash-recovered by snapshot restore plus bounded tail
+//     replay);
 //   - the Pipeline tying the phases together (Fig. 1 of the paper);
 //   - synthetic data generation, N-Triples I/O and evaluation metrics.
 //
@@ -360,10 +364,43 @@ const (
 	StreamDelete = incremental.OpDelete
 )
 
+// Durable streaming resolution: the WAL-backed storage layer.
+type (
+	// StreamingDurable tunes a persistent resolver's write-ahead log:
+	// segment rotation size, snapshot-compaction cadence and fsync policy
+	// (StreamingConfig.Durable).
+	StreamingDurable = incremental.DurableOptions
+	// StreamingRecovery reports what PersistentResolver restored: whether
+	// state was found, the snapshot anchor, and how many WAL records the
+	// bounded tail replay touched (StreamingResolver.Recovery).
+	StreamingRecovery = incremental.RecoveryInfo
+	// StreamJournal is the pluggable journal a resolver writes every
+	// operation through before applying it; the in-memory resolver uses a
+	// no-op implementation, PersistentResolver the WAL-backed one.
+	StreamJournal = incremental.Journal
+	// StreamRecord is one journaled operation in replayable form.
+	StreamRecord = incremental.Record
+)
+
 // NewStreamingResolver validates the configuration and returns an empty
-// streaming resolver.
+// in-memory streaming resolver (nothing is persisted).
 func NewStreamingResolver(cfg StreamingConfig) (*StreamingResolver, error) {
 	return incremental.New(cfg)
+}
+
+// PersistentResolver opens a durable streaming resolver backed by a
+// write-ahead log in dir, creating it on first use. Every operation is
+// journaled (fsync'd, CRC-framed segment files) before it is applied and
+// periodically compacted into a snapshot of the full resolver state —
+// surviving descriptions, blocks, match graph, weighted blocking graph and
+// counters — so reopening the directory after a crash restores the
+// snapshot and replays only the WAL tail. The recovered resolver is
+// bit-identical to one that processed the acknowledged operations without
+// interruption; use StreamingResolver.Recovery to inspect what was
+// restored, Compact to checkpoint on demand, Snapshot to materialize the
+// live state, and Close to seal the journal.
+func PersistentResolver(dir string, cfg StreamingConfig) (*StreamingResolver, error) {
+	return incremental.OpenResolver(dir, cfg)
 }
 
 // NewBlockIndex returns an empty incremental block index.

@@ -106,6 +106,19 @@ type Pipeline struct {
 	// GroundTruth, when provided, annotates the progressive recall curve;
 	// it never influences resolution.
 	GroundTruth *entity.Matches
+	// StreamDir, in Streaming mode, makes the resolver durable: every
+	// operation is journaled to a write-ahead log in this directory and
+	// periodically compacted into snapshots, and an existing directory is
+	// crash-recovered (snapshot restore plus tail replay) before the
+	// collection streams in — see incremental.OpenResolver. Empty means
+	// in-memory streaming. Replaying a collection into a directory that
+	// already holds its descriptions fails on the duplicate URIs; persistent
+	// pipelines are for fresh directories or resumed streams whose
+	// collections carry only the new arrivals.
+	StreamDir string
+	// StreamDurable tunes the StreamDir journal (segment size, snapshot
+	// cadence, fsync policy).
+	StreamDurable incremental.DurableOptions
 }
 
 // PhaseStat records one framework phase execution.
@@ -146,6 +159,12 @@ func (p *Pipeline) Validate() error {
 	if p.Mode == Collective && p.CollectiveConfig == nil && p.Matcher == nil {
 		return fmt.Errorf("core: collective mode requires CollectiveConfig or Matcher")
 	}
+	if p.StreamDir != "" && p.Mode != Streaming {
+		return fmt.Errorf("core: StreamDir (durable streaming) requires %s mode, got %s", Streaming, p.Mode)
+	}
+	if p.StreamDurable != (incremental.DurableOptions{}) && p.StreamDir == "" {
+		return fmt.Errorf("core: StreamDurable tunes the StreamDir journal and requires StreamDir to be set")
+	}
 	if p.Mode == Streaming {
 		if _, ok := p.Blocker.(blocking.StreamableBlocker); !ok {
 			return fmt.Errorf("core: streaming mode requires a collection-independent blocker (blocking.StreamableBlocker), got %q", p.Blocker.Name())
@@ -166,22 +185,28 @@ func (p *Pipeline) Validate() error {
 }
 
 // StreamingSetup builds the incremental resolver for a Streaming-mode
-// pipeline over a collection of the given kind. Shared by the sequential
-// runner and the concurrent engine so both construct identical resolvers
-// (the engine passes its worker count; the match output is
-// worker-independent).
+// pipeline over a collection of the given kind — durable (crash-recovered
+// from StreamDir) when the pipeline sets one, in-memory otherwise. Shared
+// by the sequential runner and the concurrent engine so both construct
+// identical resolvers (the engine passes its worker count; the match output
+// is worker-independent).
 func (p *Pipeline) StreamingSetup(kind entity.Kind, workers int) (*incremental.Resolver, error) {
 	sb, ok := p.Blocker.(blocking.StreamableBlocker)
 	if !ok {
 		return nil, fmt.Errorf("core: streaming mode requires a blocking.StreamableBlocker")
 	}
-	return incremental.New(incremental.Config{
+	cfg := incremental.Config{
 		Kind:    kind,
 		Blocker: sb,
 		Matcher: p.Matcher,
 		Workers: workers,
 		Meta:    p.Meta,
-	})
+		Durable: p.StreamDurable,
+	}
+	if p.StreamDir != "" {
+		return incremental.OpenResolver(p.StreamDir, cfg)
+	}
+	return incremental.New(cfg)
 }
 
 // ReplayStreaming replays c through a fresh incremental resolver built
@@ -195,6 +220,10 @@ func (p *Pipeline) ReplayStreaming(ctx context.Context, res *Result, c *entity.C
 	if err != nil {
 		return err
 	}
+	// Close releases a durable resolver's journal once the results are
+	// extracted (Close is idempotent and a cheap no-op for in-memory runs);
+	// the deferred call covers the error paths.
+	defer r.Close()
 	for _, d := range c.All() {
 		if _, err := r.Insert(ctx, d); err != nil {
 			return err
@@ -213,7 +242,7 @@ func (p *Pipeline) ReplayStreaming(ctx context.Context, res *Result, c *entity.C
 	}
 	res.Matches = r.Matches()
 	res.Comparisons = r.Stats().Comparisons
-	return nil
+	return r.Close()
 }
 
 // CollectiveSetup returns the collective-mode configuration with the

@@ -10,6 +10,7 @@ import (
 	"entityres/internal/blocking"
 	"entityres/internal/blockproc"
 	"entityres/internal/entity"
+	"entityres/internal/incremental"
 	"entityres/internal/matching"
 	"entityres/internal/metablocking"
 )
@@ -242,5 +243,75 @@ func TestStreamingDuplicateURIs(t *testing.T) {
 func TestStreamingModeString(t *testing.T) {
 	if Streaming.String() != "streaming" {
 		t.Fatalf("Streaming.String() = %q", Streaming.String())
+	}
+}
+
+// TestPipelineStreamingPersistence: a Streaming pipeline with StreamDir set
+// journals its replay into a WAL directory and produces exactly the
+// in-memory streaming (= batch) result; reopening the directory afterwards
+// recovers the replayed state.
+func TestPipelineStreamingPersistence(t *testing.T) {
+	c, _ := testData(t)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	dir := t.TempDir()
+	mem := &Pipeline{Blocker: &blocking.TokenBlocking{}, Matcher: m, Mode: Streaming}
+	dur := &Pipeline{Blocker: &blocking.TokenBlocking{}, Matcher: m, Mode: Streaming,
+		StreamDir: dir, StreamDurable: incremental.DurableOptions{NoSync: true, SnapshotEvery: 8}}
+
+	want, err := mem.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dur.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Matches.Len() != got.Matches.Len() || want.Comparisons != got.Comparisons {
+		t.Fatalf("durable streaming run diverges: %d/%d matches, %d/%d comparisons",
+			got.Matches.Len(), want.Matches.Len(), got.Comparisons, want.Comparisons)
+	}
+	// The directory now holds the whole replay: reopening it recovers the
+	// resolved state without the collection.
+	r, err := incremental.OpenResolver(dir, incremental.Config{
+		Kind: c.Kind(), Blocker: &blocking.TokenBlocking{}, Matcher: m,
+		Durable: incremental.DurableOptions{NoSync: true, SnapshotEvery: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Recovery().Recovered {
+		t.Fatal("StreamDir left no recoverable state")
+	}
+	st := r.Stats()
+	if st.Live != c.Len() || st.Matches != want.Matches.Len() || st.Comparisons != want.Comparisons {
+		t.Fatalf("recovered state %+v diverges from the pipeline result (%d matches, %d comparisons)",
+			st, want.Matches.Len(), want.Comparisons)
+	}
+	// A second durable run into the same directory collides with the live
+	// URIs and fails instead of corrupting state.
+	if _, err := dur.Run(c); err == nil {
+		t.Fatal("re-running a persistent pipeline into a populated directory succeeded")
+	}
+}
+
+// TestPipelineStreamDirValidation: durable streaming is a Streaming-mode
+// option; every other mode rejects it.
+func TestPipelineStreamDirValidation(t *testing.T) {
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	p := &Pipeline{Blocker: &blocking.TokenBlocking{}, Matcher: m, Mode: Batch, StreamDir: t.TempDir()}
+	if err := p.Validate(); err == nil {
+		t.Fatal("StreamDir accepted outside Streaming mode")
+	}
+	p.Mode = Streaming
+	if err := p.Validate(); err != nil {
+		t.Fatalf("StreamDir rejected in Streaming mode: %v", err)
+	}
+	// Durability tuning without a StreamDir would be silently ignored;
+	// Validate refuses it instead.
+	p.StreamDir = ""
+	p.StreamDurable = incremental.DurableOptions{NoSync: true}
+	if err := p.Validate(); err == nil {
+		t.Fatal("StreamDurable accepted without StreamDir")
 	}
 }

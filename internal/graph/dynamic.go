@@ -231,6 +231,24 @@ func (d *Dynamic) Clusters() [][]entity.ID {
 	return out
 }
 
+// SnapshotEdges returns the dynamic graph's edges sorted by (A, B) — the
+// serializable form of its state. The component index is derivable from the
+// edge set, so edges are the whole snapshot: DynamicFromEdges rebuilds an
+// equivalent structure (identical Matches, Clusters and Same answers) from
+// them. This is the snapshot codec the durable streaming resolver persists
+// the match graph through.
+func (d *Dynamic) SnapshotEdges() []Edge { return d.g.Edges() }
+
+// DynamicFromEdges rebuilds a dynamic component structure from a snapshot
+// edge set, re-deriving the components by edge insertion.
+func DynamicFromEdges(edges []Edge) *Dynamic {
+	d := NewDynamic()
+	for _, e := range edges {
+		d.AddEdge(e.A, e.B, e.Weight)
+	}
+	return d
+}
+
 // Matches materializes the current match edges as an entity.Matches.
 func (d *Dynamic) Matches() *entity.Matches {
 	m := entity.NewMatches()

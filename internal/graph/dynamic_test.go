@@ -244,3 +244,41 @@ func TestDynamicRemoveEdgesBulk(t *testing.T) {
 		t.Fatal("empty batch removed something")
 	}
 }
+
+// TestDynamicSnapshotRoundTrip: the edge set is the whole snapshot — a
+// structure rebuilt from SnapshotEdges answers Matches, Clusters and Same
+// identically and keeps maintaining correctly afterwards.
+func TestDynamicSnapshotRoundTrip(t *testing.T) {
+	d := NewDynamic()
+	for _, e := range [][2]entity.ID{{1, 2}, {2, 3}, {5, 6}, {6, 7}, {7, 5}, {9, 10}} {
+		d.AddEdge(e[0], e[1], 1)
+	}
+	d.RemoveNode(10) // leave a trace of node-removal history behind
+
+	edges := d.SnapshotEdges()
+	got := DynamicFromEdges(edges)
+	if !reflect.DeepEqual(got.Clusters(), d.Clusters()) {
+		t.Fatalf("Clusters after round trip = %v, want %v", got.Clusters(), d.Clusters())
+	}
+	if got.NumEdges() != d.NumEdges() {
+		t.Fatalf("NumEdges after round trip = %d, want %d", got.NumEdges(), d.NumEdges())
+	}
+	if !reflect.DeepEqual(got.SnapshotEdges(), edges) {
+		t.Fatal("snapshot of restored structure differs")
+	}
+	if got.Same(1, 3) != d.Same(1, 3) || got.Same(1, 5) != d.Same(1, 5) {
+		t.Fatal("Same answers diverge after round trip")
+	}
+	// Post-restore maintenance stays equivalent.
+	d.RemoveEdge(2, 3)
+	got.RemoveEdge(2, 3)
+	d.AddEdge(3, 5, 1)
+	got.AddEdge(3, 5, 1)
+	if !reflect.DeepEqual(got.Clusters(), d.Clusters()) {
+		t.Fatalf("post-restore maintenance diverges: %v vs %v", got.Clusters(), d.Clusters())
+	}
+	// Empty snapshot round trip.
+	if e := NewDynamic().SnapshotEdges(); len(e) != 0 {
+		t.Fatalf("empty snapshot has %d edges", len(e))
+	}
+}

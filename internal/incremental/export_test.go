@@ -1,0 +1,19 @@
+package incremental
+
+// Abandon simulates a process crash for the test suite: the journal's file
+// handles — and with them the WAL directory lock, which the kernel would
+// release when a crashed process exits — are dropped with none of the
+// graceful shutdown work (no checkpoint, no reconcile, no final
+// compaction). The on-disk state is exactly what the journaled operations
+// left there, which is what crash-recovery tests must reopen from.
+func (r *Resolver) Abandon() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.journal.(*walJournal); ok {
+		// Close releases the fds and the flock without writing any record;
+		// the fsync it performs only hardens bytes the journal already
+		// acknowledged, so the logical file content is untouched.
+		j.log.Close()
+	}
+	r.broken = errClosed
+}

@@ -1,0 +1,471 @@
+// The resolver's durable storage layer: every Insert, Update and Delete is
+// journaled through a pluggable Journal BEFORE it is applied, so a
+// WAL-backed journal (wal.Log segments + snapshot compaction) can restore a
+// crashed resolver to exactly the state the acknowledged operations built.
+//
+// The write path is journal-then-apply with retraction: the operation's
+// Record is durably appended first; if the apply then fails (the only
+// non-validation failure is context cancellation inside delta matching),
+// the record is truncated back out of the log, so the journal always holds
+// exactly the operations the caller saw succeed. A rolled-back insert still
+// burns a collection slot in memory; replay reproduces burned slots from
+// the handle gaps the surviving insert records exhibit, keeping recovered
+// handles identical to the original run's.
+//
+// Compaction bounds recovery: every DurableOptions.SnapshotEvery journaled
+// records the resolver rotates the log, writes a snapshot of its full state
+// (surviving descriptions with their blocking keys, match graph, weighted
+// blocking graph, matcher-decision cache, counters) named after the new
+// active segment, and deletes the segments the snapshot covers. OpenResolver
+// restores the latest snapshot and replays only the tail — the records
+// journaled after it.
+package incremental
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"entityres/internal/entity"
+	"entityres/internal/wal"
+)
+
+// replayCtx is the context recovery replays under: replay never cancels,
+// so every journaled operation re-applies deterministically.
+var replayCtx = context.Background()
+
+// Record is one resolver operation in its journaled, replayable form.
+type Record struct {
+	// Kind is the operation.
+	Kind OpKind
+	// ID is the handle the operation targets — for inserts, the handle the
+	// resolver is about to assign, which replay verifies (and uses to
+	// reproduce slots burned by rolled-back inserts).
+	ID entity.ID
+	// URI and Source describe an inserted description.
+	URI    string
+	Source int
+	// Attrs is the full attribute set (insert, update).
+	Attrs []entity.Attribute
+}
+
+// Journal persists the resolver's operation stream ahead of application.
+// The in-memory resolver runs on the no-op implementation; OpenResolver
+// installs the WAL-backed one. Implementations are called with the
+// resolver's mutex held and need not be safe for concurrent use.
+type Journal interface {
+	// Record durably appends rec before the resolver applies it.
+	Record(rec Record) error
+	// Rollback retracts the most recently recorded record after its apply
+	// failed, so the journal holds exactly the acknowledged operations.
+	Rollback() error
+	// Checkpoint durably persists an encoded snapshot of the resolver's
+	// full state and truncates the journal so recovery replays only records
+	// appended after this call.
+	Checkpoint(snapshot []byte) error
+	// Close releases the journal. Already-journaled records stay durable.
+	Close() error
+}
+
+// nopJournal is the in-memory resolver's journal: nothing is persisted,
+// nothing is replayed — the pre-durability behavior, at zero cost.
+type nopJournal struct{}
+
+func (nopJournal) Record(Record) error     { return nil }
+func (nopJournal) Rollback() error         { return nil }
+func (nopJournal) Checkpoint([]byte) error { return nil }
+func (nopJournal) Close() error            { return nil }
+
+// DurableOptions tunes the WAL-backed journal behind OpenResolver. New
+// ignores it.
+type DurableOptions struct {
+	// SegmentBytes rotates the active WAL segment once it would exceed this
+	// size (default wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// SnapshotEvery compacts — snapshot plus WAL truncation — after this
+	// many journaled operations (default DefaultSnapshotEvery; negative
+	// disables automatic compaction, leaving cadence to explicit Compact
+	// calls).
+	SnapshotEvery int
+	// NoSync skips the per-append fsync. A process crash loses nothing (the
+	// page cache survives it); a machine crash may lose operations
+	// acknowledged since the last sync. For tests, benchmarks and workloads
+	// that can afford to replay.
+	NoSync bool
+}
+
+// DefaultSnapshotEvery is the automatic compaction cadence when
+// DurableOptions.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 1024
+
+// RecoveryInfo describes what OpenResolver restored.
+type RecoveryInfo struct {
+	// Recovered reports whether existing state was found in the directory.
+	Recovered bool
+	// SnapshotSegment is the WAL segment the restored snapshot is named
+	// after — replay started there; 0 when no snapshot was found.
+	SnapshotSegment uint64
+	// ReplayedRecords counts the journal records replayed after the
+	// snapshot: the recovery cost, bounded by the tail of the stream —
+	// at most SnapshotEvery operations plus their interleaved reconcile
+	// records (each requires a preceding operation, so the tail never
+	// exceeds twice the compaction cadence) — never by its lifetime.
+	ReplayedRecords int
+}
+
+// recordJSON is the wire form of a journal record, one JSON object per WAL
+// frame.
+type recordJSON struct {
+	Op     string     `json:"op"`
+	ID     int        `json:"id"`
+	URI    string     `json:"uri,omitempty"`
+	Source int        `json:"source,omitempty"`
+	Attrs  []attrJSON `json:"attrs,omitempty"`
+}
+
+// encodeRecord serializes a record for the WAL.
+func encodeRecord(rec Record) ([]byte, error) {
+	j := recordJSON{Op: rec.Kind.String(), ID: rec.ID, URI: rec.URI, Source: rec.Source}
+	for _, a := range rec.Attrs {
+		j.Attrs = append(j.Attrs, attrJSON{Name: a.Name, Value: a.Value})
+	}
+	payload, err := json.Marshal(j)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: encoding journal record: %w", err)
+	}
+	return payload, nil
+}
+
+// decodeRecord parses a WAL frame back into a record.
+func decodeRecord(payload []byte) (Record, error) {
+	var j recordJSON
+	if err := json.Unmarshal(payload, &j); err != nil {
+		return Record{}, fmt.Errorf("incremental: decoding journal record: %w", err)
+	}
+	rec := Record{ID: j.ID, URI: j.URI, Source: j.Source}
+	switch j.Op {
+	case "insert":
+		rec.Kind = OpInsert
+	case "update":
+		rec.Kind = OpUpdate
+	case "delete":
+		rec.Kind = OpDelete
+	case "reconcile":
+		rec.Kind = OpReconcile
+	default:
+		return Record{}, fmt.Errorf("incremental: journal record has unknown op %q", j.Op)
+	}
+	for _, a := range j.Attrs {
+		rec.Attrs = append(rec.Attrs, entity.Attribute{Name: a.Name, Value: a.Value})
+	}
+	return rec, nil
+}
+
+// walJournal is the WAL-backed journal: records go to fsync'd segment
+// files, checkpoints to atomically-renamed snapshot files named after the
+// segment replay resumes from.
+type walJournal struct {
+	log      *wal.Log
+	dir      string
+	last     wal.Position
+	haveLast bool
+}
+
+func (j *walJournal) Record(rec Record) error {
+	payload, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	pos, err := j.log.Append(payload)
+	if err != nil {
+		return fmt.Errorf("incremental: journal append: %w", err)
+	}
+	j.last, j.haveLast = pos, true
+	return nil
+}
+
+func (j *walJournal) Rollback() error {
+	if !j.haveLast {
+		return fmt.Errorf("incremental: journal rollback without a recorded operation")
+	}
+	j.haveLast = false
+	if err := j.log.TruncateTo(j.last); err != nil {
+		return fmt.Errorf("incremental: journal rollback: %w", err)
+	}
+	return nil
+}
+
+func (j *walJournal) Checkpoint(snapshot []byte) error {
+	seq, err := j.log.Rotate()
+	if err != nil {
+		return fmt.Errorf("incremental: checkpoint rotate: %w", err)
+	}
+	j.haveLast = false
+	if err := wal.WriteFileAtomic(filepath.Join(j.dir, snapshotFile(seq)), snapshot); err != nil {
+		return fmt.Errorf("incremental: writing snapshot: %w", err)
+	}
+	// The snapshot is durable: everything before it is dead weight. A crash
+	// between these steps only leaves garbage that the next checkpoint
+	// removes; recovery always anchors on the newest snapshot.
+	if err := j.log.RemoveSegmentsBefore(seq); err != nil {
+		return fmt.Errorf("incremental: pruning segments: %w", err)
+	}
+	if err := removeSnapshotsBefore(j.dir, seq); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (j *walJournal) Close() error { return j.log.Close() }
+
+// snapshotFile names the snapshot covering every record before segment seq.
+func snapshotFile(seq uint64) string {
+	return fmt.Sprintf("snapshot-%016d.snap", seq)
+}
+
+// listSnapshots returns the snapshot sequence numbers in dir, ascending.
+// Snapshot files follow the WAL's numbered-file naming, so the listing is
+// the wal package's.
+func listSnapshots(dir string) ([]uint64, error) {
+	seqs, err := wal.ListNumberedFiles(dir, "snapshot-", ".snap")
+	if err != nil {
+		return nil, fmt.Errorf("incremental: %w", err)
+	}
+	return seqs, nil
+}
+
+// removeSnapshotsBefore deletes superseded snapshot files.
+func removeSnapshotsBefore(dir string, seq uint64) error {
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range seqs {
+		if s >= seq {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, snapshotFile(s))); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("incremental: pruning snapshot %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// OpenResolver opens a durable streaming resolver backed by a write-ahead
+// log in dir, creating the directory on first use. An existing directory is
+// recovered: the newest snapshot is restored (its configuration fingerprint
+// — kind, blocker, matcher, meta-blocker — must match cfg, or OpenResolver
+// fails rather than silently diverge), the WAL tail is replayed through the
+// normal apply path, and a torn final record left by a crash mid-append is
+// truncated away by the WAL layer. The recovered resolver is
+// indistinguishable from one that processed the acknowledged operations
+// without interruption: same handles, matches, clusters, blocks and
+// counters.
+//
+// Every subsequent operation is journaled (fsync'd unless
+// cfg.Durable.NoSync) before it is applied, and every
+// cfg.Durable.SnapshotEvery operations the journal is compacted into a
+// fresh snapshot so recovery replays only the tail. Close the resolver to
+// release the journal; a resolver that is never closed loses nothing
+// beyond, at worst, the single operation a crash interrupts — which its
+// caller never saw acknowledged.
+func OpenResolver(dir string, cfg Config) (*Resolver, error) {
+	r, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(dir, wal.Options{SegmentBytes: cfg.Durable.SegmentBytes, NoSync: cfg.Durable.NoSync})
+	if err != nil {
+		return nil, fmt.Errorf("incremental: opening wal: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			log.Close()
+		}
+	}()
+
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	var from uint64
+	if len(snaps) > 0 {
+		seq := snaps[len(snaps)-1]
+		payload, err := wal.ReadFileFramed(filepath.Join(dir, snapshotFile(seq)))
+		if err != nil {
+			return nil, fmt.Errorf("incremental: reading snapshot %d: %w", seq, err)
+		}
+		if err := r.restoreSnapshot(payload); err != nil {
+			return nil, err
+		}
+		from = seq
+		r.recovery.SnapshotSegment = seq
+	}
+	replayed, err := log.Replay(from, func(payload []byte) error {
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		return r.replayRecord(rec)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("incremental: wal replay: %w", err)
+	}
+	r.recovery.ReplayedRecords = replayed
+	r.recovery.Recovered = len(snaps) > 0 || replayed > 0
+
+	r.journal = &walJournal{log: log, dir: dir}
+	r.snapEvery = cfg.Durable.SnapshotEvery
+	if r.snapEvery == 0 {
+		r.snapEvery = DefaultSnapshotEvery
+	}
+	if r.snapEvery < 0 {
+		r.snapEvery = 0
+	}
+	r.sinceSnap = replayed
+	// Checkpoint right away when the directory has no snapshot (first open,
+	// or snapshots lost) or the replayed tail already exceeds the cadence —
+	// every recovery then anchors on a snapshot, and the configuration
+	// fingerprint becomes durable from the first operation on.
+	if len(snaps) == 0 || (r.snapEvery > 0 && r.sinceSnap >= r.snapEvery) {
+		if err := r.compactLocked(); err != nil {
+			return nil, err
+		}
+	}
+	ok = true
+	return r, nil
+}
+
+// Compact forces a checkpoint now: the resolver's full state is snapshot
+// and the journal truncated, independent of the automatic cadence. A no-op
+// (with a no-op journal) for in-memory resolvers.
+func (r *Resolver) Compact() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.broken != nil {
+		return r.broken
+	}
+	return r.compactLocked()
+}
+
+// Close seals the resolver's journal. Reads keep working on the in-memory
+// state; mutating operations fail afterwards. Closing an in-memory resolver
+// only disables further mutation.
+func (r *Resolver) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.broken == errClosed {
+		return nil
+	}
+	r.broken = errClosed
+	return r.journal.Close()
+}
+
+// Recovery reports what OpenResolver restored; the zero value for resolvers
+// built with New or opened on a fresh directory.
+func (r *Resolver) Recovery() RecoveryInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recovery
+}
+
+var errClosed = fmt.Errorf("incremental: resolver is closed")
+
+// maybeCompact advances the compaction cadence after a journaled operation.
+// Callers hold r.mu.
+func (r *Resolver) maybeCompact() error {
+	if r.snapEvery <= 0 {
+		return nil
+	}
+	r.sinceSnap++
+	if r.sinceSnap < r.snapEvery {
+		return nil
+	}
+	return r.compactLocked()
+}
+
+// compactLocked snapshots the full resolver state through the journal's
+// checkpoint. Callers hold r.mu.
+func (r *Resolver) compactLocked() error {
+	payload, err := r.encodeSnapshot()
+	if err != nil {
+		return fmt.Errorf("incremental: encoding snapshot: %w", err)
+	}
+	if err := r.journal.Checkpoint(payload); err != nil {
+		return fmt.Errorf("incremental: compaction (the triggering operation is applied and durable): %w", err)
+	}
+	r.sinceSnap = 0
+	return nil
+}
+
+// retractRecord rolls the journal back after a failed apply. If the
+// rollback itself fails the journal no longer mirrors memory, so the
+// resolver refuses every further mutation rather than let the divergence
+// reach disk. Callers hold r.mu.
+func (r *Resolver) retractRecord() {
+	if err := r.journal.Rollback(); err != nil {
+		r.broken = fmt.Errorf("incremental: journal rollback failed, resolver disabled: %v", err)
+	}
+}
+
+// replayRecord re-applies one journaled operation during recovery, under a
+// background context (replay never cancels). Handle gaps between the next
+// free slot and an insert record's assigned handle reproduce the slots that
+// rolled-back inserts burned in the original run.
+func (r *Resolver) replayRecord(rec Record) error {
+	switch rec.Kind {
+	case OpInsert:
+		if rec.ID < r.coll.Len() {
+			return fmt.Errorf("incremental: journal insert assigns handle %d but %d slots already exist", rec.ID, r.coll.Len())
+		}
+		for r.coll.Len() < rec.ID {
+			r.burnSlot()
+		}
+		d := &entity.Description{ID: -1, URI: rec.URI, Source: rec.Source, Attrs: rec.Attrs}
+		id, err := r.applyInsert(replayCtx, d)
+		if err != nil {
+			return fmt.Errorf("incremental: replaying insert of %q: %w", rec.URI, err)
+		}
+		if id != rec.ID {
+			return fmt.Errorf("incremental: replay assigned handle %d, journal recorded %d", id, rec.ID)
+		}
+		return nil
+	case OpUpdate:
+		if !r.isLive(rec.ID) {
+			return fmt.Errorf("incremental: journal updates handle %d, which is not live at this point of the log", rec.ID)
+		}
+		if err := r.applyUpdate(replayCtx, rec.ID, rec.Attrs); err != nil {
+			return fmt.Errorf("incremental: replaying update of %d: %w", rec.ID, err)
+		}
+		return nil
+	case OpDelete:
+		if !r.isLive(rec.ID) {
+			return fmt.Errorf("incremental: journal deletes handle %d, which is not live at this point of the log", rec.ID)
+		}
+		r.applyDelete(rec.ID)
+		return nil
+	case OpReconcile:
+		// Re-run the deferred meta-blocking reconcile at the same point of
+		// the stream the original read performed it: the evaluated pairs,
+		// cached decisions and comparison counts come out identical. During
+		// replay the journal is still the no-op one, so this does not
+		// re-journal.
+		if err := r.reconcile(replayCtx); err != nil {
+			return fmt.Errorf("incremental: replaying reconcile: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("incremental: journal record has unknown kind %v", rec.Kind)
+	}
+}
+
+// burnSlot occupies the next collection slot with a dead placeholder — the
+// replay-side image of an insert that was journaled, failed to apply, and
+// was retracted, but had already consumed the slot.
+func (r *Resolver) burnSlot() {
+	r.coll.MustAdd(&entity.Description{ID: -1})
+	r.live = append(r.live, false)
+}

@@ -79,6 +79,21 @@ func (r *Resolver) reconcile(ctx context.Context) error {
 	if r.weighted == nil || !r.metaDirty {
 		return nil
 	}
+	// An effective reconcile mutates state — decisions are evaluated,
+	// cached and counted — so a durable resolver journals it like any
+	// operation and recovery replays it at the same point of the stream,
+	// keeping the comparison counters and decision cache bit-exact across a
+	// crash. If journaling fails the in-memory read below is still correct,
+	// but the log can no longer reproduce it: poison further writes rather
+	// than diverge silently.
+	journaled := false
+	if r.broken == nil {
+		if err := r.journal.Record(Record{Kind: OpReconcile}); err != nil {
+			r.broken = fmt.Errorf("incremental: journaling reconcile failed, resolver disabled: %v", err)
+		} else {
+			journaled = true
+		}
+	}
 	// Materialize and prune with the exact batch code path
 	// (WeightedGraph.Graph + the WEP/WNP pruners), so identical statistics
 	// yield bit-identical surviving edges. WEP and WNP never consult the
@@ -118,6 +133,10 @@ func (r *Resolver) reconcile(ctx context.Context) error {
 			// the work pending. Partial comparisons are not counted —
 			// Stats.Comparisons sums completed reconciles only, keeping it
 			// equal to a batch run's count on replayed static collections.
+			// The journal record is retracted with the work still pending.
+			if journaled {
+				r.retractRecord()
+			}
 			return fmt.Errorf("incremental: meta reconcile: %w", err)
 		}
 		r.stats.Comparisons += out.Comparisons

@@ -21,6 +21,13 @@ const (
 	OpUpdate
 	// OpDelete removes an existing description.
 	OpDelete
+	// OpReconcile marks an effective deferred meta-blocking reconcile in a
+	// durable resolver's journal. Reads mutate state under live
+	// meta-blocking — matcher decisions are evaluated, cached and counted —
+	// so the journal records them and recovery replays them, keeping
+	// comparison counters and decision caches bit-exact across a crash.
+	// OpReconcile never appears in URI operation logs (ReadOps rejects it).
+	OpReconcile
 )
 
 // String implements fmt.Stringer.
@@ -32,6 +39,8 @@ func (k OpKind) String() string {
 		return "update"
 	case OpDelete:
 		return "delete"
+	case OpReconcile:
+		return "reconcile"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -85,9 +94,17 @@ type attrJSON struct {
 	Value string `json:"value"`
 }
 
-// WriteOps serializes operations as JSON lines.
-func WriteOps(w io.Writer, ops []Op) error {
+// WriteOps serializes operations as JSON lines through a buffered writer.
+// The buffer is flushed — and the flush error checked — on every return
+// path, including an early return from a mid-stream encoding failure, so a
+// sink error can never be silently swallowed by buffering.
+func WriteOps(w io.Writer, ops []Op) (err error) {
 	bw := bufio.NewWriter(w)
+	defer func() {
+		if ferr := bw.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("incremental: flushing ops: %w", ferr)
+		}
+	}()
 	enc := json.NewEncoder(bw)
 	for i, op := range ops {
 		j := opJSON{Op: op.Kind.String(), URI: op.URI, Source: op.Source}
@@ -98,7 +115,7 @@ func WriteOps(w io.Writer, ops []Op) error {
 			return fmt.Errorf("incremental: op %d: %w", i, err)
 		}
 	}
-	return bw.Flush()
+	return nil
 }
 
 // ReadOps parses a JSON-lines operation log. Blank lines and lines starting

@@ -1,0 +1,63 @@
+package incremental_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+	"entityres/internal/incremental"
+)
+
+// failingWriter accepts capacity bytes, then errors on every write.
+type failingWriter struct{ capacity int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.capacity <= 0 {
+		return 0, fmt.Errorf("sink full")
+	}
+	if len(p) > w.capacity {
+		n := w.capacity
+		w.capacity = 0
+		return n, fmt.Errorf("sink full")
+	}
+	w.capacity -= len(p)
+	return len(p), nil
+}
+
+// TestWriteOpsSurfacesSinkErrors: WriteOps buffers through a bufio.Writer,
+// so a sink error can only surface at flush time — it must be checked on
+// every return path, including the early return of a mid-stream failure.
+func TestWriteOpsSurfacesSinkErrors(t *testing.T) {
+	op := incremental.Op{Kind: incremental.OpInsert, URI: "u:x",
+		Attrs: []entity.Attribute{{Name: "name", Value: strings.Repeat("v", 64)}}}
+
+	// Small batch: every encode lands in the buffer, only the final flush
+	// touches the broken sink.
+	if err := incremental.WriteOps(&failingWriter{}, []incremental.Op{op}); err == nil {
+		t.Fatal("WriteOps swallowed the final-flush error")
+	}
+	// Large batch: the buffer fills mid-loop, the encoder hits the sink
+	// error early, and WriteOps returns it (with the deferred flush not
+	// masking it).
+	big := make([]incremental.Op, 256)
+	for i := range big {
+		big[i] = op
+	}
+	err := incremental.WriteOps(&failingWriter{capacity: 512}, big)
+	if err == nil {
+		t.Fatal("WriteOps swallowed a mid-stream sink error")
+	}
+	if !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("sink error not propagated: %v", err)
+	}
+	// A healthy sink round-trips.
+	var sb strings.Builder
+	if err := incremental.WriteOps(&sb, []incremental.Op{op}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := incremental.ReadOps(strings.NewReader(sb.String()))
+	if err != nil || len(got) != 1 || got[0].URI != "u:x" {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+}

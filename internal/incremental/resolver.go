@@ -66,6 +66,11 @@ type Config struct {
 	// JS weights (metablocking.MetaBlocker.ValidateStreaming); EJS, ARCS,
 	// CEP and CNP are batch-only and rejected with a specific error.
 	Meta *metablocking.MetaBlocker
+	// Durable tunes the WAL-backed journal of a resolver opened with
+	// OpenResolver — segment rotation size, snapshot-compaction cadence and
+	// fsync policy. New ignores it: in-memory resolvers run on the no-op
+	// journal.
+	Durable DurableOptions
 }
 
 // Stats summarizes the work a resolver has performed.
@@ -98,6 +103,21 @@ func (s Stats) String() string {
 type Resolver struct {
 	cfg   Config
 	keyer blocking.KeyFunc
+
+	// journal persists every operation before it is applied (see
+	// journal.go). New installs the no-op journal; OpenResolver the
+	// WAL-backed one.
+	journal Journal
+	// snapEvery > 0 compacts the journal every snapEvery operations;
+	// sinceSnap counts operations since the last checkpoint.
+	snapEvery int
+	sinceSnap int
+	// recovery describes what OpenResolver restored.
+	recovery RecoveryInfo
+	// broken, once set, fails every further mutating operation: the
+	// resolver was closed, or a journal rollback failed and the log no
+	// longer mirrors memory.
+	broken error
 
 	mu sync.Mutex
 	// coll holds every description ever inserted, at its internal ID
@@ -148,12 +168,13 @@ func New(cfg Config) (*Resolver, error) {
 		cfg.Workers = 1
 	}
 	r := &Resolver{
-		cfg:    cfg,
-		keyer:  cfg.Blocker.StreamKeyer(),
-		coll:   entity.NewCollection(cfg.Kind),
-		byURI:  make(map[string]entity.ID),
-		blocks: blocking.NewBlockIndex(cfg.Kind),
-		dyn:    graph.NewDynamic(),
+		cfg:     cfg,
+		keyer:   cfg.Blocker.StreamKeyer(),
+		journal: nopJournal{},
+		coll:    entity.NewCollection(cfg.Kind),
+		byURI:   make(map[string]entity.ID),
+		blocks:  blocking.NewBlockIndex(cfg.Kind),
+		dyn:     graph.NewDynamic(),
 	}
 	if cfg.Meta != nil {
 		// The weighted blocking graph rides the block index's membership
@@ -172,10 +193,15 @@ func (r *Resolver) Kind() entity.Kind { return r.cfg.Kind }
 // only the pairs its blocking keys suggest are compared. The description is
 // cloned; the caller keeps ownership of d. It returns the internal handle
 // of the description. Non-empty URIs must be unique across live
-// descriptions.
+// descriptions. The operation is journaled before it is applied; a failed
+// apply retracts the journal record, so the journal always holds exactly
+// the acknowledged operations.
 func (r *Resolver) Insert(ctx context.Context, d *entity.Description) (entity.ID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.broken != nil {
+		return -1, r.broken
+	}
 	if d == nil {
 		return -1, fmt.Errorf("incremental: insert of nil description")
 	}
@@ -184,6 +210,23 @@ func (r *Resolver) Insert(ctx context.Context, d *entity.Description) (entity.ID
 			return -1, fmt.Errorf("incremental: URI %q already live", d.URI)
 		}
 	}
+	// The next collection slot is deterministic, so the record can carry
+	// the handle the apply below will assign.
+	rec := Record{Kind: OpInsert, ID: r.coll.Len(), URI: d.URI, Source: d.Source, Attrs: d.Attrs}
+	if err := r.journal.Record(rec); err != nil {
+		return -1, err
+	}
+	id, err := r.applyInsert(ctx, d)
+	if err != nil {
+		r.retractRecord()
+		return -1, err
+	}
+	return id, r.maybeCompact()
+}
+
+// applyInsert is Insert's state mutation, shared with journal replay.
+// Callers hold r.mu and have validated the description.
+func (r *Resolver) applyInsert(ctx context.Context, d *entity.Description) (entity.ID, error) {
 	cp := d.Clone()
 	id, err := r.coll.Add(cp)
 	if err != nil {
@@ -211,19 +254,54 @@ func (r *Resolver) Insert(ctx context.Context, d *entity.Description) (entity.ID
 // handle and re-resolves it: its old matches are retired, its block
 // membership is re-keyed, and only pairs in the new delta frontier are
 // compared. The source of a description is immutable. If the context is
-// cancelled mid-operation the description stays live but unresolved (no
-// blocks, no matches); retrying the Update — or Deleting the description —
-// restores consistency.
+// cancelled mid-operation the update is rolled back entirely — previous
+// attributes, block membership and matches restored — and its journal
+// record retracted, so memory, journal and crash recovery keep agreeing on
+// exactly the acknowledged operations.
 func (r *Resolver) Update(ctx context.Context, id entity.ID, attrs []entity.Attribute) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.broken != nil {
+		return r.broken
+	}
 	if !r.isLive(id) {
 		return fmt.Errorf("incremental: update of unknown description %d", id)
 	}
-	r.retire(id)
+	rec := Record{Kind: OpUpdate, ID: id, Attrs: attrs}
+	if err := r.journal.Record(rec); err != nil {
+		return err
+	}
+	if err := r.applyUpdate(ctx, id, attrs); err != nil {
+		r.retractRecord()
+		return err
+	}
+	return r.maybeCompact()
+}
+
+// applyUpdate is Update's state mutation, shared with journal replay.
+// Callers hold r.mu and have checked liveness.
+func (r *Resolver) applyUpdate(ctx context.Context, id entity.ID, attrs []entity.Attribute) error {
+	// Capture what retire destroys, so a failed re-index (cancellation
+	// inside delta matching — only reachable without meta-blocking, whose
+	// deferred path never matches here) can restore the exact pre-op state.
+	// The old key slice stays valid after the index drops its map entry.
 	d := r.coll.Get(id)
+	oldAttrs := d.Attrs
+	oldKeys := r.blocks.Keys(id)
+	oldEdges := r.dyn.Graph().Neighbors(id)
+	r.retire(id)
 	d.Attrs = append([]entity.Attribute(nil), attrs...)
 	if err := r.index(ctx, id); err != nil {
+		d.Attrs = oldAttrs
+		if aerr := r.blocks.Add(id, d.Source, oldKeys); aerr != nil {
+			// Cannot happen for a just-retired live description; if it ever
+			// does, memory no longer matches the journal — stop mutating.
+			r.broken = fmt.Errorf("incremental: update rollback failed, resolver disabled: %v", aerr)
+			return err
+		}
+		for _, nb := range oldEdges {
+			r.dyn.AddEdge(id, nb, 1)
+		}
 		return err
 	}
 	r.stats.Updates++
@@ -236,9 +314,22 @@ func (r *Resolver) Update(ctx context.Context, id entity.ID, attrs []entity.Attr
 func (r *Resolver) Delete(id entity.ID) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.broken != nil {
+		return r.broken
+	}
 	if !r.isLive(id) {
 		return fmt.Errorf("incremental: delete of unknown description %d", id)
 	}
+	if err := r.journal.Record(Record{Kind: OpDelete, ID: id}); err != nil {
+		return err
+	}
+	r.applyDelete(id)
+	return r.maybeCompact()
+}
+
+// applyDelete is Delete's state mutation, shared with journal replay; it
+// cannot fail. Callers hold r.mu and have checked liveness.
+func (r *Resolver) applyDelete(id entity.ID) {
 	r.retire(id)
 	d := r.coll.Get(id)
 	if d.URI != "" {
@@ -247,7 +338,6 @@ func (r *Resolver) Delete(id entity.ID) error {
 	r.live[id] = false
 	r.liveCount--
 	r.stats.Deletes++
-	return nil
 }
 
 // Lookup returns the handle of the live description with the given URI.

@@ -1,0 +1,107 @@
+package metablocking
+
+import (
+	"fmt"
+	"sort"
+
+	"entityres/internal/entity"
+)
+
+// WeightedGraphSnapshot is the serializable form of a WeightedGraph: the
+// integer co-occurrence statistics (plus the batch-only ARCS masses) in a
+// deterministic, validated layout. The durable streaming resolver persists
+// the live weighted blocking graph through it at every compaction — the
+// statistics are expensive to re-derive from the block index (each
+// document's delta scans its keys' full posting lists) but cheap to dump
+// and reload, so snapshot restore costs O(pairs) instead of a rebuild.
+type WeightedGraphSnapshot struct {
+	// Kind is the resolution setting of the graph.
+	Kind entity.Kind `json:"kind"`
+	// NumBlocks is the number of accumulated comparison-suggesting blocks.
+	NumBlocks int `json:"num_blocks"`
+	// BlocksPer lists each description's block-appearance count, sorted by
+	// ID ascending.
+	BlocksPer []DocBlockCount `json:"blocks_per,omitempty"`
+	// Pairs lists each co-occurring pair's statistics in canonical (A < B)
+	// form, sorted by (A, B) ascending.
+	Pairs []PairStats `json:"pairs,omitempty"`
+}
+
+// DocBlockCount is one description's block-appearance count.
+type DocBlockCount struct {
+	ID    entity.ID `json:"id"`
+	Count int       `json:"count"`
+}
+
+// PairStats is one pair's co-occurrence statistics.
+type PairStats struct {
+	A    entity.ID `json:"a"`
+	B    entity.ID `json:"b"`
+	CBS  int       `json:"cbs"`
+	ARCS float64   `json:"arcs,omitempty"`
+}
+
+// Snapshot dumps the graph's statistics in the deterministic snapshot
+// layout. Two graphs with equal statistics snapshot byte-identically once
+// encoded, regardless of the maintenance regime that produced them.
+func (wg *WeightedGraph) Snapshot() *WeightedGraphSnapshot {
+	s := &WeightedGraphSnapshot{Kind: wg.kind, NumBlocks: wg.numBlocks}
+	s.BlocksPer = make([]DocBlockCount, 0, len(wg.blocksPer))
+	for id, n := range wg.blocksPer {
+		s.BlocksPer = append(s.BlocksPer, DocBlockCount{ID: id, Count: n})
+	}
+	sort.Slice(s.BlocksPer, func(i, j int) bool { return s.BlocksPer[i].ID < s.BlocksPer[j].ID })
+	s.Pairs = make([]PairStats, 0, len(wg.pairs))
+	for p, st := range wg.pairs {
+		s.Pairs = append(s.Pairs, PairStats{A: p.A, B: p.B, CBS: st.cbs, ARCS: st.arcs})
+	}
+	sort.Slice(s.Pairs, func(i, j int) bool {
+		if s.Pairs[i].A != s.Pairs[j].A {
+			return s.Pairs[i].A < s.Pairs[j].A
+		}
+		return s.Pairs[i].B < s.Pairs[j].B
+	})
+	return s
+}
+
+// WeightedGraphFromSnapshot validates a snapshot and rebuilds the graph it
+// describes. The restored graph continues under either maintenance regime
+// exactly as the original would have.
+func WeightedGraphFromSnapshot(s *WeightedGraphSnapshot) (*WeightedGraph, error) {
+	if s == nil {
+		return nil, fmt.Errorf("metablocking: nil weighted-graph snapshot")
+	}
+	switch s.Kind {
+	case entity.Dirty, entity.CleanClean:
+	default:
+		return nil, fmt.Errorf("metablocking: snapshot has unknown kind %d", int(s.Kind))
+	}
+	if s.NumBlocks < 0 {
+		return nil, fmt.Errorf("metablocking: snapshot has negative block count %d", s.NumBlocks)
+	}
+	wg := NewWeightedGraph(s.Kind)
+	wg.numBlocks = s.NumBlocks
+	for _, bc := range s.BlocksPer {
+		if bc.Count <= 0 {
+			return nil, fmt.Errorf("metablocking: snapshot credits description %d with %d blocks", bc.ID, bc.Count)
+		}
+		if _, dup := wg.blocksPer[bc.ID]; dup {
+			return nil, fmt.Errorf("metablocking: snapshot lists description %d twice", bc.ID)
+		}
+		wg.blocksPer[bc.ID] = bc.Count
+	}
+	for _, ps := range s.Pairs {
+		if ps.A >= ps.B {
+			return nil, fmt.Errorf("metablocking: snapshot pair (%d,%d) is not in canonical A<B form", ps.A, ps.B)
+		}
+		if ps.CBS <= 0 {
+			return nil, fmt.Errorf("metablocking: snapshot pair (%d,%d) has non-positive CBS %d", ps.A, ps.B, ps.CBS)
+		}
+		p := entity.NewPair(ps.A, ps.B)
+		if _, dup := wg.pairs[p]; dup {
+			return nil, fmt.Errorf("metablocking: snapshot lists pair (%d,%d) twice", ps.A, ps.B)
+		}
+		wg.pairs[p] = &stats{cbs: ps.CBS, arcs: ps.ARCS}
+	}
+	return wg, nil
+}

@@ -1,0 +1,109 @@
+package metablocking
+
+import (
+	"reflect"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+)
+
+// snapshotFixture builds a weighted graph with non-trivial statistics.
+func snapshotFixture(t *testing.T) *WeightedGraph {
+	t.Helper()
+	bs := blocking.NewBlocks(entity.Dirty)
+	bs.Add(&blocking.Block{Key: "a", S0: []entity.ID{0, 1, 2}})
+	bs.Add(&blocking.Block{Key: "b", S0: []entity.ID{1, 2, 3}})
+	bs.Add(&blocking.Block{Key: "c", S0: []entity.ID{0, 3}})
+	return FromBlocks(bs)
+}
+
+func TestWeightedGraphSnapshotRoundTrip(t *testing.T) {
+	wg := snapshotFixture(t)
+	snap := wg.Snapshot()
+	got, err := WeightedGraphFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != wg.Kind() || got.NumBlocks() != wg.NumBlocks() || got.NumPairs() != wg.NumPairs() {
+		t.Fatalf("restored shape differs: kind %v/%v blocks %d/%d pairs %d/%d",
+			got.Kind(), wg.Kind(), got.NumBlocks(), wg.NumBlocks(), got.NumPairs(), wg.NumPairs())
+	}
+	// Every weighting scheme materializes identical graphs from the
+	// restored statistics — the restored snapshot is bit-exact.
+	for _, scheme := range []WeightScheme{CBS, ECBS, JS, EJS, ARCS} {
+		want := wg.Graph(scheme).Edges()
+		have := got.Graph(scheme).Edges()
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("%v weights diverge after round trip:\nwant %v\ngot  %v", scheme, want, have)
+		}
+	}
+	// Snapshots are deterministic: same statistics, same layout.
+	if !reflect.DeepEqual(snap, got.Snapshot()) {
+		t.Fatal("snapshot of restored graph differs from the original snapshot")
+	}
+}
+
+func TestWeightedGraphSnapshotRestoredGraphKeepsMaintaining(t *testing.T) {
+	// A restored graph continues under delta maintenance exactly as the
+	// original. This mirrors the durable resolver's recovery sequence:
+	// restore the graph from the snapshot, rebuild the block index WITHOUT
+	// observers (or every Add would double-count into the restored
+	// statistics), then attach the graph for subsequent deltas.
+	seedIndex := func(bi *blocking.BlockIndex) {
+		bi.Add(0, 0, []string{"x", "y"})
+		bi.Add(1, 0, []string{"x"})
+		bi.Add(2, 0, []string{"y", "z"})
+	}
+	live, wgLive := blocking.NewBlockIndex(entity.Dirty), NewWeightedGraph(entity.Dirty)
+	live.Observe(wgLive)
+	seedIndex(live)
+
+	restored, err := WeightedGraphFromSnapshot(wgLive.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := blocking.NewBlockIndex(entity.Dirty)
+	seedIndex(recovered)        // membership rebuilt silently
+	recovered.Observe(restored) // observe only after the rebuild
+
+	// The same post-restore delta on both sides.
+	for _, bi := range []*blocking.BlockIndex{live, recovered} {
+		bi.Add(3, 0, []string{"z", "x"})
+		bi.Remove(1)
+	}
+	if !reflect.DeepEqual(wgLive.Snapshot(), restored.Snapshot()) {
+		t.Fatalf("restored graph drifts under continued maintenance:\nwant %+v\ngot  %+v", wgLive.Snapshot(), restored.Snapshot())
+	}
+}
+
+func TestWeightedGraphSnapshotValidation(t *testing.T) {
+	base := snapshotFixture(t).Snapshot()
+	cases := []struct {
+		name   string
+		mutate func(s *WeightedGraphSnapshot)
+	}{
+		{"unknown kind", func(s *WeightedGraphSnapshot) { s.Kind = 9 }},
+		{"negative blocks", func(s *WeightedGraphSnapshot) { s.NumBlocks = -1 }},
+		{"zero appearance count", func(s *WeightedGraphSnapshot) { s.BlocksPer[0].Count = 0 }},
+		{"duplicate description", func(s *WeightedGraphSnapshot) { s.BlocksPer[1] = s.BlocksPer[0] }},
+		{"non-canonical pair", func(s *WeightedGraphSnapshot) { s.Pairs[0].A, s.Pairs[0].B = s.Pairs[0].B, s.Pairs[0].A }},
+		{"non-positive cbs", func(s *WeightedGraphSnapshot) { s.Pairs[0].CBS = 0 }},
+		{"duplicate pair", func(s *WeightedGraphSnapshot) { s.Pairs[1] = s.Pairs[0] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := snapshotFixture(t).Snapshot()
+			tc.mutate(s)
+			if _, err := WeightedGraphFromSnapshot(s); err == nil {
+				t.Fatalf("validation accepted %s", tc.name)
+			}
+		})
+	}
+	if _, err := WeightedGraphFromSnapshot(nil); err == nil {
+		t.Fatal("validation accepted nil snapshot")
+	}
+	if _, err := WeightedGraphFromSnapshot(base); err != nil {
+		t.Fatalf("validation rejected a well-formed snapshot: %v", err)
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDir on platforms without flock opens the lock file without taking an
+// advisory lock: single-process discipline is the caller's responsibility
+// there. The unix implementation rejects concurrent opens.
+func lockDir(dir string) (*os.File, error) {
+	lock, err := os.OpenFile(filepath.Join(dir, "wal.lock"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return lock, nil
+}

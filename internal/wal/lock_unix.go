@@ -1,0 +1,26 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes the advisory per-directory lock (flock on wal.lock),
+// failing immediately when another live process holds it. The kernel
+// releases the lock when the holding process exits, so a crash never
+// wedges the directory.
+func lockDir(dir string) (*os.File, error) {
+	lock, err := os.OpenFile(filepath.Join(dir, "wal.lock"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("wal: directory %s is locked by another process: %w", dir, err)
+	}
+	return lock, nil
+}

@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// scanSegmentRecords reads a segment's frames in order, invoking fn (when
+// non-nil) with each intact payload, and returns the number of intact
+// records, the byte offset right after the last intact frame, and whether
+// the segment ends in a torn frame — a header or payload cut short by
+// end-of-file, an implausible length field, or a checksum mismatch. Under
+// the append-only, rotate-at-boundary discipline a bad frame can only be
+// the tail a crash tore; everything before it is trustworthy. An error from
+// fn aborts the scan and is returned as-is.
+func scanSegmentRecords(path string, fn func(payload []byte) error) (records int, good int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	header := make([]byte, headerBytes)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, header); err != nil {
+			if err == io.EOF {
+				return records, good, false, nil // clean end
+			}
+			if err == io.ErrUnexpectedEOF {
+				return records, good, true, nil // torn header
+			}
+			return records, good, false, fmt.Errorf("wal: reading %s: %w", filepath.Base(path), err)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length > MaxRecordBytes {
+			return records, good, true, nil // garbage length: torn tail
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, good, true, nil // torn payload
+			}
+			return records, good, false, fmt.Errorf("wal: reading %s: %w", filepath.Base(path), err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return records, good, true, nil // checksum mismatch: torn tail
+		}
+		if fn != nil {
+			// Hand fn its own copy: the scan buffer is reused per frame.
+			rec := make([]byte, length)
+			copy(rec, payload)
+			if err := fn(rec); err != nil {
+				return records, good, false, err
+			}
+		}
+		records++
+		good += headerBytes + int64(length)
+	}
+}
+
+// WriteFileAtomic durably writes payload to path as a single CRC-framed
+// record, via a temporary file and an atomic rename — the snapshot write
+// primitive. A crash leaves either the previous file (or none) or the
+// complete new one, never a partial.
+func WriteFileAtomic(path string, payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: snapshot of %d bytes exceeds the %d-byte bound", len(payload), MaxRecordBytes)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	buf := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerBytes:], payload)
+	_, err = f.Write(buf)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadFileFramed reads a file written by WriteFileAtomic, validating its
+// checksum and rejecting trailing bytes.
+func ReadFileFramed(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if len(raw) < headerBytes {
+		return nil, fmt.Errorf("wal: %s: truncated frame header", filepath.Base(path))
+	}
+	length := binary.LittleEndian.Uint32(raw[0:4])
+	sum := binary.LittleEndian.Uint32(raw[4:8])
+	payload := raw[headerBytes:]
+	if int(length) != len(payload) {
+		return nil, fmt.Errorf("wal: %s: frame claims %d payload bytes, file holds %d", filepath.Base(path), length, len(payload))
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("wal: %s: checksum mismatch", filepath.Base(path))
+	}
+	return payload, nil
+}

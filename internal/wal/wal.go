@@ -1,0 +1,437 @@
+// Package wal implements the durable storage substrate of the streaming
+// resolver: an append-only write-ahead log of CRC-framed records stored in
+// size-rotated segment files, fsync'd per append, with ordered replay and
+// torn-tail recovery.
+//
+// Layout. A log directory holds numbered segment files ("wal-%016d.seg",
+// sequence numbers ascending from 1). Appends go to the highest-numbered
+// (active) segment; once it exceeds Options.SegmentBytes the log rotates to
+// a fresh segment. Every record is framed as
+//
+//	[4-byte little-endian payload length][4-byte CRC32-C of payload][payload]
+//
+// so replay can detect exactly where a crash tore the tail: a frame whose
+// header or payload runs past end-of-file, whose length field is implausible,
+// or whose checksum fails marks the end of the intact prefix. Open truncates
+// the active segment back to that prefix (torn-tail repair); the same
+// condition inside a sealed (non-active) segment is data corruption and
+// surfaces as an error from Replay, because sealed segments are only ever
+// written through whole, synced appends.
+//
+// Compaction support. Callers that checkpoint their state into snapshot
+// files (see WriteFileAtomic) rotate first, write the snapshot named after
+// the new active segment, and then drop the older segments with
+// RemoveSegmentsBefore — recovery then replays only the records appended
+// after the snapshot, bounding recovery cost by the tail of the stream
+// rather than its lifetime.
+//
+// A Log is not safe for concurrent use; the streaming resolver serializes
+// operations.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	// headerBytes is the fixed frame header: payload length + CRC32-C.
+	headerBytes = 8
+	// MaxRecordBytes bounds a single record's payload. A length field above
+	// it cannot be trusted (it would be read from a torn or corrupt frame)
+	// and is treated as the end of the intact prefix.
+	MaxRecordBytes = 64 << 20
+	// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+	// is zero.
+	DefaultSegmentBytes = 4 << 20
+
+	segFormat = "wal-%016d.seg"
+)
+
+// castagnoli is the CRC32-C polynomial table — hardware-accelerated on
+// modern CPUs and the conventional WAL checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes is the size threshold past which the active segment is
+	// sealed and a new one started (default DefaultSegmentBytes). A record
+	// always lands whole in one segment: rotation happens before the append.
+	SegmentBytes int64
+	// NoSync skips the fsync after each append. Throughput rises by orders
+	// of magnitude, but records acknowledged since the last Sync may be lost
+	// on a machine crash (a process crash loses nothing: writes are in the
+	// page cache). Meant for tests, benchmarks and workloads that checkpoint
+	// explicitly.
+	NoSync bool
+}
+
+// Position addresses a byte offset within one segment — where a record
+// begins, as reported by Append.
+type Position struct {
+	Segment uint64
+	Offset  int64
+}
+
+// Log is an append-only segmented record log.
+type Log struct {
+	dir  string
+	opts Options
+	f    *os.File
+	lock *os.File // flock'd wal.lock guarding the directory
+	seq  uint64   // active segment sequence
+	size int64    // active segment byte size
+	segs []uint64
+}
+
+// Open opens (creating if necessary) the log directory, repairs a torn tail
+// left in the active segment by a crash, and positions the log for
+// appending. Replay the existing records with Replay before appending new
+// ones.
+//
+// The directory is guarded by an advisory flock on a "wal.lock" file: a
+// second concurrent Open of the same directory fails loudly instead of the
+// two writers truncating and interleaving each other's acknowledged
+// records. The kernel releases the lock when the holding process exits, so
+// a crash never wedges the directory.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, lock: lock, segs: segs}
+	fail := func(err error) (*Log, error) {
+		lock.Close()
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.createSegment(1); err != nil {
+			return fail(err)
+		}
+		return l, nil
+	}
+	// Repair the active (highest) segment: truncate everything after the
+	// last intact frame. Earlier segments were sealed by rotation and are
+	// validated during Replay.
+	active := segs[len(segs)-1]
+	path := l.segmentPath(active)
+	_, good, _, err := scanSegmentRecords(path, nil)
+	if err != nil {
+		return fail(err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("wal: %w", err))
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fail(fmt.Errorf("wal: %w", err))
+	}
+	if st.Size() > good {
+		if err := truncateSync(f, good); err != nil {
+			f.Close()
+			return fail(err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return fail(fmt.Errorf("wal: %w", err))
+	}
+	l.f, l.seq, l.size = f, active, good
+	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// ActiveSegment returns the sequence number of the segment appends go to.
+func (l *Log) ActiveSegment() uint64 { return l.seq }
+
+// Segments returns the sequence numbers of the on-disk segments, ascending.
+func (l *Log) Segments() []uint64 {
+	out := make([]uint64, len(l.segs))
+	copy(out, l.segs)
+	return out
+}
+
+// Append frames and durably appends one record, returning the position at
+// which it begins (after any rotation). The payload is synced to disk
+// before Append returns unless Options.NoSync is set.
+func (l *Log) Append(payload []byte) (Position, error) {
+	if l.f == nil {
+		return Position{}, fmt.Errorf("wal: log is closed")
+	}
+	if len(payload) > MaxRecordBytes {
+		return Position{}, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), MaxRecordBytes)
+	}
+	frame := int64(headerBytes + len(payload))
+	if l.size > 0 && l.size+frame > l.opts.SegmentBytes {
+		if _, err := l.Rotate(); err != nil {
+			return Position{}, err
+		}
+	}
+	pos := Position{Segment: l.seq, Offset: l.size}
+	buf := make([]byte, headerBytes+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerBytes:], payload)
+	// A failed append must never leave unacknowledged bytes behind: a
+	// partial frame would poison the torn-tail scan for every later record,
+	// and a whole frame whose error was reported to the caller would replay
+	// as an operation that was never acknowledged (for inserts, wedging
+	// recovery on a duplicate handle). Repair by truncating back to the
+	// record's start; if even that fails the log seals itself — every
+	// further operation errors rather than writing after garbage.
+	if _, err := l.f.Write(buf); err != nil {
+		l.repairOrSeal(pos.Offset)
+		return Position{}, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += frame
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			l.repairOrSeal(pos.Offset)
+			return Position{}, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return pos, nil
+}
+
+// repairOrSeal drops everything past off from the active segment after a
+// failed append; when the repair itself fails the log is sealed (l.f nil),
+// so subsequent operations fail loudly instead of appending after garbage.
+func (l *Log) repairOrSeal(off int64) {
+	err := l.f.Truncate(off)
+	if err == nil {
+		err = l.f.Sync()
+	}
+	if err == nil {
+		_, err = l.f.Seek(off, io.SeekStart)
+	}
+	if err != nil {
+		l.f.Close()
+		l.f = nil
+		return
+	}
+	l.size = off
+}
+
+// Sync flushes the active segment to disk — the explicit durability point
+// for NoSync logs.
+func (l *Log) Sync() error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// TruncateTo retracts the active segment back to pos, erasing the most
+// recent append(s). It is the journal's rollback primitive for an operation
+// that was recorded but whose application failed: the position must lie in
+// the active segment (Append never splits a record across segments, and the
+// caller retracts only what it just appended).
+func (l *Log) TruncateTo(pos Position) error {
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if pos.Segment != l.seq {
+		return fmt.Errorf("wal: truncate targets segment %d but segment %d is active", pos.Segment, l.seq)
+	}
+	if pos.Offset < 0 || pos.Offset > l.size {
+		return fmt.Errorf("wal: truncate offset %d outside the active segment's %d bytes", pos.Offset, l.size)
+	}
+	if err := truncateSync(l.f, pos.Offset); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(pos.Offset, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.size = pos.Offset
+	return nil
+}
+
+// Rotate seals the active segment and starts the next one, returning the
+// new active sequence. An empty active segment is reused rather than
+// rotated away: the returned sequence then equals the current one, which
+// keeps back-to-back checkpoints from leaking empty segment files.
+func (l *Log) Rotate() (uint64, error) {
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if l.size == 0 {
+		return l.seq, nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: sealing segment %d: %w", l.seq, err)
+	}
+	if err := l.f.Close(); err != nil {
+		return 0, fmt.Errorf("wal: sealing segment %d: %w", l.seq, err)
+	}
+	l.f = nil
+	if err := l.createSegment(l.seq + 1); err != nil {
+		return 0, err
+	}
+	return l.seq, nil
+}
+
+// RemoveSegmentsBefore deletes every segment with a sequence below seq —
+// the compaction step once a snapshot covering them is durable.
+func (l *Log) RemoveSegmentsBefore(seq uint64) error {
+	kept := l.segs[:0]
+	for i, s := range l.segs {
+		if s >= seq {
+			kept = append(kept, s)
+			continue
+		}
+		if err := os.Remove(l.segmentPath(s)); err != nil && !os.IsNotExist(err) {
+			// Keep the listing truthful: this segment and every not-yet
+			// visited one (including the active segment) still exist.
+			kept = append(kept, l.segs[i:]...)
+			l.segs = kept
+			return fmt.Errorf("wal: removing segment %d: %w", s, err)
+		}
+	}
+	l.segs = kept
+	return syncDir(l.dir)
+}
+
+// Replay streams every intact record of the segments with sequence >= from,
+// in segment then append order, and returns how many records fn consumed.
+// A torn or corrupt frame in a sealed segment is an error; the active
+// segment was already repaired by Open, so its records are always intact.
+func (l *Log) Replay(from uint64, fn func(payload []byte) error) (int, error) {
+	n := 0
+	for _, seq := range l.segs {
+		if seq < from {
+			continue
+		}
+		records, _, torn, err := scanSegmentRecords(l.segmentPath(seq), fn)
+		n += records
+		if err != nil {
+			return n, err
+		}
+		if torn && seq != l.seq {
+			return n, fmt.Errorf("wal: segment %d is sealed but ends in a torn record", seq)
+		}
+	}
+	return n, nil
+}
+
+// Close seals the log and releases the directory lock. Records already
+// appended stay durable.
+func (l *Log) Close() error {
+	var err error
+	if l.f != nil {
+		err = l.f.Sync()
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.f = nil
+	}
+	if l.lock != nil {
+		if cerr := l.lock.Close(); err == nil {
+			err = cerr
+		}
+		l.lock = nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// createSegment makes seq the empty active segment.
+func (l *Log) createSegment(seq uint64) error {
+	path := l.segmentPath(seq)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %d: %w", seq, err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.seq, l.size = f, seq, 0
+	l.segs = append(l.segs, seq)
+	return nil
+}
+
+func (l *Log) segmentPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf(segFormat, seq))
+}
+
+// ListNumberedFiles returns the sequence numbers of the "<prefix><seq
+// digits><suffix>" files in dir, ascending. Files whose middle does not
+// parse as a positive integer are ignored (foreign files that happen to
+// match the shape). Both the log's segment files and the snapshot files of
+// the layer above are named this way, so both listings share this routine.
+func ListNumberedFiles(dir, prefix, suffix string) ([]uint64, error) {
+	names, err := filepath.Glob(filepath.Join(dir, prefix+"*"+suffix))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var seqs []uint64
+	for _, name := range names {
+		digits := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(name), prefix), suffix)
+		seq, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil || seq == 0 {
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// listSegments returns the segment sequences present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	return ListNumberedFiles(dir, "wal-", ".seg")
+}
+
+// truncateSync truncates the file and syncs the new length to disk.
+func truncateSync(f *os.File, size int64) error {
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so entry creation/removal is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: syncing directory: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,573 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collect replays the whole log into a slice.
+func collect(t *testing.T, l *Log) [][]byte {
+	t.Helper()
+	var out [][]byte
+	n, err := l.Replay(0, func(p []byte) error {
+		out = append(out, p)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != len(out) {
+		t.Fatalf("replay reported %d records, delivered %d", n, len(out))
+	}
+	return out
+}
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{'x'}, i%37))))
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads(100)
+	for _, p := range want {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := collect(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	// The log accepts appends after replay.
+	if _, err := l.Append([]byte("after-recovery")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotationSpreadsSegmentsAndPreservesOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads(50)
+	for _, p := range want {
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l.Segments()) < 3 {
+		t.Fatalf("expected several segments at a 128-byte threshold, got %v", l.Segments())
+	}
+	got := collect(t, l)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d out of order across rotation", i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// activeSegmentPath returns the file of the highest segment.
+func activeSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	return filepath.Join(dir, fmt.Sprintf(segFormat, segs[len(segs)-1]))
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	// Every way a crash can tear the tail: mid-header, mid-payload, and a
+	// full-length frame whose payload bytes were never all written (bad CRC).
+	tears := []struct {
+		name string
+		tear func(valid []byte) []byte // bytes to append after intact records
+	}{
+		{"mid-header", func([]byte) []byte { return []byte{0x07, 0x00, 0x00} }},
+		{"mid-payload", func(valid []byte) []byte {
+			// Header announcing 1000 payload bytes, only 5 present.
+			return append([]byte{0xe8, 0x03, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef}, "hello"...)
+		}},
+		{"bad-crc", func(valid []byte) []byte {
+			// A complete frame of the right length with a wrong checksum.
+			return []byte{0x02, 0x00, 0x00, 0x00, 0x01, 0x02, 0x03, 0x04, 'h', 'i'}
+		}},
+		{"garbage-length", func(valid []byte) []byte {
+			// Length field far beyond MaxRecordBytes.
+			return []byte{0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00, 'x'}
+		}},
+	}
+	for _, tc := range tears {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := payloads(10)
+			for _, p := range want {
+				if _, err := l.Append(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Simulate the crash: raw torn bytes after the intact records.
+			path := activeSegmentPath(t, dir)
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tc.tear(nil)); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			l, err = Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("open with torn tail: %v", err)
+			}
+			got := collect(t, l)
+			if len(got) != len(want) {
+				t.Fatalf("recovered %d records, want the %d intact ones", len(got), len(want))
+			}
+			// The repair truncated the tear away, so appends resume cleanly
+			// and survive another cycle.
+			if _, err := l.Append([]byte("post-tear")); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l, err = Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			if got := collect(t, l); len(got) != len(want)+1 || string(got[len(want)]) != "post-tear" {
+				t.Fatalf("append after repair not replayed: %d records", len(got))
+			}
+		})
+	}
+}
+
+func TestTruncateToRollsBackLastAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	pos, err := l.Append([]byte("retract-me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateTo(pos); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l); len(got) != 1 || string(got[0]) != "keep" {
+		t.Fatalf("rollback left %q", got)
+	}
+	// The next append reuses the reclaimed space.
+	if _, err := l.Append([]byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l); len(got) != 2 || string(got[1]) != "next" {
+		t.Fatalf("append after rollback left %q", got)
+	}
+	// A stale position (wrong segment) is rejected.
+	if err := l.TruncateTo(Position{Segment: l.ActiveSegment() + 1}); err == nil {
+		t.Fatal("TruncateTo accepted a non-active segment")
+	}
+}
+
+func TestRotateEmptyActiveIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first := l.ActiveSegment()
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != first {
+		t.Fatalf("empty rotate moved to segment %d", seq)
+	}
+	if _, err := l.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	seq, err = l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != first+1 {
+		t.Fatalf("rotate after append returned %d, want %d", seq, first+1)
+	}
+}
+
+func TestRemoveSegmentsBeforeBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("new-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.RemoveSegmentsBefore(seq); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Segments()) != 1 {
+		t.Fatalf("segments after compaction: %v", l.Segments())
+	}
+	var tail []string
+	n, err := l.Replay(seq, func(p []byte) error {
+		tail = append(tail, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || tail[0] != "new-0" || tail[2] != "new-2" {
+		t.Fatalf("tail replay = %v", tail)
+	}
+}
+
+func TestSealedSegmentCorruptionIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("sealed-record")); err != nil {
+		t.Fatal(err)
+	}
+	sealedPath := filepath.Join(dir, fmt.Sprintf(segFormat, l.ActiveSegment()))
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("active-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the sealed segment.
+	raw, err := os.ReadFile(sealedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(sealedPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Replay(0, func([]byte) error { return nil }); err == nil {
+		t.Fatal("replay silently skipped a corrupt sealed segment")
+	}
+}
+
+func TestReplayPropagatesCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls := 0
+	_, err = l.Replay(0, func(p []byte) error {
+		calls++
+		if calls == 2 {
+			return fmt.Errorf("stop here")
+		}
+		return nil
+	})
+	if err == nil || calls != 2 {
+		t.Fatalf("callback error not propagated (calls=%d err=%v)", calls, err)
+	}
+}
+
+func TestAtomicFramedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snapshot-0001.snap")
+	payload := bytes.Repeat([]byte("snapshot state "), 100)
+	if err := WriteFileAtomic(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileFramed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("snapshot round trip mismatch")
+	}
+	// Overwrite is atomic: the new content fully replaces the old.
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFileFramed(path); err != nil || string(got) != "v2" {
+		t.Fatalf("overwrite: %q, %v", got, err)
+	}
+	// Corruption is detected.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFileFramed(path); err == nil {
+		t.Fatal("ReadFileFramed accepted a corrupt file")
+	}
+	// Truncation is detected.
+	if err := os.WriteFile(path, raw[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFileFramed(path); err == nil {
+		t.Fatal("ReadFileFramed accepted a truncated file")
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-notanumber.seg"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "snapshot-0001.snap"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(l.Segments()) != 1 {
+		t.Fatalf("foreign files leaked into the segment list: %v", l.Segments())
+	}
+}
+
+func TestClosedLogOperationsFail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Dir() != dir {
+		t.Fatalf("Dir() = %q", l.Dir())
+	}
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("y")); err == nil {
+		t.Fatal("append on closed log succeeded")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync on closed log succeeded")
+	}
+	if _, err := l.Rotate(); err == nil {
+		t.Fatal("rotate on closed log succeeded")
+	}
+	if err := l.TruncateTo(Position{Segment: 1}); err == nil {
+		t.Fatal("truncate on closed log succeeded")
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateToRejectsBadOffsets(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	pos, err := l.Append([]byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateTo(Position{Segment: pos.Segment, Offset: -1}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := l.TruncateTo(Position{Segment: pos.Segment, Offset: 1 << 20}); err == nil {
+		t.Fatal("offset past the segment end accepted")
+	}
+}
+
+func TestDoubleOpenIsRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{NoSync: true}); err == nil {
+		t.Fatal("second concurrent Open of the same directory succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close releases the lock; the next Open succeeds.
+	l, err = Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	l.Close()
+}
+
+func TestRemoveSegmentsBeforeKeepsListingOnError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Segments [1 2 3 4]; make removing segment 2 fail by replacing it
+	// with a non-empty directory of the same name.
+	seg2 := l.segmentPath(2)
+	if err := os.Remove(seg2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(seg2, "d"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RemoveSegmentsBefore(4); err == nil {
+		t.Fatal("RemoveSegmentsBefore ignored an unremovable segment")
+	}
+	// Segment 1 was removed, 2 failed, 3 and 4 were never visited — the
+	// listing must still report everything that exists on disk.
+	want := []uint64{2, 3, 4}
+	if got := l.Segments(); len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("Segments() after failed prune = %v, want %v", got, want)
+	}
+}
+
+// TestFailedAppendLeavesNoTrace: an append whose write fails must leave the
+// log either repaired (no bytes of the failed record) or sealed — never
+// positioned after garbage, and never holding a record whose error was
+// reported to the caller.
+func TestFailedAppendLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("acknowledged")); err != nil {
+		t.Fatal(err)
+	}
+	// Swap the active handle for a read-only one: the write fails, and the
+	// repair (truncate on a read-only fd) fails too, so the log seals.
+	good := l.f
+	ro, err := os.Open(l.segmentPath(l.seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.f = ro
+	if _, err := l.Append([]byte("doomed")); err == nil {
+		t.Fatal("append through a read-only handle succeeded")
+	}
+	if l.f != nil {
+		t.Fatal("log not sealed after an unrepairable append failure")
+	}
+	if _, err := l.Append([]byte("after")); err == nil {
+		t.Fatal("sealed log accepted an append")
+	}
+	good.Close()
+	// A sealed log still holds the directory lock until Close releases it.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// On disk: exactly the acknowledged record.
+	l2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2); len(got) != 1 || string(got[0]) != "acknowledged" {
+		t.Fatalf("log holds %q after failed append", got)
+	}
+}
