@@ -11,12 +11,20 @@
 // machine-readable JSON (e.g. BENCH_streaming.json) so the perf trajectory
 // accumulates data points.
 //
+// With -streaming-shards N it replays the same insert stream through the
+// single-node and the N-shard sharded streaming resolver, asserts the two
+// are bit-identical, and reports throughput plus the durable leg
+// (per-shard group-committed WAL persistence and shard-wise recovery);
+// -json then writes BENCH_sharded.json.
+//
 // Usage:
 //
 //	erbench [-experiment E1|E2|...|all] [-scale small|medium] [-seed N]
 //	erbench -parallel [-shards N] [-workers N] [-scale small|medium] [-seed N]
 //	erbench -streaming-meta [-meta-weight CBS|ECBS|JS] [-meta-prune WEP|WNP]
 //	        [-workers N] [-scale small|medium] [-seed N] [-json FILE]
+//	erbench -streaming-shards N [-workers N] [-scale small|medium] [-seed N]
+//	        [-json FILE]
 package main
 
 import (
@@ -45,7 +53,9 @@ func main() {
 		streamMeta = flag.Bool("streaming-meta", false, "benchmark the streaming resolver with and without live meta-blocking and report the pruning ratio")
 		metaWeight = flag.String("meta-weight", "CBS", "stream-safe weight scheme for -streaming-meta: CBS, ECBS or JS")
 		metaPrune  = flag.String("meta-prune", "WEP", "stream-safe prune scheme for -streaming-meta: WEP or WNP")
-		jsonPath   = flag.String("json", "", "with -streaming-meta: also write the machine-readable benchmark result (ns/op, comparisons saved, recovery time) to this file, e.g. BENCH_streaming.json")
+
+		streamShards = flag.Int("streaming-shards", 0, "benchmark the sharded streaming resolver with N key-hash shards against the single-node resolver (bit-equality asserted)")
+		jsonPath     = flag.String("json", "", "with -streaming-meta or -streaming-shards: also write the machine-readable benchmark result to this file, e.g. BENCH_streaming.json / BENCH_sharded.json")
 	)
 	flag.Parse()
 	var sc experiments.Scale
@@ -58,8 +68,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "erbench: unknown scale %q (want small or medium)\n", *scale)
 		os.Exit(2)
 	}
-	if *jsonPath != "" && !*streamMeta {
-		fmt.Fprintln(os.Stderr, "erbench: -json requires -streaming-meta")
+	if *jsonPath != "" && !*streamMeta && *streamShards <= 0 {
+		fmt.Fprintln(os.Stderr, "erbench: -json requires -streaming-meta or -streaming-shards")
 		os.Exit(2)
 	}
 	if *parallel {
@@ -75,6 +85,17 @@ func main() {
 			entities = 6000
 		}
 		if err := runStreamingMeta(entities, *seed, *workers, *metaWeight, *metaPrune, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamShards > 0 {
+		entities := 1500
+		if sc == experiments.Medium {
+			entities = 6000
+		}
+		if err := runStreamingShards(entities, *seed, *workers, *streamShards, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -368,6 +389,178 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 			PersistWallNS:   persistDur.Nanoseconds(),
 			PersistNSPerOp:  nsPerOp(persistDur),
 			RecoveryWallNS:  recoveryDur.Nanoseconds(),
+		},
+	}
+	payload, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(payload, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// benchShardRecoveryJSON measures the sharded durable leg: per-shard
+// group-committed WAL persistence plus a full reopen (every shard
+// restored from its own snapshot + tail).
+type benchShardRecoveryJSON struct {
+	Ops                int64 `json:"ops"`
+	SnapshotEvery      int   `json:"snapshot_every"`
+	ReplayedRecordsMax int   `json:"replayed_records_max"`
+	PersistWallNS      int64 `json:"persist_wall_ns"`
+	PersistNSPerOp     int64 `json:"persist_ns_per_op"`
+	RecoveryWallNS     int64 `json:"recovery_wall_ns"`
+}
+
+// benchShardedJSON is the machine-readable -json payload of the
+// sharded-streaming mode (BENCH_sharded.json).
+type benchShardedJSON struct {
+	Name      string                 `json:"name"`
+	Entities  int                    `json:"entities"`
+	Seed      int64                  `json:"seed"`
+	Workers   int                    `json:"workers"`
+	Shards    int                    `json:"shards"`
+	Single    benchRunJSON           `json:"single"`
+	Sharded   benchRunJSON           `json:"sharded"`
+	Identical bool                   `json:"identical"`
+	Speedup   float64                `json:"speedup"`
+	Recovery  benchShardRecoveryJSON `json:"recovery"`
+}
+
+// runStreamingShards replays one synthetic insert stream through the
+// single-node and the N-shard sharded streaming resolver, asserts their
+// matches AND comparison counts are identical (the cross-shard
+// differential contract), and reports throughput plus the sharded durable
+// leg: per-shard group-committed WAL persistence and whole-deployment
+// recovery. With jsonPath set the measurement is written as JSON.
+func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath string) error {
+	c, _, err := er.GenerateDirty(er.GenConfig{Seed: seed, Entities: entities, MaxDuplicates: 2})
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("sharded streaming: %d descriptions, seed %d, %d shards, %d workers/shard\n",
+		c.Len(), seed, shards, workers)
+	ctx := context.Background()
+	matcher := func() *er.Matcher { return &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5} }
+
+	single, err := er.NewStreamingResolver(er.StreamingConfig{
+		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: matcher(), Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	for _, d := range c.All() {
+		if _, err := single.Insert(ctx, d); err != nil {
+			return fmt.Errorf("single-node: %w", err)
+		}
+	}
+	singleDur := time.Since(t0)
+	singleStats := single.Stats()
+
+	sh, err := er.NewShardedResolver(er.ShardedConfig{
+		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: matcher(), Workers: workers, Shards: shards,
+	})
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	for _, d := range c.All() {
+		if _, err := sh.Insert(ctx, d); err != nil {
+			return fmt.Errorf("sharded: %w", err)
+		}
+	}
+	shardedDur := time.Since(t0)
+	shardedStats := sh.Stats()
+
+	identical := singleStats == shardedStats && sameMatches(single.Matches(), sh.Matches())
+	if !identical {
+		return fmt.Errorf("sharded state diverges from single-node: %+v vs %+v", shardedStats, singleStats)
+	}
+	opsPerSec := func(d time.Duration) float64 { return float64(c.Len()) / d.Seconds() }
+	fmt.Printf("\n%-14s %14s %14s %12s %10s\n", "run", "comparisons", "matches", "wall", "ops/sec")
+	fmt.Printf("%-14s %14d %14d %12v %10.0f\n", "single-node", singleStats.Comparisons, singleStats.Matches,
+		singleDur.Round(time.Microsecond), opsPerSec(singleDur))
+	fmt.Printf("%-14s %14d %14d %12v %10.0f\n", fmt.Sprintf("sharded n=%d", shards), shardedStats.Comparisons,
+		shardedStats.Matches, shardedDur.Round(time.Microsecond), opsPerSec(shardedDur))
+	speedup := float64(singleDur) / float64(shardedDur)
+	fmt.Printf("\nidentical=true speedup=%.2fx\n", speedup)
+
+	// Durable leg: persist through per-shard group-committed WALs, abandon
+	// (hard stop), and measure the whole-deployment reopen — each shard
+	// restores from its own snapshot + tail.
+	walDir, err := os.MkdirTemp("", "erbench-sharded-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	durable := er.StreamingDurable{SnapshotEvery: entities / 4, NoSync: true}
+	shardedCfg := er.ShardedConfig{
+		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: matcher(), Workers: workers,
+		Shards: shards, Durable: durable,
+	}
+	pr, err := er.PersistentShardedResolver(walDir, shardedCfg)
+	if err != nil {
+		return fmt.Errorf("persistent sharded: %w", err)
+	}
+	t0 = time.Now()
+	for _, d := range c.All() {
+		if _, err := pr.Insert(ctx, d); err != nil {
+			return fmt.Errorf("persistent sharded: %w", err)
+		}
+	}
+	persistDur := time.Since(t0)
+	pr.Abandon()
+	t0 = time.Now()
+	re, err := er.PersistentShardedResolver(walDir, shardedCfg)
+	if err != nil {
+		return fmt.Errorf("sharded recovery: %w", err)
+	}
+	recoveryDur := time.Since(t0)
+	replayedMax := 0
+	for _, rec := range re.Recovery() {
+		if rec.ReplayedRecords > replayedMax {
+			replayedMax = rec.ReplayedRecords
+		}
+	}
+	if st := re.Stats(); st.Live != c.Len() {
+		return fmt.Errorf("sharded recovery restored %d live descriptions, want %d", st.Live, c.Len())
+	}
+	if err := re.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("durable:       persist %v (%.0f ops/sec, group-committed, unsynced), recovery %v (max %d wal records per shard)\n",
+		persistDur.Round(time.Microsecond), opsPerSec(persistDur),
+		recoveryDur.Round(time.Microsecond), replayedMax)
+
+	if jsonPath == "" {
+		return nil
+	}
+	nsPerOp := func(d time.Duration) int64 { return d.Nanoseconds() / int64(c.Len()) }
+	out := benchShardedJSON{
+		Name:     "sharded-streaming",
+		Entities: c.Len(),
+		Seed:     seed,
+		Workers:  workers,
+		Shards:   shards,
+		Single: benchRunJSON{Comparisons: singleStats.Comparisons, Matches: singleStats.Matches,
+			WallNS: singleDur.Nanoseconds(), NSPerOp: nsPerOp(singleDur)},
+		Sharded: benchRunJSON{Comparisons: shardedStats.Comparisons, Matches: shardedStats.Matches,
+			WallNS: shardedDur.Nanoseconds(), NSPerOp: nsPerOp(shardedDur)},
+		Identical: identical,
+		Speedup:   speedup,
+		Recovery: benchShardRecoveryJSON{
+			Ops:                int64(c.Len()),
+			SnapshotEvery:      durable.SnapshotEvery,
+			ReplayedRecordsMax: replayedMax,
+			PersistWallNS:      persistDur.Nanoseconds(),
+			PersistNSPerOp:     nsPerOp(persistDur),
+			RecoveryWallNS:     recoveryDur.Nanoseconds(),
 		},
 	}
 	payload, err := json.MarshalIndent(&out, "", "  ")

@@ -76,3 +76,29 @@ func TestResultHelpers(t *testing.T) {
 		t.Fatalf("phaseIndex = %v", idx)
 	}
 }
+
+// TestRunStreamingShards drives the sharded-streaming benchmark mode end
+// to end at a tiny scale, including the BENCH_sharded.json output.
+func TestRunStreamingShards(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_sharded.json")
+	if err := runStreamingShards(120, 7, 2, 3, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchShardedJSON
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "sharded-streaming" || out.Shards != 3 || !out.Identical {
+		t.Fatalf("benchmark payload = %+v", out)
+	}
+	if out.Single.Comparisons != out.Sharded.Comparisons || out.Single.Matches != out.Sharded.Matches {
+		t.Fatalf("benchmark payload not bit-identical: %+v", out)
+	}
+	if out.Recovery.PersistWallNS <= 0 || out.Recovery.RecoveryWallNS <= 0 {
+		t.Fatalf("recovery leg unmeasured: %+v", out.Recovery)
+	}
+}

@@ -14,6 +14,7 @@
 //	      [-blocker token|standard|qgrams] [-threshold T] [-workers N]
 //	      [-weight CBS|ECBS|JS] [-prune WEP|WNP]
 //	      [-stats-every N] [-print-matches]
+//	      [-stream-shards N]
 //	      [-wal DIR [-snapshot-every N] [-wal-nosync]]
 //
 // With one -kb0 the collection is dirty (deduplication); with -kb1 it is
@@ -24,8 +25,12 @@
 // {"op":"insert|update|delete","uri":...,"source":...,"attrs":[...]}
 // object per line) through the streaming resolver, maintaining matches and
 // clusters incrementally and reporting state as the stream advances. With
-// -wal DIR the resolver is durable: every op is journaled to a write-ahead
-// log in DIR before it is applied and compacted into snapshots, and
+// -stream-shards N the blocking-key space is hash-partitioned across N
+// shard resolvers with coordinator-merged reads — results are bit-exact
+// with the single-node replay for every N. With -wal DIR the resolver is
+// durable: every op is journaled to a write-ahead log in DIR (one
+// shard-%03d WAL directory per shard when sharded, group-commit fsync
+// batching) before it is applied and compacted into snapshots, and
 // restarting the same command resumes the replay where the previous run
 // stopped — crash recovery restores the journaled state and the
 // already-applied prefix of the ops log is skipped.
@@ -189,7 +194,8 @@ func watch(args []string) {
 		pruneNm    = fs.String("prune", "WNP", "live meta-blocking prune scheme: WEP or WNP")
 		statsEvery = fs.Int("stats-every", 0, "print resolver stats every N ops (0 = only at end)")
 		printAll   = fs.Bool("print-matches", false, "print final matched URI pairs")
-		walDir     = fs.String("wal", "", "durable WAL directory: journal every op, compact into snapshots, and resume an interrupted replay of the same -ops log after restart")
+		shardsN    = fs.Int("stream-shards", 0, "shard the blocking-key space across N resolvers (0 or 1 = single-node; results are bit-exact for every N)")
+		walDir     = fs.String("wal", "", "durable WAL directory: journal every op, compact into snapshots, and resume an interrupted replay of the same -ops log after restart (per-shard subdirectories with -stream-shards)")
 		snapEvery  = fs.Int("snapshot-every", 0, "ops between WAL snapshot compactions (0 = default; requires -wal)")
 		noSync     = fs.Bool("wal-nosync", false, "skip the per-op fsync on the WAL (requires -wal)")
 	)
@@ -253,34 +259,66 @@ func watch(args []string) {
 		Meta:    meta,
 		Durable: er.StreamingDurable{SnapshotEvery: *snapEvery, NoSync: *noSync},
 	}
-	var r *er.StreamingResolver
-	var err2 error
+	var r watchResolver
 	skipped := 0
-	if *walDir != "" {
+	resume := func(recovered bool, detail string) {
 		// Durable replay: every applied op is journaled under -wal, and a
 		// restart resumes where the previous run stopped — recovery restores
 		// the journal's state, and the ops it already covers are skipped.
 		// Resumption assumes the same -ops log; the skip count is the number
 		// of operations the recovered state acknowledges.
-		r, err2 = er.PersistentResolver(*walDir, cfg)
-		if err2 != nil {
-			fail(err2)
+		if !recovered {
+			return
 		}
-		if rec := r.Recovery(); rec.Recovered {
-			st := r.Stats()
-			applied := int(st.Inserts + st.Updates + st.Deletes)
-			if applied > len(ops) {
-				fail(fmt.Errorf("wal %s holds %d applied ops but %s has only %d — resuming a different log?", *walDir, applied, *opsPath, len(ops)))
+		st := r.Stats()
+		applied := int(st.Inserts + st.Updates + st.Deletes)
+		if applied > len(ops) {
+			fail(fmt.Errorf("wal %s holds %d applied ops but %s has only %d — resuming a different log?", *walDir, applied, *opsPath, len(ops)))
+		}
+		skipped = applied
+		fmt.Printf("resumed from %s: %d ops already applied (%s)\n", *walDir, applied, detail)
+	}
+	switch {
+	case *shardsN > 1:
+		// Sharded replay: the key space hash-partitions across N shard
+		// resolvers; with -wal each shard journals under its own
+		// shard-%03d directory and recovers independently.
+		scfg := er.ShardedConfig{
+			Kind: cfg.Kind, Blocker: cfg.Blocker, Matcher: cfg.Matcher,
+			Workers: cfg.Workers, Meta: cfg.Meta, Shards: *shardsN, Durable: cfg.Durable,
+		}
+		if *walDir != "" {
+			sr, err := er.PersistentShardedResolver(*walDir, scfg)
+			if err != nil {
+				fail(err)
 			}
-			skipped = applied
-			fmt.Printf("resumed from %s: %d ops already applied (snapshot at segment %d, %d wal records replayed)\n",
-				*walDir, applied, rec.SnapshotSegment, rec.ReplayedRecords)
+			r = sr
+			replayed := 0
+			for _, rec := range sr.Recovery() {
+				replayed += rec.ReplayedRecords
+			}
+			resume(sr.Recovered(), fmt.Sprintf("%d shards, %d wal records replayed in total", *shardsN, replayed))
+		} else {
+			sr, err := er.NewShardedResolver(scfg)
+			if err != nil {
+				fail(err)
+			}
+			r = sr
 		}
-	} else {
-		r, err2 = er.NewStreamingResolver(cfg)
-		if err2 != nil {
-			fail(err2)
+	case *walDir != "":
+		sr, err := er.PersistentResolver(*walDir, cfg)
+		if err != nil {
+			fail(err)
 		}
+		r = sr
+		rec := sr.Recovery()
+		resume(rec.Recovered, fmt.Sprintf("snapshot at segment %d, %d wal records replayed", rec.SnapshotSegment, rec.ReplayedRecords))
+	default:
+		sr, err := er.NewStreamingResolver(cfg)
+		if err != nil {
+			fail(err)
+		}
+		r = sr
 	}
 	ctx := context.Background()
 	for i, op := range ops[skipped:] {
@@ -308,9 +346,19 @@ func watch(args []string) {
 	}
 }
 
+// watchResolver is the read/apply surface the watch loop needs; the
+// single-node and the sharded resolver both provide it.
+type watchResolver interface {
+	Apply(ctx context.Context, op er.StreamOp) error
+	Stats() er.StreamingStats
+	Matches() *er.Matches
+	Get(id int) (*er.Description, bool)
+	Close() error
+}
+
 // statsLine renders resolver stats, extending them with the live pruning
 // counters when meta-blocking is active.
-func statsLine(r *er.StreamingResolver, meta *er.MetaBlocker) string {
+func statsLine(r watchResolver, meta *er.MetaBlocker) string {
 	st := r.Stats()
 	if meta == nil {
 		return st.String()

@@ -152,3 +152,50 @@ func TestWatchWalResume(t *testing.T) {
 		t.Fatalf("state after resume: %+v, want 3 inserts + 1 update applied once", st)
 	}
 }
+
+// TestWatchStreamShards replays an op log through the sharded watch path —
+// in-memory, then durable with a resume, exercising the per-shard WAL
+// directories and the recovery summary.
+func TestWatchStreamShards(t *testing.T) {
+	ops := []er.StreamOp{
+		{Kind: er.StreamInsert, URI: "u:a", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+		{Kind: er.StreamInsert, URI: "u:b", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+		{Kind: er.StreamInsert, URI: "u:c", Attrs: []er.Attribute{{Name: "name", Value: "carol jones"}}},
+		{Kind: er.StreamUpdate, URI: "u:c", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+		{Kind: er.StreamDelete, URI: "u:b"},
+	}
+	var buf bytes.Buffer
+	if err := er.WriteStreamOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opsPath := filepath.Join(dir, "ops.jsonl")
+	if err := os.WriteFile(opsPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	watch([]string{"-ops", opsPath, "-stream-shards", "3", "-stats-every", "2", "-print-matches"})
+	watch([]string{"-ops", opsPath, "-stream-shards", "3", "-weight", "CBS", "-prune", "WEP"})
+
+	walDir := filepath.Join(dir, "wal")
+	watch([]string{"-ops", opsPath, "-stream-shards", "3", "-wal", walDir, "-snapshot-every", "2", "-wal-nosync"})
+	// The rerun resumes from the per-shard WALs and skips the whole log.
+	watch([]string{"-ops", opsPath, "-stream-shards", "3", "-wal", walDir, "-snapshot-every", "2", "-wal-nosync", "-print-matches"})
+
+	r, err := er.PersistentShardedResolver(walDir, er.ShardedConfig{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.4},
+		Shards:  3,
+		Durable: er.StreamingDurable{SnapshotEvery: 2, NoSync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Recovered() {
+		t.Fatal("sharded wal directory holds no recovered state")
+	}
+	if st := r.Stats(); st.Inserts != 3 || st.Updates != 1 || st.Deletes != 1 || st.Live != 2 || st.Matches != 1 {
+		t.Fatalf("recovered sharded stats = %+v", st)
+	}
+}

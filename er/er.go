@@ -28,7 +28,11 @@
 //     and a durable storage layer (PersistentResolver: every operation
 //     journaled to fsync'd CRC-framed WAL segments, compacted into
 //     snapshots, crash-recovered by snapshot restore plus bounded tail
-//     replay);
+//     replay), and a sharded deployment form (ShardedResolver: the
+//     blocking-key space hash-partitioned across N shard resolvers with
+//     coordinator-merged reads, bit-exact with the single-node resolver
+//     for every shard count, per-shard group-committed WALs, and
+//     crash-tested shard stop/rejoin bootstrap);
 //   - the Pipeline tying the phases together (Fig. 1 of the paper);
 //   - synthetic data generation, N-Triples I/O and evaluation metrics.
 //
@@ -57,6 +61,7 @@ import (
 	"entityres/internal/pipeline"
 	"entityres/internal/progressive"
 	"entityres/internal/rdf"
+	"entityres/internal/sharded"
 	"entityres/internal/simjoin"
 	"entityres/internal/token"
 )
@@ -401,6 +406,38 @@ func NewStreamingResolver(cfg StreamingConfig) (*StreamingResolver, error) {
 // live state, and Close to seal the journal.
 func PersistentResolver(dir string, cfg StreamingConfig) (*StreamingResolver, error) {
 	return incremental.OpenResolver(dir, cfg)
+}
+
+// Sharded streaming resolution: the key-partitioned deployment form.
+type (
+	// ShardedResolver distributes the streaming resolver across the
+	// blocking-key space: a coordinator hash-partitions keys over N shard
+	// resolvers, fans every operation out in parallel, and merges the
+	// shard-local match edges so reads are globally consistent — and
+	// bit-exact with the single-node StreamingResolver (and batch) for
+	// every shard count, including comparison counts and restructured
+	// blocks. Shards journal to their own WALs (group-commit fsync
+	// batching) and can be hard-stopped and rejoined from their own
+	// snapshot + WAL tail (StopShard / RejoinShard) without global replay.
+	ShardedResolver = sharded.Resolver
+	// ShardedConfig parameterizes a ShardedResolver: the StreamingConfig
+	// fields plus the shard count and per-shard durability options.
+	ShardedConfig = sharded.Config
+)
+
+// NewShardedResolver validates the configuration and returns an empty
+// in-memory sharded streaming resolver.
+func NewShardedResolver(cfg ShardedConfig) (*ShardedResolver, error) {
+	return sharded.New(cfg)
+}
+
+// PersistentShardedResolver opens a durable sharded resolver rooted at
+// dir: shard i journals every operation to its own write-ahead log under
+// dir/shard-%03d, and an existing directory is recovered shard by shard
+// with the coordinator's replica rebuilt from the shards. The shard count
+// is pinned in a manifest on first use.
+func PersistentShardedResolver(dir string, cfg ShardedConfig) (*ShardedResolver, error) {
+	return sharded.Open(dir, cfg)
 }
 
 // NewBlockIndex returns an empty incremental block index.

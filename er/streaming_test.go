@@ -254,3 +254,85 @@ func TestFacadePersistentResolver(t *testing.T) {
 		t.Fatalf("post-recovery stats %+v, want %+v", g, w)
 	}
 }
+
+// TestFacadeShardedResolver exercises the public sharded surface end to
+// end: the same op stream through a single-node and a sharded resolver,
+// bit-equal state; a durable sharded run with a shard hard-stopped and
+// rejoined; and the Pipeline's StreamShards knob.
+func TestFacadeShardedResolver(t *testing.T) {
+	c, _, err := er.GenerateDirty(er.GenConfig{Seed: 9, Entities: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5}
+	single, err := er.NewStreamingResolver(er.StreamingConfig{
+		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: m, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := er.NewShardedResolver(er.ShardedConfig{
+		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: m, Workers: 2, Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, d := range c.All() {
+		if _, err := single.Insert(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sh.Insert(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss, hs := single.Stats(), sh.Stats()
+	if ss != hs {
+		t.Fatalf("sharded stats %+v diverge from single-node %+v", hs, ss)
+	}
+	single.Matches().Each(func(p er.Pair) bool {
+		if !sh.Matches().Contains(p.A, p.B) {
+			t.Fatalf("sharded state misses match %v", p)
+		}
+		return true
+	})
+
+	// Durable: journal into per-shard WALs, hard-stop a shard, rejoin it.
+	dir := t.TempDir()
+	pr, err := er.PersistentShardedResolver(dir, er.ShardedConfig{
+		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: m, Workers: 2, Shards: 3,
+		Durable: er.StreamingDurable{NoSync: true, SnapshotEvery: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	for _, d := range c.All() {
+		if _, err := pr.Insert(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pr.StopShard(1); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := pr.RejoinShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Recovered {
+		t.Fatal("rejoined shard found no state")
+	}
+	if st := pr.Stats(); st != ss {
+		t.Fatalf("durable sharded stats %+v diverge from single-node %+v after rejoin", st, ss)
+	}
+
+	// Pipeline knob: StreamShards replays through the sharded resolver.
+	res, err := (&er.Pipeline{Blocker: &er.TokenBlocking{}, Matcher: m, Mode: er.StreamingMode, StreamShards: 4}).Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches.Len() != ss.Matches || res.Comparisons != ss.Comparisons {
+		t.Fatalf("StreamShards pipeline (%d matches, %d comparisons) != resolver (%d matches, %d comparisons)",
+			res.Matches.Len(), res.Comparisons, ss.Matches, ss.Comparisons)
+	}
+}

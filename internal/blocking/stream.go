@@ -123,6 +123,28 @@ func (bi *BlockIndex) DF(key string) int { return bi.ix.DF(key) }
 // (owned by the index; do not mutate), or nil when it is not indexed.
 func (bi *BlockIndex) Keys(id entity.ID) []string { return bi.keys[id] }
 
+// DistinctKeys normalizes a raw key slice exactly the way BlockIndex.Add
+// indexes it: empty keys dropped, duplicates removed, the result sorted
+// ascending. It is exported so layers that reason about a description's
+// indexed key set without an index at hand — the sharded resolver's
+// cross-shard pair-ownership rule above all — normalize identically.
+func DistinctKeys(keys []string) []string {
+	distinct := make([]string, 0, len(keys))
+	seen := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		if k == "" {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		distinct = append(distinct, k)
+	}
+	sort.Strings(distinct)
+	return distinct
+}
+
 // Add indexes a description under its blocking keys. Keys are deduplicated
 // and empty keys dropped, mirroring the batch builder. Adding an ID that is
 // already indexed is an error: update is Remove followed by Add.
@@ -140,19 +162,7 @@ func (bi *BlockIndex) Add(id entity.ID, source int, keys []string) error {
 			return fmt.Errorf("blocking: dirty index requires source 0, got %d", source)
 		}
 	}
-	distinct := make([]string, 0, len(keys))
-	seen := make(map[string]struct{}, len(keys))
-	for _, k := range keys {
-		if k == "" {
-			continue
-		}
-		if _, dup := seen[k]; dup {
-			continue
-		}
-		seen[k] = struct{}{}
-		distinct = append(distinct, k)
-	}
-	sort.Strings(distinct)
+	distinct := DistinctKeys(keys)
 	bi.keys[id] = distinct
 	bi.source[id] = source
 	bi.ix.AddDocument(id, distinct)

@@ -24,6 +24,7 @@ import (
 	"entityres/internal/matching"
 	"entityres/internal/metablocking"
 	"entityres/internal/progressive"
+	"entityres/internal/sharded"
 )
 
 // Mode selects the execution strategy of the matching/update phases.
@@ -119,6 +120,15 @@ type Pipeline struct {
 	// StreamDurable tunes the StreamDir journal (segment size, snapshot
 	// cadence, fsync policy).
 	StreamDurable incremental.DurableOptions
+	// StreamShards, in Streaming mode, replays the collection through the
+	// sharded streaming resolver (package sharded) with this many key-hash
+	// shards instead of the single-node resolver: each shard owns a slice
+	// of the blocking-key space and the coordinator merges their match
+	// edges, with results bit-exact for every shard count. 0 or 1 keeps the
+	// single-node resolver. With StreamDir set, each shard journals to its
+	// own WAL directory shard-%03d under StreamDir (group-commit fsync
+	// batching).
+	StreamShards int
 }
 
 // PhaseStat records one framework phase execution.
@@ -165,6 +175,12 @@ func (p *Pipeline) Validate() error {
 	if p.StreamDurable != (incremental.DurableOptions{}) && p.StreamDir == "" {
 		return fmt.Errorf("core: StreamDurable tunes the StreamDir journal and requires StreamDir to be set")
 	}
+	if p.StreamShards < 0 {
+		return fmt.Errorf("core: StreamShards must be >= 0, got %d", p.StreamShards)
+	}
+	if p.StreamShards > 1 && p.Mode != Streaming {
+		return fmt.Errorf("core: StreamShards (sharded streaming) requires %s mode, got %s", Streaming, p.Mode)
+	}
 	if p.Mode == Streaming {
 		if _, ok := p.Blocker.(blocking.StreamableBlocker); !ok {
 			return fmt.Errorf("core: streaming mode requires a collection-independent blocker (blocking.StreamableBlocker), got %q", p.Blocker.Name())
@@ -209,13 +225,41 @@ func (p *Pipeline) StreamingSetup(kind entity.Kind, workers int) (*incremental.R
 	return incremental.New(cfg)
 }
 
+// ShardedSetup builds the sharded streaming resolver for a Streaming-mode
+// pipeline with StreamShards > 1 — per-shard durable under StreamDir when
+// the pipeline sets one, in-memory otherwise.
+func (p *Pipeline) ShardedSetup(kind entity.Kind, workers int) (*sharded.Resolver, error) {
+	sb, ok := p.Blocker.(blocking.StreamableBlocker)
+	if !ok {
+		return nil, fmt.Errorf("core: streaming mode requires a blocking.StreamableBlocker")
+	}
+	cfg := sharded.Config{
+		Kind:    kind,
+		Blocker: sb,
+		Matcher: p.Matcher,
+		Workers: workers,
+		Meta:    p.Meta,
+		Shards:  p.StreamShards,
+		Durable: p.StreamDurable,
+	}
+	if p.StreamDir != "" {
+		return sharded.Open(p.StreamDir, cfg)
+	}
+	return sharded.New(cfg)
+}
+
 // ReplayStreaming replays c through a fresh incremental resolver built
 // from the pipeline configuration and shapes the outcome as a batch
 // result (matches, comparison count, block collection). It is the single
 // streaming-mode execution path, shared by the sequential runner (one
 // worker, background context) and the concurrent engine (its worker pool
-// and cancellable context) so the two cannot drift apart.
+// and cancellable context) so the two cannot drift apart. With
+// StreamShards > 1 the replay runs through the sharded resolver instead —
+// the results are bit-exact either way.
 func (p *Pipeline) ReplayStreaming(ctx context.Context, res *Result, c *entity.Collection, workers int) error {
+	if p.StreamShards > 1 {
+		return p.replayStreamingSharded(ctx, res, c, workers)
+	}
 	r, err := p.StreamingSetup(c.Kind(), workers)
 	if err != nil {
 		return err
@@ -233,6 +277,32 @@ func (p *Pipeline) ReplayStreaming(ctx context.Context, res *Result, c *entity.C
 		// Settle the deferred weighting/pruning under the caller's context,
 		// and report the pruned pair blocks — the collection batch
 		// meta-blocking would hand its matcher.
+		if err := r.Flush(ctx); err != nil {
+			return err
+		}
+		res.Blocks = r.RestructuredBlocks()
+	} else {
+		res.Blocks = r.Blocks()
+	}
+	res.Matches = r.Matches()
+	res.Comparisons = r.Stats().Comparisons
+	return r.Close()
+}
+
+// replayStreamingSharded is ReplayStreaming over the sharded resolver; the
+// extraction sequence mirrors the single-node path exactly.
+func (p *Pipeline) replayStreamingSharded(ctx context.Context, res *Result, c *entity.Collection, workers int) error {
+	r, err := p.ShardedSetup(c.Kind(), workers)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for _, d := range c.All() {
+		if _, err := r.Insert(ctx, d); err != nil {
+			return err
+		}
+	}
+	if p.Meta != nil {
 		if err := r.Flush(ctx); err != nil {
 			return err
 		}

@@ -315,3 +315,99 @@ func TestPipelineStreamDirValidation(t *testing.T) {
 		t.Fatal("StreamDurable accepted without StreamDir")
 	}
 }
+
+// TestPipelineStreamShards: Streaming mode with StreamShards > 1 replays
+// the collection through the sharded resolver and reproduces the batch —
+// and therefore the single-node streaming — result bit for bit: matches,
+// clusters, comparison count and blocks, for several shard counts, with
+// and without live meta-blocking.
+func TestPipelineStreamShards(t *testing.T) {
+	c, _ := testData(t)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	for _, meta := range []*metablocking.MetaBlocker{
+		nil,
+		{Weight: metablocking.CBS, Prune: metablocking.WEP},
+	} {
+		batch := &Pipeline{Blocker: &blocking.TokenBlocking{}, Meta: meta, Matcher: m, Mode: Batch}
+		want, err := batch.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{2, 5} {
+			name := fmt.Sprintf("shards=%d", n)
+			if meta != nil {
+				name += "/" + meta.Name()
+			}
+			t.Run(name, func(t *testing.T) {
+				stream := &Pipeline{Blocker: &blocking.TokenBlocking{}, Meta: meta, Matcher: m, Mode: Streaming, StreamShards: n}
+				got, err := stream.Run(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gm, wm := sortedPairs(got.Matches), sortedPairs(want.Matches); !reflect.DeepEqual(gm, wm) {
+					t.Errorf("sharded streaming matches diverge from batch:\nsharded %v\nbatch   %v", gm, wm)
+				}
+				if got.Comparisons != want.Comparisons {
+					t.Errorf("sharded streaming comparisons = %d, batch = %d", got.Comparisons, want.Comparisons)
+				}
+				if !reflect.DeepEqual(got.Clusters(), want.Clusters()) {
+					t.Errorf("sharded streaming clusters diverge from batch")
+				}
+				if got.Blocks.Len() != want.Blocks.Len() {
+					t.Errorf("sharded streaming blocks = %d, batch = %d", got.Blocks.Len(), want.Blocks.Len())
+				}
+			})
+		}
+	}
+}
+
+// TestPipelineStreamShardsDurable: StreamShards + StreamDir journals each
+// shard under shard-%03d and the directory recovers through sharded.Open.
+func TestPipelineStreamShardsDurable(t *testing.T) {
+	c, _ := testData(t)
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	dir := t.TempDir()
+	p := &Pipeline{Blocker: &blocking.TokenBlocking{}, Matcher: m, Mode: Streaming,
+		StreamShards: 3, StreamDir: dir,
+		StreamDurable: incremental.DurableOptions{NoSync: true, SnapshotEvery: 8}}
+	want, err := p.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.ShardedSetup(c.Kind(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Recovered() {
+		t.Fatal("StreamDir left no recoverable sharded state")
+	}
+	if st := r.Stats(); st.Live != c.Len() || st.Matches != want.Matches.Len() || st.Comparisons != want.Comparisons {
+		t.Fatalf("recovered sharded state %+v diverges from the pipeline result (%d matches, %d comparisons)",
+			st, want.Matches.Len(), want.Comparisons)
+	}
+}
+
+// TestPipelineStreamShardsValidation: sharded streaming is a
+// Streaming-mode option with a sane shard count.
+func TestPipelineStreamShardsValidation(t *testing.T) {
+	m := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	p := &Pipeline{Blocker: &blocking.TokenBlocking{}, Matcher: m, Mode: Batch, StreamShards: 4}
+	if err := p.Validate(); err == nil {
+		t.Fatal("StreamShards accepted outside Streaming mode")
+	}
+	p.Mode = Streaming
+	if err := p.Validate(); err != nil {
+		t.Fatalf("StreamShards rejected in Streaming mode: %v", err)
+	}
+	p.StreamShards = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative StreamShards accepted")
+	}
+	// StreamShards <= 1 is the single-node resolver in any mode's terms:
+	// valid in Batch too, since it changes nothing.
+	p.Mode, p.StreamShards = Batch, 1
+	if err := p.Validate(); err != nil {
+		t.Fatalf("StreamShards=1 rejected: %v", err)
+	}
+}

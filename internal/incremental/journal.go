@@ -94,11 +94,27 @@ type DurableOptions struct {
 	// acknowledged since the last sync. For tests, benchmarks and workloads
 	// that can afford to replay.
 	NoSync bool
+	// GroupCommit batches the fsyncs of concurrent journal appenders into
+	// group syncs (wal.Options.GroupCommit): every operation is still
+	// durable before it is acknowledged, but one fsync can cover many.
+	// Batching requires concurrent appenders on one log; a resolver
+	// serializes its own operations, so with a single writer the mode is
+	// sync-for-sync identical to per-op fsync. The sharded resolver
+	// enables it on every per-shard WAL so concurrent ingestion (the
+	// multi-process-transport follow-on) batches automatically.
+	GroupCommit bool
 }
 
 // DefaultSnapshotEvery is the automatic compaction cadence when
 // DurableOptions.SnapshotEvery is zero.
 const DefaultSnapshotEvery = 1024
+
+// ShardedManifestName is the marker file a sharded deployment root
+// (package sharded) pins its layout with. It lives here — the one durable
+// layer both deployment forms build on — so the single-node OpenResolver
+// and the sharded coordinator agree on it from a single definition and
+// can refuse to open each other's directories.
+const ShardedManifestName = "shards.manifest"
 
 // RecoveryInfo describes what OpenResolver restored.
 type RecoveryInfo struct {
@@ -144,6 +160,12 @@ func decodeRecord(payload []byte) (Record, error) {
 	if err := json.Unmarshal(payload, &j); err != nil {
 		return Record{}, fmt.Errorf("incremental: decoding journal record: %w", err)
 	}
+	return recordFromJSON(j)
+}
+
+// recordFromJSON converts the wire form back into a record; shared by the
+// WAL frame decoder and the snapshot codec's preserved last record.
+func recordFromJSON(j recordJSON) (Record, error) {
 	rec := Record{ID: j.ID, URI: j.URI, Source: j.Source}
 	switch j.Op {
 	case "insert":
@@ -276,7 +298,14 @@ func OpenResolver(dir string, cfg Config) (*Resolver, error) {
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(dir, wal.Options{SegmentBytes: cfg.Durable.SegmentBytes, NoSync: cfg.Durable.NoSync})
+	// A sharded deployment's root (package sharded) holds per-shard
+	// journals in shard-%03d subdirectories; opening it as a single-node
+	// directory would start a fresh journal beside them and silently
+	// ignore the real state.
+	if _, serr := os.Stat(filepath.Join(dir, ShardedManifestName)); serr == nil {
+		return nil, fmt.Errorf("incremental: %s is a sharded resolver directory (%s present); open it with the sharded resolver", dir, ShardedManifestName)
+	}
+	log, err := wal.Open(dir, wal.Options{SegmentBytes: cfg.Durable.SegmentBytes, NoSync: cfg.Durable.NoSync, GroupCommit: cfg.Durable.GroupCommit})
 	if err != nil {
 		return nil, fmt.Errorf("incremental: opening wal: %w", err)
 	}
@@ -370,6 +399,21 @@ func (r *Resolver) Recovery() RecoveryInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.recovery
+}
+
+// LastRecord returns the most recently applied operation in its journaled,
+// replayable form — tracked across restarts (it is part of the snapshot,
+// so compaction never loses it). The sharded coordinator uses it to repair
+// a whole-process crash that interrupted a fan-out between shards: the
+// shard whose journal runs one operation ahead donates the record so the
+// others can roll forward to the same point.
+func (r *Resolver) LastRecord() (Record, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastRecord == nil {
+		return Record{}, false
+	}
+	return *r.lastRecord, true
 }
 
 var errClosed = fmt.Errorf("incremental: resolver is closed")

@@ -25,9 +25,7 @@ import (
 	"fmt"
 
 	"entityres/internal/blocking"
-	"entityres/internal/entity"
 	"entityres/internal/graph"
-	"entityres/internal/matching"
 	"entityres/internal/metablocking"
 )
 
@@ -98,109 +96,24 @@ func (r *Resolver) reconcile(ctx context.Context) error {
 	// (WeightedGraph.Graph + the WEP/WNP pruners), so identical statistics
 	// yield bit-identical surviving edges. WEP and WNP never consult the
 	// block collection (only the batch-only CEP/CNP budgets do, and
-	// ValidateStreaming rejected those), hence the nil.
+	// ValidateStreaming rejected those), hence the nil. The evaluation of
+	// the kept pairs — cache-miss matching, decision caching, diffing the
+	// match graph against {kept ∧ similar} — is the shared ReconcileKept
+	// core (decisions.go), which the sharded coordinator's global
+	// reconcile runs too.
 	g := r.weighted.Graph(r.cfg.Meta.Weight)
 	kept := r.cfg.Meta.PruneGraph(g, nil)
-
-	// Evaluate the kept pairs whose matcher decision is not cached. The
-	// similarity is a pure function of the two descriptions (enforced at
-	// construction), so a cached decision stays valid until one endpoint
-	// is updated or deleted, which invalidates it (retire).
-	var fresh []entity.Pair
-	for _, e := range kept {
-		if _, ok := r.cachedSim(e.A, e.B); !ok {
-			fresh = append(fresh, entity.NewPair(e.A, e.B))
+	n, err := ReconcileKept(ctx, r.coll, r.cfg.Matcher, r.cfg.Workers, r.simCache, r.dyn, kept)
+	if err != nil {
+		// The journal record is retracted with the work still pending;
+		// retrying the read restores consistency.
+		if journaled {
+			r.retractRecord()
 		}
+		return fmt.Errorf("incremental: meta reconcile: %w", err)
 	}
-	if len(fresh) > 0 {
-		frontier := blocking.NewBlocks(entity.CleanClean)
-		for _, p := range fresh {
-			frontier.Add(&blocking.Block{
-				Key: fmt.Sprintf("meta:%d-%d", p.A, p.B),
-				S0:  []entity.ID{p.A},
-				S1:  []entity.ID{p.B},
-			})
-		}
-		// Small frontiers skip the worker pool, mirroring index().
-		workers := r.cfg.Workers
-		if frontier.TotalComparisons() < sequentialDeltaMax {
-			workers = 1
-		}
-		out, err := matching.ResolveBlocksParallel(ctx, r.coll, frontier, r.cfg.Matcher, workers)
-		if err != nil {
-			// Cancelled mid-frontier: drop the partial result so the match
-			// state stays exactly what it was before the call, and leave
-			// the work pending. Partial comparisons are not counted —
-			// Stats.Comparisons sums completed reconciles only, keeping it
-			// equal to a batch run's count on replayed static collections.
-			// The journal record is retracted with the work still pending.
-			if journaled {
-				r.retractRecord()
-			}
-			return fmt.Errorf("incremental: meta reconcile: %w", err)
-		}
-		r.stats.Comparisons += out.Comparisons
-		for _, p := range fresh {
-			r.setCachedSim(p.A, p.B, out.Matches.Contains(p.A, p.B))
-		}
-	}
-
-	// Make the match graph equal {kept ∧ similar}: retire edges whose pair
-	// fell out of the pruned graph, add edges that newly entered it.
-	desired := make(map[entity.Pair]struct{}, len(kept))
-	for _, e := range kept {
-		if sim, _ := r.cachedSim(e.A, e.B); sim {
-			desired[entity.NewPair(e.A, e.B)] = struct{}{}
-		}
-	}
-	var stale []entity.Pair
-	r.dyn.Graph().EachEdge(func(e graph.Edge) bool {
-		p := entity.NewPair(e.A, e.B)
-		if _, keep := desired[p]; !keep {
-			stale = append(stale, p)
-		}
-		return true
-	})
-	r.dyn.RemoveEdges(stale)
-	for p := range desired {
-		r.dyn.AddEdge(p.A, p.B, 1)
-	}
-
+	r.stats.Comparisons += n
 	r.lastKept = kept
 	r.metaDirty = false
 	return nil
-}
-
-// cachedSim returns the cached matcher decision for {a, b} and whether one
-// exists. Callers hold r.mu.
-func (r *Resolver) cachedSim(a, b entity.ID) (sim, ok bool) {
-	sim, ok = r.simCache[a][b]
-	return sim, ok
-}
-
-// setCachedSim records the matcher decision for {a, b} in both directions,
-// so invalidation by either endpoint finds it. Callers hold r.mu.
-func (r *Resolver) setCachedSim(a, b entity.ID, sim bool) {
-	for _, d := range [2][2]entity.ID{{a, b}, {b, a}} {
-		m, ok := r.simCache[d[0]]
-		if !ok {
-			m = make(map[entity.ID]bool)
-			r.simCache[d[0]] = m
-		}
-		m[d[1]] = sim
-	}
-}
-
-// invalidateSims drops every cached decision involving id — its content is
-// about to change or disappear. Cost is proportional to id's cached
-// degree. Callers hold r.mu.
-func (r *Resolver) invalidateSims(id entity.ID) {
-	for other := range r.simCache[id] {
-		m := r.simCache[other]
-		delete(m, id)
-		if len(m) == 0 {
-			delete(r.simCache, other)
-		}
-	}
-	delete(r.simCache, id)
 }

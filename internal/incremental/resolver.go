@@ -71,6 +71,24 @@ type Config struct {
 	// fsync policy. New ignores it: in-memory resolvers run on the no-op
 	// journal.
 	Durable DurableOptions
+	// DeltaFilter, when set, restricts delta matching to the candidate
+	// pairs the filter claims for this resolver. It is invoked once per
+	// operation with the operated-on description d and returns the claim
+	// function for d's frontier: a candidate `other` suggested under
+	// blocking key `key` is evaluated only when claim(key, other) returns
+	// true — the two-level shape lets the filter derive d's state once and
+	// memoize per-candidate work across d's keys. The sharded coordinator
+	// (package sharded) uses it to assign every cross-shard candidate pair
+	// to exactly one shard — the owner of the pair's first shared blocking
+	// key — so the shard comparison counts sum to the single-node
+	// resolver's count bit for bit. The filter must be a deterministic pure
+	// function of the descriptions' current attributes and must not retain
+	// them; it is not captured by snapshots, so a resolver recovered by
+	// OpenResolver must be configured with an identical filter or replay
+	// diverges. The claim function is only used until filterDelta returns,
+	// from one goroutine. Nil evaluates every suggested pair (the
+	// single-node behavior).
+	DeltaFilter func(d *entity.Description) func(key string, other *entity.Description) bool
 }
 
 // Stats summarizes the work a resolver has performed.
@@ -112,8 +130,12 @@ type Resolver struct {
 	// sinceSnap counts operations since the last checkpoint.
 	snapEvery int
 	sinceSnap int
-	// recovery describes what OpenResolver restored.
-	recovery RecoveryInfo
+	// recovery describes what OpenResolver restored; lastRecord is the
+	// most recently applied operation in journal-record form (kept across
+	// snapshots, so a fan-out-tear donor never loses it to compaction —
+	// see LastRecord).
+	recovery   RecoveryInfo
+	lastRecord *Record
 	// broken, once set, fails every further mutating operation: the
 	// resolver was closed, or a journal rollback failed and the log no
 	// longer mirrors memory.
@@ -138,7 +160,7 @@ type Resolver struct {
 	// decisions, the edges retained by the latest pruning pass, and the
 	// dirty flag driving the deferred reconcile (see meta.go).
 	weighted  *metablocking.WeightedGraph
-	simCache  map[entity.ID]map[entity.ID]bool
+	simCache  *DecisionCache
 	lastKept  []graph.Edge
 	metaDirty bool
 
@@ -181,7 +203,7 @@ func New(cfg Config) (*Resolver, error) {
 		// notifications, so every Add/Remove below keeps it current.
 		r.weighted = metablocking.NewWeightedGraph(cfg.Kind)
 		r.blocks.Observe(r.weighted)
-		r.simCache = make(map[entity.ID]map[entity.ID]bool)
+		r.simCache = NewDecisionCache()
 	}
 	return r, nil
 }
@@ -247,6 +269,7 @@ func (r *Resolver) applyInsert(ctx context.Context, d *entity.Description) (enti
 	}
 	r.liveCount++
 	r.stats.Inserts++
+	r.lastRecord = &Record{Kind: OpInsert, ID: id, URI: cp.URI, Source: cp.Source, Attrs: cp.Attrs}
 	return id, nil
 }
 
@@ -305,6 +328,7 @@ func (r *Resolver) applyUpdate(ctx context.Context, id entity.ID, attrs []entity
 		return err
 	}
 	r.stats.Updates++
+	r.lastRecord = &Record{Kind: OpUpdate, ID: id, Attrs: d.Attrs}
 	return nil
 }
 
@@ -338,6 +362,7 @@ func (r *Resolver) applyDelete(id entity.ID) {
 	r.live[id] = false
 	r.liveCount--
 	r.stats.Deletes++
+	r.lastRecord = &Record{Kind: OpDelete, ID: id}
 }
 
 // Lookup returns the handle of the live description with the given URI.
@@ -363,7 +388,7 @@ func (r *Resolver) retire(id entity.ID) {
 	r.blocks.Remove(id)
 	r.dyn.RemoveNode(id)
 	if r.weighted != nil {
-		r.invalidateSims(id)
+		r.simCache.Invalidate(id)
 		r.metaDirty = true
 	}
 }
@@ -385,6 +410,9 @@ func (r *Resolver) index(ctx context.Context, id entity.ID) error {
 		return nil
 	}
 	delta := r.blocks.DeltaBlocks(id)
+	if r.cfg.DeltaFilter != nil {
+		delta = r.filterDelta(d, delta)
+	}
 	// Small frontiers skip the worker pool: a pool spin-up costs more than
 	// matching a handful of pairs, and most per-op deltas are far below one
 	// scheduling chunk.
@@ -410,6 +438,30 @@ func (r *Resolver) index(ctx context.Context, id entity.ID) error {
 		return true
 	})
 	return nil
+}
+
+// filterDelta rebuilds d's comparison frontier keeping only the candidates
+// the configured DeltaFilter claims for this resolver. The frontier keeps
+// DeltaBlocks' shape — one CleanClean block per key, candidates ascending —
+// so the downstream dedup and ordering behavior is unchanged; blocks whose
+// candidates are all claimed elsewhere are dropped like any comparison-free
+// block. Callers hold r.mu.
+func (r *Resolver) filterDelta(d *entity.Description, delta *blocking.Blocks) *blocking.Blocks {
+	claim := r.cfg.DeltaFilter(d)
+	out := blocking.NewBlocks(entity.CleanClean)
+	for _, b := range delta.All() {
+		var kept []entity.ID
+		for _, other := range b.S1 {
+			if claim(b.Key, r.coll.Get(other)) {
+				kept = append(kept, other)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		out.Add(&blocking.Block{Key: b.Key, S0: b.S0, S1: kept})
+	}
+	return out
 }
 
 // sequentialDeltaMax is the frontier size (suggested comparisons,
@@ -470,6 +522,72 @@ func (r *Resolver) Get(id entity.ID) (*entity.Description, bool) {
 		return nil, false
 	}
 	return r.coll.Get(id).Clone(), true
+}
+
+// Counters returns the resolver's raw operation and comparison counters
+// plus the live-description count WITHOUT reconciling deferred
+// meta-blocking work — unlike Stats it never mutates state, so a
+// coordinator can aggregate shard counters without triggering shard-local
+// pruning. The reconcile-dependent fields (Matches, Clusters,
+// CandidatePairs, KeptPairs) are left zero.
+func (r *Resolver) Counters() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.Live = r.liveCount
+	return st
+}
+
+// MatchNeighbors returns the descriptions currently matched to id in this
+// resolver's match graph, sorted ascending (nil when it has none), without
+// reconciling deferred meta-blocking work. It is the per-operation edge
+// feed of the sharded coordinator: after an operation on id, the union of
+// the shards' neighbors of id is exactly the global match delta.
+func (r *Resolver) MatchNeighbors(id entity.ID) []entity.ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dyn.Graph().Neighbors(id)
+}
+
+// MatchEdges returns the resolver's current match edges sorted by (A, B),
+// without reconciling deferred meta-blocking work — the raw shard-local
+// edge set a coordinator unions into its global match graph.
+func (r *Resolver) MatchEdges() []graph.Edge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dyn.SnapshotEdges()
+}
+
+// MergeWeightedInto folds this resolver's live weighted blocking graph
+// into dst and reports whether the resolver maintains one (Meta
+// configured). The fold is purely additive, so a coordinator that merges
+// shards owning disjoint key spaces reconstructs exactly the weighted
+// graph a single resolver over the whole key space would hold.
+func (r *Resolver) MergeWeightedInto(dst *metablocking.WeightedGraph) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.weighted == nil {
+		return false
+	}
+	dst.Merge(r.weighted)
+	return true
+}
+
+// EachSlot enumerates every collection slot in handle order — dead slots
+// (deleted descriptions, burned inserts) included, with live=false and the
+// description's content unspecified — stopping early if fn returns false.
+// The description handed to fn is the resolver's own; callers must not
+// retain or mutate it. No deferred work is reconciled. This is the bulk
+// state feed a coordinator rebuilds its replica from when reopening a
+// sharded directory.
+func (r *Resolver) EachSlot(fn func(id entity.ID, live bool, d *entity.Description) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range r.coll.All() {
+		if !fn(d.ID, r.live[d.ID], d) {
+			return
+		}
+	}
 }
 
 // Snapshot materializes the resolver's state as a fresh batch-shaped

@@ -46,6 +46,10 @@ type snapshotJSON struct {
 	Slots   []slotJSON     `json:"slots,omitempty"`
 	Stats   statsJSON      `json:"stats"`
 	Matches [][2]entity.ID `json:"matches,omitempty"`
+	// LastRecord is the most recently applied operation, preserved across
+	// compaction so a sharded fan-out-tear donor (Resolver.LastRecord) can
+	// always produce it even when the WAL tail is empty.
+	LastRecord *recordJSON `json:"last_record,omitempty"`
 
 	Weighted  *metablocking.WeightedGraphSnapshot `json:"weighted,omitempty"`
 	SimCache  []simCacheJSON                      `json:"sim_cache,omitempty"`
@@ -83,6 +87,28 @@ type keptJSON struct {
 	A entity.ID `json:"a"`
 	B entity.ID `json:"b"`
 	W float64   `json:"w"`
+}
+
+// Abandon hard-stops the resolver, simulating a process crash: the
+// journal's file handles — and with them the WAL directory lock, which the
+// kernel would release when a crashed process exits — are dropped with
+// none of the graceful shutdown work (no checkpoint, no reconcile, no
+// final compaction). The on-disk state is exactly what the journaled
+// operations left there, which is what crash recovery must reopen from.
+// It is the kill -9 of the shard lifecycle: sharded.Resolver.StopShard
+// hard-stops a shard with it, and the crash test suites reopen abandoned
+// directories with OpenResolver. Abandoning an in-memory resolver only
+// disables further mutation.
+func (r *Resolver) Abandon() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.journal.(*walJournal); ok {
+		// Close releases the fds and the flock without writing any record;
+		// the fsync it performs only hardens bytes the journal already
+		// acknowledged, so the logical file content is untouched.
+		j.log.Close()
+	}
+	r.broken = errClosed
 }
 
 // fingerprintMeta renders the configured meta-blocker for the snapshot
@@ -123,6 +149,13 @@ func (r *Resolver) encodeSnapshot() ([]byte, error) {
 	for _, e := range r.dyn.SnapshotEdges() {
 		s.Matches = append(s.Matches, [2]entity.ID{e.A, e.B})
 	}
+	if r.lastRecord != nil {
+		j := recordJSON{Op: r.lastRecord.Kind.String(), ID: r.lastRecord.ID, URI: r.lastRecord.URI, Source: r.lastRecord.Source}
+		for _, a := range r.lastRecord.Attrs {
+			j.Attrs = append(j.Attrs, attrJSON{Name: a.Name, Value: a.Value})
+		}
+		s.LastRecord = &j
+	}
 	if r.weighted != nil {
 		s.Weighted = r.weighted.Snapshot()
 		s.SimCache = encodeSimCache(r.simCache)
@@ -140,15 +173,12 @@ func (r *Resolver) encodeSnapshot() ([]byte, error) {
 
 // encodeSimCache flattens the bidirectional decision cache into canonical
 // (A < B) entries, sorted for a deterministic layout.
-func encodeSimCache(cache map[entity.ID]map[entity.ID]bool) []simCacheJSON {
+func encodeSimCache(cache *DecisionCache) []simCacheJSON {
 	var out []simCacheJSON
-	for a, m := range cache {
-		for b, sim := range m {
-			if a < b {
-				out = append(out, simCacheJSON{A: a, B: b, Match: sim})
-			}
-		}
-	}
+	cache.Each(func(a, b entity.ID, sim bool) bool {
+		out = append(out, simCacheJSON{A: a, B: b, Match: sim})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].A != out[j].A {
 			return out[i].A < out[j].A
@@ -244,15 +274,23 @@ func (r *Resolver) restoreSnapshot(payload []byte) error {
 		}
 		r.weighted = wg
 		r.blocks.Observe(wg)
-		r.simCache = make(map[entity.ID]map[entity.ID]bool)
+		r.simCache = NewDecisionCache()
 		for _, e := range s.SimCache {
-			r.setCachedSim(e.A, e.B, e.Match)
+			r.simCache.Set(e.A, e.B, e.Match)
 		}
 		r.lastKept = r.lastKept[:0]
 		for _, k := range s.LastKept {
 			r.lastKept = append(r.lastKept, graph.Edge{A: k.A, B: k.B, Weight: k.W})
 		}
 		r.metaDirty = s.MetaDirty
+	}
+
+	if s.LastRecord != nil {
+		rec, err := recordFromJSON(*s.LastRecord)
+		if err != nil {
+			return fmt.Errorf("incremental: snapshot last record: %w", err)
+		}
+		r.lastRecord = &rec
 	}
 
 	r.stats.Inserts = s.Stats.Inserts

@@ -1,0 +1,103 @@
+// The coordinator's deferred meta-blocking path: the sharded counterpart
+// of the single-node resolver's reconcile (incremental/meta.go).
+//
+// With Config.Meta set, every shard maintains the weighted-blocking-graph
+// statistics of its owned key space (its block index notifies its
+// metablocking.WeightedGraph) and defers all matching. The pruning
+// decision, however, is global — WEP's mean is over every edge, WNP's
+// neighborhoods span whichever shards a description's keys hash into — so
+// the coordinator reconciles at read time: merge the shard graphs (the
+// statistics are strictly additive because each block lives wholly in one
+// shard), prune with the exact batch pruners, evaluate the kept pairs that
+// miss the coordinator's decision cache through the matcher pool, and diff
+// the global match graph against {kept ∧ similar}. A static replay
+// followed by one read therefore evaluates exactly the finally-kept pairs
+// — matches AND comparison counts equal the single-node resolver and the
+// batch pipeline bit for bit, for every shard count.
+package sharded
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"entityres/internal/blocking"
+	"entityres/internal/graph"
+	"entityres/internal/incremental"
+	"entityres/internal/metablocking"
+)
+
+// Flush reconciles any deferred meta-blocking work under the caller's
+// context. It is a no-op without a Meta configuration or when nothing
+// changed since the last reconcile; on cancellation the match state is
+// left untouched and the work stays pending.
+func (r *Resolver) Flush(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reconcile(ctx)
+}
+
+// RestructuredBlocks reconciles and renders the pruned global blocking
+// graph the way batch meta-blocking emits it: one two-description block
+// per kept edge, ordered by descending weight. Nil without a Meta
+// configuration.
+func (r *Resolver) RestructuredBlocks() *blocking.Blocks {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.Meta == nil {
+		return nil
+	}
+	r.mustReconcile()
+	kept := make([]graph.Edge, len(r.lastKept))
+	copy(kept, r.lastKept)
+	return metablocking.EmitKept(r.coll, r.cfg.Kind, kept)
+}
+
+// mustReconcile is reconcile under a background context, for read
+// accessors that return no error; the background context never cancels,
+// so it cannot fail. Callers hold r.mu.
+func (r *Resolver) mustReconcile() {
+	if err := r.reconcile(context.Background()); err != nil {
+		panic(fmt.Sprintf("sharded: reconcile under background context: %v", err))
+	}
+}
+
+// reconcile settles the deferred global meta-blocking state. Callers hold
+// r.mu.
+func (r *Resolver) reconcile(ctx context.Context) error {
+	if r.cfg.Meta == nil || !r.metaDirty {
+		return nil
+	}
+	// Merge the shard statistics in ascending shard order. Every
+	// contribution is an integer count (the stream-safe schemes carry no
+	// ARCS mass), so the merged graph is identical to the one a single
+	// resolver over the whole key space maintains.
+	merged := metablocking.NewWeightedGraph(r.cfg.Kind)
+	for _, sh := range r.shards {
+		sh.res.MergeWeightedInto(merged)
+	}
+	g := merged.Graph(r.cfg.Meta.Weight)
+	kept := r.cfg.Meta.PruneGraph(g, nil)
+
+	// Evaluate the kept pairs against the coordinator's replica
+	// (bit-identical attributes everywhere) through the SAME reconcile
+	// core the single-node resolver runs — cache-miss matching, decision
+	// caching, diffing the global match graph against {kept ∧ similar} —
+	// so the two cannot drift apart (incremental.ReconcileKept). On
+	// cancellation the work stays pending; a retry restores consistency.
+	n, err := incremental.ReconcileKept(ctx, r.coll, r.cfg.Matcher, r.cfg.Workers, r.simCache, r.dyn, kept)
+	if err != nil {
+		return fmt.Errorf("sharded: meta reconcile: %w", err)
+	}
+	r.metaComparisons += n
+	r.lastKept = kept
+	r.merged = merged
+	r.metaDirty = false
+	return nil
+}
+
+// sortBlocksByKey orders a merged block list by ascending key — the single
+// BlockIndex's enumeration order.
+func sortBlocksByKey(blocks []*blocking.Block) {
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Key < blocks[j].Key })
+}

@@ -1,0 +1,712 @@
+// Package sharded distributes the streaming resolver across the blocking-key
+// space: a coordinator partitions keys by hash over N shard resolvers — each
+// a full incremental.Resolver with its own blocking.BlockIndex, optional
+// metablocking.WeightedGraph and optional per-shard WAL directory — fans
+// every Insert, Update and Delete out to the shards in parallel, and merges
+// the shard-local match edges into a coordinator-owned graph.Dynamic so
+// every read (matches, clusters, stats, blocks, restructured blocks) is
+// globally consistent.
+//
+// The partitioning is the paper's web-scale lever (key-partitioned blocking
+// distributes exactly the quadratic part of the work) constrained by the
+// repo's differential contract: for ANY shard count N >= 1 the sharded
+// resolver's matches, comparison counts, blocks and restructured blocks are
+// bit-exact with the single-node incremental.Resolver — and therefore with
+// a from-scratch batch run — after any operation sequence. Three mechanisms
+// carry that guarantee:
+//
+//   - Replicated stream, partitioned index. Every shard receives every
+//     operation (keeping the handle space identical everywhere), but shard i
+//     indexes a description only under the keys it owns
+//     (hash(key) % N == i), so each candidate pair co-occurs exactly in the
+//     shards owning its shared keys and the per-shard quadratic work shrinks
+//     with N.
+//
+//   - Pair ownership by first shared key. The single-node resolver counts
+//     each delta candidate pair once — under the pair's first (ascending)
+//     shared blocking key, where the CompareIterator's seen-set first meets
+//     it. Shards reproduce that rule locally through
+//     incremental.Config.DeltaFilter: a pair is evaluated only by the shard
+//     owning its first shared key, so no pair is evaluated twice, none is
+//     missed, and the shard comparison counters sum to the single-node
+//     count bit for bit.
+//
+//   - Coordinator-merged reads. Match edges merge idempotently into the
+//     coordinator's graph.Dynamic as operations complete; with live
+//     meta-blocking the shards instead maintain per-key-space weighted
+//     blocking graphs whose statistics are strictly additive (every block
+//     lives wholly in one shard), so the coordinator merges them at read
+//     time and runs the exact batch pruning + evaluation of the single-node
+//     deferred reconcile (see meta.go).
+//
+// Durability is per shard: Open journals every shard's operations to its
+// own WAL directory (shard-%03d), and a shard that is hard-stopped
+// mid-stream (StopShard — the in-process kill -9) rejoins by restoring its
+// own snapshot plus WAL tail (RejoinShard, riding
+// incremental.OpenResolver's bounded recovery) without any global replay.
+// The shard logs run in group-commit mode (wal.Options.GroupCommit) so
+// concurrent appenders share fsyncs; note that today's coordinator
+// serializes operations, so each shard log sees one appender at a time and
+// batching only materializes once ops pipeline into shards concurrently
+// (the multi-process-transport follow-on) — with a single appender the
+// mode is sync-for-sync identical to per-op fsync. See the README's
+// "Sharded streaming" section for the topology.
+package sharded
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/graph"
+	"entityres/internal/incremental"
+	"entityres/internal/matching"
+	"entityres/internal/metablocking"
+)
+
+// Config parameterizes a sharded streaming resolver. Kind, Blocker,
+// Matcher, Workers and Meta mean exactly what they mean on
+// incremental.Config (Workers sizes each shard's delta-matching pool);
+// validation is identical, so a configuration the single-node resolver
+// rejects is rejected here with the same error.
+type Config struct {
+	// Kind is the resolution setting of the stream (default Dirty).
+	Kind entity.Kind
+	// Blocker derives the blocking keys (required, collection-independent).
+	Blocker blocking.StreamableBlocker
+	// Matcher is the thresholded match decision (required, corpus-free).
+	Matcher *matching.Matcher
+	// Workers sizes each shard's delta-matching worker pool; <= 0 means 1.
+	Workers int
+	// Meta, when set, prunes the comparison frontier through the live
+	// weighted blocking graph (stream-safe subset only): the shards
+	// maintain per-key-space statistics and the coordinator reconciles
+	// globally at read time.
+	Meta *metablocking.MetaBlocker
+	// Shards is the number of key-space partitions (resolvers); <= 0 means
+	// 1. Results are bit-exact for every value.
+	Shards int
+	// Durable tunes the per-shard WALs of a resolver opened with Open —
+	// segment size, snapshot cadence, fsync policy. Open always enables
+	// group commit on the shard logs (wal.Options.GroupCommit): identical
+	// durability and sync count under today's one-appender-per-log
+	// coordinator, automatic fsync batching once operations pipeline into
+	// shards concurrently. New ignores the whole struct.
+	Durable incremental.DurableOptions
+}
+
+// shard is one key-space partition: its resolver, its key lens and
+// lifecycle state.
+type shard struct {
+	res  *incremental.Resolver
+	lens *shardLens
+	// down marks a hard-stopped shard: mutating operations fail until
+	// RejoinShard restores it from its own snapshot + WAL tail.
+	down bool
+}
+
+// Resolver is the sharded streaming resolver: the coordinator plus its
+// shard resolvers. All methods are safe for concurrent use; operations are
+// serialized by the coordinator and fanned out to the shards in parallel.
+type Resolver struct {
+	cfg Config
+	// dir is the per-shard WAL root ("" for in-memory resolvers).
+	dir string
+
+	mu     sync.Mutex
+	shards []*shard
+	// broken, once set, fails every further mutating operation: the
+	// resolver was closed, or a partial shard failure left the shards
+	// disagreeing and the coordinator refuses to widen the divergence.
+	broken error
+
+	// The coordinator's replica of the stream's control plane: every slot
+	// in handle order (dead slots as tombstones, mirroring the shards),
+	// liveness, and the URI index. Shards hold the same slots; the replica
+	// serves reads without touching a shard.
+	coll      *entity.Collection
+	live      []bool
+	liveCount int
+	byURI     map[string]entity.ID
+
+	// dyn is the coordinator-owned global match graph: the idempotent union
+	// of the shard-local match edges (non-meta), or the reconcile-maintained
+	// {kept ∧ similar} edge set (meta; see meta.go).
+	dyn *graph.Dynamic
+
+	// Meta-blocking coordinator state (unused without cfg.Meta): the cached
+	// pairwise matcher decisions, the result and weighted graph of the
+	// latest reconcile, the deferred-work flag and the reconcile comparison
+	// counter — the exact counterparts of the single-node resolver's
+	// deferred-reconcile state, operating on the shard-merged statistics
+	// through the shared incremental.ReconcileKept core.
+	simCache        *incremental.DecisionCache
+	lastKept        []graph.Edge
+	merged          *metablocking.WeightedGraph
+	metaDirty       bool
+	metaComparisons int64
+
+	// stats holds the operation counters; comparison and graph-shaped
+	// fields are derived at read time.
+	stats incremental.Stats
+
+	// recovery records what Open restored, one entry per shard;
+	// rolledForward counts the shards Open rolled forward to complete an
+	// operation a whole-process crash left on only some shard journals.
+	recovery      []incremental.RecoveryInfo
+	rolledForward int
+}
+
+// fanoutCtx is the context shard applies run under: never cancelled, so an
+// admitted operation completes on every shard or fails on every shard for
+// the same deterministic reason — a caller's timeout firing mid-fan-out
+// can never leave the replicas split (see fanout).
+var fanoutCtx = context.Background()
+
+// keyOwner maps a blocking key to its owning shard: FNV-1a over the key
+// bytes, mod the shard count. Deterministic across processes and runs, so
+// a rejoining shard reconstructs exactly its own key space.
+func keyOwner(key string, shards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// shardLens is one shard's view of the blocking-key space: the filtered
+// key function its resolver indexes with, the pair-ownership delta filter,
+// and a memo of every indexed description's FULL distinct key set. The
+// memo is what keeps the ownership rule cheap: every operation's
+// description passes through the lens keyer (which refreshes its entry —
+// including during WAL replay, so entries are always point-in-time
+// correct for the shard's own state), and candidates are then looked up
+// instead of re-tokenized. A lens belongs to exactly one
+// incremental.Resolver instance, whose internal lock serializes every
+// access; RejoinShard builds a fresh lens with the fresh resolver.
+//
+// The memos are deliberately NOT shared across shards even though steady
+// state stores the same full key sets N times: a rejoining shard replays
+// its WAL tail against its own historical state, where a candidate's keys
+// are those of its attributes AS OF that replay point — reading a shared,
+// current memo there would mis-assign pair ownership and silently break
+// the bit-exactness contract. Deduplicating the derivation belongs to the
+// routed-op transport follow-on (see ROADMAP), where ops ship with
+// precomputed key sets.
+type shardLens struct {
+	raw           blocking.KeyFunc
+	shards, index int
+	memo          map[entity.ID][]string
+}
+
+func newShardLens(blocker blocking.StreamableBlocker, shards, index int) *shardLens {
+	return &shardLens{
+		raw:    blocker.StreamKeyer(),
+		shards: shards,
+		index:  index,
+		memo:   make(map[entity.ID][]string),
+	}
+}
+
+// refresh derives d's full normalized key set and memoizes it by handle.
+func (l *shardLens) refresh(d *entity.Description) []string {
+	full := blocking.DistinctKeys(l.raw(d))
+	if d.ID >= 0 {
+		l.memo[d.ID] = full
+	}
+	return full
+}
+
+// keysOf returns d's memoized full key set, deriving it on a miss (a
+// description restored from a snapshot whose keyer has not run yet).
+func (l *shardLens) keysOf(d *entity.Description) []string {
+	if ks, ok := l.memo[d.ID]; ok {
+		return ks
+	}
+	return l.refresh(d)
+}
+
+// evict drops a dead handle's memo entry; the coordinator calls it on
+// delete so the memo tracks (roughly) the live set rather than the
+// stream's whole history.
+func (l *shardLens) evict(id entity.ID) { delete(l.memo, id) }
+
+// keyer is the shard's blocking.KeyFunc: the owned slice of the full key
+// set, refreshing the memo as a side effect — indexing always runs it, so
+// the memo tracks every indexed description's current keys.
+func (l *shardLens) keyer(d *entity.Description) []string {
+	var owned []string
+	for _, k := range l.refresh(d) {
+		if keyOwner(k, l.shards) == l.index {
+			owned = append(owned, k)
+		}
+	}
+	return owned
+}
+
+// filter is the shard's incremental.Config.DeltaFilter: a candidate pair
+// is claimed only under the pair's first shared blocking key — the key the
+// single-node resolver's seen-set dedup counts it under — so every pair is
+// evaluated by exactly one shard and the comparison counters sum exactly.
+func (l *shardLens) filter(d *entity.Description) func(key string, other *entity.Description) bool {
+	dKeys := l.keysOf(d)
+	return func(key string, other *entity.Description) bool {
+		first, shared := firstShared(dKeys, l.keysOf(other))
+		return shared && first == key
+	}
+}
+
+// shardBlocker wraps the raw blocker with a lens keyer. Name is forwarded
+// unchanged: a shard snapshot fingerprints under the raw blocker, and the
+// owned subset is re-derived from (blocker, shards, index) on every open.
+type shardBlocker struct {
+	blocking.StreamableBlocker
+	lens *shardLens
+}
+
+// StreamKeyer implements blocking.StreamableBlocker with the owned subset.
+func (b *shardBlocker) StreamKeyer() blocking.KeyFunc { return b.lens.keyer }
+
+// firstShared returns the smallest string present in both ascending
+// slices, and whether one exists.
+func firstShared(a, b []string) (string, bool) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return a[i], true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return "", false
+}
+
+// singleConfig renders the configuration as the equivalent single-node
+// incremental.Config — the validation probe and the reference the
+// differential suite compares against.
+func (cfg Config) singleConfig() incremental.Config {
+	return incremental.Config{
+		Kind:    cfg.Kind,
+		Blocker: cfg.Blocker,
+		Matcher: cfg.Matcher,
+		Workers: cfg.Workers,
+		Meta:    cfg.Meta,
+	}
+}
+
+// shardConfig renders shard i's incremental.Config and the lens backing
+// it — one fresh lens per resolver instance, returned so the coordinator
+// can evict deleted handles from its memo.
+func (cfg Config) shardConfig(i int) (incremental.Config, *shardLens) {
+	c := cfg.singleConfig()
+	lens := newShardLens(cfg.Blocker, cfg.normShards(), i)
+	c.Blocker = &shardBlocker{StreamableBlocker: cfg.Blocker, lens: lens}
+	c.DeltaFilter = lens.filter
+	c.Durable = cfg.Durable
+	c.Durable.GroupCommit = true
+	return c, lens
+}
+
+// normShards returns the effective shard count.
+func (cfg Config) normShards() int {
+	if cfg.Shards <= 0 {
+		return 1
+	}
+	return cfg.Shards
+}
+
+// New validates the configuration and returns an empty in-memory sharded
+// resolver. Validation matches the single-node resolver exactly.
+func New(cfg Config) (*Resolver, error) {
+	r, err := newCoordinator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.normShards(); i++ {
+		scfg, lens := cfg.shardConfig(i)
+		sres, err := incremental.New(scfg)
+		if err != nil {
+			return nil, err
+		}
+		r.shards = append(r.shards, &shard{res: sres, lens: lens})
+	}
+	return r, nil
+}
+
+// newCoordinator validates cfg (by probing the equivalent single-node
+// configuration, so the two cannot drift on what is valid) and builds the
+// empty coordinator.
+func newCoordinator(cfg Config) (*Resolver, error) {
+	if _, err := incremental.New(cfg.singleConfig()); err != nil {
+		return nil, fmt.Errorf("sharded: %w", err)
+	}
+	r := &Resolver{
+		cfg:   cfg,
+		coll:  entity.NewCollection(cfg.Kind),
+		byURI: make(map[string]entity.ID),
+		dyn:   graph.NewDynamic(),
+	}
+	if cfg.Meta != nil {
+		r.simCache = incremental.NewDecisionCache()
+	}
+	return r, nil
+}
+
+// Kind returns the resolution setting of the stream.
+func (r *Resolver) Kind() entity.Kind { return r.cfg.Kind }
+
+// Shards returns the number of key-space partitions.
+func (r *Resolver) Shards() int { return r.cfg.normShards() }
+
+// ready reports whether every shard can accept the next operation.
+// Callers hold r.mu.
+func (r *Resolver) ready() error {
+	if r.broken != nil {
+		return r.broken
+	}
+	for i, sh := range r.shards {
+		if sh.down {
+			return fmt.Errorf("sharded: shard %d is stopped; rejoin it before streaming further operations", i)
+		}
+	}
+	return nil
+}
+
+// fanout runs fn against every shard in parallel and reconciles the
+// outcome: all-success applies, all-failure means every shard rolled the
+// operation back (the incremental resolver's failed ops restore their
+// pre-op state), and a partial failure leaves the shards disagreeing — the
+// coordinator then refuses every further mutation rather than widen the
+// divergence (for durable resolvers the journals would disagree too, so
+// the partial-failure path is reserved for genuine faults like a dead
+// shard disk). That is why operations are admitted, not interrupted: the
+// caller's context is checked before the fan-out and deliberately NOT
+// propagated into it — a cancellation observed by some shards and not
+// others is exactly the split this design must never produce. Callers
+// hold r.mu.
+func (r *Resolver) fanout(fn func(sr *incremental.Resolver) error) (allFailed bool, err error) {
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i := range r.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(r.shards[i].res)
+		}(i)
+	}
+	wg.Wait()
+	failed := 0
+	var first error
+	for _, e := range errs {
+		if e != nil {
+			failed++
+			if first == nil {
+				first = e
+			}
+		}
+	}
+	switch {
+	case failed == 0:
+		return false, nil
+	case failed == len(r.shards):
+		return true, first
+	default:
+		r.broken = fmt.Errorf("sharded: resolver disabled after a partial shard failure (%d of %d shards failed; first error: %v)", failed, len(r.shards), first)
+		return false, r.broken
+	}
+}
+
+// Insert adds a new description to every shard and resolves it against the
+// shard-partitioned delta frontier. It returns the internal handle, which
+// is identical on the coordinator and every shard. The context gates
+// admission only: a context that is already done fails the operation
+// before anything is touched, but once admitted the operation runs to
+// completion on every shard — see fanout.
+func (r *Resolver) Insert(ctx context.Context, d *entity.Description) (entity.ID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ready(); err != nil {
+		return -1, err
+	}
+	if err := ctx.Err(); err != nil {
+		return -1, err
+	}
+	if d == nil {
+		return -1, fmt.Errorf("sharded: insert of nil description")
+	}
+	if d.URI != "" {
+		if _, taken := r.byURI[d.URI]; taken {
+			return -1, fmt.Errorf("sharded: URI %q already live", d.URI)
+		}
+	}
+	// Pre-validate what entity.Collection.Add would reject, so a bad
+	// description fails here — before any shard sees it — with the same
+	// reason everywhere.
+	switch r.cfg.Kind {
+	case entity.CleanClean:
+		if d.Source != 0 && d.Source != 1 {
+			return -1, fmt.Errorf("sharded: clean-clean collection requires source 0 or 1, got %d", d.Source)
+		}
+	default:
+		if d.Source != 0 {
+			return -1, fmt.Errorf("sharded: dirty collection requires source 0, got %d", d.Source)
+		}
+	}
+	// The next slot is deterministic; the coordinator's replica slot is
+	// only added once the fan-out succeeds. An all-shards failure can only
+	// come from the journal refusing the record BEFORE anything applied
+	// (the fan-out context never cancels, and validation already passed),
+	// which burns no slot on any shard — so the coordinator must not burn
+	// one either, keeping handles aligned for a retry.
+	id := r.coll.Len()
+	if _, err := r.fanout(func(sr *incremental.Resolver) error {
+		sid, serr := sr.Insert(fanoutCtx, d)
+		if serr != nil {
+			return serr
+		}
+		if sid != id {
+			return fmt.Errorf("sharded: shard assigned handle %d, coordinator expected %d", sid, id)
+		}
+		return nil
+	}); err != nil {
+		return -1, err
+	}
+	cp := d.Clone()
+	r.coll.MustAdd(cp)
+	r.live = append(r.live, true)
+	if cp.URI != "" {
+		r.byURI[cp.URI] = id
+	}
+	r.liveCount++
+	r.stats.Inserts++
+	r.afterMutation(id, true)
+	return id, nil
+}
+
+// Update replaces the attributes of the live description with the given
+// handle on every shard and re-resolves its shard-partitioned frontier.
+// Like Insert, the context gates admission only.
+func (r *Resolver) Update(ctx context.Context, id entity.ID, attrs []entity.Attribute) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ready(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !r.isLive(id) {
+		return fmt.Errorf("sharded: update of unknown description %d", id)
+	}
+	if _, err := r.fanout(func(sr *incremental.Resolver) error {
+		return sr.Update(fanoutCtx, id, attrs)
+	}); err != nil {
+		return err
+	}
+	r.coll.Get(id).Attrs = append([]entity.Attribute(nil), attrs...)
+	r.stats.Updates++
+	r.dyn.RemoveNode(id)
+	r.afterMutation(id, true)
+	return nil
+}
+
+// Delete removes the live description with the given handle from every
+// shard; its match edges disappear and its cluster is split.
+func (r *Resolver) Delete(id entity.ID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ready(); err != nil {
+		return err
+	}
+	if !r.isLive(id) {
+		return fmt.Errorf("sharded: delete of unknown description %d", id)
+	}
+	if _, err := r.fanout(func(sr *incremental.Resolver) error {
+		return sr.Delete(id)
+	}); err != nil {
+		return err
+	}
+	d := r.coll.Get(id)
+	if d.URI != "" {
+		delete(r.byURI, d.URI)
+	}
+	r.live[id] = false
+	r.liveCount--
+	r.stats.Deletes++
+	r.dyn.RemoveNode(id)
+	// The handle is dead for good (slots are never reused), so every
+	// shard lens can drop its memoized key set.
+	for _, sh := range r.shards {
+		sh.lens.evict(id)
+	}
+	r.afterMutation(id, false)
+	return nil
+}
+
+// afterMutation folds an operation's effect into the coordinator's match
+// state: without meta-blocking the shards matched eagerly, so id's new
+// edges are the union of the shards' neighbors of id; with meta-blocking
+// everything is deferred to the next read's reconcile. Callers hold r.mu.
+func (r *Resolver) afterMutation(id entity.ID, indexed bool) {
+	if r.cfg.Meta != nil {
+		r.simCache.Invalidate(id)
+		r.metaDirty = true
+		return
+	}
+	if !indexed {
+		return
+	}
+	for _, sh := range r.shards {
+		for _, nb := range sh.res.MatchNeighbors(id) {
+			r.dyn.AddEdge(id, nb, 1)
+		}
+	}
+}
+
+// isLive reports whether id is a live slot. Callers hold r.mu.
+func (r *Resolver) isLive(id entity.ID) bool {
+	return id >= 0 && id < len(r.live) && r.live[id]
+}
+
+// Lookup returns the handle of the live description with the given URI.
+func (r *Resolver) Lookup(uri string) (entity.ID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.byURI[uri]
+	return id, ok
+}
+
+// Get returns a copy of the live description with the given handle.
+func (r *Resolver) Get(id entity.ID) (*entity.Description, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.isLive(id) {
+		return nil, false
+	}
+	return r.coll.Get(id).Clone(), true
+}
+
+// Apply executes one URI-addressed operation — the same op-log exchange
+// form the single-node resolver accepts, so erctl watch can replay a log
+// through either.
+func (r *Resolver) Apply(ctx context.Context, op incremental.Op) error {
+	switch op.Kind {
+	case incremental.OpInsert:
+		d := &entity.Description{ID: -1, URI: op.URI, Source: op.Source, Attrs: op.Attrs}
+		_, err := r.Insert(ctx, d)
+		return err
+	case incremental.OpUpdate:
+		id, ok := r.Lookup(op.URI)
+		if !ok {
+			return fmt.Errorf("sharded: update of unknown URI %q", op.URI)
+		}
+		return r.Update(ctx, id, op.Attrs)
+	case incremental.OpDelete:
+		id, ok := r.Lookup(op.URI)
+		if !ok {
+			return fmt.Errorf("sharded: delete of unknown URI %q", op.URI)
+		}
+		return r.Delete(id)
+	default:
+		return fmt.Errorf("sharded: unknown op kind %v", op.Kind)
+	}
+}
+
+// Stats returns a globally consistent snapshot of the resolver's counters,
+// reconciling deferred meta-blocking work first. Comparisons is the sum of
+// the shards' matcher invocations (plus the coordinator's reconcile
+// evaluations under meta-blocking) and equals the single-node resolver's
+// count bit for bit.
+func (r *Resolver) Stats() incremental.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mustReconcile()
+	st := r.stats
+	st.Live = r.liveCount
+	st.Matches = r.dyn.NumEdges()
+	st.Clusters = len(r.dyn.Clusters())
+	st.Comparisons = r.comparisonsLocked()
+	if r.cfg.Meta != nil {
+		if r.merged != nil {
+			st.CandidatePairs = r.merged.NumPairs()
+		}
+		st.KeptPairs = len(r.lastKept)
+	}
+	return st
+}
+
+// comparisonsLocked sums the matcher invocations across the system.
+// Callers hold r.mu.
+func (r *Resolver) comparisonsLocked() int64 {
+	n := r.metaComparisons
+	for _, sh := range r.shards {
+		n += sh.res.Counters().Comparisons
+	}
+	return n
+}
+
+// Matches returns the current global match pairs over internal handles.
+func (r *Resolver) Matches() *entity.Matches {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mustReconcile()
+	return r.dyn.Matches()
+}
+
+// Clusters returns the current non-singleton entity clusters over internal
+// handles, in the deterministic order of entity.UnionFind.Clusters.
+func (r *Resolver) Clusters() [][]entity.ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mustReconcile()
+	return r.dyn.Clusters()
+}
+
+// Blocks materializes the global block collection: the union of the
+// shards' owned-key blocks, keys ascending — identical to what the
+// configured blocker would build over the live descriptions, and to the
+// single-node resolver's Blocks.
+func (r *Resolver) Blocks() *blocking.Blocks {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var all []*blocking.Block
+	for _, sh := range r.shards {
+		all = append(all, sh.res.Blocks().All()...)
+	}
+	// Keys are disjoint across shards (each key has one owner), so sorting
+	// by key reproduces the single BlockIndex's ascending enumeration.
+	sortBlocksByKey(all)
+	out := blocking.NewBlocks(r.cfg.Kind)
+	for _, b := range all {
+		out.Add(b)
+	}
+	return out
+}
+
+// Snapshot materializes the global state as a fresh batch-shaped result —
+// dense live descriptions plus the match set remapped into that ID space —
+// with the same contract as the single-node resolver's Snapshot: a batch
+// pipeline over the returned collection reproduces the returned matches.
+func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mustReconcile()
+	out := entity.NewCollection(r.cfg.Kind)
+	remap := make(map[entity.ID]entity.ID, r.liveCount)
+	for _, d := range r.coll.All() {
+		if !r.live[d.ID] {
+			continue
+		}
+		remap[d.ID] = out.MustAdd(d.Clone())
+	}
+	matches := entity.NewMatches()
+	r.dyn.Graph().EachEdge(func(e graph.Edge) bool {
+		matches.Add(remap[e.A], remap[e.B])
+		return true
+	})
+	return out, matches
+}

@@ -1,0 +1,12 @@
+package wal
+
+import "os"
+
+// SetSyncFn replaces the append-path fsync — the group-commit tests slow
+// it down so concurrent appenders deterministically pile into one batch,
+// and fail it to exercise the seal-on-group-sync-failure path.
+func (l *Log) SetSyncFn(fn func(*os.File) error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncFn = fn
+}

@@ -25,12 +25,24 @@
 // after the snapshot, bounding recovery cost by the tail of the stream
 // rather than its lifetime.
 //
-// A Log is not safe for concurrent use; the streaming resolver serializes
-// operations.
+// Group commit. With Options.GroupCommit set, Append is safe for
+// concurrent use and the per-append fsyncs of concurrent appenders are
+// batched: each appender still returns only after its record is durable —
+// the same guarantee as per-append fsync — but one fsync can cover every
+// record written before it, so durability stops serializing concurrent
+// writers on disk latency. The first appender to need a sync becomes the
+// leader, syncs everything written so far, and wakes the batch; appenders
+// arriving during the sync form the next batch. See the ROADMAP's group
+// commit item and the sharded streaming resolver, whose per-shard WALs
+// run in this mode.
+//
+// Without GroupCommit a Log is not safe for concurrent use; the streaming
+// resolver serializes operations.
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -39,6 +51,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -71,6 +85,13 @@ type Options struct {
 	// page cache). Meant for tests, benchmarks and workloads that checkpoint
 	// explicitly.
 	NoSync bool
+	// GroupCommit makes Append safe for concurrent use and batches the
+	// fsyncs of concurrent appenders into group syncs: every Append still
+	// returns only once its record is durable, but one fsync can cover many
+	// appenders, so N concurrent writers cost far fewer than N syncs.
+	// Durability is therefore >= the per-append-fsync policy at a fraction
+	// of the syncs. Ignored when NoSync is set (there is nothing to batch).
+	GroupCommit bool
 }
 
 // Position addresses a byte offset within one segment — where a record
@@ -84,11 +105,45 @@ type Position struct {
 type Log struct {
 	dir  string
 	opts Options
+
+	// mu guards the write-path state below. Non-group-commit logs are
+	// owned by one goroutine, so the lock is uncontended there; with
+	// GroupCommit it serializes concurrent appenders' frame writes.
+	mu   sync.Mutex
 	f    *os.File
 	lock *os.File // flock'd wal.lock guarding the directory
 	seq  uint64   // active segment sequence
 	size int64    // active segment byte size
 	segs []uint64
+	// writeGen numbers appended frames; gen g is durable once a sync that
+	// observed writeGen >= g completes (or the frame landed in a segment
+	// sealed by rotation, which syncs it).
+	writeGen uint64
+	// syncedSize is the prefix of the ACTIVE segment known durable — the
+	// size a completed group sync observed (reset on rotation). When a
+	// group sync fails, the segment is truncated back to it so recovery
+	// can never replay a frame whose appender was told it failed.
+	syncedSize int64
+	// closedSynced marks a log sealed by a successful Close (which syncs
+	// first): frames written before it ARE durable, so a group-sync leader
+	// racing a concurrent Close must report its batch durable, not failed.
+	closedSynced bool
+
+	// Group-commit coordination: gmu guards the generations and the leader
+	// flag, gcond wakes batches. groupErr, once set, marks records past
+	// syncedGen as lost — the log seals and every waiter fails.
+	gmu       sync.Mutex
+	gcond     *sync.Cond
+	syncedGen uint64
+	syncing   bool
+	groupErr  error
+
+	// syncs counts the fsyncs the append path has issued — the measure the
+	// group-commit regression test compares against the append count.
+	syncs atomic.Uint64
+	// syncFn, when non-nil, replaces the file fsync (test hook: a slowed
+	// sync forces deterministic batching).
+	syncFn func(*os.File) error
 }
 
 // Open opens (creating if necessary) the log directory, repairs a torn tail
@@ -118,6 +173,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{dir: dir, opts: opts, lock: lock, segs: segs}
+	l.gcond = sync.NewCond(&l.gmu)
 	fail := func(err error) (*Log, error) {
 		lock.Close()
 		return nil, err
@@ -157,6 +213,8 @@ func Open(dir string, opts Options) (*Log, error) {
 		return fail(fmt.Errorf("wal: %w", err))
 	}
 	l.f, l.seq, l.size = f, active, good
+	// Everything surviving the repair is on disk by construction.
+	l.syncedSize = good
 	return l, nil
 }
 
@@ -164,10 +222,16 @@ func Open(dir string, opts Options) (*Log, error) {
 func (l *Log) Dir() string { return l.dir }
 
 // ActiveSegment returns the sequence number of the segment appends go to.
-func (l *Log) ActiveSegment() uint64 { return l.seq }
+func (l *Log) ActiveSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
 
 // Segments returns the sequence numbers of the on-disk segments, ascending.
 func (l *Log) Segments() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	out := make([]uint64, len(l.segs))
 	copy(out, l.segs)
 	return out
@@ -175,17 +239,23 @@ func (l *Log) Segments() []uint64 {
 
 // Append frames and durably appends one record, returning the position at
 // which it begins (after any rotation). The payload is synced to disk
-// before Append returns unless Options.NoSync is set.
+// before Append returns unless Options.NoSync is set; with
+// Options.GroupCommit the sync may be a group sync another appender
+// performed, covering this record among others.
 func (l *Log) Append(payload []byte) (Position, error) {
+	l.mu.Lock()
 	if l.f == nil {
+		l.mu.Unlock()
 		return Position{}, fmt.Errorf("wal: log is closed")
 	}
 	if len(payload) > MaxRecordBytes {
+		l.mu.Unlock()
 		return Position{}, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), MaxRecordBytes)
 	}
 	frame := int64(headerBytes + len(payload))
 	if l.size > 0 && l.size+frame > l.opts.SegmentBytes {
-		if _, err := l.Rotate(); err != nil {
+		if _, err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
 			return Position{}, err
 		}
 	}
@@ -203,17 +273,130 @@ func (l *Log) Append(payload []byte) (Position, error) {
 	// further operation errors rather than writing after garbage.
 	if _, err := l.f.Write(buf); err != nil {
 		l.repairOrSeal(pos.Offset)
+		l.mu.Unlock()
 		return Position{}, fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += frame
-	if !l.opts.NoSync {
-		if err := l.f.Sync(); err != nil {
-			l.repairOrSeal(pos.Offset)
-			return Position{}, fmt.Errorf("wal: sync: %w", err)
-		}
+	l.writeGen++
+	gen := l.writeGen
+	if l.opts.NoSync {
+		l.mu.Unlock()
+		return pos, nil
 	}
+	if l.opts.GroupCommit {
+		l.mu.Unlock()
+		return pos, l.awaitDurable(gen)
+	}
+	if err := l.doSync(l.f); err != nil {
+		l.repairOrSeal(pos.Offset)
+		l.mu.Unlock()
+		return Position{}, fmt.Errorf("wal: sync: %w", err)
+	}
+	l.mu.Unlock()
 	return pos, nil
 }
+
+// awaitDurable blocks until a sync covering write generation gen has
+// completed, electing this appender as the group leader when no sync is in
+// flight. The leader syncs everything written so far in one fsync and
+// wakes the whole batch; appenders that arrive while it runs form the next
+// batch. A failed group sync loses every record past the last completed
+// sync, so the log seals and all affected waiters fail.
+func (l *Log) awaitDurable(gen uint64) error {
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	for {
+		if l.syncedGen >= gen {
+			return nil
+		}
+		if l.groupErr != nil {
+			return l.groupErr
+		}
+		if l.syncing {
+			l.gcond.Wait()
+			continue
+		}
+		l.syncing = true
+		l.gmu.Unlock()
+
+		// Capture the active file, its size and the covered generation
+		// under the write lock, but run the fsync OUTSIDE it, so the next
+		// batch's appenders keep writing their frames while this one syncs
+		// — that overlap is where group commit's throughput comes from.
+		l.mu.Lock()
+		top := l.writeGen
+		f, seq, size := l.f, l.seq, l.size
+		sealedDurable := l.closedSynced
+		l.mu.Unlock()
+		var err error
+		if f == nil {
+			if !sealedDurable {
+				err = fmt.Errorf("wal: log is closed")
+			}
+			// A concurrent Close sealed the log AFTER syncing it, so every
+			// frame written before the seal — the whole batch — is durable.
+		} else if err = l.doSync(f); err != nil {
+			l.mu.Lock()
+			if l.seq != seq || (errors.Is(err, os.ErrClosed) && l.closedSynced) {
+				// The captured segment was sealed under us — by a rotation
+				// (which always syncs before closing) or by a Close whose
+				// sync succeeded — so every byte in it, the whole batch,
+				// is already durable. A Close whose sync FAILED leaves
+				// closedSynced unset and the batch is reported failed.
+				err = nil
+			} else {
+				// The batch's unsynced frames may or may not have reached
+				// disk, and their appenders are about to be told they
+				// failed: truncate the active segment back to the durable
+				// prefix so recovery can never replay an unacknowledged
+				// record, then seal the log.
+				if l.f != nil {
+					l.f.Truncate(l.syncedSize)
+					l.f.Sync()
+					l.f.Close()
+					l.f = nil
+					l.size = l.syncedSize
+				}
+				err = fmt.Errorf("wal: group sync: %w", err)
+			}
+			l.mu.Unlock()
+		}
+		if err == nil {
+			l.mu.Lock()
+			if l.seq == seq && l.syncedSize < size {
+				l.syncedSize = size
+			}
+			l.mu.Unlock()
+		}
+
+		l.gmu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.groupErr = err
+		} else if l.syncedGen < top {
+			// Never regress: a rotation racing this sync may already have
+			// advanced the coverage past top (it seals and syncs frames
+			// this leader never saw).
+			l.syncedGen = top
+		}
+		l.gcond.Broadcast()
+	}
+}
+
+// doSync flushes f through the configured sync function, counting the
+// append-path fsync.
+func (l *Log) doSync(f *os.File) error {
+	l.syncs.Add(1)
+	if l.syncFn != nil {
+		return l.syncFn(f)
+	}
+	return f.Sync()
+}
+
+// Syncs returns how many fsyncs the append path has issued so far — with
+// group commit, the number of group syncs, which concurrent appenders keep
+// well below the append count.
+func (l *Log) Syncs() uint64 { return l.syncs.Load() }
 
 // repairOrSeal drops everything past off from the active segment after a
 // failed append; when the repair itself fails the log is sealed (l.f nil),
@@ -237,6 +420,8 @@ func (l *Log) repairOrSeal(off int64) {
 // Sync flushes the active segment to disk — the explicit durability point
 // for NoSync logs.
 func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.f == nil {
 		return fmt.Errorf("wal: log is closed")
 	}
@@ -252,6 +437,8 @@ func (l *Log) Sync() error {
 // the active segment (Append never splits a record across segments, and the
 // caller retracts only what it just appended).
 func (l *Log) TruncateTo(pos Position) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.f == nil {
 		return fmt.Errorf("wal: log is closed")
 	}
@@ -268,6 +455,9 @@ func (l *Log) TruncateTo(pos Position) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.size = pos.Offset
+	if l.syncedSize > pos.Offset {
+		l.syncedSize = pos.Offset
+	}
 	return nil
 }
 
@@ -276,6 +466,16 @@ func (l *Log) TruncateTo(pos Position) error {
 // rotated away: the returned sequence then equals the current one, which
 // keeps back-to-back checkpoints from leaking empty segment files.
 func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rotateLocked()
+}
+
+// rotateLocked is Rotate with l.mu held (Append rotates at the segment
+// boundary from inside its critical section). Sealing syncs the outgoing
+// segment, so every record it holds is durable regardless of sync policy —
+// which is what lets a group-sync leader cover only the active segment.
+func (l *Log) rotateLocked() (uint64, error) {
 	if l.f == nil {
 		return 0, fmt.Errorf("wal: log is closed")
 	}
@@ -292,12 +492,28 @@ func (l *Log) Rotate() (uint64, error) {
 	if err := l.createSegment(l.seq + 1); err != nil {
 		return 0, err
 	}
+	// Every frame written so far now lives in a sealed, synced segment:
+	// advance the group-sync coverage so a waiter whose frame rotated away
+	// returns success even if a LATER sync on the new segment fails — its
+	// record is durable and will replay, so it must never be reported
+	// failed.
+	if l.opts.GroupCommit {
+		sealed := l.writeGen
+		l.gmu.Lock()
+		if l.syncedGen < sealed {
+			l.syncedGen = sealed
+			l.gcond.Broadcast()
+		}
+		l.gmu.Unlock()
+	}
 	return l.seq, nil
 }
 
 // RemoveSegmentsBefore deletes every segment with a sequence below seq —
 // the compaction step once a snapshot covering them is durable.
 func (l *Log) RemoveSegmentsBefore(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	kept := l.segs[:0]
 	for i, s := range l.segs {
 		if s >= seq {
@@ -321,6 +537,8 @@ func (l *Log) RemoveSegmentsBefore(seq uint64) error {
 // A torn or corrupt frame in a sealed segment is an error; the active
 // segment was already repaired by Open, so its records are always intact.
 func (l *Log) Replay(from uint64, fn func(payload []byte) error) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n := 0
 	for _, seq := range l.segs {
 		if seq < from {
@@ -341,9 +559,26 @@ func (l *Log) Replay(from uint64, fn func(payload []byte) error) (int, error) {
 // Close seals the log and releases the directory lock. Records already
 // appended stay durable.
 func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var err error
 	if l.f != nil {
 		err = l.f.Sync()
+		if err == nil {
+			// The seal flushed everything: a group-commit appender racing
+			// this Close finds its batch durable rather than failed.
+			l.closedSynced = true
+		} else if l.opts.GroupCommit && !l.opts.NoSync {
+			// Close's sync failed, so in-flight group-commit appenders
+			// will be told their records failed: truncate past the durable
+			// prefix before sealing, mirroring the failed-group-sync path,
+			// so reopen never replays an unacknowledged frame. (Fault
+			// injection only — unreachable while appends and Close are
+			// serialized by the resolver.)
+			l.f.Truncate(l.syncedSize)
+			l.f.Sync()
+			l.size = l.syncedSize
+		}
 		if cerr := l.f.Close(); err == nil {
 			err = cerr
 		}
@@ -373,6 +608,7 @@ func (l *Log) createSegment(seq uint64) error {
 		return err
 	}
 	l.f, l.seq, l.size = f, seq, 0
+	l.syncedSize = 0
 	l.segs = append(l.segs, seq)
 	return nil
 }
