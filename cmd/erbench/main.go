@@ -17,6 +17,11 @@
 // (per-shard group-committed WAL persistence and shard-wise recovery);
 // -json then writes BENCH_sharded.json.
 //
+// With -serve it loads the generated collection into an er.Open resolver,
+// fronts it with the HTTP/JSON query service, and measures per-endpoint
+// request latency (p50/p99/mean over loopback); -json then writes
+// BENCH_serve.json.
+//
 // Usage:
 //
 //	erbench [-experiment E1|E2|...|all] [-scale small|medium] [-seed N]
@@ -25,6 +30,7 @@
 //	        [-workers N] [-scale small|medium] [-seed N] [-json FILE]
 //	erbench -streaming-shards N [-workers N] [-scale small|medium] [-seed N]
 //	        [-json FILE]
+//	erbench -serve [-workers N] [-scale small|medium] [-seed N] [-json FILE]
 package main
 
 import (
@@ -32,13 +38,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
 	"os"
+	"reflect"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"entityres/er"
 	"entityres/internal/experiments"
+	"entityres/internal/serve"
 )
 
 func main() {
@@ -55,7 +68,8 @@ func main() {
 		metaPrune  = flag.String("meta-prune", "WEP", "stream-safe prune scheme for -streaming-meta: WEP or WNP")
 
 		streamShards = flag.Int("streaming-shards", 0, "benchmark the sharded streaming resolver with N key-hash shards against the single-node resolver (bit-equality asserted)")
-		jsonPath     = flag.String("json", "", "with -streaming-meta or -streaming-shards: also write the machine-readable benchmark result to this file, e.g. BENCH_streaming.json / BENCH_sharded.json")
+		serveBench   = flag.Bool("serve", false, "benchmark the HTTP/JSON query service: per-endpoint latency (p50/p99) over a loaded resolver")
+		jsonPath     = flag.String("json", "", "with -streaming-meta, -streaming-shards or -serve: also write the machine-readable benchmark result to this file, e.g. BENCH_streaming.json / BENCH_sharded.json / BENCH_serve.json")
 	)
 	flag.Parse()
 	var sc experiments.Scale
@@ -68,8 +82,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "erbench: unknown scale %q (want small or medium)\n", *scale)
 		os.Exit(2)
 	}
-	if *jsonPath != "" && !*streamMeta && *streamShards <= 0 {
-		fmt.Fprintln(os.Stderr, "erbench: -json requires -streaming-meta or -streaming-shards")
+	if *jsonPath != "" && !*streamMeta && *streamShards <= 0 && !*serveBench {
+		fmt.Fprintln(os.Stderr, "erbench: -json requires -streaming-meta, -streaming-shards or -serve")
 		os.Exit(2)
 	}
 	if *parallel {
@@ -96,6 +110,17 @@ func main() {
 			entities = 6000
 		}
 		if err := runStreamingShards(entities, *seed, *workers, *streamShards, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveBench {
+		entities := 1500
+		if sc == experiments.Medium {
+			entities = 6000
+		}
+		if err := runServeBench(entities, *seed, *workers, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -264,7 +289,8 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 		c.Len(), seed, workers, meta.Name())
 
 	replay := func(meta *er.MetaBlocker) (er.StreamingStats, time.Duration, error) {
-		r, err := er.NewStreamingResolver(er.StreamingConfig{
+		ctx := context.Background()
+		r, err := er.Open(ctx, er.Config{
 			Kind:    er.Dirty,
 			Blocker: &er.TokenBlocking{},
 			Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
@@ -274,7 +300,7 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 		if err != nil {
 			return er.StreamingStats{}, 0, err
 		}
-		ctx := context.Background()
+		defer r.Close()
 		t0 := time.Now()
 		for _, d := range c.All() {
 			if _, err := r.Insert(ctx, d); err != nil {
@@ -322,17 +348,19 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 	}
 	defer os.RemoveAll(walDir)
 	durable := er.StreamingDurable{SnapshotEvery: entities / 4, NoSync: true}
-	pr, err := er.PersistentResolver(walDir, er.StreamingConfig{
+	durableCfg := er.Config{
 		Kind:    er.Dirty,
 		Blocker: &er.TokenBlocking{},
 		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
 		Workers: workers,
+		Dir:     walDir,
 		Durable: durable,
-	})
+	}
+	ctx := context.Background()
+	pr, err := er.Open(ctx, durableCfg)
 	if err != nil {
 		return fmt.Errorf("persistent: %w", err)
 	}
-	ctx := context.Background()
 	t0 := time.Now()
 	for _, d := range c.All() {
 		if _, err := pr.Insert(ctx, d); err != nil {
@@ -344,18 +372,12 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 		return err
 	}
 	t0 = time.Now()
-	re, err := er.PersistentResolver(walDir, er.StreamingConfig{
-		Kind:    er.Dirty,
-		Blocker: &er.TokenBlocking{},
-		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
-		Workers: workers,
-		Durable: durable,
-	})
+	re, err := er.Open(ctx, durableCfg)
 	if err != nil {
 		return fmt.Errorf("recovery: %w", err)
 	}
 	recoveryDur := time.Since(t0)
-	rec := re.Recovery()
+	rec := re.(er.DurableReporter).Recovery()[0]
 	if st := re.Stats(); st.Live != c.Len() {
 		return fmt.Errorf("recovery restored %d live descriptions, want %d", st.Live, c.Len())
 	}
@@ -448,12 +470,13 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 	ctx := context.Background()
 	matcher := func() *er.Matcher { return &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5} }
 
-	single, err := er.NewStreamingResolver(er.StreamingConfig{
+	single, err := er.Open(ctx, er.Config{
 		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: matcher(), Workers: workers,
 	})
 	if err != nil {
 		return err
 	}
+	defer single.Close()
 	t0 := time.Now()
 	for _, d := range c.All() {
 		if _, err := single.Insert(ctx, d); err != nil {
@@ -463,12 +486,13 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 	singleDur := time.Since(t0)
 	singleStats := single.Stats()
 
-	sh, err := er.NewShardedResolver(er.ShardedConfig{
+	sh, err := er.Open(ctx, er.Config{
 		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: matcher(), Workers: workers, Shards: shards,
 	})
 	if err != nil {
 		return err
 	}
+	defer sh.Close()
 	t0 = time.Now()
 	for _, d := range c.All() {
 		if _, err := sh.Insert(ctx, d); err != nil {
@@ -478,7 +502,7 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 	shardedDur := time.Since(t0)
 	shardedStats := sh.Stats()
 
-	identical := singleStats == shardedStats && sameMatches(single.Matches(), sh.Matches())
+	identical := singleStats == shardedStats && sameSameAs(ctx, single, sh, c)
 	if !identical {
 		return fmt.Errorf("sharded state diverges from single-node: %+v vs %+v", shardedStats, singleStats)
 	}
@@ -500,11 +524,11 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 	}
 	defer os.RemoveAll(walDir)
 	durable := er.StreamingDurable{SnapshotEvery: entities / 4, NoSync: true}
-	shardedCfg := er.ShardedConfig{
+	shardedCfg := er.Config{
 		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: matcher(), Workers: workers,
-		Shards: shards, Durable: durable,
+		Shards: shards, Dir: walDir, Durable: durable,
 	}
-	pr, err := er.PersistentShardedResolver(walDir, shardedCfg)
+	pr, err := er.Open(ctx, shardedCfg)
 	if err != nil {
 		return fmt.Errorf("persistent sharded: %w", err)
 	}
@@ -515,15 +539,15 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 		}
 	}
 	persistDur := time.Since(t0)
-	pr.Abandon()
+	pr.(er.DurableReporter).Abandon()
 	t0 = time.Now()
-	re, err := er.PersistentShardedResolver(walDir, shardedCfg)
+	re, err := er.Open(ctx, shardedCfg)
 	if err != nil {
 		return fmt.Errorf("sharded recovery: %w", err)
 	}
 	recoveryDur := time.Since(t0)
 	replayedMax := 0
-	for _, rec := range re.Recovery() {
+	for _, rec := range re.(er.DurableReporter).Recovery() {
 		if rec.ReplayedRecords > replayedMax {
 			replayedMax = rec.ReplayedRecords
 		}
@@ -581,6 +605,170 @@ func phaseIndex(res *er.PipelineResult) map[string]time.Duration {
 	}
 	return m
 }
+
+// sameSameAs asserts two deployments answer identical SameAs sets for
+// every description — a pairwise bit-equality check through the v2 query
+// interface (handles are assigned identically across forms).
+func sameSameAs(ctx context.Context, a, b er.Resolver, c *er.Collection) bool {
+	for _, d := range c.All() {
+		ra, errA := a.Query(ctx, er.Query{URI: d.URI})
+		rb, errB := b.Query(ctx, er.Query{URI: d.URI})
+		if (errA != nil) != (errB != nil) {
+			return false
+		}
+		if errA != nil {
+			continue
+		}
+		if ra.ID != rb.ID || !reflect.DeepEqual(ra.SameAs, rb.SameAs) {
+			return false
+		}
+	}
+	return true
+}
+
+// benchLatencyJSON is one endpoint's measured latency distribution.
+type benchLatencyJSON struct {
+	Requests int   `json:"requests"`
+	P50NS    int64 `json:"p50_ns"`
+	P99NS    int64 `json:"p99_ns"`
+	MeanNS   int64 `json:"mean_ns"`
+}
+
+// benchServeJSON is the machine-readable -serve payload (BENCH_serve.json).
+type benchServeJSON struct {
+	Name      string                      `json:"name"`
+	Entities  int                         `json:"entities"`
+	Seed      int64                       `json:"seed"`
+	Workers   int                         `json:"workers"`
+	Endpoints map[string]benchLatencyJSON `json:"endpoints"`
+}
+
+// runServeBench loads a generated collection into an er.Open resolver,
+// fronts it with the HTTP/JSON query service, and measures per-endpoint
+// request latency (p50/p99) over the loopback.
+func runServeBench(entities int, seed int64, workers int, jsonPath string) error {
+	c, _, err := er.GenerateDirty(er.GenConfig{Seed: seed, Entities: entities, MaxDuplicates: 2})
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ctx := context.Background()
+	r, err := er.Open(ctx, er.Config{
+		Kind: er.Dirty, Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5}, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	uris := make([]string, 0, c.Len())
+	for _, d := range c.All() {
+		if _, err := r.Insert(ctx, d); err != nil {
+			return err
+		}
+		uris = append(uris, d.URI)
+	}
+
+	srv := serve.NewServer(r, serve.Options{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(lis) }()
+	base := "http://" + lis.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+	fmt.Printf("query service latency: %d descriptions, seed %d, %d requests/endpoint over loopback\n",
+		c.Len(), seed, serveRequests)
+
+	measure := func(path func(i int) string) (benchLatencyJSON, error) {
+		// Warm-up: connection pool, first-hit allocations.
+		for i := 0; i < 32; i++ {
+			resp, err := client.Get(base + path(i))
+			if err != nil {
+				return benchLatencyJSON{}, err
+			}
+			resp.Body.Close()
+		}
+		lat := make([]time.Duration, serveRequests)
+		for i := range lat {
+			t0 := time.Now()
+			resp, err := client.Get(base + path(i))
+			if err != nil {
+				return benchLatencyJSON{}, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lat[i] = time.Since(t0)
+			if resp.StatusCode != http.StatusOK {
+				return benchLatencyJSON{}, fmt.Errorf("%s answered %d", path(i), resp.StatusCode)
+			}
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, l := range lat {
+			sum += l
+		}
+		return benchLatencyJSON{
+			Requests: len(lat),
+			P50NS:    lat[len(lat)/2].Nanoseconds(),
+			P99NS:    lat[len(lat)*99/100].Nanoseconds(),
+			MeanNS:   (sum / time.Duration(len(lat))).Nanoseconds(),
+		}, nil
+	}
+
+	uri := func(i int) string { return url.QueryEscape(uris[i%len(uris)]) }
+	endpoints := map[string]func(i int) string{
+		"lookup":  func(i int) string { return "/v1/lookup?uri=" + uri(i) },
+		"same-as": func(i int) string { return "/v1/same-as?uri=" + uri(i) },
+		"cluster": func(i int) string { return "/v1/cluster?uri=" + uri(i) },
+		"stats":   func(i int) string { return "/v1/stats" },
+	}
+	results := map[string]benchLatencyJSON{}
+	fmt.Printf("\n%-10s %10s %10s %10s\n", "endpoint", "p50", "p99", "mean")
+	for _, name := range []string{"lookup", "same-as", "cluster", "stats"} {
+		m, err := measure(endpoints[name])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		results[name] = m
+		fmt.Printf("%-10s %10v %10v %10v\n", name,
+			time.Duration(m.P50NS).Round(time.Microsecond),
+			time.Duration(m.P99NS).Round(time.Microsecond),
+			time.Duration(m.MeanNS).Round(time.Microsecond))
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		return err
+	}
+	if err := <-served; err != nil {
+		return err
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	out := benchServeJSON{
+		Name: "serve", Entities: c.Len(), Seed: seed, Workers: workers,
+		Endpoints: results,
+	}
+	payload, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(payload, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// serveRequests is the measured request count per endpoint for -serve.
+const serveRequests = 800
 
 func sameMatches(a, b *er.Matches) bool {
 	if a.Len() != b.Len() {

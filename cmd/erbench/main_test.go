@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 
 	"entityres/er"
 	"entityres/internal/core"
+	"entityres/internal/experiments"
 )
 
 // TestRunStreamingMeta drives the -streaming-meta comparison end to end on
@@ -100,5 +102,85 @@ func TestRunStreamingShards(t *testing.T) {
 	}
 	if out.Recovery.PersistWallNS <= 0 || out.Recovery.RecoveryWallNS <= 0 {
 		t.Fatalf("recovery leg unmeasured: %+v", out.Recovery)
+	}
+}
+
+// TestRunServeBench measures the HTTP query service over the loopback at a
+// tiny scale and checks the BENCH_serve.json payload shape.
+func TestRunServeBench(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := runServeBench(60, 7, 2, jsonPath); err != nil {
+		t.Fatalf("runServeBench: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchServeJSON
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "serve" || out.Entities == 0 || len(out.Endpoints) != 4 {
+		t.Fatalf("serve payload = %+v", out)
+	}
+	for ep, lat := range out.Endpoints {
+		if lat.Requests != serveRequests || lat.P50NS <= 0 || lat.P99NS < lat.P50NS {
+			t.Fatalf("endpoint %s latency malformed: %+v", ep, lat)
+		}
+	}
+}
+
+// TestRunParallelComparison drives the batch-pipeline comparison mode once
+// at the small scale; the mode itself asserts sequential/parallel match
+// sets are identical and fails if they diverge.
+func TestRunParallelComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch comparison pass is seconds long")
+	}
+	if err := runParallelComparison(experiments.Small, 7, 2, 2); err != nil {
+		t.Fatalf("runParallelComparison: %v", err)
+	}
+}
+
+// TestSameSameAs covers the pairwise query-equality check, including the
+// divergence branches a healthy run never takes.
+func TestSameSameAs(t *testing.T) {
+	ctx := context.Background()
+	open := func() er.Resolver {
+		r, err := er.Open(ctx, er.Config{
+			Kind:    er.Dirty,
+			Blocker: &er.TokenBlocking{},
+			Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		return r
+	}
+	a, b := open(), open()
+	c := er.NewCollection(er.Dirty)
+	for _, uri := range []string{"u:x", "u:y"} {
+		d := &er.Description{URI: uri, Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}}
+		c.MustAdd(d.Clone())
+		for _, r := range []er.Resolver{a, b} {
+			if _, err := r.Insert(ctx, d.Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !sameSameAs(ctx, a, b, c) {
+		t.Fatal("identical deployments reported different")
+	}
+	// Delete u:y from b only: one side errors the query, the other answers.
+	res, err := b.Query(ctx, er.Query{URI: "u:y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete(ctx, res.ID); err != nil {
+		t.Fatal(err)
+	}
+	if sameSameAs(ctx, a, b, c) {
+		t.Fatal("diverged deployments reported same")
 	}
 }

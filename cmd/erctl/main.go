@@ -17,6 +17,16 @@
 //	      [-stream-shards N]
 //	      [-wal DIR [-snapshot-every N] [-wal-nosync]]
 //
+//	erctl shard -addr HOST:PORT -index I -shards N [-dir DIR]
+//	      [-kind ...] [-blocker ...] [-threshold T] [-workers N]
+//	      [-weight ...] [-prune ...] [-snapshot-every N] [-wal-nosync]
+//
+//	erctl serve -addr HOST:PORT [-ops FILE]
+//	      [-stream-shards N | -shard-addrs A,B,...] [-wal DIR]
+//	      [-max-inflight N] [-request-timeout D] [-drain-timeout D]
+//	      [-kind ...] [-blocker ...] [-threshold T] [-workers N]
+//	      [-weight ...] [-prune ...] [-snapshot-every N] [-wal-nosync]
+//
 // With one -kb0 the collection is dirty (deduplication); with -kb1 it is
 // clean-clean (interlinking). The truth file holds one tab-separated URI
 // pair per line.
@@ -34,6 +44,14 @@
 // restarting the same command resumes the replay where the previous run
 // stopped — crash recovery restores the journaled state and the
 // already-applied prefix of the ops log is skipped.
+//
+// The shard subcommand runs one shard server of a networked deployment:
+// it owns a partition of the blocking-key space and answers the routed op
+// stream a coordinator drives over the wire protocol. The serve subcommand
+// opens any deployment form — single-node, sharded, or a networked
+// coordinator over -shard-addrs — optionally preloads an ops log, and
+// exposes it as the HTTP/JSON query service (lookup, same-as, cluster,
+// stats) with admission control and graceful drain on SIGINT/SIGTERM.
 package main
 
 import (
@@ -48,9 +66,18 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "watch" {
-		watch(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "watch":
+			watch(os.Args[2:])
+			return
+		case "serve":
+			serveCmd(os.Args[2:])
+			return
+		case "shard":
+			shardCmd(os.Args[2:])
+			return
+		}
 	}
 	var (
 		kb0       = flag.String("kb0", "", "first KB, N-Triples (required)")
@@ -181,47 +208,21 @@ func main() {
 	}
 }
 
-// watch replays an operation log through the streaming resolver.
+// watch replays an operation log through an er.Open deployment.
 func watch(args []string) {
 	fs := flag.NewFlagSet("erctl watch", flag.ExitOnError)
+	df := registerDeployFlags(fs)
 	var (
 		opsPath    = fs.String("ops", "", "JSON-lines operation log (required)")
-		kindNm     = fs.String("kind", "dirty", "dirty or cleanclean")
-		blockerNm  = fs.String("blocker", "token", "streamable blocking method: token, standard or qgrams")
-		threshold  = fs.Float64("threshold", 0.4, "match similarity threshold")
-		workers    = fs.Int("workers", 0, "delta-matching workers (0 = 1)")
-		weightNm   = fs.String("weight", "", "live meta-blocking weight scheme: CBS, ECBS or JS ('' disables)")
-		pruneNm    = fs.String("prune", "WNP", "live meta-blocking prune scheme: WEP or WNP")
 		statsEvery = fs.Int("stats-every", 0, "print resolver stats every N ops (0 = only at end)")
 		printAll   = fs.Bool("print-matches", false, "print final matched URI pairs")
 		shardsN    = fs.Int("stream-shards", 0, "shard the blocking-key space across N resolvers (0 or 1 = single-node; results are bit-exact for every N)")
 		walDir     = fs.String("wal", "", "durable WAL directory: journal every op, compact into snapshots, and resume an interrupted replay of the same -ops log after restart (per-shard subdirectories with -stream-shards)")
-		snapEvery  = fs.Int("snapshot-every", 0, "ops between WAL snapshot compactions (0 = default; requires -wal)")
-		noSync     = fs.Bool("wal-nosync", false, "skip the per-op fsync on the WAL (requires -wal)")
 	)
 	_ = fs.Parse(args)
 	if *opsPath == "" {
 		fmt.Fprintln(os.Stderr, "erctl watch: -ops is required")
 		os.Exit(2)
-	}
-	kind := er.Dirty
-	switch strings.ToLower(*kindNm) {
-	case "dirty":
-	case "cleanclean", "clean-clean":
-		kind = er.CleanClean
-	default:
-		fail(fmt.Errorf("unknown kind %q", *kindNm))
-	}
-	var blocker er.StreamableBlocker
-	switch strings.ToLower(*blockerNm) {
-	case "token":
-		blocker = &er.TokenBlocking{}
-	case "standard":
-		blocker = &er.StandardBlocking{}
-	case "qgrams":
-		blocker = &er.QGramsBlocking{}
-	default:
-		fail(fmt.Errorf("blocker %q cannot stream (need token, standard or qgrams)", *blockerNm))
 	}
 
 	f, err := os.Open(*opsPath)
@@ -234,133 +235,110 @@ func watch(args []string) {
 		fail(err)
 	}
 
-	var meta *er.MetaBlocker
-	if *weightNm != "" {
-		w, err := parseWeight(*weightNm)
-		if err != nil {
-			fail(err)
-		}
-		p, err := parsePrune(*pruneNm)
-		if err != nil {
-			fail(err)
-		}
-		// The resolver validates stream-safety (WEP/WNP × CBS/ECBS/JS) and
-		// reports the specific reason a batch-only scheme cannot stream.
-		meta = &er.MetaBlocker{Weight: w, Prune: p}
+	cfg, err := df.config()
+	if err != nil {
+		fail(err)
 	}
-	if *walDir == "" && (*snapEvery != 0 || *noSync) {
-		fail(fmt.Errorf("-snapshot-every and -wal-nosync tune the durable journal and require -wal DIR"))
+	cfg.Dir = *walDir
+	cfg.Shards = *shardsN
+	r, err := er.Open(context.Background(), cfg)
+	if err != nil {
+		fail(err)
 	}
-	cfg := er.StreamingConfig{
-		Kind:    kind,
-		Blocker: blocker,
-		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: *threshold},
-		Workers: *workers,
-		Meta:    meta,
-		Durable: er.StreamingDurable{SnapshotEvery: *snapEvery, NoSync: *noSync},
-	}
-	var r watchResolver
+	// Durable replay: every applied op is journaled under -wal, and a
+	// restart resumes where the previous run stopped — recovery restores
+	// the journal's state, and the ops it already covers are skipped.
+	// Resumption assumes the same -ops log; the skip count is the number
+	// of operations the recovered state acknowledges.
 	skipped := 0
-	resume := func(recovered bool, detail string) {
-		// Durable replay: every applied op is journaled under -wal, and a
-		// restart resumes where the previous run stopped — recovery restores
-		// the journal's state, and the ops it already covers are skipped.
-		// Resumption assumes the same -ops log; the skip count is the number
-		// of operations the recovered state acknowledges.
-		if !recovered {
-			return
-		}
-		st := r.Stats()
+	if st := r.Stats(); st.Inserts+st.Updates+st.Deletes > 0 {
 		applied := int(st.Inserts + st.Updates + st.Deletes)
 		if applied > len(ops) {
 			fail(fmt.Errorf("wal %s holds %d applied ops but %s has only %d — resuming a different log?", *walDir, applied, *opsPath, len(ops)))
 		}
 		skipped = applied
-		fmt.Printf("resumed from %s: %d ops already applied (%s)\n", *walDir, applied, detail)
-	}
-	switch {
-	case *shardsN > 1:
-		// Sharded replay: the key space hash-partitions across N shard
-		// resolvers; with -wal each shard journals under its own
-		// shard-%03d directory and recovers independently.
-		scfg := er.ShardedConfig{
-			Kind: cfg.Kind, Blocker: cfg.Blocker, Matcher: cfg.Matcher,
-			Workers: cfg.Workers, Meta: cfg.Meta, Shards: *shardsN, Durable: cfg.Durable,
-		}
-		if *walDir != "" {
-			sr, err := er.PersistentShardedResolver(*walDir, scfg)
-			if err != nil {
-				fail(err)
-			}
-			r = sr
+		detail := ""
+		if dr, ok := r.(er.DurableReporter); ok {
 			replayed := 0
-			for _, rec := range sr.Recovery() {
+			for _, rec := range dr.Recovery() {
 				replayed += rec.ReplayedRecords
 			}
-			resume(sr.Recovered(), fmt.Sprintf("%d shards, %d wal records replayed in total", *shardsN, replayed))
-		} else {
-			sr, err := er.NewShardedResolver(scfg)
-			if err != nil {
-				fail(err)
-			}
-			r = sr
+			detail = fmt.Sprintf(" (%d wal records replayed)", replayed)
 		}
-	case *walDir != "":
-		sr, err := er.PersistentResolver(*walDir, cfg)
-		if err != nil {
-			fail(err)
-		}
-		r = sr
-		rec := sr.Recovery()
-		resume(rec.Recovered, fmt.Sprintf("snapshot at segment %d, %d wal records replayed", rec.SnapshotSegment, rec.ReplayedRecords))
-	default:
-		sr, err := er.NewStreamingResolver(cfg)
-		if err != nil {
-			fail(err)
-		}
-		r = sr
+		fmt.Printf("resumed from %s: %d ops already applied%s\n", *walDir, applied, detail)
 	}
 	ctx := context.Background()
 	for i, op := range ops[skipped:] {
 		n := skipped + i + 1
-		if err := r.Apply(ctx, op); err != nil {
+		if err := applyStreamOp(ctx, r, op); err != nil {
 			fail(fmt.Errorf("op %d (%s %s): %w", n, op.Kind, op.URI, err))
 		}
 		if *statsEvery > 0 && n%*statsEvery == 0 {
-			fmt.Printf("after %4d ops: %s\n", n, statsLine(r, meta))
+			fmt.Printf("after %4d ops: %s\n", n, statsLine(r.Stats(), cfg.Meta != nil))
 		}
 	}
-	fmt.Printf("final: %s\n", statsLine(r, meta))
-	if *walDir != "" {
-		if err := r.Close(); err != nil {
-			fail(err)
-		}
-	}
+	fmt.Printf("final: %s\n", statsLine(r.Stats(), cfg.Meta != nil))
 	if *printAll {
-		r.Matches().Each(func(p er.Pair) bool {
-			a, _ := r.Get(p.A)
-			b, _ := r.Get(p.B)
-			fmt.Printf("%s\t%s\n", a.URI, b.URI)
-			return true
-		})
+		printMatches(ctx, r, ops)
+	}
+	if err := r.Close(); err != nil {
+		fail(err)
 	}
 }
 
-// watchResolver is the read/apply surface the watch loop needs; the
-// single-node and the sharded resolver both provide it.
-type watchResolver interface {
-	Apply(ctx context.Context, op er.StreamOp) error
-	Stats() er.StreamingStats
-	Matches() *er.Matches
-	Get(id int) (*er.Description, bool)
-	Close() error
+// applyStreamOp executes one URI-addressed operation through the v2
+// Resolver interface: updates and deletes select their handle by URI.
+func applyStreamOp(ctx context.Context, r er.Resolver, op er.StreamOp) error {
+	switch op.Kind {
+	case er.StreamInsert:
+		_, err := r.Insert(ctx, &er.Description{URI: op.URI, Source: op.Source, Attrs: op.Attrs})
+		return err
+	case er.StreamUpdate:
+		res, err := r.Query(ctx, er.Query{URI: op.URI})
+		if err != nil {
+			return err
+		}
+		return r.Update(ctx, res.ID, op.Attrs)
+	case er.StreamDelete:
+		res, err := r.Query(ctx, er.Query{URI: op.URI})
+		if err != nil {
+			return err
+		}
+		return r.Delete(ctx, res.ID)
+	}
+	return fmt.Errorf("unknown op kind %v", op.Kind)
+}
+
+// printMatches lists each matched URI pair once, walking the stream's
+// insert URIs in order and querying their current match partners.
+func printMatches(ctx context.Context, r er.Resolver, ops []er.StreamOp) {
+	seen := map[string]bool{}
+	for _, op := range ops {
+		if op.Kind != er.StreamInsert || seen[op.URI] {
+			continue
+		}
+		seen[op.URI] = true
+		res, err := r.Query(ctx, er.Query{URI: op.URI})
+		if err != nil {
+			continue // deleted later in the stream
+		}
+		for _, partner := range res.SameAs {
+			if partner <= res.ID {
+				continue // the lower handle prints the pair
+			}
+			p, err := r.Query(ctx, er.Query{ID: partner})
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%s\t%s\n", res.Description.URI, p.Description.URI)
+		}
+	}
 }
 
 // statsLine renders resolver stats, extending them with the live pruning
 // counters when meta-blocking is active.
-func statsLine(r watchResolver, meta *er.MetaBlocker) string {
-	st := r.Stats()
-	if meta == nil {
+func statsLine(st er.StreamingStats, meta bool) string {
+	if !meta {
 		return st.String()
 	}
 	return fmt.Sprintf("%s kept=%d/%d candidate pairs", st, st.KeptPairs, st.CandidatePairs)

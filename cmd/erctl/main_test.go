@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -56,21 +57,13 @@ func TestWatchWithLivePruning(t *testing.T) {
 }
 
 func TestStatsLine(t *testing.T) {
-	meta := &er.MetaBlocker{Weight: er.CBS, Prune: er.WEP}
-	r, err := er.NewStreamingResolver(er.StreamingConfig{
-		Kind:    er.Dirty,
-		Blocker: &er.TokenBlocking{},
-		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
-		Meta:    meta,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := statsLine(r, nil); got == "" {
+	var st er.StreamingStats
+	st.KeptPairs, st.CandidatePairs = 3, 7
+	if got := statsLine(st, false); got == "" {
 		t.Fatal("empty stats line")
 	}
-	withMeta := statsLine(r, meta)
-	if withMeta == "" || withMeta == statsLine(r, nil) {
+	withMeta := statsLine(st, true)
+	if withMeta == "" || withMeta == statsLine(st, false) {
 		t.Fatalf("meta stats line %q not extended", withMeta)
 	}
 }
@@ -197,5 +190,40 @@ func TestWatchStreamShards(t *testing.T) {
 	}
 	if st := r.Stats(); st.Inserts != 3 || st.Updates != 1 || st.Deletes != 1 || st.Live != 2 || st.Matches != 1 {
 		t.Fatalf("recovered sharded stats = %+v", st)
+	}
+}
+
+// TestApplyStreamOp covers the op translation onto the v2 interface,
+// including the refused paths: mutating a URI that was never inserted, and
+// an op kind the log format does not define.
+func TestApplyStreamOp(t *testing.T) {
+	ctx := context.Background()
+	r, err := er.Open(ctx, er.Config{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	attrs := []er.Attribute{{Name: "name", Value: "alice"}}
+	if err := applyStreamOp(ctx, r, er.StreamOp{Kind: er.StreamInsert, URI: "u:a", Attrs: attrs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyStreamOp(ctx, r, er.StreamOp{Kind: er.StreamUpdate, URI: "u:a", Attrs: attrs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyStreamOp(ctx, r, er.StreamOp{Kind: er.StreamUpdate, URI: "u:ghost", Attrs: attrs}); err == nil {
+		t.Fatal("update of a never-inserted URI accepted")
+	}
+	if err := applyStreamOp(ctx, r, er.StreamOp{Kind: er.StreamDelete, URI: "u:ghost"}); err == nil {
+		t.Fatal("delete of a never-inserted URI accepted")
+	}
+	if err := applyStreamOp(ctx, r, er.StreamOp{Kind: er.StreamOpKind(99), URI: "u:a"}); err == nil {
+		t.Fatal("unknown op kind accepted")
+	}
+	if err := applyStreamOp(ctx, r, er.StreamOp{Kind: er.StreamDelete, URI: "u:a"}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"entityres/er"
+)
+
+func parseDeploy(t *testing.T, args ...string) (*deployFlags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	df := registerDeployFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return df, nil
+}
+
+func TestDeployFlagsConfig(t *testing.T) {
+	df, _ := parseDeploy(t)
+	cfg, err := df.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != er.Dirty || cfg.Blocker == nil || cfg.Matcher == nil || cfg.Meta != nil {
+		t.Fatalf("default config = %+v", cfg)
+	}
+
+	df, _ = parseDeploy(t, "-kind", "clean-clean", "-blocker", "qgrams",
+		"-weight", "ECBS", "-prune", "WEP", "-threshold", "0.6", "-workers", "4")
+	cfg, err = df.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Kind != er.CleanClean || cfg.Meta == nil || cfg.Workers != 4 || cfg.Matcher.Threshold != 0.6 {
+		t.Fatalf("tuned config = %+v", cfg)
+	}
+
+	for _, bad := range [][]string{
+		{"-kind", "nope"},
+		{"-blocker", "sortednbhd"}, // not streamable
+		{"-weight", "bogus"},
+		{"-weight", "CBS", "-prune", "bogus"},
+	} {
+		df, _ = parseDeploy(t, bad...)
+		if _, err := df.config(); err == nil {
+			t.Errorf("config accepted %v", bad)
+		}
+	}
+}
+
+func TestDeploymentName(t *testing.T) {
+	for want, cfg := range map[string]er.Config{
+		"single-node":          {},
+		"single-node, durable": {Dir: "x"},
+		"sharded, 3 shards":    {Shards: 3},
+		"networked, 2 shards":  {Addrs: []string{"a", "b"}},
+	} {
+		if got := deploymentName(cfg); got != want {
+			t.Errorf("deploymentName = %q, want %q", got, want)
+		}
+	}
+}
+
+// freePort reserves an ephemeral loopback address and releases it for the
+// subcommand under test to bind.
+func freePort(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+	return addr
+}
+
+// TestServeNetworkedEndToEnd boots the full two-process topology in one
+// test process: two `erctl shard` servers, then `erctl serve` preloading an
+// op log over them, queried over HTTP, shut down by the same SIGINT a
+// production deployment would receive. The subcommands install their own
+// signal handlers, so raising the signal here exercises the real drain
+// path without killing the test binary.
+func TestServeNetworkedEndToEnd(t *testing.T) {
+	ops := []er.StreamOp{
+		{Kind: er.StreamInsert, URI: "u:a", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+		{Kind: er.StreamInsert, URI: "u:b", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+		{Kind: er.StreamInsert, URI: "u:c", Attrs: []er.Attribute{{Name: "name", Value: "carol jones"}}},
+	}
+	var buf bytes.Buffer
+	if err := er.WriteStreamOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	opsPath := filepath.Join(t.TempDir(), "ops.jsonl")
+	if err := os.WriteFile(opsPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	shardAddrs := []string{freePort(t), freePort(t)}
+	httpAddr := freePort(t)
+	var wg sync.WaitGroup
+	for i, addr := range shardAddrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shardCmd([]string{"-addr", addr, "-index", strconv.Itoa(i), "-shards", "2"})
+		}()
+	}
+	for _, addr := range shardAddrs {
+		waitListening(t, addr)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveCmd([]string{"-addr", httpAddr, "-ops", opsPath,
+			"-shard-addrs", strings.Join(shardAddrs, ","), "-request-timeout", "5s"})
+	}()
+	waitListening(t, httpAddr)
+
+	var res struct {
+		URI    string `json:"uri"`
+		SameAs []struct {
+			URI string `json:"uri"`
+		} `json:"same_as"`
+	}
+	getJSON(t, "http://"+httpAddr+"/v1/same-as?uri=u:a", &res)
+	if res.URI != "u:a" || len(res.SameAs) != 1 {
+		t.Fatalf("same-as over the networked deployment = %+v", res)
+	}
+	var st struct {
+		Inserts int64 `json:"inserts"`
+		Live    int   `json:"live"`
+	}
+	getJSON(t, "http://"+httpAddr+"/v1/stats", &st)
+	if st.Inserts != 3 || st.Live != 3 {
+		t.Fatalf("stats over the networked deployment = %+v", st)
+	}
+
+	// One SIGINT reaches every subcommand, exactly like ^C on a process
+	// group: the HTTP service drains, the shards close, everyone returns.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("subcommands did not shut down on SIGINT")
+	}
+}
+
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening on %s", addr)
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,20 +24,30 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind the process wrapper: parse flags,
+// generate, split by source, write. The returned value is the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kbgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out         = flag.String("out", "", "output directory (required)")
-		kind        = flag.String("kind", "cleanclean", "dirty, cleanclean or biblio")
-		entities    = flag.Int("entities", 1000, "number of distinct real-world entities")
-		dup         = flag.Float64("dup", 0.5, "duplication / overlap ratio")
-		domain      = flag.String("domain", "people", "people or movies")
-		corruption  = flag.String("corruption", "light", "light or heavy")
-		schemaNoise = flag.Float64("schemanoise", 0.5, "attribute-rename probability for source 1")
-		seed        = flag.Int64("seed", 1, "generation seed")
+		out         = fs.String("out", "", "output directory (required)")
+		kind        = fs.String("kind", "cleanclean", "dirty, cleanclean or biblio")
+		entities    = fs.Int("entities", 1000, "number of distinct real-world entities")
+		dup         = fs.Float64("dup", 0.5, "duplication / overlap ratio")
+		domain      = fs.String("domain", "people", "people or movies")
+		corruption  = fs.String("corruption", "light", "light or heavy")
+		schemaNoise = fs.Float64("schemanoise", 0.5, "attribute-rename probability for source 1")
+		seed        = fs.Int64("seed", 1, "generation seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "kbgen: -out is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "kbgen: -out is required")
+		return 2
 	}
 	cfg := er.GenConfig{
 		Seed:        *seed,
@@ -50,8 +61,8 @@ func main() {
 	case "movies":
 		cfg.Domain = er.Movies
 	default:
-		fmt.Fprintf(os.Stderr, "kbgen: unknown domain %q\n", *domain)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "kbgen: unknown domain %q\n", *domain)
+		return 2
 	}
 	switch strings.ToLower(*corruption) {
 	case "light":
@@ -61,8 +72,8 @@ func main() {
 		c := er.HeavyCorruption()
 		cfg.Corruption = &c
 	default:
-		fmt.Fprintf(os.Stderr, "kbgen: unknown corruption %q\n", *corruption)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "kbgen: unknown corruption %q\n", *corruption)
+		return 2
 	}
 
 	var (
@@ -79,16 +90,16 @@ func main() {
 		cfg.Domain = er.Bibliographic
 		c, gt, err = er.GenerateBibliographic(cfg)
 	default:
-		fmt.Fprintf(os.Stderr, "kbgen: unknown kind %q\n", *kind)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "kbgen: unknown kind %q\n", *kind)
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kbgen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "kbgen:", err)
+		return 1
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "kbgen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "kbgen:", err)
+		return 1
 	}
 
 	// Split the collection by source into per-KB files.
@@ -114,24 +125,25 @@ func main() {
 		return w.Flush()
 	}
 	if err := write("kb0.nt", 0); err != nil {
-		fmt.Fprintln(os.Stderr, "kbgen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "kbgen:", err)
+		return 1
 	}
 	if c.Kind() == er.CleanClean {
 		if err := write("kb1.nt", 1); err != nil {
-			fmt.Fprintln(os.Stderr, "kbgen:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "kbgen:", err)
+			return 1
 		}
 	}
 	tf, err := os.Create(filepath.Join(*out, "truth.tsv"))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kbgen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "kbgen:", err)
+		return 1
 	}
 	defer tf.Close()
 	if err := er.WriteTruthTSV(tf, c, gt); err != nil {
-		fmt.Fprintln(os.Stderr, "kbgen:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "kbgen:", err)
+		return 1
 	}
-	fmt.Printf("kbgen: wrote %d descriptions, %d truth pairs to %s\n", c.Len(), gt.Len(), *out)
+	fmt.Fprintf(stdout, "kbgen: wrote %d descriptions, %d truth pairs to %s\n", c.Len(), gt.Len(), *out)
+	return 0
 }

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"entityres/er"
+)
+
+// TestRunKinds generates each KB kind into a temp directory and loads the
+// files back through the er readers, round-tripping the generated truth.
+func TestRunKinds(t *testing.T) {
+	for _, tc := range []struct {
+		kind   string
+		extra  []string
+		files  []string
+		atMost int // kb1.nt only for clean-clean splits
+	}{
+		{kind: "dirty", files: []string{"kb0.nt", "truth.tsv"}},
+		{kind: "cleanclean", extra: []string{"-domain", "movies", "-corruption", "heavy"},
+			files: []string{"kb0.nt", "kb1.nt", "truth.tsv"}},
+		{kind: "biblio", files: []string{"kb0.nt", "kb1.nt", "truth.tsv"}},
+	} {
+		t.Run(tc.kind, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "out")
+			args := append([]string{"-out", dir, "-kind", tc.kind, "-entities", "40"}, tc.extra...)
+			var stdout, stderr bytes.Buffer
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "kbgen: wrote") {
+				t.Fatalf("summary line missing: %q", stdout.String())
+			}
+			for _, f := range tc.files {
+				if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+					t.Errorf("expected output %s: %v", f, err)
+				}
+			}
+			c := er.NewCollection(er.Dirty)
+			f, err := os.Open(filepath.Join(dir, "kb0.nt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if err := er.ReadNTriples(c, f, 0); err != nil {
+				t.Fatalf("generated kb0.nt unreadable: %v", err)
+			}
+			if c.Len() == 0 {
+				t.Fatal("generated KB is empty")
+			}
+		})
+	}
+}
+
+// TestRunFlagValidation checks every refused-flag exit path.
+func TestRunFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	for _, bad := range [][]string{
+		{},                            // -out missing
+		{"-bogusflag"},                // unknown flag
+		{"-out", dir, "-kind", "x"},   // unknown kind
+		{"-out", dir, "-domain", "x"}, // unknown domain
+		{"-out", dir, "-corruption", "x"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(bad, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr %q)", bad, code, stderr.String())
+		}
+	}
+}

@@ -389,6 +389,9 @@ type (
 
 // NewStreamingResolver validates the configuration and returns an empty
 // in-memory streaming resolver (nothing is persisted).
+//
+// Deprecated: use Open with a Config carrying the same fields; it returns
+// the unified Resolver interface. This constructor remains for one release.
 func NewStreamingResolver(cfg StreamingConfig) (*StreamingResolver, error) {
 	return incremental.New(cfg)
 }
@@ -404,6 +407,9 @@ func NewStreamingResolver(cfg StreamingConfig) (*StreamingResolver, error) {
 // interruption; use StreamingResolver.Recovery to inspect what was
 // restored, Compact to checkpoint on demand, Snapshot to materialize the
 // live state, and Close to seal the journal.
+//
+// Deprecated: use Open with Config.Dir set. This constructor remains for
+// one release.
 func PersistentResolver(dir string, cfg StreamingConfig) (*StreamingResolver, error) {
 	return incremental.OpenResolver(dir, cfg)
 }
@@ -427,6 +433,9 @@ type (
 
 // NewShardedResolver validates the configuration and returns an empty
 // in-memory sharded streaming resolver.
+//
+// Deprecated: use Open with Config.Shards > 1. This constructor remains
+// for one release.
 func NewShardedResolver(cfg ShardedConfig) (*ShardedResolver, error) {
 	return sharded.New(cfg)
 }
@@ -436,6 +445,9 @@ func NewShardedResolver(cfg ShardedConfig) (*ShardedResolver, error) {
 // dir/shard-%03d, and an existing directory is recovered shard by shard
 // with the coordinator's replica rebuilt from the shards. The shard count
 // is pinned in a manifest on first use.
+//
+// Deprecated: use Open with Config.Dir and Config.Shards set. This
+// constructor remains for one release.
 func PersistentShardedResolver(dir string, cfg ShardedConfig) (*ShardedResolver, error) {
 	return sharded.Open(dir, cfg)
 }

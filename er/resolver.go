@@ -1,0 +1,336 @@
+package er
+
+import (
+	"context"
+	"fmt"
+
+	"entityres/internal/entity"
+	"entityres/internal/incremental"
+	"entityres/internal/sharded"
+	"entityres/internal/transport"
+)
+
+// This file is the v2 resolver API: one Open call returning one Resolver
+// interface, with durability, sharding and networking selected by Config
+// instead of by constructor. The v1 constructors (NewStreamingResolver,
+// PersistentResolver, NewShardedResolver, PersistentShardedResolver)
+// remain as deprecated aliases for one release; see the migration note in
+// the README.
+
+// Config selects and parameterizes a resolver deployment for Open.
+//
+// The zero-value axes compose: leave everything optional unset for an
+// in-memory single-node resolver; set Dir for durability; set Shards for
+// in-process sharding; set Addrs to drive remote shard servers over the
+// wire. Durability and sharding combine freely; Addrs subsumes Shards.
+type Config struct {
+	// Kind is the collection kind (Dirty or CleanClean).
+	Kind Kind
+	// Blocker derives blocking keys per description (required).
+	Blocker StreamableBlocker
+	// Matcher decides candidate pairs (required).
+	Matcher *Matcher
+	// Workers bounds delta-matching concurrency (0 = sequential).
+	Workers int
+	// Meta enables live meta-blocking (WEP/WNP over CBS/ECBS/JS).
+	Meta *MetaBlocker
+
+	// Dir makes the deployment durable: single-node and in-process sharded
+	// resolvers journal under it, and the networked coordinator keeps its
+	// own journal there. Empty means fully in-memory.
+	Dir string
+	// Durable tunes the write-ahead log when Dir is set.
+	Durable StreamingDurable
+
+	// Shards > 1 partitions the blocking-key space across in-process shard
+	// resolvers.
+	Shards int
+
+	// Addrs selects the networked deployment: one shard server address per
+	// shard (see NewShardServer / the erctl shard command). Shards, when
+	// set, must agree with len(Addrs).
+	Addrs []string
+	// Transport tunes the shard connections (timeouts, retry attempts).
+	Transport TransportOptions
+}
+
+// sharded renders the config in the internal deployment form shared by the
+// in-process and networked coordinators.
+func (cfg Config) sharded() sharded.Config {
+	return sharded.Config{
+		Kind: cfg.Kind, Blocker: cfg.Blocker, Matcher: cfg.Matcher,
+		Workers: cfg.Workers, Meta: cfg.Meta, Shards: cfg.Shards,
+		Durable: cfg.Durable,
+	}
+}
+
+// Query selects a description — by URI, or by handle when URI is empty —
+// and what to resolve about it.
+type Query struct {
+	// URI addresses the description by its identifier.
+	URI string
+	// ID addresses it by resolver handle when URI is empty.
+	ID ID
+	// Cluster additionally materializes the full entity cluster.
+	Cluster bool
+}
+
+// Result answers a Query.
+type Result struct {
+	// ID is the resolver handle of the selected description.
+	ID ID
+	// Description is a copy of its current state.
+	Description *Description
+	// SameAs lists the handles currently matched to it, ascending.
+	SameAs []ID
+	// Cluster lists its full entity cluster (itself included) when the
+	// query asked for it; nil otherwise.
+	Cluster []ID
+}
+
+// ErrNotFound reports a Query that selected no live description.
+type ErrNotFound struct {
+	URI string
+	ID  ID
+}
+
+func (e *ErrNotFound) Error() string {
+	if e.URI != "" {
+		return fmt.Sprintf("er: no live description with URI %q", e.URI)
+	}
+	return fmt.Sprintf("er: no live description with handle %d", e.ID)
+}
+
+// Resolver is the v2 entity-resolution surface: a live store of entity
+// descriptions that maintains blocks, matches and clusters under
+// insert/update/delete traffic. All deployment forms returned by Open —
+// single-node, durable, sharded, networked — satisfy it with bit-identical
+// observable behavior.
+type Resolver interface {
+	// Insert adds a new description and returns its handle.
+	Insert(ctx context.Context, d *Description) (ID, error)
+	// Update replaces a live description's attributes.
+	Update(ctx context.Context, id ID, attrs []Attribute) error
+	// Delete removes a live description.
+	Delete(ctx context.Context, id ID) error
+	// Query resolves one description: current state, match partners and
+	// optionally its full cluster. Returns *ErrNotFound when nothing live
+	// answers the selection.
+	Query(ctx context.Context, q Query) (Result, error)
+	// Stats reports operation counters and current blocking/matching sizes.
+	Stats() StreamingStats
+	// Flush settles any deferred (meta-blocking) work.
+	Flush(ctx context.Context) error
+	// Close releases the deployment (seals journals, drops connections).
+	Close() error
+}
+
+// ShardRejoiner is implemented by the networked Resolver: after a shard
+// server restarts, RejoinShard reconnects it and closes whatever gap its
+// absence left (journal catch-up or snapshot shipping over the wire).
+type ShardRejoiner interface {
+	RejoinShard(ctx context.Context, shard int) error
+	// TransportStats reports routed-delivery counters and down shards.
+	TransportStats() TransportStats
+}
+
+// DurableReporter is implemented by the local deployment forms (no Addrs):
+// Recovery reports what each journal's open restored — one entry per
+// shard, one for single-node — and Abandon hard-stops without sealing the
+// journal, simulating a crash for tests and benchmarks.
+type DurableReporter interface {
+	Recovery() []StreamingRecovery
+	Abandon()
+}
+
+// Networked transport surface.
+type (
+	// TransportOptions tunes shard connections (Config.Transport).
+	TransportOptions = transport.ClientOptions
+	// TransportStats are routed-delivery counters (ShardRejoiner).
+	TransportStats = transport.TransportStats
+	// ShardServer serves one shard's resolver over the wire protocol.
+	ShardServer = transport.ShardServer
+	// ShardUnavailableError reports shards unreachable during a mutation;
+	// the operation itself was accepted and completes on rejoin.
+	ShardUnavailableError = transport.ShardUnavailableError
+)
+
+// NewShardServer opens shard index of the deployment described by cfg —
+// durable under dir, in-memory when dir is empty — ready to Serve the wire
+// protocol a networked Open drives. cfg must carry the same Kind, Blocker,
+// Matcher, Meta and Shards on every shard and every coordinator of one
+// deployment.
+func NewShardServer(dir string, cfg Config, index int) (*ShardServer, error) {
+	scfg := cfg.sharded()
+	if scfg.Shards == 0 {
+		scfg.Shards = len(cfg.Addrs)
+	}
+	return transport.NewShardServer(dir, scfg, index)
+}
+
+// Open validates cfg and connects the selected deployment:
+//
+//   - no Addrs, Shards <= 1: a single-node streaming resolver, durable
+//     under Dir when set;
+//   - no Addrs, Shards > 1: the in-process sharded resolver;
+//   - Addrs set: the networked coordinator, one shard server per address,
+//     with Dir as the coordinator's own journal directory.
+//
+// The returned Resolver is bit-exact across these forms for the same
+// operation stream; pick by operational need, not by semantics.
+func Open(ctx context.Context, cfg Config) (Resolver, error) {
+	switch {
+	case len(cfg.Addrs) > 0:
+		co, err := transport.OpenCoordinator(ctx, cfg.Dir, cfg.sharded(), cfg.Addrs, cfg.Transport)
+		if err != nil {
+			return nil, err
+		}
+		return &networkedResolver{co: co}, nil
+	case cfg.Shards > 1:
+		var sh *ShardedResolver
+		var err error
+		if cfg.Dir != "" {
+			sh, err = sharded.Open(cfg.Dir, cfg.sharded())
+		} else {
+			sh, err = sharded.New(cfg.sharded())
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &shardedAdapter{sh: sh}, nil
+	default:
+		icfg := incremental.Config{
+			Kind: cfg.Kind, Blocker: cfg.Blocker, Matcher: cfg.Matcher,
+			Workers: cfg.Workers, Meta: cfg.Meta, Durable: cfg.Durable,
+		}
+		var sr *StreamingResolver
+		var err error
+		if cfg.Dir != "" {
+			sr, err = incremental.OpenResolver(cfg.Dir, icfg)
+		} else {
+			sr, err = incremental.New(icfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &singleAdapter{sr: sr}, nil
+	}
+}
+
+// queryBackend is the read surface the three adapters share.
+type queryBackend interface {
+	Lookup(uri string) (ID, bool)
+	Get(id ID) (*Description, bool)
+	MatchedWith(id ID) []ID
+	Clusters() [][]ID
+}
+
+// runQuery answers q against any backend.
+func runQuery(b queryBackend, q Query) (Result, error) {
+	var id ID
+	if q.URI != "" {
+		var ok bool
+		if id, ok = b.Lookup(q.URI); !ok {
+			return Result{}, &ErrNotFound{URI: q.URI}
+		}
+	} else {
+		id = q.ID
+	}
+	d, ok := b.Get(id)
+	if !ok {
+		return Result{}, &ErrNotFound{URI: q.URI, ID: id}
+	}
+	res := Result{ID: id, Description: d, SameAs: b.MatchedWith(id)}
+	if q.Cluster {
+		res.Cluster = clusterOf(b.Clusters(), id)
+	}
+	return res, nil
+}
+
+// clusterOf finds id's cluster; a description matched to nothing forms a
+// singleton.
+func clusterOf(clusters [][]ID, id ID) []ID {
+	for _, c := range clusters {
+		for _, m := range c {
+			if m == id {
+				return c
+			}
+		}
+	}
+	return []ID{id}
+}
+
+// singleAdapter adapts the single-node streaming resolver.
+type singleAdapter struct{ sr *StreamingResolver }
+
+func (a *singleAdapter) Insert(ctx context.Context, d *Description) (ID, error) {
+	return a.sr.Insert(ctx, d)
+}
+func (a *singleAdapter) Update(ctx context.Context, id ID, attrs []Attribute) error {
+	return a.sr.Update(ctx, id, attrs)
+}
+func (a *singleAdapter) Delete(ctx context.Context, id ID) error { return a.sr.Delete(id) }
+func (a *singleAdapter) Query(ctx context.Context, q Query) (Result, error) {
+	return runQuery(a.sr, q)
+}
+func (a *singleAdapter) Stats() StreamingStats           { return a.sr.Stats() }
+func (a *singleAdapter) Flush(ctx context.Context) error { return a.sr.Flush(ctx) }
+func (a *singleAdapter) Close() error                    { return a.sr.Close() }
+func (a *singleAdapter) Recovery() []StreamingRecovery   { return []StreamingRecovery{a.sr.Recovery()} }
+func (a *singleAdapter) Abandon()                        { a.sr.Abandon() }
+
+// shardedAdapter adapts the in-process sharded resolver.
+type shardedAdapter struct{ sh *ShardedResolver }
+
+func (a *shardedAdapter) Insert(ctx context.Context, d *Description) (ID, error) {
+	return a.sh.Insert(ctx, d)
+}
+func (a *shardedAdapter) Update(ctx context.Context, id ID, attrs []Attribute) error {
+	return a.sh.Update(ctx, id, attrs)
+}
+func (a *shardedAdapter) Delete(ctx context.Context, id ID) error { return a.sh.Delete(id) }
+func (a *shardedAdapter) Query(ctx context.Context, q Query) (Result, error) {
+	return runQuery(a.sh, q)
+}
+func (a *shardedAdapter) Stats() StreamingStats           { return a.sh.Stats() }
+func (a *shardedAdapter) Flush(ctx context.Context) error { return a.sh.Flush(ctx) }
+func (a *shardedAdapter) Close() error                    { return a.sh.Close() }
+func (a *shardedAdapter) Recovery() []StreamingRecovery   { return a.sh.Recovery() }
+func (a *shardedAdapter) Abandon()                        { a.sh.Abandon() }
+
+// networkedResolver adapts the transport coordinator; it additionally
+// implements ShardRejoiner.
+type networkedResolver struct{ co *transport.Coordinator }
+
+func (a *networkedResolver) Insert(ctx context.Context, d *Description) (ID, error) {
+	return a.co.Insert(ctx, d)
+}
+func (a *networkedResolver) Update(ctx context.Context, id ID, attrs []Attribute) error {
+	return a.co.Update(ctx, id, attrs)
+}
+func (a *networkedResolver) Delete(ctx context.Context, id ID) error { return a.co.Delete(ctx, id) }
+func (a *networkedResolver) Query(ctx context.Context, q Query) (Result, error) {
+	return runQuery(a.co, q)
+}
+func (a *networkedResolver) Stats() StreamingStats           { return a.co.Stats() }
+func (a *networkedResolver) Flush(ctx context.Context) error { return a.co.Flush(ctx) }
+func (a *networkedResolver) Close() error                    { return a.co.Close() }
+func (a *networkedResolver) RejoinShard(ctx context.Context, shard int) error {
+	return a.co.RejoinShard(ctx, shard)
+}
+func (a *networkedResolver) TransportStats() TransportStats { return a.co.TransportStats() }
+
+// compile-time conformance
+var (
+	_ Resolver        = (*singleAdapter)(nil)
+	_ Resolver        = (*shardedAdapter)(nil)
+	_ Resolver        = (*networkedResolver)(nil)
+	_ ShardRejoiner   = (*networkedResolver)(nil)
+	_ DurableReporter = (*singleAdapter)(nil)
+	_ DurableReporter = (*shardedAdapter)(nil)
+	_ queryBackend    = (*incremental.Resolver)(nil)
+	_ queryBackend    = (*sharded.Resolver)(nil)
+	_ queryBackend    = (*transport.Coordinator)(nil)
+	_                 = entity.Description{}
+)

@@ -1,0 +1,74 @@
+// Live resolver: the v2 er.Open API end to end. One Config selects the
+// deployment — in-memory here; add Dir for durability, Shards for
+// in-process sharding, or Addrs for a networked cluster — and the returned
+// er.Resolver behaves identically in every form: insert, update and delete
+// entity descriptions while querying who resolves to whom, live.
+//
+// Run with: go run ./examples/liveresolver
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"entityres/er"
+)
+
+func main() {
+	ctx := context.Background()
+	r, err := er.Open(ctx, er.Config{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
+		// Dir:    "/var/lib/er",                         // durable journal
+		// Shards: 4,                                     // in-process shards
+		// Addrs:  []string{"10.0.0.1:7701", ...},        // networked shards
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	attrs := func(kv ...string) []er.Attribute {
+		out := make([]er.Attribute, 0, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			out = append(out, er.Attribute{Name: kv[i], Value: kv[i+1]})
+		}
+		return out
+	}
+
+	// Descriptions stream in from different knowledge bases.
+	for _, d := range []*er.Description{
+		{URI: "http://kb1/alan", Attrs: attrs("name", "Alan Turing", "field", "computer science")},
+		{URI: "http://kb2/a_turing", Attrs: attrs("label", "Alan Turing", "knownFor", "computer science")},
+		{URI: "http://kb1/ada", Attrs: attrs("name", "Ada Lovelace", "field", "mathematics")},
+	} {
+		if _, err := r.Insert(ctx, d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Who does kb1's Alan resolve to right now?
+	res, err := r.Query(ctx, er.Query{URI: "http://kb1/alan", Cluster: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s is one of %d descriptions of the same entity\n",
+		res.Description.URI, len(res.Cluster))
+	for _, id := range res.SameAs {
+		same, err := r.Query(ctx, er.Query{ID: id})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  same as %s\n", same.Description.URI)
+	}
+
+	// The stream keeps moving: an update re-resolves the description.
+	if err := r.Update(ctx, res.ID, attrs("name", "A. M. Turing", "field", "cryptanalysis")); err != nil {
+		log.Fatal(err)
+	}
+	st := r.Stats()
+	fmt.Printf("after the update: %d live descriptions, %d matched pairs, %d clusters\n",
+		st.Live, st.Matches, st.Clusters)
+}

@@ -71,15 +71,24 @@ func (c *DecisionCache) Each(fn func(a, b entity.ID, sim bool) bool) {
 	}
 }
 
+// Decision is one pairwise matcher decision in exchange form — the unit a
+// coordinator journal persists so a recovered decision cache re-evaluates
+// exactly the pairs an uninterrupted run would.
+type Decision struct {
+	A, B  entity.ID
+	Match bool
+}
+
 // ReconcileKept is the shared core of the deferred meta-blocking
 // reconcile: given the edges a pruning pass kept, it evaluates the kept
 // pairs that miss the decision cache through the matcher pool (over coll,
 // in kept order), folds the fresh decisions into the cache, and makes dyn
 // equal {kept ∧ similar}. It returns the number of matcher invocations —
-// exactly the pairs that were not already decided. On context
-// cancellation nothing is cached and dyn is untouched, so the deferred
-// work simply stays pending and a retry restores consistency.
-func ReconcileKept(ctx context.Context, coll *entity.Collection, m *matching.Matcher, workers int, cache *DecisionCache, dyn *graph.Dynamic, kept []graph.Edge) (int64, error) {
+// exactly the pairs that were not already decided — and those freshly
+// evaluated decisions in kept order, for callers that journal them. On
+// context cancellation nothing is cached and dyn is untouched, so the
+// deferred work simply stays pending and a retry restores consistency.
+func ReconcileKept(ctx context.Context, coll *entity.Collection, m *matching.Matcher, workers int, cache *DecisionCache, dyn *graph.Dynamic, kept []graph.Edge) (int64, []Decision, error) {
 	var comparisons int64
 	var fresh []entity.Pair
 	for _, e := range kept {
@@ -87,6 +96,7 @@ func ReconcileKept(ctx context.Context, coll *entity.Collection, m *matching.Mat
 			fresh = append(fresh, entity.NewPair(e.A, e.B))
 		}
 	}
+	var decided []Decision
 	if len(fresh) > 0 {
 		frontier := blocking.NewBlocks(entity.CleanClean)
 		for _, p := range fresh {
@@ -107,11 +117,13 @@ func ReconcileKept(ctx context.Context, coll *entity.Collection, m *matching.Mat
 			// the work pending. Partial comparisons are not counted —
 			// comparison counters sum completed reconciles only, keeping
 			// them equal to a batch run's count on replayed collections.
-			return 0, err
+			return 0, nil, err
 		}
 		comparisons = out.Comparisons
 		for _, p := range fresh {
-			cache.Set(p.A, p.B, out.Matches.Contains(p.A, p.B))
+			sim := out.Matches.Contains(p.A, p.B)
+			cache.Set(p.A, p.B, sim)
+			decided = append(decided, Decision{A: p.A, B: p.B, Match: sim})
 		}
 	}
 
@@ -135,5 +147,5 @@ func ReconcileKept(ctx context.Context, coll *entity.Collection, m *matching.Mat
 	for p := range desired {
 		dyn.AddEdge(p.A, p.B, 1)
 	}
-	return comparisons, nil
+	return comparisons, decided, nil
 }

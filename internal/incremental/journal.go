@@ -40,6 +40,14 @@ var replayCtx = context.Background()
 type Record struct {
 	// Kind is the operation.
 	Kind OpKind
+	// Seq, when non-zero, marks a routed-stream record (see routed.go): the
+	// coordinator's global operation sequence number, journaled so recovery
+	// restores exactly the acknowledged prefix of the stream and replays the
+	// record through the routed apply path.
+	Seq uint64
+	// Advance marks a routed slot-advance record — no payload, only slot
+	// space and counter alignment. Meaningful only with Seq set.
+	Advance bool
 	// ID is the handle the operation targets — for inserts, the handle the
 	// resolver is about to assign, which replay verifies (and uses to
 	// reproduce slots burned by rolled-back inserts).
@@ -135,6 +143,8 @@ type RecoveryInfo struct {
 // frame.
 type recordJSON struct {
 	Op     string     `json:"op"`
+	Seq    uint64     `json:"seq,omitempty"`
+	Adv    bool       `json:"adv,omitempty"`
 	ID     int        `json:"id"`
 	URI    string     `json:"uri,omitempty"`
 	Source int        `json:"source,omitempty"`
@@ -143,7 +153,7 @@ type recordJSON struct {
 
 // encodeRecord serializes a record for the WAL.
 func encodeRecord(rec Record) ([]byte, error) {
-	j := recordJSON{Op: rec.Kind.String(), ID: rec.ID, URI: rec.URI, Source: rec.Source}
+	j := recordJSON{Op: rec.Kind.String(), Seq: rec.Seq, Adv: rec.Advance, ID: rec.ID, URI: rec.URI, Source: rec.Source}
 	for _, a := range rec.Attrs {
 		j.Attrs = append(j.Attrs, attrJSON{Name: a.Name, Value: a.Value})
 	}
@@ -166,7 +176,7 @@ func decodeRecord(payload []byte) (Record, error) {
 // recordFromJSON converts the wire form back into a record; shared by the
 // WAL frame decoder and the snapshot codec's preserved last record.
 func recordFromJSON(j recordJSON) (Record, error) {
-	rec := Record{ID: j.ID, URI: j.URI, Source: j.Source}
+	rec := Record{Seq: j.Seq, Advance: j.Adv, ID: j.ID, URI: j.URI, Source: j.Source}
 	switch j.Op {
 	case "insert":
 		rec.Kind = OpInsert
@@ -460,6 +470,13 @@ func (r *Resolver) retractRecord() {
 // free slot and an insert record's assigned handle reproduce the slots that
 // rolled-back inserts burned in the original run.
 func (r *Resolver) replayRecord(rec Record) error {
+	if rec.Seq > 0 {
+		// A routed-stream record (see routed.go): replayed through the routed
+		// apply path, which advances the acknowledged sequence number and
+		// tolerates the states routing creates (placeholder slots,
+		// materializing updates) that the direct path below refuses.
+		return r.replayRouted(rec)
+	}
 	switch rec.Kind {
 	case OpInsert:
 		if rec.ID < r.coll.Len() {

@@ -103,7 +103,10 @@ func (r *Resolver) reconcile(ctx context.Context) error {
 	// reconcile runs too.
 	g := r.weighted.Graph(r.cfg.Meta.Weight)
 	kept := r.cfg.Meta.PruneGraph(g, nil)
-	n, err := ReconcileKept(ctx, r.coll, r.cfg.Matcher, r.cfg.Workers, r.simCache, r.dyn, kept)
+	// The fresh decisions are discarded: this resolver's journal replays the
+	// OpReconcile record by re-running the reconcile at the same stream
+	// point, which re-derives them deterministically.
+	n, _, err := ReconcileKept(ctx, r.coll, r.cfg.Matcher, r.cfg.Workers, r.simCache, r.dyn, kept)
 	if err != nil {
 		// The journal record is retracted with the work still pending;
 		// retrying the read restores consistency.

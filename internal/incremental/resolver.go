@@ -155,6 +155,10 @@ type Resolver struct {
 	blocks *blocking.BlockIndex
 	dyn    *graph.Dynamic
 
+	// lastSeq is the sequence number of the last applied routed-stream
+	// record (routed.go); 0 for resolvers fed through the direct methods.
+	lastSeq uint64
+
 	// Live meta-blocking state (nil / unused without cfg.Meta): the
 	// incrementally weighted blocking graph, the cached pairwise matcher
 	// decisions, the edges retained by the latest pruning pass, and the

@@ -50,6 +50,9 @@ type snapshotJSON struct {
 	// compaction so a sharded fan-out-tear donor (Resolver.LastRecord) can
 	// always produce it even when the WAL tail is empty.
 	LastRecord *recordJSON `json:"last_record,omitempty"`
+	// LastSeq is the acknowledged routed-stream sequence number (routed.go);
+	// 0 for resolvers fed through the direct methods.
+	LastSeq uint64 `json:"last_seq,omitempty"`
 
 	Weighted  *metablocking.WeightedGraphSnapshot `json:"weighted,omitempty"`
 	SimCache  []simCacheJSON                      `json:"sim_cache,omitempty"`
@@ -149,6 +152,7 @@ func (r *Resolver) encodeSnapshot() ([]byte, error) {
 	for _, e := range r.dyn.SnapshotEdges() {
 		s.Matches = append(s.Matches, [2]entity.ID{e.A, e.B})
 	}
+	s.LastSeq = r.lastSeq
 	if r.lastRecord != nil {
 		j := recordJSON{Op: r.lastRecord.Kind.String(), ID: r.lastRecord.ID, URI: r.lastRecord.URI, Source: r.lastRecord.Source}
 		for _, a := range r.lastRecord.Attrs {
@@ -297,5 +301,6 @@ func (r *Resolver) restoreSnapshot(payload []byte) error {
 	r.stats.Updates = s.Stats.Updates
 	r.stats.Deletes = s.Stats.Deletes
 	r.stats.Comparisons = s.Stats.Comparisons
+	r.lastSeq = s.LastSeq
 	return nil
 }

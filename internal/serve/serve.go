@@ -1,0 +1,361 @@
+// Package serve exposes a resolver deployment as an HTTP/JSON query
+// service: lookup, same-as, cluster-members and stats over any
+// er.Resolver — single-node, durable, sharded or networked, since the
+// interface is deployment-agnostic by construction.
+//
+// The server applies admission control before any resolver work: a
+// bounded in-flight gate (excess requests are refused immediately with
+// 503, never queued, so a burst cannot build an invisible backlog) and a
+// per-request deadline (a query that outlives it answers 504 and its
+// result is discarded). Draining flips the gate closed, lets in-flight
+// requests finish, and only then tears the listener down — a rolling
+// restart loses no accepted query.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"entityres/er"
+	"entityres/internal/entity"
+	"entityres/internal/incremental"
+)
+
+// Options tunes the query service.
+type Options struct {
+	// MaxInFlight bounds concurrently-admitted requests (default 64).
+	// Requests beyond the bound are refused with 503 immediately.
+	MaxInFlight int
+	// RequestTimeout bounds one request's resolver work (default 5s);
+	// expiry answers 504.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds Drain's wait for in-flight requests (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (o Options) maxInFlight() int {
+	if o.MaxInFlight > 0 {
+		return o.MaxInFlight
+	}
+	return 64
+}
+
+func (o Options) requestTimeout() time.Duration {
+	if o.RequestTimeout > 0 {
+		return o.RequestTimeout
+	}
+	return 5 * time.Second
+}
+
+func (o Options) drainTimeout() time.Duration {
+	if o.DrainTimeout > 0 {
+		return o.DrainTimeout
+	}
+	return 10 * time.Second
+}
+
+// Server is the HTTP/JSON query service over one resolver.
+type Server struct {
+	res  er.Resolver
+	opts Options
+
+	// gate holds one token per admitted request.
+	gate chan struct{}
+
+	mu       sync.Mutex
+	httpSrv  *http.Server
+	draining bool
+}
+
+// NewServer wraps res. The caller keeps ownership of res: Close/Drain stop
+// the HTTP side only.
+func NewServer(res er.Resolver, opts Options) *Server {
+	s := &Server{
+		res:  res,
+		opts: opts,
+		gate: make(chan struct{}, opts.maxInFlight()),
+	}
+	return s
+}
+
+// Handler returns the service's routes:
+//
+//	GET /v1/lookup?uri=U | ?id=N   → DescriptionJSON
+//	GET /v1/same-as?uri=U | ?id=N  → SameAsJSON
+//	GET /v1/cluster?uri=U | ?id=N  → ClusterJSON
+//	GET /v1/stats                  → StatsJSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/lookup", s.wrap(s.lookup))
+	mux.HandleFunc("GET /v1/same-as", s.wrap(s.sameAs))
+	mux.HandleFunc("GET /v1/cluster", s.wrap(s.cluster))
+	mux.HandleFunc("GET /v1/stats", s.wrap(s.stats))
+	return mux
+}
+
+// Serve answers requests on lis until Drain or Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.httpSrv != nil {
+		s.mu.Unlock()
+		lis.Close()
+		return fmt.Errorf("serve: server already started")
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.httpSrv = srv
+	s.mu.Unlock()
+	if err := srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Drain stops admitting requests, waits for the in-flight ones (up to
+// DrainTimeout) and shuts the listener down. Safe to call once Serve is
+// running; later requests are refused with 503 while the drain proceeds.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	dctx, cancel := context.WithTimeout(ctx, s.opts.drainTimeout())
+	defer cancel()
+	return srv.Shutdown(dctx)
+}
+
+// Close is an immediate teardown: no drain, open connections drop.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// DescriptionJSON renders one live description.
+type DescriptionJSON struct {
+	ID     entity.ID  `json:"id"`
+	URI    string     `json:"uri"`
+	Source int        `json:"source"`
+	Attrs  []AttrJSON `json:"attrs,omitempty"`
+}
+
+// AttrJSON is one attribute in the wire form the op-log exchange format
+// uses: lower-case name/value keys.
+type AttrJSON struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+func attrsJSON(attrs []entity.Attribute) []AttrJSON {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]AttrJSON, len(attrs))
+	for i, a := range attrs {
+		out[i] = AttrJSON{Name: a.Name, Value: a.Value}
+	}
+	return out
+}
+
+// SameAsJSON answers a same-as query: the handles and URIs currently
+// matched to the selected description.
+type SameAsJSON struct {
+	ID     entity.ID `json:"id"`
+	URI    string    `json:"uri"`
+	SameAs []RefJSON `json:"same_as"`
+}
+
+// RefJSON is a handle/URI reference to a live description.
+type RefJSON struct {
+	ID  entity.ID `json:"id"`
+	URI string    `json:"uri"`
+}
+
+// ClusterJSON answers a cluster-members query.
+type ClusterJSON struct {
+	ID      entity.ID `json:"id"`
+	URI     string    `json:"uri"`
+	Members []RefJSON `json:"members"`
+}
+
+// StatsJSON mirrors the resolver's counters.
+type StatsJSON struct {
+	Inserts        int64 `json:"inserts"`
+	Updates        int64 `json:"updates"`
+	Deletes        int64 `json:"deletes"`
+	Live           int   `json:"live"`
+	Comparisons    int64 `json:"comparisons"`
+	Matches        int   `json:"matches"`
+	Clusters       int   `json:"clusters"`
+	CandidatePairs int   `json:"candidate_pairs,omitempty"`
+	KeptPairs      int   `json:"kept_pairs,omitempty"`
+}
+
+func statsJSON(st incremental.Stats) StatsJSON {
+	return StatsJSON{
+		Inserts: st.Inserts, Updates: st.Updates, Deletes: st.Deletes,
+		Live: st.Live, Comparisons: st.Comparisons,
+		Matches: st.Matches, Clusters: st.Clusters,
+		CandidatePairs: st.CandidatePairs, KeptPairs: st.KeptPairs,
+	}
+}
+
+// httpError carries a status code through the handler plumbing.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// wrap applies admission control around one handler: the in-flight gate,
+// the per-request deadline, and uniform JSON error rendering.
+func (s *Server) wrap(h func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "serve: draining"})
+			return
+		}
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+		default:
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "serve: too many in-flight requests"})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.requestTimeout())
+		defer cancel()
+		// The resolver call runs aside so an overlong query answers 504 at
+		// the deadline instead of holding the connection; the stray result
+		// is discarded when it eventually lands.
+		type outcome struct {
+			body any
+			err  error
+		}
+		done := make(chan outcome, 1)
+		go func() {
+			body, err := h(ctx, r)
+			done <- outcome{body, err}
+		}()
+		select {
+		case <-ctx.Done():
+			writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: "serve: request deadline exceeded"})
+		case out := <-done:
+			switch {
+			case out.err == nil:
+				writeJSON(w, http.StatusOK, out.body)
+			default:
+				var nf *er.ErrNotFound
+				var he *httpError
+				switch {
+				case errors.As(out.err, &nf):
+					writeJSON(w, http.StatusNotFound, errorJSON{Error: out.err.Error()})
+				case errors.As(out.err, &he):
+					writeJSON(w, he.status, errorJSON{Error: he.msg})
+				default:
+					writeJSON(w, http.StatusInternalServerError, errorJSON{Error: out.err.Error()})
+				}
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// parseQuery derives the er.Query a request selects.
+func parseQuery(r *http.Request, cluster bool) (er.Query, error) {
+	q := er.Query{URI: r.URL.Query().Get("uri"), Cluster: cluster}
+	if idStr := r.URL.Query().Get("id"); idStr != "" {
+		if q.URI != "" {
+			return q, &httpError{http.StatusBadRequest, "serve: pass uri or id, not both"}
+		}
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil || id < 0 {
+			return q, &httpError{http.StatusBadRequest, fmt.Sprintf("serve: bad id %q", idStr)}
+		}
+		q.ID = entity.ID(id)
+	} else if q.URI == "" {
+		return q, &httpError{http.StatusBadRequest, "serve: pass uri or id"}
+	}
+	return q, nil
+}
+
+func (s *Server) lookup(ctx context.Context, r *http.Request) (any, error) {
+	q, err := parseQuery(r, false)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.res.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return DescriptionJSON{
+		ID: res.ID, URI: res.Description.URI,
+		Source: res.Description.Source, Attrs: attrsJSON(res.Description.Attrs),
+	}, nil
+}
+
+// refs renders handles with their URIs (skipping any that died between the
+// match read and the description read — reads are not transactional).
+func (s *Server) refs(ctx context.Context, ids []entity.ID) []RefJSON {
+	out := make([]RefJSON, 0, len(ids))
+	for _, id := range ids {
+		if res, err := s.res.Query(ctx, er.Query{ID: id}); err == nil {
+			out = append(out, RefJSON{ID: id, URI: res.Description.URI})
+		}
+	}
+	return out
+}
+
+func (s *Server) sameAs(ctx context.Context, r *http.Request) (any, error) {
+	q, err := parseQuery(r, false)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.res.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return SameAsJSON{ID: res.ID, URI: res.Description.URI, SameAs: s.refs(ctx, res.SameAs)}, nil
+}
+
+func (s *Server) cluster(ctx context.Context, r *http.Request) (any, error) {
+	q, err := parseQuery(r, true)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.res.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return ClusterJSON{ID: res.ID, URI: res.Description.URI, Members: s.refs(ctx, res.Cluster)}, nil
+}
+
+func (s *Server) stats(ctx context.Context, r *http.Request) (any, error) {
+	return statsJSON(s.res.Stats()), nil
+}

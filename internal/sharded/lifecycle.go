@@ -88,10 +88,12 @@ func checkManifest(dir string, shards int) error {
 // count fails via the pinned
 // manifest rather than silently re-partitioning the key space. With live
 // meta-blocking, the coordinator's decision cache and reconcile comparison
-// counter are not durable (shards never run the matcher): a full reopen
-// re-derives matches, clusters and restructured blocks exactly, but the
-// cumulative Comparisons counter restarts from the shard-side count — see
-// the ROADMAP's coordinator-journal follow-on.
+// counter — state the shards never see, since they never run the matcher —
+// are restored from the coordinator journal (dir/coordinator; see
+// coordjournal.go), so the cumulative Comparisons counter continues
+// restart-exact. Directories created before the coordinator journal
+// existed reopen with a fresh cache and the counter restarting from the
+// shard-side count, the old behavior.
 func Open(dir string, cfg Config) (*Resolver, error) {
 	r, err := newCoordinator(cfg)
 	if err != nil {
@@ -133,6 +135,11 @@ func Open(dir string, cfg Config) (*Resolver, error) {
 	}
 	if err := r.rebuildFromShards(); err != nil {
 		return nil, err
+	}
+	if cfg.Meta != nil {
+		if err := r.openCoordJournal(); err != nil {
+			return nil, err
+		}
 	}
 	ok = true
 	return r, nil
@@ -405,6 +412,11 @@ func (r *Resolver) Close() error {
 			first = fmt.Errorf("sharded: closing shard %d: %w", i, err)
 		}
 	}
+	if r.coordJ != nil {
+		if err := r.coordJ.log.Close(); err != nil && first == nil {
+			first = fmt.Errorf("sharded: closing coordinator journal: %w", err)
+		}
+	}
 	return first
 }
 
@@ -419,6 +431,11 @@ func (r *Resolver) Abandon() {
 			sh.res.Abandon()
 			sh.down = true
 		}
+	}
+	if r.coordJ != nil {
+		// Like the shard journals, only the file handles are dropped — the
+		// on-disk journal is exactly what the acknowledged records wrote.
+		r.coordJ.log.Close()
 	}
 	r.broken = errClosed
 }

@@ -85,11 +85,17 @@ func (r *Resolver) reconcile(ctx context.Context) error {
 	// caching, diffing the global match graph against {kept ∧ similar} —
 	// so the two cannot drift apart (incremental.ReconcileKept). On
 	// cancellation the work stays pending; a retry restores consistency.
-	n, err := incremental.ReconcileKept(ctx, r.coll, r.cfg.Matcher, r.cfg.Workers, r.simCache, r.dyn, kept)
+	n, decided, err := incremental.ReconcileKept(ctx, r.coll, r.cfg.Matcher, r.cfg.Workers, r.simCache, r.dyn, kept)
 	if err != nil {
 		return fmt.Errorf("sharded: meta reconcile: %w", err)
 	}
 	r.metaComparisons += n
+	// Journal the evaluation (durable deployments) so the decision cache
+	// and the comparison counter survive a restart; a reconcile that
+	// evaluated nothing new changed neither and needs no record.
+	if n > 0 || len(decided) > 0 {
+		r.noteReconcile(n, decided)
+	}
 	r.lastKept = kept
 	r.merged = merged
 	r.metaDirty = false

@@ -148,6 +148,12 @@ type Resolver struct {
 	merged          *metablocking.WeightedGraph
 	metaDirty       bool
 	metaComparisons int64
+	// coordJ is the coordinator journal making the decision cache and
+	// metaComparisons restart-exact (durable meta-blocking deployments
+	// only; see coordjournal.go); coordOps counts the operations it has
+	// journaled.
+	coordJ   *coordJournal
+	coordOps int64
 
 	// stats holds the operation counters; comparison and graph-shaped
 	// fields are derived at read time.
@@ -483,6 +489,7 @@ func (r *Resolver) Insert(ctx context.Context, d *entity.Description) (entity.ID
 	}
 	r.liveCount++
 	r.stats.Inserts++
+	r.noteMutation(id)
 	r.afterMutation(id, true)
 	return id, nil
 }
@@ -509,6 +516,7 @@ func (r *Resolver) Update(ctx context.Context, id entity.ID, attrs []entity.Attr
 	}
 	r.coll.Get(id).Attrs = append([]entity.Attribute(nil), attrs...)
 	r.stats.Updates++
+	r.noteMutation(id)
 	r.dyn.RemoveNode(id)
 	r.afterMutation(id, true)
 	return nil
@@ -537,6 +545,7 @@ func (r *Resolver) Delete(id entity.ID) error {
 	r.live[id] = false
 	r.liveCount--
 	r.stats.Deletes++
+	r.noteMutation(id)
 	r.dyn.RemoveNode(id)
 	// The handle is dead for good (slots are never reused), so every
 	// shard lens can drop its memoized key set.

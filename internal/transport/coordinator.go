@@ -1,0 +1,666 @@
+// The networked coordinator: the client side of the routed op stream.
+//
+// The coordinator keeps a FULL local replica of the stream — a plain
+// incremental.Resolver over the unpartitioned blocker — and that replica's
+// WAL is the coordinator journal: every accepted operation is journaled and
+// applied locally BEFORE it is fanned out, so a coordinator restart
+// replays its own log back to exactly the acknowledged stream (operation
+// counters, slot space, URI table, block index and, under meta-blocking,
+// the decision cache and comparison counter — the journaled reconcile
+// records re-earn it bit for bit).
+//
+// What the replica does NOT do is match (outside meta-blocking): its delta
+// filter claims no candidate pair, so the matcher work — the expensive part
+// — happens only on the shards, each evaluating exactly the pairs whose
+// first shared blocking key it owns. Their acknowledgements stream the
+// results back: the cumulative comparison counter and the operated-on
+// description's current match neighbors, which the coordinator folds into
+// its global match graph. Under meta-blocking the roles flip: shards defer
+// all matching and the coordinator's replica reconciles the (full, local)
+// weighted blocking graph itself — identical to the in-process
+// coordinator's merged reconcile because the weight statistics are
+// additive over the key partition.
+//
+// Delivery discipline: each operation travels in full only to the shards
+// owning one of its blocking keys; the rest receive slot-advance records.
+// A delivery failure marks the shard DOWN and the operation still counts —
+// it is journaled locally and applied everywhere reachable — but further
+// mutations are refused until RejoinShard, which closes the gap from the
+// durable invariant that a non-wiped shard is always at seq or seq-1:
+// nothing to do, one idempotent re-send, or a full bootstrap ship for a
+// shard that lost its disk.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/graph"
+	"entityres/internal/incremental"
+	"entityres/internal/sharded"
+)
+
+// ShardUnavailableError reports shards that could not be reached during a
+// fan-out. The operation itself was accepted — journaled and applied on the
+// coordinator and every reachable shard — and completes on the missing
+// shards when they rejoin; until then further mutations are refused.
+type ShardUnavailableError struct{ Shards []int }
+
+func (e *ShardUnavailableError) Error() string {
+	parts := make([]string, len(e.Shards))
+	for i, s := range e.Shards {
+		parts[i] = fmt.Sprint(s)
+	}
+	return fmt.Sprintf("transport: shard(s) %s unavailable; the operation is journaled and completes on rejoin", strings.Join(parts, ","))
+}
+
+// TransportStats are the coordinator's process-lifetime delivery counters —
+// the routed-delivery evidence the test suites assert on.
+type TransportStats struct {
+	// FullOps counts full-payload deliveries, AdvanceOps slot-advance
+	// deliveries. Under routing FullOps stays well below ops×shards; under
+	// replication it would equal it.
+	FullOps, AdvanceOps int64
+	// Down lists the currently unavailable shards, ascending.
+	Down []int
+}
+
+// Coordinator drives a networked deployment: local replica plus one
+// ShardClient per shard. All methods are safe for concurrent use;
+// operations are serialized and fanned out in parallel.
+type Coordinator struct {
+	cfg      sharded.Config
+	shards   int
+	rawKeyer blocking.KeyFunc
+
+	mu      sync.Mutex
+	rep     *incremental.Resolver
+	clients []*ShardClient
+	down    []bool
+	// seq is the global stream position: the number of accepted operations.
+	seq uint64
+	// lastOp is operation seq in full-payload form, retained for the one
+	// idempotent re-send a shard at seq-1 needs.
+	lastOp *incremental.RoutedOp
+	// ackedSeq and shardComp mirror each shard's last acknowledgement:
+	// stream position and cumulative matcher-invocation counter.
+	ackedSeq  []uint64
+	shardComp []int64
+	// dyn is the global match graph, folded from shard acknowledgements
+	// (nil under meta-blocking, where the replica reconciles it locally).
+	dyn               *graph.Dynamic
+	fullSent, advSent int64
+	broken            error
+}
+
+// OpenCoordinator connects a coordinator to its shard servers. dir is the
+// coordinator's journal directory ("" for in-memory, tests only);
+// len(addrs) is the shard count and must equal cfg.Shards when that is
+// set. Every shard must be reachable: the open verifies each shard's
+// stream position against the replayed journal, re-sends the one
+// operation a crash may have torn off a shard, and refuses positions it
+// cannot reconcile.
+func OpenCoordinator(ctx context.Context, dir string, cfg sharded.Config, addrs []string, opts ClientOptions) (*Coordinator, error) {
+	shards := len(addrs)
+	if shards < 1 {
+		return nil, fmt.Errorf("transport: a coordinator needs at least one shard address")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = shards
+	}
+	if cfg.Shards != shards {
+		return nil, fmt.Errorf("transport: config names %d shards but %d addresses were given", cfg.Shards, shards)
+	}
+	repCfg := incremental.Config{
+		Kind:    cfg.Kind,
+		Blocker: cfg.Blocker,
+		Matcher: cfg.Matcher,
+		Workers: cfg.Workers,
+		Meta:    cfg.Meta,
+		Durable: cfg.Durable,
+	}
+	if cfg.Meta == nil {
+		// The replica indexes everything and matches nothing: the claim
+		// function yields every candidate pair to the shard owning its
+		// first shared key. (With meta-blocking the filter stays nil — the
+		// deferred path never delta-matches, and the reconcile must run the
+		// exact single-node evaluation.)
+		repCfg.DeltaFilter = func(*entity.Description) func(string, *entity.Description) bool {
+			return func(string, *entity.Description) bool { return false }
+		}
+	}
+	var rep *incremental.Resolver
+	var err error
+	if dir == "" {
+		rep, err = incremental.New(repCfg)
+	} else {
+		rep, err = incremental.OpenResolver(dir, repCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := rep.Counters()
+	r := &Coordinator{
+		cfg:       cfg,
+		shards:    shards,
+		rawKeyer:  cfg.Blocker.StreamKeyer(),
+		rep:       rep,
+		down:      make([]bool, shards),
+		ackedSeq:  make([]uint64, shards),
+		shardComp: make([]int64, shards),
+		seq:       uint64(c.Inserts + c.Updates + c.Deletes),
+	}
+	if cfg.Meta == nil {
+		r.dyn = graph.NewDynamic()
+	}
+	if rec, ok := rep.LastRecord(); ok && r.seq > 0 {
+		if op, ok := r.routedFromRecord(rec); ok {
+			r.lastOp = &op
+		}
+	}
+	expect := Hello{Shards: shards, Kind: int(cfg.Kind), Meta: cfg.Meta != nil}
+	for i, addr := range addrs {
+		e := expect
+		e.Index = i
+		r.clients = append(r.clients, NewShardClient(addr, e, opts))
+	}
+	for i := range r.clients {
+		r.down[i] = true
+		if err := r.rejoinLocked(ctx, i); err != nil {
+			rep.Close()
+			return nil, fmt.Errorf("transport: connecting shard %d: %w", i, err)
+		}
+	}
+	return r, nil
+}
+
+// routedFromRecord rebuilds the full-payload routed form of the replica's
+// last journaled mutation — the re-send a shard at seq-1 is owed. An
+// update record carries only the handle and attributes; identity comes
+// from the replica (the handle is necessarily live: it was the last
+// operation).
+func (r *Coordinator) routedFromRecord(rec incremental.Record) (incremental.RoutedOp, bool) {
+	op := incremental.RoutedOp{Seq: r.seq, Kind: rec.Kind, ID: rec.ID, URI: rec.URI, Source: rec.Source, Attrs: rec.Attrs}
+	switch rec.Kind {
+	case incremental.OpInsert, incremental.OpDelete:
+		return op, true
+	case incremental.OpUpdate:
+		d, ok := r.rep.Get(rec.ID)
+		if !ok {
+			return incremental.RoutedOp{}, false
+		}
+		op.URI, op.Source, op.Attrs = d.URI, d.Source, d.Attrs
+		return op, true
+	default:
+		return incremental.RoutedOp{}, false
+	}
+}
+
+// keysOf derives a description's distinct blocking key set with the raw
+// (unpartitioned) keyer — the key→shard directory's domain.
+func (r *Coordinator) keysOf(d *entity.Description) []string {
+	return blocking.DistinctKeys(r.rawKeyer(d))
+}
+
+// ownersOf maps key sets to the shard set owning at least one of the keys.
+func (r *Coordinator) ownersOf(keySets ...[]string) []bool {
+	owners := make([]bool, r.shards)
+	for _, keys := range keySets {
+		for _, k := range keys {
+			owners[sharded.KeyOwner(k, r.shards)] = true
+		}
+	}
+	return owners
+}
+
+// ready refuses mutations while the coordinator is broken or a shard is
+// down. Callers hold r.mu.
+func (r *Coordinator) ready() error {
+	if r.broken != nil {
+		return r.broken
+	}
+	var down []int
+	for i, d := range r.down {
+		if d {
+			down = append(down, i)
+		}
+	}
+	if down != nil {
+		return &ShardUnavailableError{Shards: down}
+	}
+	return nil
+}
+
+// Insert accepts a new description: journaled and applied on the replica,
+// then routed — full payload to the shards owning one of its keys,
+// slot-advance to the rest.
+func (r *Coordinator) Insert(ctx context.Context, d *entity.Description) (entity.ID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ready(); err != nil {
+		return -1, err
+	}
+	id, err := r.rep.Insert(ctx, d)
+	if err != nil {
+		return -1, err
+	}
+	applied, _ := r.rep.Get(id)
+	r.seq++
+	op := incremental.RoutedOp{Seq: r.seq, Kind: incremental.OpInsert, ID: id, URI: applied.URI, Source: applied.Source, Attrs: applied.Attrs}
+	r.lastOp = &op
+	return id, r.fanout(ctx, op, r.ownersOf(r.keysOf(applied)))
+}
+
+// Update re-keys and re-resolves a live description. The full payload
+// travels to the owners of the OLD keys (they must retire membership) and
+// of the NEW keys (they must index it, materializing the slot if they only
+// ever advanced past it).
+func (r *Coordinator) Update(ctx context.Context, id entity.ID, attrs []entity.Attribute) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ready(); err != nil {
+		return err
+	}
+	old, ok := r.rep.Get(id)
+	if !ok {
+		return fmt.Errorf("transport: update of unknown description %d", id)
+	}
+	oldKeys := r.keysOf(old)
+	if err := r.rep.Update(ctx, id, attrs); err != nil {
+		return err
+	}
+	applied, _ := r.rep.Get(id)
+	r.seq++
+	op := incremental.RoutedOp{Seq: r.seq, Kind: incremental.OpUpdate, ID: id, URI: applied.URI, Source: applied.Source, Attrs: applied.Attrs}
+	r.lastOp = &op
+	if r.dyn != nil {
+		// The old matches die with the old keys; the acknowledgements
+		// below re-deliver the current ones.
+		r.dyn.RemoveNode(id)
+	}
+	return r.fanout(ctx, op, r.ownersOf(oldKeys, r.keysOf(applied)))
+}
+
+// Delete removes a live description everywhere it is materialized.
+func (r *Coordinator) Delete(ctx context.Context, id entity.ID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ready(); err != nil {
+		return err
+	}
+	old, ok := r.rep.Get(id)
+	if !ok {
+		return fmt.Errorf("transport: delete of unknown description %d", id)
+	}
+	oldKeys := r.keysOf(old)
+	if err := r.rep.Delete(id); err != nil {
+		return err
+	}
+	r.seq++
+	op := incremental.RoutedOp{Seq: r.seq, Kind: incremental.OpDelete, ID: id}
+	r.lastOp = &op
+	if r.dyn != nil {
+		r.dyn.RemoveNode(id)
+	}
+	return r.fanout(ctx, op, r.ownersOf(oldKeys))
+}
+
+// fanout delivers operation op to every shard in parallel — full payload
+// where owners[i], slot-advance elsewhere — and folds the
+// acknowledgements. Unreachable shards are marked down; a semantic refusal
+// breaks the coordinator (the states have diverged and nothing local can
+// mend that). Callers hold r.mu.
+func (r *Coordinator) fanout(ctx context.Context, op incremental.RoutedOp, owners []bool) error {
+	type result struct {
+		ack Ack
+		err error
+	}
+	results := make([]result, r.shards)
+	var wg sync.WaitGroup
+	for i := 0; i < r.shards; i++ {
+		send := op
+		if owners[i] {
+			r.fullSent++
+		} else {
+			send = incremental.RoutedOp{Seq: op.Seq, Kind: op.Kind, Advance: true, ID: op.ID}
+			r.advSent++
+		}
+		wg.Add(1)
+		go func(i int, send incremental.RoutedOp) {
+			defer wg.Done()
+			ack, err := r.clients[i].ApplyOp(ctx, send)
+			results[i] = result{ack: ack, err: err}
+		}(i, send)
+	}
+	wg.Wait()
+	var downed []int
+	for i, res := range results {
+		if res.err != nil {
+			var rerr *RemoteError
+			if errors.As(res.err, &rerr) {
+				r.broken = fmt.Errorf("transport: shard %d refused operation %d — the deployment has diverged: %w", i, op.Seq, res.err)
+				return r.broken
+			}
+			r.down[i] = true
+			downed = append(downed, i)
+			continue
+		}
+		r.foldAck(op, res.ack, i)
+	}
+	if downed != nil {
+		return &ShardUnavailableError{Shards: downed}
+	}
+	return nil
+}
+
+// foldAck records one shard's acknowledgement of op. Callers hold r.mu.
+func (r *Coordinator) foldAck(op incremental.RoutedOp, ack Ack, i int) {
+	r.ackedSeq[i] = op.Seq
+	r.shardComp[i] = ack.Comparisons
+	if r.dyn != nil {
+		for _, nb := range ack.Neighbors {
+			r.dyn.AddEdge(op.ID, nb, 1)
+		}
+	}
+}
+
+// RejoinShard reconnects a down shard and closes whatever gap its absence
+// left: nothing for a shard that kept up, one idempotent re-send for a
+// shard at seq-1, a full bootstrap ship for a pristine (wiped) shard.
+func (r *Coordinator) RejoinShard(ctx context.Context, i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.broken != nil {
+		return r.broken
+	}
+	if i < 0 || i >= r.shards {
+		return fmt.Errorf("transport: no shard %d", i)
+	}
+	return r.rejoinLocked(ctx, i)
+}
+
+func (r *Coordinator) rejoinLocked(ctx context.Context, i int) error {
+	h, err := r.clients[i].Hello(ctx)
+	if err != nil {
+		return err
+	}
+	switch {
+	case h.LastSeq == r.seq:
+		// Fully caught up (possibly an acknowledgement we never saw).
+	case h.LastSeq+1 == r.seq && r.lastOp != nil:
+		// The one-op tear the delivery invariant allows: re-send in full —
+		// a shard the original routing only advanced tolerates the payload
+		// (its lens ignores keys it does not own).
+		if _, err := r.clients[i].ApplyOp(ctx, *r.lastOp); err != nil {
+			return fmt.Errorf("transport: re-sending operation %d to shard %d: %w", r.seq, i, err)
+		}
+	case h.LastSeq == 0 && h.Inserts+h.Updates+h.Deletes == 0:
+		// A pristine resolver where state should be: the shard lost its
+		// disk. Ship its whole key-space projection.
+		if r.seq > 0 {
+			blob, err := r.bootstrapBlob(i)
+			if err != nil {
+				return err
+			}
+			if err := r.clients[i].Bootstrap(ctx, blob); err != nil {
+				return fmt.Errorf("transport: bootstrapping shard %d: %w", i, err)
+			}
+		}
+	default:
+		return fmt.Errorf("transport: shard %d reports stream position %d, coordinator is at %d — no journal can close that gap", i, h.LastSeq, r.seq)
+	}
+	st, err := r.clients[i].State(ctx)
+	if err != nil {
+		return err
+	}
+	c := r.rep.Counters()
+	if st.LastSeq != r.seq || st.Inserts != c.Inserts || st.Updates != c.Updates || st.Deletes != c.Deletes {
+		return fmt.Errorf("transport: shard %d settled at seq=%d ops=%d/%d/%d, coordinator has seq=%d ops=%d/%d/%d",
+			i, st.LastSeq, st.Inserts, st.Updates, st.Deletes, r.seq, c.Inserts, c.Updates, c.Deletes)
+	}
+	r.ackedSeq[i] = st.LastSeq
+	r.shardComp[i] = st.Comparisons
+	if r.dyn != nil {
+		// Union the shard's full edge set: recovers matches whose
+		// acknowledgement a crash swallowed. Additive is safe — edges this
+		// shard owns can only have been (re)discovered by it.
+		for _, e := range st.Edges {
+			r.dyn.AddEdge(e.A, e.B, 1)
+		}
+	}
+	r.down[i] = false
+	return nil
+}
+
+// bootstrapBlob builds shard i's key-space projection of the replica: its
+// owned slots, its owned slice of the match graph, the global operation
+// counters, and the comparison counter an uninterrupted shard i would hold
+// at this stream position. Callers hold r.mu.
+func (r *Coordinator) bootstrapBlob(i int) (blob []byte, err error) {
+	bs := incremental.BootstrapState{Seq: r.seq, MetaDirty: r.cfg.Meta != nil}
+	c := r.rep.Counters()
+	bs.Inserts, bs.Updates, bs.Deletes = c.Inserts, c.Updates, c.Deletes
+	keys := make(map[entity.ID][]string)
+	r.rep.EachSlot(func(id entity.ID, live bool, d *entity.Description) bool {
+		var sl incremental.BootstrapSlot
+		if live {
+			full := r.keysOf(d)
+			keys[id] = full
+			var owned []string
+			for _, k := range full {
+				if sharded.KeyOwner(k, r.shards) == i {
+					owned = append(owned, k)
+				}
+			}
+			if owned != nil {
+				sl = incremental.BootstrapSlot{
+					Live:   true,
+					URI:    d.URI,
+					Source: d.Source,
+					Attrs:  append([]entity.Attribute(nil), d.Attrs...),
+					Keys:   owned,
+				}
+			}
+		}
+		bs.Slots = append(bs.Slots, sl)
+		return true
+	})
+	if r.dyn != nil {
+		for _, e := range r.dyn.SnapshotEdges() {
+			if fs, ok := sharded.FirstSharedKey(keys[e.A], keys[e.B]); ok && sharded.KeyOwner(fs, r.shards) == i {
+				bs.Edges = append(bs.Edges, e)
+			}
+		}
+		comp, err := r.compAt(i)
+		if err != nil {
+			return nil, err
+		}
+		bs.Comparisons = comp
+	}
+	return encodeBootstrap(bs)
+}
+
+// compAt returns the cumulative comparison count an uninterrupted shard i
+// would hold at the current stream position: its last acknowledged counter
+// plus, when it never acknowledged the final operation, that operation's
+// claimed share — countable exactly from the replica's full index because
+// the claim key of every frontier pair is known. Callers hold r.mu.
+func (r *Coordinator) compAt(i int) (int64, error) {
+	comp := r.shardComp[i]
+	switch {
+	case r.ackedSeq[i] == r.seq:
+		return comp, nil
+	case r.ackedSeq[i]+1 == r.seq && r.lastOp != nil:
+		if r.lastOp.Kind != incremental.OpDelete {
+			r.rep.EachDeltaCandidate(r.lastOp.ID, func(_ entity.ID, claimKey string) bool {
+				if sharded.KeyOwner(claimKey, r.shards) == i {
+					comp++
+				}
+				return true
+			})
+		}
+		return comp, nil
+	default:
+		return 0, fmt.Errorf("transport: shard %d last acknowledged operation %d of %d — its comparison counter cannot be reconstructed (was the coordinator journal moved between deployments?)", i, r.ackedSeq[i], r.seq)
+	}
+}
+
+// Stats reports the deployment's counters: operations and blocks from the
+// replica, comparisons from the shard acknowledgements — adjusted by the
+// claimed share of an operation a down shard has not yet acknowledged, so
+// the total equals the single-node count at every stream position.
+func (r *Coordinator) Stats() incremental.Stats {
+	if r.cfg.Meta != nil {
+		// The replica IS the single-node resolver here (its reconcile does
+		// the matching); its stats are exact verbatim.
+		return r.rep.Stats()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.rep.Counters()
+	st.Comparisons = 0
+	for i := range r.shardComp {
+		comp, err := r.compAt(i)
+		if err != nil {
+			// Unreconstructable share (cannot happen while the coordinator
+			// lives — mutations refuse past one op of divergence); report
+			// the acknowledged floor.
+			comp = r.shardComp[i]
+		}
+		st.Comparisons += comp
+	}
+	st.Matches = r.dyn.NumEdges()
+	st.Clusters = len(r.dyn.Clusters())
+	return st
+}
+
+// Matches returns the current global match pairs over internal handles.
+func (r *Coordinator) Matches() *entity.Matches {
+	if r.cfg.Meta != nil {
+		return r.rep.Matches()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dyn.Matches()
+}
+
+// Clusters returns the current non-singleton clusters over internal
+// handles.
+func (r *Coordinator) Clusters() [][]entity.ID {
+	if r.cfg.Meta != nil {
+		return r.rep.Clusters()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dyn.Clusters()
+}
+
+// MatchedWith returns the handles currently matched to id, reconciling
+// deferred meta-blocking work first. Nil when id is not live.
+func (r *Coordinator) MatchedWith(id entity.ID) []entity.ID {
+	if r.cfg.Meta != nil {
+		return r.rep.MatchedWith(id)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, live := r.rep.Get(id); !live {
+		return nil
+	}
+	return r.dyn.Graph().Neighbors(id)
+}
+
+// Blocks materializes the global block collection from the replica's full
+// index — identical to the single-node resolver's.
+func (r *Coordinator) Blocks() *blocking.Blocks { return r.rep.Blocks() }
+
+// RestructuredBlocks reconciles and renders the pruned global blocking
+// graph (meta-blocking deployments; nil otherwise).
+func (r *Coordinator) RestructuredBlocks() *blocking.Blocks { return r.rep.RestructuredBlocks() }
+
+// Flush settles any deferred meta-blocking work.
+func (r *Coordinator) Flush(ctx context.Context) error { return r.rep.Flush(ctx) }
+
+// Lookup returns the handle of the live description with the given URI.
+func (r *Coordinator) Lookup(uri string) (entity.ID, bool) { return r.rep.Lookup(uri) }
+
+// Get returns a copy of the live description with the given handle.
+func (r *Coordinator) Get(id entity.ID) (*entity.Description, bool) { return r.rep.Get(id) }
+
+// Seq returns the global stream position: accepted operations so far.
+func (r *Coordinator) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// TransportStats reports the delivery counters and down set.
+func (r *Coordinator) TransportStats() TransportStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts := TransportStats{FullOps: r.fullSent, AdvanceOps: r.advSent}
+	for i, d := range r.down {
+		if d {
+			ts.Down = append(ts.Down, i)
+		}
+	}
+	sort.Ints(ts.Down)
+	return ts
+}
+
+// Close disconnects from the shards and seals the coordinator journal.
+// Shard servers are not touched — they are other processes.
+func (r *Coordinator) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.clients {
+		c.Close()
+	}
+	if r.broken == nil {
+		r.broken = fmt.Errorf("transport: coordinator is closed")
+	}
+	return r.rep.Close()
+}
+
+// Abandon drops connections and abandons the replica's WAL handles without
+// sealing — the coordinator half of the chaos suites' kill -9.
+func (r *Coordinator) Abandon() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.clients {
+		c.Close()
+	}
+	r.broken = fmt.Errorf("transport: coordinator is abandoned")
+	r.rep.Abandon()
+}
+
+// Apply executes one URI-addressed operation — the same op-script form the
+// single-node and in-process sharded resolvers accept, so the differential
+// suites replay identical scripts through all three deployments.
+func (r *Coordinator) Apply(ctx context.Context, op incremental.Op) error {
+	switch op.Kind {
+	case incremental.OpInsert:
+		d := &entity.Description{ID: -1, URI: op.URI, Source: op.Source, Attrs: op.Attrs}
+		_, err := r.Insert(ctx, d)
+		return err
+	case incremental.OpUpdate:
+		id, ok := r.Lookup(op.URI)
+		if !ok {
+			return fmt.Errorf("transport: update of unknown URI %q", op.URI)
+		}
+		return r.Update(ctx, id, op.Attrs)
+	case incremental.OpDelete:
+		id, ok := r.Lookup(op.URI)
+		if !ok {
+			return fmt.Errorf("transport: delete of unknown URI %q", op.URI)
+		}
+		return r.Delete(ctx, id)
+	default:
+		return fmt.Errorf("transport: unknown op kind %d", op.Kind)
+	}
+}

@@ -1,0 +1,167 @@
+// Control-plane message shapes: connection hello, shard state fetch, and
+// the bootstrap blob — a JSON-encoded incremental.BootstrapState framed as
+// a wal.Snapshot, so a state transfer over the wire carries the same
+// integrity check as a snapshot file read from disk.
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"entityres/internal/entity"
+	"entityres/internal/graph"
+	"entityres/internal/incremental"
+	"entityres/internal/sharded"
+	"entityres/internal/wal"
+)
+
+// Hello opens every connection. The client states the deployment shape
+// it expects; the server refuses a mismatch — a coordinator pointed at the
+// wrong shard, or a shard directory opened under a different partition,
+// dies loudly instead of corrupting a stream. The reply carries the
+// server's durable stream position and counters.
+type Hello struct {
+	// Shards and Index identify the partition slot this connection expects
+	// to talk to.
+	Shards int `json:"shards"`
+	Index  int `json:"index"`
+	// Kind is the resolution setting (entity.Kind).
+	Kind int `json:"kind"`
+	// Meta marks a deferred meta-blocking deployment.
+	Meta bool `json:"meta,omitempty"`
+	// LastSeq is the routed-stream sequence number the shard is current
+	// through (reply only).
+	LastSeq uint64 `json:"last_seq,omitempty"`
+	// Operation and comparison counters (reply only).
+	Inserts     int64 `json:"inserts,omitempty"`
+	Updates     int64 `json:"updates,omitempty"`
+	Deletes     int64 `json:"deletes,omitempty"`
+	Comparisons int64 `json:"comparisons,omitempty"`
+}
+
+// stateJSON answers a frameState request: the shard's durable position,
+// counters and full match edge set — what a coordinator folds in when it
+// reopens or a shard rejoins.
+type stateJSON struct {
+	LastSeq     uint64     `json:"last_seq"`
+	Inserts     int64      `json:"inserts"`
+	Updates     int64      `json:"updates"`
+	Deletes     int64      `json:"deletes"`
+	Comparisons int64      `json:"comparisons"`
+	Edges       []edgeJSON `json:"edges,omitempty"`
+}
+
+type edgeJSON struct {
+	A entity.ID `json:"a"`
+	B entity.ID `json:"b"`
+}
+
+// bootstrapJSON is the serialized incremental.BootstrapState.
+type bootstrapJSON struct {
+	Slots       []bootstrapSlotJSON `json:"slots"`
+	Edges       []edgeJSON          `json:"edges,omitempty"`
+	Inserts     int64               `json:"inserts"`
+	Updates     int64               `json:"updates"`
+	Deletes     int64               `json:"deletes"`
+	Comparisons int64               `json:"comparisons"`
+	Seq         uint64              `json:"seq"`
+	MetaDirty   bool                `json:"meta_dirty,omitempty"`
+}
+
+type bootstrapSlotJSON struct {
+	Live   bool       `json:"live,omitempty"`
+	URI    string     `json:"uri,omitempty"`
+	Source int        `json:"source,omitempty"`
+	Attrs  []attrJSON `json:"attrs,omitempty"`
+	Keys   []string   `json:"keys,omitempty"`
+}
+
+type attrJSON struct {
+	Name  string `json:"n"`
+	Value string `json:"v"`
+}
+
+// marshalJSON marshals a control-plane message; the shapes above cannot
+// fail to marshal.
+func marshalJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("transport: marshaling control message: %v", err))
+	}
+	return b
+}
+
+// unmarshalJSON parses a control-plane message.
+func unmarshalJSON(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("transport: decoding control message: %w", err)
+	}
+	return nil
+}
+
+// encodeBootstrap renders bs as a CRC-framed wal.Snapshot blob.
+func encodeBootstrap(bs incremental.BootstrapState) (wal.Snapshot, error) {
+	out := bootstrapJSON{
+		Inserts:     bs.Inserts,
+		Updates:     bs.Updates,
+		Deletes:     bs.Deletes,
+		Comparisons: bs.Comparisons,
+		Seq:         bs.Seq,
+		MetaDirty:   bs.MetaDirty,
+		Slots:       make([]bootstrapSlotJSON, 0, len(bs.Slots)),
+	}
+	for _, sl := range bs.Slots {
+		js := bootstrapSlotJSON{Live: sl.Live, URI: sl.URI, Source: sl.Source, Keys: sl.Keys}
+		for _, a := range sl.Attrs {
+			js.Attrs = append(js.Attrs, attrJSON{Name: a.Name, Value: a.Value})
+		}
+		out.Slots = append(out.Slots, js)
+	}
+	for _, e := range bs.Edges {
+		out.Edges = append(out.Edges, edgeJSON{A: e.A, B: e.B})
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encoding bootstrap state: %w", err)
+	}
+	return wal.EncodeFramed(payload)
+}
+
+// decodeBootstrap validates the blob's frame and parses the state.
+func decodeBootstrap(blob wal.Snapshot) (incremental.BootstrapState, error) {
+	var bs incremental.BootstrapState
+	payload, err := wal.DecodeFramed(blob)
+	if err != nil {
+		return bs, fmt.Errorf("transport: bootstrap blob: %w", err)
+	}
+	var js bootstrapJSON
+	if err := json.Unmarshal(payload, &js); err != nil {
+		return bs, fmt.Errorf("transport: decoding bootstrap state: %w", err)
+	}
+	bs.Inserts, bs.Updates, bs.Deletes = js.Inserts, js.Updates, js.Deletes
+	bs.Comparisons = js.Comparisons
+	bs.Seq = js.Seq
+	bs.MetaDirty = js.MetaDirty
+	bs.Slots = make([]incremental.BootstrapSlot, 0, len(js.Slots))
+	for _, sl := range js.Slots {
+		s := incremental.BootstrapSlot{Live: sl.Live, URI: sl.URI, Source: sl.Source, Keys: sl.Keys}
+		for _, a := range sl.Attrs {
+			s.Attrs = append(s.Attrs, entity.Attribute{Name: a.Name, Value: a.Value})
+		}
+		bs.Slots = append(bs.Slots, s)
+	}
+	for _, e := range js.Edges {
+		bs.Edges = append(bs.Edges, graph.Edge{A: e.A, B: e.B, Weight: 1})
+	}
+	return bs, nil
+}
+
+// Expectation builds the deployment identity a client of shard index under
+// cfg asserts in its opening handshake.
+func Expectation(cfg sharded.Config, index int) Hello {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	return Hello{Shards: shards, Index: index, Kind: int(cfg.Kind), Meta: cfg.Meta != nil}
+}

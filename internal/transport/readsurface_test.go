@@ -1,0 +1,84 @@
+package transport_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+	"entityres/internal/transport"
+)
+
+// TestCoordinatorReadSurface drives the serving accessors of a networked
+// coordinator — the reads the HTTP query service rides — plus the exported
+// error renderings and the client's cached handshake.
+func TestCoordinatorReadSurface(t *testing.T) {
+	t.Parallel()
+	cfg := testShardCfg()
+	cfg.Shards = 2
+	c := startCluster(t, cfg, []string{"", ""})
+	ctx := context.Background()
+	co, err := c.open(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+
+	mk := func(uri, name string) *entity.Description {
+		return &entity.Description{ID: -1, URI: uri, Attrs: []entity.Attribute{{Name: "name", Value: name}}}
+	}
+	a, err := co.Insert(ctx, mk("u:a", "alice smith"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := co.Insert(ctx, mk("u:b", "alice smith"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Insert(ctx, mk("u:c", "carol jones")); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := co.Clusters(); !reflect.DeepEqual(got, [][]entity.ID{{a, b}}) {
+		t.Fatalf("Clusters = %v", got)
+	}
+	if got := co.MatchedWith(a); !reflect.DeepEqual(got, []entity.ID{b}) {
+		t.Fatalf("MatchedWith(%d) = %v", a, got)
+	}
+	if got := co.MatchedWith(99); got != nil {
+		t.Fatalf("MatchedWith(dead) = %v", got)
+	}
+	d, ok := co.Get(a)
+	if !ok || d.URI != "u:a" {
+		t.Fatalf("Get(%d) = %+v, %v", a, d, ok)
+	}
+
+	if msg := (&transport.ShardUnavailableError{Shards: []int{1}}).Error(); !strings.Contains(msg, "1") {
+		t.Fatalf("ShardUnavailableError = %q", msg)
+	}
+	if msg := (&transport.RemoteError{Msg: "refused"}).Error(); !strings.Contains(msg, "refused") {
+		t.Fatalf("RemoteError = %q", msg)
+	}
+}
+
+// TestClientLastHello checks the handshake cache: zero before any
+// exchange, the server's reply after one.
+func TestClientLastHello(t *testing.T) {
+	t.Parallel()
+	_, addr := startTestServer(t)
+	c := transport.NewShardClient(addr, testExpect(), transport.ClientOptions{})
+	defer c.Close()
+	if h := c.LastHello(); h.Shards != 0 {
+		t.Fatalf("LastHello before any exchange = %+v", h)
+	}
+	h, err := c.Hello(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastHello(); got != h || got.Shards != 1 {
+		t.Fatalf("LastHello = %+v, handshake said %+v", got, h)
+	}
+}

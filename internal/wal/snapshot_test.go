@@ -1,0 +1,42 @@
+package wal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFramedSnapshotRoundTrip checks the wire form of a shipped snapshot:
+// encode/decode round-trips, and every frame violation — truncated header,
+// wrong length field, flipped payload bit, oversized payload — is refused.
+func TestFramedSnapshotRoundTrip(t *testing.T) {
+	payload := []byte("full shard state transfer")
+	s, err := EncodeFramed(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFramed(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = %q", got)
+	}
+
+	if _, err := DecodeFramed(s[:headerBytes-1]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	short := append(Snapshot(nil), s...)
+	if _, err := DecodeFramed(short[:len(short)-1]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	flipped := append(Snapshot(nil), s...)
+	flipped[headerBytes] ^= 0x01
+	if _, err := DecodeFramed(flipped); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	if _, err := EncodeFramed(make([]byte, MaxRecordBytes+1)); err == nil ||
+		!strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized payload: %v", err)
+	}
+}
