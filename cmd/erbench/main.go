@@ -11,6 +11,17 @@
 // machine-readable JSON (e.g. BENCH_streaming.json) so the perf trajectory
 // accumulates data points.
 //
+// The JSON payloads are schema 2: a "portable" section of
+// machine-independent counters (comparisons, matches, kept pairs,
+// reconcile work, snapshot compaction cost, replay lengths — identical for
+// the same seed and scale on any host) and a "timing" section of
+// machine-dependent wall-clock measurements. -baseline FILE diffs a fresh
+// run's portable section against a committed payload, refusing mismatched
+// scenarios (different entities/seed/meta/shards) and failing when any
+// counter drifts beyond -tolerance — the CI regression gate. -short
+// shrinks the bench modes to a ~400-entity scenario cheap enough to run on
+// every push.
+//
 // With -streaming-shards N it replays the same insert stream through the
 // single-node and the N-shard sharded streaming resolver, asserts the two
 // are bit-identical, and reports throughput plus the durable leg
@@ -27,10 +38,12 @@
 //	erbench [-experiment E1|E2|...|all] [-scale small|medium] [-seed N]
 //	erbench -parallel [-shards N] [-workers N] [-scale small|medium] [-seed N]
 //	erbench -streaming-meta [-meta-weight CBS|ECBS|JS] [-meta-prune WEP|WNP]
-//	        [-workers N] [-scale small|medium] [-seed N] [-json FILE]
-//	erbench -streaming-shards N [-workers N] [-scale small|medium] [-seed N]
-//	        [-json FILE]
-//	erbench -serve [-workers N] [-scale small|medium] [-seed N] [-json FILE]
+//	        [-workers N] [-scale small|medium] [-short] [-seed N]
+//	        [-json FILE] [-baseline FILE [-tolerance F]]
+//	erbench -streaming-shards N [-workers N] [-scale small|medium] [-short]
+//	        [-seed N] [-json FILE] [-baseline FILE [-tolerance F]]
+//	erbench -serve [-workers N] [-scale small|medium] [-short] [-seed N]
+//	        [-json FILE] [-baseline FILE [-tolerance F]]
 package main
 
 import (
@@ -39,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/url"
@@ -70,6 +84,9 @@ func main() {
 		streamShards = flag.Int("streaming-shards", 0, "benchmark the sharded streaming resolver with N key-hash shards against the single-node resolver (bit-equality asserted)")
 		serveBench   = flag.Bool("serve", false, "benchmark the HTTP/JSON query service: per-endpoint latency (p50/p99) over a loaded resolver")
 		jsonPath     = flag.String("json", "", "with -streaming-meta, -streaming-shards or -serve: also write the machine-readable benchmark result to this file, e.g. BENCH_streaming.json / BENCH_sharded.json / BENCH_serve.json")
+		short        = flag.Bool("short", false, "bench modes: shrink the scenario to ~400 entities (the CI regression-gate scale)")
+		baseline     = flag.String("baseline", "", "with a bench mode: diff the fresh run's portable counters against this committed JSON payload and fail on drift beyond -tolerance")
+		tolerance    = flag.Float64("tolerance", 0.01, "relative drift allowed per portable counter when diffing against -baseline")
 	)
 	flag.Parse()
 	var sc experiments.Scale
@@ -82,9 +99,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "erbench: unknown scale %q (want small or medium)\n", *scale)
 		os.Exit(2)
 	}
-	if *jsonPath != "" && !*streamMeta && *streamShards <= 0 && !*serveBench {
-		fmt.Fprintln(os.Stderr, "erbench: -json requires -streaming-meta, -streaming-shards or -serve")
+	benchMode := *streamMeta || *streamShards > 0 || *serveBench
+	if (*jsonPath != "" || *baseline != "") && !benchMode {
+		fmt.Fprintln(os.Stderr, "erbench: -json/-baseline require -streaming-meta, -streaming-shards or -serve")
 		os.Exit(2)
+	}
+	out := benchOutput{jsonPath: *jsonPath, baseline: *baseline, tolerance: *tolerance}
+	entities := 1500
+	if sc == experiments.Medium {
+		entities = 6000
+	}
+	if *short {
+		entities = 400
 	}
 	if *parallel {
 		if err := runParallelComparison(sc, *seed, *shards, *workers); err != nil {
@@ -94,33 +120,21 @@ func main() {
 		return
 	}
 	if *streamMeta {
-		entities := 1500
-		if sc == experiments.Medium {
-			entities = 6000
-		}
-		if err := runStreamingMeta(entities, *seed, *workers, *metaWeight, *metaPrune, *jsonPath); err != nil {
+		if err := runStreamingMeta(entities, *seed, *workers, *metaWeight, *metaPrune, out); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *streamShards > 0 {
-		entities := 1500
-		if sc == experiments.Medium {
-			entities = 6000
-		}
-		if err := runStreamingShards(entities, *seed, *workers, *streamShards, *jsonPath); err != nil {
+		if err := runStreamingShards(entities, *seed, *workers, *streamShards, out); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *serveBench {
-		entities := 1500
-		if sc == experiments.Medium {
-			entities = 6000
-		}
-		if err := runServeBench(entities, *seed, *workers, *jsonPath); err != nil {
+		if err := runServeBench(entities, *seed, *workers, out); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -215,38 +229,235 @@ func runParallelComparison(sc experiments.Scale, seed int64, shards, workers int
 	return nil
 }
 
-// benchRunJSON is one measured replay in the machine-readable output.
-type benchRunJSON struct {
+// The -json payloads are schema 2, split into two sections:
+//
+//   - "portable": machine-independent counters. For a fixed scenario
+//     (entities, seed, meta/shard configuration) every field is identical
+//     on any host — they measure the algorithm, not the machine — so a
+//     committed payload is a regression baseline any CI runner can check.
+//   - "timing": wall-clock measurements (and the resolved worker count
+//     that shaped them). Never compared across machines.
+//
+// benchSchema is bumped whenever the payload shape changes incompatibly;
+// the -baseline differ refuses other schemas.
+const benchSchema = 2
+
+// benchCountersJSON is one measured replay's portable result.
+type benchCountersJSON struct {
 	Comparisons int64 `json:"comparisons"`
 	Matches     int   `json:"matches"`
-	WallNS      int64 `json:"wall_ns"`
-	NSPerOp     int64 `json:"ns_per_op"`
 }
 
-// benchRecoveryJSON measures the durable leg: persist the stream through
-// the WAL, then reopen the directory (snapshot restore + tail replay).
-type benchRecoveryJSON struct {
-	Ops             int64  `json:"ops"`
-	SnapshotEvery   int    `json:"snapshot_every"`
-	SnapshotSegment uint64 `json:"snapshot_segment"`
-	ReplayedRecords int    `json:"replayed_records"`
-	PersistWallNS   int64  `json:"persist_wall_ns"`
-	PersistNSPerOp  int64  `json:"persist_ns_per_op"`
-	RecoveryWallNS  int64  `json:"recovery_wall_ns"`
+// benchTimingJSON is one measured replay's wall-clock cost.
+type benchTimingJSON struct {
+	WallNS  int64 `json:"wall_ns"`
+	NSPerOp int64 `json:"ns_per_op"`
 }
 
-// benchJSON is the machine-readable -json payload (BENCH_streaming.json):
-// the perf trajectory's data points for the streaming resolver.
+// benchPerfJSON mirrors er.StreamingPerf: reconcile effort and snapshot
+// compaction cost, all machine-independent.
+type benchPerfJSON struct {
+	Reconciles         int64 `json:"reconciles"`
+	ReconcileExamined  int64 `json:"reconcile_examined"`
+	ReconcileEvaluated int64 `json:"reconcile_evaluated"`
+	FullSnapshots      int64 `json:"full_snapshots"`
+	DeltaSnapshots     int64 `json:"delta_snapshots"`
+	SnapshotSlots      int64 `json:"snapshot_slots"`
+	SnapshotPairs      int64 `json:"snapshot_pairs"`
+}
+
+func perfJSON(p er.StreamingPerf) benchPerfJSON {
+	return benchPerfJSON{
+		Reconciles:         p.Reconciles,
+		ReconcileExamined:  p.ReconcileExamined,
+		ReconcileEvaluated: p.ReconcileEvaluated,
+		FullSnapshots:      p.FullSnapshots,
+		DeltaSnapshots:     p.DeltaSnapshots,
+		SnapshotSlots:      p.SnapshotSlots,
+		SnapshotPairs:      p.SnapshotPairs,
+	}
+}
+
+// benchRecoveryPortableJSON is the durable leg's portable half: the
+// journal geometry the persist run produced and what the reopen replayed.
+type benchRecoveryPortableJSON struct {
+	Ops             int64         `json:"ops"`
+	SnapshotEvery   int           `json:"snapshot_every"`
+	SnapshotSegment uint64        `json:"snapshot_segment"`
+	ReplayedRecords int           `json:"replayed_records"`
+	Perf            benchPerfJSON `json:"perf"`
+}
+
+// benchStreamingPortableJSON identifies the -streaming-meta scenario and
+// carries its machine-independent results.
+type benchStreamingPortableJSON struct {
+	Entities              int                       `json:"entities"`
+	Seed                  int64                     `json:"seed"`
+	Meta                  string                    `json:"meta"`
+	Frontier              benchCountersJSON         `json:"frontier"`
+	Pruned                benchCountersJSON         `json:"pruned"`
+	KeptPairs             int                       `json:"kept_pairs"`
+	CandidatePairs        int                       `json:"candidate_pairs"`
+	ComparisonsSavedRatio float64                   `json:"comparisons_saved_ratio"`
+	PrunedPerf            benchPerfJSON             `json:"pruned_perf"`
+	Recovery              benchRecoveryPortableJSON `json:"recovery"`
+}
+
+// benchStreamingTimingJSON is the -streaming-meta wall-clock section.
+type benchStreamingTimingJSON struct {
+	Workers        int             `json:"workers"`
+	Frontier       benchTimingJSON `json:"frontier"`
+	Pruned         benchTimingJSON `json:"pruned"`
+	PersistWallNS  int64           `json:"persist_wall_ns"`
+	PersistNSPerOp int64           `json:"persist_ns_per_op"`
+	RecoveryWallNS int64           `json:"recovery_wall_ns"`
+}
+
+// benchJSON is the machine-readable -json payload (BENCH_streaming.json).
 type benchJSON struct {
-	Name                  string            `json:"name"`
-	Entities              int               `json:"entities"`
-	Seed                  int64             `json:"seed"`
-	Workers               int               `json:"workers"`
-	Meta                  string            `json:"meta"`
-	Frontier              benchRunJSON      `json:"frontier"`
-	Pruned                benchRunJSON      `json:"pruned"`
-	ComparisonsSavedRatio float64           `json:"comparisons_saved_ratio"`
-	Recovery              benchRecoveryJSON `json:"recovery"`
+	Schema   int                        `json:"schema"`
+	Name     string                     `json:"name"`
+	Portable benchStreamingPortableJSON `json:"portable"`
+	Timing   benchStreamingTimingJSON   `json:"timing"`
+}
+
+// benchOutput carries the -json / -baseline / -tolerance flags into the
+// bench modes.
+type benchOutput struct {
+	jsonPath  string
+	baseline  string
+	tolerance float64
+}
+
+// emit marshals payload, diffs it against the committed baseline when one
+// was named (failing the run on drift), and writes it when -json was set.
+func (o benchOutput) emit(payload any) error {
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if o.baseline != "" {
+		if err := diffBaseline(data, o.baseline, o.tolerance); err != nil {
+			return err
+		}
+		fmt.Printf("baseline %s: portable counters within tolerance %.3f\n", o.baseline, o.tolerance)
+	}
+	if o.jsonPath != "" {
+		if err := os.WriteFile(o.jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.jsonPath)
+	}
+	return nil
+}
+
+// benchIdentityFields are portable fields that define the scenario rather
+// than measure it: a baseline with different values is a different
+// benchmark, and diffing against it would be meaningless — the gate
+// refuses instead of reporting drift.
+var benchIdentityFields = map[string]bool{
+	"entities":                true,
+	"seed":                    true,
+	"meta":                    true,
+	"shards":                  true,
+	"requests_per_endpoint":   true,
+	"recovery.ops":            true,
+	"recovery.snapshot_every": true,
+}
+
+// diffBaseline compares the fresh payload's portable section against the
+// committed baseline's, field by field. Identity fields must match
+// exactly; every other numeric field may drift at most tol relative to
+// the baseline value. The timing section is never compared.
+func diffBaseline(fresh []byte, baselinePath string, tol float64) error {
+	var head struct {
+		Schema   int            `json:"schema"`
+		Name     string         `json:"name"`
+		Portable map[string]any `json:"portable"`
+	}
+	if err := json.Unmarshal(fresh, &head); err != nil {
+		return err
+	}
+	baseData, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base struct {
+		Schema   int            `json:"schema"`
+		Name     string         `json:"name"`
+		Portable map[string]any `json:"portable"`
+	}
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != benchSchema {
+		return fmt.Errorf("baseline %s has schema %d, this erbench writes %d — regenerate it with -json", baselinePath, base.Schema, benchSchema)
+	}
+	if base.Name != head.Name {
+		return fmt.Errorf("baseline %s records benchmark %q, this run is %q", baselinePath, base.Name, head.Name)
+	}
+	got, want := flattenJSON("", head.Portable), flattenJSON("", base.Portable)
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var drift []string
+	for _, k := range keys {
+		gv, ok := got[k]
+		if !ok {
+			return fmt.Errorf("baseline %s has portable field %q this erbench no longer writes — regenerate the baseline", baselinePath, k)
+		}
+		if benchIdentityFields[k] {
+			if gv != want[k] {
+				return fmt.Errorf("scenario mismatch: %s is %v here but %v in baseline %s — refusing to diff different scales/seeds/configurations", k, gv, want[k], baselinePath)
+			}
+			continue
+		}
+		gn, gNum := gv.(float64)
+		wn, wNum := want[k].(float64)
+		switch {
+		case gNum && wNum:
+			if diff := math.Abs(gn - wn); diff > tol*math.Max(math.Abs(wn), 1) {
+				drift = append(drift, fmt.Sprintf("  %s: %v (baseline %v)", k, gn, wn))
+			}
+		default: // bools and strings compare exactly
+			if gv != want[k] {
+				drift = append(drift, fmt.Sprintf("  %s: %v (baseline %v)", k, gv, want[k]))
+			}
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			return fmt.Errorf("this erbench writes portable field %q missing from baseline %s — regenerate the baseline", k, baselinePath)
+		}
+	}
+	if len(drift) > 0 {
+		return fmt.Errorf("portable counters drifted beyond tolerance %.3f vs %s:\n%s\nif the change is intended, regenerate the committed baselines with -json",
+			tol, baselinePath, strings.Join(drift, "\n"))
+	}
+	return nil
+}
+
+// flattenJSON renders a decoded JSON object as dotted-path → leaf value.
+func flattenJSON(prefix string, v any) map[string]any {
+	out := map[string]any{}
+	m, ok := v.(map[string]any)
+	if !ok {
+		out[prefix] = v
+		return out
+	}
+	for k, sub := range m {
+		p := k
+		if prefix != "" {
+			p = prefix + "." + k
+		}
+		for kk, vv := range flattenJSON(p, sub) {
+			out[kk] = vv
+		}
+	}
+	return out
 }
 
 // runStreamingMeta replays one synthetic insert stream through two
@@ -254,9 +465,9 @@ type benchJSON struct {
 // reports throughput plus the pruning ratio: the share of matcher
 // comparisons the live weighted blocking graph saved. It then persists the
 // stream through a WAL-backed resolver and measures crash recovery
-// (reopen = snapshot restore + tail replay). With jsonPath set the whole
-// measurement is also written as machine-readable JSON.
-func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, jsonPath string) error {
+// (reopen = snapshot restore + tail replay). The measurement is emitted
+// per the -json/-baseline flags in out.
+func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm string, out benchOutput) error {
 	var weight er.WeightScheme
 	switch strings.ToUpper(weightNm) {
 	case "CBS":
@@ -288,7 +499,7 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 	fmt.Printf("streaming meta-blocking: %d descriptions, seed %d, workers %d, %s\n",
 		c.Len(), seed, workers, meta.Name())
 
-	replay := func(meta *er.MetaBlocker) (er.StreamingStats, time.Duration, error) {
+	replay := func(meta *er.MetaBlocker) (er.StreamingStats, er.StreamingPerf, time.Duration, error) {
 		ctx := context.Background()
 		r, err := er.Open(ctx, er.Config{
 			Kind:    er.Dirty,
@@ -298,28 +509,32 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 			Meta:    meta,
 		})
 		if err != nil {
-			return er.StreamingStats{}, 0, err
+			return er.StreamingStats{}, er.StreamingPerf{}, 0, err
 		}
 		defer r.Close()
 		t0 := time.Now()
 		for _, d := range c.All() {
 			if _, err := r.Insert(ctx, d); err != nil {
-				return er.StreamingStats{}, 0, err
+				return er.StreamingStats{}, er.StreamingPerf{}, 0, err
 			}
 		}
 		if meta != nil {
 			if err := r.Flush(ctx); err != nil {
-				return er.StreamingStats{}, 0, err
+				return er.StreamingStats{}, er.StreamingPerf{}, 0, err
 			}
 		}
-		return r.Stats(), time.Since(t0), nil
+		st, err := r.Stats()
+		if err != nil {
+			return er.StreamingStats{}, er.StreamingPerf{}, 0, err
+		}
+		return st, r.(er.PerfReporter).Perf(), time.Since(t0), nil
 	}
 
-	base, baseDur, err := replay(nil)
+	base, _, baseDur, err := replay(nil)
 	if err != nil {
 		return fmt.Errorf("without meta: %w", err)
 	}
-	pruned, prunedDur, err := replay(meta)
+	pruned, prunedPerf, prunedDur, err := replay(meta)
 	if err != nil {
 		return fmt.Errorf("with meta: %w", err)
 	}
@@ -371,6 +586,7 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 	if err := pr.Close(); err != nil {
 		return err
 	}
+	persistPerf := pr.(er.PerfReporter).Perf()
 	t0 = time.Now()
 	re, err := er.Open(ctx, durableCfg)
 	if err != nil {
@@ -378,7 +594,9 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 	}
 	recoveryDur := time.Since(t0)
 	rec := re.(er.DurableReporter).Recovery()[0]
-	if st := re.Stats(); st.Live != c.Len() {
+	if st, err := re.Stats(); err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	} else if st.Live != c.Len() {
 		return fmt.Errorf("recovery restored %d live descriptions, want %d", st.Live, c.Len())
 	}
 	if err := re.Close(); err != nil {
@@ -388,67 +606,83 @@ func runStreamingMeta(entities int, seed int64, workers int, weightNm, pruneNm, 
 		persistDur.Round(time.Microsecond), opsPerSec(persistDur),
 		recoveryDur.Round(time.Microsecond), rec.SnapshotSegment, rec.ReplayedRecords)
 
-	if jsonPath == "" {
+	if out.jsonPath == "" && out.baseline == "" {
 		return nil
 	}
 	nsPerOp := func(d time.Duration) int64 { return d.Nanoseconds() / int64(c.Len()) }
-	out := benchJSON{
-		Name:     "streaming",
-		Entities: c.Len(),
-		Seed:     seed,
-		Workers:  workers,
-		Meta:     meta.Name(),
-		Frontier: benchRunJSON{Comparisons: base.Comparisons, Matches: base.Matches,
-			WallNS: baseDur.Nanoseconds(), NSPerOp: nsPerOp(baseDur)},
-		Pruned: benchRunJSON{Comparisons: pruned.Comparisons, Matches: pruned.Matches,
-			WallNS: prunedDur.Nanoseconds(), NSPerOp: nsPerOp(prunedDur)},
-		ComparisonsSavedRatio: saved,
-		Recovery: benchRecoveryJSON{
-			Ops:             int64(c.Len()),
-			SnapshotEvery:   durable.SnapshotEvery,
-			SnapshotSegment: rec.SnapshotSegment,
-			ReplayedRecords: rec.ReplayedRecords,
-			PersistWallNS:   persistDur.Nanoseconds(),
-			PersistNSPerOp:  nsPerOp(persistDur),
-			RecoveryWallNS:  recoveryDur.Nanoseconds(),
+	payload := benchJSON{
+		Schema: benchSchema,
+		Name:   "streaming",
+		Portable: benchStreamingPortableJSON{
+			Entities:              c.Len(),
+			Seed:                  seed,
+			Meta:                  meta.Name(),
+			Frontier:              benchCountersJSON{Comparisons: base.Comparisons, Matches: base.Matches},
+			Pruned:                benchCountersJSON{Comparisons: pruned.Comparisons, Matches: pruned.Matches},
+			KeptPairs:             pruned.KeptPairs,
+			CandidatePairs:        pruned.CandidatePairs,
+			ComparisonsSavedRatio: saved,
+			PrunedPerf:            perfJSON(prunedPerf),
+			Recovery: benchRecoveryPortableJSON{
+				Ops:             int64(c.Len()),
+				SnapshotEvery:   durable.SnapshotEvery,
+				SnapshotSegment: rec.SnapshotSegment,
+				ReplayedRecords: rec.ReplayedRecords,
+				Perf:            perfJSON(persistPerf),
+			},
+		},
+		Timing: benchStreamingTimingJSON{
+			Workers:        workers,
+			Frontier:       benchTimingJSON{WallNS: baseDur.Nanoseconds(), NSPerOp: nsPerOp(baseDur)},
+			Pruned:         benchTimingJSON{WallNS: prunedDur.Nanoseconds(), NSPerOp: nsPerOp(prunedDur)},
+			PersistWallNS:  persistDur.Nanoseconds(),
+			PersistNSPerOp: nsPerOp(persistDur),
+			RecoveryWallNS: recoveryDur.Nanoseconds(),
 		},
 	}
-	payload, err := json.MarshalIndent(&out, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(jsonPath, append(payload, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", jsonPath)
-	return nil
+	return out.emit(&payload)
 }
 
-// benchShardRecoveryJSON measures the sharded durable leg: per-shard
-// group-committed WAL persistence plus a full reopen (every shard
-// restored from its own snapshot + tail).
-type benchShardRecoveryJSON struct {
-	Ops                int64 `json:"ops"`
-	SnapshotEvery      int   `json:"snapshot_every"`
-	ReplayedRecordsMax int   `json:"replayed_records_max"`
-	PersistWallNS      int64 `json:"persist_wall_ns"`
-	PersistNSPerOp     int64 `json:"persist_ns_per_op"`
-	RecoveryWallNS     int64 `json:"recovery_wall_ns"`
+// benchShardRecoveryPortableJSON is the sharded durable leg's portable
+// half: per-shard group-committed WAL persistence plus a full reopen
+// (every shard restored from its own snapshot chain + tail).
+type benchShardRecoveryPortableJSON struct {
+	Ops                int64         `json:"ops"`
+	SnapshotEvery      int           `json:"snapshot_every"`
+	ReplayedRecordsMax int           `json:"replayed_records_max"`
+	Perf               benchPerfJSON `json:"perf"`
+}
+
+// benchShardedPortableJSON identifies the -streaming-shards scenario and
+// carries its machine-independent results.
+type benchShardedPortableJSON struct {
+	Entities  int                            `json:"entities"`
+	Seed      int64                          `json:"seed"`
+	Shards    int                            `json:"shards"`
+	Single    benchCountersJSON              `json:"single"`
+	Sharded   benchCountersJSON              `json:"sharded"`
+	Identical bool                           `json:"identical"`
+	Recovery  benchShardRecoveryPortableJSON `json:"recovery"`
+}
+
+// benchShardedTimingJSON is the -streaming-shards wall-clock section.
+type benchShardedTimingJSON struct {
+	Workers        int             `json:"workers"`
+	Single         benchTimingJSON `json:"single"`
+	Sharded        benchTimingJSON `json:"sharded"`
+	Speedup        float64         `json:"speedup"`
+	PersistWallNS  int64           `json:"persist_wall_ns"`
+	PersistNSPerOp int64           `json:"persist_ns_per_op"`
+	RecoveryWallNS int64           `json:"recovery_wall_ns"`
 }
 
 // benchShardedJSON is the machine-readable -json payload of the
 // sharded-streaming mode (BENCH_sharded.json).
 type benchShardedJSON struct {
-	Name      string                 `json:"name"`
-	Entities  int                    `json:"entities"`
-	Seed      int64                  `json:"seed"`
-	Workers   int                    `json:"workers"`
-	Shards    int                    `json:"shards"`
-	Single    benchRunJSON           `json:"single"`
-	Sharded   benchRunJSON           `json:"sharded"`
-	Identical bool                   `json:"identical"`
-	Speedup   float64                `json:"speedup"`
-	Recovery  benchShardRecoveryJSON `json:"recovery"`
+	Schema   int                      `json:"schema"`
+	Name     string                   `json:"name"`
+	Portable benchShardedPortableJSON `json:"portable"`
+	Timing   benchShardedTimingJSON   `json:"timing"`
 }
 
 // runStreamingShards replays one synthetic insert stream through the
@@ -456,8 +690,8 @@ type benchShardedJSON struct {
 // matches AND comparison counts are identical (the cross-shard
 // differential contract), and reports throughput plus the sharded durable
 // leg: per-shard group-committed WAL persistence and whole-deployment
-// recovery. With jsonPath set the measurement is written as JSON.
-func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath string) error {
+// recovery. The measurement is emitted per the -json/-baseline flags.
+func runStreamingShards(entities int, seed int64, workers, shards int, out benchOutput) error {
 	c, _, err := er.GenerateDirty(er.GenConfig{Seed: seed, Entities: entities, MaxDuplicates: 2})
 	if err != nil {
 		return err
@@ -484,7 +718,10 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 		}
 	}
 	singleDur := time.Since(t0)
-	singleStats := single.Stats()
+	singleStats, err := single.Stats()
+	if err != nil {
+		return fmt.Errorf("single-node: %w", err)
+	}
 
 	sh, err := er.Open(ctx, er.Config{
 		Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: matcher(), Workers: workers, Shards: shards,
@@ -500,7 +737,10 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 		}
 	}
 	shardedDur := time.Since(t0)
-	shardedStats := sh.Stats()
+	shardedStats, err := sh.Stats()
+	if err != nil {
+		return fmt.Errorf("sharded: %w", err)
+	}
 
 	identical := singleStats == shardedStats && sameSameAs(ctx, single, sh, c)
 	if !identical {
@@ -539,6 +779,7 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 		}
 	}
 	persistDur := time.Since(t0)
+	persistPerf := pr.(er.PerfReporter).Perf()
 	pr.(er.DurableReporter).Abandon()
 	t0 = time.Now()
 	re, err := er.Open(ctx, shardedCfg)
@@ -552,7 +793,9 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 			replayedMax = rec.ReplayedRecords
 		}
 	}
-	if st := re.Stats(); st.Live != c.Len() {
+	if st, err := re.Stats(); err != nil {
+		return fmt.Errorf("sharded recovery: %w", err)
+	} else if st.Live != c.Len() {
 		return fmt.Errorf("sharded recovery restored %d live descriptions, want %d", st.Live, c.Len())
 	}
 	if err := re.Close(); err != nil {
@@ -562,40 +805,38 @@ func runStreamingShards(entities int, seed int64, workers, shards int, jsonPath 
 		persistDur.Round(time.Microsecond), opsPerSec(persistDur),
 		recoveryDur.Round(time.Microsecond), replayedMax)
 
-	if jsonPath == "" {
+	if out.jsonPath == "" && out.baseline == "" {
 		return nil
 	}
 	nsPerOp := func(d time.Duration) int64 { return d.Nanoseconds() / int64(c.Len()) }
-	out := benchShardedJSON{
-		Name:     "sharded-streaming",
-		Entities: c.Len(),
-		Seed:     seed,
-		Workers:  workers,
-		Shards:   shards,
-		Single: benchRunJSON{Comparisons: singleStats.Comparisons, Matches: singleStats.Matches,
-			WallNS: singleDur.Nanoseconds(), NSPerOp: nsPerOp(singleDur)},
-		Sharded: benchRunJSON{Comparisons: shardedStats.Comparisons, Matches: shardedStats.Matches,
-			WallNS: shardedDur.Nanoseconds(), NSPerOp: nsPerOp(shardedDur)},
-		Identical: identical,
-		Speedup:   speedup,
-		Recovery: benchShardRecoveryJSON{
-			Ops:                int64(c.Len()),
-			SnapshotEvery:      durable.SnapshotEvery,
-			ReplayedRecordsMax: replayedMax,
-			PersistWallNS:      persistDur.Nanoseconds(),
-			PersistNSPerOp:     nsPerOp(persistDur),
-			RecoveryWallNS:     recoveryDur.Nanoseconds(),
+	payload := benchShardedJSON{
+		Schema: benchSchema,
+		Name:   "sharded-streaming",
+		Portable: benchShardedPortableJSON{
+			Entities:  c.Len(),
+			Seed:      seed,
+			Shards:    shards,
+			Single:    benchCountersJSON{Comparisons: singleStats.Comparisons, Matches: singleStats.Matches},
+			Sharded:   benchCountersJSON{Comparisons: shardedStats.Comparisons, Matches: shardedStats.Matches},
+			Identical: identical,
+			Recovery: benchShardRecoveryPortableJSON{
+				Ops:                int64(c.Len()),
+				SnapshotEvery:      durable.SnapshotEvery,
+				ReplayedRecordsMax: replayedMax,
+				Perf:               perfJSON(persistPerf),
+			},
+		},
+		Timing: benchShardedTimingJSON{
+			Workers:        workers,
+			Single:         benchTimingJSON{WallNS: singleDur.Nanoseconds(), NSPerOp: nsPerOp(singleDur)},
+			Sharded:        benchTimingJSON{WallNS: shardedDur.Nanoseconds(), NSPerOp: nsPerOp(shardedDur)},
+			Speedup:        speedup,
+			PersistWallNS:  persistDur.Nanoseconds(),
+			PersistNSPerOp: nsPerOp(persistDur),
+			RecoveryWallNS: recoveryDur.Nanoseconds(),
 		},
 	}
-	payload, err := json.MarshalIndent(&out, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(jsonPath, append(payload, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", jsonPath)
-	return nil
+	return out.emit(&payload)
 }
 
 func phaseIndex(res *er.PipelineResult) map[string]time.Duration {
@@ -634,19 +875,36 @@ type benchLatencyJSON struct {
 	MeanNS   int64 `json:"mean_ns"`
 }
 
-// benchServeJSON is the machine-readable -serve payload (BENCH_serve.json).
-type benchServeJSON struct {
-	Name      string                      `json:"name"`
-	Entities  int                         `json:"entities"`
-	Seed      int64                       `json:"seed"`
+// benchServePortableJSON identifies the -serve scenario. Latency is
+// inherently machine-dependent, so the portable half carries only the
+// scenario identity and the loaded resolver's machine-independent sizes.
+type benchServePortableJSON struct {
+	Entities            int   `json:"entities"`
+	Seed                int64 `json:"seed"`
+	RequestsPerEndpoint int   `json:"requests_per_endpoint"`
+	Comparisons         int64 `json:"comparisons"`
+	Matches             int   `json:"matches"`
+}
+
+// benchServeTimingJSON is the -serve wall-clock section: per-endpoint
+// latency distributions.
+type benchServeTimingJSON struct {
 	Workers   int                         `json:"workers"`
 	Endpoints map[string]benchLatencyJSON `json:"endpoints"`
+}
+
+// benchServeJSON is the machine-readable -serve payload (BENCH_serve.json).
+type benchServeJSON struct {
+	Schema   int                    `json:"schema"`
+	Name     string                 `json:"name"`
+	Portable benchServePortableJSON `json:"portable"`
+	Timing   benchServeTimingJSON   `json:"timing"`
 }
 
 // runServeBench loads a generated collection into an er.Open resolver,
 // fronts it with the HTTP/JSON query service, and measures per-endpoint
 // request latency (p50/p99) over the loopback.
-func runServeBench(entities int, seed int64, workers int, jsonPath string) error {
+func runServeBench(entities int, seed int64, workers int, out benchOutput) error {
 	c, _, err := er.GenerateDirty(er.GenConfig{Seed: seed, Entities: entities, MaxDuplicates: 2})
 	if err != nil {
 		return err
@@ -749,22 +1007,26 @@ func runServeBench(entities int, seed int64, workers int, jsonPath string) error
 		return err
 	}
 
-	if jsonPath == "" {
+	if out.jsonPath == "" && out.baseline == "" {
 		return nil
 	}
-	out := benchServeJSON{
-		Name: "serve", Entities: c.Len(), Seed: seed, Workers: workers,
-		Endpoints: results,
-	}
-	payload, err := json.MarshalIndent(&out, "", "  ")
+	st, err := r.Stats()
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(jsonPath, append(payload, '\n'), 0o644); err != nil {
-		return err
+	payload := benchServeJSON{
+		Schema: benchSchema,
+		Name:   "serve",
+		Portable: benchServePortableJSON{
+			Entities:            c.Len(),
+			Seed:                seed,
+			RequestsPerEndpoint: serveRequests,
+			Comparisons:         st.Comparisons,
+			Matches:             st.Matches,
+		},
+		Timing: benchServeTimingJSON{Workers: workers, Endpoints: results},
 	}
-	fmt.Printf("wrote %s\n", jsonPath)
-	return nil
+	return out.emit(&payload)
 }
 
 // serveRequests is the measured request count per endpoint for -serve.

@@ -14,11 +14,12 @@ import (
 )
 
 // TestRunStreamingMeta drives the -streaming-meta comparison end to end on
-// a small stream — including the durable persist/recovery leg and the
-// machine-readable -json output — plus the stream-safety flag validation.
+// a small stream — including the durable persist/recovery leg, the
+// machine-readable -json output and the -baseline regression gate — plus
+// the stream-safety flag validation.
 func TestRunStreamingMeta(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "BENCH_streaming.json")
-	if err := runStreamingMeta(120, 7, 2, "CBS", "WEP", jsonPath); err != nil {
+	if err := runStreamingMeta(120, 7, 2, "CBS", "WEP", benchOutput{jsonPath: jsonPath}); err != nil {
 		t.Fatalf("runStreamingMeta: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -29,30 +30,89 @@ func TestRunStreamingMeta(t *testing.T) {
 	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v", err)
 	}
-	if out.Name != "streaming" || out.Entities == 0 {
+	if out.Schema != benchSchema || out.Name != "streaming" || out.Portable.Entities == 0 {
 		t.Fatalf("-json header malformed: %+v", out)
 	}
-	if out.Frontier.NSPerOp <= 0 || out.Pruned.NSPerOp <= 0 {
+	if out.Timing.Frontier.NSPerOp <= 0 || out.Timing.Pruned.NSPerOp <= 0 {
 		t.Fatalf("-json ns/op not measured: %+v", out)
 	}
-	if out.Frontier.Comparisons <= out.Pruned.Comparisons && out.ComparisonsSavedRatio > 0 {
+	p := out.Portable
+	if p.Frontier.Comparisons <= p.Pruned.Comparisons && p.ComparisonsSavedRatio > 0 {
 		t.Fatalf("-json comparisons-saved inconsistent: %+v", out)
 	}
-	if out.Recovery.Ops != int64(out.Entities) || out.Recovery.RecoveryWallNS <= 0 {
+	if p.Recovery.Ops != int64(p.Entities) || out.Timing.RecoveryWallNS <= 0 {
 		t.Fatalf("-json recovery leg not measured: %+v", out)
 	}
-	if out.Recovery.SnapshotSegment == 0 {
+	if p.Recovery.SnapshotSegment == 0 {
 		t.Fatalf("-json recovery did not anchor on a snapshot: %+v", out)
 	}
+	if p.PrunedPerf.Reconciles <= 0 || p.PrunedPerf.ReconcileExamined <= 0 {
+		t.Fatalf("-json reconcile counters unmeasured: %+v", p.PrunedPerf)
+	}
+	if p.Recovery.Perf.FullSnapshots+p.Recovery.Perf.DeltaSnapshots <= 0 {
+		t.Fatalf("-json snapshot counters unmeasured: %+v", p.Recovery.Perf)
+	}
+	// The regression gate: an identical rerun matches its own baseline,
+	// and a different scale is refused rather than diffed.
+	if err := runStreamingMeta(120, 7, 2, "CBS", "WEP", benchOutput{baseline: jsonPath, tolerance: 0.01}); err != nil {
+		t.Fatalf("identical rerun drifted from its own baseline: %v", err)
+	}
+	if err := runStreamingMeta(100, 7, 2, "CBS", "WEP", benchOutput{baseline: jsonPath, tolerance: 0.01}); err == nil {
+		t.Fatal("baseline gate diffed a different scale instead of refusing")
+	}
 	// Without -json the run still succeeds and writes nothing.
-	if err := runStreamingMeta(120, 7, 2, "CBS", "WEP", ""); err != nil {
+	if err := runStreamingMeta(120, 7, 2, "CBS", "WEP", benchOutput{}); err != nil {
 		t.Fatalf("runStreamingMeta without json: %v", err)
 	}
-	if err := runStreamingMeta(120, 7, 0, "ARCS", "WEP", ""); err == nil {
+	if err := runStreamingMeta(120, 7, 0, "ARCS", "WEP", benchOutput{}); err == nil {
 		t.Fatal("batch-only weight accepted")
 	}
-	if err := runStreamingMeta(120, 7, 0, "CBS", "CEP", ""); err == nil {
+	if err := runStreamingMeta(120, 7, 0, "CBS", "CEP", benchOutput{}); err == nil {
 		t.Fatal("batch-only prune accepted")
+	}
+}
+
+// TestDiffBaseline exercises the gate's decision table on synthetic
+// payloads: schema refusal, scenario refusal, tolerated drift, flagged
+// drift, and schema-shape divergence in either direction.
+func TestDiffBaseline(t *testing.T) {
+	write := func(s string) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "baseline.json")
+		if err := os.WriteFile(p, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	fresh := []byte(`{"schema":2,"name":"streaming","portable":{"entities":400,"seed":42,"frontier":{"comparisons":1000},"identical":true}}`)
+
+	if err := diffBaseline(fresh, write(`{"schema":1,"name":"streaming","portable":{}}`), 0.01); err == nil {
+		t.Fatal("schema 1 baseline accepted")
+	}
+	if err := diffBaseline(fresh, write(`{"schema":2,"name":"serve","portable":{}}`), 0.01); err == nil {
+		t.Fatal("cross-benchmark baseline accepted")
+	}
+	if err := diffBaseline(fresh, write(`{"schema":2,"name":"streaming","portable":{"entities":1500,"seed":42,"frontier":{"comparisons":1000},"identical":true}}`), 0.01); err == nil {
+		t.Fatal("scale mismatch diffed instead of refused")
+	}
+	// 0.5% drift passes a 1% tolerance and fails a 0.1% one.
+	near := write(`{"schema":2,"name":"streaming","portable":{"entities":400,"seed":42,"frontier":{"comparisons":1005},"identical":true}}`)
+	if err := diffBaseline(fresh, near, 0.01); err != nil {
+		t.Fatalf("0.5%% drift rejected at 1%% tolerance: %v", err)
+	}
+	if err := diffBaseline(fresh, near, 0.001); err == nil {
+		t.Fatal("0.5% drift passed a 0.1% tolerance")
+	}
+	// Non-numeric portable fields compare exactly.
+	if err := diffBaseline(fresh, write(`{"schema":2,"name":"streaming","portable":{"entities":400,"seed":42,"frontier":{"comparisons":1000},"identical":false}}`), 0.01); err == nil {
+		t.Fatal("boolean divergence tolerated")
+	}
+	// Field-set drift in either direction demands regeneration.
+	if err := diffBaseline(fresh, write(`{"schema":2,"name":"streaming","portable":{"entities":400,"seed":42,"frontier":{"comparisons":1000},"identical":true,"extinct":1}}`), 0.01); err == nil {
+		t.Fatal("baseline-only field ignored")
+	}
+	if err := diffBaseline(fresh, write(`{"schema":2,"name":"streaming","portable":{"entities":400,"seed":42,"identical":true}}`), 0.01); err == nil {
+		t.Fatal("fresh-only field ignored")
 	}
 }
 
@@ -83,7 +143,7 @@ func TestResultHelpers(t *testing.T) {
 // to end at a tiny scale, including the BENCH_sharded.json output.
 func TestRunStreamingShards(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "BENCH_sharded.json")
-	if err := runStreamingShards(120, 7, 2, 3, jsonPath); err != nil {
+	if err := runStreamingShards(120, 7, 2, 3, benchOutput{jsonPath: jsonPath}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -94,14 +154,25 @@ func TestRunStreamingShards(t *testing.T) {
 	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.Name != "sharded-streaming" || out.Shards != 3 || !out.Identical {
+	p := out.Portable
+	if out.Schema != benchSchema || out.Name != "sharded-streaming" || p.Shards != 3 || !p.Identical {
 		t.Fatalf("benchmark payload = %+v", out)
 	}
-	if out.Single.Comparisons != out.Sharded.Comparisons || out.Single.Matches != out.Sharded.Matches {
+	if p.Single.Comparisons != p.Sharded.Comparisons || p.Single.Matches != p.Sharded.Matches {
 		t.Fatalf("benchmark payload not bit-identical: %+v", out)
 	}
-	if out.Recovery.PersistWallNS <= 0 || out.Recovery.RecoveryWallNS <= 0 {
-		t.Fatalf("recovery leg unmeasured: %+v", out.Recovery)
+	if out.Timing.PersistWallNS <= 0 || out.Timing.RecoveryWallNS <= 0 {
+		t.Fatalf("recovery leg unmeasured: %+v", out.Timing)
+	}
+	if p.Recovery.Perf.FullSnapshots+p.Recovery.Perf.DeltaSnapshots <= 0 {
+		t.Fatalf("per-shard snapshot counters unmeasured: %+v", p.Recovery.Perf)
+	}
+	// The gate holds across the sharded mode too: rerun vs own baseline.
+	if err := runStreamingShards(120, 7, 2, 3, benchOutput{baseline: jsonPath, tolerance: 0.01}); err != nil {
+		t.Fatalf("identical sharded rerun drifted from its own baseline: %v", err)
+	}
+	if err := runStreamingShards(120, 7, 2, 2, benchOutput{baseline: jsonPath, tolerance: 0.01}); err == nil {
+		t.Fatal("baseline gate diffed a different shard count instead of refusing")
 	}
 }
 
@@ -109,7 +180,7 @@ func TestRunStreamingShards(t *testing.T) {
 // tiny scale and checks the BENCH_serve.json payload shape.
 func TestRunServeBench(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
-	if err := runServeBench(60, 7, 2, jsonPath); err != nil {
+	if err := runServeBench(60, 7, 2, benchOutput{jsonPath: jsonPath}); err != nil {
 		t.Fatalf("runServeBench: %v", err)
 	}
 	raw, err := os.ReadFile(jsonPath)
@@ -120,10 +191,16 @@ func TestRunServeBench(t *testing.T) {
 	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.Name != "serve" || out.Entities == 0 || len(out.Endpoints) != 4 {
+	if out.Schema != benchSchema || out.Name != "serve" || out.Portable.Entities == 0 {
 		t.Fatalf("serve payload = %+v", out)
 	}
-	for ep, lat := range out.Endpoints {
+	if out.Portable.RequestsPerEndpoint != serveRequests || out.Portable.Comparisons <= 0 {
+		t.Fatalf("serve portable section malformed: %+v", out.Portable)
+	}
+	if len(out.Timing.Endpoints) != 4 {
+		t.Fatalf("serve payload = %+v", out)
+	}
+	for ep, lat := range out.Timing.Endpoints {
 		if lat.Requests != serveRequests || lat.P50NS <= 0 || lat.P99NS < lat.P50NS {
 			t.Fatalf("endpoint %s latency malformed: %+v", ep, lat)
 		}

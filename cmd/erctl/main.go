@@ -251,7 +251,14 @@ func watch(args []string) {
 	// Resumption assumes the same -ops log; the skip count is the number
 	// of operations the recovered state acknowledges.
 	skipped := 0
-	if st := r.Stats(); st.Inserts+st.Updates+st.Deletes > 0 {
+	stats := func() er.StreamingStats {
+		st, err := r.Stats()
+		if err != nil {
+			fail(err)
+		}
+		return st
+	}
+	if st := stats(); st.Inserts+st.Updates+st.Deletes > 0 {
 		applied := int(st.Inserts + st.Updates + st.Deletes)
 		if applied > len(ops) {
 			fail(fmt.Errorf("wal %s holds %d applied ops but %s has only %d — resuming a different log?", *walDir, applied, *opsPath, len(ops)))
@@ -274,10 +281,10 @@ func watch(args []string) {
 			fail(fmt.Errorf("op %d (%s %s): %w", n, op.Kind, op.URI, err))
 		}
 		if *statsEvery > 0 && n%*statsEvery == 0 {
-			fmt.Printf("after %4d ops: %s\n", n, statsLine(r.Stats(), cfg.Meta != nil))
+			fmt.Printf("after %4d ops: %s\n", n, statsLine(stats(), cfg.Meta != nil))
 		}
 	}
-	fmt.Printf("final: %s\n", statsLine(r.Stats(), cfg.Meta != nil))
+	fmt.Printf("final: %s\n", statsLine(stats(), cfg.Meta != nil))
 	if *printAll {
 		printMatches(ctx, r, ops)
 	}

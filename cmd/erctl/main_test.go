@@ -140,7 +140,10 @@ func TestWatchWalResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	st := r.Stats()
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Inserts != 3 || st.Updates != 1 || st.Live != 3 {
 		t.Fatalf("state after resume: %+v, want 3 inserts + 1 update applied once", st)
 	}
@@ -188,7 +191,11 @@ func TestWatchStreamShards(t *testing.T) {
 	if !r.Recovered() {
 		t.Fatal("sharded wal directory holds no recovered state")
 	}
-	if st := r.Stats(); st.Inserts != 3 || st.Updates != 1 || st.Deletes != 1 || st.Live != 2 || st.Matches != 1 {
+	st2, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := st2; st.Inserts != 3 || st.Updates != 1 || st.Deletes != 1 || st.Live != 2 || st.Matches != 1 {
 		t.Fatalf("recovered sharded stats = %+v", st)
 	}
 }

@@ -177,7 +177,10 @@ func serveCmd(args []string) {
 		if err != nil {
 			fail(err)
 		}
-		st := r.Stats()
+		st, err := r.Stats()
+		if err != nil {
+			fail(err)
+		}
 		skip := int(st.Inserts + st.Updates + st.Deletes)
 		if skip > len(ops) {
 			fail(fmt.Errorf("deployment already holds %d ops but %s has only %d", skip, *opsPath, len(ops)))
@@ -190,7 +193,11 @@ func serveCmd(args []string) {
 		if err := r.Flush(ctx); err != nil {
 			fail(err)
 		}
-		fmt.Printf("preloaded %d ops: %s\n", len(ops)-skip, r.Stats())
+		loaded, err := r.Stats()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("preloaded %d ops: %s\n", len(ops)-skip, loaded)
 	}
 
 	srv := serve.NewServer(r, serve.Options{

@@ -1,0 +1,22 @@
+package er_test
+
+import (
+	"errors"
+	"testing"
+
+	"entityres/er"
+	"entityres/internal/incremental"
+)
+
+// The re-exported sentinel must be the same value callers see from the
+// streaming layer, so errors.Is works no matter which package produced
+// the error.
+func TestErrBrokenIdentity(t *testing.T) {
+	if !errors.Is(er.ErrBroken, incremental.ErrBroken) {
+		t.Fatal("er.ErrBroken does not match incremental.ErrBroken")
+	}
+	wrapped := errors.Join(errors.New("context"), incremental.ErrBroken)
+	if !errors.Is(wrapped, er.ErrBroken) {
+		t.Fatal("wrapped incremental.ErrBroken not matched by er.ErrBroken")
+	}
+}

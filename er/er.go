@@ -347,6 +347,12 @@ type (
 	StreamingConfig = incremental.Config
 	// StreamingStats summarizes a resolver's work.
 	StreamingStats = incremental.Stats
+	// StreamingPerf is a resolver's cumulative per-op work counters:
+	// reconcile effort (delta-proportional pruning-fate derivations,
+	// matcher evaluations) and checkpoint compaction cost (full vs delta
+	// snapshots, slots and pairs serialized). Machine-independent — the
+	// same op stream yields the same counters on any host (PerfReporter).
+	StreamingPerf = incremental.PerfCounters
 	// StreamOp is one URI-addressed streaming operation (the op-log form).
 	StreamOp = incremental.Op
 	// StreamOpKind enumerates streaming operations.

@@ -1,0 +1,55 @@
+package er_test
+
+import (
+	"testing"
+
+	"entityres/er"
+)
+
+// The error-returning read API (a poisoned journal surfaces as
+// er.ErrBroken) makes every reconciling read two-valued on every resolver
+// form; these interface-typed helpers keep test bodies on the happy path.
+
+func mustStats(t testing.TB, r interface {
+	Stats() (er.StreamingStats, error)
+}) er.StreamingStats {
+	t.Helper()
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	return st
+}
+
+func mustMatches(t testing.TB, r interface {
+	Matches() (*er.Matches, error)
+}) *er.Matches {
+	t.Helper()
+	m, err := r.Matches()
+	if err != nil {
+		t.Fatalf("Matches: %v", err)
+	}
+	return m
+}
+
+func mustSnapshot(t testing.TB, r interface {
+	Snapshot() (*er.Collection, *er.Matches, error)
+}) (*er.Collection, *er.Matches) {
+	t.Helper()
+	coll, m, err := r.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return coll, m
+}
+
+func mustRestructuredBlocks(t testing.TB, r interface {
+	RestructuredBlocks() (*er.Blocks, error)
+}) *er.Blocks {
+	t.Helper()
+	bl, err := r.RestructuredBlocks()
+	if err != nil {
+		t.Fatalf("RestructuredBlocks: %v", err)
+	}
+	return bl
+}

@@ -89,6 +89,15 @@ type Result struct {
 }
 
 // ErrNotFound reports a Query that selected no live description.
+// ErrBroken marks a resolver whose journal has diverged from its in-memory
+// state: a WAL append failed mid-operation and the rollback could not
+// restore the pre-operation picture. Every subsequent mutation AND every
+// reconciling read (Stats, Flush, Query under meta-blocking) fails with an
+// error wrapping it — match with errors.Is(err, er.ErrBroken). The journal
+// itself is still the durable truth: reopening the directory recovers the
+// last consistent state.
+var ErrBroken = incremental.ErrBroken
+
 type ErrNotFound struct {
 	URI string
 	ID  ID
@@ -117,8 +126,10 @@ type Resolver interface {
 	// optionally its full cluster. Returns *ErrNotFound when nothing live
 	// answers the selection.
 	Query(ctx context.Context, q Query) (Result, error)
-	// Stats reports operation counters and current blocking/matching sizes.
-	Stats() StreamingStats
+	// Stats reports operation counters and current blocking/matching sizes,
+	// reconciling deferred meta-blocking work first. A resolver whose
+	// journal has diverged fails with an error wrapping ErrBroken.
+	Stats() (StreamingStats, error)
 	// Flush settles any deferred (meta-blocking) work.
 	Flush(ctx context.Context) error
 	// Close releases the deployment (seals journals, drops connections).
@@ -141,6 +152,13 @@ type ShardRejoiner interface {
 type DurableReporter interface {
 	Recovery() []StreamingRecovery
 	Abandon()
+}
+
+// PerfReporter is implemented by the local deployment forms: Perf reports
+// the cumulative machine-independent work counters (summed over shards
+// for the sharded form) without reconciling or otherwise mutating state.
+type PerfReporter interface {
+	Perf() StreamingPerf
 }
 
 // Networked transport surface.
@@ -218,12 +236,14 @@ func Open(ctx context.Context, cfg Config) (Resolver, error) {
 	}
 }
 
-// queryBackend is the read surface the three adapters share.
+// queryBackend is the read surface the three adapters share. The
+// reconciling reads (MatchedWith, Clusters) return the reconcile's error —
+// a poisoned journal surfaces as ErrBroken instead of a panic.
 type queryBackend interface {
 	Lookup(uri string) (ID, bool)
 	Get(id ID) (*Description, bool)
-	MatchedWith(id ID) []ID
-	Clusters() [][]ID
+	MatchedWith(id ID) ([]ID, error)
+	Clusters() ([][]ID, error)
 }
 
 // runQuery answers q against any backend.
@@ -241,9 +261,17 @@ func runQuery(b queryBackend, q Query) (Result, error) {
 	if !ok {
 		return Result{}, &ErrNotFound{URI: q.URI, ID: id}
 	}
-	res := Result{ID: id, Description: d, SameAs: b.MatchedWith(id)}
+	sameAs, err := b.MatchedWith(id)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{ID: id, Description: d, SameAs: sameAs}
 	if q.Cluster {
-		res.Cluster = clusterOf(b.Clusters(), id)
+		clusters, err := b.Clusters()
+		if err != nil {
+			return Result{}, err
+		}
+		res.Cluster = clusterOf(clusters, id)
 	}
 	return res, nil
 }
@@ -274,11 +302,12 @@ func (a *singleAdapter) Delete(ctx context.Context, id ID) error { return a.sr.D
 func (a *singleAdapter) Query(ctx context.Context, q Query) (Result, error) {
 	return runQuery(a.sr, q)
 }
-func (a *singleAdapter) Stats() StreamingStats           { return a.sr.Stats() }
+func (a *singleAdapter) Stats() (StreamingStats, error)  { return a.sr.Stats() }
 func (a *singleAdapter) Flush(ctx context.Context) error { return a.sr.Flush(ctx) }
 func (a *singleAdapter) Close() error                    { return a.sr.Close() }
 func (a *singleAdapter) Recovery() []StreamingRecovery   { return []StreamingRecovery{a.sr.Recovery()} }
 func (a *singleAdapter) Abandon()                        { a.sr.Abandon() }
+func (a *singleAdapter) Perf() StreamingPerf             { return a.sr.Perf() }
 
 // shardedAdapter adapts the in-process sharded resolver.
 type shardedAdapter struct{ sh *ShardedResolver }
@@ -293,11 +322,12 @@ func (a *shardedAdapter) Delete(ctx context.Context, id ID) error { return a.sh.
 func (a *shardedAdapter) Query(ctx context.Context, q Query) (Result, error) {
 	return runQuery(a.sh, q)
 }
-func (a *shardedAdapter) Stats() StreamingStats           { return a.sh.Stats() }
+func (a *shardedAdapter) Stats() (StreamingStats, error)  { return a.sh.Stats() }
 func (a *shardedAdapter) Flush(ctx context.Context) error { return a.sh.Flush(ctx) }
 func (a *shardedAdapter) Close() error                    { return a.sh.Close() }
 func (a *shardedAdapter) Recovery() []StreamingRecovery   { return a.sh.Recovery() }
 func (a *shardedAdapter) Abandon()                        { a.sh.Abandon() }
+func (a *shardedAdapter) Perf() StreamingPerf             { return a.sh.Perf() }
 
 // networkedResolver adapts the transport coordinator; it additionally
 // implements ShardRejoiner.
@@ -313,7 +343,7 @@ func (a *networkedResolver) Delete(ctx context.Context, id ID) error { return a.
 func (a *networkedResolver) Query(ctx context.Context, q Query) (Result, error) {
 	return runQuery(a.co, q)
 }
-func (a *networkedResolver) Stats() StreamingStats           { return a.co.Stats() }
+func (a *networkedResolver) Stats() (StreamingStats, error)  { return a.co.Stats() }
 func (a *networkedResolver) Flush(ctx context.Context) error { return a.co.Flush(ctx) }
 func (a *networkedResolver) Close() error                    { return a.co.Close() }
 func (a *networkedResolver) RejoinShard(ctx context.Context, shard int) error {
@@ -329,6 +359,8 @@ var (
 	_ ShardRejoiner   = (*networkedResolver)(nil)
 	_ DurableReporter = (*singleAdapter)(nil)
 	_ DurableReporter = (*shardedAdapter)(nil)
+	_ PerfReporter    = (*singleAdapter)(nil)
+	_ PerfReporter    = (*shardedAdapter)(nil)
 	_ queryBackend    = (*incremental.Resolver)(nil)
 	_ queryBackend    = (*sharded.Resolver)(nil)
 	_ queryBackend    = (*transport.Coordinator)(nil)

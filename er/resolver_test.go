@@ -182,9 +182,9 @@ func TestOpenConformance(t *testing.T) {
 	}
 
 	// Stats agree bit-exactly.
-	base := forms["single"].Stats()
+	base := mustStats(t, forms["single"])
 	for name, r := range forms {
-		if st := r.Stats(); st != base {
+		if st := mustStats(t, r); st != base {
 			t.Fatalf("%s stats %+v diverge from single %+v", name, st, base)
 		}
 	}

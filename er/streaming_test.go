@@ -58,12 +58,12 @@ func TestFacadeStreamingResolver(t *testing.T) {
 	if !ok {
 		t.Fatal("u:c not live")
 	}
-	if m := r.Matches(); m.Len() != 1 || !m.Contains(a, c) {
+	if m := mustMatches(t, r); m.Len() != 1 || !m.Contains(a, c) {
 		t.Fatalf("matches = %v, want {%d,%d}", m.Pairs(), a, c)
 	}
 
 	// Differential check through the public snapshot + batch pipeline.
-	snap, matches := r.Snapshot()
+	snap, matches := mustSnapshot(t, r)
 	batch := &er.Pipeline{
 		Blocker: &er.TokenBlocking{},
 		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5},
@@ -81,7 +81,7 @@ func TestFacadeStreamingResolver(t *testing.T) {
 		}
 		return true
 	})
-	if st := r.Stats(); st.Live != 2 || st.Clusters != 1 {
+	if st := mustStats(t, r); st.Live != 2 || st.Clusters != 1 {
 		t.Fatalf("stats = %s", st)
 	}
 }
@@ -145,7 +145,7 @@ func TestFacadeStreamingMetaBlocking(t *testing.T) {
 	if err := r.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	st := r.Stats()
+	st := mustStats(t, r)
 	if st.Comparisons != want.Comparisons {
 		t.Fatalf("streaming comparisons = %d, batch = %d", st.Comparisons, want.Comparisons)
 	}
@@ -155,7 +155,7 @@ func TestFacadeStreamingMetaBlocking(t *testing.T) {
 	if st.KeptPairs <= 0 || st.CandidatePairs < st.KeptPairs {
 		t.Fatalf("pruning counters kept=%d candidates=%d", st.KeptPairs, st.CandidatePairs)
 	}
-	if got := r.RestructuredBlocks(); got.Len() != want.Blocks.Len() {
+	if got := mustRestructuredBlocks(t, r); got.Len() != want.Blocks.Len() {
 		t.Fatalf("restructured blocks = %d, batch = %d", got.Len(), want.Blocks.Len())
 	}
 	// The incremental statistics core is exported too: batch-accumulated
@@ -236,10 +236,10 @@ func TestFacadePersistentResolver(t *testing.T) {
 	if rec.ReplayedRecords != 0 {
 		t.Fatalf("replayed %d records, want 0 (snapshot covers all 6 ops)", rec.ReplayedRecords)
 	}
-	if g, w := got.Stats(), mem.Stats(); g != w {
+	if g, w := mustStats(t, got), mustStats(t, mem); g != w {
 		t.Fatalf("recovered stats %+v, want %+v", g, w)
 	}
-	if g, w := got.Matches().Len(), mem.Matches().Len(); g != w {
+	if g, w := mustMatches(t, got).Len(), mustMatches(t, mem).Len(); g != w {
 		t.Fatalf("recovered %d matches, want %d", g, w)
 	}
 	// The recovered resolver keeps accepting the stream.
@@ -250,7 +250,7 @@ func TestFacadePersistentResolver(t *testing.T) {
 	if err := mem.Apply(ctx, more); err != nil {
 		t.Fatal(err)
 	}
-	if g, w := got.Stats(), mem.Stats(); g != w {
+	if g, w := mustStats(t, got), mustStats(t, mem); g != w {
 		t.Fatalf("post-recovery stats %+v, want %+v", g, w)
 	}
 }
@@ -286,12 +286,12 @@ func TestFacadeShardedResolver(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ss, hs := single.Stats(), sh.Stats()
+	ss, hs := mustStats(t, single), mustStats(t, sh)
 	if ss != hs {
 		t.Fatalf("sharded stats %+v diverge from single-node %+v", hs, ss)
 	}
-	single.Matches().Each(func(p er.Pair) bool {
-		if !sh.Matches().Contains(p.A, p.B) {
+	mustMatches(t, single).Each(func(p er.Pair) bool {
+		if !mustMatches(t, sh).Contains(p.A, p.B) {
 			t.Fatalf("sharded state misses match %v", p)
 		}
 		return true
@@ -322,7 +322,7 @@ func TestFacadeShardedResolver(t *testing.T) {
 	if !rec.Recovered {
 		t.Fatal("rejoined shard found no state")
 	}
-	if st := pr.Stats(); st != ss {
+	if st := mustStats(t, pr); st != ss {
 		t.Fatalf("durable sharded stats %+v diverge from single-node %+v after rejoin", st, ss)
 	}
 

@@ -68,7 +68,10 @@ func main() {
 	if err := r.Update(ctx, res.ID, attrs("name", "A. M. Turing", "field", "cryptanalysis")); err != nil {
 		log.Fatal(err)
 	}
-	st := r.Stats()
+	st, err := r.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("after the update: %d live descriptions, %d matched pairs, %d clusters\n",
 		st.Live, st.Matches, st.Clusters)
 }

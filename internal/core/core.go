@@ -280,12 +280,24 @@ func (p *Pipeline) ReplayStreaming(ctx context.Context, res *Result, c *entity.C
 		if err := r.Flush(ctx); err != nil {
 			return err
 		}
-		res.Blocks = r.RestructuredBlocks()
+		blocks, err := r.RestructuredBlocks()
+		if err != nil {
+			return err
+		}
+		res.Blocks = blocks
 	} else {
 		res.Blocks = r.Blocks()
 	}
-	res.Matches = r.Matches()
-	res.Comparisons = r.Stats().Comparisons
+	matches, err := r.Matches()
+	if err != nil {
+		return err
+	}
+	res.Matches = matches
+	st, err := r.Stats()
+	if err != nil {
+		return err
+	}
+	res.Comparisons = st.Comparisons
 	return r.Close()
 }
 
@@ -306,12 +318,24 @@ func (p *Pipeline) replayStreamingSharded(ctx context.Context, res *Result, c *e
 		if err := r.Flush(ctx); err != nil {
 			return err
 		}
-		res.Blocks = r.RestructuredBlocks()
+		blocks, err := r.RestructuredBlocks()
+		if err != nil {
+			return err
+		}
+		res.Blocks = blocks
 	} else {
 		res.Blocks = r.Blocks()
 	}
-	res.Matches = r.Matches()
-	res.Comparisons = r.Stats().Comparisons
+	matches, err := r.Matches()
+	if err != nil {
+		return err
+	}
+	res.Matches = matches
+	st, err := r.Stats()
+	if err != nil {
+		return err
+	}
+	res.Comparisons = st.Comparisons
 	return r.Close()
 }
 

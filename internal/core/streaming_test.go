@@ -283,7 +283,10 @@ func TestPipelineStreamingPersistence(t *testing.T) {
 	if !r.Recovery().Recovered {
 		t.Fatal("StreamDir left no recoverable state")
 	}
-	st := r.Stats()
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Live != c.Len() || st.Matches != want.Matches.Len() || st.Comparisons != want.Comparisons {
 		t.Fatalf("recovered state %+v diverges from the pipeline result (%d matches, %d comparisons)",
 			st, want.Matches.Len(), want.Comparisons)
@@ -382,7 +385,11 @@ func TestPipelineStreamShardsDurable(t *testing.T) {
 	if !r.Recovered() {
 		t.Fatal("StreamDir left no recoverable sharded state")
 	}
-	if st := r.Stats(); st.Live != c.Len() || st.Matches != want.Matches.Len() || st.Comparisons != want.Comparisons {
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != c.Len() || st.Matches != want.Matches.Len() || st.Comparisons != want.Comparisons {
 		t.Fatalf("recovered sharded state %+v diverges from the pipeline result (%d matches, %d comparisons)",
 			st, want.Matches.Len(), want.Comparisons)
 	}

@@ -47,7 +47,7 @@ func replayOnce(b *testing.B, descs []*entity.Description, meta *metablocking.Me
 			b.Fatal(err)
 		}
 	}
-	return r.Stats()
+	return mustStats(b, r)
 }
 
 // BenchmarkStreamingMetaBlocking measures the streaming resolver with and

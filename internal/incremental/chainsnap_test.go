@@ -1,0 +1,220 @@
+package incremental_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/incremental"
+	"entityres/internal/matching"
+	"entityres/internal/metablocking"
+)
+
+// Chained delta snapshots under crash chaos: a checkpoint usually writes
+// only the state dirtied since the previous one (a delta link naming its
+// parent), with periodic full rebases bounding the chain. Recovery anchors
+// on the newest snapshot and replays its whole chain, so a hard stop — at
+// a chain link, between links, right before or after a rebase, with a torn
+// WAL tail — must restore exactly the state an uninterrupted run built.
+// These tests drive the same randomized scripts as the crash-recovery
+// suite across RebaseEvery variants, sweep every op boundary of a compact
+// chain scenario, and pin the retention/pruning contract of the chain.
+
+// TestChainedSnapshotCrashChaos is the chain-shape acceptance matrix:
+// every chain bound (rebase after one link, after two, the default four,
+// and deltas disabled) survives a random crash + torn tail, with and
+// without live meta-blocking.
+func TestChainedSnapshotCrashChaos(t *testing.T) {
+	configs := []crashConfig{
+		{kind: entity.Dirty, blocker: &blocking.TokenBlocking{}, workers: 4,
+			seed: 41, ops: 160, snapEvery: 10, rebase: 1, mix: opMixes[1]},
+		{kind: entity.Dirty, blocker: &blocking.TokenBlocking{}, workers: 4,
+			seed: 42, ops: 160, snapEvery: 10, rebase: 2, mix: opMixes[2],
+			meta: &metablocking.MetaBlocker{Weight: metablocking.JS, Prune: metablocking.WEP}},
+		{kind: entity.CleanClean, blocker: &blocking.TokenBlocking{}, workers: 2,
+			seed: 43, ops: 140, snapEvery: 8, rebase: 2, mix: opMixes[1]},
+		{kind: entity.Dirty, blocker: &blocking.TokenBlocking{}, workers: 4,
+			seed: 44, ops: 140, snapEvery: 12, rebase: -1, mix: opMixes[1],
+			meta: &metablocking.MetaBlocker{Weight: metablocking.CBS, Prune: metablocking.WNP}},
+	}
+	for _, cc := range configs {
+		cc := cc
+		t.Run(cc.String(), func(t *testing.T) {
+			if testing.Short() && cc.seed > 42 {
+				t.Skip("short mode runs the first two chain scenarios only")
+			}
+			t.Parallel()
+			runCrashRecovery(t, cc)
+		})
+	}
+}
+
+// TestChainedSnapshotBoundarySweep crashes at EVERY op boundary of a
+// compact delta-chain scenario — snapshot cadence 5, rebase after two
+// links — so every chain position (mid-link tail, exactly at a link,
+// right before and after a rebase) recovers bit-exactly, with the WAL tail
+// torn each time.
+func TestChainedSnapshotBoundarySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boundary sweep is long")
+	}
+	const ops, snapEvery, rebase = 40, 5, 2
+	matcher := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	script := generateScript(t, entity.Dirty, 88, ops, opMixes[1])
+	cfg := incremental.Config{
+		Kind: entity.Dirty, Blocker: &blocking.TokenBlocking{}, Matcher: matcher, Workers: 1,
+		Durable: incremental.DurableOptions{SnapshotEvery: snapEvery, RebaseEvery: rebase,
+			SegmentBytes: 1024, NoSync: true},
+	}
+	memCfg := cfg
+	memCfg.Durable = incremental.DurableOptions{}
+	ctx := context.Background()
+
+	ref, err := incremental.New(memCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= ops; k++ {
+		dir := t.TempDir()
+		crashed, err := incremental.OpenResolver(dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			if err := crashed.Apply(ctx, script[i]); err != nil {
+				t.Fatalf("boundary %d, op %d: %v", k, i, err)
+			}
+		}
+		crashed.Abandon()
+		tearTail(t, dir)
+		r, err := incremental.OpenResolver(dir, cfg)
+		if err != nil {
+			t.Fatalf("boundary %d: recovery: %v", k, err)
+		}
+		if err := ref.Apply(ctx, script[k-1]); err != nil {
+			t.Fatalf("reference op %d: %v", k-1, err)
+		}
+		if want := k % snapEvery; r.Recovery().ReplayedRecords != want {
+			t.Fatalf("boundary %d: replayed %d records, want %d — the chain restore must cover everything before the tip", k, r.Recovery().ReplayedRecords, want)
+		}
+		assertSameResolverState(t, r, ref)
+		r.Close()
+	}
+}
+
+// applyChainScript replays n scripted ops through a fresh durable resolver
+// in dir and hard-stops it, returning its cumulative perf counters.
+func applyChainScript(t *testing.T, dir string, cfg incremental.Config, script []incremental.Op) incremental.PerfCounters {
+	t.Helper()
+	r, err := incremental.OpenResolver(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i, op := range script {
+		if err := r.Apply(ctx, op); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	perf := r.Perf()
+	r.Abandon()
+	return perf
+}
+
+// TestDeltaChainRetentionAndRebase pins the chain's disk contract: delta
+// checkpoints happen and serialize less than full ones, the retained
+// snapshot files never exceed the chain bound (full anchor + RebaseEvery
+// links), rebases prune everything below the new anchor, and the retained
+// chain recovers the same state a full-only configuration does.
+func TestDeltaChainRetentionAndRebase(t *testing.T) {
+	const ops, snapEvery, rebase = 60, 5, 3
+	matcher := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	script := generateScript(t, entity.Dirty, 99, ops, opMixes[1])
+	cfg := incremental.Config{
+		Kind: entity.Dirty, Blocker: &blocking.TokenBlocking{}, Matcher: matcher, Workers: 1,
+		Durable: incremental.DurableOptions{SnapshotEvery: snapEvery, RebaseEvery: rebase, NoSync: true},
+	}
+	fullCfg := cfg
+	fullCfg.Durable.RebaseEvery = -1
+
+	chainDir, fullDir := t.TempDir(), t.TempDir()
+	perf := applyChainScript(t, chainDir, cfg, script)
+	fullPerf := applyChainScript(t, fullDir, fullCfg, script)
+
+	// 60 ops at cadence 5 = 12 checkpoints plus the one at open; at most
+	// every fourth is a rebase, so both kinds happened repeatedly.
+	if perf.DeltaSnapshots < 4 || perf.FullSnapshots < 2 {
+		t.Fatalf("chain run checkpointed %d deltas / %d fulls, want several of each", perf.DeltaSnapshots, perf.FullSnapshots)
+	}
+	if fullPerf.DeltaSnapshots != 0 {
+		t.Fatalf("RebaseEvery<0 still wrote %d delta snapshots", fullPerf.DeltaSnapshots)
+	}
+	// The delta-proportional compaction claim: the same op stream
+	// serialized strictly fewer collection slots with chaining than the
+	// full-only configuration — deltas carry only the dirtied slots.
+	if perf.SnapshotSlots >= fullPerf.SnapshotSlots {
+		t.Fatalf("chained run serialized %d slots, full-only %d — deltas saved nothing", perf.SnapshotSlots, fullPerf.SnapshotSlots)
+	}
+
+	// Retention: the files on disk are one full anchor plus at most
+	// RebaseEvery delta links, contiguous up to the tip.
+	snaps, err := filepath.Glob(filepath.Join(chainDir, "snapshot-*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 || len(snaps) > rebase+1 {
+		t.Fatalf("chain retained %d snapshot files, want 1..%d: %v", len(snaps), rebase+1, snaps)
+	}
+	fullSnaps, err := filepath.Glob(filepath.Join(fullDir, "snapshot-*.snap"))
+	if err != nil || len(fullSnaps) != 1 {
+		t.Fatalf("full-only run retained %v (%v), want exactly one snapshot", fullSnaps, err)
+	}
+
+	// Both directories recover to the same state.
+	chained, err := incremental.OpenResolver(chainDir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chained.Close()
+	fullOnly, err := incremental.OpenResolver(fullDir, fullCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fullOnly.Close()
+	assertSameResolverState(t, chained, fullOnly)
+}
+
+// TestChainMissingLinkFailsLoudly: recovery walks the tip's parent chain;
+// a missing link is a loud open error, never a silent partial restore.
+func TestChainMissingLinkFailsLoudly(t *testing.T) {
+	const ops, snapEvery = 30, 5
+	matcher := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	script := generateScript(t, entity.Dirty, 66, ops, opMixes[1])
+	cfg := incremental.Config{
+		Kind: entity.Dirty, Blocker: &blocking.TokenBlocking{}, Matcher: matcher, Workers: 1,
+		Durable: incremental.DurableOptions{SnapshotEvery: snapEvery, RebaseEvery: 16, NoSync: true},
+	}
+	dir := t.TempDir()
+	applyChainScript(t, dir, cfg, script)
+	snaps, err := filepath.Glob(filepath.Join(dir, "snapshot-*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("scenario built only %d snapshot files, need a chain of 3+: %v", len(snaps), snaps)
+	}
+	// Remove a middle link (globs sort lexically = numerically here).
+	missing := snaps[len(snaps)/2]
+	if err := os.Remove(missing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := incremental.OpenResolver(dir, cfg); err == nil {
+		t.Fatalf("recovery silently succeeded with chain link %s missing", filepath.Base(missing))
+	} else if got := fmt.Sprint(err); got == "" {
+		t.Fatal("empty error for a broken chain")
+	}
+}

@@ -40,12 +40,16 @@ type crashConfig struct {
 	seed      int64
 	ops       int
 	snapEvery int
+	rebase    int // DurableOptions.RebaseEvery (0 default chain, <0 full-only)
 	mix       opMix
 	sync      bool // fsync per append (slow; one scenario keeps it on)
 }
 
 func (cc crashConfig) String() string {
 	s := fmt.Sprintf("%s/%s/w%d/%s/seed%d/snap%d", cc.kind, cc.blocker.Name(), cc.workers, cc.mix.name, cc.seed, cc.snapEvery)
+	if cc.rebase != 0 {
+		s += fmt.Sprintf("/rebase%d", cc.rebase)
+	}
 	if cc.meta != nil {
 		s += "/" + cc.meta.Name()
 	}
@@ -159,7 +163,7 @@ func runCrashRecovery(t *testing.T, cc crashConfig) {
 				t.Fatalf("op %d (%s %s): %v", i, script[i].Kind, script[i].URI, err)
 			}
 			if readAt[i+1] {
-				r.Matches()
+				mustMatches(t, r)
 			}
 		}
 	}
@@ -168,6 +172,7 @@ func runCrashRecovery(t *testing.T, cc crashConfig) {
 		Workers: cc.workers, Meta: cc.meta,
 		Durable: incremental.DurableOptions{
 			SnapshotEvery: cc.snapEvery,
+			RebaseEvery:   cc.rebase,
 			SegmentBytes:  4096, // small segments so scenarios exercise rotation
 			NoSync:        !cc.sync,
 		},
@@ -229,7 +234,7 @@ func runCrashRecovery(t *testing.T, cc crashConfig) {
 	applyRange(refFull, 0, cc.ops)
 	assertSameResolverState(t, r, refFull)
 	if cc.meta != nil {
-		if g, w := renderBlocks(r.RestructuredBlocks()), renderBlocks(refFull.RestructuredBlocks()); g != w {
+		if g, w := renderBlocks(mustRestructuredBlocks(t, r)), renderBlocks(mustRestructuredBlocks(t, refFull)); g != w {
 			t.Fatalf("restructured blocks diverge after recovery:\ngot  %s\nwant %s", g, w)
 		}
 	}

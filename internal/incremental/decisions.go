@@ -47,9 +47,13 @@ func (c *DecisionCache) Set(a, b entity.ID, sim bool) {
 
 // Invalidate drops every cached decision involving id — its content is
 // about to change or disappear. Cost is proportional to id's cached
-// degree.
-func (c *DecisionCache) Invalidate(id entity.ID) {
+// degree. It returns the partners whose decisions were dropped (in
+// unspecified order), so a change tracker can record exactly the pairs
+// that left the cache.
+func (c *DecisionCache) Invalidate(id entity.ID) []entity.ID {
+	partners := make([]entity.ID, 0, len(c.m[id]))
 	for other := range c.m[id] {
+		partners = append(partners, other)
 		m := c.m[other]
 		delete(m, id)
 		if len(m) == 0 {
@@ -57,6 +61,19 @@ func (c *DecisionCache) Invalidate(id entity.ID) {
 		}
 	}
 	delete(c.m, id)
+	return partners
+}
+
+// Delete drops the single cached decision for {a, b}, if present — the
+// delta-snapshot restore path's removal primitive.
+func (c *DecisionCache) Delete(a, b entity.ID) {
+	for _, d := range [2][2]entity.ID{{a, b}, {b, a}} {
+		m := c.m[d[0]]
+		delete(m, d[1])
+		if len(m) == 0 {
+			delete(c.m, d[0])
+		}
+	}
 }
 
 // Each enumerates the cached decisions as canonical (a < b) pairs, in
@@ -89,42 +106,15 @@ type Decision struct {
 // context cancellation nothing is cached and dyn is untouched, so the
 // deferred work simply stays pending and a retry restores consistency.
 func ReconcileKept(ctx context.Context, coll *entity.Collection, m *matching.Matcher, workers int, cache *DecisionCache, dyn *graph.Dynamic, kept []graph.Edge) (int64, []Decision, error) {
-	var comparisons int64
 	var fresh []entity.Pair
 	for _, e := range kept {
 		if _, ok := cache.Get(e.A, e.B); !ok {
 			fresh = append(fresh, entity.NewPair(e.A, e.B))
 		}
 	}
-	var decided []Decision
-	if len(fresh) > 0 {
-		frontier := blocking.NewBlocks(entity.CleanClean)
-		for _, p := range fresh {
-			frontier.Add(&blocking.Block{
-				Key: fmt.Sprintf("meta:%d-%d", p.A, p.B),
-				S0:  []entity.ID{p.A},
-				S1:  []entity.ID{p.B},
-			})
-		}
-		// Small frontiers skip the worker pool, mirroring index().
-		if frontier.TotalComparisons() < sequentialDeltaMax {
-			workers = 1
-		}
-		out, err := matching.ResolveBlocksParallel(ctx, coll, frontier, m, workers)
-		if err != nil {
-			// Cancelled mid-frontier: drop the partial result so the match
-			// state stays exactly what it was before the call, and leave
-			// the work pending. Partial comparisons are not counted —
-			// comparison counters sum completed reconciles only, keeping
-			// them equal to a batch run's count on replayed collections.
-			return 0, nil, err
-		}
-		comparisons = out.Comparisons
-		for _, p := range fresh {
-			sim := out.Matches.Contains(p.A, p.B)
-			cache.Set(p.A, p.B, sim)
-			decided = append(decided, Decision{A: p.A, B: p.B, Match: sim})
-		}
+	comparisons, decided, err := evaluateFresh(ctx, coll, m, workers, cache, fresh)
+	if err != nil {
+		return 0, nil, err
 	}
 
 	// Make the match graph equal {kept ∧ similar}: retire edges whose pair
@@ -148,4 +138,42 @@ func ReconcileKept(ctx context.Context, coll *entity.Collection, m *matching.Mat
 		dyn.AddEdge(p.A, p.B, 1)
 	}
 	return comparisons, decided, nil
+}
+
+// evaluateFresh runs the cache-missing pairs through the matcher pool and
+// folds the decisions into the cache, in input order. It is the evaluation
+// core shared by ReconcileKept (the coordinator's full-set reconcile) and
+// the single-node resolver's delta reconcile (meta.go), so the two paths
+// cannot drift in matcher semantics or comparison accounting. On error
+// (context cancellation mid-frontier) nothing is cached and nothing
+// counted — the match state stays exactly what it was before the call, the
+// work stays pending, and comparison counters sum completed reconciles
+// only, keeping them equal to a batch run's count on replayed collections.
+func evaluateFresh(ctx context.Context, coll *entity.Collection, m *matching.Matcher, workers int, cache *DecisionCache, fresh []entity.Pair) (int64, []Decision, error) {
+	if len(fresh) == 0 {
+		return 0, nil, nil
+	}
+	frontier := blocking.NewBlocks(entity.CleanClean)
+	for _, p := range fresh {
+		frontier.Add(&blocking.Block{
+			Key: fmt.Sprintf("meta:%d-%d", p.A, p.B),
+			S0:  []entity.ID{p.A},
+			S1:  []entity.ID{p.B},
+		})
+	}
+	// Small frontiers skip the worker pool, mirroring index().
+	if frontier.TotalComparisons() < sequentialDeltaMax {
+		workers = 1
+	}
+	out, err := matching.ResolveBlocksParallel(ctx, coll, frontier, m, workers)
+	if err != nil {
+		return 0, nil, err
+	}
+	decided := make([]Decision, 0, len(fresh))
+	for _, p := range fresh {
+		sim := out.Matches.Contains(p.A, p.B)
+		cache.Set(p.A, p.B, sim)
+		decided = append(decided, Decision{A: p.A, B: p.B, Match: sim})
+	}
+	return out.Comparisons, decided, nil
 }

@@ -113,7 +113,7 @@ func renderState(m *entity.Matches) string {
 // the snapshot, and compares rendered matches and clusters byte for byte.
 func checkDifferential(t *testing.T, r *incremental.Resolver, dc diffConfig, m *matching.Matcher, step int) {
 	t.Helper()
-	snap, matches := r.Snapshot()
+	snap, matches := mustSnapshot(t, r)
 	batch := &core.Pipeline{Blocker: dc.blocker, Meta: dc.meta, Matcher: m, Mode: core.Batch}
 	res, err := batch.Run(snap)
 	if err != nil {
@@ -205,7 +205,7 @@ func runDifferential(t *testing.T, dc diffConfig) {
 		}
 	}
 
-	st := r.Stats()
+	st := mustStats(t, r)
 	if st.Inserts+st.Updates+st.Deletes != int64(dc.ops) {
 		t.Fatalf("applied %d ops, stats say %s", dc.ops, st)
 	}

@@ -1,0 +1,67 @@
+package incremental_test
+
+import (
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/incremental"
+)
+
+// External-package mirror of helpers_test.go: the error-returning read
+// API makes every reconciling read two-valued; these helpers keep test
+// bodies on the happy path and fail loudly on the rest.
+
+func mustStats(t testing.TB, r *incremental.Resolver) incremental.Stats {
+	t.Helper()
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	return st
+}
+
+func mustMatches(t testing.TB, r *incremental.Resolver) *entity.Matches {
+	t.Helper()
+	m, err := r.Matches()
+	if err != nil {
+		t.Fatalf("Matches: %v", err)
+	}
+	return m
+}
+
+func mustClusters(t testing.TB, r *incremental.Resolver) [][]entity.ID {
+	t.Helper()
+	cl, err := r.Clusters()
+	if err != nil {
+		t.Fatalf("Clusters: %v", err)
+	}
+	return cl
+}
+
+func mustSnapshot(t testing.TB, r *incremental.Resolver) (*entity.Collection, *entity.Matches) {
+	t.Helper()
+	coll, m, err := r.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return coll, m
+}
+
+func mustMatchedWith(t testing.TB, r *incremental.Resolver, id entity.ID) []entity.ID {
+	t.Helper()
+	ids, err := r.MatchedWith(id)
+	if err != nil {
+		t.Fatalf("MatchedWith(%d): %v", id, err)
+	}
+	return ids
+}
+
+func mustRestructuredBlocks(t testing.TB, r *incremental.Resolver) *blocking.Blocks {
+	t.Helper()
+	bl, err := r.RestructuredBlocks()
+	if err != nil {
+		t.Fatalf("RestructuredBlocks: %v", err)
+	}
+	return bl
+}

@@ -24,6 +24,7 @@ package incremental
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -69,10 +70,14 @@ type Journal interface {
 	// Rollback retracts the most recently recorded record after its apply
 	// failed, so the journal holds exactly the acknowledged operations.
 	Rollback() error
-	// Checkpoint durably persists an encoded snapshot of the resolver's
-	// full state and truncates the journal so recovery replays only records
-	// appended after this call.
-	Checkpoint(snapshot []byte) error
+	// Checkpoint durably persists an encoded snapshot (full, or a delta
+	// chain link) and truncates the journal so recovery replays only
+	// records appended after this call. It returns the sequence number the
+	// snapshot file is named after — the parent a subsequent delta names.
+	// keepFrom is the oldest snapshot still needed (the chain's full
+	// anchor); 0 means the new snapshot is self-contained and supersedes
+	// everything before itself.
+	Checkpoint(snapshot []byte, keepFrom uint64) (uint64, error)
 	// Close releases the journal. Already-journaled records stay durable.
 	Close() error
 }
@@ -81,10 +86,10 @@ type Journal interface {
 // nothing is replayed — the pre-durability behavior, at zero cost.
 type nopJournal struct{}
 
-func (nopJournal) Record(Record) error     { return nil }
-func (nopJournal) Rollback() error         { return nil }
-func (nopJournal) Checkpoint([]byte) error { return nil }
-func (nopJournal) Close() error            { return nil }
+func (nopJournal) Record(Record) error                       { return nil }
+func (nopJournal) Rollback() error                           { return nil }
+func (nopJournal) Checkpoint([]byte, uint64) (uint64, error) { return 0, nil }
+func (nopJournal) Close() error                              { return nil }
 
 // DurableOptions tunes the WAL-backed journal behind OpenResolver. New
 // ignores it.
@@ -102,6 +107,12 @@ type DurableOptions struct {
 	// acknowledged since the last sync. For tests, benchmarks and workloads
 	// that can afford to replay.
 	NoSync bool
+	// RebaseEvery bounds the delta-snapshot chain: after this many delta
+	// links a checkpoint rebases — writes a full snapshot — so recovery's
+	// chain walk and the disk the retained links occupy stay bounded
+	// (default DefaultRebaseEvery; negative disables delta snapshots
+	// entirely, making every checkpoint full).
+	RebaseEvery int
 	// GroupCommit batches the fsyncs of concurrent journal appenders into
 	// group syncs (wal.Options.GroupCommit): every operation is still
 	// durable before it is acknowledged, but one fsync can cover many.
@@ -229,25 +240,30 @@ func (j *walJournal) Rollback() error {
 	return nil
 }
 
-func (j *walJournal) Checkpoint(snapshot []byte) error {
+func (j *walJournal) Checkpoint(snapshot []byte, keepFrom uint64) (uint64, error) {
 	seq, err := j.log.Rotate()
 	if err != nil {
-		return fmt.Errorf("incremental: checkpoint rotate: %w", err)
+		return 0, fmt.Errorf("incremental: checkpoint rotate: %w", err)
 	}
 	j.haveLast = false
 	if err := wal.WriteFileAtomic(filepath.Join(j.dir, snapshotFile(seq)), snapshot); err != nil {
-		return fmt.Errorf("incremental: writing snapshot: %w", err)
+		return 0, fmt.Errorf("incremental: writing snapshot: %w", err)
 	}
-	// The snapshot is durable: everything before it is dead weight. A crash
-	// between these steps only leaves garbage that the next checkpoint
-	// removes; recovery always anchors on the newest snapshot.
+	// The snapshot is durable: every record before it is dead weight (a
+	// delta link's history lives in the retained chain snapshots, not in
+	// segments). A crash between these steps only leaves garbage that the
+	// next checkpoint removes; recovery always anchors on the newest
+	// snapshot and walks its chain, every link of which is kept below.
 	if err := j.log.RemoveSegmentsBefore(seq); err != nil {
-		return fmt.Errorf("incremental: pruning segments: %w", err)
+		return 0, fmt.Errorf("incremental: pruning segments: %w", err)
 	}
-	if err := removeSnapshotsBefore(j.dir, seq); err != nil {
-		return err
+	if keepFrom == 0 || keepFrom > seq {
+		keepFrom = seq
 	}
-	return nil
+	if err := removeSnapshotsBefore(j.dir, keepFrom); err != nil {
+		return 0, err
+	}
+	return seq, nil
 }
 
 func (j *walJournal) Close() error { return j.log.Close() }
@@ -332,16 +348,35 @@ func OpenResolver(dir string, cfg Config) (*Resolver, error) {
 	}
 	var from uint64
 	if len(snaps) > 0 {
-		seq := snaps[len(snaps)-1]
-		payload, err := wal.ReadFileFramed(filepath.Join(dir, snapshotFile(seq)))
+		// Restore the newest snapshot's chain: its full anchor, then every
+		// delta link in order, with the membership observer detached until
+		// the chain has applied.
+		tip := snaps[len(snaps)-1]
+		full, fullSeq, deltas, err := loadSnapshotChain(dir, tip)
 		if err != nil {
-			return nil, fmt.Errorf("incremental: reading snapshot %d: %w", seq, err)
-		}
-		if err := r.restoreSnapshot(payload); err != nil {
 			return nil, err
 		}
-		from = seq
-		r.recovery.SnapshotSegment = seq
+		if err := r.restoreFull(full); err != nil {
+			return nil, err
+		}
+		for i := len(deltas) - 1; i >= 0; i-- {
+			if err := r.applyDeltaSnapshot(deltas[i]); err != nil {
+				return nil, err
+			}
+		}
+		r.finishRestore()
+		from = tip
+		r.recovery.SnapshotSegment = tip
+		r.snapParent = tip
+		r.chainAnchor = fullSeq
+		r.chainLen = len(deltas)
+	}
+	// The tracker rides every mutation from here on — the replayed tail is
+	// dirt relative to the restored chain tip, exactly what the next delta
+	// snapshot must carry.
+	r.snapTrack = newSnapTracker()
+	if r.weighted != nil {
+		r.snapTrack.wg = r.weighted.Track()
 	}
 	replayed, err := log.Replay(from, func(payload []byte) error {
 		rec, err := decodeRecord(payload)
@@ -428,6 +463,17 @@ func (r *Resolver) LastRecord() (Record, bool) {
 
 var errClosed = fmt.Errorf("incremental: resolver is closed")
 
+// ErrBroken marks a resolver whose journal has diverged from memory — a
+// reconcile could not be journaled, or a rollback after a failed apply
+// itself failed. Every further mutation AND every reconciling read fails
+// with an error wrapping it (errors.Is(err, ErrBroken)): the in-memory
+// state may still be readable, but serving it while the log cannot
+// reproduce it would hide the divergence until the next crash made it
+// permanent. The durable state on disk stays consistent — it holds exactly
+// the journaled prefix — so closing and reopening the directory recovers a
+// working resolver at the last acknowledged operation.
+var ErrBroken = errors.New("incremental: journal diverged from memory; resolver disabled")
+
 // maybeCompact advances the compaction cadence after a journaled operation.
 // Callers hold r.mu.
 func (r *Resolver) maybeCompact() error {
@@ -441,16 +487,69 @@ func (r *Resolver) maybeCompact() error {
 	return r.compactLocked()
 }
 
-// compactLocked snapshots the full resolver state through the journal's
-// checkpoint. Callers hold r.mu.
+// rebaseEvery resolves the configured delta-chain bound (see
+// DurableOptions.RebaseEvery): 0 means delta snapshots are disabled.
+func (r *Resolver) rebaseEvery() int {
+	switch {
+	case r.cfg.Durable.RebaseEvery == 0:
+		return DefaultRebaseEvery
+	case r.cfg.Durable.RebaseEvery < 0:
+		return 0
+	default:
+		return r.cfg.Durable.RebaseEvery
+	}
+}
+
+// compactLocked checkpoints the resolver through the journal: a delta
+// chain link when a parent snapshot exists, the tracker's dirt covers the
+// divergence from it and the chain is still under its rebase bound; a full
+// snapshot otherwise. Callers hold r.mu.
 func (r *Resolver) compactLocked() error {
-	payload, err := r.encodeSnapshot()
+	useDelta := r.snapTrack != nil && !r.snapTrack.full &&
+		r.snapParent != 0 && r.chainLen < r.rebaseEvery()
+	var (
+		payload      []byte
+		slots, pairs int
+		keepFrom     uint64
+		err          error
+	)
+	if useDelta {
+		payload, slots, pairs, err = r.encodeDeltaSnapshot()
+		keepFrom = r.chainAnchor
+	} else {
+		payload, slots, pairs, err = r.encodeSnapshot()
+	}
 	if err != nil {
 		return fmt.Errorf("incremental: encoding snapshot: %w", err)
 	}
-	if err := r.journal.Checkpoint(payload); err != nil {
+	seq, err := r.journal.Checkpoint(payload, keepFrom)
+	if err != nil {
+		// Encoding drained the tracker into the failed payload; its dirt no
+		// longer covers the divergence from the durable parent, so the next
+		// checkpoint must be full.
+		if r.snapTrack != nil {
+			r.snapTrack.full = true
+		}
 		return fmt.Errorf("incremental: compaction (the triggering operation is applied and durable): %w", err)
 	}
+	if seq != 0 {
+		r.snapParent = seq
+		if useDelta {
+			r.chainLen++
+		} else {
+			r.chainAnchor, r.chainLen = seq, 0
+		}
+	}
+	if r.snapTrack != nil {
+		r.snapTrack.full = false
+	}
+	if useDelta {
+		r.perf.DeltaSnapshots++
+	} else {
+		r.perf.FullSnapshots++
+	}
+	r.perf.SnapshotSlots += int64(slots)
+	r.perf.SnapshotPairs += int64(pairs)
 	r.sinceSnap = 0
 	return nil
 }
@@ -461,7 +560,7 @@ func (r *Resolver) compactLocked() error {
 // reach disk. Callers hold r.mu.
 func (r *Resolver) retractRecord() {
 	if err := r.journal.Rollback(); err != nil {
-		r.broken = fmt.Errorf("incremental: journal rollback failed, resolver disabled: %v", err)
+		r.broken = fmt.Errorf("%w: journal rollback failed: %v", ErrBroken, err)
 	}
 }
 
@@ -527,6 +626,7 @@ func (r *Resolver) replayRecord(rec Record) error {
 // replay-side image of an insert that was journaled, failed to apply, and
 // was retracted, but had already consumed the slot.
 func (r *Resolver) burnSlot() {
+	r.markSlot(r.coll.Len())
 	r.coll.MustAdd(&entity.Description{ID: -1})
 	r.live = append(r.live, false)
 }

@@ -110,10 +110,10 @@ func TestOpenResolverFreshThenReopen(t *testing.T) {
 // assertSameResolverState compares every observable of two resolvers.
 func assertSameResolverState(t *testing.T, got, want *incremental.Resolver) {
 	t.Helper()
-	if g, w := renderState(got.Matches()), renderState(want.Matches()); g != w {
+	if g, w := renderState(mustMatches(t, got)), renderState(mustMatches(t, want)); g != w {
 		t.Fatalf("match state diverges:\ngot  %s\nwant %s", g, w)
 	}
-	gs, ws := got.Stats(), want.Stats()
+	gs, ws := mustStats(t, got), mustStats(t, want)
 	if gs != ws {
 		t.Fatalf("stats diverge:\ngot  %+v\nwant %+v", gs, ws)
 	}
@@ -173,6 +173,11 @@ func TestCompactionBoundsReplayAndPrunesFiles(t *testing.T) {
 	dir := t.TempDir()
 	cfg := durableConfig()
 	cfg.Durable.SnapshotEvery = 10
+	// Delta chaining retains the whole snapshot chain back to its full
+	// anchor; this test pins the single-file pruning contract of the
+	// chain-disabled configuration (chain retention is covered by the
+	// chained-snapshot tests).
+	cfg.Durable.RebaseEvery = -1
 	r, err := incremental.OpenResolver(dir, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +207,7 @@ func TestCompactionBoundsReplayAndPrunesFiles(t *testing.T) {
 	if rec.SnapshotSegment == 0 {
 		t.Fatal("recovery found no snapshot")
 	}
-	if st := got.Stats(); st.Inserts != ops || st.Live != ops {
+	if st := mustStats(t, got); st.Inserts != ops || st.Live != ops {
 		t.Fatalf("recovered stats %+v", st)
 	}
 	// Compaction pruned: exactly one snapshot file, no segment older than it.
@@ -264,7 +269,7 @@ func TestCancelledInsertRollsBackJournalAndBurnsSlot(t *testing.T) {
 	if id != 2 {
 		t.Fatalf("post-rollback insert got handle %d, want 2 (slot 1 burned)", id)
 	}
-	wantStats := r.Stats()
+	wantStats := mustStats(t, r)
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -278,10 +283,10 @@ func TestCancelledInsertRollsBackJournalAndBurnsSlot(t *testing.T) {
 	if id, ok := got.Lookup("u:b"); !ok || id != 2 {
 		t.Fatalf("recovered Lookup(u:b) = %d,%v, want 2,true", id, ok)
 	}
-	if st := got.Stats(); st != wantStats {
+	if st := mustStats(t, got); st != wantStats {
 		t.Fatalf("recovered stats %+v, want %+v", st, wantStats)
 	}
-	if n := got.Matches().Len(); n != 1 {
+	if n := mustMatches(t, got).Len(); n != 1 {
 		t.Fatalf("recovered %d matches, want 1", n)
 	}
 }
@@ -314,7 +319,7 @@ func TestClosedResolverRejectsMutationKeepsReads(t *testing.T) {
 	if err := r.Compact(); err == nil {
 		t.Fatal("compact after Close succeeded")
 	}
-	if st := r.Stats(); st.Live != 1 {
+	if st := mustStats(t, r); st.Live != 1 {
 		t.Fatalf("reads broken after Close: %+v", st)
 	}
 }
@@ -357,7 +362,7 @@ func TestValidationFailuresAreNotJournaled(t *testing.T) {
 		t.Fatalf("recovery after rejected ops: %v", err)
 	}
 	defer got.Close()
-	if st := got.Stats(); st.Inserts != 1 || st.Live != 1 {
+	if st := mustStats(t, got); st.Inserts != 1 || st.Live != 1 {
 		t.Fatalf("recovered stats %+v, want exactly the one acknowledged insert", st)
 	}
 }
@@ -389,7 +394,7 @@ func TestRecoveryWithLiveMetaBlocking(t *testing.T) {
 	}
 	// Read mid-stream so both resolvers reconcile (and cache decisions) at
 	// the same point, then keep mutating.
-	if g, w := renderState(r.Matches()), renderState(mem.Matches()); g != w {
+	if g, w := renderState(mustMatches(t, r)), renderState(mustMatches(t, mem)); g != w {
 		t.Fatalf("pre-crash meta state diverges\ngot  %s\nwant %s", g, w)
 	}
 	if err := r.Delete(1); err != nil {
@@ -406,7 +411,7 @@ func TestRecoveryWithLiveMetaBlocking(t *testing.T) {
 	}
 	defer got.Close()
 	assertSameResolverState(t, got, mem)
-	if g, w := renderBlocks(got.RestructuredBlocks()), renderBlocks(mem.RestructuredBlocks()); g != w {
+	if g, w := renderBlocks(mustRestructuredBlocks(t, got)), renderBlocks(mustRestructuredBlocks(t, mem)); g != w {
 		t.Fatalf("restructured blocks diverge:\ngot  %s\nwant %s", g, w)
 	}
 }
@@ -581,8 +586,8 @@ func TestCancelledUpdateRollsBackCompletely(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	preStats := r.Stats()
-	preMatches := renderState(r.Matches())
+	preStats := mustStats(t, r)
+	preMatches := renderState(mustMatches(t, r))
 	preBlocks := renderBlocks(r.Blocks())
 
 	cancelled, cancel := context.WithCancel(ctx)
@@ -591,10 +596,10 @@ func TestCancelledUpdateRollsBackCompletely(t *testing.T) {
 		t.Fatal("cancelled update succeeded")
 	}
 	// In memory: exact pre-op state, including b's old attributes.
-	if st := r.Stats(); st != preStats {
+	if st := mustStats(t, r); st != preStats {
 		t.Fatalf("stats after rollback %+v, want %+v", st, preStats)
 	}
-	if got := renderState(r.Matches()); got != preMatches {
+	if got := renderState(mustMatches(t, r)); got != preMatches {
 		t.Fatalf("matches after rollback:\n%s\nwant:\n%s", got, preMatches)
 	}
 	if got := renderBlocks(r.Blocks()); got != preBlocks {
@@ -607,8 +612,8 @@ func TestCancelledUpdateRollsBackCompletely(t *testing.T) {
 	if _, err := r.Insert(ctx, desc("u:c", "bob jones")); err != nil {
 		t.Fatal(err)
 	}
-	wantStats := r.Stats()
-	wantMatches := renderState(r.Matches())
+	wantStats := mustStats(t, r)
+	wantMatches := renderState(mustMatches(t, r))
 	// Crash and recover: the journal never saw the failed update, and the
 	// replayed state matches memory bit for bit.
 	r.Abandon()
@@ -617,10 +622,10 @@ func TestCancelledUpdateRollsBackCompletely(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer got.Close()
-	if st := got.Stats(); st != wantStats {
+	if st := mustStats(t, got); st != wantStats {
 		t.Fatalf("recovered stats %+v, want %+v", st, wantStats)
 	}
-	if g := renderState(got.Matches()); g != wantMatches {
+	if g := renderState(mustMatches(t, got)); g != wantMatches {
 		t.Fatalf("recovered matches:\n%s\nwant:\n%s", g, wantMatches)
 	}
 }

@@ -4,10 +4,10 @@
 // delta into an incrementally maintained metablocking.WeightedGraph (wired
 // as a blocking.MembershipObserver of the block index) and defers all
 // matching. Reads — Matches, Clusters, Stats, Snapshot, Flush,
-// RestructuredBlocks — reconcile: materialize the current weights, prune
-// with the exact batch pruning code, evaluate the surviving pairs that have
-// no cached matcher decision through the worker pool, and diff the match
-// graph against {kept ∧ similar}.
+// RestructuredBlocks — reconcile: sync the delta pruner over the changes
+// since the last read, evaluate the re-fated pairs that have no cached
+// matcher decision, and patch the match graph so it equals {kept ∧
+// similar}.
 //
 // Deferral is what makes the batch contract exact. Edge weights (and WEP's
 // global mean, WNP's neighborhood means) shift with every arrival, so a
@@ -15,9 +15,18 @@
 // decision would compare pairs a batch run over the final collection never
 // compares. Deferred, a static replay followed by one read evaluates
 // exactly the finally-kept pairs — matches AND comparison counts equal the
-// batch pipeline bit for bit. Between reads the maintained weighted graph
-// is the live frontier; each reconcile only pays for pairs whose decisions
-// are not already cached, so a serving workload's reads stay incremental.
+// batch pipeline bit for bit.
+//
+// The reconcile is delta-proportional. A metablocking.DeltaPruner rides
+// the weighted graph's change feed and re-derives fates for only the edges
+// the changes could have flipped (see metablocking/delta.go for the
+// candidate-band argument); because its thresholds are exact sums, the
+// fates are bit-identical to a full PruneGraph pass, and the match-graph
+// patch below only touches the re-fated pairs. A pair outside the
+// candidate set provably kept its fate AND its cached decision (every
+// cache invalidation flows through retire, whose membership removal dirties
+// the pair), so leaving its match edge alone is exactly what the old
+// full-rescan reconcile did.
 package incremental
 
 import (
@@ -25,17 +34,50 @@ import (
 	"fmt"
 
 	"entityres/internal/blocking"
+	"entityres/internal/entity"
 	"entityres/internal/graph"
 	"entityres/internal/metablocking"
 )
 
+// PerfCounters are the resolver's machine-independent work counters: pure
+// functions of the operation stream and configuration, unlike wall-clock
+// timings, so committed benchmark baselines can gate on them across
+// machines. All counters are cumulative.
+type PerfCounters struct {
+	// Reconciles counts effective (non-no-op) reconcile passes.
+	Reconciles int64
+	// ReconcileExamined counts pruning-fate derivations across all
+	// reconciles — the delta-proportional work measure (a full rescan per
+	// read would grow it by the whole graph every time).
+	ReconcileExamined int64
+	// ReconcileEvaluated counts matcher invocations spent inside
+	// reconciles (cache-missing re-fated pairs).
+	ReconcileEvaluated int64
+	// FullSnapshots and DeltaSnapshots count checkpoint compactions by
+	// kind; SnapshotSlots and SnapshotPairs the cumulative collection
+	// slots and weighted-graph pairs they serialized — the compaction-cost
+	// measure (full snapshots serialize everything, deltas only the dirty
+	// entries).
+	FullSnapshots, DeltaSnapshots int64
+	SnapshotSlots, SnapshotPairs  int64
+}
+
+// Perf returns the resolver's cumulative work counters. It never
+// reconciles or otherwise mutates state.
+func (r *Resolver) Perf() PerfCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.perf
+}
+
 // Flush reconciles any deferred meta-blocking work under the caller's
-// context: prunes the live weighted blocking graph and resolves the kept,
+// context: syncs the delta pruner and resolves the re-fated,
 // not-yet-evaluated pairs through the matcher pool. It is a no-op without
 // a Meta configuration or when nothing changed since the last reconcile.
 // On cancellation the match state is left as it was before the call (the
 // evaluated decisions are not folded in) and the deferred work remains
-// pending; retrying restores consistency.
+// pending; retrying restores consistency. A resolver whose journal has
+// diverged fails with an error wrapping ErrBroken.
 func (r *Resolver) Flush(ctx context.Context) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -47,33 +89,35 @@ func (r *Resolver) Flush(ctx context.Context) error {
 // edge, ordered by descending weight. It is the streaming counterpart of
 // MetaBlocker.Restructure over the live descriptions; without a Meta
 // configuration it returns nil.
-func (r *Resolver) RestructuredBlocks() *blocking.Blocks {
+func (r *Resolver) RestructuredBlocks() (*blocking.Blocks, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.weighted == nil {
-		return nil
+		return nil, nil
 	}
-	r.mustReconcile()
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, err
+	}
 	kept := make([]graph.Edge, len(r.lastKept))
 	copy(kept, r.lastKept)
-	return metablocking.EmitKept(r.coll, r.cfg.Kind, kept)
+	return metablocking.EmitKept(r.coll, r.cfg.Kind, kept), nil
 }
 
-// mustReconcile is reconcile under a background context, for the read
-// accessors that predate meta-blocking and return no error. It cannot
-// fail: the matcher pool's only error is context cancellation, and the
-// background context never cancels. Callers hold r.mu.
-func (r *Resolver) mustReconcile() {
-	if err := r.reconcile(context.Background()); err != nil {
-		panic(fmt.Sprintf("incremental: reconcile under background context: %v", err))
-	}
-}
-
-// reconcile settles the deferred meta-blocking state: weights the live
-// blocking graph, prunes it, evaluates the kept pairs that miss the
-// decision cache, and makes the match graph equal {kept ∧ similar}.
-// Callers hold r.mu.
+// reconcile settles the deferred meta-blocking state: syncs the delta
+// pruner over the graph changes since the last read, evaluates the
+// re-fated pairs that miss the decision cache, and patches the match graph
+// so it equals {kept ∧ similar}. Callers hold r.mu.
 func (r *Resolver) reconcile(ctx context.Context) error {
+	// A diverged journal poisons reads as well as writes: the in-memory
+	// answer may still be derivable, but silently serving it while the log
+	// cannot reproduce it hides the divergence until the next crash.
+	// Graceful closure is NOT poison — a closed resolver still serves
+	// consistent reads below, it just stops journaling reconciles (nothing
+	// can mutate after close, and recovery re-derives reconcile state
+	// deterministically).
+	if r.broken != nil && r.broken != errClosed {
+		return r.broken
+	}
 	if r.weighted == nil || !r.metaDirty {
 		return nil
 	}
@@ -81,42 +125,100 @@ func (r *Resolver) reconcile(ctx context.Context) error {
 	// cached and counted — so a durable resolver journals it like any
 	// operation and recovery replays it at the same point of the stream,
 	// keeping the comparison counters and decision cache bit-exact across a
-	// crash. If journaling fails the in-memory read below is still correct,
-	// but the log can no longer reproduce it: poison further writes rather
-	// than diverge silently.
+	// crash.
 	journaled := false
 	if r.broken == nil {
 		if err := r.journal.Record(Record{Kind: OpReconcile}); err != nil {
-			r.broken = fmt.Errorf("incremental: journaling reconcile failed, resolver disabled: %v", err)
-		} else {
-			journaled = true
+			r.broken = fmt.Errorf("%w: journaling reconcile: %v", ErrBroken, err)
+			return r.broken
 		}
+		journaled = true
 	}
-	// Materialize and prune with the exact batch code path
-	// (WeightedGraph.Graph + the WEP/WNP pruners), so identical statistics
-	// yield bit-identical surviving edges. WEP and WNP never consult the
-	// block collection (only the batch-only CEP/CNP budgets do, and
-	// ValidateStreaming rejected those), hence the nil. The evaluation of
-	// the kept pairs — cache-miss matching, decision caching, diffing the
-	// match graph against {kept ∧ similar} — is the shared ReconcileKept
-	// core (decisions.go), which the sharded coordinator's global
-	// reconcile runs too.
-	g := r.weighted.Graph(r.cfg.Meta.Weight)
-	kept := r.cfg.Meta.PruneGraph(g, nil)
-	// The fresh decisions are discarded: this resolver's journal replays the
-	// OpReconcile record by re-running the reconcile at the same stream
-	// point, which re-derives them deterministically.
-	n, _, err := ReconcileKept(ctx, r.coll, r.cfg.Matcher, r.cfg.Workers, r.simCache, r.dyn, kept)
+	// The pruner is created at first reconcile, seeded with the committed
+	// kept baseline (lastKept — consistent with the match graph and the
+	// decision cache at every quiescent point, including right after a
+	// snapshot restore or a shard bootstrap): its first sync then re-derives
+	// every live pair against that baseline, exactly like the old full
+	// reconcile, and later syncs are delta-proportional.
+	if r.pruner == nil {
+		r.pruner = metablocking.NewDeltaPruner(r.weighted, *r.cfg.Meta)
+		r.pruner.Seed(r.lastKept)
+	}
+	refates := r.pruner.Sync()
+	n, err := r.applyRefates(ctx, refates)
 	if err != nil {
-		// The journal record is retracted with the work still pending;
-		// retrying the read restores consistency.
+		// The candidate pairs return to the pending log and the journal
+		// record is retracted with the work still pending; retrying the
+		// read re-derives the same refates and restores consistency.
+		r.pruner.Requeue(refates)
 		if journaled {
 			r.retractRecord()
 		}
 		return fmt.Errorf("incremental: meta reconcile: %w", err)
 	}
+	r.pruner.Apply(refates)
 	r.stats.Comparisons += n
-	r.lastKept = kept
+	r.lastKept = r.pruner.KeptEdges()
 	r.metaDirty = false
+	r.perf.Reconciles++
+	r.perf.ReconcileExamined = r.pruner.Examined()
+	r.perf.ReconcileEvaluated += n
 	return nil
+}
+
+// applyRefates evaluates the re-fated pairs that miss the decision cache
+// and patches the match graph: a kept ∧ similar pair's edge is ensured
+// present, every other re-fated pair's edge ensured absent. Pairs outside
+// the refates keep fate, decision and edge — the delta-proportionality of
+// the read path. On error nothing is mutated. The fresh decisions are
+// discarded by this resolver: its journal replays the OpReconcile record
+// by re-running the reconcile at the same stream point, which re-derives
+// them deterministically. Callers hold r.mu.
+func (r *Resolver) applyRefates(ctx context.Context, refates []metablocking.Refate) (int64, error) {
+	var fresh []entity.Pair
+	for _, f := range refates {
+		if !f.Kept {
+			continue
+		}
+		if _, ok := r.simCache.Get(f.Pair.A, f.Pair.B); !ok {
+			fresh = append(fresh, f.Pair)
+		}
+	}
+	n, _, err := evaluateFresh(ctx, r.coll, r.cfg.Matcher, r.cfg.Workers, r.simCache, fresh)
+	if err != nil {
+		return 0, err
+	}
+	// Snapshot dirt: the freshly cached decisions, and every re-fated
+	// pair's kept-baseline entry and (possibly flipped) match edge.
+	if r.snapTrack != nil {
+		for _, p := range fresh {
+			r.markCachePair(p)
+		}
+		for _, f := range refates {
+			r.markKeptPair(f.Pair)
+			r.markMatchEdge(f.Pair.A, f.Pair.B)
+		}
+	}
+	// Mirror ReconcileKept's patch order: retire the stale edges first,
+	// then add the surviving ones.
+	var stale []entity.Pair
+	for _, f := range refates {
+		if !f.Kept {
+			stale = append(stale, f.Pair)
+			continue
+		}
+		if sim, _ := r.simCache.Get(f.Pair.A, f.Pair.B); !sim {
+			stale = append(stale, f.Pair)
+		}
+	}
+	r.dyn.RemoveEdges(stale)
+	for _, f := range refates {
+		if !f.Kept {
+			continue
+		}
+		if sim, _ := r.simCache.Get(f.Pair.A, f.Pair.B); sim {
+			r.dyn.AddEdge(f.Pair.A, f.Pair.B, 1)
+		}
+	}
+	return n, nil
 }

@@ -57,7 +57,7 @@ func TestMetaFlushCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := r.Stats()
+	st := mustStats(t, r)
 	if st.Comparisons != want.Comparisons {
 		t.Fatalf("comparisons after retry = %d, batch = %d", st.Comparisons, want.Comparisons)
 	}
@@ -71,7 +71,7 @@ func TestMetaFlushCancellation(t *testing.T) {
 	// The restructured rendering equals batch meta-blocking's emission:
 	// same pair blocks, same descending-weight order (handles are dense
 	// insert-order IDs, so they line up with the batch collection).
-	got, wantBs := r.RestructuredBlocks(), want.Blocks
+	got, wantBs := mustRestructuredBlocks(t, r), want.Blocks
 	if got.Len() != wantBs.Len() {
 		t.Fatalf("restructured blocks = %d, batch = %d", got.Len(), wantBs.Len())
 	}
@@ -97,10 +97,10 @@ func TestMetaDeferredReads(t *testing.T) {
 		}
 		ids = append(ids, id)
 	}
-	if n := r.Matches().Len(); n <= 0 {
+	if n := mustMatches(t, r).Len(); n <= 0 {
 		t.Fatal("no matches after replay")
 	}
-	st := r.Stats()
+	st := mustStats(t, r)
 	if st.CandidatePairs < st.KeptPairs || st.KeptPairs <= 0 {
 		t.Fatalf("counters kept=%d candidates=%d", st.KeptPairs, st.CandidatePairs)
 	}
@@ -112,8 +112,8 @@ func TestMetaDeferredReads(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	m := r.Matches()
-	clusters := r.Clusters()
+	m := mustMatches(t, r)
+	clusters := mustClusters(t, r)
 	total := 0
 	for _, cl := range clusters {
 		total += len(cl)
@@ -133,7 +133,7 @@ func TestRestructuredBlocksWithoutMeta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bs := r.RestructuredBlocks(); bs != nil {
+	if bs := mustRestructuredBlocks(t, r); bs != nil {
 		t.Fatalf("RestructuredBlocks without meta = %v", bs)
 	}
 	if err := r.Flush(context.Background()); err != nil {

@@ -130,6 +130,15 @@ type Resolver struct {
 	// sinceSnap counts operations since the last checkpoint.
 	snapEvery int
 	sinceSnap int
+	// snapTrack accumulates the state dirtied since the last checkpoint —
+	// the contents of the next delta snapshot (deltasnap.go); nil for
+	// in-memory resolvers. snapParent is the newest durable snapshot's
+	// sequence (the next delta's parent; 0 before any), chainAnchor the
+	// chain's full snapshot and chainLen the delta links since it.
+	snapTrack   *snapTracker
+	snapParent  uint64
+	chainAnchor uint64
+	chainLen    int
 	// recovery describes what OpenResolver restored; lastRecord is the
 	// most recently applied operation in journal-record form (kept across
 	// snapshots, so a fan-out-tear donor never loses it to compaction —
@@ -161,14 +170,18 @@ type Resolver struct {
 
 	// Live meta-blocking state (nil / unused without cfg.Meta): the
 	// incrementally weighted blocking graph, the cached pairwise matcher
-	// decisions, the edges retained by the latest pruning pass, and the
-	// dirty flag driving the deferred reconcile (see meta.go).
+	// decisions, the edges retained by the latest pruning pass, the delta
+	// pruner re-deriving fates proportionally to the changes (created at
+	// first reconcile, seeded from lastKept), and the dirty flag driving
+	// the deferred reconcile (see meta.go).
 	weighted  *metablocking.WeightedGraph
 	simCache  *DecisionCache
 	lastKept  []graph.Edge
+	pruner    *metablocking.DeltaPruner
 	metaDirty bool
 
 	stats Stats
+	perf  PerfCounters
 }
 
 // New validates the configuration and returns an empty resolver.
@@ -258,6 +271,8 @@ func (r *Resolver) applyInsert(ctx context.Context, d *entity.Description) (enti
 	if err != nil {
 		return -1, fmt.Errorf("incremental: %w", err)
 	}
+	// The new slot is snapshot dirt whether the insert lands or burns.
+	r.markSlot(id)
 	r.live = append(r.live, true)
 	if cp.URI != "" {
 		r.byURI[cp.URI] = id
@@ -316,6 +331,7 @@ func (r *Resolver) applyUpdate(ctx context.Context, id entity.ID, attrs []entity
 	oldAttrs := d.Attrs
 	oldKeys := r.blocks.Keys(id)
 	oldEdges := r.dyn.Graph().Neighbors(id)
+	r.markSlot(id)
 	r.retire(id)
 	d.Attrs = append([]entity.Attribute(nil), attrs...)
 	if err := r.index(ctx, id); err != nil {
@@ -323,11 +339,12 @@ func (r *Resolver) applyUpdate(ctx context.Context, id entity.ID, attrs []entity
 		if aerr := r.blocks.Add(id, d.Source, oldKeys); aerr != nil {
 			// Cannot happen for a just-retired live description; if it ever
 			// does, memory no longer matches the journal — stop mutating.
-			r.broken = fmt.Errorf("incremental: update rollback failed, resolver disabled: %v", aerr)
+			r.broken = fmt.Errorf("%w: update rollback failed: %v", ErrBroken, aerr)
 			return err
 		}
 		for _, nb := range oldEdges {
 			r.dyn.AddEdge(id, nb, 1)
+			r.markMatchEdge(id, nb)
 		}
 		return err
 	}
@@ -358,6 +375,7 @@ func (r *Resolver) Delete(id entity.ID) error {
 // applyDelete is Delete's state mutation, shared with journal replay; it
 // cannot fail. Callers hold r.mu and have checked liveness.
 func (r *Resolver) applyDelete(id entity.ID) {
+	r.markSlot(id)
 	r.retire(id)
 	d := r.coll.Get(id)
 	if d.URI != "" {
@@ -389,10 +407,22 @@ func (r *Resolver) isLive(id entity.ID) bool {
 // update may re-key the same handle with different content. Callers hold
 // r.mu.
 func (r *Resolver) retire(id entity.ID) {
+	// Capture the edges RemoveNode is about to drop — they are match-graph
+	// presence changes the next delta snapshot must carry.
+	if r.snapTrack != nil {
+		for _, nb := range r.dyn.Graph().Neighbors(id) {
+			r.markMatchEdge(id, nb)
+		}
+	}
 	r.blocks.Remove(id)
 	r.dyn.RemoveNode(id)
 	if r.weighted != nil {
-		r.simCache.Invalidate(id)
+		dropped := r.simCache.Invalidate(id)
+		if r.snapTrack != nil {
+			for _, other := range dropped {
+				r.markCachePair(entity.NewPair(id, other))
+			}
+		}
 		r.metaDirty = true
 	}
 }
@@ -439,6 +469,7 @@ func (r *Resolver) index(ctx context.Context, id entity.ID) error {
 	r.stats.Comparisons += out.Comparisons
 	out.Matches.Each(func(p entity.Pair) bool {
 		r.dyn.AddEdge(p.A, p.B, 1)
+		r.markMatchEdge(p.A, p.B)
 		return true
 	})
 	return nil
@@ -475,11 +506,14 @@ func (r *Resolver) filterDelta(d *entity.Description, delta *blocking.Blocks) *b
 const sequentialDeltaMax = 256
 
 // Stats returns a snapshot of the resolver's counters, reconciling any
-// deferred meta-blocking work first.
-func (r *Resolver) Stats() Stats {
+// deferred meta-blocking work first. The error is the reconcile's — a
+// poisoned journal surfaces as ErrBroken.
+func (r *Resolver) Stats() (Stats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
+	if err := r.reconcile(context.Background()); err != nil {
+		return Stats{}, err
+	}
 	st := r.stats
 	st.Live = r.liveCount
 	st.Matches = r.dyn.NumEdges()
@@ -488,26 +522,30 @@ func (r *Resolver) Stats() Stats {
 		st.CandidatePairs = r.weighted.NumPairs()
 		st.KeptPairs = len(r.lastKept)
 	}
-	return st
+	return st, nil
 }
 
 // Matches returns the current match pairs over internal handles,
 // reconciling any deferred meta-blocking work first.
-func (r *Resolver) Matches() *entity.Matches {
+func (r *Resolver) Matches() (*entity.Matches, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
-	return r.dyn.Matches()
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, err
+	}
+	return r.dyn.Matches(), nil
 }
 
 // Clusters returns the current non-singleton entity clusters over internal
 // handles, in the deterministic order of entity.UnionFind.Clusters,
 // reconciling any deferred meta-blocking work first.
-func (r *Resolver) Clusters() [][]entity.ID {
+func (r *Resolver) Clusters() ([][]entity.ID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
-	return r.dyn.Clusters()
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, err
+	}
+	return r.dyn.Clusters(), nil
 }
 
 // Blocks materializes the current block collection — identical to what the
@@ -600,10 +638,12 @@ func (r *Resolver) EachSlot(fn func(id entity.ID, live bool, d *entity.Descripti
 // Running a batch pipeline with the same blocker and matcher over the
 // returned collection produces exactly the returned matches — the
 // differential-equivalence contract the test suite enforces.
-func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches) {
+func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, nil, err
+	}
 	out := entity.NewCollection(r.cfg.Kind)
 	remap := make(map[entity.ID]entity.ID, r.liveCount)
 	for _, d := range r.coll.All() {
@@ -618,5 +658,5 @@ func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches) {
 		matches.Add(remap[e.A], remap[e.B])
 		return true
 	})
-	return out, matches
+	return out, matches, nil
 }

@@ -46,14 +46,14 @@ func TestResolverInsertMatch(t *testing.T) {
 	if _, err := r.Insert(ctx, person("u:c", "completely different tokens", "elsewhere")); err != nil {
 		t.Fatal(err)
 	}
-	m := r.Matches()
+	m := mustMatches(t, r)
 	if m.Len() != 1 || !m.Contains(a, b) {
 		t.Fatalf("matches = %v, want exactly {%d,%d}", m.Pairs(), a, b)
 	}
-	if got := r.Clusters(); !reflect.DeepEqual(got, [][]entity.ID{{a, b}}) {
+	if got := mustClusters(t, r); !reflect.DeepEqual(got, [][]entity.ID{{a, b}}) {
 		t.Fatalf("clusters = %v", got)
 	}
-	st := r.Stats()
+	st := mustStats(t, r)
 	if st.Inserts != 3 || st.Live != 3 || st.Matches != 1 || st.Clusters != 1 {
 		t.Fatalf("stats = %s", st)
 	}
@@ -65,7 +65,7 @@ func TestResolverInsertMatch(t *testing.T) {
 	}
 	// The materialized blocks must equal a batch token-blocking build over
 	// the live descriptions (IDs coincide on an insert-only stream).
-	snap, _ := r.Snapshot()
+	snap, _ := mustSnapshot(t, r)
 	want, err := (&blocking.TokenBlocking{}).Block(snap)
 	if err != nil {
 		t.Fatal(err)
@@ -87,13 +87,13 @@ func TestResolverDeleteSplitsCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	c, _ := r.Insert(ctx, person("u:c", "alice jones", "paris"))
-	if !r.Matches().Contains(a, b) || !r.Matches().Contains(b, c) {
-		t.Fatalf("expected bridge matches, got %v", r.Matches().Pairs())
+	if !mustMatches(t, r).Contains(a, b) || !mustMatches(t, r).Contains(b, c) {
+		t.Fatalf("expected bridge matches, got %v", mustMatches(t, r).Pairs())
 	}
 	if err := r.Delete(b); err != nil {
 		t.Fatal(err)
 	}
-	m := r.Matches()
+	m := mustMatches(t, r)
 	for _, p := range m.Pairs() {
 		if p.Contains(b) {
 			t.Fatalf("deleted description still matched: %v", p)
@@ -106,7 +106,7 @@ func TestResolverDeleteSplitsCluster(t *testing.T) {
 		t.Fatal("deleted URI still resolvable")
 	}
 	// a and c must now be in different clusters (or singletons).
-	for _, cl := range r.Clusters() {
+	for _, cl := range mustClusters(t, r) {
 		has := func(id entity.ID) bool {
 			for _, x := range cl {
 				if x == id {
@@ -126,21 +126,21 @@ func TestResolverUpdateRekeys(t *testing.T) {
 	ctx := context.Background()
 	a, _ := r.Insert(ctx, person("u:a", "alice smith", "berlin"))
 	b, _ := r.Insert(ctx, person("u:b", "alice smith", "berlin"))
-	if !r.Matches().Contains(a, b) {
+	if !mustMatches(t, r).Contains(a, b) {
 		t.Fatal("expected initial match")
 	}
 	// Rewriting b away from a's tokens must retire the match...
 	if err := r.Update(ctx, b, []entity.Attribute{{Name: "name", Value: "totally unrelated"}}); err != nil {
 		t.Fatal(err)
 	}
-	if r.Matches().Len() != 0 {
-		t.Fatalf("matches after divergent update: %v", r.Matches().Pairs())
+	if mustMatches(t, r).Len() != 0 {
+		t.Fatalf("matches after divergent update: %v", mustMatches(t, r).Pairs())
 	}
 	// ...and rewriting it back must rediscover it.
 	if err := r.Update(ctx, b, []entity.Attribute{{Name: "name", Value: "alice smith"}, {Name: "city", Value: "berlin"}}); err != nil {
 		t.Fatal(err)
 	}
-	if !r.Matches().Contains(a, b) {
+	if !mustMatches(t, r).Contains(a, b) {
 		t.Fatal("match not rediscovered after convergent update")
 	}
 	if d, ok := r.Get(b); !ok || len(d.Attrs) != 2 {
@@ -200,7 +200,7 @@ func TestResolverCancelledInsertRollsBack(t *testing.T) {
 	if _, ok := r.Lookup("u:b"); ok {
 		t.Fatal("cancelled insert left its URI live")
 	}
-	if st := r.Stats(); st.Live != 1 || st.Matches != 0 {
+	if st := mustStats(t, r); st.Live != 1 || st.Matches != 0 {
 		t.Fatalf("state after cancelled insert: %s", st)
 	}
 	// The stream keeps working afterwards, and the aborted attempt left no
@@ -209,10 +209,10 @@ func TestResolverCancelledInsertRollsBack(t *testing.T) {
 	if _, err := r.Insert(ctx, person("u:b", "alice smith", "berlin")); err != nil {
 		t.Fatal(err)
 	}
-	if r.Matches().Len() != 1 {
-		t.Fatalf("matches = %d, want 1", r.Matches().Len())
+	if mustMatches(t, r).Len() != 1 {
+		t.Fatalf("matches = %d, want 1", mustMatches(t, r).Len())
 	}
-	if st := r.Stats(); st.Comparisons != 1 {
+	if st := mustStats(t, r); st.Comparisons != 1 {
 		t.Fatalf("comparisons = %d, want 1 (aborted deltas must not count)", st.Comparisons)
 	}
 }
@@ -234,7 +234,7 @@ func TestResolverCleanClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := r.Matches()
+	m := mustMatches(t, r)
 	if !m.Contains(a, b) {
 		t.Fatal("cross-source match missing")
 	}
@@ -306,7 +306,7 @@ func TestApplyOps(t *testing.T) {
 			t.Fatalf("op %d: %v", i, err)
 		}
 	}
-	if st := r.Stats(); st.Live != 1 || st.Matches != 0 || st.Inserts != 2 || st.Updates != 1 || st.Deletes != 1 {
+	if st := mustStats(t, r); st.Live != 1 || st.Matches != 0 || st.Inserts != 2 || st.Updates != 1 || st.Deletes != 1 {
 		t.Fatalf("stats = %s", st)
 	}
 	if err := r.Apply(ctx, Op{Kind: OpUpdate, URI: "u:missing"}); err == nil {

@@ -210,6 +210,7 @@ func (r *Resolver) applyRouted(ctx context.Context, op RoutedOp) error {
 // inside delta matching) the slot reverts to its placeholder state.
 // Callers hold r.mu.
 func (r *Resolver) materialize(ctx context.Context, op RoutedOp) error {
+	r.markSlot(op.ID)
 	d := r.coll.Get(op.ID)
 	d.URI, d.Source = op.URI, op.Source
 	d.Attrs = append([]entity.Attribute(nil), op.Attrs...)
@@ -300,14 +301,16 @@ func firstSharedSorted(a, b []string) (string, bool) {
 // match-graph neighbors, ascending — reconciling any deferred
 // meta-blocking work first. Nil when id is not live or matches nothing.
 // This is the read the serving layer's same-as query rides.
-func (r *Resolver) MatchedWith(id entity.ID) []entity.ID {
+func (r *Resolver) MatchedWith(id entity.ID) ([]entity.ID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
-	if !r.isLive(id) {
-		return nil
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, err
 	}
-	return r.dyn.Graph().Neighbors(id)
+	if !r.isLive(id) {
+		return nil, nil
+	}
+	return r.dyn.Graph().Neighbors(id), nil
 }
 
 // BootstrapSlot is one collection slot of a shipped shard state: the
@@ -361,6 +364,11 @@ func (r *Resolver) Bootstrap(bs BootstrapState) error {
 	if r.coll.Len() != 0 || r.lastSeq != 0 || r.stats.Inserts+r.stats.Updates+r.stats.Deletes != 0 {
 		return fmt.Errorf("incremental: bootstrap requires a pristine resolver (have %d slots, %d ops)", r.coll.Len(), r.stats.Inserts+r.stats.Updates+r.stats.Deletes)
 	}
+	// A bootstrap is a wholesale state load the mark helpers do not shadow;
+	// the checkpoint below (and any before the next one) must be full.
+	if r.snapTrack != nil {
+		r.snapTrack.full = true
+	}
 	for i, sl := range bs.Slots {
 		d := &entity.Description{ID: -1}
 		if sl.Live {
@@ -404,6 +412,14 @@ func (r *Resolver) Bootstrap(bs BootstrapState) error {
 	r.lastSeq = bs.Seq
 	if r.weighted != nil {
 		r.metaDirty = bs.MetaDirty
+		// The shipped edges become the kept baseline the delta pruner is
+		// seeded from at the first reconcile: every baseline pair is
+		// re-examined then, so shipped edges whose pairs are no longer kept
+		// (or no longer co-occur at all) are retired exactly like the old
+		// full-rescan reconcile's global stale-edge sweep did. The shipped
+		// weight (1) is provisional; the first reconcile rewrites every
+		// re-fated pair's weight from the rebuilt statistics.
+		r.lastKept = append([]graph.Edge(nil), edges...)
 	}
 	// A durable resolver has no journal records to reproduce this state from
 	// — it arrived as one transfer — so checkpoint it immediately; recovery

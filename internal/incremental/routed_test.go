@@ -37,14 +37,14 @@ func TestApplyRoutedStream(t *testing.T) {
 	if got := r.LastSeq(); got != 3 {
 		t.Fatalf("LastSeq = %d, want 3", got)
 	}
-	st := r.Stats()
+	st := mustStats(t, r)
 	if st.Inserts != 3 || st.Live != 2 || st.Matches != 1 {
 		t.Fatalf("stats after routed inserts = %s", st)
 	}
-	if got := r.MatchedWith(0); !reflect.DeepEqual(got, []entity.ID{1}) {
+	if got := mustMatchedWith(t, r, 0); !reflect.DeepEqual(got, []entity.ID{1}) {
 		t.Fatalf("MatchedWith(0) = %v", got)
 	}
-	if got := r.MatchedWith(2); got != nil {
+	if got := mustMatchedWith(t, r, 2); got != nil {
 		t.Fatalf("MatchedWith(placeholder) = %v", got)
 	}
 
@@ -52,7 +52,7 @@ func TestApplyRoutedStream(t *testing.T) {
 	if err := r.ApplyRouted(ctx, routedInsert(2, 1, "u:b", "alice smith")); err != nil {
 		t.Fatalf("replayed record refused: %v", err)
 	}
-	if st2 := r.Stats(); st2.Inserts != 3 {
+	if st2 := mustStats(t, r); st2.Inserts != 3 {
 		t.Fatalf("replayed record re-applied: %s", st2)
 	}
 	// A gap is refused, as is a zero sequence number.
@@ -89,7 +89,7 @@ func TestApplyRoutedStream(t *testing.T) {
 	if id, ok := r.Lookup("u:c"); !ok || id != 2 {
 		t.Fatalf("materialized URI lookup = %d, %v", id, ok)
 	}
-	if got := r.MatchedWith(2); !reflect.DeepEqual(got, []entity.ID{0, 1}) {
+	if got := mustMatchedWith(t, r, 2); !reflect.DeepEqual(got, []entity.ID{0, 1}) {
 		t.Fatalf("MatchedWith(materialized) = %v", got)
 	}
 
@@ -101,7 +101,7 @@ func TestApplyRoutedStream(t *testing.T) {
 		Attrs: []entity.Attribute{{Name: "name", Value: "someone else entirely"}}}); err != nil {
 		t.Fatal(err)
 	}
-	if got := r.MatchedWith(1); len(got) != 0 {
+	if got := mustMatchedWith(t, r, 1); len(got) != 0 {
 		t.Fatalf("re-keyed update still matched: %v", got)
 	}
 
@@ -115,7 +115,7 @@ func TestApplyRoutedStream(t *testing.T) {
 	if err := r.ApplyRouted(ctx, RoutedOp{Seq: 8, Kind: OpDelete, ID: 1}); err != nil {
 		t.Fatal(err)
 	}
-	st = r.Stats()
+	st = mustStats(t, r)
 	if st.Inserts != 3 || st.Updates != 3 || st.Deletes != 2 || st.Live != 2 {
 		t.Fatalf("final stats = %s", st)
 	}
@@ -195,7 +195,7 @@ func TestRoutedReplay(t *testing.T) {
 			t.Fatalf("ApplyRouted(%d): %v", op.Seq, err)
 		}
 	}
-	want := r.Stats()
+	want := mustStats(t, r)
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestRoutedReplay(t *testing.T) {
 	if got := re.LastSeq(); got != 5 {
 		t.Fatalf("recovered LastSeq = %d, want 5", got)
 	}
-	if got := re.Stats(); got != want {
+	if got := mustStats(t, re); got != want {
 		t.Fatalf("recovered stats = %s, want %s", got, want)
 	}
 	if err := re.ApplyRouted(ctx, routedInsert(6, 3, "u:d", "dora")); err != nil {
@@ -242,11 +242,11 @@ func TestBootstrap(t *testing.T) {
 		if got := r.LastSeq(); got != 6 {
 			t.Fatalf("bootstrapped LastSeq = %d, want 6", got)
 		}
-		st := r.Stats()
+		st := mustStats(t, r)
 		if st.Inserts != 3 || st.Updates != 2 || st.Deletes != 1 || st.Comparisons != 4 || st.Live != 2 {
 			t.Fatalf("bootstrapped stats = %s", st)
 		}
-		if got := r.MatchedWith(0); !reflect.DeepEqual(got, []entity.ID{2}) {
+		if got := mustMatchedWith(t, r, 0); !reflect.DeepEqual(got, []entity.ID{2}) {
 			t.Fatalf("bootstrapped MatchedWith(0) = %v", got)
 		}
 		if id, ok := r.Lookup("u:c"); !ok || id != 2 {
@@ -257,7 +257,7 @@ func TestBootstrap(t *testing.T) {
 		if err := r.ApplyRouted(context.Background(), routedInsert(7, 3, "u:d", "alice smith")); err != nil {
 			t.Fatalf("post-bootstrap record: %v", err)
 		}
-		if got := r.MatchedWith(3); !reflect.DeepEqual(got, []entity.ID{0, 2}) {
+		if got := mustMatchedWith(t, r, 3); !reflect.DeepEqual(got, []entity.ID{0, 2}) {
 			t.Fatalf("post-bootstrap MatchedWith = %v", got)
 		}
 	}

@@ -60,7 +60,7 @@ func TestDeltaFilterOwnership(t *testing.T) {
 		t.Fatal(err)
 	}
 	feed(all)
-	if ps, as := plain.Stats(), all.Stats(); ps != as {
+	if ps, as := mustStats(t, plain), mustStats(t, all); ps != as {
 		t.Fatalf("claim-everything filter diverges: %+v vs %+v", as, ps)
 	}
 
@@ -71,7 +71,7 @@ func TestDeltaFilterOwnership(t *testing.T) {
 		t.Fatal(err)
 	}
 	feed(none)
-	if st := none.Stats(); st.Comparisons != 0 || st.Matches != 0 {
+	if st := mustStats(t, none); st.Comparisons != 0 || st.Matches != 0 {
 		t.Fatalf("claim-nothing filter still evaluated pairs: %+v", st)
 	}
 
@@ -104,7 +104,7 @@ func TestDeltaFilterOwnership(t *testing.T) {
 		t.Fatal(err)
 	}
 	feed(owned)
-	if ps, os := plain.Stats(), owned.Stats(); ps != os {
+	if ps, os := mustStats(t, plain), mustStats(t, owned); ps != os {
 		t.Fatalf("first-shared-key filter diverges: %+v vs %+v", os, ps)
 	}
 }
@@ -196,7 +196,7 @@ func TestCountersAndMergeWithoutReconcile(t *testing.T) {
 		t.Fatalf("MergeWeightedInto reconciled deferred meta work: %+v", st)
 	}
 	// Stats DOES reconcile; afterwards the counters agree.
-	if st := r.Stats(); st.Comparisons != 1 || st.Matches != 1 || st.CandidatePairs != 1 {
+	if st := mustStats(t, r); st.Comparisons != 1 || st.Matches != 1 || st.CandidatePairs != 1 {
 		t.Fatalf("Stats after reconcile = %+v", st)
 	}
 	// A non-meta resolver has nothing to merge.

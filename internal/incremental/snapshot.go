@@ -123,8 +123,12 @@ func (r *Resolver) fingerprintMeta() string {
 	return r.cfg.Meta.Name()
 }
 
-// encodeSnapshot serializes the resolver's full state. Callers hold r.mu.
-func (r *Resolver) encodeSnapshot() ([]byte, error) {
+// encodeSnapshot serializes the resolver's full state and — like the delta
+// encoder — drains the snapshot tracker: the changes it accumulated are
+// subsumed by the full image. It returns the payload plus the serialized
+// slot and weighted-pair counts (the compaction-cost counters). Callers
+// hold r.mu.
+func (r *Resolver) encodeSnapshot() ([]byte, int, int, error) {
 	s := snapshotJSON{
 		Format:  snapshotFormat,
 		Kind:    int(r.cfg.Kind),
@@ -168,11 +172,21 @@ func (r *Resolver) encodeSnapshot() ([]byte, error) {
 		}
 		s.MetaDirty = r.metaDirty
 	}
+	if r.snapTrack != nil {
+		r.snapTrack.reset()
+		if r.snapTrack.wg != nil {
+			r.snapTrack.wg.Reset()
+		}
+	}
 	payload, err := json.Marshal(&s)
 	if err != nil {
-		return nil, fmt.Errorf("incremental: %w", err)
+		return nil, 0, 0, fmt.Errorf("incremental: %w", err)
 	}
-	return payload, nil
+	pairs := 0
+	if s.Weighted != nil {
+		pairs = len(s.Weighted.Pairs)
+	}
+	return payload, len(s.Slots), pairs, nil
 }
 
 // encodeSimCache flattens the bidirectional decision cache into canonical
@@ -192,10 +206,32 @@ func encodeSimCache(cache *DecisionCache) []simCacheJSON {
 	return out
 }
 
-// restoreSnapshot loads a snapshot into a freshly-constructed resolver.
-// Called by OpenResolver before any operation; callers need not hold r.mu
-// (the resolver is not yet published).
+// restoreSnapshot loads a full snapshot into a freshly-constructed
+// resolver and attaches the membership observer. Callers need not hold
+// r.mu (the resolver is not yet published). OpenResolver restores a chain
+// through restoreFull + applyDeltaSnapshot + finishRestore instead, so the
+// delta links apply with the observer still detached.
 func (r *Resolver) restoreSnapshot(payload []byte) error {
+	if err := r.restoreFull(payload); err != nil {
+		return err
+	}
+	r.finishRestore()
+	return nil
+}
+
+// finishRestore attaches the restored weighted graph to the block index's
+// membership feed — the last restore step, after every snapshot chain link
+// has applied (the links carry the statistics deltas explicitly; observing
+// during their membership rebuild would double-count).
+func (r *Resolver) finishRestore() {
+	if r.weighted != nil {
+		r.blocks.Observe(r.weighted)
+	}
+}
+
+// restoreFull loads a full snapshot WITHOUT attaching the membership
+// observer; see restoreSnapshot.
+func (r *Resolver) restoreFull(payload []byte) error {
 	var s snapshotJSON
 	if err := json.Unmarshal(payload, &s); err != nil {
 		return fmt.Errorf("incremental: decoding snapshot: %w", err)
@@ -277,7 +313,6 @@ func (r *Resolver) restoreSnapshot(payload []byte) error {
 			return fmt.Errorf("incremental: snapshot weighted graph resolves %v collections, resolver configured for %v", wg.Kind(), r.cfg.Kind)
 		}
 		r.weighted = wg
-		r.blocks.Observe(wg)
 		r.simCache = NewDecisionCache()
 		for _, e := range s.SimCache {
 			r.simCache.Set(e.A, e.B, e.Match)

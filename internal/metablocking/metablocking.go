@@ -249,17 +249,20 @@ func pruneWEP(g *graph.Graph) []graph.Edge {
 	if g.NumEdges() == 0 {
 		return nil
 	}
-	// Sum over the sorted edge list for run-to-run determinism of edges
-	// sitting exactly at the mean (see pruneWNP).
+	// The mean is accumulated exactly (exact.go), so it is independent of
+	// summation order and bit-identical to the streaming DeltaPruner's
+	// incrementally maintained mean — the property that makes delta
+	// reconciliation provably equal to this full pass.
 	edges := g.Edges()
-	total := 0.0
+	var sum exactSum
 	for _, e := range edges {
-		total += e.Weight
+		sum.Add(e.Weight)
 	}
-	mean := total / float64(len(edges))
+	n := len(edges)
+	thr := sum.Mean(n)
 	var out []graph.Edge
 	for _, e := range edges {
-		if e.Weight >= mean {
+		if sum.keepAtLeastMean(e.Weight, thr, n) {
 			out = append(out, e)
 		}
 	}
@@ -276,24 +279,32 @@ func pruneCEP(g *graph.Graph, k int) []graph.Edge {
 }
 
 func pruneWNP(g *graph.Graph, reciprocal bool) []graph.Edge {
-	// Accumulate local means over the sorted edge list: float summation is
-	// order-sensitive in its last ulp, and edges sitting exactly at a
-	// node's mean (common when all of a node's edges share one weight)
-	// would otherwise be kept or dropped depending on map iteration order.
+	// Neighborhood means are accumulated exactly (exact.go): independent of
+	// edge order and bit-identical to the streaming DeltaPruner's per-node
+	// sums, so an edge sitting exactly at a node's mean (common when all of
+	// a node's edges share one weight) gets the same fate in every regime.
 	edges := g.Edges()
-	sum := make(map[entity.ID]float64)
-	for _, e := range edges {
-		sum[e.A] += e.Weight
-		sum[e.B] += e.Weight
+	sum := make(map[entity.ID]*exactSum)
+	acc := func(id entity.ID) *exactSum {
+		s, ok := sum[id]
+		if !ok {
+			s = &exactSum{}
+			sum[id] = s
+		}
+		return s
 	}
-	localMean := make(map[entity.ID]float64, len(sum))
+	for _, e := range edges {
+		acc(e.A).Add(e.Weight)
+		acc(e.B).Add(e.Weight)
+	}
+	localThr := make(map[entity.ID]float64, len(sum))
 	for id, s := range sum {
-		localMean[id] = s / float64(g.Degree(id))
+		localThr[id] = s.Mean(g.Degree(id))
 	}
 	var out []graph.Edge
 	for _, e := range edges {
-		inA := e.Weight >= localMean[e.A]
-		inB := e.Weight >= localMean[e.B]
+		inA := sum[e.A].keepAtLeastMean(e.Weight, localThr[e.A], g.Degree(e.A))
+		inB := sum[e.B].keepAtLeastMean(e.Weight, localThr[e.B], g.Degree(e.B))
 		if (reciprocal && inA && inB) || (!reciprocal && (inA || inB)) {
 			out = append(out, e)
 		}

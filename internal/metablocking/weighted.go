@@ -53,6 +53,10 @@ type WeightedGraph struct {
 	pairs     map[entity.Pair]*stats
 	blocksPer map[entity.ID]int
 	numBlocks int
+	// trackers receive every statistic mutation (see changes.go); every
+	// mutating path below must funnel through ensure/bump/debit/credit/
+	// addBlocks or mark explicitly, or registered change sets go stale.
+	trackers []*ChangeSet
 }
 
 // NewWeightedGraph returns an empty weighted blocking graph for the given
@@ -114,12 +118,12 @@ func (wg *WeightedGraph) EachPair(fn func(p entity.Pair, cbs int) bool) {
 // builds.
 func (wg *WeightedGraph) AccumulateBlock(b *blocking.Block) {
 	comp := b.Comparisons(wg.kind)
-	wg.numBlocks++
+	wg.addBlocks(1)
 	for _, id := range b.S0 {
-		wg.blocksPer[id]++
+		wg.credit(id)
 	}
 	for _, id := range b.S1 {
-		wg.blocksPer[id]++
+		wg.credit(id)
 	}
 	b.EachComparison(wg.kind, func(x, y entity.ID) bool {
 		st := wg.ensure(entity.NewPair(x, y))
@@ -133,11 +137,15 @@ func (wg *WeightedGraph) AccumulateBlock(b *blocking.Block) {
 // merges shard partials in ascending shard (= block) order, so the
 // floating-point ARCS masses sum in a deterministic order.
 func (wg *WeightedGraph) Merge(o *WeightedGraph) {
-	wg.numBlocks += o.numBlocks
+	if o.numBlocks != 0 {
+		wg.addBlocks(o.numBlocks)
+	}
 	for id, n := range o.blocksPer {
 		wg.blocksPer[id] += n
+		wg.markNode(id)
 	}
 	for p, st := range o.pairs {
+		wg.markPair(p)
 		dst, ok := wg.pairs[p]
 		if !ok {
 			// Copy the stats rather than adopting o's pointer: the graphs
@@ -170,15 +178,15 @@ func (wg *WeightedGraph) AddDocument(bi *blocking.BlockIndex, id entity.ID, sour
 		// not before id joined, id's arrival springs it into existence and
 		// every prior member earns its block appearance now.
 		if !wg.suggests(len(same), len(opp)) {
-			wg.numBlocks++
+			wg.addBlocks(1)
 			for _, m := range same {
-				wg.blocksPer[m]++
+				wg.credit(m)
 			}
 			for _, m := range opp {
-				wg.blocksPer[m]++
+				wg.credit(m)
 			}
 		}
-		wg.blocksPer[id]++
+		wg.credit(id)
 		for _, m := range opp {
 			wg.ensure(entity.NewPair(id, m)).cbs++
 		}
@@ -202,7 +210,7 @@ func (wg *WeightedGraph) RemoveDocument(bi *blocking.BlockIndex, id entity.ID, s
 		// If the remaining members no longer suggest a comparison the block
 		// drops out of the statistics entirely.
 		if !wg.suggests(len(same), len(opp)) {
-			wg.numBlocks--
+			wg.addBlocks(-1)
 			for _, m := range same {
 				wg.debit(m)
 			}
@@ -242,7 +250,10 @@ func (wg *WeightedGraph) suggests(nSame, nOpp int) bool {
 	return nSame+nOpp >= 2
 }
 
+// ensure returns the pair's statistics, creating them if absent. Callers
+// mutate the returned stats, so the pair is marked dirty here.
 func (wg *WeightedGraph) ensure(p entity.Pair) *stats {
+	wg.markPair(p)
 	st, ok := wg.pairs[p]
 	if !ok {
 		st = &stats{}
@@ -262,19 +273,33 @@ func (wg *WeightedGraph) bump(p entity.Pair, delta int) {
 		st = &stats{}
 		wg.pairs[p] = st
 	}
+	wg.markPair(p)
 	st.cbs += delta
 	if st.cbs <= 0 {
 		delete(wg.pairs, p)
 	}
 }
 
+// credit adds one block appearance to the description.
+func (wg *WeightedGraph) credit(id entity.ID) {
+	wg.blocksPer[id]++
+	wg.markNode(id)
+}
+
 // debit removes one block appearance from the description, dropping the
 // entry when none remain.
 func (wg *WeightedGraph) debit(id entity.ID) {
+	wg.markNode(id)
 	wg.blocksPer[id]--
 	if wg.blocksPer[id] <= 0 {
 		delete(wg.blocksPer, id)
 	}
+}
+
+// addBlocks adjusts the comparison-suggesting block count.
+func (wg *WeightedGraph) addBlocks(delta int) {
+	wg.numBlocks += delta
+	wg.markBlocks()
 }
 
 // Graph materializes the weighted blocking graph under the given scheme —
@@ -283,7 +308,6 @@ func (wg *WeightedGraph) debit(id entity.ID) {
 // pruning. Weights for the counting schemes are bit-identical regardless
 // of how the statistics were maintained.
 func (wg *WeightedGraph) Graph(scheme WeightScheme) *graph.Graph {
-	numBlocks := float64(wg.numBlocks)
 	// Degrees: number of distinct co-occurring partners per description.
 	degree := make(map[entity.ID]int)
 	for p := range wg.pairs {
@@ -295,14 +319,8 @@ func (wg *WeightedGraph) Graph(scheme WeightScheme) *graph.Graph {
 	for p, st := range wg.pairs {
 		var w float64
 		switch scheme {
-		case CBS:
-			w = float64(st.cbs)
-		case ECBS:
-			w = float64(st.cbs) *
-				math.Log(numBlocks/float64(wg.blocksPer[p.A])) *
-				math.Log(numBlocks/float64(wg.blocksPer[p.B]))
-		case JS:
-			w = js(st.cbs, wg.blocksPer[p.A], wg.blocksPer[p.B])
+		case CBS, ECBS, JS:
+			w = wg.weightOf(p, st, scheme)
 		case EJS:
 			w = js(st.cbs, wg.blocksPer[p.A], wg.blocksPer[p.B]) *
 				math.Log(numEdges/float64(degree[p.A])) *
@@ -313,6 +331,25 @@ func (wg *WeightedGraph) Graph(scheme WeightScheme) *graph.Graph {
 		g.SetWeight(p.A, p.B, w)
 	}
 	return g
+}
+
+// weightOf computes one pair's weight under the streaming-safe counting
+// schemes from the current statistics — the exact expression Graph
+// evaluates, factored out so the delta pruner recomputes individual edges
+// bit-identically to a full materialization.
+func (wg *WeightedGraph) weightOf(p entity.Pair, st *stats, scheme WeightScheme) float64 {
+	switch scheme {
+	case CBS:
+		return float64(st.cbs)
+	case ECBS:
+		numBlocks := float64(wg.numBlocks)
+		return float64(st.cbs) *
+			math.Log(numBlocks/float64(wg.blocksPer[p.A])) *
+			math.Log(numBlocks/float64(wg.blocksPer[p.B]))
+	case JS:
+		return js(st.cbs, wg.blocksPer[p.A], wg.blocksPer[p.B])
+	}
+	panic(fmt.Sprintf("metablocking: weightOf does not support scheme %v", scheme))
 }
 
 // ValidateStreaming reports whether the meta-blocker configuration can run

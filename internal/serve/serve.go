@@ -357,5 +357,9 @@ func (s *Server) cluster(ctx context.Context, r *http.Request) (any, error) {
 }
 
 func (s *Server) stats(ctx context.Context, r *http.Request) (any, error) {
-	return statsJSON(s.res.Stats()), nil
+	st, err := s.res.Stats()
+	if err != nil {
+		return nil, err
+	}
+	return statsJSON(st), nil
 }

@@ -67,7 +67,7 @@ func TestShardedReadSurface(t *testing.T) {
 	if _, ok := r.Get(99); ok {
 		t.Fatal("Get of unknown handle succeeded")
 	}
-	cl := r.Clusters()
+	cl := mustClusters(t, r)
 	if len(cl) != 1 || len(cl[0]) != 2 || cl[0][0] != a || cl[0][1] != b {
 		t.Fatalf("Clusters = %v", cl)
 	}
@@ -80,14 +80,14 @@ func TestShardedReadSurface(t *testing.T) {
 	total := 0
 	for i := 0; i < r.Shards(); i++ {
 		for _, e := range r.MatchEdgesOfShard(i) {
-			if !r.Matches().Contains(e.A, e.B) {
+			if !mustMatches(t, r).Contains(e.A, e.B) {
 				t.Fatalf("shard %d holds edge %v outside the global match set", i, e)
 			}
 			total++
 		}
 	}
-	if total != r.Matches().Len() {
-		t.Fatalf("shard-local edges sum to %d, global matches %d", total, r.Matches().Len())
+	if total != mustMatches(t, r).Len() {
+		t.Fatalf("shard-local edges sum to %d, global matches %d", total, mustMatches(t, r).Len())
 	}
 	if r.MatchEdgesOfShard(99) != nil {
 		t.Fatal("MatchEdgesOfShard out of range returned edges")
@@ -112,7 +112,7 @@ func TestShardedReadSurface(t *testing.T) {
 	if _, err := r.Insert(ctx, apiDesc("u:d", "dora")); err == nil {
 		t.Fatal("insert after Close accepted")
 	}
-	if got := r.Clusters(); len(got) != 1 {
+	if got := mustClusters(t, r); len(got) != 1 {
 		t.Fatalf("reads after Close broke: %v", got)
 	}
 }
@@ -133,17 +133,17 @@ func TestShardedMetaFlush(t *testing.T) {
 	if err := r.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	st := r.Stats()
+	st := mustStats(t, r)
 	if st.Matches != 1 || st.Comparisons != 1 || st.KeptPairs != 1 {
 		t.Fatalf("stats after flush = %+v", st)
 	}
 	if err := r.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if st2 := r.Stats(); st2 != st {
+	if st2 := mustStats(t, r); st2 != st {
 		t.Fatalf("idle flush changed state: %+v vs %+v", st2, st)
 	}
-	if rb := r.RestructuredBlocks(); rb == nil || rb.Len() != 1 {
+	if rb := mustRestructuredBlocks(t, r); rb == nil || rb.Len() != 1 {
 		t.Fatalf("RestructuredBlocks = %v", rb)
 	}
 }
@@ -226,7 +226,7 @@ func TestShardedCancellationGatesAdmission(t *testing.T) {
 	if _, err := r.Insert(ctx, apiDesc("u:a", "alice smith")); err != nil {
 		t.Fatal(err)
 	}
-	before := r.Stats()
+	before := mustStats(t, r)
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
 	if _, err := r.Insert(cancelled, apiDesc("u:b", "bob")); err == nil {
@@ -235,7 +235,7 @@ func TestShardedCancellationGatesAdmission(t *testing.T) {
 	if err := r.Update(cancelled, 0, nil); err == nil {
 		t.Fatal("update admitted under a done context")
 	}
-	if st := r.Stats(); st != before {
+	if st := mustStats(t, r); st != before {
 		t.Fatalf("rejected ops mutated state: %+v vs %+v", st, before)
 	}
 	// The resolver is NOT broken: the next live-context op succeeds and
@@ -247,7 +247,7 @@ func TestShardedCancellationGatesAdmission(t *testing.T) {
 	if id != 1 {
 		t.Fatalf("handle %d after rejected ops, want 1", id)
 	}
-	if st := r.Stats(); st.Inserts != 2 || st.Matches != 1 {
+	if st := mustStats(t, r); st.Inserts != 2 || st.Matches != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 }

@@ -126,7 +126,7 @@ func runShardCrash(t *testing.T, cc shardChaosConfig) {
 	if err := sh.Apply(ctx, script[k]); err == nil {
 		t.Fatalf("op accepted while shard %d is down", victim)
 	}
-	if g, w := renderState(sh.Matches()), renderState(single.Matches()); g != w {
+	if g, w := renderState(mustMatches(t, sh)), renderState(mustMatches(t, single)); g != w {
 		t.Fatalf("reads during the outage diverge:\nsharded\n%s\nsingle-node\n%s", g, w)
 	}
 

@@ -164,18 +164,18 @@ func renderBlocks(bs *blocking.Blocks) string {
 // resolver against the single-node reference, bit for bit.
 func assertShardedEqualsSingle(t *testing.T, sh *sharded.Resolver, single *incremental.Resolver, meta bool, step int) {
 	t.Helper()
-	gs, ws := sh.Stats(), single.Stats()
+	gs, ws := mustStats(t, sh), mustStats(t, single)
 	if gs != ws {
 		t.Fatalf("step %d: stats diverge:\nsharded    %+v\nsingle-node %+v", step, gs, ws)
 	}
-	if g, w := renderState(sh.Matches()), renderState(single.Matches()); g != w {
+	if g, w := renderState(mustMatches(t, sh)), renderState(mustMatches(t, single)); g != w {
 		t.Fatalf("step %d: match state diverges:\nsharded\n%s\nsingle-node\n%s", step, g, w)
 	}
 	if g, w := renderBlocks(sh.Blocks()), renderBlocks(single.Blocks()); g != w {
 		t.Fatalf("step %d: blocks diverge:\nsharded\n%s\nsingle-node\n%s", step, g, w)
 	}
 	if meta {
-		if g, w := renderBlocks(sh.RestructuredBlocks()), renderBlocks(single.RestructuredBlocks()); g != w {
+		if g, w := renderBlocks(mustRestructuredBlocks(t, sh)), renderBlocks(mustRestructuredBlocks(t, single)); g != w {
 			t.Fatalf("step %d: restructured blocks diverge:\nsharded\n%s\nsingle-node\n%s", step, g, w)
 		}
 	}
@@ -185,7 +185,7 @@ func assertShardedEqualsSingle(t *testing.T, sh *sharded.Resolver, single *incre
 // batch pipeline over the snapshot reproduces its matches.
 func assertBatchEquivalence(t *testing.T, sh *sharded.Resolver, blocker blocking.StreamableBlocker, meta *metablocking.MetaBlocker, m *matching.Matcher, step int) {
 	t.Helper()
-	snap, matches := sh.Snapshot()
+	snap, matches := mustSnapshot(t, sh)
 	batch := &core.Pipeline{Blocker: blocker, Meta: meta, Matcher: m, Mode: core.Batch}
 	res, err := batch.Run(snap)
 	if err != nil {

@@ -8,6 +8,8 @@
 package sharded
 
 import (
+	"context"
+
 	"entityres/internal/entity"
 	"entityres/internal/incremental"
 )
@@ -45,12 +47,14 @@ func (cfg Config) NodeConfig(i int) incremental.Config {
 // neighbors in the global match graph, ascending — reconciling any
 // deferred meta-blocking work first. Nil when id is not live or matches
 // nothing. This is the read behind the serving layer's same-as query.
-func (r *Resolver) MatchedWith(id entity.ID) []entity.ID {
+func (r *Resolver) MatchedWith(id entity.ID) ([]entity.ID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
-	if !r.isLive(id) {
-		return nil
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, err
 	}
-	return r.dyn.Graph().Neighbors(id)
+	if !r.isLive(id) {
+		return nil, nil
+	}
+	return r.dyn.Graph().Neighbors(id), nil
 }

@@ -67,10 +67,10 @@ func TestShardedMatchedWith(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := r.MatchedWith(a); !reflect.DeepEqual(got, []entity.ID{b}) {
+	if got := mustMatchedWith(t, r, a); !reflect.DeepEqual(got, []entity.ID{b}) {
 		t.Fatalf("MatchedWith(%d) = %v", a, got)
 	}
-	if got := r.MatchedWith(entity.ID(42)); got != nil {
+	if got := mustMatchedWith(t, r, entity.ID(42)); got != nil {
 		t.Fatalf("MatchedWith(dead) = %v", got)
 	}
 }

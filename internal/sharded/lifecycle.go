@@ -306,6 +306,25 @@ func (r *Resolver) Recovery() []incremental.RecoveryInfo {
 	return out
 }
 
+// Perf sums the cumulative per-op work counters over every shard. Like
+// the single-node accessor it never reconciles.
+func (r *Resolver) Perf() incremental.PerfCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out incremental.PerfCounters
+	for _, sh := range r.shards {
+		p := sh.res.Perf()
+		out.Reconciles += p.Reconciles
+		out.ReconcileExamined += p.ReconcileExamined
+		out.ReconcileEvaluated += p.ReconcileEvaluated
+		out.FullSnapshots += p.FullSnapshots
+		out.DeltaSnapshots += p.DeltaSnapshots
+		out.SnapshotSlots += p.SnapshotSlots
+		out.SnapshotPairs += p.SnapshotPairs
+	}
+	return out
+}
+
 // Recovered reports whether Open found existing state in any shard.
 func (r *Resolver) Recovered() bool {
 	r.mu.Lock()

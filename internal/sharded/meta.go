@@ -40,26 +40,19 @@ func (r *Resolver) Flush(ctx context.Context) error {
 // RestructuredBlocks reconciles and renders the pruned global blocking
 // graph the way batch meta-blocking emits it: one two-description block
 // per kept edge, ordered by descending weight. Nil without a Meta
-// configuration.
-func (r *Resolver) RestructuredBlocks() *blocking.Blocks {
+// configuration. The error is the reconcile's.
+func (r *Resolver) RestructuredBlocks() (*blocking.Blocks, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.cfg.Meta == nil {
-		return nil
+		return nil, nil
 	}
-	r.mustReconcile()
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, err
+	}
 	kept := make([]graph.Edge, len(r.lastKept))
 	copy(kept, r.lastKept)
-	return metablocking.EmitKept(r.coll, r.cfg.Kind, kept)
-}
-
-// mustReconcile is reconcile under a background context, for read
-// accessors that return no error; the background context never cancels,
-// so it cannot fail. Callers hold r.mu.
-func (r *Resolver) mustReconcile() {
-	if err := r.reconcile(context.Background()); err != nil {
-		panic(fmt.Sprintf("sharded: reconcile under background context: %v", err))
-	}
+	return metablocking.EmitKept(r.coll, r.cfg.Kind, kept), nil
 }
 
 // reconcile settles the deferred global meta-blocking state. Callers hold

@@ -630,10 +630,12 @@ func (r *Resolver) Apply(ctx context.Context, op incremental.Op) error {
 // the shards' matcher invocations (plus the coordinator's reconcile
 // evaluations under meta-blocking) and equals the single-node resolver's
 // count bit for bit.
-func (r *Resolver) Stats() incremental.Stats {
+func (r *Resolver) Stats() (incremental.Stats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
+	if err := r.reconcile(context.Background()); err != nil {
+		return incremental.Stats{}, err
+	}
 	st := r.stats
 	st.Live = r.liveCount
 	st.Matches = r.dyn.NumEdges()
@@ -645,7 +647,7 @@ func (r *Resolver) Stats() incremental.Stats {
 		}
 		st.KeptPairs = len(r.lastKept)
 	}
-	return st
+	return st, nil
 }
 
 // comparisonsLocked sums the matcher invocations across the system.
@@ -658,21 +660,26 @@ func (r *Resolver) comparisonsLocked() int64 {
 	return n
 }
 
-// Matches returns the current global match pairs over internal handles.
-func (r *Resolver) Matches() *entity.Matches {
+// Matches returns the current global match pairs over internal handles,
+// reconciling deferred meta-blocking work first.
+func (r *Resolver) Matches() (*entity.Matches, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
-	return r.dyn.Matches()
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, err
+	}
+	return r.dyn.Matches(), nil
 }
 
 // Clusters returns the current non-singleton entity clusters over internal
 // handles, in the deterministic order of entity.UnionFind.Clusters.
-func (r *Resolver) Clusters() [][]entity.ID {
+func (r *Resolver) Clusters() ([][]entity.ID, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
-	return r.dyn.Clusters()
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, err
+	}
+	return r.dyn.Clusters(), nil
 }
 
 // Blocks materializes the global block collection: the union of the
@@ -700,10 +707,12 @@ func (r *Resolver) Blocks() *blocking.Blocks {
 // dense live descriptions plus the match set remapped into that ID space —
 // with the same contract as the single-node resolver's Snapshot: a batch
 // pipeline over the returned collection reproduces the returned matches.
-func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches) {
+func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.mustReconcile()
+	if err := r.reconcile(context.Background()); err != nil {
+		return nil, nil, err
+	}
 	out := entity.NewCollection(r.cfg.Kind)
 	remap := make(map[entity.ID]entity.ID, r.liveCount)
 	for _, d := range r.coll.All() {
@@ -717,5 +726,5 @@ func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches) {
 		matches.Add(remap[e.A], remap[e.B])
 		return true
 	})
-	return out, matches
+	return out, matches, nil
 }

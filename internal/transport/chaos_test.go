@@ -230,7 +230,7 @@ func TestCoordinatorRestart(t *testing.T) {
 			// Reads reconcile under meta-blocking, so the single-node mirror
 			// follows the same read schedule as the coordinator.
 			single.Stats()
-			before := co.Stats()
+			before := mustStats(t, co)
 			co.Abandon()
 
 			co2, err := cl.open(ctx, cdir)
@@ -238,7 +238,7 @@ func TestCoordinatorRestart(t *testing.T) {
 				t.Fatalf("reopening coordinator: %v", err)
 			}
 			defer co2.Close()
-			if after := co2.Stats(); after != before {
+			if after := mustStats(t, co2); after != before {
 				t.Fatalf("restart is not counter-exact:\nbefore %+v\nafter  %+v", before, after)
 			}
 			if co2.Seq() != uint64(k) {

@@ -515,7 +515,7 @@ func (r *Coordinator) compAt(i int) (int64, error) {
 // replica, comparisons from the shard acknowledgements — adjusted by the
 // claimed share of an operation a down shard has not yet acknowledged, so
 // the total equals the single-node count at every stream position.
-func (r *Coordinator) Stats() incremental.Stats {
+func (r *Coordinator) Stats() (incremental.Stats, error) {
 	if r.cfg.Meta != nil {
 		// The replica IS the single-node resolver here (its reconcile does
 		// the matching); its stats are exact verbatim.
@@ -537,42 +537,42 @@ func (r *Coordinator) Stats() incremental.Stats {
 	}
 	st.Matches = r.dyn.NumEdges()
 	st.Clusters = len(r.dyn.Clusters())
-	return st
+	return st, nil
 }
 
 // Matches returns the current global match pairs over internal handles.
-func (r *Coordinator) Matches() *entity.Matches {
+func (r *Coordinator) Matches() (*entity.Matches, error) {
 	if r.cfg.Meta != nil {
 		return r.rep.Matches()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.dyn.Matches()
+	return r.dyn.Matches(), nil
 }
 
 // Clusters returns the current non-singleton clusters over internal
 // handles.
-func (r *Coordinator) Clusters() [][]entity.ID {
+func (r *Coordinator) Clusters() ([][]entity.ID, error) {
 	if r.cfg.Meta != nil {
 		return r.rep.Clusters()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.dyn.Clusters()
+	return r.dyn.Clusters(), nil
 }
 
 // MatchedWith returns the handles currently matched to id, reconciling
 // deferred meta-blocking work first. Nil when id is not live.
-func (r *Coordinator) MatchedWith(id entity.ID) []entity.ID {
+func (r *Coordinator) MatchedWith(id entity.ID) ([]entity.ID, error) {
 	if r.cfg.Meta != nil {
 		return r.rep.MatchedWith(id)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, live := r.rep.Get(id); !live {
-		return nil
+		return nil, nil
 	}
-	return r.dyn.Graph().Neighbors(id)
+	return r.dyn.Graph().Neighbors(id), nil
 }
 
 // Blocks materializes the global block collection from the replica's full
@@ -581,7 +581,9 @@ func (r *Coordinator) Blocks() *blocking.Blocks { return r.rep.Blocks() }
 
 // RestructuredBlocks reconciles and renders the pruned global blocking
 // graph (meta-blocking deployments; nil otherwise).
-func (r *Coordinator) RestructuredBlocks() *blocking.Blocks { return r.rep.RestructuredBlocks() }
+func (r *Coordinator) RestructuredBlocks() (*blocking.Blocks, error) {
+	return r.rep.RestructuredBlocks()
+}
 
 // Flush settles any deferred meta-blocking work.
 func (r *Coordinator) Flush(ctx context.Context) error { return r.rep.Flush(ctx) }

@@ -236,23 +236,23 @@ func (c *cluster) open(ctx context.Context, dir string) (*transport.Coordinator,
 // assertCoordinatorEquals compares every acceptance observable of the
 // networked coordinator against a reference resolver, bit for bit.
 func assertCoordinatorEquals(t *testing.T, co *transport.Coordinator, ref interface {
-	Stats() incremental.Stats
-	Matches() *entity.Matches
+	Stats() (incremental.Stats, error)
+	Matches() (*entity.Matches, error)
 	Blocks() *blocking.Blocks
-	RestructuredBlocks() *blocking.Blocks
+	RestructuredBlocks() (*blocking.Blocks, error)
 }, refName string, meta bool, step int) {
 	t.Helper()
-	if gs, ws := co.Stats(), ref.Stats(); gs != ws {
+	if gs, ws := mustStats(t, co), mustStats(t, ref); gs != ws {
 		t.Fatalf("step %d: stats diverge:\nnetworked %+v\n%-9s %+v", step, gs, refName, ws)
 	}
-	if g, w := renderState(co.Matches()), renderState(ref.Matches()); g != w {
+	if g, w := renderState(mustMatches(t, co)), renderState(mustMatches(t, ref)); g != w {
 		t.Fatalf("step %d: match state diverges:\nnetworked\n%s\n%s\n%s", step, g, refName, w)
 	}
 	if g, w := renderBlocks(co.Blocks()), renderBlocks(ref.Blocks()); g != w {
 		t.Fatalf("step %d: blocks diverge:\nnetworked\n%s\n%s\n%s", step, g, refName, w)
 	}
 	if meta {
-		if g, w := renderBlocks(co.RestructuredBlocks()), renderBlocks(ref.RestructuredBlocks()); g != w {
+		if g, w := renderBlocks(mustRestructuredBlocks(t, co)), renderBlocks(mustRestructuredBlocks(t, ref)); g != w {
 			t.Fatalf("step %d: restructured blocks diverge:\nnetworked\n%s\n%s\n%s", step, g, refName, w)
 		}
 	}

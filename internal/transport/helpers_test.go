@@ -1,0 +1,79 @@
+package transport_test
+
+import (
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/entity"
+	"entityres/internal/incremental"
+)
+
+// The error-returning read API makes every reconciling read two-valued on
+// both the sharded coordinator and the single-node resolver; these
+// interface-typed helpers keep test bodies on the happy path for either.
+
+func mustStats(t testing.TB, r interface {
+	Stats() (incremental.Stats, error)
+}) incremental.Stats {
+	t.Helper()
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	return st
+}
+
+func mustMatches(t testing.TB, r interface {
+	Matches() (*entity.Matches, error)
+}) *entity.Matches {
+	t.Helper()
+	m, err := r.Matches()
+	if err != nil {
+		t.Fatalf("Matches: %v", err)
+	}
+	return m
+}
+
+func mustClusters(t testing.TB, r interface {
+	Clusters() ([][]entity.ID, error)
+}) [][]entity.ID {
+	t.Helper()
+	cl, err := r.Clusters()
+	if err != nil {
+		t.Fatalf("Clusters: %v", err)
+	}
+	return cl
+}
+
+func mustSnapshot(t testing.TB, r interface {
+	Snapshot() (*entity.Collection, *entity.Matches, error)
+}) (*entity.Collection, *entity.Matches) {
+	t.Helper()
+	coll, m, err := r.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return coll, m
+}
+
+func mustMatchedWith(t testing.TB, r interface {
+	MatchedWith(entity.ID) ([]entity.ID, error)
+}, id entity.ID) []entity.ID {
+	t.Helper()
+	ids, err := r.MatchedWith(id)
+	if err != nil {
+		t.Fatalf("MatchedWith(%d): %v", id, err)
+	}
+	return ids
+}
+
+func mustRestructuredBlocks(t testing.TB, r interface {
+	RestructuredBlocks() (*blocking.Blocks, error)
+}) *blocking.Blocks {
+	t.Helper()
+	bl, err := r.RestructuredBlocks()
+	if err != nil {
+		t.Fatalf("RestructuredBlocks: %v", err)
+	}
+	return bl
+}

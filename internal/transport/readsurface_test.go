@@ -42,13 +42,13 @@ func TestCoordinatorReadSurface(t *testing.T) {
 	if err := co.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if got := co.Clusters(); !reflect.DeepEqual(got, [][]entity.ID{{a, b}}) {
+	if got := mustClusters(t, co); !reflect.DeepEqual(got, [][]entity.ID{{a, b}}) {
 		t.Fatalf("Clusters = %v", got)
 	}
-	if got := co.MatchedWith(a); !reflect.DeepEqual(got, []entity.ID{b}) {
+	if got := mustMatchedWith(t, co, a); !reflect.DeepEqual(got, []entity.ID{b}) {
 		t.Fatalf("MatchedWith(%d) = %v", a, got)
 	}
-	if got := co.MatchedWith(99); got != nil {
+	if got := mustMatchedWith(t, co, 99); got != nil {
 		t.Fatalf("MatchedWith(dead) = %v", got)
 	}
 	d, ok := co.Get(a)
