@@ -30,8 +30,16 @@
 //
 // With -serve it loads the generated collection into an er.Open resolver,
 // fronts it with the HTTP/JSON query service, and measures per-endpoint
-// request latency (p50/p99/mean over loopback); -json then writes
+// request latency (p50/p99/mean over loopback) including bulk ingest
+// through POST /v1/ops, per-op vs batched; -json then writes
 // BENCH_serve.json.
+//
+// With -bursty it replays the synthetic insert stream through the durable
+// single-node and the networked deployments at batch sizes 1/16/64/256
+// via the amortized ApplyBatch path, asserts the resolved state is
+// identical at every size, and reports the amortization: journal appends,
+// fan-outs and wire round trips per batch size, with the batch=64 ratio
+// over per-op required to stay >= 8x. -json then writes BENCH_bursty.json.
 //
 // Usage:
 //
@@ -43,6 +51,8 @@
 //	erbench -streaming-shards N [-workers N] [-scale small|medium] [-short]
 //	        [-seed N] [-json FILE] [-baseline FILE [-tolerance F]]
 //	erbench -serve [-workers N] [-scale small|medium] [-short] [-seed N]
+//	        [-json FILE] [-baseline FILE [-tolerance F]]
+//	erbench -bursty [-workers N] [-scale small|medium] [-short] [-seed N]
 //	        [-json FILE] [-baseline FILE [-tolerance F]]
 package main
 
@@ -83,7 +93,8 @@ func main() {
 
 		streamShards = flag.Int("streaming-shards", 0, "benchmark the sharded streaming resolver with N key-hash shards against the single-node resolver (bit-equality asserted)")
 		serveBench   = flag.Bool("serve", false, "benchmark the HTTP/JSON query service: per-endpoint latency (p50/p99) over a loaded resolver")
-		jsonPath     = flag.String("json", "", "with -streaming-meta, -streaming-shards or -serve: also write the machine-readable benchmark result to this file, e.g. BENCH_streaming.json / BENCH_sharded.json / BENCH_serve.json")
+		bursty       = flag.Bool("bursty", false, "benchmark bursty ingestion: replay the synthetic stream through the durable and networked deployments at batch sizes 1/16/64/256 and report the amortization (journal appends, fan-outs, wire round trips)")
+		jsonPath     = flag.String("json", "", "with a bench mode: also write the machine-readable benchmark result to this file, e.g. BENCH_streaming.json / BENCH_sharded.json / BENCH_serve.json / BENCH_bursty.json")
 		short        = flag.Bool("short", false, "bench modes: shrink the scenario to ~400 entities (the CI regression-gate scale)")
 		baseline     = flag.String("baseline", "", "with a bench mode: diff the fresh run's portable counters against this committed JSON payload and fail on drift beyond -tolerance")
 		tolerance    = flag.Float64("tolerance", 0.01, "relative drift allowed per portable counter when diffing against -baseline")
@@ -99,9 +110,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "erbench: unknown scale %q (want small or medium)\n", *scale)
 		os.Exit(2)
 	}
-	benchMode := *streamMeta || *streamShards > 0 || *serveBench
+	benchMode := *streamMeta || *streamShards > 0 || *serveBench || *bursty
 	if (*jsonPath != "" || *baseline != "") && !benchMode {
-		fmt.Fprintln(os.Stderr, "erbench: -json/-baseline require -streaming-meta, -streaming-shards or -serve")
+		fmt.Fprintln(os.Stderr, "erbench: -json/-baseline require -streaming-meta, -streaming-shards, -serve or -bursty")
 		os.Exit(2)
 	}
 	out := benchOutput{jsonPath: *jsonPath, baseline: *baseline, tolerance: *tolerance}
@@ -135,6 +146,13 @@ func main() {
 	}
 	if *serveBench {
 		if err := runServeBench(entities, *seed, *workers, out); err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bursty {
+		if err := runBurstyIngest(entities, *seed, *workers, out); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -254,27 +272,34 @@ type benchTimingJSON struct {
 	NSPerOp int64 `json:"ns_per_op"`
 }
 
-// benchPerfJSON mirrors er.StreamingPerf: reconcile effort and snapshot
-// compaction cost, all machine-independent.
+// benchPerfJSON mirrors er.StreamingPerf: reconcile effort, snapshot
+// compaction cost, and the amortization counters (journal appends,
+// fan-outs, wire round trips), all machine-independent.
 type benchPerfJSON struct {
-	Reconciles         int64 `json:"reconciles"`
-	ReconcileExamined  int64 `json:"reconcile_examined"`
-	ReconcileEvaluated int64 `json:"reconcile_evaluated"`
-	FullSnapshots      int64 `json:"full_snapshots"`
-	DeltaSnapshots     int64 `json:"delta_snapshots"`
-	SnapshotSlots      int64 `json:"snapshot_slots"`
-	SnapshotPairs      int64 `json:"snapshot_pairs"`
+	Reconciles          int64 `json:"reconciles"`
+	ReconcileExamined   int64 `json:"reconcile_examined"`
+	ReconcileEvaluated  int64 `json:"reconcile_evaluated"`
+	FullSnapshots       int64 `json:"full_snapshots"`
+	DeltaSnapshots      int64 `json:"delta_snapshots"`
+	SnapshotSlots       int64 `json:"snapshot_slots"`
+	SnapshotPairs       int64 `json:"snapshot_pairs"`
+	JournalAppends      int64 `json:"journal_appends"`
+	FanOuts             int64 `json:"fan_outs"`
+	TransportRoundTrips int64 `json:"transport_round_trips"`
 }
 
 func perfJSON(p er.StreamingPerf) benchPerfJSON {
 	return benchPerfJSON{
-		Reconciles:         p.Reconciles,
-		ReconcileExamined:  p.ReconcileExamined,
-		ReconcileEvaluated: p.ReconcileEvaluated,
-		FullSnapshots:      p.FullSnapshots,
-		DeltaSnapshots:     p.DeltaSnapshots,
-		SnapshotSlots:      p.SnapshotSlots,
-		SnapshotPairs:      p.SnapshotPairs,
+		Reconciles:          p.Reconciles,
+		ReconcileExamined:   p.ReconcileExamined,
+		ReconcileEvaluated:  p.ReconcileEvaluated,
+		FullSnapshots:       p.FullSnapshots,
+		DeltaSnapshots:      p.DeltaSnapshots,
+		SnapshotSlots:       p.SnapshotSlots,
+		SnapshotPairs:       p.SnapshotPairs,
+		JournalAppends:      p.JournalAppends,
+		FanOuts:             p.FanOuts,
+		TransportRoundTrips: p.TransportRoundTrips,
 	}
 }
 
@@ -362,6 +387,9 @@ var benchIdentityFields = map[string]bool{
 	"meta":                    true,
 	"shards":                  true,
 	"requests_per_endpoint":   true,
+	"ingest_requests":         true,
+	"ingest_batch":            true,
+	"ops":                     true,
 	"recovery.ops":            true,
 	"recovery.snapshot_every": true,
 }
@@ -882,6 +910,8 @@ type benchServePortableJSON struct {
 	Entities            int   `json:"entities"`
 	Seed                int64 `json:"seed"`
 	RequestsPerEndpoint int   `json:"requests_per_endpoint"`
+	IngestRequests      int   `json:"ingest_requests"`
+	IngestBatch         int   `json:"ingest_batch"`
 	Comparisons         int64 `json:"comparisons"`
 	Matches             int   `json:"matches"`
 }
@@ -928,6 +958,12 @@ func runServeBench(entities int, seed int64, workers int, out benchOutput) error
 		}
 		uris = append(uris, d.URI)
 	}
+	// The portable section describes the loaded resolver; read it before
+	// the ingest probes mutate the state.
+	loaded, err := r.Stats()
+	if err != nil {
+		return err
+	}
 
 	srv := serve.NewServer(r, serve.Options{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -942,12 +978,16 @@ func runServeBench(entities int, seed int64, workers int, out benchOutput) error
 		c.Len(), seed, serveRequests)
 
 	measure := func(path func(i int) string) (benchLatencyJSON, error) {
-		// Warm-up: connection pool, first-hit allocations.
+		// Warm-up: connection pool, first-hit allocations. The body must be
+		// drained before Close or the connection is torn down instead of
+		// returned to the pool, and the measured loop re-pays the dials the
+		// warm-up was supposed to absorb.
 		for i := 0; i < 32; i++ {
 			resp, err := client.Get(base + path(i))
 			if err != nil {
 				return benchLatencyJSON{}, err
 			}
+			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 		}
 		lat := make([]time.Duration, serveRequests)
@@ -964,17 +1004,7 @@ func runServeBench(entities int, seed int64, workers int, out benchOutput) error
 				return benchLatencyJSON{}, fmt.Errorf("%s answered %d", path(i), resp.StatusCode)
 			}
 		}
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		var sum time.Duration
-		for _, l := range lat {
-			sum += l
-		}
-		return benchLatencyJSON{
-			Requests: len(lat),
-			P50NS:    lat[len(lat)/2].Nanoseconds(),
-			P99NS:    lat[len(lat)*99/100].Nanoseconds(),
-			MeanNS:   (sum / time.Duration(len(lat))).Nanoseconds(),
-		}, nil
+		return summarizeLatency(lat), nil
 	}
 
 	uri := func(i int) string { return url.QueryEscape(uris[i%len(uris)]) }
@@ -998,6 +1028,69 @@ func runServeBench(entities int, seed int64, workers int, out benchOutput) error
 			time.Duration(m.MeanNS).Round(time.Microsecond))
 	}
 
+	// Bulk-ingest latency through POST /v1/ops: the same probe stream one
+	// operation per request vs. ingestBatch operations per request. Every
+	// probe description is deleted again (per-op: by the next request;
+	// batched: inside the same batch), so the resolver keeps the size the
+	// query endpoints above were measured at.
+	measurePost := func(n int, body func(i int) string) (benchLatencyJSON, error) {
+		lat := make([]time.Duration, n)
+		for i := range lat {
+			b := body(i)
+			t0 := time.Now()
+			resp, err := client.Post(base+"/v1/ops", "application/json", strings.NewReader(b))
+			if err != nil {
+				return benchLatencyJSON{}, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lat[i] = time.Since(t0)
+			if resp.StatusCode != http.StatusOK {
+				return benchLatencyJSON{}, fmt.Errorf("/v1/ops answered %d", resp.StatusCode)
+			}
+		}
+		return summarizeLatency(lat), nil
+	}
+	insertOp := func(uri string) string {
+		return fmt.Sprintf(`{"op":"insert","uri":%q,"attrs":[{"name":"name","value":"ingest probe %s"}]}`, uri, uri)
+	}
+	perOp, err := measurePost(ingestRequests, func(i int) string {
+		if i%2 == 1 {
+			return fmt.Sprintf(`{"ops":[{"op":"delete","uri":"urn:ingest-one-%d"}]}`, i-1)
+		}
+		return `{"ops":[` + insertOp(fmt.Sprintf("urn:ingest-one-%d", i)) + `]}`
+	})
+	if err != nil {
+		return fmt.Errorf("ingest-per-op: %w", err)
+	}
+	batched, err := measurePost(ingestRequests/4, func(i int) string {
+		ops := make([]string, 0, ingestBatch)
+		for j := 0; j < ingestBatch/2; j++ {
+			ops = append(ops, insertOp(fmt.Sprintf("urn:ingest-b-%d-%d", i, j)))
+		}
+		for j := 0; j < ingestBatch/2; j++ {
+			ops = append(ops, fmt.Sprintf(`{"op":"delete","uri":"urn:ingest-b-%d-%d"}`, i, j))
+		}
+		return `{"ops":[` + strings.Join(ops, ",") + `]}`
+	})
+	if err != nil {
+		return fmt.Errorf("ingest-batch: %w", err)
+	}
+	results["ingest-per-op"] = perOp
+	results["ingest-batch"] = batched
+	fmt.Printf("\n%-14s %10s %10s %10s %12s\n", "ingest", "p50", "p99", "mean", "ns/op")
+	for _, row := range []struct {
+		name string
+		m    benchLatencyJSON
+		per  int
+	}{{"per-op", perOp, 1}, {fmt.Sprintf("batch=%d", ingestBatch), batched, ingestBatch}} {
+		fmt.Printf("%-14s %10v %10v %10v %12d\n", row.name,
+			time.Duration(row.m.P50NS).Round(time.Microsecond),
+			time.Duration(row.m.P99NS).Round(time.Microsecond),
+			time.Duration(row.m.MeanNS).Round(time.Microsecond),
+			row.m.MeanNS/int64(row.per))
+	}
+
 	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
@@ -1010,10 +1103,6 @@ func runServeBench(entities int, seed int64, workers int, out benchOutput) error
 	if out.jsonPath == "" && out.baseline == "" {
 		return nil
 	}
-	st, err := r.Stats()
-	if err != nil {
-		return err
-	}
 	payload := benchServeJSON{
 		Schema: benchSchema,
 		Name:   "serve",
@@ -1021,16 +1110,39 @@ func runServeBench(entities int, seed int64, workers int, out benchOutput) error
 			Entities:            c.Len(),
 			Seed:                seed,
 			RequestsPerEndpoint: serveRequests,
-			Comparisons:         st.Comparisons,
-			Matches:             st.Matches,
+			IngestRequests:      ingestRequests,
+			IngestBatch:         ingestBatch,
+			Comparisons:         loaded.Comparisons,
+			Matches:             loaded.Matches,
 		},
 		Timing: benchServeTimingJSON{Workers: workers, Endpoints: results},
 	}
 	return out.emit(&payload)
 }
 
-// serveRequests is the measured request count per endpoint for -serve.
-const serveRequests = 800
+// serveRequests is the measured request count per endpoint for -serve;
+// ingestRequests and ingestBatch shape the bulk-ingest legs (the batched
+// leg sends ingestRequests/4 requests of ingestBatch ops each).
+const (
+	serveRequests  = 800
+	ingestRequests = 200
+	ingestBatch    = 32
+)
+
+// summarizeLatency renders a measured latency sample as its distribution.
+func summarizeLatency(lat []time.Duration) benchLatencyJSON {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, l := range lat {
+		sum += l
+	}
+	return benchLatencyJSON{
+		Requests: len(lat),
+		P50NS:    lat[len(lat)/2].Nanoseconds(),
+		P99NS:    lat[len(lat)*99/100].Nanoseconds(),
+		MeanNS:   (sum / time.Duration(len(lat))).Nanoseconds(),
+	}
+}
 
 func sameMatches(a, b *er.Matches) bool {
 	if a.Len() != b.Len() {
@@ -1042,4 +1154,236 @@ func sameMatches(a, b *er.Matches) bool {
 		return same
 	})
 	return same
+}
+
+// burstySizes are the -bursty ingest batch sizes; burstyShards is the
+// networked leg's shard count. Batch size 1 is the per-op reference the
+// amortization ratios are taken against.
+var burstySizes = []int{1, 16, 64, 256}
+
+const (
+	burstyShards = 2
+	// burstyAmortizationFloor is the minimum batch=64 amortization (journal
+	// appends and wire round trips saved vs. per-op) the run asserts; a
+	// collapse below it means the batched path stopped batching.
+	burstyAmortizationFloor = 8.0
+)
+
+// benchBurstyPortableJSON identifies the -bursty scenario and carries its
+// machine-independent results: the resolved counters (identical at every
+// batch size — asserted) and each leg's per-batch-size perf counters.
+type benchBurstyPortableJSON struct {
+	Entities  int                      `json:"entities"`
+	Seed      int64                    `json:"seed"`
+	Shards    int                      `json:"shards"`
+	Ops       int                      `json:"ops"`
+	Counters  benchCountersJSON        `json:"counters"`
+	Identical bool                     `json:"identical"`
+	Durable   map[string]benchPerfJSON `json:"durable"`
+	Networked map[string]benchPerfJSON `json:"networked"`
+	// The asserted ratios: per-op cost over batch=64 cost.
+	AppendAmortization64    float64 `json:"append_amortization_64"`
+	RoundTripAmortization64 float64 `json:"round_trip_amortization_64"`
+}
+
+// benchBurstyTimingJSON is the -bursty wall-clock section.
+type benchBurstyTimingJSON struct {
+	Workers   int                        `json:"workers"`
+	Durable   map[string]benchTimingJSON `json:"durable"`
+	Networked map[string]benchTimingJSON `json:"networked"`
+}
+
+// benchBurstyJSON is the machine-readable -bursty payload
+// (BENCH_bursty.json).
+type benchBurstyJSON struct {
+	Schema   int                     `json:"schema"`
+	Name     string                  `json:"name"`
+	Portable benchBurstyPortableJSON `json:"portable"`
+	Timing   benchBurstyTimingJSON   `json:"timing"`
+}
+
+// runBurstyIngest replays one synthetic insert stream through the durable
+// single-node resolver and the networked coordinator, once per batch size,
+// chunked through the amortized ApplyBatch path. Every run must resolve to
+// the identical state; what changes is the amortized cost — journal
+// appends on the durable leg, wire round trips on the networked leg — and
+// the batch=64 amortization over per-op must hold the >= 8x floor.
+func runBurstyIngest(entities int, seed int64, workers int, out benchOutput) error {
+	c, _, err := er.GenerateDirty(er.GenConfig{Seed: seed, Entities: entities, MaxDuplicates: 2})
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ops := make([]er.StreamOp, 0, c.Len())
+	for _, d := range c.All() {
+		ops = append(ops, er.StreamOp{Kind: er.StreamInsert, URI: d.URI, Source: d.Source, Attrs: d.Attrs})
+	}
+	ctx := context.Background()
+	matcher := func() *er.Matcher { return &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5} }
+	fmt.Printf("bursty ingestion: %d insert ops, seed %d, batch sizes %v, %d workers, %d shards networked\n",
+		len(ops), seed, burstySizes, workers, burstyShards)
+
+	apply := func(r er.Resolver, size int) (time.Duration, error) {
+		t0 := time.Now()
+		for at := 0; at < len(ops); at += size {
+			if err := r.ApplyBatch(ctx, ops[at:min(at+size, len(ops))]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+
+	runDurable := func(size int) (er.StreamingStats, er.StreamingPerf, time.Duration, error) {
+		walDir, err := os.MkdirTemp("", "erbench-bursty-wal-")
+		if err != nil {
+			return er.StreamingStats{}, er.StreamingPerf{}, 0, err
+		}
+		defer os.RemoveAll(walDir)
+		r, err := er.Open(ctx, er.Config{
+			Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: matcher(), Workers: workers,
+			Dir: walDir, Durable: er.StreamingDurable{SnapshotEvery: entities / 4, NoSync: true},
+		})
+		if err != nil {
+			return er.StreamingStats{}, er.StreamingPerf{}, 0, err
+		}
+		defer r.Close()
+		wall, err := apply(r, size)
+		if err != nil {
+			return er.StreamingStats{}, er.StreamingPerf{}, 0, err
+		}
+		st, err := r.Stats()
+		if err != nil {
+			return er.StreamingStats{}, er.StreamingPerf{}, 0, err
+		}
+		return st, r.(er.PerfReporter).Perf(), wall, nil
+	}
+
+	runNetworked := func(size int) (er.StreamingStats, er.StreamingPerf, time.Duration, error) {
+		fail := func(err error) (er.StreamingStats, er.StreamingPerf, time.Duration, error) {
+			return er.StreamingStats{}, er.StreamingPerf{}, 0, err
+		}
+		shardCfg := er.Config{
+			Kind: er.Dirty, Blocker: &er.TokenBlocking{}, Matcher: matcher(), Workers: workers,
+			Shards: burstyShards,
+		}
+		var servers []*er.ShardServer
+		defer func() {
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		addrs := make([]string, burstyShards)
+		for i := range addrs {
+			srv, err := er.NewShardServer("", shardCfg, i)
+			if err != nil {
+				return fail(err)
+			}
+			servers = append(servers, srv)
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return fail(err)
+			}
+			go srv.Serve(lis)
+			addrs[i] = lis.Addr().String()
+		}
+		coDir, err := os.MkdirTemp("", "erbench-bursty-co-")
+		if err != nil {
+			return fail(err)
+		}
+		defer os.RemoveAll(coDir)
+		coCfg := shardCfg
+		coCfg.Shards = 0
+		coCfg.Addrs = addrs
+		coCfg.Dir = coDir
+		co, err := er.Open(ctx, coCfg)
+		if err != nil {
+			return fail(err)
+		}
+		defer co.Close()
+		wall, err := apply(co, size)
+		if err != nil {
+			return fail(err)
+		}
+		st, err := co.Stats()
+		if err != nil {
+			return fail(err)
+		}
+		return st, co.(er.PerfReporter).Perf(), wall, nil
+	}
+
+	key := func(size int) string { return fmt.Sprintf("b%d", size) }
+	nsPerOp := func(d time.Duration) int64 { return d.Nanoseconds() / int64(len(ops)) }
+	var want er.StreamingStats
+	identical := true
+	legs := []struct {
+		name string
+		run  func(int) (er.StreamingStats, er.StreamingPerf, time.Duration, error)
+		cost func(benchPerfJSON) int64
+		unit string
+	}{
+		{"durable", runDurable, func(p benchPerfJSON) int64 { return p.JournalAppends }, "journal appends"},
+		{"networked", runNetworked, func(p benchPerfJSON) int64 { return p.TransportRoundTrips }, "round trips"},
+	}
+	perf := map[string]map[string]benchPerfJSON{}
+	timing := map[string]map[string]benchTimingJSON{}
+	for _, leg := range legs {
+		perf[leg.name] = map[string]benchPerfJSON{}
+		timing[leg.name] = map[string]benchTimingJSON{}
+		fmt.Printf("\n%-12s %12s %10s %16s %14s\n", leg.name, "wall", "ops/sec", leg.unit, "amortization")
+		for _, size := range burstySizes {
+			st, p, wall, err := leg.run(size)
+			if err != nil {
+				return fmt.Errorf("%s batch=%d: %w", leg.name, size, err)
+			}
+			if want == (er.StreamingStats{}) {
+				want = st
+			} else if st != want {
+				identical = false
+			}
+			pj := perfJSON(p)
+			perf[leg.name][key(size)] = pj
+			timing[leg.name][key(size)] = benchTimingJSON{WallNS: wall.Nanoseconds(), NSPerOp: nsPerOp(wall)}
+			ratio := float64(leg.cost(perf[leg.name][key(1)])) / float64(leg.cost(pj))
+			fmt.Printf("batch=%-6d %12v %10.0f %16d %13.1fx\n", size, wall.Round(time.Microsecond),
+				float64(len(ops))/wall.Seconds(), leg.cost(pj), ratio)
+		}
+	}
+	if !identical {
+		return fmt.Errorf("batched replays diverged: the resolved state must be identical at every batch size")
+	}
+	appendRatio := float64(perf["durable"][key(1)].JournalAppends) / float64(perf["durable"][key(64)].JournalAppends)
+	rtRatio := float64(perf["networked"][key(1)].TransportRoundTrips) / float64(perf["networked"][key(64)].TransportRoundTrips)
+	fmt.Printf("\nidentical=true append_amortization_64=%.1fx round_trip_amortization_64=%.1fx\n", appendRatio, rtRatio)
+	if appendRatio < burstyAmortizationFloor || rtRatio < burstyAmortizationFloor {
+		return fmt.Errorf("batch=64 amortization collapsed: journal appends %.1fx, round trips %.1fx (floor %.0fx)",
+			appendRatio, rtRatio, burstyAmortizationFloor)
+	}
+
+	if out.jsonPath == "" && out.baseline == "" {
+		return nil
+	}
+	payload := benchBurstyJSON{
+		Schema: benchSchema,
+		Name:   "bursty-ingest",
+		Portable: benchBurstyPortableJSON{
+			Entities:                c.Len(),
+			Seed:                    seed,
+			Shards:                  burstyShards,
+			Ops:                     len(ops),
+			Counters:                benchCountersJSON{Comparisons: want.Comparisons, Matches: want.Matches},
+			Identical:               identical,
+			Durable:                 perf["durable"],
+			Networked:               perf["networked"],
+			AppendAmortization64:    appendRatio,
+			RoundTripAmortization64: rtRatio,
+		},
+		Timing: benchBurstyTimingJSON{
+			Workers:   workers,
+			Durable:   timing["durable"],
+			Networked: timing["networked"],
+		},
+	}
+	return out.emit(&payload)
 }

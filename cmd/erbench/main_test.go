@@ -197,13 +197,67 @@ func TestRunServeBench(t *testing.T) {
 	if out.Portable.RequestsPerEndpoint != serveRequests || out.Portable.Comparisons <= 0 {
 		t.Fatalf("serve portable section malformed: %+v", out.Portable)
 	}
-	if len(out.Timing.Endpoints) != 4 {
+	if len(out.Timing.Endpoints) != 6 {
 		t.Fatalf("serve payload = %+v", out)
 	}
+	wantRequests := map[string]int{
+		"lookup": serveRequests, "same-as": serveRequests, "cluster": serveRequests, "stats": serveRequests,
+		"ingest-per-op": ingestRequests, "ingest-batch": ingestRequests / 4,
+	}
 	for ep, lat := range out.Timing.Endpoints {
-		if lat.Requests != serveRequests || lat.P50NS <= 0 || lat.P99NS < lat.P50NS {
+		if lat.Requests != wantRequests[ep] || lat.P50NS <= 0 || lat.P99NS < lat.P50NS {
 			t.Fatalf("endpoint %s latency malformed: %+v", ep, lat)
 		}
+	}
+	if out.Portable.IngestRequests != ingestRequests || out.Portable.IngestBatch != ingestBatch {
+		t.Fatalf("serve portable ingest identity malformed: %+v", out.Portable)
+	}
+}
+
+// TestRunBurstyIngest drives the -bursty amortization mode end to end at a
+// tiny scale: the mode itself asserts every batch size resolves identical
+// state and that the batch=64 amortization holds the floor; the test then
+// checks the BENCH_bursty.json payload shape.
+func TestRunBurstyIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bursty replay is seconds long")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_bursty.json")
+	if err := runBurstyIngest(60, 7, 2, benchOutput{jsonPath: jsonPath}); err != nil {
+		t.Fatalf("runBurstyIngest: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchBurstyJSON
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != benchSchema || out.Name != "bursty-ingest" || !out.Portable.Identical {
+		t.Fatalf("bursty payload = %+v", out)
+	}
+	if out.Portable.Shards != burstyShards || out.Portable.Ops == 0 || out.Portable.Counters.Matches == 0 {
+		t.Fatalf("bursty portable section malformed: %+v", out.Portable)
+	}
+	for _, leg := range []map[string]benchPerfJSON{out.Portable.Durable, out.Portable.Networked} {
+		if len(leg) != len(burstySizes) {
+			t.Fatalf("bursty legs incomplete: %+v", out.Portable)
+		}
+	}
+	ops := int64(out.Portable.Ops)
+	if got := out.Portable.Durable["b1"].JournalAppends; got != ops {
+		t.Fatalf("per-op durable leg made %d journal appends for %d ops", got, ops)
+	}
+	if got := out.Portable.Networked["b1"].TransportRoundTrips; got != ops*burstyShards {
+		t.Fatalf("per-op networked leg spent %d round trips for %d ops on %d shards", got, ops, burstyShards)
+	}
+	if out.Portable.AppendAmortization64 < burstyAmortizationFloor ||
+		out.Portable.RoundTripAmortization64 < burstyAmortizationFloor {
+		t.Fatalf("amortization below floor: %+v", out.Portable)
+	}
+	if out.Timing.Durable["b64"].NSPerOp <= 0 || out.Timing.Networked["b64"].NSPerOp <= 0 {
+		t.Fatalf("bursty timing not measured: %+v", out.Timing)
 	}
 }
 

@@ -148,6 +148,8 @@ func serveCmd(args []string) {
 		maxInFl    = fs.Int("max-inflight", 0, "admission control: max concurrently admitted requests (0 = default 64)")
 		reqTimeout = fs.Duration("request-timeout", 0, "admission control: per-request deadline (0 = default 5s)")
 		drainTime  = fs.Duration("drain-timeout", 0, "graceful drain bound on shutdown (0 = default 10s)")
+		maxBatch   = fs.Int("max-batch-ops", 0, "bulk ingest: max operations per POST /v1/ops request, larger batches get 413 (0 = default 4096)")
+		maxQueued  = fs.Int("max-queued-ops", 0, "bulk ingest back-pressure: max admitted-but-unapplied operations before 429 + Retry-After (0 = default 8192)")
 	)
 	_ = fs.Parse(args)
 	cfg, err := df.config()
@@ -204,6 +206,8 @@ func serveCmd(args []string) {
 		MaxInFlight:    *maxInFl,
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drainTime,
+		MaxBatchOps:    *maxBatch,
+		MaxQueuedOps:   *maxQueued,
 	})
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {

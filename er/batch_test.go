@@ -1,0 +1,119 @@
+package er_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"entityres/er"
+)
+
+// ApplyBatch conformance: every deployment form applies a whole batch of
+// URI-addressed stream operations through its amortized path — one lock,
+// one journal append, one fan-out, one wire round trip per shard — and
+// stays answer-identical to the per-op path and to every other form.
+func TestApplyBatchConformance(t *testing.T) {
+	ctx := context.Background()
+	forms := openAll(t, ctx)
+
+	attrs := func(vals ...string) []er.Attribute {
+		out := make([]er.Attribute, 0, len(vals)/2)
+		for i := 0; i+1 < len(vals); i += 2 {
+			out = append(out, er.Attribute{Name: vals[i], Value: vals[i+1]})
+		}
+		return out
+	}
+	batches := [][]er.StreamOp{
+		{
+			{Kind: er.StreamInsert, URI: "u:a", Attrs: attrs("name", "alice smith", "city", "berlin")},
+			{Kind: er.StreamInsert, URI: "u:b", Attrs: attrs("name", "alice smith", "city", "berlin de")},
+			{Kind: er.StreamInsert, URI: "u:c", Attrs: attrs("name", "carol jones", "city", "paris")},
+		},
+		{
+			// Later records see earlier ones: u:d is inserted and updated
+			// into the alice cluster inside ONE batch; u:c leaves.
+			{Kind: er.StreamInsert, URI: "u:d", Attrs: attrs("name", "dave brown", "city", "oslo")},
+			{Kind: er.StreamUpdate, URI: "u:d", Attrs: attrs("name", "alice smith", "city", "berlin")},
+			{Kind: er.StreamDelete, URI: "u:c"},
+		},
+	}
+	// The per-op reference: the same stream, one operation per batch — the
+	// degenerate chunking the amortized path must be bit-exact with.
+	ref, err := er.Open(ctx, v2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, batch := range batches {
+		for _, op := range batch {
+			if err := ref.ApplyBatch(ctx, []er.StreamOp{op}); err != nil {
+				t.Fatalf("reference %s %s: %v", op.Kind, op.URI, err)
+			}
+		}
+		for name, r := range forms {
+			if err := r.ApplyBatch(ctx, batch); err != nil {
+				t.Fatalf("%s: ApplyBatch: %v", name, err)
+			}
+		}
+	}
+	base := mustStats(t, ref)
+	for name, r := range forms {
+		if st := mustStats(t, r); st != base {
+			t.Fatalf("%s stats %+v diverge from per-op reference %+v", name, st, base)
+		}
+		for _, uri := range []string{"u:a", "u:b", "u:d"} {
+			w, err := ref.Query(ctx, er.Query{URI: uri, Cluster: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := r.Query(ctx, er.Query{URI: uri, Cluster: true})
+			if err != nil {
+				t.Fatalf("%s: query %s: %v", name, uri, err)
+			}
+			if !reflect.DeepEqual(g, w) {
+				t.Fatalf("%s answered %s with %+v, per-op reference %+v", name, uri, g, w)
+			}
+		}
+		var nf *er.ErrNotFound
+		if _, err := r.Query(ctx, er.Query{URI: "u:c"}); !errors.As(err, &nf) {
+			t.Fatalf("%s: batch-deleted u:c still answers (%v)", name, err)
+		}
+		// A batch is admitted whole or not at all, on every form: the valid
+		// insert ahead of the bad update must not land.
+		bad := []er.StreamOp{
+			{Kind: er.StreamInsert, URI: "u:x", Attrs: attrs("name", "erin flores")},
+			{Kind: er.StreamUpdate, URI: "u:ghost", Attrs: attrs("name", "y")},
+		}
+		if err := r.ApplyBatch(ctx, bad); err == nil {
+			t.Fatalf("%s admitted a batch with an unknown update target", name)
+		}
+		if _, err := r.Query(ctx, er.Query{URI: "u:x"}); !errors.As(err, &nf) {
+			t.Fatalf("%s applied the valid prefix of a rejected batch (%v)", name, err)
+		}
+		if st := mustStats(t, r); st != base {
+			t.Fatalf("%s: rejected batch moved counters %+v -> %+v", name, base, st)
+		}
+		// An empty batch is a universal no-op.
+		if err := r.ApplyBatch(ctx, nil); err != nil {
+			t.Fatalf("%s: empty batch: %v", name, err)
+		}
+	}
+	// The amortization shows through PerfReporter on every form: two
+	// appends for two batches on the single-node form (the per-op reference
+	// paid one per op), one fan-out per batch on the fanning-out forms.
+	if p := forms["single"].(er.PerfReporter).Perf(); p.JournalAppends != 2 {
+		t.Fatalf("single form made %d journal appends for 2 batches", p.JournalAppends)
+	}
+	if p := ref.(er.PerfReporter).Perf(); p.JournalAppends != 6 {
+		t.Fatalf("per-op reference made %d journal appends for 6 ops", p.JournalAppends)
+	}
+	for _, name := range []string{"sharded", "networked"} {
+		if p := forms[name].(er.PerfReporter).Perf(); p.FanOuts != 2 {
+			t.Fatalf("%s form fanned out %d times for 2 batches", name, p.FanOuts)
+		}
+	}
+	if p := forms["networked"].(er.PerfReporter).Perf(); p.TransportRoundTrips != 4 {
+		t.Fatalf("networked form spent %d round trips for 2 batches on 2 shards", p.TransportRoundTrips)
+	}
+}

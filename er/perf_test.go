@@ -39,10 +39,19 @@ func TestPerfReporter(t *testing.T) {
 	if single.Reconciles <= 0 || single.ReconcileExamined <= 0 {
 		t.Fatalf("single-node Perf reports no reconcile work: %+v", single)
 	}
+	// 3 inserts plus the journaled reconcile the Flush ran.
+	if single.JournalAppends != 4 {
+		t.Fatalf("single-node Perf counts %d journal appends for 3 inserts + 1 reconcile", single.JournalAppends)
+	}
 	// The sharded form reconciles at the coordinator, so its shard-summed
-	// counters stay zero for an in-memory deployment — but the surface is
-	// the same.
-	if sharded := open(3).(er.PerfReporter).Perf(); sharded != (er.StreamingPerf{}) {
-		t.Fatalf("in-memory sharded deployment reports shard-local work: %+v", sharded)
+	// reconcile and snapshot counters stay zero for an in-memory deployment;
+	// what it DOES report is the write-amortization evidence — per-shard
+	// journal appends (3 ops × 3 shards) and one fan-out per operation.
+	sharded := open(3).(er.PerfReporter).Perf()
+	if sharded.Reconciles != 0 || sharded.ReconcileExamined != 0 || sharded.FullSnapshots != 0 || sharded.DeltaSnapshots != 0 {
+		t.Fatalf("in-memory sharded deployment reports shard-local reconcile/snapshot work: %+v", sharded)
+	}
+	if sharded.JournalAppends != 9 || sharded.FanOuts != 3 {
+		t.Fatalf("sharded Perf counts appends=%d fanouts=%d for 3 ops on 3 shards", sharded.JournalAppends, sharded.FanOuts)
 	}
 }

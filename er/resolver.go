@@ -122,6 +122,16 @@ type Resolver interface {
 	Update(ctx context.Context, id ID, attrs []Attribute) error
 	// Delete removes a live description.
 	Delete(ctx context.Context, id ID) error
+	// ApplyBatch accepts a batch of URI-addressed operations as one
+	// sequential unit: validated up front against the state the batch
+	// itself builds (a batch may insert a description and then update or
+	// delete it), rejected whole on any invalid record, and — on the
+	// durable forms — journaled as ONE append that replays atomically
+	// after a crash. The resulting state is bit-identical to applying the
+	// operations one by one; what changes is the cost: one lock
+	// acquisition, one journal append, one shard fan-out and (networked)
+	// one wire round trip per shard for the whole batch.
+	ApplyBatch(ctx context.Context, ops []StreamOp) error
 	// Query resolves one description: current state, match partners and
 	// optionally its full cluster. Returns *ErrNotFound when nothing live
 	// answers the selection.
@@ -154,9 +164,11 @@ type DurableReporter interface {
 	Abandon()
 }
 
-// PerfReporter is implemented by the local deployment forms: Perf reports
-// the cumulative machine-independent work counters (summed over shards
-// for the sharded form) without reconciling or otherwise mutating state.
+// PerfReporter is implemented by every deployment form: Perf reports the
+// cumulative machine-independent work counters without reconciling or
+// otherwise mutating state — summed over shards for the in-process sharded
+// form; coordinator-process counters only (replica plus fan-out/round-trip
+// tallies, not the remote shards' journals) for the networked form.
 type PerfReporter interface {
 	Perf() StreamingPerf
 }
@@ -276,6 +288,17 @@ func runQuery(b queryBackend, q Query) (Result, error) {
 	return res, nil
 }
 
+// batchRecords renders URI-addressed stream operations in the internal
+// batch-record form all deployment forms plan against. Updates and deletes
+// set ID to -1 explicitly: the zero value would address handle 0.
+func batchRecords(ops []StreamOp) []incremental.Record {
+	recs := make([]incremental.Record, len(ops))
+	for i, op := range ops {
+		recs[i] = incremental.Record{Kind: op.Kind, ID: -1, URI: op.URI, Source: op.Source, Attrs: op.Attrs}
+	}
+	return recs
+}
+
 // clusterOf finds id's cluster; a description matched to nothing forms a
 // singleton.
 func clusterOf(clusters [][]ID, id ID) []ID {
@@ -299,6 +322,9 @@ func (a *singleAdapter) Update(ctx context.Context, id ID, attrs []Attribute) er
 	return a.sr.Update(ctx, id, attrs)
 }
 func (a *singleAdapter) Delete(ctx context.Context, id ID) error { return a.sr.Delete(id) }
+func (a *singleAdapter) ApplyBatch(ctx context.Context, ops []StreamOp) error {
+	return a.sr.ApplyBatch(ctx, batchRecords(ops))
+}
 func (a *singleAdapter) Query(ctx context.Context, q Query) (Result, error) {
 	return runQuery(a.sr, q)
 }
@@ -319,6 +345,9 @@ func (a *shardedAdapter) Update(ctx context.Context, id ID, attrs []Attribute) e
 	return a.sh.Update(ctx, id, attrs)
 }
 func (a *shardedAdapter) Delete(ctx context.Context, id ID) error { return a.sh.Delete(id) }
+func (a *shardedAdapter) ApplyBatch(ctx context.Context, ops []StreamOp) error {
+	return a.sh.ApplyBatch(ctx, batchRecords(ops))
+}
 func (a *shardedAdapter) Query(ctx context.Context, q Query) (Result, error) {
 	return runQuery(a.sh, q)
 }
@@ -340,6 +369,9 @@ func (a *networkedResolver) Update(ctx context.Context, id ID, attrs []Attribute
 	return a.co.Update(ctx, id, attrs)
 }
 func (a *networkedResolver) Delete(ctx context.Context, id ID) error { return a.co.Delete(ctx, id) }
+func (a *networkedResolver) ApplyBatch(ctx context.Context, ops []StreamOp) error {
+	return a.co.ApplyBatch(ctx, batchRecords(ops))
+}
 func (a *networkedResolver) Query(ctx context.Context, q Query) (Result, error) {
 	return runQuery(a.co, q)
 }
@@ -350,6 +382,7 @@ func (a *networkedResolver) RejoinShard(ctx context.Context, shard int) error {
 	return a.co.RejoinShard(ctx, shard)
 }
 func (a *networkedResolver) TransportStats() TransportStats { return a.co.TransportStats() }
+func (a *networkedResolver) Perf() StreamingPerf            { return a.co.Perf() }
 
 // compile-time conformance
 var (
@@ -361,6 +394,7 @@ var (
 	_ DurableReporter = (*shardedAdapter)(nil)
 	_ PerfReporter    = (*singleAdapter)(nil)
 	_ PerfReporter    = (*shardedAdapter)(nil)
+	_ PerfReporter    = (*networkedResolver)(nil)
 	_ queryBackend    = (*incremental.Resolver)(nil)
 	_ queryBackend    = (*sharded.Resolver)(nil)
 	_ queryBackend    = (*transport.Coordinator)(nil)

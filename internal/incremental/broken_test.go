@@ -145,3 +145,114 @@ func TestBrokenJournalPoisonsReadsAndRecovers(t *testing.T) {
 		t.Fatalf("recovered matches %d, reference %d", g, w)
 	}
 }
+
+// TestApplyBatchFailurePaths: the batch write path's failure windows. A
+// cancelled context is refused at admission; a journal append that fails
+// rejects the whole batch without applying or poisoning anything; a
+// resolver already broken refuses batches with the sticky typed error. In
+// every case the in-memory state is untouched and counters don't move.
+func TestApplyBatchFailurePaths(t *testing.T) {
+	cfg := Config{
+		Kind:    entity.Dirty,
+		Blocker: &blocking.TokenBlocking{},
+		Matcher: &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5},
+		Durable: DurableOptions{NoSync: true},
+	}
+	ctx := context.Background()
+	batch := func(uri, name string) []Record {
+		return []Record{{Kind: OpInsert, ID: -1, URI: uri, Attrs: person(uri, name, "berlin").Attrs}}
+	}
+
+	t.Run("cancelled-admission", func(t *testing.T) {
+		t.Parallel()
+		r, err := OpenResolver(t.TempDir(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if _, err := r.Insert(ctx, person("u:a", "alice smith", "berlin")); err != nil {
+			t.Fatal(err)
+		}
+		appends := r.Perf().JournalAppends
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		if err := r.ApplyBatch(cctx, batch("u:b", "bob jones")); !errors.Is(err, context.Canceled) {
+			t.Fatalf("ApplyBatch under a cancelled context = %v, want context.Canceled", err)
+		}
+		if r.Perf().JournalAppends != appends {
+			t.Fatal("refused batch reached the journal")
+		}
+		if _, ok := r.Lookup("u:b"); ok {
+			t.Fatal("refused batch applied")
+		}
+		// Admission-refused, not poisoned: the same batch lands once the
+		// context is live.
+		if err := r.ApplyBatch(ctx, batch("u:b", "bob jones")); err != nil {
+			t.Fatalf("batch after admission refusal: %v", err)
+		}
+	})
+
+	t.Run("journal-failure", func(t *testing.T) {
+		t.Parallel()
+		r, err := OpenResolver(t.TempDir(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if _, err := r.Insert(ctx, person("u:a", "alice smith", "berlin")); err != nil {
+			t.Fatal(err)
+		}
+		before := mustStats(t, r)
+		appends := r.Perf().JournalAppends
+		pj := &poisonableJournal{inner: r.journal, fail: fmt.Errorf("simulated disk failure")}
+		r.journal = pj
+		err = r.ApplyBatch(ctx, batch("u:b", "bob jones"))
+		if err == nil || errors.Is(err, ErrBroken) {
+			t.Fatalf("ApplyBatch on a failing journal = %v, want the journal error without poison", err)
+		}
+		if r.Perf().JournalAppends != appends {
+			t.Fatal("failed append counted as a journal append")
+		}
+		if _, ok := r.Lookup("u:b"); ok {
+			t.Fatal("unjournaled batch applied")
+		}
+		if after := mustStats(t, r); after != before {
+			t.Fatalf("failed batch mutated counters: %+v -> %+v", before, after)
+		}
+		// Nothing was journaled and nothing applied, so the resolver is
+		// not broken: heal the disk and the same batch lands.
+		pj.fail = nil
+		if err := r.ApplyBatch(ctx, batch("u:b", "bob jones")); err != nil {
+			t.Fatalf("batch after the journal healed: %v", err)
+		}
+	})
+
+	t.Run("broken-refuses-batches", func(t *testing.T) {
+		t.Parallel()
+		mcfg := cfg
+		mcfg.Meta = &metablocking.MetaBlocker{Weight: metablocking.CBS, Prune: metablocking.WEP}
+		r, err := OpenResolver(t.TempDir(), mcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Leave deferred meta-blocking work pending, then poison the
+		// journal: the reconcile cannot record itself and breaks the
+		// resolver, exactly as in the per-op poison test above.
+		if _, err := r.Insert(ctx, person("u:a", "alice smith", "berlin")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Insert(ctx, person("u:b", "alice smith", "berlin")); err != nil {
+			t.Fatal(err)
+		}
+		pj := &poisonableJournal{inner: r.journal, fail: fmt.Errorf("simulated disk failure")}
+		r.journal = pj
+		if _, err := r.Stats(); !errors.Is(err, ErrBroken) {
+			t.Fatalf("Stats on a poisoned journal = %v, want ErrBroken", err)
+		}
+		if err := r.ApplyBatch(ctx, batch("u:c", "carol d")); !errors.Is(err, ErrBroken) {
+			t.Fatalf("ApplyBatch on a broken resolver = %v, want ErrBroken", err)
+		}
+		r.journal = pj.inner
+		r.Abandon()
+	})
+}

@@ -221,10 +221,7 @@ func (r *Resolver) encodeDeltaSnapshot() ([]byte, int, int, error) {
 		s.Matches = append(s.Matches, edgeDeltaJSON{A: p.A, B: p.B, Present: present})
 	}
 	if r.lastRecord != nil {
-		j := recordJSON{Op: r.lastRecord.Kind.String(), Seq: r.lastRecord.Seq, Adv: r.lastRecord.Advance, ID: r.lastRecord.ID, URI: r.lastRecord.URI, Source: r.lastRecord.Source}
-		for _, a := range r.lastRecord.Attrs {
-			j.Attrs = append(j.Attrs, attrJSON{Name: a.Name, Value: a.Value})
-		}
+		j := recordToJSON(*r.lastRecord)
 		s.LastRecord = &j
 	}
 	if r.weighted != nil {

@@ -58,6 +58,10 @@ type Record struct {
 	Source int
 	// Attrs is the full attribute set (insert, update).
 	Attrs []entity.Attribute
+	// Batch holds the sub-records of an OpBatch record — the operations of
+	// one ApplyBatch call, journaled as a single append and replayed
+	// atomically. Empty for every other kind.
+	Batch []Record
 }
 
 // Journal persists the resolver's operation stream ahead of application.
@@ -153,22 +157,33 @@ type RecoveryInfo struct {
 // recordJSON is the wire form of a journal record, one JSON object per WAL
 // frame.
 type recordJSON struct {
-	Op     string     `json:"op"`
-	Seq    uint64     `json:"seq,omitempty"`
-	Adv    bool       `json:"adv,omitempty"`
-	ID     int        `json:"id"`
-	URI    string     `json:"uri,omitempty"`
-	Source int        `json:"source,omitempty"`
-	Attrs  []attrJSON `json:"attrs,omitempty"`
+	Op     string       `json:"op"`
+	Seq    uint64       `json:"seq,omitempty"`
+	Adv    bool         `json:"adv,omitempty"`
+	ID     int          `json:"id"`
+	URI    string       `json:"uri,omitempty"`
+	Source int          `json:"source,omitempty"`
+	Attrs  []attrJSON   `json:"attrs,omitempty"`
+	Ops    []recordJSON `json:"ops,omitempty"`
 }
 
-// encodeRecord serializes a record for the WAL.
-func encodeRecord(rec Record) ([]byte, error) {
+// recordToJSON renders a record in its wire form; shared by the WAL frame
+// encoder and both snapshot codecs' preserved last record. An OpBatch
+// record nests its sub-records under Ops.
+func recordToJSON(rec Record) recordJSON {
 	j := recordJSON{Op: rec.Kind.String(), Seq: rec.Seq, Adv: rec.Advance, ID: rec.ID, URI: rec.URI, Source: rec.Source}
 	for _, a := range rec.Attrs {
 		j.Attrs = append(j.Attrs, attrJSON{Name: a.Name, Value: a.Value})
 	}
-	payload, err := json.Marshal(j)
+	for _, sub := range rec.Batch {
+		j.Ops = append(j.Ops, recordToJSON(sub))
+	}
+	return j
+}
+
+// encodeRecord serializes a record for the WAL.
+func encodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(recordToJSON(rec))
 	if err != nil {
 		return nil, fmt.Errorf("incremental: encoding journal record: %w", err)
 	}
@@ -197,6 +212,15 @@ func recordFromJSON(j recordJSON) (Record, error) {
 		rec.Kind = OpDelete
 	case "reconcile":
 		rec.Kind = OpReconcile
+	case "batch":
+		rec.Kind = OpBatch
+		for i, sub := range j.Ops {
+			srec, err := recordFromJSON(sub)
+			if err != nil {
+				return Record{}, fmt.Errorf("incremental: batch sub-record %d: %w", i, err)
+			}
+			rec.Batch = append(rec.Batch, srec)
+		}
 	default:
 		return Record{}, fmt.Errorf("incremental: journal record has unknown op %q", j.Op)
 	}
@@ -461,6 +485,16 @@ func (r *Resolver) LastRecord() (Record, bool) {
 	return *r.lastRecord, true
 }
 
+// SpanOps reports how many stream operations the record carries: the batch
+// length for an OpBatch record, 1 for everything else. Crash repair uses it
+// to size the window a single lost append can open.
+func (rec Record) SpanOps() int64 {
+	if rec.Kind == OpBatch {
+		return int64(len(rec.Batch))
+	}
+	return 1
+}
+
 var errClosed = fmt.Errorf("incremental: resolver is closed")
 
 // ErrBroken marks a resolver whose journal has diverged from memory — a
@@ -616,6 +650,18 @@ func (r *Resolver) replayRecord(rec Record) error {
 		if err := r.reconcile(replayCtx); err != nil {
 			return fmt.Errorf("incremental: replaying reconcile: %w", err)
 		}
+		return nil
+	case OpBatch:
+		// One WAL frame holds the whole batch, so recovery sees it all or
+		// not at all: a torn final append is truncated away by the WAL layer
+		// before replay starts, and a decoded batch replays every sub-record.
+		for i := range rec.Batch {
+			if err := r.replayRecord(rec.Batch[i]); err != nil {
+				return fmt.Errorf("incremental: batch sub-record %d: %w", i, err)
+			}
+		}
+		cp := rec
+		r.lastRecord = &cp
 		return nil
 	default:
 		return fmt.Errorf("incremental: journal record has unknown kind %v", rec.Kind)

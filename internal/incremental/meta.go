@@ -60,6 +60,36 @@ type PerfCounters struct {
 	// entries).
 	FullSnapshots, DeltaSnapshots int64
 	SnapshotSlots, SnapshotPairs  int64
+	// JournalAppends counts journal append operations (Journal.Record
+	// calls, the no-op journal's included — the counter is a pure function
+	// of the operation stream, not of durability). A batch of N operations
+	// costs one append where per-op application costs N: the write-path
+	// amortization measure.
+	JournalAppends int64
+	// FanOuts counts coordinator shard fan-outs. Shard-local resolvers
+	// never increment it; the sharded and networked coordinators add their
+	// own count when aggregating (one fan-out per op, or per batch).
+	FanOuts int64
+	// TransportRoundTrips counts wire request/ack round trips issued to
+	// shard servers. Only the networked coordinator increments it: a batch
+	// frame carries N routed ops per round trip where the per-op path pays
+	// N round trips per shard.
+	TransportRoundTrips int64
+}
+
+// Add folds q's counts into p — the aggregation the sharded and networked
+// coordinators use to sum per-shard counters with their own.
+func (p *PerfCounters) Add(q PerfCounters) {
+	p.Reconciles += q.Reconciles
+	p.ReconcileExamined += q.ReconcileExamined
+	p.ReconcileEvaluated += q.ReconcileEvaluated
+	p.FullSnapshots += q.FullSnapshots
+	p.DeltaSnapshots += q.DeltaSnapshots
+	p.SnapshotSlots += q.SnapshotSlots
+	p.SnapshotPairs += q.SnapshotPairs
+	p.JournalAppends += q.JournalAppends
+	p.FanOuts += q.FanOuts
+	p.TransportRoundTrips += q.TransportRoundTrips
 }
 
 // Perf returns the resolver's cumulative work counters. It never
@@ -133,6 +163,7 @@ func (r *Resolver) reconcile(ctx context.Context) error {
 			return r.broken
 		}
 		journaled = true
+		r.perf.JournalAppends++
 	}
 	// The pruner is created at first reconcile, seeded with the committed
 	// kept baseline (lastKept — consistent with the match graph and the

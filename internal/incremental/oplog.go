@@ -28,6 +28,11 @@ const (
 	// comparison counters and decision caches bit-exact across a crash.
 	// OpReconcile never appears in URI operation logs (ReadOps rejects it).
 	OpReconcile
+	// OpBatch is a multi-op journal record: the sub-records of one
+	// ApplyBatch call, journaled as a single append so crash recovery
+	// replays the batch atomically or not at all. Like OpReconcile it is a
+	// journal-only kind — it never appears in URI operation logs.
+	OpBatch
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +46,8 @@ func (k OpKind) String() string {
 		return "delete"
 	case OpReconcile:
 		return "reconcile"
+	case OpBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}

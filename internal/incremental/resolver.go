@@ -255,6 +255,7 @@ func (r *Resolver) Insert(ctx context.Context, d *entity.Description) (entity.ID
 	if err := r.journal.Record(rec); err != nil {
 		return -1, err
 	}
+	r.perf.JournalAppends++
 	id, err := r.applyInsert(ctx, d)
 	if err != nil {
 		r.retractRecord()
@@ -313,6 +314,7 @@ func (r *Resolver) Update(ctx context.Context, id entity.ID, attrs []entity.Attr
 	if err := r.journal.Record(rec); err != nil {
 		return err
 	}
+	r.perf.JournalAppends++
 	if err := r.applyUpdate(ctx, id, attrs); err != nil {
 		r.retractRecord()
 		return err
@@ -368,6 +370,7 @@ func (r *Resolver) Delete(id entity.ID) error {
 	if err := r.journal.Record(Record{Kind: OpDelete, ID: id}); err != nil {
 		return err
 	}
+	r.perf.JournalAppends++
 	r.applyDelete(id)
 	return r.maybeCompact()
 }
@@ -385,6 +388,205 @@ func (r *Resolver) applyDelete(id entity.ID) {
 	r.liveCount--
 	r.stats.Deletes++
 	r.lastRecord = &Record{Kind: OpDelete, ID: id}
+}
+
+// ApplyBatch applies a batch of insert, update and delete records as one
+// amortized operation: one lock acquisition, one journal append carrying
+// the whole batch (one fsync instead of N — crash recovery replays the
+// batch atomically or not at all), and, under live meta-blocking, one
+// merged graph delta for the next read's reconcile to prune instead of N
+// per-op deltas. The resolved state after ApplyBatch is bit-identical to
+// applying the same records one at a time through Insert, Update and
+// Delete.
+//
+// Records are validated up front against the sequential state the batch
+// builds — later records see earlier ones, so a batch may insert a
+// description and update or delete it — and any invalid record rejects
+// the whole batch before anything is journaled or applied. Updates and
+// deletes address their target by handle, or by URI when ID is negative;
+// the resolved handles (and the handles assigned to inserts) are written
+// back into recs. The caller's context gates admission only: once the
+// batch is journaled it applies to completion, mirroring the sharded
+// coordinator's admission rule, so journal and memory cannot split inside
+// a batch. An empty batch is a no-op.
+func (r *Resolver) ApplyBatch(ctx context.Context, recs []Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.broken != nil {
+		return r.broken
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("incremental: batch admission: %w", err)
+	}
+	if err := r.validateBatch(recs); err != nil {
+		return err
+	}
+	batch := Record{Kind: OpBatch, Batch: make([]Record, len(recs))}
+	for i, rec := range recs {
+		rec.Attrs = append([]entity.Attribute(nil), rec.Attrs...)
+		rec.Batch = nil
+		batch.Batch[i] = rec
+	}
+	if err := r.journal.Record(batch); err != nil {
+		return err
+	}
+	r.perf.JournalAppends++
+	for i := range batch.Batch {
+		if err := r.applyBatchRecord(&batch.Batch[i]); err != nil {
+			if i == 0 {
+				// Nothing applied yet — the single append retracts cleanly.
+				r.retractRecord()
+				return err
+			}
+			// A mid-batch failure cannot be rolled back op by op: the journal
+			// holds the whole batch while memory holds a prefix. Validation
+			// makes this unreachable; if it ever happens, refuse further
+			// mutation rather than let the divergence reach a snapshot.
+			r.broken = fmt.Errorf("%w: batch record %d failed mid-apply: %v", ErrBroken, i, err)
+			return r.broken
+		}
+	}
+	r.lastRecord = &batch
+	return r.maybeCompact()
+}
+
+// validateBatch checks every record of a batch against the sequential
+// state the batch will build, resolving URI-addressed updates and deletes
+// and assigning insert handles into recs. Nothing is mutated; any error
+// rejects the whole batch. Callers hold r.mu.
+func (r *Resolver) validateBatch(recs []Record) error {
+	err := PlanBatch(r.cfg.Kind, r.coll.Len(),
+		func(uri string) (entity.ID, bool) { id, ok := r.byURI[uri]; return id, ok },
+		r.isLive,
+		func(id entity.ID) string { return r.coll.Get(id).URI },
+		recs)
+	if err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	return nil
+}
+
+// PlanBatch validates a batch of insert, update and delete records against
+// the sequential state the batch will build over a committed base — the
+// shared admission check of ApplyBatch and the sharded coordinator's batch
+// fan-out, so the deployment forms cannot drift on what a valid batch is.
+// The base is abstract: kind is the stream's resolution setting, next the
+// first unused handle, lookup resolves a live URI, isLive reports a
+// committed slot's liveness and uriOf its URI. Later records see earlier
+// ones (a batch may insert a description and then update or delete it),
+// resolved handles — and the handles assigned to inserts — are written back
+// into recs, and any invalid record rejects the whole batch. Errors carry
+// no package prefix; callers wrap.
+func PlanBatch(kind entity.Kind, next entity.ID, lookup func(string) (entity.ID, bool), isLive func(entity.ID) bool, uriOf func(entity.ID) string, recs []Record) error {
+	// Overlays over the committed state: URIs the batch has bound or freed
+	// so far, slots whose liveness it has changed, and the URIs of its own
+	// inserts (for a later delete to free).
+	nextID := next
+	bound := make(map[string]entity.ID)
+	freed := make(map[string]bool)
+	liveOv := make(map[entity.ID]bool)
+	slotURI := make(map[entity.ID]string)
+	lookupOv := func(uri string) (entity.ID, bool) {
+		if id, ok := bound[uri]; ok {
+			return id, true
+		}
+		if freed[uri] {
+			return -1, false
+		}
+		return lookup(uri)
+	}
+	isLiveOv := func(id entity.ID) bool {
+		if v, ok := liveOv[id]; ok {
+			return v
+		}
+		return isLive(id)
+	}
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Seq != 0 {
+			return fmt.Errorf("batch record %d carries a routed sequence number; routed streams batch through the transport frame", i)
+		}
+		switch rec.Kind {
+		case OpInsert:
+			// Mirror entity.Collection.Add's source validation so the apply
+			// after journaling cannot fail.
+			switch kind {
+			case entity.CleanClean:
+				if rec.Source != 0 && rec.Source != 1 {
+					return fmt.Errorf("batch record %d: clean-clean stream requires source 0 or 1, got %d", i, rec.Source)
+				}
+			default:
+				if rec.Source != 0 {
+					return fmt.Errorf("batch record %d: dirty stream requires source 0, got %d", i, rec.Source)
+				}
+			}
+			if rec.URI != "" {
+				if _, taken := lookupOv(rec.URI); taken {
+					return fmt.Errorf("batch record %d: URI %q already live", i, rec.URI)
+				}
+			}
+			rec.ID = nextID
+			nextID++
+			liveOv[rec.ID] = true
+			slotURI[rec.ID] = rec.URI
+			if rec.URI != "" {
+				bound[rec.URI] = rec.ID
+			}
+		case OpUpdate, OpDelete:
+			if rec.ID < 0 {
+				id, ok := lookupOv(rec.URI)
+				if !ok {
+					return fmt.Errorf("batch record %d: %s of unknown URI %q", i, rec.Kind, rec.URI)
+				}
+				rec.ID = id
+			}
+			if !isLiveOv(rec.ID) {
+				return fmt.Errorf("batch record %d: %s of unknown description %d", i, rec.Kind, rec.ID)
+			}
+			if rec.Kind == OpDelete {
+				liveOv[rec.ID] = false
+				uri, ok := slotURI[rec.ID]
+				if !ok {
+					uri = uriOf(rec.ID)
+				}
+				if uri != "" {
+					if id, bnd := bound[uri]; bnd && id == rec.ID {
+						delete(bound, uri)
+					}
+					freed[uri] = true
+				}
+			}
+		default:
+			return fmt.Errorf("batch record %d has kind %v; batches hold inserts, updates and deletes", i, rec.Kind)
+		}
+	}
+	return nil
+}
+
+// applyBatchRecord applies one validated batch sub-record. An admitted
+// batch completes — application runs under the never-cancelled replay
+// context — so the only failures are "cannot happen" divergences the
+// caller escalates. Callers hold r.mu.
+func (r *Resolver) applyBatchRecord(rec *Record) error {
+	switch rec.Kind {
+	case OpInsert:
+		if rec.ID != r.coll.Len() {
+			return fmt.Errorf("incremental: batch insert assigned handle %d but %d slots exist", rec.ID, r.coll.Len())
+		}
+		d := &entity.Description{ID: -1, URI: rec.URI, Source: rec.Source, Attrs: rec.Attrs}
+		_, err := r.applyInsert(replayCtx, d)
+		return err
+	case OpUpdate:
+		return r.applyUpdate(replayCtx, rec.ID, rec.Attrs)
+	case OpDelete:
+		r.applyDelete(rec.ID)
+		return nil
+	default:
+		return fmt.Errorf("incremental: batch record has kind %v", rec.Kind)
+	}
 }
 
 // Lookup returns the handle of the live description with the given URI.
@@ -578,6 +780,16 @@ func (r *Resolver) Counters() Stats {
 	st := r.stats
 	st.Live = r.liveCount
 	return st
+}
+
+// Slots returns the number of handle slots the resolver has assigned —
+// live, dead and burned alike. This is the next insert's handle, which is
+// NOT derivable from Counters(): a cancelled insert burns its slot without
+// counting as an insert.
+func (r *Resolver) Slots() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coll.Len()
 }
 
 // MatchNeighbors returns the descriptions currently matched to id in this

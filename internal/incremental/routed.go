@@ -112,6 +112,7 @@ func (r *Resolver) ApplyRouted(ctx context.Context, op RoutedOp) error {
 	if err := r.journal.Record(rec); err != nil {
 		return err
 	}
+	r.perf.JournalAppends++
 	if err := r.applyRouted(ctx, op); err != nil {
 		r.retractRecord()
 		return err

@@ -158,10 +158,7 @@ func (r *Resolver) encodeSnapshot() ([]byte, int, int, error) {
 	}
 	s.LastSeq = r.lastSeq
 	if r.lastRecord != nil {
-		j := recordJSON{Op: r.lastRecord.Kind.String(), ID: r.lastRecord.ID, URI: r.lastRecord.URI, Source: r.lastRecord.Source}
-		for _, a := range r.lastRecord.Attrs {
-			j.Attrs = append(j.Attrs, attrJSON{Name: a.Name, Value: a.Value})
-		}
+		j := recordToJSON(*r.lastRecord)
 		s.LastRecord = &j
 	}
 	if r.weighted != nil {

@@ -1,0 +1,156 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"entityres/er"
+	"entityres/internal/serve"
+)
+
+// Bulk-ingest coverage: POST /v1/ops applies a whole batch atomically
+// through the resolver's batch path, refuses malformed and oversized
+// requests up front, and sheds load with 429 + Retry-After once the
+// admitted-operation budget is full — never by silently queueing.
+
+func post(t *testing.T, handler http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	handler.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIngest(t *testing.T) {
+	t.Parallel()
+	s := serve.NewServer(openTestResolver(t), serve.Options{})
+	h := s.Handler()
+
+	// A mixed batch: two inserts, an update of one of them, a delete of a
+	// seeded description.
+	rec := post(t, h, "/v1/ops", `{"ops":[
+		{"op":"insert","uri":"urn:n0","attrs":[{"name":"name","value":"carol davis"}]},
+		{"op":"insert","uri":"urn:n1","attrs":[{"name":"name","value":"dan evans"}]},
+		{"op":"update","uri":"urn:n0","attrs":[{"name":"name","value":"carol a davis"}]},
+		{"op":"delete","uri":"urn:e2"}
+	]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	if res := decode[serve.OpsResultJSON](t, rec.Body.Bytes()); res.Applied != 4 {
+		t.Fatalf("applied %d ops, want 4", res.Applied)
+	}
+	code, body := get(t, h, "/v1/lookup?uri=urn:n0")
+	if code != http.StatusOK {
+		t.Fatalf("lookup after ingest: %d %s", code, body)
+	}
+	if d := decode[serve.DescriptionJSON](t, body); len(d.Attrs) != 1 || d.Attrs[0].Value != "carol a davis" {
+		t.Fatalf("ingested update not visible: %+v", d)
+	}
+	if code, _ := get(t, h, "/v1/lookup?uri=urn:e2"); code != http.StatusNotFound {
+		t.Fatalf("deleted description still answers: %d", code)
+	}
+
+	// Batch atomicity through the wire: a batch whose LAST record is
+	// invalid applies nothing, including its valid prefix.
+	rec = post(t, h, "/v1/ops", `{"ops":[
+		{"op":"insert","uri":"urn:n2","attrs":[{"name":"name","value":"erin flores"}]},
+		{"op":"update","uri":"urn:ghost","attrs":[{"name":"name","value":"x"}]}
+	]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad batch: %d %s", rec.Code, rec.Body)
+	}
+	if code, _ := get(t, h, "/v1/lookup?uri=urn:n2"); code != http.StatusNotFound {
+		t.Fatalf("rejected batch applied its valid prefix: lookup answered %d", code)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	t.Parallel()
+	s := serve.NewServer(openTestResolver(t), serve.Options{MaxBatchOps: 2})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"bad-json", `{"ops":[`, http.StatusBadRequest},
+		{"empty-batch", `{"ops":[]}`, http.StatusBadRequest},
+		{"unknown-op", `{"ops":[{"op":"upsert","uri":"u"}]}`, http.StatusBadRequest},
+		{"oversized-batch", `{"ops":[{"op":"delete","uri":"a"},{"op":"delete","uri":"b"},{"op":"delete","uri":"c"}]}`,
+			http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if rec := post(t, h, "/v1/ops", tc.body); rec.Code != tc.code {
+				t.Fatalf("got %d %s, want %d", rec.Code, rec.Body, tc.code)
+			}
+		})
+	}
+}
+
+// gatedResolver blocks ApplyBatch until released, so a test can hold
+// operations in the admitted state and observe the budget refuse more.
+type gatedResolver struct {
+	er.Resolver
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gatedResolver) ApplyBatch(ctx context.Context, ops []er.StreamOp) error {
+	g.entered <- struct{}{}
+	<-g.release
+	return g.Resolver.ApplyBatch(ctx, ops)
+}
+
+func TestIngestBackPressure(t *testing.T) {
+	t.Parallel()
+	gate := &gatedResolver{
+		Resolver: openTestResolver(t),
+		entered:  make(chan struct{}, 1),
+		release:  make(chan struct{}),
+	}
+	s := serve.NewServer(gate, serve.Options{MaxQueuedOps: 4})
+	h := s.Handler()
+	const batch = `{"ops":[
+		{"op":"insert","uri":"urn:q0","attrs":[{"name":"name","value":"a b"}]},
+		{"op":"insert","uri":"urn:q1","attrs":[{"name":"name","value":"c d"}]},
+		{"op":"insert","uri":"urn:q2","attrs":[{"name":"name","value":"e f"}]}
+	]}`
+	firstDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { firstDone <- post(t, h, "/v1/ops", batch) }()
+	select {
+	case <-gate.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first batch never reached the resolver")
+	}
+	// 3 of 4 budgeted ops are held; 3 more would overflow: refused with a
+	// retry hint, and nothing of the batch is queued behind the refusal.
+	second := post(t, h, "/v1/ops", strings.ReplaceAll(batch, "urn:q", "urn:r"))
+	if second.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflowing batch: %d %s, want 429", second.Code, second.Body)
+	}
+	if second.Header().Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After hint")
+	}
+	// Releasing the in-flight batch frees the budget: both the first
+	// request and a retry of the refused one land.
+	close(gate.release)
+	if first := <-firstDone; first.Code != http.StatusOK {
+		t.Fatalf("gated batch: %d %s", first.Code, first.Body)
+	}
+	retry := post(t, h, "/v1/ops", strings.ReplaceAll(batch, "urn:q", "urn:r"))
+	if retry.Code != http.StatusOK {
+		t.Fatalf("retry after release: %d %s", retry.Code, retry.Body)
+	}
+	code, _ := get(t, h, "/v1/lookup?uri=urn:r2")
+	if code != http.StatusOK {
+		t.Fatalf("retried batch not visible: %d", code)
+	}
+}

@@ -1,15 +1,18 @@
-// Package serve exposes a resolver deployment as an HTTP/JSON query
-// service: lookup, same-as, cluster-members and stats over any
-// er.Resolver — single-node, durable, sharded or networked, since the
-// interface is deployment-agnostic by construction.
+// Package serve exposes a resolver deployment as an HTTP/JSON service:
+// lookup, same-as, cluster-members and stats queries plus bulk ingest
+// (POST /v1/ops) over any er.Resolver — single-node, durable, sharded or
+// networked, since the interface is deployment-agnostic by construction.
 //
-// The server applies admission control before any resolver work: a
-// bounded in-flight gate (excess requests are refused immediately with
-// 503, never queued, so a burst cannot build an invisible backlog) and a
-// per-request deadline (a query that outlives it answers 504 and its
-// result is discarded). Draining flips the gate closed, lets in-flight
-// requests finish, and only then tears the listener down — a rolling
-// restart loses no accepted query.
+// The server applies admission control before any resolver work. Queries
+// pass a bounded in-flight gate (excess requests are refused immediately
+// with 503, never queued, so a burst cannot build an invisible backlog)
+// and a per-request deadline (a query that outlives it answers 504 and
+// its result is discarded). Ingest is admitted against a bounded
+// OPERATION budget: a batch that would push the queued-op total past the
+// bound is refused with 429 and a Retry-After hint, so back-pressure
+// reaches the producer instead of accumulating as hidden memory. Draining
+// flips both gates closed, lets in-flight requests finish, and only then
+// tears the listener down — a rolling restart loses no accepted request.
 package serve
 
 import (
@@ -38,6 +41,13 @@ type Options struct {
 	RequestTimeout time.Duration
 	// DrainTimeout bounds Drain's wait for in-flight requests (default 10s).
 	DrainTimeout time.Duration
+	// MaxBatchOps bounds the operations one POST /v1/ops request may carry
+	// (default 4096); a larger batch is refused with 413.
+	MaxBatchOps int
+	// MaxQueuedOps bounds the TOTAL operations admitted for ingest and not
+	// yet applied, across concurrent requests (default 8192). A batch that
+	// would overflow the budget is refused with 429 and a Retry-After hint.
+	MaxQueuedOps int
 }
 
 func (o Options) maxInFlight() int {
@@ -61,6 +71,20 @@ func (o Options) drainTimeout() time.Duration {
 	return 10 * time.Second
 }
 
+func (o Options) maxBatchOps() int {
+	if o.MaxBatchOps > 0 {
+		return o.MaxBatchOps
+	}
+	return 4096
+}
+
+func (o Options) maxQueuedOps() int {
+	if o.MaxQueuedOps > 0 {
+		return o.MaxQueuedOps
+	}
+	return 8192
+}
+
 // Server is the HTTP/JSON query service over one resolver.
 type Server struct {
 	res  er.Resolver
@@ -72,6 +96,9 @@ type Server struct {
 	mu       sync.Mutex
 	httpSrv  *http.Server
 	draining bool
+	// queuedOps is the ingest back-pressure state: operations admitted and
+	// not yet applied, bounded by Options.MaxQueuedOps.
+	queuedOps int
 }
 
 // NewServer wraps res. The caller keeps ownership of res: Close/Drain stop
@@ -91,12 +118,14 @@ func NewServer(res er.Resolver, opts Options) *Server {
 //	GET /v1/same-as?uri=U | ?id=N  → SameAsJSON
 //	GET /v1/cluster?uri=U | ?id=N  → ClusterJSON
 //	GET /v1/stats                  → StatsJSON
+//	POST /v1/ops {ops: [OpJSON]}   → OpsResultJSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/lookup", s.wrap(s.lookup))
 	mux.HandleFunc("GET /v1/same-as", s.wrap(s.sameAs))
 	mux.HandleFunc("GET /v1/cluster", s.wrap(s.cluster))
 	mux.HandleFunc("GET /v1/stats", s.wrap(s.stats))
+	mux.HandleFunc("POST /v1/ops", s.ingest)
 	return mux
 }
 
@@ -354,6 +383,116 @@ func (s *Server) cluster(ctx context.Context, r *http.Request) (any, error) {
 		return nil, err
 	}
 	return ClusterJSON{ID: res.ID, URI: res.Description.URI, Members: s.refs(ctx, res.Cluster)}, nil
+}
+
+// OpJSON is one URI-addressed operation of a bulk-ingest request — the
+// same wire form the op-log exchange format (er.ReadStreamOps) uses.
+type OpJSON struct {
+	Op     string     `json:"op"`
+	URI    string     `json:"uri"`
+	Source int        `json:"source,omitempty"`
+	Attrs  []AttrJSON `json:"attrs,omitempty"`
+}
+
+// OpsRequestJSON is the POST /v1/ops body.
+type OpsRequestJSON struct {
+	Ops []OpJSON `json:"ops"`
+}
+
+// OpsResultJSON acknowledges an applied batch.
+type OpsResultJSON struct {
+	Applied int `json:"applied"`
+}
+
+// maxOpsBodyBytes bounds an ingest request body; matched to the journal
+// layer's record bound, anything that fits an append fits a request.
+const maxOpsBodyBytes = 32 << 20
+
+// admitOps reserves n operations of the ingest budget, refusing rather
+// than queueing past the bound.
+func (s *Server) admitOps(n int) (ok bool, queued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queuedOps+n > s.opts.maxQueuedOps() {
+		return false, s.queuedOps
+	}
+	s.queuedOps += n
+	return true, s.queuedOps
+}
+
+func (s *Server) releaseOps(n int) {
+	s.mu.Lock()
+	s.queuedOps -= n
+	s.mu.Unlock()
+}
+
+// ingest handles POST /v1/ops: one batch of URI-addressed operations,
+// applied atomically through the resolver's batch path. Unlike queries,
+// the resolver call is NOT abandoned at the deadline — the context gates
+// batch ADMISSION only (an admitted batch completes), so the client's
+// verdict always matches the resolver's.
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "serve: draining"})
+		return
+	}
+	var req OpsRequestJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxOpsBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "serve: bad ops body: " + err.Error()})
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "serve: ops batch is empty"})
+		return
+	}
+	if len(req.Ops) > s.opts.maxBatchOps() {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorJSON{
+			Error: fmt.Sprintf("serve: batch of %d operations exceeds the %d-op bound; split it", len(req.Ops), s.opts.maxBatchOps()),
+		})
+		return
+	}
+	ops := make([]er.StreamOp, len(req.Ops))
+	for i, j := range req.Ops {
+		op := er.StreamOp{URI: j.URI, Source: j.Source}
+		switch j.Op {
+		case "insert":
+			op.Kind = er.StreamInsert
+		case "update":
+			op.Kind = er.StreamUpdate
+		case "delete":
+			op.Kind = er.StreamDelete
+		default:
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("serve: ops[%d] has unknown op %q", i, j.Op)})
+			return
+		}
+		for _, a := range j.Attrs {
+			op.Attrs = append(op.Attrs, entity.Attribute{Name: a.Name, Value: a.Value})
+		}
+		ops[i] = op
+	}
+	ok, queued := s.admitOps(len(ops))
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorJSON{
+			Error: fmt.Sprintf("serve: ingest budget exhausted (%d operations queued, bound %d); retry after the hinted delay", queued, s.opts.maxQueuedOps()),
+		})
+		return
+	}
+	defer s.releaseOps(len(ops))
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.requestTimeout())
+	defer cancel()
+	if err := s.res.ApplyBatch(ctx, ops); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, er.ErrBroken) {
+			status = http.StatusInternalServerError
+		}
+		writeJSON(w, status, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, OpsResultJSON{Applied: len(ops)})
 }
 
 func (s *Server) stats(ctx context.Context, r *http.Request) (any, error) {

@@ -54,11 +54,14 @@ const coordDirName = "coordinator"
 const coordSnapshotFormat = 1
 
 // coordRecordJSON is one coordinator journal record: a mutation ("mut",
-// invalidating ID's cached decisions) or a reconcile ("rec", adding N
-// comparisons and the fresh decisions).
+// invalidating ID's cached decisions), a batch ("batch", one append
+// invalidating every touched handle of an ApplyBatch — the coordinator's
+// half of the batch write-path amortization) or a reconcile ("rec", adding
+// N comparisons and the fresh decisions).
 type coordRecordJSON struct {
 	Op        string         `json:"op"`
 	ID        entity.ID      `json:"id,omitempty"`
+	IDs       []entity.ID    `json:"ids,omitempty"`
 	N         int64          `json:"n,omitempty"`
 	Decisions []decisionJSON `json:"decisions,omitempty"`
 }
@@ -105,6 +108,7 @@ func (r *Resolver) appendCoord(rec coordRecordJSON) error {
 	if _, err := r.coordJ.log.Append(payload); err != nil {
 		return fmt.Errorf("sharded: coordinator journal append: %w", err)
 	}
+	r.perf.JournalAppends++
 	r.coordJ.sinceSnap++
 	if r.coordJ.snapEvery > 0 && r.coordJ.sinceSnap >= r.coordJ.snapEvery {
 		return r.compactCoord()
@@ -125,6 +129,21 @@ func (r *Resolver) noteMutation(id entity.ID) {
 	}
 	r.coordOps++
 	if err := r.appendCoord(coordRecordJSON{Op: "mut", ID: id}); err != nil {
+		r.broken = fmt.Errorf("sharded: coordinator journal failed, resolver disabled: %v", err)
+	}
+}
+
+// noteBatch journals an acknowledged batch's handles as ONE append — the
+// coordinator-journal counterpart of the shards' single batch record, with
+// the same ordering rule and crash window as noteMutation (reopen repairs a
+// journal that is exactly one batch behind the shards; see
+// openCoordJournal). Callers hold r.mu.
+func (r *Resolver) noteBatch(ids []entity.ID) {
+	if r.coordJ == nil || r.broken != nil {
+		return
+	}
+	r.coordOps += int64(len(ids))
+	if err := r.appendCoord(coordRecordJSON{Op: "batch", IDs: ids}); err != nil {
 		r.broken = fmt.Errorf("sharded: coordinator journal failed, resolver disabled: %v", err)
 	}
 }
@@ -274,6 +293,11 @@ func (r *Resolver) openCoordJournal() error {
 		case "mut":
 			r.simCache.Invalidate(rec.ID)
 			r.coordOps++
+		case "batch":
+			for _, id := range rec.IDs {
+				r.simCache.Invalidate(id)
+			}
+			r.coordOps += int64(len(rec.IDs))
 		case "rec":
 			r.metaComparisons += rec.N
 			for _, d := range rec.Decisions {
@@ -300,20 +324,37 @@ func (r *Resolver) openCoordJournal() error {
 		// A directory from before the coordinator journal existed: no state
 		// to restore. The cache starts fresh and the Comparisons counter
 		// restarts from the shard-side count — the pre-journal behavior.
-	case r.coordOps == shardOps-1:
-		// The crash window: one operation acknowledged by every shard whose
-		// journal record was lost. Its handle comes from the same donated
-		// record the fan-out-tear repair relies on; invalidating it now (and
-		// journaling the repair) reproduces what the lost record would have
-		// done.
+	case r.coordOps < shardOps:
+		// The crash window: one operation OR one batch acknowledged by every
+		// shard whose coordinator-journal record was lost (operations are
+		// serialized, and a batch is one append on both sides, so the gap is
+		// at most one record's worth of operations). The touched handles come
+		// from the same donated record the fan-out-tear repair relies on;
+		// invalidating them now (and journaling the repair) reproduces what
+		// the lost record would have done.
 		last, okRec := r.shards[0].res.LastRecord()
 		if !okRec {
-			return fmt.Errorf("sharded: coordinator journal is one operation behind the shards and no shard retains its record; cannot repair")
+			return fmt.Errorf("sharded: coordinator journal is %d operations behind the shards and no shard retains its record; cannot repair", shardOps-r.coordOps)
 		}
-		r.simCache.Invalidate(last.ID)
-		r.coordOps++
-		if err := r.appendCoord(coordRecordJSON{Op: "mut", ID: last.ID}); err != nil {
-			return err
+		switch gap := shardOps - r.coordOps; {
+		case last.Kind == incremental.OpBatch && gap == int64(len(last.Batch)):
+			ids := make([]entity.ID, len(last.Batch))
+			for i := range last.Batch {
+				ids[i] = last.Batch[i].ID
+				r.simCache.Invalidate(ids[i])
+			}
+			r.coordOps += gap
+			if err := r.appendCoord(coordRecordJSON{Op: "batch", IDs: ids}); err != nil {
+				return err
+			}
+		case last.Kind != incremental.OpBatch && gap == 1:
+			r.simCache.Invalidate(last.ID)
+			r.coordOps++
+			if err := r.appendCoord(coordRecordJSON{Op: "mut", ID: last.ID}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("sharded: coordinator journal is %d operations behind the shards but the last shard record spans %d — the directory was modified outside the coordinator", gap, last.SpanOps())
 		}
 	default:
 		return fmt.Errorf("sharded: coordinator journal acknowledges %d operations, shards %d — the directory was modified outside the coordinator", r.coordOps, shardOps)

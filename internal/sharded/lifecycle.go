@@ -149,16 +149,18 @@ func Open(dir string, cfg Config) (*Resolver, error) {
 // whole-process crash that interrupted a fan-out: the coordinator
 // serializes operations and every shard journals each one before applying
 // it, so a crash can leave the shard journals apart by AT MOST the single
-// in-flight operation — durable on the shards whose appends completed,
-// absent from the rest. Because journal records carry the operation's full
-// payload, any ahead shard can donate its last applied record (preserved
-// across snapshot compaction, so even a crash landing exactly on a
-// compaction boundary keeps a donor) and the behind shards re-apply it
-// through their normal journal-then-apply path, converging every journal
-// on the acknowledged-plus-in-flight history (roll-forward: the op was
+// in-flight record — one operation, or one whole batch (shard-side
+// ApplyBatch appends atomically, so a shard holds all of a batch or none
+// of it) — durable on the shards whose appends completed, absent from the
+// rest. Because journal records carry the operation's full payload, any
+// ahead shard can donate its last applied record (preserved across
+// snapshot compaction, so even a crash landing exactly on a compaction
+// boundary keeps a donor) and the behind shards re-apply it through their
+// normal journal-then-apply path, converging every journal on the
+// acknowledged-plus-in-flight history (roll-forward: the record was
 // durable somewhere, so it is completed, never discarded). Divergence
-// beyond one operation cannot come from a fan-out tear and is refused with
-// the shards untouched.
+// wider than the donated record cannot come from a fan-out tear and is
+// refused with the shards untouched.
 func (r *Resolver) repairFanoutTear() error {
 	totals := make([]int64, len(r.shards))
 	var lo, hi int64
@@ -175,9 +177,6 @@ func (r *Resolver) repairFanoutTear() error {
 	if hi == lo {
 		return nil
 	}
-	if hi-lo > 1 {
-		return fmt.Errorf("sharded: shard journals diverge by %d operations; a fan-out tear is at most one — the directory was modified outside the coordinator", hi-lo)
-	}
 	var rec incremental.Record
 	donor := -1
 	for i, sh := range r.shards {
@@ -190,14 +189,23 @@ func (r *Resolver) repairFanoutTear() error {
 		}
 	}
 	if donor < 0 {
+		if hi-lo > 1 {
+			return fmt.Errorf("sharded: shard journals diverge by %d operations; a fan-out tear is at most one in-flight record — the directory was modified outside the coordinator", hi-lo)
+		}
 		return fmt.Errorf("sharded: shard journals diverge by one operation but no ahead shard retains its record; cannot roll forward")
+	}
+	if hi-lo != rec.SpanOps() {
+		return fmt.Errorf("sharded: shard journals diverge by %d operations but the in-flight record spans %d; a fan-out tear is exactly one record — the directory was modified outside the coordinator", hi-lo, rec.SpanOps())
 	}
 	for i, sh := range r.shards {
 		if totals[i] == hi {
 			continue
 		}
+		if totals[i] != lo {
+			return fmt.Errorf("sharded: shard %d sits %d operations into the in-flight record; shard appends are atomic — the directory was modified outside the coordinator", i, totals[i]-lo)
+		}
 		if err := r.applyRecordTo(sh.res, rec); err != nil {
-			return fmt.Errorf("sharded: rolling shard %d forward to the in-flight operation: %w", i, err)
+			return fmt.Errorf("sharded: rolling shard %d forward to the in-flight record: %w", i, err)
 		}
 		r.rolledForward++
 	}
@@ -223,6 +231,21 @@ func (r *Resolver) applyRecordTo(sr *incremental.Resolver, rec incremental.Recor
 		return sr.Update(fanoutCtx, rec.ID, rec.Attrs)
 	case incremental.OpDelete:
 		return sr.Delete(rec.ID)
+	case incremental.OpBatch:
+		// The behind shard replans the donated batch against its own replica
+		// (a private copy — planning writes handles back) and journals it as
+		// one append, exactly like the interrupted fan-out would have.
+		cp := make([]incremental.Record, len(rec.Batch))
+		copy(cp, rec.Batch)
+		if err := sr.ApplyBatch(fanoutCtx, cp); err != nil {
+			return err
+		}
+		for i := range cp {
+			if cp[i].ID != rec.Batch[i].ID {
+				return fmt.Errorf("batch record %d landed at handle %d, the donated record says %d", i, cp[i].ID, rec.Batch[i].ID)
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("donated record has kind %v", rec.Kind)
 	}
@@ -306,21 +329,15 @@ func (r *Resolver) Recovery() []incremental.RecoveryInfo {
 	return out
 }
 
-// Perf sums the cumulative per-op work counters over every shard. Like
+// Perf sums the cumulative work counters over every shard plus the
+// coordinator's own (fan-outs issued, coordinator-journal appends). Like
 // the single-node accessor it never reconciles.
 func (r *Resolver) Perf() incremental.PerfCounters {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out incremental.PerfCounters
+	out := r.perf
 	for _, sh := range r.shards {
-		p := sh.res.Perf()
-		out.Reconciles += p.Reconciles
-		out.ReconcileExamined += p.ReconcileExamined
-		out.ReconcileEvaluated += p.ReconcileEvaluated
-		out.FullSnapshots += p.FullSnapshots
-		out.DeltaSnapshots += p.DeltaSnapshots
-		out.SnapshotSlots += p.SnapshotSlots
-		out.SnapshotPairs += p.SnapshotPairs
+		out.Add(sh.res.Perf())
 	}
 	return out
 }

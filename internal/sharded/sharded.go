@@ -159,6 +159,11 @@ type Resolver struct {
 	// fields are derived at read time.
 	stats incremental.Stats
 
+	// perf holds the coordinator's own work counters — shard fan-outs and
+	// coordinator-journal appends, work no shard sees; Perf sums them with
+	// the per-shard counters.
+	perf incremental.PerfCounters
+
 	// recovery records what Open restored, one entry per shard;
 	// rolledForward counts the shards Open rolled forward to complete an
 	// operation a whole-process crash left on only some shard journals.
@@ -395,6 +400,7 @@ func (r *Resolver) ready() error {
 // others is exactly the split this design must never produce. Callers
 // hold r.mu.
 func (r *Resolver) fanout(fn func(sr *incremental.Resolver) error) (allFailed bool, err error) {
+	r.perf.FanOuts++
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
 	for i := range r.shards {
@@ -623,6 +629,129 @@ func (r *Resolver) Apply(ctx context.Context, op incremental.Op) error {
 	default:
 		return fmt.Errorf("sharded: unknown op kind %v", op.Kind)
 	}
+}
+
+// ApplyBatch applies a batch of insert, update and delete records as one
+// amortized operation: one admission check, ONE fan-out to the shards
+// (each shard journals the whole batch as a single append through its own
+// ApplyBatch — one fsync per shard instead of N), and one coordinator-
+// journal record carrying every touched handle. The resolved state is
+// bit-identical to applying the same records one at a time through Insert,
+// Update and Delete.
+//
+// Validation mirrors the single-node batch path exactly (shared
+// incremental.PlanBatch core): records are checked up front against the
+// sequential state the batch builds over the coordinator's replica, so a
+// bad batch fails here — before any shard sees it — and an admitted batch
+// cannot fail mid-apply on a healthy shard. Updates and deletes address
+// their target by handle, or by URI when ID is negative; resolved handles
+// are written back into recs. Like every mutation, the context gates
+// admission only. An empty batch is a no-op.
+func (r *Resolver) ApplyBatch(ctx context.Context, recs []incremental.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ready(); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := incremental.PlanBatch(r.cfg.Kind, r.coll.Len(),
+		func(uri string) (entity.ID, bool) { id, ok := r.byURI[uri]; return id, ok },
+		r.isLive,
+		func(id entity.ID) string { return r.coll.Get(id).URI },
+		recs)
+	if err != nil {
+		return fmt.Errorf("sharded: %w", err)
+	}
+	// One fan-out for the whole batch. Each shard re-plans against its own
+	// (identical) replica and writes the resolved handles back, so every
+	// shard gets a private copy of the records; the handles must agree with
+	// the coordinator's plan or the replicas have drifted. Shard-side
+	// ApplyBatch journals atomically — a crash leaves a shard with the
+	// whole batch or none of it, which is exactly the tear repairFanoutTear
+	// knows how to roll forward.
+	if _, err := r.fanout(func(sr *incremental.Resolver) error {
+		cp := make([]incremental.Record, len(recs))
+		copy(cp, recs)
+		if serr := sr.ApplyBatch(fanoutCtx, cp); serr != nil {
+			return serr
+		}
+		for i := range cp {
+			if cp[i].ID != recs[i].ID {
+				return fmt.Errorf("sharded: shard resolved batch record %d to handle %d, coordinator planned %d", i, cp[i].ID, recs[i].ID)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Fold the batch into the replica in record order — the same mutations
+	// the per-op path performs, minus the per-op fan-outs and journal
+	// records.
+	ids := make([]entity.ID, len(recs))
+	for i := range recs {
+		rec := &recs[i]
+		ids[i] = rec.ID
+		switch rec.Kind {
+		case incremental.OpInsert:
+			cp := &entity.Description{ID: -1, URI: rec.URI, Source: rec.Source, Attrs: append([]entity.Attribute(nil), rec.Attrs...)}
+			r.coll.MustAdd(cp)
+			r.live = append(r.live, true)
+			if cp.URI != "" {
+				r.byURI[cp.URI] = rec.ID
+			}
+			r.liveCount++
+			r.stats.Inserts++
+		case incremental.OpUpdate:
+			r.coll.Get(rec.ID).Attrs = append([]entity.Attribute(nil), rec.Attrs...)
+			r.stats.Updates++
+			r.dyn.RemoveNode(rec.ID)
+		case incremental.OpDelete:
+			if d := r.coll.Get(rec.ID); d.URI != "" {
+				delete(r.byURI, d.URI)
+			}
+			r.live[rec.ID] = false
+			r.liveCount--
+			r.stats.Deletes++
+			r.dyn.RemoveNode(rec.ID)
+			for _, sh := range r.shards {
+				sh.lens.evict(rec.ID)
+			}
+		}
+	}
+	// One coordinator-journal append for the whole batch (meta-blocking
+	// durability; no-op otherwise).
+	r.noteBatch(ids)
+	if r.cfg.Meta != nil {
+		for _, id := range ids {
+			r.simCache.Invalidate(id)
+		}
+		r.metaDirty = true
+		return nil
+	}
+	// Patch the coordinator's match graph to the shards' post-batch truth.
+	// Every touched handle's stale edges were removed above (updates and
+	// deletes drop the node); re-adding each inserted or updated handle's
+	// FINAL shard neighbors reproduces the per-op lockstep result: eager
+	// matching only moves edges incident to the operated handle, so edges
+	// between untouched handles were never stale, and a handle the batch
+	// later deleted simply has no final neighbors to re-add.
+	for i := range recs {
+		if recs[i].Kind == incremental.OpDelete {
+			continue
+		}
+		id := recs[i].ID
+		for _, sh := range r.shards {
+			for _, nb := range sh.res.MatchNeighbors(id) {
+				r.dyn.AddEdge(id, nb, 1)
+			}
+		}
+	}
+	return nil
 }
 
 // Stats returns a globally consistent snapshot of the resolver's counters,

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+	"entityres/internal/incremental"
+)
+
+func sampleBatchAcks() []BatchAck {
+	return []BatchAck{
+		{Seq: 3, Comparisons: 9, Neighbors: [][]entity.ID{{1, 2}, nil, {0}}},
+		{Seq: 1, Comparisons: 0, Neighbors: [][]entity.ID{nil}},
+		{Seq: 1 << 40, Comparisons: 1 << 50, Neighbors: [][]entity.ID{{1 << 30}}},
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	for _, ops := range [][]incremental.RoutedOp{
+		sampleOps(),
+		sampleOps()[:1],
+	} {
+		got, err := decodeBatch(encodeBatch(nil, ops))
+		if err != nil {
+			t.Fatalf("decode(encode(%d ops)): %v", len(ops), err)
+		}
+		if !reflect.DeepEqual(got, ops) {
+			t.Fatalf("batch did not round-trip:\nin  %+v\nout %+v", ops, got)
+		}
+	}
+}
+
+func TestBatchCodecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty-payload", nil, "truncated"},
+		{"zero-ops", []byte{0}, "no operations"},
+		{"count-overruns-payload", []byte{9, 1}, "exceeds remaining payload"},
+		{"torn-op", encodeBatch(nil, sampleOps()[:1])[:4], ""},
+		{"trailing-bytes", append(encodeBatch(nil, sampleOps()[:1]), 'x'), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeBatch(tc.data)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.data)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("rejection %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBatchAckCodecRoundTrip(t *testing.T) {
+	for _, ack := range sampleBatchAcks() {
+		got, err := decodeBatchAck(encodeBatchAck(nil, ack))
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", ack, err)
+		}
+		if !reflect.DeepEqual(got, ack) {
+			t.Fatalf("batch ack did not round-trip:\nin  %+v\nout %+v", ack, got)
+		}
+	}
+	// A comparison counter past MaxInt64 must be refused, not wrapped.
+	if _, err := decodeBatchAck([]byte{1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0}); err == nil {
+		t.Fatal("accepted an overflowing comparison counter")
+	}
+}
+
+// FuzzBatchCodec drives arbitrary bytes through the batch-frame decoder:
+// never a panic, never an accepted batch that fails to round-trip
+// bit-exactly.
+func FuzzBatchCodec(f *testing.F) {
+	f.Add(encodeBatch(nil, sampleOps()))
+	f.Add(encodeBatch(nil, sampleOps()[:1]))
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := decodeBatch(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeBatch(encodeBatch(nil, ops))
+		if err != nil {
+			t.Fatalf("re-decoding accepted batch: %v", err)
+		}
+		if !reflect.DeepEqual(again, ops) {
+			t.Fatalf("batch not re-decoded identically:\nfirst  %+v\nsecond %+v", ops, again)
+		}
+	})
+}
+
+// FuzzBatchAckCodec does the same for cumulative acknowledgements.
+func FuzzBatchAckCodec(f *testing.F) {
+	for _, ack := range sampleBatchAcks() {
+		f.Add(encodeBatchAck(nil, ack))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ack, err := decodeBatchAck(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeBatchAck(encodeBatchAck(nil, ack))
+		if err != nil || !reflect.DeepEqual(again, ack) {
+			t.Fatalf("batch ack not re-decoded identically: %+v vs %+v (%v)", ack, again, err)
+		}
+	})
+}

@@ -122,6 +122,34 @@ func (c *ShardClient) ApplyOp(ctx context.Context, op incremental.RoutedOp) (Ack
 	return ack, nil
 }
 
+// ApplyBatch delivers a whole batch of routed operations in one round trip
+// and returns the shard's cumulative acknowledgement. Retry over a fresh
+// connection re-delivers the whole frame; the shard re-acks its already-
+// applied prefix idempotently and resumes where it stopped.
+func (c *ShardClient) ApplyBatch(ctx context.Context, ops []incremental.RoutedOp) (BatchAck, error) {
+	if len(ops) == 0 {
+		return BatchAck{}, fmt.Errorf("transport: empty batch")
+	}
+	rtyp, reply, err := c.roundTrip(ctx, frameBatch, encodeBatch(nil, ops))
+	if err != nil {
+		return BatchAck{}, err
+	}
+	if rtyp != frameBatchAck {
+		return BatchAck{}, fmt.Errorf("transport: batch answered with frame type %d", rtyp)
+	}
+	ack, err := decodeBatchAck(reply)
+	if err != nil {
+		return BatchAck{}, err
+	}
+	if want := ops[len(ops)-1].Seq; ack.Seq != want {
+		return BatchAck{}, fmt.Errorf("transport: batch ack at seq %d, final op is seq %d", ack.Seq, want)
+	}
+	if len(ack.Neighbors) != len(ops) {
+		return BatchAck{}, fmt.Errorf("transport: batch ack carries %d neighbor lists for %d operations", len(ack.Neighbors), len(ops))
+	}
+	return ack, nil
+}
+
 // Bootstrap ships a full state transfer. Safe to retry: a shard already at
 // the shipped sequence number acknowledges without restoring again.
 func (c *ShardClient) Bootstrap(ctx context.Context, blob wal.Snapshot) error {

@@ -49,8 +49,20 @@ func encodeOp(buf []byte, op incremental.RoutedOp) []byte {
 // decodeOp parses one routed operation, rejecting truncated fields,
 // oversized counts and trailing garbage.
 func decodeOp(data []byte) (incremental.RoutedOp, error) {
-	var op incremental.RoutedOp
 	d := decoder{buf: data}
+	op := d.op()
+	d.finish()
+	if d.err != nil {
+		return incremental.RoutedOp{}, d.err
+	}
+	return op, nil
+}
+
+// op reads one routed operation from the cursor — the shared body of the
+// single-op and batch decoders. Kind and flag validation fails the cursor
+// like any truncation.
+func (d *decoder) op() incremental.RoutedOp {
+	var op incremental.RoutedOp
 	op.Seq = d.uvarint()
 	kind := d.byte()
 	flags := d.byte()
@@ -74,19 +86,122 @@ func decodeOp(data []byte) (incremental.RoutedOp, error) {
 			op.Attrs = append(op.Attrs, entity.Attribute{Name: name, Value: value})
 		}
 	}
+	if d.err == nil && flags&^byte(opFlagAdvance) != 0 {
+		d.fail("op record has unknown flags %#x", flags)
+	}
+	if d.err == nil {
+		switch op.Kind {
+		case incremental.OpInsert, incremental.OpUpdate, incremental.OpDelete:
+		default:
+			d.fail("op record has kind %d", kind)
+		}
+	}
+	if d.err != nil {
+		return incremental.RoutedOp{}
+	}
+	return op
+}
+
+// encodeBatch appends a batch frame's wire form to buf: a count prefix
+// followed by each routed operation in stream order.
+func encodeBatch(buf []byte, ops []incremental.RoutedOp) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		buf = encodeOp(buf, op)
+	}
+	return buf
+}
+
+// decodeBatch parses a batch frame. An empty batch is rejected: the wire
+// never carries one (ApplyBatch no-ops before framing), so seeing one means
+// corruption.
+func decodeBatch(data []byte) ([]incremental.RoutedOp, error) {
+	d := decoder{buf: data}
+	n := d.length()
+	if d.err == nil && n == 0 {
+		d.fail("batch frame carries no operations")
+	}
+	// Each op needs at least a handful of bytes; a count beyond the
+	// remaining payload is corrupt.
+	if d.err == nil && n > len(d.buf)-d.off {
+		d.fail("batch op count %d exceeds remaining payload", n)
+	}
+	var ops []incremental.RoutedOp
+	if d.err == nil {
+		ops = make([]incremental.RoutedOp, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			ops = append(ops, d.op())
+		}
+	}
 	d.finish()
 	if d.err != nil {
-		return incremental.RoutedOp{}, d.err
+		return nil, d.err
 	}
-	if flags&^byte(opFlagAdvance) != 0 {
-		return incremental.RoutedOp{}, fmt.Errorf("transport: op record has unknown flags %#x", flags)
+	return ops, nil
+}
+
+// BatchAck is a shard's single cumulative acknowledgement of a whole batch
+// frame: the final sequence number it is current through, its cumulative
+// matcher-invocation counter after the batch, and — per operation, in
+// stream order — the operated-on description's match neighbors AS OF that
+// operation. The at-time capture is what lets the coordinator fold the
+// batch exactly like N lockstep per-op acknowledgements.
+type BatchAck struct {
+	Seq         uint64
+	Comparisons int64
+	Neighbors   [][]entity.ID
+}
+
+// encodeBatchAck appends ack's wire form to buf.
+func encodeBatchAck(buf []byte, ack BatchAck) []byte {
+	buf = binary.AppendUvarint(buf, ack.Seq)
+	buf = binary.AppendUvarint(buf, uint64(ack.Comparisons))
+	buf = binary.AppendUvarint(buf, uint64(len(ack.Neighbors)))
+	for _, nbs := range ack.Neighbors {
+		buf = binary.AppendUvarint(buf, uint64(len(nbs)))
+		for _, id := range nbs {
+			buf = binary.AppendUvarint(buf, uint64(id))
+		}
 	}
-	switch op.Kind {
-	case incremental.OpInsert, incremental.OpUpdate, incremental.OpDelete:
-	default:
-		return incremental.RoutedOp{}, fmt.Errorf("transport: op record has kind %d", kind)
+	return buf
+}
+
+// decodeBatchAck parses one cumulative batch acknowledgement.
+func decodeBatchAck(data []byte) (BatchAck, error) {
+	var ack BatchAck
+	d := decoder{buf: data}
+	ack.Seq = d.uvarint()
+	comp := d.uvarint()
+	if d.err == nil && comp > math.MaxInt64 {
+		d.fail("comparison counter %d overflows", comp)
 	}
-	return op, nil
+	ack.Comparisons = int64(comp)
+	n := d.length()
+	if d.err == nil && n > len(d.buf)-d.off {
+		d.fail("batch ack op count %d exceeds remaining payload", n)
+	}
+	if d.err == nil && n > 0 {
+		ack.Neighbors = make([][]entity.ID, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			m := d.length()
+			if d.err == nil && m > len(d.buf)-d.off {
+				d.fail("neighbor count %d exceeds remaining payload", m)
+			}
+			var nbs []entity.ID
+			if d.err == nil && m > 0 {
+				nbs = make([]entity.ID, 0, m)
+				for j := 0; j < m; j++ {
+					nbs = append(nbs, entity.ID(d.length()))
+				}
+			}
+			ack.Neighbors = append(ack.Neighbors, nbs)
+		}
+	}
+	d.finish()
+	if d.err != nil {
+		return BatchAck{}, d.err
+	}
+	return ack, nil
 }
 
 // encodeAck appends ack's wire form to buf.

@@ -106,6 +106,7 @@ func FuzzFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(frame(frameHello, []byte(`{"shards":2}`)))
 	f.Add(frame(frameOp, encodeOp(nil, incremental.RoutedOp{Seq: 1, Kind: incremental.OpInsert})))
+	f.Add(frame(frameBatch, encodeBatch(nil, sampleOps()[:2])))
 	f.Add(frame(frameErr, []byte("refused")))
 	// Torn header, torn payload, unknown type, hostile length.
 	f.Add([]byte{byte(frameOp), 0, 0})
@@ -118,7 +119,7 @@ func FuzzFrame(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if typ < frameHello || typ > frameStateOK {
+		if typ < frameHello || typ > frameBatchAck {
 			t.Fatalf("accepted frame type %d", typ)
 		}
 		if len(payload) > maxFramePayload {

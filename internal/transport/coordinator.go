@@ -85,9 +85,11 @@ type Coordinator struct {
 	down    []bool
 	// seq is the global stream position: the number of accepted operations.
 	seq uint64
-	// lastOp is operation seq in full-payload form, retained for the one
-	// idempotent re-send a shard at seq-1 needs.
-	lastOp *incremental.RoutedOp
+	// lastOps is the most recently journaled record's operations — one for
+	// a single mutation, the whole batch for ApplyBatch — in full-payload
+	// routed form, retained for the idempotent tail re-send a shard inside
+	// the record's crash window needs.
+	lastOps []incremental.RoutedOp
 	// ackedSeq and shardComp mirror each shard's last acknowledgement:
 	// stream position and cumulative matcher-invocation counter.
 	ackedSeq  []uint64
@@ -96,6 +98,7 @@ type Coordinator struct {
 	// (nil under meta-blocking, where the replica reconciles it locally).
 	dyn               *graph.Dynamic
 	fullSent, advSent int64
+	perf              incremental.PerfCounters
 	broken            error
 }
 
@@ -160,9 +163,7 @@ func OpenCoordinator(ctx context.Context, dir string, cfg sharded.Config, addrs 
 		r.dyn = graph.NewDynamic()
 	}
 	if rec, ok := rep.LastRecord(); ok && r.seq > 0 {
-		if op, ok := r.routedFromRecord(rec); ok {
-			r.lastOp = &op
-		}
+		r.lastOps = r.routedTail(rec)
 	}
 	expect := Hello{Shards: shards, Kind: int(cfg.Kind), Meta: cfg.Meta != nil}
 	for i, addr := range addrs {
@@ -200,6 +201,34 @@ func (r *Coordinator) routedFromRecord(rec incremental.Record) (incremental.Rout
 	default:
 		return incremental.RoutedOp{}, false
 	}
+}
+
+// routedTail rebuilds the routed forms of the replica's last journaled
+// record — the re-send tail a shard inside the record's crash window is
+// owed. A single mutation yields one op via routedFromRecord; an OpBatch
+// record yields the whole batch verbatim: its update sub-records carry
+// their identity inline (ApplyBatch enriches them at accept time), so the
+// tail reconstructs even when a later sub-record deleted the handle.
+// Returns nil when no tail can be rebuilt; rejoin then refuses gapped
+// shards.
+func (r *Coordinator) routedTail(rec incremental.Record) []incremental.RoutedOp {
+	if rec.Kind != incremental.OpBatch {
+		if op, ok := r.routedFromRecord(rec); ok {
+			return []incremental.RoutedOp{op}
+		}
+		return nil
+	}
+	base := r.seq - uint64(len(rec.Batch))
+	ops := make([]incremental.RoutedOp, 0, len(rec.Batch))
+	for i, sub := range rec.Batch {
+		switch sub.Kind {
+		case incremental.OpInsert, incremental.OpUpdate, incremental.OpDelete:
+		default:
+			return nil
+		}
+		ops = append(ops, incremental.RoutedOp{Seq: base + uint64(i) + 1, Kind: sub.Kind, ID: sub.ID, URI: sub.URI, Source: sub.Source, Attrs: sub.Attrs})
+	}
+	return ops
 }
 
 // keysOf derives a description's distinct blocking key set with the raw
@@ -253,7 +282,7 @@ func (r *Coordinator) Insert(ctx context.Context, d *entity.Description) (entity
 	applied, _ := r.rep.Get(id)
 	r.seq++
 	op := incremental.RoutedOp{Seq: r.seq, Kind: incremental.OpInsert, ID: id, URI: applied.URI, Source: applied.Source, Attrs: applied.Attrs}
-	r.lastOp = &op
+	r.lastOps = []incremental.RoutedOp{op}
 	return id, r.fanout(ctx, op, r.ownersOf(r.keysOf(applied)))
 }
 
@@ -278,7 +307,7 @@ func (r *Coordinator) Update(ctx context.Context, id entity.ID, attrs []entity.A
 	applied, _ := r.rep.Get(id)
 	r.seq++
 	op := incremental.RoutedOp{Seq: r.seq, Kind: incremental.OpUpdate, ID: id, URI: applied.URI, Source: applied.Source, Attrs: applied.Attrs}
-	r.lastOp = &op
+	r.lastOps = []incremental.RoutedOp{op}
 	if r.dyn != nil {
 		// The old matches die with the old keys; the acknowledgements
 		// below re-deliver the current ones.
@@ -304,11 +333,185 @@ func (r *Coordinator) Delete(ctx context.Context, id entity.ID) error {
 	}
 	r.seq++
 	op := incremental.RoutedOp{Seq: r.seq, Kind: incremental.OpDelete, ID: id}
-	r.lastOp = &op
+	r.lastOps = []incremental.RoutedOp{op}
 	if r.dyn != nil {
 		r.dyn.RemoveNode(id)
 	}
 	return r.fanout(ctx, op, r.ownersOf(oldKeys))
+}
+
+// ApplyBatch accepts a whole batch of insert, update and delete records as
+// one sequential unit: validated up front, journaled and applied on the
+// replica as ONE journal append, then delivered as ONE pipelined frame per
+// shard — the amortized ingestion path. Per-operation routing is
+// preserved inside the frame: each operation travels in full only to the
+// shards owning one of its blocking keys and as a slot-advance record
+// elsewhere, so the differential contract holds bit for bit against the
+// lockstep per-op stream.
+func (r *Coordinator) ApplyBatch(ctx context.Context, recs []incremental.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.ready(); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := incremental.PlanBatch(r.cfg.Kind, entity.ID(r.rep.Slots()),
+		r.rep.Lookup,
+		func(id entity.ID) bool { _, ok := r.rep.Get(id); return ok },
+		func(id entity.ID) string {
+			if d, ok := r.rep.Get(id); ok {
+				return d.URI
+			}
+			return ""
+		},
+		recs)
+	if err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	// Build the routed forms and per-operation ownership BEFORE the replica
+	// applies, while every pre-image is still readable: an update's full
+	// payload must also reach the owners of its OLD keys, and its routed
+	// form needs the description's identity. The overlay tracks descriptions
+	// as the batch evolves them, so later records route against the state
+	// their predecessors will have built.
+	overlay := make(map[entity.ID]*entity.Description)
+	desc := func(id entity.ID) (*entity.Description, bool) {
+		if d, ok := overlay[id]; ok {
+			return d, d != nil
+		}
+		return r.rep.Get(id)
+	}
+	ops := make([]incremental.RoutedOp, len(recs))
+	owners := make([][]bool, len(recs))
+	for i := range recs {
+		rec := &recs[i]
+		seq := r.seq + uint64(i) + 1
+		switch rec.Kind {
+		case incremental.OpInsert:
+			d := &entity.Description{ID: rec.ID, URI: rec.URI, Source: rec.Source, Attrs: rec.Attrs}
+			ops[i] = incremental.RoutedOp{Seq: seq, Kind: rec.Kind, ID: rec.ID, URI: rec.URI, Source: rec.Source, Attrs: rec.Attrs}
+			owners[i] = r.ownersOf(r.keysOf(d))
+			overlay[rec.ID] = d
+		case incremental.OpUpdate:
+			old, ok := desc(rec.ID)
+			if !ok {
+				return fmt.Errorf("transport: batch record %d updates dead handle %d after validation", i, rec.ID)
+			}
+			oldKeys := r.keysOf(old)
+			next := &entity.Description{ID: rec.ID, URI: old.URI, Source: old.Source, Attrs: rec.Attrs}
+			// Enrich the journaled record with the description's identity:
+			// a restarted coordinator rebuilds the full routed form straight
+			// from its last journal record (routedTail), even when a later
+			// record in the same batch deletes the handle.
+			rec.URI, rec.Source = old.URI, old.Source
+			ops[i] = incremental.RoutedOp{Seq: seq, Kind: rec.Kind, ID: rec.ID, URI: old.URI, Source: old.Source, Attrs: rec.Attrs}
+			owners[i] = r.ownersOf(oldKeys, r.keysOf(next))
+			overlay[rec.ID] = next
+		case incremental.OpDelete:
+			old, ok := desc(rec.ID)
+			if !ok {
+				return fmt.Errorf("transport: batch record %d deletes dead handle %d after validation", i, rec.ID)
+			}
+			ops[i] = incremental.RoutedOp{Seq: seq, Kind: rec.Kind, ID: rec.ID}
+			owners[i] = r.ownersOf(r.keysOf(old))
+			overlay[rec.ID] = nil
+		}
+	}
+	if err := r.rep.ApplyBatch(ctx, recs); err != nil {
+		return err
+	}
+	r.seq += uint64(len(recs))
+	r.lastOps = ops
+	return r.fanoutBatch(ctx, ops, owners)
+}
+
+// fanoutBatch delivers an accepted batch to every shard as one frame each —
+// full payload where the shard owns one of the operation's keys,
+// slot-advance elsewhere — and folds the cumulative acknowledgements in
+// operation order, reproducing exactly what N lockstep per-op fan-outs
+// would have built. Callers hold r.mu.
+func (r *Coordinator) fanoutBatch(ctx context.Context, ops []incremental.RoutedOp, owners [][]bool) error {
+	r.perf.FanOuts++
+	r.perf.TransportRoundTrips += int64(r.shards)
+	frames := make([][]incremental.RoutedOp, r.shards)
+	for j := 0; j < r.shards; j++ {
+		frame := make([]incremental.RoutedOp, len(ops))
+		for i, op := range ops {
+			if owners[i][j] {
+				frame[i] = op
+				r.fullSent++
+			} else {
+				frame[i] = incremental.RoutedOp{Seq: op.Seq, Kind: op.Kind, Advance: true, ID: op.ID}
+				r.advSent++
+			}
+		}
+		frames[j] = frame
+	}
+	type result struct {
+		ack BatchAck
+		err error
+	}
+	results := make([]result, r.shards)
+	var wg sync.WaitGroup
+	for j := 0; j < r.shards; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			ack, err := r.clients[j].ApplyBatch(ctx, frames[j])
+			results[j] = result{ack: ack, err: err}
+		}(j)
+	}
+	wg.Wait()
+	var downed []int
+	for j, res := range results {
+		if res.err != nil {
+			var rerr *RemoteError
+			if errors.As(res.err, &rerr) {
+				r.broken = fmt.Errorf("transport: shard %d refused the batch ending at operation %d — the deployment has diverged: %w", j, ops[len(ops)-1].Seq, res.err)
+				return r.broken
+			}
+			r.down[j] = true
+			downed = append(downed, j)
+			continue
+		}
+		r.ackedSeq[j] = res.ack.Seq
+		r.shardComp[j] = res.ack.Comparisons
+	}
+	if r.dyn != nil {
+		// Fold in operation order: an update or delete first retires the
+		// handle's edges UNCONDITIONALLY — the replica applied the whole
+		// batch even where no shard acknowledged — then each acknowledging
+		// shard's at-time neighbor list re-adds the operation's matches.
+		// The interleaving is what makes a re-delivered frame safe: a
+		// re-acked prefix operation may report final-state neighbors, but
+		// any such edge that a later operation retires is removed again at
+		// that operation's position and re-added from its accurate list.
+		for i, op := range ops {
+			if op.Kind == incremental.OpUpdate || op.Kind == incremental.OpDelete {
+				r.dyn.RemoveNode(op.ID)
+			}
+			if op.Kind == incremental.OpDelete {
+				continue
+			}
+			for j := range results {
+				if results[j].err != nil {
+					continue
+				}
+				for _, nb := range results[j].ack.Neighbors[i] {
+					r.dyn.AddEdge(op.ID, nb, 1)
+				}
+			}
+		}
+	}
+	if downed != nil {
+		return &ShardUnavailableError{Shards: downed}
+	}
+	return nil
 }
 
 // fanout delivers operation op to every shard in parallel — full payload
@@ -317,6 +520,8 @@ func (r *Coordinator) Delete(ctx context.Context, id entity.ID) error {
 // breaks the coordinator (the states have diverged and nothing local can
 // mend that). Callers hold r.mu.
 func (r *Coordinator) fanout(ctx context.Context, op incremental.RoutedOp, owners []bool) error {
+	r.perf.FanOuts++
+	r.perf.TransportRoundTrips += int64(r.shards)
 	type result struct {
 		ack Ack
 		err error
@@ -393,12 +598,16 @@ func (r *Coordinator) rejoinLocked(ctx context.Context, i int) error {
 	switch {
 	case h.LastSeq == r.seq:
 		// Fully caught up (possibly an acknowledgement we never saw).
-	case h.LastSeq+1 == r.seq && r.lastOp != nil:
-		// The one-op tear the delivery invariant allows: re-send in full —
-		// a shard the original routing only advanced tolerates the payload
-		// (its lens ignores keys it does not own).
-		if _, err := r.clients[i].ApplyOp(ctx, *r.lastOp); err != nil {
-			return fmt.Errorf("transport: re-sending operation %d to shard %d: %w", r.seq, i, err)
+	case h.LastSeq < r.seq && r.seq-h.LastSeq <= uint64(len(r.lastOps)):
+		// The shard sits inside the last journaled record's delivery window
+		// — at most one record (one op, or one whole batch) can be in
+		// flight. Re-send the missing tail in full as one frame — a shard
+		// the original routing only advanced tolerates the payload (its
+		// lens ignores keys it does not own), and the frame's already-
+		// applied prefix re-acks idempotently.
+		tail := r.lastOps[len(r.lastOps)-int(r.seq-h.LastSeq):]
+		if _, err := r.clients[i].ApplyBatch(ctx, tail); err != nil {
+			return fmt.Errorf("transport: re-sending operations %d..%d to shard %d: %w", tail[0].Seq, r.seq, i, err)
 		}
 	case h.LastSeq == 0 && h.Inserts+h.Updates+h.Deletes == 0:
 		// A pristine resolver where state should be: the shard lost its
@@ -488,27 +697,53 @@ func (r *Coordinator) bootstrapBlob(i int) (blob []byte, err error) {
 
 // compAt returns the cumulative comparison count an uninterrupted shard i
 // would hold at the current stream position: its last acknowledged counter
-// plus, when it never acknowledged the final operation, that operation's
-// claimed share — countable exactly from the replica's full index because
-// the claim key of every frontier pair is known. Callers hold r.mu.
+// plus its claimed share of the unacknowledged tail — countable exactly
+// from the replica's full index because the claim key of every frontier
+// pair is known. A one-operation gap is always exact (the replica's final
+// state IS that operation's post-state); a deeper gap is exact only for an
+// all-insert tail, where an insert's at-time frontier is its final-state
+// candidate set minus the pairs against later tail inserts (each counted
+// at the LATER insert, whose enumeration sees both). A mixed deeper tail
+// cannot be reconstructed and errors. Callers hold r.mu.
 func (r *Coordinator) compAt(i int) (int64, error) {
 	comp := r.shardComp[i]
-	switch {
-	case r.ackedSeq[i] == r.seq:
+	if r.ackedSeq[i] == r.seq {
 		return comp, nil
-	case r.ackedSeq[i]+1 == r.seq && r.lastOp != nil:
-		if r.lastOp.Kind != incremental.OpDelete {
-			r.rep.EachDeltaCandidate(r.lastOp.ID, func(_ entity.ID, claimKey string) bool {
+	}
+	if r.ackedSeq[i] < r.seq && r.seq-r.ackedSeq[i] <= uint64(len(r.lastOps)) {
+		tail := r.lastOps[len(r.lastOps)-int(r.seq-r.ackedSeq[i]):]
+		claimShare := func(opID entity.ID, skipAbove bool) {
+			r.rep.EachDeltaCandidate(opID, func(other entity.ID, claimKey string) bool {
+				if skipAbove && other > opID {
+					return true
+				}
 				if sharded.KeyOwner(claimKey, r.shards) == i {
 					comp++
 				}
 				return true
 			})
 		}
-		return comp, nil
-	default:
-		return 0, fmt.Errorf("transport: shard %d last acknowledged operation %d of %d — its comparison counter cannot be reconstructed (was the coordinator journal moved between deployments?)", i, r.ackedSeq[i], r.seq)
+		if len(tail) == 1 {
+			if tail[0].Kind != incremental.OpDelete {
+				claimShare(tail[0].ID, false)
+			}
+			return comp, nil
+		}
+		allInsert := true
+		for _, op := range tail {
+			if op.Kind != incremental.OpInsert {
+				allInsert = false
+				break
+			}
+		}
+		if allInsert {
+			for _, op := range tail {
+				claimShare(op.ID, true)
+			}
+			return comp, nil
+		}
 	}
+	return 0, fmt.Errorf("transport: shard %d last acknowledged operation %d of %d — its comparison counter cannot be reconstructed (was the coordinator journal moved between deployments?)", i, r.ackedSeq[i], r.seq)
 }
 
 // Stats reports the deployment's counters: operations and blocks from the
@@ -599,6 +834,18 @@ func (r *Coordinator) Seq() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.seq
+}
+
+// Perf reports the coordinator PROCESS's perf counters: the replica's
+// (journal appends, reconcile and snapshot work) plus the coordinator's own
+// fan-out and round-trip counters. Shard-server-side work — their journal
+// appends in particular — happens in other processes and is not included.
+func (r *Coordinator) Perf() incremental.PerfCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.perf
+	out.Add(r.rep.Perf())
+	return out
 }
 
 // TransportStats reports the delivery counters and down set.

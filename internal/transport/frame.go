@@ -54,6 +54,12 @@ const (
 	// frameStateOK answers.
 	frameState
 	frameStateOK
+	// frameBatch pipelines a whole batch of routed operations in one round
+	// trip (count-prefixed binary codec); frameBatchAck answers with one
+	// cumulative acknowledgement carrying the final sequence number, the
+	// cumulative comparison counter and the per-operation neighbor feed.
+	frameBatch
+	frameBatchAck
 )
 
 // frameHeaderBytes is the fixed frame header: type byte + length.
@@ -86,7 +92,7 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	typ := hdr[0]
-	if typ < frameHello || typ > frameStateOK {
+	if typ < frameHello || typ > frameBatchAck {
 		return 0, nil, fmt.Errorf("transport: unknown frame type %d", typ)
 	}
 	n := binary.BigEndian.Uint32(hdr[1:5])

@@ -15,6 +15,7 @@ import (
 	"net"
 	"sync"
 
+	"entityres/internal/entity"
 	"entityres/internal/incremental"
 	"entityres/internal/sharded"
 )
@@ -154,6 +155,8 @@ func (s *ShardServer) handle(conn net.Conn) {
 			rtyp, reply, err = s.hello(payload)
 		case frameOp:
 			rtyp, reply, err = s.applyOp(payload)
+		case frameBatch:
+			rtyp, reply, err = s.applyBatch(payload)
 		case frameBootstrap:
 			rtyp, reply, err = s.bootstrap(payload)
 		case frameState:
@@ -216,6 +219,33 @@ func (s *ShardServer) applyOp(payload []byte) (byte, []byte, error) {
 		ack.Neighbors = s.res.MatchNeighbors(op.ID)
 	}
 	return frameAck, encodeAck(nil, ack), nil
+}
+
+// applyBatch applies a pipelined batch of routed operations in stream order
+// and acknowledges the whole frame once: the final sequence number, the
+// cumulative comparison counter, and — per operation — the target's match
+// neighbors AS OF that operation, so the coordinator can fold the batch
+// exactly as it would N lockstep acknowledgements. The shard journals each
+// operation individually (ApplyRouted), so a re-delivered frame re-acks its
+// already-applied prefix idempotently and resumes mid-batch; only round
+// trips collapse, not the shard's durability granularity.
+func (s *ShardServer) applyBatch(payload []byte) (byte, []byte, error) {
+	ops, err := decodeBatch(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	ack := BatchAck{Neighbors: make([][]entity.ID, len(ops))}
+	for i, op := range ops {
+		if err := s.res.ApplyRouted(context.Background(), op); err != nil {
+			return 0, nil, fmt.Errorf("batch operation %d (seq %d): %w", i, op.Seq, err)
+		}
+		if s.cfg.Meta == nil {
+			ack.Neighbors[i] = s.res.MatchNeighbors(op.ID)
+		}
+	}
+	ack.Seq = ops[len(ops)-1].Seq
+	ack.Comparisons = s.res.Counters().Comparisons
+	return frameBatchAck, encodeBatchAck(nil, ack), nil
 }
 
 // bootstrap restores a shipped state into the (pristine) resolver. A
