@@ -41,6 +41,15 @@
 // fan-outs and wire round trips per batch size, with the batch=64 ratio
 // over per-op required to stay >= 8x. -json then writes BENCH_bursty.json.
 //
+// With -concurrent it preloads 70% of the synthetic stream, then runs a
+// mixed workload — a writer streaming the remaining ops while reader
+// fleets of 1, 4 and 16 goroutines hammer the query surface — reporting
+// per-fleet read latency (p50/p99) and aggregate read QPS. Every run must
+// resolve to the state of a sequential replay (asserted), and on a
+// multi-core host (GOMAXPROCS >= 4) the 16-reader fleet's aggregate read
+// throughput must be >= 3x the single reader's — the concurrent-read
+// scaling assertion. -json then writes BENCH_concurrent.json.
+//
 // Usage:
 //
 //	erbench [-experiment E1|E2|...|all] [-scale small|medium] [-seed N]
@@ -53,6 +62,8 @@
 //	erbench -serve [-workers N] [-scale small|medium] [-short] [-seed N]
 //	        [-json FILE] [-baseline FILE [-tolerance F]]
 //	erbench -bursty [-workers N] [-scale small|medium] [-short] [-seed N]
+//	        [-json FILE] [-baseline FILE [-tolerance F]]
+//	erbench -concurrent [-workers N] [-scale small|medium] [-short] [-seed N]
 //	        [-json FILE] [-baseline FILE [-tolerance F]]
 package main
 
@@ -71,6 +82,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"entityres/er"
@@ -94,6 +106,7 @@ func main() {
 		streamShards = flag.Int("streaming-shards", 0, "benchmark the sharded streaming resolver with N key-hash shards against the single-node resolver (bit-equality asserted)")
 		serveBench   = flag.Bool("serve", false, "benchmark the HTTP/JSON query service: per-endpoint latency (p50/p99) over a loaded resolver")
 		bursty       = flag.Bool("bursty", false, "benchmark bursty ingestion: replay the synthetic stream through the durable and networked deployments at batch sizes 1/16/64/256 and report the amortization (journal appends, fan-outs, wire round trips)")
+		concurrent   = flag.Bool("concurrent", false, "benchmark the concurrent read path: reader fleets of 1/4/16 goroutines racing a live writer, reporting read p50/p99 and aggregate QPS (scaling asserted on multi-core)")
 		jsonPath     = flag.String("json", "", "with a bench mode: also write the machine-readable benchmark result to this file, e.g. BENCH_streaming.json / BENCH_sharded.json / BENCH_serve.json / BENCH_bursty.json")
 		short        = flag.Bool("short", false, "bench modes: shrink the scenario to ~400 entities (the CI regression-gate scale)")
 		baseline     = flag.String("baseline", "", "with a bench mode: diff the fresh run's portable counters against this committed JSON payload and fail on drift beyond -tolerance")
@@ -110,9 +123,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "erbench: unknown scale %q (want small or medium)\n", *scale)
 		os.Exit(2)
 	}
-	benchMode := *streamMeta || *streamShards > 0 || *serveBench || *bursty
+	benchMode := *streamMeta || *streamShards > 0 || *serveBench || *bursty || *concurrent
 	if (*jsonPath != "" || *baseline != "") && !benchMode {
-		fmt.Fprintln(os.Stderr, "erbench: -json/-baseline require -streaming-meta, -streaming-shards, -serve or -bursty")
+		fmt.Fprintln(os.Stderr, "erbench: -json/-baseline require -streaming-meta, -streaming-shards, -serve, -bursty or -concurrent")
 		os.Exit(2)
 	}
 	out := benchOutput{jsonPath: *jsonPath, baseline: *baseline, tolerance: *tolerance}
@@ -153,6 +166,13 @@ func main() {
 	}
 	if *bursty {
 		if err := runBurstyIngest(entities, *seed, *workers, out); err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *concurrent {
+		if err := runConcurrentBench(entities, *seed, *workers, out); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -392,6 +412,10 @@ var benchIdentityFields = map[string]bool{
 	"ops":                     true,
 	"recovery.ops":            true,
 	"recovery.snapshot_every": true,
+	"preload_ops":             true,
+	"live_ops":                true,
+	"reads_per_reader":        true,
+	"readers":                 true,
 }
 
 // diffBaseline compares the fresh payload's portable section against the
@@ -1383,6 +1407,282 @@ func runBurstyIngest(entities int, seed int64, workers int, out benchOutput) err
 			Workers:   workers,
 			Durable:   timing["durable"],
 			Networked: timing["networked"],
+		},
+	}
+	return out.emit(&payload)
+}
+
+// concurrentReaderFleets are the -concurrent reader counts; the scaling
+// assertion compares the largest fleet's aggregate read QPS against the
+// single reader's. concurrentReads is the fixed per-reader read count, so
+// aggregate work grows with the fleet and QPS measures lock sharing, not
+// queue depth.
+var concurrentReaderFleets = []int{1, 4, 16}
+
+const (
+	concurrentReads = 2000
+	// concurrentPreloadShare of the stream is applied before the measured
+	// run; the writer streams the rest while the readers hammer.
+	concurrentPreloadShare = 0.7
+	// concurrentScalingFloor is the in-run assertion: on a multi-core host
+	// the largest fleet's aggregate read throughput must be at least this
+	// multiple of the single reader's.
+	concurrentScalingFloor = 3.0
+)
+
+// benchConcurrentPortableJSON identifies the -concurrent scenario and
+// carries its machine-independent results. Readers is the fleet list as a
+// string so the identity check compares it exactly (the read-lock counters
+// themselves are scheduling-dependent and deliberately absent — see
+// er.StreamingPerf.ReadLocks).
+type benchConcurrentPortableJSON struct {
+	Entities       int               `json:"entities"`
+	Seed           int64             `json:"seed"`
+	PreloadOps     int               `json:"preload_ops"`
+	LiveOps        int               `json:"live_ops"`
+	ReadsPerReader int               `json:"reads_per_reader"`
+	Readers        string            `json:"readers"`
+	Counters       benchCountersJSON `json:"counters"`
+	Identical      bool              `json:"identical"`
+}
+
+// benchConcurrentRunJSON is one reader fleet's measured run.
+type benchConcurrentRunJSON struct {
+	Readers     int     `json:"readers"`
+	Reads       int     `json:"reads"`
+	WallNS      int64   `json:"wall_ns"`
+	QPS         float64 `json:"qps"`
+	P50NS       int64   `json:"p50_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	WriteOps    int     `json:"write_ops"`
+	WriteWallNS int64   `json:"write_wall_ns"`
+}
+
+// benchConcurrentTimingJSON is the -concurrent wall-clock section.
+type benchConcurrentTimingJSON struct {
+	Workers         int                               `json:"workers"`
+	GOMAXPROCS      int                               `json:"gomaxprocs"`
+	Runs            map[string]benchConcurrentRunJSON `json:"runs"`
+	Speedup         float64                           `json:"speedup"`
+	ScalingAsserted bool                              `json:"scaling_asserted"`
+}
+
+// benchConcurrentJSON is the machine-readable -concurrent payload
+// (BENCH_concurrent.json).
+type benchConcurrentJSON struct {
+	Schema   int                         `json:"schema"`
+	Name     string                      `json:"name"`
+	Portable benchConcurrentPortableJSON `json:"portable"`
+	Timing   benchConcurrentTimingJSON   `json:"timing"`
+}
+
+// runConcurrentBench measures how the read path scales across cores: for
+// each reader fleet it opens a fresh resolver, preloads 70% of the
+// synthetic stream through the amortized batch path, then races a writer
+// streaming the remaining ops against R reader goroutines each executing a
+// fixed mixed read script (lookup/same-as via Query, plus stats).
+// Aggregate read QPS across fleets is the scaling measure; every run must
+// finish in the state a sequential replay produces (asserted — concurrent
+// readers must not perturb resolution), and on a multi-core host the
+// largest fleet must clear the >= 3x scaling floor over the single reader.
+func runConcurrentBench(entities int, seed int64, workers int, out benchOutput) error {
+	c, _, err := er.GenerateDirty(er.GenConfig{Seed: seed, Entities: entities, MaxDuplicates: 2})
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	all := c.All()
+	preN := int(float64(len(all)) * concurrentPreloadShare)
+	liveN := len(all) - preN
+	uris := make([]string, preN)
+	for i, d := range all[:preN] {
+		uris[i] = d.URI
+	}
+	ctx := context.Background()
+	open := func() (er.Resolver, error) {
+		return er.Open(ctx, er.Config{
+			Kind: er.Dirty, Blocker: &er.TokenBlocking{},
+			Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.5}, Workers: workers,
+		})
+	}
+	preload := func(r er.Resolver) error {
+		ops := make([]er.StreamOp, preN)
+		for i, d := range all[:preN] {
+			ops[i] = er.StreamOp{Kind: er.StreamInsert, URI: d.URI, Source: d.Source, Attrs: d.Attrs}
+		}
+		for at := 0; at < len(ops); at += 256 {
+			if err := r.ApplyBatch(ctx, ops[at:min(at+256, len(ops))]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fmt.Printf("concurrent read path: %d descriptions (%d preloaded, %d streamed live), seed %d, %d workers, GOMAXPROCS %d, %d reads/reader\n",
+		len(all), preN, liveN, seed, workers, runtime.GOMAXPROCS(0), concurrentReads)
+
+	// The sequential baseline every concurrent run must resolve to.
+	ref, err := open()
+	if err != nil {
+		return err
+	}
+	if err := preload(ref); err != nil {
+		ref.Close()
+		return fmt.Errorf("baseline preload: %w", err)
+	}
+	for _, d := range all[preN:] {
+		if _, err := ref.Insert(ctx, d); err != nil {
+			ref.Close()
+			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+	want, err := ref.Stats()
+	ref.Close()
+	if err != nil {
+		return err
+	}
+
+	runFleet := func(readers int) (benchConcurrentRunJSON, error) {
+		r, err := open()
+		if err != nil {
+			return benchConcurrentRunJSON{}, err
+		}
+		defer r.Close()
+		if err := preload(r); err != nil {
+			return benchConcurrentRunJSON{}, fmt.Errorf("preload: %w", err)
+		}
+		var (
+			writeWall time.Duration
+			writeErr  error
+			writerWG  sync.WaitGroup
+		)
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			t0 := time.Now()
+			for _, d := range all[preN:] {
+				if _, err := r.Insert(ctx, d); err != nil {
+					writeErr = err
+					return
+				}
+			}
+			writeWall = time.Since(t0)
+		}()
+		lats := make([][]time.Duration, readers)
+		errs := make([]error, readers)
+		var readerWG sync.WaitGroup
+		t0 := time.Now()
+		for g := 0; g < readers; g++ {
+			readerWG.Add(1)
+			go func(g int) {
+				defer readerWG.Done()
+				lat := make([]time.Duration, concurrentReads)
+				for i := range lat {
+					s := time.Now()
+					// 3:1 point reads (lookup + same-as through Query, over
+					// the preloaded URIs, always live) to aggregate stats.
+					var rerr error
+					if i%4 == 3 {
+						_, rerr = r.Stats()
+					} else {
+						_, rerr = r.Query(ctx, er.Query{URI: uris[(g*concurrentReads+i*7)%len(uris)]})
+					}
+					if rerr != nil {
+						errs[g] = rerr
+						return
+					}
+					lat[i] = time.Since(s)
+				}
+				lats[g] = lat
+			}(g)
+		}
+		readerWG.Wait()
+		readWall := time.Since(t0)
+		writerWG.Wait()
+		if writeErr != nil {
+			return benchConcurrentRunJSON{}, fmt.Errorf("writer: %w", writeErr)
+		}
+		var flat []time.Duration
+		for g := range lats {
+			if errs[g] != nil {
+				return benchConcurrentRunJSON{}, fmt.Errorf("reader %d: %w", g, errs[g])
+			}
+			flat = append(flat, lats[g]...)
+		}
+		st, err := r.Stats()
+		if err != nil {
+			return benchConcurrentRunJSON{}, err
+		}
+		if st != want {
+			return benchConcurrentRunJSON{}, fmt.Errorf("%d-reader run resolved to %+v, sequential baseline %+v — concurrent reads perturbed resolution", readers, st, want)
+		}
+		sum := summarizeLatency(flat)
+		return benchConcurrentRunJSON{
+			Readers:     readers,
+			Reads:       len(flat),
+			WallNS:      readWall.Nanoseconds(),
+			QPS:         float64(len(flat)) / readWall.Seconds(),
+			P50NS:       sum.P50NS,
+			P99NS:       sum.P99NS,
+			WriteOps:    liveN,
+			WriteWallNS: writeWall.Nanoseconds(),
+		}, nil
+	}
+
+	runs := map[string]benchConcurrentRunJSON{}
+	fmt.Printf("\n%-10s %10s %12s %10s %10s %12s\n", "readers", "reads", "read QPS", "p50", "p99", "write wall")
+	fleetNames := make([]string, 0, len(concurrentReaderFleets))
+	for _, n := range concurrentReaderFleets {
+		run, err := runFleet(n)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("r%d", n)
+		fleetNames = append(fleetNames, fmt.Sprint(n))
+		runs[name] = run
+		fmt.Printf("%-10d %10d %12.0f %10v %10v %12v\n", n, run.Reads, run.QPS,
+			time.Duration(run.P50NS).Round(time.Microsecond),
+			time.Duration(run.P99NS).Round(time.Microsecond),
+			time.Duration(run.WriteWallNS).Round(time.Microsecond))
+	}
+	single := runs[fmt.Sprintf("r%d", concurrentReaderFleets[0])]
+	largest := runs[fmt.Sprintf("r%d", concurrentReaderFleets[len(concurrentReaderFleets)-1])]
+	speedup := largest.QPS / single.QPS
+	multicore := runtime.GOMAXPROCS(0) >= 4
+	fmt.Printf("\nidentical=true read_scaling=%.2fx (%d readers vs 1)\n", speedup, largest.Readers)
+	if multicore {
+		if speedup < concurrentScalingFloor {
+			return fmt.Errorf("read throughput at %d readers is %.2fx the single reader (floor %.1fx on %d cores) — the read path stopped sharing",
+				largest.Readers, speedup, concurrentScalingFloor, runtime.GOMAXPROCS(0))
+		}
+		fmt.Printf("scaling floor %.1fx asserted on %d cores\n", concurrentScalingFloor, runtime.GOMAXPROCS(0))
+	} else {
+		fmt.Printf("scaling floor not asserted: GOMAXPROCS %d < 4 (single-core hosts cannot show read parallelism)\n", runtime.GOMAXPROCS(0))
+	}
+
+	if out.jsonPath == "" && out.baseline == "" {
+		return nil
+	}
+	payload := benchConcurrentJSON{
+		Schema: benchSchema,
+		Name:   "concurrent",
+		Portable: benchConcurrentPortableJSON{
+			Entities:       c.Len(),
+			Seed:           seed,
+			PreloadOps:     preN,
+			LiveOps:        liveN,
+			ReadsPerReader: concurrentReads,
+			Readers:        strings.Join(fleetNames, ","),
+			Counters:       benchCountersJSON{Comparisons: want.Comparisons, Matches: want.Matches},
+			Identical:      true,
+		},
+		Timing: benchConcurrentTimingJSON{
+			Workers:         workers,
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			Runs:            runs,
+			Speedup:         speedup,
+			ScalingAsserted: multicore,
 		},
 	}
 	return out.emit(&payload)

@@ -3,8 +3,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -313,5 +315,62 @@ func TestSameSameAs(t *testing.T) {
 	}
 	if sameSameAs(ctx, a, b, c) {
 		t.Fatal("diverged deployments reported same")
+	}
+}
+
+// TestRunConcurrentBench drives the -concurrent mode end to end on a small
+// stream: every reader fleet runs against a live writer, the mode itself
+// asserts each run resolved to the sequential baseline, and the payload
+// carries the scaling evidence. The baseline gate round-trips on the
+// portable counters (deterministic for a seed — latency and QPS live in
+// the never-compared timing section).
+func TestRunConcurrentBench(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_concurrent.json")
+	if err := runConcurrentBench(100, 7, 2, benchOutput{jsonPath: jsonPath}); err != nil {
+		t.Fatalf("runConcurrentBench: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchConcurrentJSON
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != benchSchema || out.Name != "concurrent" || !out.Portable.Identical {
+		t.Fatalf("concurrent payload = %+v", out)
+	}
+	p := out.Portable
+	if p.Entities == 0 || p.PreloadOps == 0 || p.LiveOps == 0 || p.Counters.Matches == 0 {
+		t.Fatalf("concurrent portable section malformed: %+v", p)
+	}
+	if p.ReadsPerReader != concurrentReads || p.Readers != "1,4,16" {
+		t.Fatalf("concurrent scenario identity malformed: %+v", p)
+	}
+	if len(out.Timing.Runs) != len(concurrentReaderFleets) {
+		t.Fatalf("concurrent runs incomplete: %+v", out.Timing)
+	}
+	for _, n := range concurrentReaderFleets {
+		run := out.Timing.Runs[fmt.Sprintf("r%d", n)]
+		if run.Readers != n || run.Reads != n*concurrentReads {
+			t.Fatalf("fleet %d ran %d reads across %d readers: %+v", n, run.Reads, run.Readers, run)
+		}
+		if run.QPS <= 0 || run.P99NS < run.P50NS || run.WallNS <= 0 || run.WriteWallNS <= 0 {
+			t.Fatalf("fleet %d timing unmeasured: %+v", n, run)
+		}
+	}
+	if out.Timing.Speedup <= 0 || out.Timing.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Fatalf("scaling summary malformed: %+v", out.Timing)
+	}
+	if out.Timing.ScalingAsserted != (runtime.GOMAXPROCS(0) >= 4) {
+		t.Fatalf("scaling_asserted = %v on %d cores", out.Timing.ScalingAsserted, runtime.GOMAXPROCS(0))
+	}
+	// The regression gate: an identical rerun matches its own baseline, and
+	// a different scale is refused rather than diffed.
+	if err := runConcurrentBench(100, 7, 2, benchOutput{baseline: jsonPath, tolerance: 0.01}); err != nil {
+		t.Fatalf("identical rerun drifted from its own baseline: %v", err)
+	}
+	if err := runConcurrentBench(80, 7, 2, benchOutput{baseline: jsonPath, tolerance: 0.01}); err == nil {
+		t.Fatal("baseline gate diffed a different scale instead of refusing")
 	}
 }

@@ -150,6 +150,8 @@ func serveCmd(args []string) {
 		drainTime  = fs.Duration("drain-timeout", 0, "graceful drain bound on shutdown (0 = default 10s)")
 		maxBatch   = fs.Int("max-batch-ops", 0, "bulk ingest: max operations per POST /v1/ops request, larger batches get 413 (0 = default 4096)")
 		maxQueued  = fs.Int("max-queued-ops", 0, "bulk ingest back-pressure: max admitted-but-unapplied operations before 429 + Retry-After (0 = default 8192)")
+		coalWindow = fs.Duration("coalesce-window", 0, "ingest coalescing: time window singleton POST /v1/ops requests wait to merge into one server-formed batch (0 with -coalesce-max 0 = off; set either to enable, window defaults to 2ms)")
+		coalMax    = fs.Int("coalesce-max", 0, "ingest coalescing: batch size that flushes the window early (0 with -coalesce-window 0 = off; defaults to 256 when enabled)")
 	)
 	_ = fs.Parse(args)
 	cfg, err := df.config()
@@ -208,6 +210,8 @@ func serveCmd(args []string) {
 		DrainTimeout:   *drainTime,
 		MaxBatchOps:    *maxBatch,
 		MaxQueuedOps:   *maxQueued,
+		CoalesceWindow: *coalWindow,
+		CoalesceMax:    *coalMax,
 	})
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,322 @@
+package incremental_test
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"entityres/internal/blocking"
+	"entityres/internal/datagen"
+	"entityres/internal/entity"
+	"entityres/internal/incremental"
+	"entityres/internal/matching"
+	"entityres/internal/metablocking"
+)
+
+// The concurrent differential property: a fleet of reader goroutines
+// hammering the whole read surface while a writer streams operations
+// (per-op AND batched) must observe only pre- or post-op states — every
+// read internally consistent — and the final resolver state must be
+// bit-exact with a sequential replay of the same script AND with the
+// from-scratch batch pipeline. CI runs this suite under -race; the
+// invariants below catch torn state a race detector cannot (a reader
+// that sees inserts ahead of the live count tore an op even if every
+// individual word was synchronized).
+
+func recordOf(op incremental.Op) incremental.Record {
+	// ID -1 addresses the record by URI (PlanBatch resolves the handle).
+	return incremental.Record{Kind: op.Kind, ID: -1, URI: op.URI, Source: op.Source, Attrs: op.Attrs}
+}
+
+// applyScript streams the script into r the way a served deployment sees
+// it: mostly per-op, with every fourth chunk applied as one batch.
+func applyScript(ctx context.Context, t *testing.T, r *incremental.Resolver, script []incremental.Op) {
+	t.Helper()
+	const chunk = 6
+	for i := 0; i < len(script); {
+		end := min(i+chunk, len(script))
+		if (i/chunk)%4 == 3 {
+			recs := make([]incremental.Record, 0, end-i)
+			for _, op := range script[i:end] {
+				recs = append(recs, recordOf(op))
+			}
+			if err := r.ApplyBatch(ctx, recs); err != nil {
+				t.Errorf("batch at op %d: %v", i, err)
+				return
+			}
+		} else {
+			for j, op := range script[i:end] {
+				if err := r.Apply(ctx, op); err != nil {
+					t.Errorf("op %d (%s %s): %v", i+j, op.Kind, op.URI, err)
+					return
+				}
+			}
+		}
+		i = end
+	}
+}
+
+// readerLoop hammers the read surface until done closes, asserting per-read
+// internal consistency — the pre-or-post-op atomicity evidence.
+func readerLoop(t *testing.T, r *incremental.Resolver, uris []string, done <-chan struct{}, g int) {
+	var last incremental.Stats
+	rng := rand.New(rand.NewSource(int64(g) * 31))
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		switch i % 5 {
+		case 0:
+			st, err := r.Stats()
+			if err != nil {
+				t.Errorf("reader %d: stats: %v", g, err)
+				return
+			}
+			// A torn op would surface here: Live is maintained with the
+			// counters under the same lock, so their identity must hold on
+			// EVERY read, and the cumulative counters never run backwards.
+			if int64(st.Live) != st.Inserts-st.Deletes {
+				t.Errorf("reader %d: torn stats: live %d != %d inserts - %d deletes", g, st.Live, st.Inserts, st.Deletes)
+				return
+			}
+			if st.Inserts < last.Inserts || st.Updates < last.Updates || st.Deletes < last.Deletes {
+				t.Errorf("reader %d: counters ran backwards: %+v then %+v", g, last, st)
+				return
+			}
+			last = st
+		case 1:
+			// Snapshot returns a (collection, matches) pair taken under one
+			// lock: every matched handle must resolve in the collection.
+			snap, matches, err := r.Snapshot()
+			if err != nil {
+				t.Errorf("reader %d: snapshot: %v", g, err)
+				return
+			}
+			for _, p := range matches.Pairs() {
+				if snap.Get(p.A) == nil || snap.Get(p.B) == nil {
+					t.Errorf("reader %d: match %v-%v dangles outside its own snapshot", g, p.A, p.B)
+					return
+				}
+			}
+		case 2:
+			cs, err := r.Clusters()
+			if err != nil {
+				t.Errorf("reader %d: clusters: %v", g, err)
+				return
+			}
+			seen := map[entity.ID]bool{}
+			for _, c := range cs {
+				for _, id := range c {
+					if seen[id] {
+						t.Errorf("reader %d: handle %d in two clusters", g, id)
+						return
+					}
+					seen[id] = true
+				}
+			}
+		case 3:
+			if _, err := r.Matches(); err != nil {
+				t.Errorf("reader %d: matches: %v", g, err)
+				return
+			}
+		default:
+			// Point reads: a URI may legitimately be dead between Lookup and
+			// MatchedWith (two separate reads); only internal failures count.
+			uri := uris[rng.Intn(len(uris))]
+			if id, ok := r.Lookup(uri); ok {
+				if _, err := r.MatchedWith(id); err != nil {
+					// Deleted in between — a valid interleaving, not a tear.
+					continue
+				}
+			}
+		}
+	}
+}
+
+// concurrentConfig is one concurrent differential scenario.
+type concurrentConfig struct {
+	name    string
+	meta    *metablocking.MetaBlocker
+	readers int
+	ops     int
+	seed    int64
+}
+
+func runConcurrentDifferential(t *testing.T, cc concurrentConfig) {
+	matcher := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	blocker := &blocking.TokenBlocking{}
+	newResolver := func() *incremental.Resolver {
+		r, err := incremental.New(incremental.Config{
+			Kind: entity.Dirty, Blocker: blocker, Matcher: matcher, Workers: 4, Meta: cc.meta,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	script := generateScript(t, entity.Dirty, cc.seed, cc.ops, opMixes[1])
+	uris := make([]string, 0, len(script))
+	for _, op := range script {
+		if op.Kind == incremental.OpInsert {
+			uris = append(uris, op.URI)
+		}
+	}
+
+	r := newResolver()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < cc.readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			readerLoop(t, r, uris, done, g)
+		}(g)
+	}
+	applyScript(context.Background(), t, r, script)
+	close(done)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Bit-exactness despite the read storm: the final state equals the
+	// sequential replay of the same script...
+	ref := newResolver()
+	applyScript(context.Background(), t, ref, script)
+	if got, want := renderState(mustMatches(t, r)), renderState(mustMatches(t, ref)); got != want {
+		t.Fatalf("concurrent final state diverges from sequential replay:\nconcurrent:\n%s\nsequential:\n%s", got, want)
+	}
+	got, want := mustStats(t, r), mustStats(t, ref)
+	if cc.meta != nil {
+		// Under live meta-blocking the comparison count depends on WHEN
+		// reconciles ran (an early reconcile evaluates pairs at thresholds a
+		// later one never sees, cached thereafter) — the read fleet's
+		// schedule is not the replay's, so only the count is exempt.
+		got.Comparisons, want.Comparisons = 0, 0
+	}
+	if got != want {
+		t.Fatalf("concurrent final stats diverge from sequential replay:\nconcurrent: %+v\nsequential: %+v", got, want)
+	}
+	// ...and both equal the from-scratch batch pipeline.
+	dc := diffConfig{kind: entity.Dirty, blocker: blocker, workers: 4, meta: cc.meta}
+	checkDifferential(t, r, dc, matcher, cc.ops)
+
+	// The read fleet actually shared the lock: reads served under RLock
+	// without paying a reconcile themselves.
+	if p := r.Perf(); p.SharedReads == 0 || p.ReadLocks < p.SharedReads {
+		t.Fatalf("no shared reads recorded under a %d-reader storm: %+v", cc.readers, p)
+	}
+}
+
+func TestConcurrentReadDifferential(t *testing.T) {
+	configs := []concurrentConfig{
+		{name: "eager", meta: nil, readers: 8, ops: 300, seed: 41},
+		{name: "meta-wnp", meta: &metablocking.MetaBlocker{Weight: metablocking.ECBS, Prune: metablocking.WNP}, readers: 8, ops: 200, seed: 42},
+		{name: "meta-wep", meta: &metablocking.MetaBlocker{Weight: metablocking.JS, Prune: metablocking.WEP}, readers: 4, ops: 160, seed: 43},
+	}
+	for _, cc := range configs {
+		cc := cc
+		t.Run(cc.name, func(t *testing.T) {
+			if testing.Short() && cc.name == "meta-wep" {
+				t.Skip("short mode runs the first two storms only")
+			}
+			t.Parallel()
+			runConcurrentDifferential(t, cc)
+		})
+	}
+}
+
+// TestReconcileSingleFlight: a read stampede on a dirty graph pays ONE
+// delta-prune — the first reader reconciles under the write lock, the rest
+// find the graph clean and proceed under RLock.
+func TestReconcileSingleFlight(t *testing.T) {
+	t.Parallel()
+	matcher := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	r, err := incremental.New(incremental.Config{
+		Kind: entity.Dirty, Blocker: &blocking.TokenBlocking{}, Matcher: matcher, Workers: 4,
+		Meta: &metablocking.MetaBlocker{Weight: metablocking.ECBS, Prune: metablocking.WNP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, d := range pool(t, entity.Dirty, 9)[:50] {
+		if _, err := r.Insert(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := r.Perf()
+	if before.Reconciles != 0 {
+		t.Fatalf("graph reconciled before any read: %+v", before)
+	}
+	const stampede = 16
+	var wg sync.WaitGroup
+	for g := 0; g < stampede; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Stats(); err != nil {
+				t.Errorf("stampede read: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	p := r.Perf()
+	if p.Reconciles != 1 {
+		t.Fatalf("a %d-reader stampede paid %d reconciles, want the single-flight 1", stampede, p.Reconciles)
+	}
+	if p.ReadLocks < stampede {
+		t.Fatalf("stampede took %d read locks, want at least %d", p.ReadLocks, stampede)
+	}
+}
+
+// BenchmarkConcurrentReadSharing is the mutex-contention smoke: parallel
+// readers over a quiescent resolver must serve under the shared lock (CI
+// runs it with -mutexprofile; the self-assert below fails the build if the
+// read path stopped sharing).
+func BenchmarkConcurrentReadSharing(b *testing.B) {
+	matcher := &matching.Matcher{Sim: &matching.TokenJaccard{}, Threshold: 0.5}
+	r, err := incremental.New(incremental.Config{
+		Kind: entity.Dirty, Blocker: &blocking.TokenBlocking{}, Matcher: matcher, Workers: 4,
+		Meta: &metablocking.MetaBlocker{Weight: metablocking.ECBS, Prune: metablocking.WNP},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	c, _, err := datagen.GenerateDirty(datagen.Config{Seed: 83, Entities: 120, DupRatio: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range c.All() {
+		if _, err := r.Insert(ctx, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := r.Stats(); err != nil { // settle the reconcile outside the timer
+		b.Fatal(err)
+	}
+	before := r.Perf()
+	b.SetParallelism(max(2, runtime.GOMAXPROCS(0)))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := r.Stats(); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := r.Clusters(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if p := r.Perf(); p.SharedReads <= before.SharedReads {
+		b.Fatalf("parallel readers recorded no shared reads: %+v then %+v", before, p)
+	}
+}

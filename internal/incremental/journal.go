@@ -465,8 +465,8 @@ func (r *Resolver) Close() error {
 // Recovery reports what OpenResolver restored; the zero value for resolvers
 // built with New or opened on a fresh directory.
 func (r *Resolver) Recovery() RecoveryInfo {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	return r.recovery
 }
 
@@ -477,8 +477,8 @@ func (r *Resolver) Recovery() RecoveryInfo {
 // shard whose journal runs one operation ahead donates the record so the
 // others can roll forward to the same point.
 func (r *Resolver) LastRecord() (Record, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	if r.lastRecord == nil {
 		return Record{}, false
 	}

@@ -75,6 +75,15 @@ type PerfCounters struct {
 	// frame carries N routed ops per round trip where the per-op path pays
 	// N round trips per shard.
 	TransportRoundTrips int64
+	// ReadLocks counts shared (read) lock acquisitions across the read
+	// surface and SharedReads the read operations served entirely under the
+	// shared lock — without paying a reconcile themselves. Their ratio is
+	// the concurrent-read-scaling evidence: a fleet of readers on a mostly
+	// clean graph shows SharedReads tracking ReadLocks, with the occasional
+	// post-write reconcile paid once regardless of reader count. Sequential
+	// use keeps both deterministic; under concurrency they depend on
+	// scheduling, so benchmark baselines must not gate on them.
+	ReadLocks, SharedReads int64
 }
 
 // Add folds q's counts into p — the aggregation the sharded and networked
@@ -90,14 +99,21 @@ func (p *PerfCounters) Add(q PerfCounters) {
 	p.JournalAppends += q.JournalAppends
 	p.FanOuts += q.FanOuts
 	p.TransportRoundTrips += q.TransportRoundTrips
+	p.ReadLocks += q.ReadLocks
+	p.SharedReads += q.SharedReads
 }
 
 // Perf returns the resolver's cumulative work counters. It never
 // reconciles or otherwise mutates state.
 func (r *Resolver) Perf() PerfCounters {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.perf
+	// A plain (uncounted) shared lock: Perf observes the counters and must
+	// not perturb them — two back-to-back calls on a quiet resolver agree.
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p := r.perf
+	p.ReadLocks = r.readLocks.Load()
+	p.SharedReads = r.sharedReads.Load()
+	return p
 }
 
 // Flush reconciles any deferred meta-blocking work under the caller's
@@ -120,14 +136,16 @@ func (r *Resolver) Flush(ctx context.Context) error {
 // MetaBlocker.Restructure over the live descriptions; without a Meta
 // configuration it returns nil.
 func (r *Resolver) RestructuredBlocks() (*blocking.Blocks, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	// weighted is assigned once in New, before the resolver escapes — safe
+	// to check unlocked, and it keeps the no-meta answer error-free the way
+	// it always was.
 	if r.weighted == nil {
 		return nil, nil
 	}
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, err
 	}
+	defer r.mu.RUnlock()
 	kept := make([]graph.Edge, len(r.lastKept))
 	copy(kept, r.lastKept)
 	return metablocking.EmitKept(r.coll, r.cfg.Kind, kept), nil

@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"entityres/internal/blocking"
 	"entityres/internal/entity"
@@ -117,7 +118,10 @@ func (s Stats) String() string {
 }
 
 // Resolver is a long-lived streaming entity resolver. All methods are safe
-// for concurrent use; operations are serialized internally.
+// for concurrent use: mutating operations are serialized internally, reads
+// run concurrently under a shared lock (see the mu field), and a read
+// racing a write observes either the full pre-op or the full post-op state,
+// never a partial one.
 type Resolver struct {
 	cfg   Config
 	keyer blocking.KeyFunc
@@ -150,7 +154,21 @@ type Resolver struct {
 	// longer mirrors memory.
 	broken error
 
-	mu sync.Mutex
+	// mu is a reader/writer lock: mutating operations hold it exclusively,
+	// reads share it. Reads that must reconcile deferred meta-blocking work
+	// first follow the reconcile-then-share discipline of lockShared; plain
+	// reads take the read lock directly (rlock). Every read-side method is
+	// pure under the shared lock — the block index, dynamic match graph and
+	// weighted graph maintain their derived state eagerly on the write path,
+	// so concurrent readers never mutate.
+	mu sync.RWMutex
+	// readLocks counts shared-lock acquisitions across the read surface and
+	// sharedReads the read operations served entirely under the shared lock
+	// (without paying a reconcile themselves) — the scaling evidence Perf
+	// folds into PerfCounters. Atomics: incremented while holding only the
+	// read lock.
+	readLocks   atomic.Int64
+	sharedReads atomic.Int64
 	// coll holds every description ever inserted, at its internal ID
 	// (slot). Deleted slots keep their tombstone description so the slot
 	// space stays dense for the matcher's Get path; live tracks liveness
@@ -591,8 +609,8 @@ func (r *Resolver) applyBatchRecord(rec *Record) error {
 
 // Lookup returns the handle of the live description with the given URI.
 func (r *Resolver) Lookup(uri string) (entity.ID, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	id, ok := r.byURI[uri]
 	return id, ok
 }
@@ -707,15 +725,61 @@ func (r *Resolver) filterDelta(d *entity.Description, delta *blocking.Blocks) *b
 // chunk size, the point where fan-out can begin to pay for itself.
 const sequentialDeltaMax = 256
 
+// rlock takes the shared lock for a read that needs no reconcile. The
+// caller must release with r.mu.RUnlock.
+func (r *Resolver) rlock() {
+	r.mu.RLock()
+	r.readLocks.Add(1)
+	r.sharedReads.Add(1)
+}
+
+// lockShared acquires the lock in shared mode with the reconcile-then-share
+// discipline: on nil return the caller holds the read lock over clean state
+// (no deferred meta-blocking work pending) and must release with
+// r.mu.RUnlock. When the graph is dirty the reader upgrades — releases the
+// read lock, reconciles under the write lock, retries. The upgrade is
+// single-flight in effect: a read stampede on a dirty graph queues on the
+// write lock, the first holder pays the one delta-proportional reconcile
+// (riding the DeltaPruner), and everyone behind it finds the graph clean
+// and proceeds under the shared lock, so N concurrent readers cost one
+// reconcile, not N.
+func (r *Resolver) lockShared(ctx context.Context) error {
+	reconciled := false
+	for {
+		r.mu.RLock()
+		r.readLocks.Add(1)
+		// A diverged journal poisons reconciling reads (mirror reconcile's
+		// rule); graceful closure does not — a closed resolver still serves.
+		if r.broken != nil && r.broken != errClosed {
+			err := r.broken
+			r.mu.RUnlock()
+			return err
+		}
+		if r.weighted == nil || !r.metaDirty {
+			if !reconciled {
+				r.sharedReads.Add(1)
+			}
+			return nil
+		}
+		r.mu.RUnlock()
+		r.mu.Lock()
+		err := r.reconcile(ctx)
+		r.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		reconciled = true
+	}
+}
+
 // Stats returns a snapshot of the resolver's counters, reconciling any
 // deferred meta-blocking work first. The error is the reconcile's — a
 // poisoned journal surfaces as ErrBroken.
 func (r *Resolver) Stats() (Stats, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return Stats{}, err
 	}
+	defer r.mu.RUnlock()
 	st := r.stats
 	st.Live = r.liveCount
 	st.Matches = r.dyn.NumEdges()
@@ -730,11 +794,10 @@ func (r *Resolver) Stats() (Stats, error) {
 // Matches returns the current match pairs over internal handles,
 // reconciling any deferred meta-blocking work first.
 func (r *Resolver) Matches() (*entity.Matches, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, err
 	}
+	defer r.mu.RUnlock()
 	return r.dyn.Matches(), nil
 }
 
@@ -742,26 +805,25 @@ func (r *Resolver) Matches() (*entity.Matches, error) {
 // handles, in the deterministic order of entity.UnionFind.Clusters,
 // reconciling any deferred meta-blocking work first.
 func (r *Resolver) Clusters() ([][]entity.ID, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, err
 	}
+	defer r.mu.RUnlock()
 	return r.dyn.Clusters(), nil
 }
 
 // Blocks materializes the current block collection — identical to what the
 // configured blocker would build over the live descriptions.
 func (r *Resolver) Blocks() *blocking.Blocks {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	return r.blocks.Blocks()
 }
 
 // Get returns a copy of the live description with the given handle.
 func (r *Resolver) Get(id entity.ID) (*entity.Description, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	if !r.isLive(id) {
 		return nil, false
 	}
@@ -775,8 +837,8 @@ func (r *Resolver) Get(id entity.ID) (*entity.Description, bool) {
 // pruning. The reconcile-dependent fields (Matches, Clusters,
 // CandidatePairs, KeptPairs) are left zero.
 func (r *Resolver) Counters() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	st := r.stats
 	st.Live = r.liveCount
 	return st
@@ -787,8 +849,8 @@ func (r *Resolver) Counters() Stats {
 // NOT derivable from Counters(): a cancelled insert burns its slot without
 // counting as an insert.
 func (r *Resolver) Slots() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	return r.coll.Len()
 }
 
@@ -798,8 +860,8 @@ func (r *Resolver) Slots() int {
 // feed of the sharded coordinator: after an operation on id, the union of
 // the shards' neighbors of id is exactly the global match delta.
 func (r *Resolver) MatchNeighbors(id entity.ID) []entity.ID {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	return r.dyn.Graph().Neighbors(id)
 }
 
@@ -807,8 +869,8 @@ func (r *Resolver) MatchNeighbors(id entity.ID) []entity.ID {
 // without reconciling deferred meta-blocking work — the raw shard-local
 // edge set a coordinator unions into its global match graph.
 func (r *Resolver) MatchEdges() []graph.Edge {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	return r.dyn.SnapshotEdges()
 }
 
@@ -818,8 +880,8 @@ func (r *Resolver) MatchEdges() []graph.Edge {
 // shards owning disjoint key spaces reconstructs exactly the weighted
 // graph a single resolver over the whole key space would hold.
 func (r *Resolver) MergeWeightedInto(dst *metablocking.WeightedGraph) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	if r.weighted == nil {
 		return false
 	}
@@ -835,8 +897,8 @@ func (r *Resolver) MergeWeightedInto(dst *metablocking.WeightedGraph) bool {
 // state feed a coordinator rebuilds its replica from when reopening a
 // sharded directory.
 func (r *Resolver) EachSlot(fn func(id entity.ID, live bool, d *entity.Description) bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	for _, d := range r.coll.All() {
 		if !fn(d.ID, r.live[d.ID], d) {
 			return
@@ -851,11 +913,10 @@ func (r *Resolver) EachSlot(fn func(id entity.ID, live bool, d *entity.Descripti
 // returned collection produces exactly the returned matches — the
 // differential-equivalence contract the test suite enforces.
 func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, nil, err
 	}
+	defer r.mu.RUnlock()
 	out := entity.NewCollection(r.cfg.Kind)
 	remap := make(map[entity.ID]entity.ID, r.liveCount)
 	for _, d := range r.coll.All() {

@@ -79,8 +79,8 @@ type RoutedOp struct {
 // and restored by OpenResolver — the shard's acknowledged prefix of the
 // routed stream.
 func (r *Resolver) LastSeq() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	return r.lastSeq
 }
 
@@ -260,8 +260,8 @@ func (r *Resolver) replayRouted(rec Record) error {
 // counter to a shard that died before acknowledging the stream's last
 // operation. Enumeration stops early when fn returns false.
 func (r *Resolver) EachDeltaCandidate(id entity.ID, fn func(other entity.ID, claimKey string) bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlock()
+	defer r.mu.RUnlock()
 	if !r.isLive(id) {
 		return
 	}
@@ -303,11 +303,10 @@ func firstSharedSorted(a, b []string) (string, bool) {
 // meta-blocking work first. Nil when id is not live or matches nothing.
 // This is the read the serving layer's same-as query rides.
 func (r *Resolver) MatchedWith(id entity.ID) ([]entity.ID, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, err
 	}
+	defer r.mu.RUnlock()
 	if !r.isLive(id) {
 		return nil, nil
 	}

@@ -1,0 +1,141 @@
+// Server-side ingest coalescing: group commit one layer above the journal.
+//
+// A fleet of clients each POSTing one operation pays the full write path —
+// resolver lock, journal append, shard fan-out — once per op. The journal
+// already amortizes a *batch* into one append (PR 8); the coalescer forms
+// those batches on the server out of co-arriving singleton requests: the
+// first singleton opens a window (CoalesceWindow), later singletons join
+// it, and the window commits as ONE ApplyBatch when the timer fires or the
+// batch reaches CoalesceMax. Each caller parks on its own ack channel and
+// is answered with its own op's outcome.
+//
+// Bit-exactness: ApplyBatch applies its ops in order with the same
+// semantics as applying them one by one, so a merged batch that succeeds
+// leaves exactly the state the singletons would have. A merged batch is
+// all-or-nothing, though — one bad op would fail callers whose ops are
+// fine — so on failure the coalescer falls back to re-running each op as
+// its own singleton batch in arrival order: the good ops land, the bad op
+// fails its own caller, and the final state again equals the uncoalesced
+// outcome.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entityres/er"
+)
+
+// coalescer merges co-arriving singleton ingest ops into server-formed
+// batches. Its mutex guards only the forming batch — commits run outside
+// it, so a slow apply never blocks new arrivals from forming the next
+// window.
+type coalescer struct {
+	commit func(ops []er.StreamOp) error
+	window time.Duration
+	max    int
+
+	mu     sync.Mutex
+	cur    *formingBatch
+	closed bool
+
+	// batches counts committed multi-op merges, coalesced the singleton
+	// requests they absorbed.
+	batches   atomic.Int64
+	coalesced atomic.Int64
+}
+
+// formingBatch is one open window: the ops parked so far and, parallel to
+// them, each caller's ack channel.
+type formingBatch struct {
+	ops   []er.StreamOp
+	done  []chan error
+	timer *time.Timer
+}
+
+func newCoalescer(commit func(ops []er.StreamOp) error, window time.Duration, max int) *coalescer {
+	return &coalescer{commit: commit, window: window, max: max}
+}
+
+// apply parks op in the forming batch and blocks until the batch commits,
+// returning this op's own outcome. The first op of a window arms the flush
+// timer; the op that fills the window to max detaches it and commits
+// inline (stopping the timer), so a burst never waits out the clock.
+func (c *coalescer) apply(op er.StreamOp) error {
+	c.mu.Lock()
+	if c.closed {
+		// Drain already flushed the last window; commit directly — exactly
+		// the uncoalesced path.
+		c.mu.Unlock()
+		return c.commit([]er.StreamOp{op})
+	}
+	b := c.cur
+	if b == nil {
+		b = &formingBatch{}
+		b.timer = time.AfterFunc(c.window, func() { c.flush(b) })
+		c.cur = b
+	}
+	done := make(chan error, 1)
+	b.ops = append(b.ops, op)
+	b.done = append(b.done, done)
+	full := len(b.ops) >= c.max
+	if full {
+		c.cur = nil
+		b.timer.Stop()
+	}
+	c.mu.Unlock()
+	if full {
+		c.commitBatch(b)
+	}
+	return <-done
+}
+
+// flush is the timer path: commit b unless it was already detached by a
+// max-size fill or a drain.
+func (c *coalescer) flush(b *formingBatch) {
+	c.mu.Lock()
+	if c.cur != b {
+		c.mu.Unlock()
+		return
+	}
+	c.cur = nil
+	c.mu.Unlock()
+	c.commitBatch(b)
+}
+
+// drain detaches and commits any window still forming and closes the
+// coalescer: ops admitted before a server drain are applied and answered,
+// never dropped, and late stragglers bypass straight to commit.
+func (c *coalescer) drain() {
+	c.mu.Lock()
+	b := c.cur
+	c.cur = nil
+	c.closed = true
+	c.mu.Unlock()
+	if b != nil {
+		b.timer.Stop()
+		c.commitBatch(b)
+	}
+}
+
+// commitBatch applies a detached batch and fans each caller its outcome.
+func (c *coalescer) commitBatch(b *formingBatch) {
+	if len(b.ops) > 1 {
+		if err := c.commit(b.ops); err == nil {
+			c.batches.Add(1)
+			c.coalesced.Add(int64(len(b.ops)))
+			for _, d := range b.done {
+				d <- nil
+			}
+			return
+		}
+		// The merged batch is all-or-nothing and it refused: nothing
+		// applied. Re-run per op in arrival order so every caller gets its
+		// own op's verdict and the final state matches the uncoalesced
+		// outcome.
+	}
+	for i := range b.ops {
+		b.done[i] <- c.commit(b.ops[i : i+1])
+	}
+}

@@ -1,0 +1,224 @@
+package serve_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"entityres/er"
+	"entityres/internal/serve"
+)
+
+// Coalescer coverage: co-arriving singleton POST /v1/ops requests merge
+// into ONE resolver batch (provable through JournalAppends: a batch of N
+// costs one append where N singletons cost N), a full window flushes
+// early, a failing merged batch falls back per op so every caller gets its
+// own outcome, and a drain flushes the forming window instead of hanging
+// the parked callers.
+
+func singleton(uri string) string {
+	return fmt.Sprintf(`{"ops":[{"op":"insert","uri":%q,"attrs":[{"name":"name","value":"zed %s"}]}]}`, uri, uri)
+}
+
+// postAll fires one singleton POST per uri concurrently and returns the
+// recorders in uri order.
+func postAll(t *testing.T, h http.Handler, uris []string) []*httptest.ResponseRecorder {
+	t.Helper()
+	recs := make([]*httptest.ResponseRecorder, len(uris))
+	var wg sync.WaitGroup
+	for i, uri := range uris {
+		wg.Add(1)
+		go func(i int, uri string) {
+			defer wg.Done()
+			recs[i] = post(t, h, "/v1/ops", singleton(uri))
+		}(i, uri)
+	}
+	wg.Wait()
+	return recs
+}
+
+func TestCoalesceWindowFlush(t *testing.T) {
+	t.Parallel()
+	res := openTestResolver(t)
+	before := res.(er.PerfReporter).Perf().JournalAppends
+	// A generous window so every co-arriving singleton joins the first
+	// request's batch; max high enough that only the timer flushes it.
+	s := serve.NewServer(res, serve.Options{CoalesceWindow: 300 * time.Millisecond, CoalesceMax: 64})
+	h := s.Handler()
+
+	uris := []string{"urn:w0", "urn:w1", "urn:w2", "urn:w3", "urn:w4"}
+	for i, rec := range postAll(t, h, uris) {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("singleton %d: %d %s", i, rec.Code, rec.Body)
+		}
+		if res := decode[serve.OpsResultJSON](t, rec.Body.Bytes()); res.Applied != 1 {
+			t.Fatalf("singleton %d acked %d applied ops, want its own 1", i, res.Applied)
+		}
+	}
+	// The ops landed...
+	for _, uri := range uris {
+		if code, _ := get(t, h, "/v1/lookup?uri="+uri); code != http.StatusOK {
+			t.Fatalf("coalesced op %s not applied: %d", uri, code)
+		}
+	}
+	// ...as ONE batch: one journal append for the five requests.
+	if appends := res.(er.PerfReporter).Perf().JournalAppends - before; appends != 1 {
+		t.Fatalf("5 coalesced singletons cost %d journal appends, want 1", appends)
+	}
+	code, body := get(t, h, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	st := decode[serve.StatsJSON](t, body)
+	if st.Server.CoalescedBatches != 1 || st.Server.CoalescedOps != 5 {
+		t.Fatalf("server stats count %d batches / %d coalesced ops, want 1 / 5: %+v",
+			st.Server.CoalescedBatches, st.Server.CoalescedOps, st.Server)
+	}
+	if st.Server.IngestRequests != 5 || st.Server.IngestOps != 5 {
+		t.Fatalf("server stats count %d ingest requests / %d ops, want 5 / 5", st.Server.IngestRequests, st.Server.IngestOps)
+	}
+}
+
+func TestCoalesceMaxFlush(t *testing.T) {
+	t.Parallel()
+	res := openTestResolver(t)
+	// An hour-long window: the only way the callers return promptly is the
+	// max-size flush.
+	s := serve.NewServer(res, serve.Options{CoalesceWindow: time.Hour, CoalesceMax: 4})
+	h := s.Handler()
+
+	start := time.Now()
+	for i, rec := range postAll(t, h, []string{"urn:m0", "urn:m1", "urn:m2", "urn:m3"}) {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("singleton %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("full window took %v to flush — waited out the clock instead of the size bound", elapsed)
+	}
+	code, body := get(t, h, "/v1/stats")
+	st := decode[serve.StatsJSON](t, body)
+	if code != http.StatusOK || st.Server.CoalescedBatches != 1 || st.Server.CoalescedOps != 4 {
+		t.Fatalf("server stats after max flush: %d %+v", code, st.Server)
+	}
+}
+
+func TestCoalesceErrorFanBack(t *testing.T) {
+	t.Parallel()
+	res := openTestResolver(t)
+	s := serve.NewServer(res, serve.Options{CoalesceWindow: time.Hour, CoalesceMax: 3})
+	h := s.Handler()
+
+	// Two good inserts and one doomed update merge into one window (the
+	// third arrival flushes it). The merged batch refuses as a whole; the
+	// fallback re-runs per op so each caller gets its OWN outcome.
+	bodies := []string{
+		singleton("urn:f0"),
+		`{"ops":[{"op":"update","uri":"urn:ghost","attrs":[{"name":"name","value":"x"}]}]}`,
+		singleton("urn:f1"),
+	}
+	recs := make([]*httptest.ResponseRecorder, len(bodies))
+	var wg sync.WaitGroup
+	for i, b := range bodies {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			recs[i] = post(t, h, "/v1/ops", b)
+		}(i, b)
+	}
+	wg.Wait()
+	if recs[0].Code != http.StatusOK || recs[2].Code != http.StatusOK {
+		t.Fatalf("good singletons answered %d / %d, want 200: %s %s", recs[0].Code, recs[2].Code, recs[0].Body, recs[2].Body)
+	}
+	if recs[1].Code != http.StatusBadRequest {
+		t.Fatalf("doomed update answered %d %s, want its own 400", recs[1].Code, recs[1].Body)
+	}
+	if e := decode[map[string]string](t, recs[1].Body.Bytes()); !strings.Contains(e["error"], "urn:ghost") {
+		t.Fatalf("doomed update's error does not name its op: %q", e["error"])
+	}
+	// The good ops landed despite sharing a window with the bad one.
+	for _, uri := range []string{"urn:f0", "urn:f1"} {
+		if code, _ := get(t, h, "/v1/lookup?uri="+uri); code != http.StatusOK {
+			t.Fatalf("good op %s lost to the merged failure: %d", uri, code)
+		}
+	}
+	// A failed merge is not counted as a coalesced batch.
+	_, body := get(t, h, "/v1/stats")
+	st := decode[serve.StatsJSON](t, body)
+	if st.Server.CoalescedBatches != 0 {
+		t.Fatalf("failed merge counted as coalesced: %+v", st.Server)
+	}
+	if st.Server.IngestErrors != 1 {
+		t.Fatalf("server stats count %d ingest errors, want the doomed update's 1", st.Server.IngestErrors)
+	}
+}
+
+func TestCoalesceDrainFlushesWindow(t *testing.T) {
+	t.Parallel()
+	res := openTestResolver(t)
+	// Hour-long window, unreachable max: without the drain flush the
+	// parked callers would hang out the hour.
+	s := serve.NewServer(res, serve.Options{CoalesceWindow: time.Hour, CoalesceMax: 64})
+	h := s.Handler()
+
+	uris := []string{"urn:d0", "urn:d1"}
+	recs := make([]*httptest.ResponseRecorder, len(uris))
+	var wg sync.WaitGroup
+	for i, uri := range uris {
+		wg.Add(1)
+		go func(i int, uri string) {
+			defer wg.Done()
+			recs[i] = post(t, h, "/v1/ops", singleton(uri))
+		}(i, uri)
+	}
+	// Wait until both requests are inside the handler (counted), then give
+	// them a beat to park in the window before draining. A request that
+	// loses the race and reaches the coalescer after the drain commits
+	// directly — same outcome either way.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := get(t, h, "/v1/stats")
+		if decode[serve.StatsJSON](t, body).Server.IngestRequests >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("singletons never reached the handler")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if err := s.Drain(t.Context()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain left the window's callers parked")
+	}
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("parked singleton %d answered %d %s during drain, want 200", i, rec.Code, rec.Body)
+		}
+	}
+	// The ops were applied, not dropped — ask the resolver directly; the
+	// server refuses queries after a drain.
+	st, err := res.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserts != 3+int64(len(uris)) {
+		t.Fatalf("resolver holds %d inserts after drain, want seeded 3 + parked %d", st.Inserts, len(uris))
+	}
+	// A straggler past the drain bypasses the closed coalescer and is
+	// refused by the draining server up front.
+	if rec := post(t, h, "/v1/ops", singleton("urn:late")); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain singleton answered %d, want 503", rec.Code)
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// White-box coverage of the back-pressure math: the drain-rate EWMA and
+// the Retry-After hint it derives, plus the CAS admission loop.
+
+func TestRetryAfterDerivation(t *testing.T) {
+	t.Parallel()
+	s := NewServer(nil, Options{})
+
+	// No apply has completed: no rate to extrapolate, hint 1.
+	if got := s.retryAfter(8192); got != 1 {
+		t.Fatalf("rateless hint = %d, want 1", got)
+	}
+
+	// One apply of 10 ops in 1s: rate 10/s. A 35-op backlog needs 4s.
+	s.noteDrain(10, time.Second)
+	if got := s.retryAfter(35); got != 4 {
+		t.Fatalf("hint(35 queued, 10 ops/s) = %d, want ceil(3.5) = 4", got)
+	}
+	// A tiny backlog never hints below 1...
+	if got := s.retryAfter(1); got != 1 {
+		t.Fatalf("hint(1 queued) = %d, want the 1 floor", got)
+	}
+	// ...and a mountainous one clamps at 60.
+	if got := s.retryAfter(100000); got != 60 {
+		t.Fatalf("hint(100000 queued) = %d, want the 60 ceiling", got)
+	}
+
+	// The EWMA tracks rate shifts: fold in a much faster sample and the
+	// hint drops. alpha=0.3 over 10 ops/s and 1000 ops/s lands at 307/s.
+	s.noteDrain(1000, time.Second)
+	if got := s.retryAfter(35); got != 1 {
+		t.Fatalf("hint after speed-up = %d, want 1", got)
+	}
+	// Degenerate samples must not poison the rate.
+	before := s.drainRate.Load()
+	s.noteDrain(0, time.Second)
+	s.noteDrain(5, 0)
+	s.noteDrain(-3, time.Second)
+	if s.drainRate.Load() != before {
+		t.Fatal("degenerate drain samples moved the EWMA")
+	}
+}
+
+func TestAdmitOpsCAS(t *testing.T) {
+	t.Parallel()
+	s := NewServer(nil, Options{MaxQueuedOps: 10})
+	if ok, q := s.admitOps(7); !ok || q != 7 {
+		t.Fatalf("admit(7) = %v, %d", ok, q)
+	}
+	// A refusal reports the backlog the hint is derived from.
+	if ok, q := s.admitOps(4); ok || q != 7 {
+		t.Fatalf("admit(4) over budget = %v, %d, want refused at 7", ok, q)
+	}
+	if ok, q := s.admitOps(3); !ok || q != 10 {
+		t.Fatalf("admit(3) at the bound = %v, %d", ok, q)
+	}
+	s.releaseOps(10)
+	if got := s.queuedOps.Load(); got != 0 {
+		t.Fatalf("queuedOps after release = %d, want 0", got)
+	}
+}

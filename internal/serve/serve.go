@@ -20,10 +20,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"entityres/er"
@@ -46,8 +48,22 @@ type Options struct {
 	MaxBatchOps int
 	// MaxQueuedOps bounds the TOTAL operations admitted for ingest and not
 	// yet applied, across concurrent requests (default 8192). A batch that
-	// would overflow the budget is refused with 429 and a Retry-After hint.
+	// would overflow the budget is refused with 429 and a Retry-After hint
+	// derived from the observed drain rate.
 	MaxQueuedOps int
+	// CoalesceWindow and CoalesceMax enable server-side ingest coalescing:
+	// co-arriving singleton POST /v1/ops requests park behind a small
+	// time/size window and commit as ONE resolver batch — the journal
+	// layer's group-commit trick one level up, each caller acknowledged
+	// with its own op's outcome. Setting either enables it (the other
+	// falls back to its default: 2ms window, 256 ops); both zero — the
+	// default — disables coalescing and preserves the per-request apply
+	// semantics exactly. The window is a deliberate latency trade: a
+	// singleton op waits up to CoalesceWindow for company, in exchange for
+	// one lock, one journal fsync and one shard fan-out per formed batch
+	// instead of per op.
+	CoalesceWindow time.Duration
+	CoalesceMax    int
 }
 
 func (o Options) maxInFlight() int {
@@ -85,7 +101,29 @@ func (o Options) maxQueuedOps() int {
 	return 8192
 }
 
-// Server is the HTTP/JSON query service over one resolver.
+func (o Options) coalesceEnabled() bool {
+	return o.CoalesceWindow > 0 || o.CoalesceMax > 0
+}
+
+func (o Options) coalesceWindow() time.Duration {
+	if o.CoalesceWindow > 0 {
+		return o.CoalesceWindow
+	}
+	return 2 * time.Millisecond
+}
+
+func (o Options) coalesceMax() int {
+	if o.CoalesceMax > 0 {
+		return o.CoalesceMax
+	}
+	return 256
+}
+
+// Server is the HTTP/JSON query service over one resolver. The request hot
+// paths are lock-free on the server side: admission (draining flag,
+// in-flight gate, queued-op budget) and the request/error counters are all
+// atomics, so queries and /v1/stats never contend on a server mutex — the
+// only lock guards the http.Server lifecycle.
 type Server struct {
 	res  er.Resolver
 	opts Options
@@ -93,12 +131,34 @@ type Server struct {
 	// gate holds one token per admitted request.
 	gate chan struct{}
 
-	mu       sync.Mutex
-	httpSrv  *http.Server
-	draining bool
-	// queuedOps is the ingest back-pressure state: operations admitted and
-	// not yet applied, bounded by Options.MaxQueuedOps.
-	queuedOps int
+	// draining refuses new requests once Drain begins; queuedOps is the
+	// ingest back-pressure state (operations admitted and not yet applied,
+	// bounded by Options.MaxQueuedOps, reserved by CAS).
+	draining  atomic.Bool
+	queuedOps atomic.Int64
+
+	// Request and error counters, surfaced under /v1/stats "server".
+	queriesServed  atomic.Int64
+	queriesRefused atomic.Int64
+	queryErrors    atomic.Int64
+	ingestRequests atomic.Int64
+	ingestOps      atomic.Int64
+	ingestRefused  atomic.Int64
+	ingestErrors   atomic.Int64
+
+	// drainRate is the EWMA of ingest operations retired per second
+	// (math.Float64bits in the atomic; zero until the first apply
+	// completes). It turns the 429 Retry-After hint from a constant into
+	// backlog/rate — producers back off proportionally to how far behind
+	// the resolver actually is.
+	drainRate atomic.Uint64
+
+	// coal, when non-nil, merges co-arriving singleton ingest requests
+	// into server-formed batches (see coalesce.go).
+	coal *coalescer
+
+	mu      sync.Mutex
+	httpSrv *http.Server
 }
 
 // NewServer wraps res. The caller keeps ownership of res: Close/Drain stop
@@ -108,6 +168,9 @@ func NewServer(res er.Resolver, opts Options) *Server {
 		res:  res,
 		opts: opts,
 		gate: make(chan struct{}, opts.maxInFlight()),
+	}
+	if opts.coalesceEnabled() {
+		s.coal = newCoalescer(s.commitCoalesced, opts.coalesceWindow(), opts.coalesceMax())
 	}
 	return s
 }
@@ -150,8 +213,14 @@ func (s *Server) Serve(lis net.Listener) error {
 // DrainTimeout) and shuts the listener down. Safe to call once Serve is
 // running; later requests are refused with 503 while the drain proceeds.
 func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	// Flush any ingest window still forming: the parked requests were
+	// admitted before the drain began, so they are acknowledged — applied
+	// and answered — before the listener goes down, not dropped.
+	if s.coal != nil {
+		s.coal.drain()
+	}
 	s.mu.Lock()
-	s.draining = true
 	srv := s.httpSrv
 	s.mu.Unlock()
 	if srv == nil {
@@ -225,7 +294,7 @@ type ClusterJSON struct {
 	Members []RefJSON `json:"members"`
 }
 
-// StatsJSON mirrors the resolver's counters.
+// StatsJSON mirrors the resolver's counters plus the server's own.
 type StatsJSON struct {
 	Inserts        int64 `json:"inserts"`
 	Updates        int64 `json:"updates"`
@@ -236,6 +305,52 @@ type StatsJSON struct {
 	Clusters       int   `json:"clusters"`
 	CandidatePairs int   `json:"candidate_pairs,omitempty"`
 	KeptPairs      int   `json:"kept_pairs,omitempty"`
+
+	Server ServerStatsJSON `json:"server"`
+}
+
+// ServerStatsJSON is the serving layer's own request accounting — all
+// atomics, so reading it never contends with the query or ingest path.
+type ServerStatsJSON struct {
+	// Queries counts answered query requests, QueryErrors the ones that
+	// answered non-2xx (bad input, not-found, timeout), Refused the ones
+	// shed at admission (503: draining or in-flight gate full).
+	Queries     int64 `json:"queries"`
+	QueryErrors int64 `json:"query_errors"`
+	Refused     int64 `json:"refused"`
+	// IngestRequests counts POST /v1/ops requests, IngestOps the
+	// operations they applied, IngestRefused the 429 budget refusals and
+	// IngestErrors the requests that failed (bad body, rejected batch).
+	IngestRequests int64 `json:"ingest_requests"`
+	IngestOps      int64 `json:"ingest_ops"`
+	IngestRefused  int64 `json:"ingest_refused"`
+	IngestErrors   int64 `json:"ingest_errors"`
+	// CoalescedBatches counts server-formed multi-op batches and
+	// CoalescedOps the singleton requests they merged (zero with
+	// coalescing off).
+	CoalescedBatches int64 `json:"coalesced_batches,omitempty"`
+	CoalescedOps     int64 `json:"coalesced_ops,omitempty"`
+	// DrainRate is the EWMA of ingest ops retired per second — the basis
+	// of the 429 Retry-After hint.
+	DrainRate float64 `json:"drain_rate_ops_per_sec,omitempty"`
+}
+
+func (s *Server) serverStats() ServerStatsJSON {
+	out := ServerStatsJSON{
+		Queries:        s.queriesServed.Load(),
+		QueryErrors:    s.queryErrors.Load(),
+		Refused:        s.queriesRefused.Load(),
+		IngestRequests: s.ingestRequests.Load(),
+		IngestOps:      s.ingestOps.Load(),
+		IngestRefused:  s.ingestRefused.Load(),
+		IngestErrors:   s.ingestErrors.Load(),
+		DrainRate:      math.Float64frombits(s.drainRate.Load()),
+	}
+	if s.coal != nil {
+		out.CoalescedBatches = s.coal.batches.Load()
+		out.CoalescedOps = s.coal.coalesced.Load()
+	}
+	return out
 }
 
 func statsJSON(st incremental.Stats) StatsJSON {
@@ -259,10 +374,8 @@ func (e *httpError) Error() string { return e.msg }
 // the per-request deadline, and uniform JSON error rendering.
 func (s *Server) wrap(h func(ctx context.Context, r *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		draining := s.draining
-		s.mu.Unlock()
-		if draining {
+		if s.draining.Load() {
+			s.queriesRefused.Add(1)
 			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "serve: draining"})
 			return
 		}
@@ -270,6 +383,7 @@ func (s *Server) wrap(h func(ctx context.Context, r *http.Request) (any, error))
 		case s.gate <- struct{}{}:
 			defer func() { <-s.gate }()
 		default:
+			s.queriesRefused.Add(1)
 			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "serve: too many in-flight requests"})
 			return
 		}
@@ -289,12 +403,16 @@ func (s *Server) wrap(h func(ctx context.Context, r *http.Request) (any, error))
 		}()
 		select {
 		case <-ctx.Done():
+			s.queriesServed.Add(1)
+			s.queryErrors.Add(1)
 			writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: "serve: request deadline exceeded"})
 		case out := <-done:
+			s.queriesServed.Add(1)
 			switch {
 			case out.err == nil:
 				writeJSON(w, http.StatusOK, out.body)
 			default:
+				s.queryErrors.Add(1)
 				var nf *er.ErrNotFound
 				var he *httpError
 				switch {
@@ -408,22 +526,85 @@ type OpsResultJSON struct {
 // layer's record bound, anything that fits an append fits a request.
 const maxOpsBodyBytes = 32 << 20
 
-// admitOps reserves n operations of the ingest budget, refusing rather
-// than queueing past the bound.
-func (s *Server) admitOps(n int) (ok bool, queued int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.queuedOps+n > s.opts.maxQueuedOps() {
-		return false, s.queuedOps
+// admitOps reserves n operations of the ingest budget by CAS, refusing
+// rather than queueing past the bound.
+func (s *Server) admitOps(n int) (ok bool, queued int64) {
+	bound := int64(s.opts.maxQueuedOps())
+	for {
+		cur := s.queuedOps.Load()
+		if cur+int64(n) > bound {
+			return false, cur
+		}
+		if s.queuedOps.CompareAndSwap(cur, cur+int64(n)) {
+			return true, cur + int64(n)
+		}
 	}
-	s.queuedOps += n
-	return true, s.queuedOps
 }
 
-func (s *Server) releaseOps(n int) {
-	s.mu.Lock()
-	s.queuedOps -= n
-	s.mu.Unlock()
+func (s *Server) releaseOps(n int) { s.queuedOps.Add(-int64(n)) }
+
+// drainEWMAAlpha weights the newest drain-rate sample; one sample per
+// completed apply, so roughly the last dozen applies dominate the hint.
+const drainEWMAAlpha = 0.3
+
+// noteDrain folds one completed apply of n operations over elapsed d into
+// the drain-rate EWMA.
+func (s *Server) noteDrain(n int, d time.Duration) {
+	if n <= 0 || d <= 0 {
+		return
+	}
+	sample := float64(n) / d.Seconds()
+	for {
+		old := s.drainRate.Load()
+		next := sample
+		if old != 0 {
+			next = drainEWMAAlpha*sample + (1-drainEWMAAlpha)*math.Float64frombits(old)
+		}
+		if s.drainRate.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfter derives the 429 hint: the whole seconds the observed drain
+// rate needs to retire the queued backlog, clamped to [1, 60]. Before any
+// apply has completed there is no rate to extrapolate — hint 1.
+func (s *Server) retryAfter(queued int64) int {
+	rate := math.Float64frombits(s.drainRate.Load())
+	if rate <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(queued) / rate))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+// applyIngest runs one resolver batch, feeding the drain-rate EWMA and the
+// applied-op counter on success. Both the direct ingest path and the
+// coalescer commit through here.
+func (s *Server) applyIngest(ctx context.Context, ops []er.StreamOp) error {
+	start := time.Now()
+	if err := s.res.ApplyBatch(ctx, ops); err != nil {
+		return err
+	}
+	s.noteDrain(len(ops), time.Since(start))
+	s.ingestOps.Add(int64(len(ops)))
+	return nil
+}
+
+// commitCoalesced commits a server-formed batch under the server's own
+// deadline: the merged batch belongs to several callers, so no single
+// caller's context may cancel it (mirroring the admission-only contract of
+// the direct path).
+func (s *Server) commitCoalesced(ops []er.StreamOp) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.requestTimeout())
+	defer cancel()
+	return s.applyIngest(ctx, ops)
 }
 
 // ingest handles POST /v1/ops: one batch of URI-addressed operations,
@@ -432,23 +613,24 @@ func (s *Server) releaseOps(n int) {
 // batch ADMISSION only (an admitted batch completes), so the client's
 // verdict always matches the resolver's.
 func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
+	s.ingestRequests.Add(1)
+	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "serve: draining"})
 		return
 	}
 	var req OpsRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxOpsBodyBytes)).Decode(&req); err != nil {
+		s.ingestErrors.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "serve: bad ops body: " + err.Error()})
 		return
 	}
 	if len(req.Ops) == 0 {
+		s.ingestErrors.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "serve: ops batch is empty"})
 		return
 	}
 	if len(req.Ops) > s.opts.maxBatchOps() {
+		s.ingestErrors.Add(1)
 		writeJSON(w, http.StatusRequestEntityTooLarge, errorJSON{
 			Error: fmt.Sprintf("serve: batch of %d operations exceeds the %d-op bound; split it", len(req.Ops), s.opts.maxBatchOps()),
 		})
@@ -465,6 +647,7 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
 		case "delete":
 			op.Kind = er.StreamDelete
 		default:
+			s.ingestErrors.Add(1)
 			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("serve: ops[%d] has unknown op %q", i, j.Op)})
 			return
 		}
@@ -475,16 +658,26 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
 	}
 	ok, queued := s.admitOps(len(ops))
 	if !ok {
-		w.Header().Set("Retry-After", "1")
+		s.ingestRefused.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(queued)))
 		writeJSON(w, http.StatusTooManyRequests, errorJSON{
 			Error: fmt.Sprintf("serve: ingest budget exhausted (%d operations queued, bound %d); retry after the hinted delay", queued, s.opts.maxQueuedOps()),
 		})
 		return
 	}
 	defer s.releaseOps(len(ops))
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.requestTimeout())
-	defer cancel()
-	if err := s.res.ApplyBatch(ctx, ops); err != nil {
+	var err error
+	if s.coal != nil && len(ops) == 1 {
+		// A singleton joins the forming server-side batch and is answered
+		// with its own op's outcome once the window commits.
+		err = s.coal.apply(ops[0])
+	} else {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.requestTimeout())
+		err = s.applyIngest(ctx, ops)
+		cancel()
+	}
+	if err != nil {
+		s.ingestErrors.Add(1)
 		status := http.StatusBadRequest
 		if errors.Is(err, er.ErrBroken) {
 			status = http.StatusInternalServerError
@@ -500,5 +693,7 @@ func (s *Server) stats(ctx context.Context, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	return statsJSON(st), nil
+	out := statsJSON(st)
+	out.Server = s.serverStats()
+	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -105,6 +106,45 @@ func TestEndpoints(t *testing.T) {
 	st := decode[serve.StatsJSON](t, body)
 	if st.Inserts != 3 || st.Live != 3 || st.Matches != 1 || st.Clusters != 1 {
 		t.Fatalf("stats answered %+v", st)
+	}
+}
+
+// TestServerStatsCounters: the serving layer's own request accounting
+// rides /v1/stats — atomics, maintained on every path.
+func TestServerStatsCounters(t *testing.T) {
+	t.Parallel()
+	s := serve.NewServer(openTestResolver(t), serve.Options{})
+	h := s.Handler()
+
+	if code, _ := get(t, h, "/v1/lookup?uri=urn:e0"); code != http.StatusOK {
+		t.Fatalf("lookup: %d", code)
+	}
+	if code, _ := get(t, h, "/v1/lookup?uri=urn:nope"); code != http.StatusNotFound {
+		t.Fatalf("missing lookup: %d", code)
+	}
+	rec := httptest.NewRecorder()
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/ops",
+		strings.NewReader(`{"ops":[{"op":"insert","uri":"urn:c0","attrs":[{"name":"name","value":"new one"}]}]}`)))
+	h.ServeHTTP(rec2, httptest.NewRequest("POST", "/v1/ops", strings.NewReader(`{"ops":[`)))
+	if rec.Code != http.StatusOK || rec2.Code != http.StatusBadRequest {
+		t.Fatalf("ingest pair answered %d / %d", rec.Code, rec2.Code)
+	}
+
+	code, body := get(t, h, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	sv := decode[serve.StatsJSON](t, body).Server
+	// The stats request itself snapshots the counters before being counted.
+	if sv.Queries != 2 || sv.QueryErrors != 1 || sv.Refused != 0 {
+		t.Fatalf("query counters %+v, want 2 queries / 1 error / 0 refused", sv)
+	}
+	if sv.IngestRequests != 2 || sv.IngestOps != 1 || sv.IngestErrors != 1 || sv.IngestRefused != 0 {
+		t.Fatalf("ingest counters %+v, want 2 requests / 1 op / 1 error / 0 refused", sv)
+	}
+	if sv.DrainRate <= 0 {
+		t.Fatalf("no drain rate observed after a successful apply: %+v", sv)
 	}
 }
 

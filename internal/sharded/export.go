@@ -48,11 +48,10 @@ func (cfg Config) NodeConfig(i int) incremental.Config {
 // deferred meta-blocking work first. Nil when id is not live or matches
 // nothing. This is the read behind the serving layer's same-as query.
 func (r *Resolver) MatchedWith(id entity.ID) ([]entity.ID, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, err
 	}
+	defer r.mu.RUnlock()
 	if !r.isLive(id) {
 		return nil, nil
 	}

@@ -254,8 +254,8 @@ func (r *Resolver) applyRecordTo(sr *incremental.Resolver, rec incremental.Recor
 // RolledForward reports how many shards Open rolled forward to complete an
 // operation a whole-process crash left applied on only some shards.
 func (r *Resolver) RolledForward() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.rolledForward
 }
 
@@ -322,8 +322,8 @@ func (r *Resolver) rebuildFromShards() error {
 // Recovery reports what Open restored, one entry per shard (nil for
 // resolvers built with New or opened on a fresh directory tree).
 func (r *Resolver) Recovery() []incremental.RecoveryInfo {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]incremental.RecoveryInfo, len(r.recovery))
 	copy(out, r.recovery)
 	return out
@@ -333,19 +333,21 @@ func (r *Resolver) Recovery() []incremental.RecoveryInfo {
 // coordinator's own (fan-outs issued, coordinator-journal appends). Like
 // the single-node accessor it never reconciles.
 func (r *Resolver) Perf() incremental.PerfCounters {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := r.perf
-	for _, sh := range r.shards {
-		out.Add(sh.res.Perf())
+	for _, p := range fanRead(r.shards, func(sr *incremental.Resolver) incremental.PerfCounters {
+		return sr.Perf()
+	}) {
+		out.Add(p)
 	}
 	return out
 }
 
 // Recovered reports whether Open found existing state in any shard.
 func (r *Resolver) Recovered() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, rec := range r.recovery {
 		if rec.Recovered {
 			return true

@@ -42,14 +42,13 @@ func (r *Resolver) Flush(ctx context.Context) error {
 // per kept edge, ordered by descending weight. Nil without a Meta
 // configuration. The error is the reconcile's.
 func (r *Resolver) RestructuredBlocks() (*blocking.Blocks, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.cfg.Meta == nil {
 		return nil, nil
 	}
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, err
 	}
+	defer r.mu.RUnlock()
 	kept := make([]graph.Edge, len(r.lastKept))
 	copy(kept, r.lastKept)
 	return metablocking.EmitKept(r.coll, r.cfg.Kind, kept), nil

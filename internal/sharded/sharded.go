@@ -116,7 +116,12 @@ type Resolver struct {
 	// dir is the per-shard WAL root ("" for in-memory resolvers).
 	dir string
 
-	mu     sync.Mutex
+	// mu is a reader/writer lock mirroring the single-node resolver's
+	// discipline: mutations hold it exclusively, reads share it (reads that
+	// must reconcile deferred meta-blocking work first go through
+	// lockShared). Read-side shard aggregation fans across the shards
+	// concurrently under the shared lock — see fanRead.
+	mu     sync.RWMutex
 	shards []*shard
 	// broken, once set, fails every further mutating operation: the
 	// resolver was closed, or a partial shard failure left the shards
@@ -432,6 +437,47 @@ func (r *Resolver) fanout(fn func(sr *incremental.Resolver) error) (allFailed bo
 	}
 }
 
+// lockShared acquires the coordinator lock in shared mode with the
+// reconcile-then-share discipline of the single-node resolver: on return
+// the caller holds the read lock over clean state and must release with
+// r.mu.RUnlock. A dirty graph is reconciled once under the write lock — a
+// read stampede queues there, the first holder pays the one global
+// reconcile, everyone behind it proceeds under the shared lock.
+func (r *Resolver) lockShared(ctx context.Context) error {
+	for {
+		r.mu.RLock()
+		if r.cfg.Meta == nil || !r.metaDirty {
+			return nil
+		}
+		r.mu.RUnlock()
+		r.mu.Lock()
+		err := r.reconcile(ctx)
+		r.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// fanRead runs fn against every shard concurrently and returns the results
+// in shard order — the read-side counterpart of fanout. Each shard
+// resolver serializes internally on its own lock, so concurrent
+// coordinator readers contend per shard instead of on one global mutex.
+// Callers hold r.mu in either mode.
+func fanRead[T any](shards []*shard, fn func(sr *incremental.Resolver) T) []T {
+	out := make([]T, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = fn(shards[i].res)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
 // Insert adds a new description to every shard and resolves it against the
 // shard-partitioned delta frontier. It returns the internal handle, which
 // is identical on the coordinator and every shard. The context gates
@@ -589,16 +635,16 @@ func (r *Resolver) isLive(id entity.ID) bool {
 
 // Lookup returns the handle of the live description with the given URI.
 func (r *Resolver) Lookup(uri string) (entity.ID, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	id, ok := r.byURI[uri]
 	return id, ok
 }
 
 // Get returns a copy of the live description with the given handle.
 func (r *Resolver) Get(id entity.ID) (*entity.Description, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if !r.isLive(id) {
 		return nil, false
 	}
@@ -760,11 +806,10 @@ func (r *Resolver) ApplyBatch(ctx context.Context, recs []incremental.Record) er
 // evaluations under meta-blocking) and equals the single-node resolver's
 // count bit for bit.
 func (r *Resolver) Stats() (incremental.Stats, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return incremental.Stats{}, err
 	}
+	defer r.mu.RUnlock()
 	st := r.stats
 	st.Live = r.liveCount
 	st.Matches = r.dyn.NumEdges()
@@ -783,8 +828,10 @@ func (r *Resolver) Stats() (incremental.Stats, error) {
 // Callers hold r.mu.
 func (r *Resolver) comparisonsLocked() int64 {
 	n := r.metaComparisons
-	for _, sh := range r.shards {
-		n += sh.res.Counters().Comparisons
+	for _, c := range fanRead(r.shards, func(sr *incremental.Resolver) int64 {
+		return sr.Counters().Comparisons
+	}) {
+		n += c
 	}
 	return n
 }
@@ -792,22 +839,20 @@ func (r *Resolver) comparisonsLocked() int64 {
 // Matches returns the current global match pairs over internal handles,
 // reconciling deferred meta-blocking work first.
 func (r *Resolver) Matches() (*entity.Matches, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, err
 	}
+	defer r.mu.RUnlock()
 	return r.dyn.Matches(), nil
 }
 
 // Clusters returns the current non-singleton entity clusters over internal
 // handles, in the deterministic order of entity.UnionFind.Clusters.
 func (r *Resolver) Clusters() ([][]entity.ID, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, err
 	}
+	defer r.mu.RUnlock()
 	return r.dyn.Clusters(), nil
 }
 
@@ -816,11 +861,13 @@ func (r *Resolver) Clusters() ([][]entity.ID, error) {
 // configured blocker would build over the live descriptions, and to the
 // single-node resolver's Blocks.
 func (r *Resolver) Blocks() *blocking.Blocks {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var all []*blocking.Block
-	for _, sh := range r.shards {
-		all = append(all, sh.res.Blocks().All()...)
+	for _, bs := range fanRead(r.shards, func(sr *incremental.Resolver) []*blocking.Block {
+		return sr.Blocks().All()
+	}) {
+		all = append(all, bs...)
 	}
 	// Keys are disjoint across shards (each key has one owner), so sorting
 	// by key reproduces the single BlockIndex's ascending enumeration.
@@ -837,11 +884,10 @@ func (r *Resolver) Blocks() *blocking.Blocks {
 // with the same contract as the single-node resolver's Snapshot: a batch
 // pipeline over the returned collection reproduces the returned matches.
 func (r *Resolver) Snapshot() (*entity.Collection, *entity.Matches, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.reconcile(context.Background()); err != nil {
+	if err := r.lockShared(context.Background()); err != nil {
 		return nil, nil, err
 	}
+	defer r.mu.RUnlock()
 	out := entity.NewCollection(r.cfg.Kind)
 	remap := make(map[entity.ID]entity.ID, r.liveCount)
 	for _, d := range r.coll.All() {

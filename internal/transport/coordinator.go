@@ -79,7 +79,11 @@ type Coordinator struct {
 	shards   int
 	rawKeyer blocking.KeyFunc
 
-	mu      sync.Mutex
+	// mu is a reader/writer lock: mutations and shard-state changes hold
+	// it exclusively, read-only queries share it (the replica additionally
+	// serializes on its own RWMutex, so meta-blocking reads that delegate
+	// wholly to it never touch this lock at all).
+	mu      sync.RWMutex
 	rep     *incremental.Resolver
 	clients []*ShardClient
 	down    []bool
@@ -756,8 +760,8 @@ func (r *Coordinator) Stats() (incremental.Stats, error) {
 		// the matching); its stats are exact verbatim.
 		return r.rep.Stats()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	st := r.rep.Counters()
 	st.Comparisons = 0
 	for i := range r.shardComp {
@@ -780,8 +784,8 @@ func (r *Coordinator) Matches() (*entity.Matches, error) {
 	if r.cfg.Meta != nil {
 		return r.rep.Matches()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.dyn.Matches(), nil
 }
 
@@ -791,8 +795,8 @@ func (r *Coordinator) Clusters() ([][]entity.ID, error) {
 	if r.cfg.Meta != nil {
 		return r.rep.Clusters()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.dyn.Clusters(), nil
 }
 
@@ -802,8 +806,8 @@ func (r *Coordinator) MatchedWith(id entity.ID) ([]entity.ID, error) {
 	if r.cfg.Meta != nil {
 		return r.rep.MatchedWith(id)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if _, live := r.rep.Get(id); !live {
 		return nil, nil
 	}
@@ -831,8 +835,8 @@ func (r *Coordinator) Get(id entity.ID) (*entity.Description, bool) { return r.r
 
 // Seq returns the global stream position: accepted operations so far.
 func (r *Coordinator) Seq() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.seq
 }
 
@@ -841,8 +845,8 @@ func (r *Coordinator) Seq() uint64 {
 // fan-out and round-trip counters. Shard-server-side work — their journal
 // appends in particular — happens in other processes and is not included.
 func (r *Coordinator) Perf() incremental.PerfCounters {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := r.perf
 	out.Add(r.rep.Perf())
 	return out
@@ -850,8 +854,8 @@ func (r *Coordinator) Perf() incremental.PerfCounters {
 
 // TransportStats reports the delivery counters and down set.
 func (r *Coordinator) TransportStats() TransportStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	ts := TransportStats{FullOps: r.fullSent, AdvanceOps: r.advSent}
 	for i, d := range r.down {
 		if d {
