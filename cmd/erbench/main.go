@@ -50,6 +50,15 @@
 // throughput must be >= 3x the single reader's — the concurrent-read
 // scaling assertion. -json then writes BENCH_concurrent.json.
 //
+// With -ingest it streams one clean-clean generator pass into N-Triples,
+// CSV and JSON-lines files (a million-record corpus without -short), then
+// parses and resolves each format end-to-end through the same batch
+// pipeline, asserting the three produce bit-identical matches, comparison
+// counts and blocks (canonical sha256 digests) — the measured difference
+// is parse cost alone. The streamed parse leg's live heap is reported to
+// show ingestion memory stays flat in the corpus size; -json then writes
+// BENCH_ingest.json.
+//
 // Usage:
 //
 //	erbench [-experiment E1|E2|...|all] [-scale small|medium] [-seed N]
@@ -64,6 +73,8 @@
 //	erbench -bursty [-workers N] [-scale small|medium] [-short] [-seed N]
 //	        [-json FILE] [-baseline FILE [-tolerance F]]
 //	erbench -concurrent [-workers N] [-scale small|medium] [-short] [-seed N]
+//	        [-json FILE] [-baseline FILE [-tolerance F]]
+//	erbench -ingest [-short] [-seed N]
 //	        [-json FILE] [-baseline FILE [-tolerance F]]
 package main
 
@@ -107,6 +118,7 @@ func main() {
 		serveBench   = flag.Bool("serve", false, "benchmark the HTTP/JSON query service: per-endpoint latency (p50/p99) over a loaded resolver")
 		bursty       = flag.Bool("bursty", false, "benchmark bursty ingestion: replay the synthetic stream through the durable and networked deployments at batch sizes 1/16/64/256 and report the amortization (journal appends, fan-outs, wire round trips)")
 		concurrent   = flag.Bool("concurrent", false, "benchmark the concurrent read path: reader fleets of 1/4/16 goroutines racing a live writer, reporting read p50/p99 and aggregate QPS (scaling asserted on multi-core)")
+		ingest       = flag.Bool("ingest", false, "benchmark tabular ingestion: one streamed generator pass fans a clean-clean corpus into nt/csv/jsonl, each format is parsed and resolved end-to-end, and the three must be bit-identical (a million records without -short)")
 		jsonPath     = flag.String("json", "", "with a bench mode: also write the machine-readable benchmark result to this file, e.g. BENCH_streaming.json / BENCH_sharded.json / BENCH_serve.json / BENCH_bursty.json")
 		short        = flag.Bool("short", false, "bench modes: shrink the scenario to ~400 entities (the CI regression-gate scale)")
 		baseline     = flag.String("baseline", "", "with a bench mode: diff the fresh run's portable counters against this committed JSON payload and fail on drift beyond -tolerance")
@@ -123,9 +135,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "erbench: unknown scale %q (want small or medium)\n", *scale)
 		os.Exit(2)
 	}
-	benchMode := *streamMeta || *streamShards > 0 || *serveBench || *bursty || *concurrent
+	benchMode := *streamMeta || *streamShards > 0 || *serveBench || *bursty || *concurrent || *ingest
 	if (*jsonPath != "" || *baseline != "") && !benchMode {
-		fmt.Fprintln(os.Stderr, "erbench: -json/-baseline require -streaming-meta, -streaming-shards, -serve, -bursty or -concurrent")
+		fmt.Fprintln(os.Stderr, "erbench: -json/-baseline require -streaming-meta, -streaming-shards, -serve, -bursty, -concurrent or -ingest")
 		os.Exit(2)
 	}
 	out := benchOutput{jsonPath: *jsonPath, baseline: *baseline, tolerance: *tolerance}
@@ -173,6 +185,13 @@ func main() {
 	}
 	if *concurrent {
 		if err := runConcurrentBench(entities, *seed, *workers, out); err != nil {
+			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ingest {
+		if err := runIngestBench(*short, *seed, *workers, out); err != nil {
 			fmt.Fprintf(os.Stderr, "erbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -416,6 +435,9 @@ var benchIdentityFields = map[string]bool{
 	"live_ops":                true,
 	"reads_per_reader":        true,
 	"readers":                 true,
+	"records":                 true,
+	"vocab_scale":             true,
+	"purge_max":               true,
 }
 
 // diffBaseline compares the fresh payload's portable section against the

@@ -374,3 +374,53 @@ func TestRunConcurrentBench(t *testing.T) {
 		t.Fatal("baseline gate diffed a different scale instead of refusing")
 	}
 }
+
+func TestRunIngestBench(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_ingest.json")
+	if err := runIngestBench(true, 7, 1, benchOutput{jsonPath: jsonPath}); err != nil {
+		t.Fatalf("runIngestBench: %v", err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out benchIngestJSON
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != benchSchema || out.Name != "ingest" || !out.Portable.Identical {
+		t.Fatalf("ingest payload = %+v", out)
+	}
+	p := out.Portable
+	if p.Records == 0 || p.Entities != ingestEntitiesShort || p.TruthPairs == 0 ||
+		p.Matches == 0 || p.Comparisons == 0 || p.Blocks == 0 {
+		t.Fatalf("ingest portable section malformed: %+v", p)
+	}
+	if p.PurgeMax != ingestPurgeMax || p.VocabScale != 1 {
+		t.Fatalf("ingest scenario identity malformed: %+v", p)
+	}
+	if len(p.MatchDigest) != 64 || len(p.BlockDigest) != 64 {
+		t.Fatalf("canonical digests malformed: %q %q", p.MatchDigest, p.BlockDigest)
+	}
+	if p.Recall <= 0 || p.F1 <= 0 {
+		t.Fatalf("quality unmeasured: %+v", p)
+	}
+	for name, leg := range map[string]benchIngestLegTimingJSON{
+		"nt": out.Timing.NT, "csv": out.Timing.CSV, "jsonl": out.Timing.JSONL,
+	} {
+		if leg.Parse.WallNS <= 0 || leg.Load.WallNS <= 0 || leg.Resolve.WallNS <= 0 {
+			t.Fatalf("%s leg unmeasured: %+v", name, leg)
+		}
+	}
+	if out.Timing.GenerateWallNS <= 0 || out.Timing.PeakHeapBytes == 0 {
+		t.Fatalf("ingest timing malformed: %+v", out.Timing)
+	}
+	// The regression gate: an identical rerun matches its own baseline, and
+	// a different seed (different record count and digests) is refused.
+	if err := runIngestBench(true, 7, 1, benchOutput{baseline: jsonPath, tolerance: 0.01}); err != nil {
+		t.Fatalf("identical rerun drifted from its own baseline: %v", err)
+	}
+	if err := runIngestBench(true, 8, 1, benchOutput{baseline: jsonPath, tolerance: 0.01}); err == nil {
+		t.Fatal("baseline gate diffed a different seed instead of refusing")
+	}
+}

@@ -1,16 +1,18 @@
 // Command erctl runs a configurable end-to-end resolution pipeline over
-// N-Triples knowledge bases and reports the matches and, when a truth file
-// is given, the output quality.
+// N-Triples, CSV or JSON-lines knowledge bases and reports the matches
+// and, when a truth file is given, the output quality.
 //
 // Usage:
 //
 //	erctl -kb0 FILE [-kb1 FILE] [-truth FILE]
+//	      [-format rdf|csv|jsonl] [-idcol NAME] [-export DIR]
 //	      [-blocker token|attrclustering|standard|qgrams|sortednbhd]
 //	      [-weight ARCS|CBS|ECBS|JS|EJS] [-prune WNP|WEP|CEP|CNP]
 //	      [-threshold T] [-mode batch|swoosh|iterblock|progressive|streaming]
 //	      [-budget N] [-print-matches]
 //
 //	erctl watch -ops FILE [-kind dirty|cleanclean]
+//	      [-src0 FILE [-src1 FILE] [-idcol NAME]]
 //	      [-blocker token|standard|qgrams] [-threshold T] [-workers N]
 //	      [-weight CBS|ECBS|JS] [-prune WEP|WNP]
 //	      [-stats-every N] [-print-matches]
@@ -22,6 +24,7 @@
 //	      [-weight ...] [-prune ...] [-snapshot-every N] [-wal-nosync]
 //
 //	erctl serve -addr HOST:PORT [-ops FILE]
+//	      [-src0 FILE [-src1 FILE] [-idcol NAME]]
 //	      [-stream-shards N | -shard-addrs A,B,...] [-wal DIR]
 //	      [-max-inflight N] [-request-timeout D] [-drain-timeout D]
 //	      [-max-batch-ops N] [-max-queued-ops N]
@@ -29,8 +32,18 @@
 //	      [-weight ...] [-prune ...] [-snapshot-every N] [-wal-nosync]
 //
 // With one -kb0 the collection is dirty (deduplication); with -kb1 it is
-// clean-clean (interlinking). The truth file holds one tab-separated URI
-// pair per line.
+// clean-clean (interlinking). KB files may be N-Triples (.nt), CSV (.csv)
+// or JSON-lines (.jsonl/.ndjson) — the format is inferred from the
+// extension unless -format overrides it, and -idcol names the tabular ID
+// column when it is not "id". The truth file holds one tab-separated URI
+// pair per line. With -export DIR a clean-clean run also writes one
+// interlinking export per source (matches.source0.tsv, matches.source1.tsv:
+// each line a source URI and its comma-joined partner URIs).
+//
+// The watch and serve subcommands accept the same source files via -src0
+// and -src1: the sources are preloaded through the deployment's batch
+// ingest path before the ops log replays, and a durable restart skips the
+// already-loaded prefix exactly like ops-log resumption.
 //
 // The watch subcommand replays a JSON-lines operation log (one
 // {"op":"insert|update|delete","uri":...,"source":...,"attrs":[...]}
@@ -64,6 +77,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"entityres/er"
@@ -84,8 +98,11 @@ func main() {
 		}
 	}
 	var (
-		kb0       = flag.String("kb0", "", "first KB, N-Triples (required)")
+		kb0       = flag.String("kb0", "", "first KB: N-Triples, CSV or JSON-lines (required)")
 		kb1       = flag.String("kb1", "", "second KB for clean-clean resolution")
+		format    = flag.String("format", "", "KB format: rdf, csv or jsonl ('' = infer from extension)")
+		idcol     = flag.String("idcol", "", "ID column of tabular KBs ('' = \"id\")")
+		export    = flag.String("export", "", "directory for per-source interlinking exports (clean-clean only)")
 		truth     = flag.String("truth", "", "tab-separated URI pairs for evaluation")
 		blockerNm = flag.String("blocker", "token", "blocking method")
 		weightNm  = flag.String("weight", "ARCS", "meta-blocking weight scheme ('' disables)")
@@ -105,13 +122,16 @@ func main() {
 		kind = er.CleanClean
 	}
 	c := er.NewCollection(kind)
-	if err := load(c, *kb0, 0); err != nil {
+	if err := load(c, *kb0, 0, *format, *idcol); err != nil {
 		fail(err)
 	}
 	if *kb1 != "" {
-		if err := load(c, *kb1, 1); err != nil {
+		if err := load(c, *kb1, 1, *format, *idcol); err != nil {
 			fail(err)
 		}
+	}
+	if *export != "" && kind != er.CleanClean {
+		fail(fmt.Errorf("-export needs a clean-clean run (pass -kb1)"))
 	}
 
 	pipe := &er.Pipeline{
@@ -210,6 +230,36 @@ func main() {
 		fmt.Println("pair quality:   ", er.ComparePairs(res.Matches, gt))
 		fmt.Println("cluster quality:", er.EvaluateClusters(c, res.Matches, gt))
 	}
+	if *export != "" {
+		if err := exportSourceMatches(*export, c, res.Matches); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// exportSourceMatches writes each source's view of the interlinking
+// result: one matches.sourceN.tsv per source, each line a URI of that
+// source and the comma-joined sorted URIs of its partners.
+func exportSourceMatches(dir string, c *er.Collection, m *er.Matches) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for s := 0; s < 2; s++ {
+		path := filepath.Join(dir, fmt.Sprintf("matches.source%d.tsv", s))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = er.WriteSourceMatches(f, c, m, s)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exported %s\n", path)
+	}
+	return nil
 }
 
 // watch replays an operation log through an er.Open deployment.
@@ -254,7 +304,17 @@ func watch(args []string) {
 	// restart resumes where the previous run stopped — recovery restores
 	// the journal's state, and the ops it already covers are skipped.
 	// Resumption assumes the same -ops log; the skip count is the number
-	// of operations the recovered state acknowledges.
+	// of operations the recovered state acknowledges beyond the -src0/-src1
+	// records, which Open preloads as the stream's fixed prefix.
+	srcRecords := 0
+	if len(cfg.Sources) > 0 {
+		n, err := er.SourceRecords(cfg.Sources)
+		if err != nil {
+			fail(err)
+		}
+		srcRecords = n
+		fmt.Printf("preloaded %d source records\n", srcRecords)
+	}
 	skipped := 0
 	stats := func() er.StreamingStats {
 		st, err := r.Stats()
@@ -263,8 +323,8 @@ func watch(args []string) {
 		}
 		return st
 	}
-	if st := stats(); st.Inserts+st.Updates+st.Deletes > 0 {
-		applied := int(st.Inserts + st.Updates + st.Deletes)
+	if st := stats(); int(st.Inserts+st.Updates+st.Deletes) > srcRecords {
+		applied := int(st.Inserts+st.Updates+st.Deletes) - srcRecords
 		if applied > len(ops) {
 			fail(fmt.Errorf("wal %s holds %d applied ops but %s has only %d — resuming a different log?", *walDir, applied, *opsPath, len(ops)))
 		}
@@ -371,13 +431,15 @@ func statsLine(st er.StreamingStats, meta bool) string {
 	return fmt.Sprintf("%s kept=%d/%d candidate pairs", st, st.KeptPairs, st.CandidatePairs)
 }
 
-func load(c *er.Collection, path string, source int) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return er.ReadNTriples(c, bufio.NewReader(f), source)
+// load streams one KB file into the collection, inferring the parser from
+// the extension unless format overrides it.
+func load(c *er.Collection, path string, source int, format, idcol string) error {
+	return er.ReadSource(c, er.Source{
+		Path:    path,
+		Format:  er.SourceFormat(strings.ToLower(format)),
+		Index:   source,
+		Tabular: er.TabularOptions{IDColumn: idcol},
+	})
 }
 
 func loadTruth(c *er.Collection, path string) (*er.Matches, error) {

@@ -77,7 +77,7 @@ func TestLoadHelpers(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := er.NewCollection(er.Dirty)
-	if err := load(c, kb, 0); err != nil {
+	if err := load(c, kb, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if c.Len() != 2 {
@@ -94,7 +94,7 @@ func TestLoadHelpers(t *testing.T) {
 	if gt.Len() != 1 {
 		t.Fatalf("loaded %d truth pairs, want 1", gt.Len())
 	}
-	if err := load(c, filepath.Join(dir, "missing.nt"), 0); err == nil {
+	if err := load(c, filepath.Join(dir, "missing.nt"), 0, "", ""); err == nil {
 		t.Fatal("missing KB accepted")
 	}
 	if _, err := loadTruth(c, filepath.Join(dir, "missing.tsv")); err == nil {
@@ -284,5 +284,112 @@ func TestApplyStreamOp(t *testing.T) {
 	}
 	if err := applyStreamOp(ctx, r, er.StreamOp{Kind: er.StreamDelete, URI: "u:a"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLoadTabular loads a CSV KB with a custom ID column through the
+// format-inferring loader, plus an explicit-format override.
+func TestLoadTabular(t *testing.T) {
+	dir := t.TempDir()
+	kb := filepath.Join(dir, "kb.csv")
+	csv := "key,name\nu:a,alice smith\nu:b,alice smith\n"
+	if err := os.WriteFile(kb, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := er.NewCollection(er.Dirty)
+	if err := load(c, kb, 0, "", "key"); err != nil {
+		t.Fatal(err)
+	}
+	name, _ := c.Get(0).Value("name")
+	if c.Len() != 2 || c.Get(0).URI != "u:a" || name != "alice smith" {
+		t.Fatalf("csv load: %d records, first %+v", c.Len(), c.Get(0))
+	}
+	// The same file parses as CSV under an explicit format despite a
+	// misleading extension.
+	odd := filepath.Join(dir, "kb.dat")
+	if err := os.WriteFile(odd, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2 := er.NewCollection(er.Dirty)
+	if err := load(c2, odd, 0, "CSV", "key"); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("explicit-format load: %d records", c2.Len())
+	}
+}
+
+// TestExportSourceMatches writes the per-source interlinking exports for a
+// small clean-clean result and pins their contents.
+func TestExportSourceMatches(t *testing.T) {
+	c := er.NewCollection(er.CleanClean)
+	a := c.MustAdd(er.NewDescription("u:a").Add("name", "alice"))
+	b := c.MustAdd(func() *er.Description {
+		d := er.NewDescription("u:b").Add("name", "alice")
+		d.Source = 1
+		return d
+	}())
+	m := er.NewMatches()
+	m.Add(a, b)
+	dir := filepath.Join(t.TempDir(), "exports")
+	if err := exportSourceMatches(dir, c, m); err != nil {
+		t.Fatal(err)
+	}
+	got0, err := os.ReadFile(filepath.Join(dir, "matches.source0.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := os.ReadFile(filepath.Join(dir, "matches.source1.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got0) != "u:a\tu:b\n" || string(got1) != "u:b\tu:a\n" {
+		t.Fatalf("exports = %q / %q", got0, got1)
+	}
+}
+
+// TestWatchWithSources preloads a CSV source ahead of the ops log and
+// resumes the combined stream from the WAL: the source records are the
+// stream's fixed prefix, so the restart must skip them plus the applied
+// ops — nothing is ingested twice.
+func TestWatchWithSources(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "kb0.csv")
+	if err := os.WriteFile(src, []byte("id,name\nu:a,alice smith\nu:b,alice smith\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ops := []er.StreamOp{
+		{Kind: er.StreamInsert, URI: "u:c", Attrs: []er.Attribute{{Name: "name", Value: "carol jones"}}},
+		{Kind: er.StreamUpdate, URI: "u:c", Attrs: []er.Attribute{{Name: "name", Value: "alice smith"}}},
+	}
+	var buf bytes.Buffer
+	if err := er.WriteStreamOps(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	opsPath := filepath.Join(dir, "ops.jsonl")
+	if err := os.WriteFile(opsPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+	args := []string{"-ops", opsPath, "-src0", src, "-wal", walDir, "-wal-nosync", "-print-matches"}
+	watch(args)
+	watch(args) // resume: skips the 2 source records and both ops
+
+	r, err := er.PersistentResolver(walDir, er.StreamingConfig{
+		Kind:    er.Dirty,
+		Blocker: &er.TokenBlocking{},
+		Matcher: &er.Matcher{Sim: &er.TokenJaccard{}, Threshold: 0.4},
+		Durable: er.StreamingDurable{NoSync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserts != 3 || st.Updates != 1 || st.Live != 3 || st.Matches != 3 {
+		t.Fatalf("state after sourced resume: %+v, want 2 source records + 1 insert + 1 update applied once", st)
 	}
 }

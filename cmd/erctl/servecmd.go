@@ -29,6 +29,9 @@ type deployFlags struct {
 	prune     *string
 	snapEvery *int
 	noSync    *bool
+	src0      *string
+	src1      *string
+	idcol     *string
 }
 
 func registerDeployFlags(fs *flag.FlagSet) *deployFlags {
@@ -41,6 +44,9 @@ func registerDeployFlags(fs *flag.FlagSet) *deployFlags {
 		prune:     fs.String("prune", "WNP", "live meta-blocking prune scheme: WEP or WNP"),
 		snapEvery: fs.Int("snapshot-every", 0, "ops between WAL snapshot compactions (0 = default; durable deployments only)"),
 		noSync:    fs.Bool("wal-nosync", false, "skip the per-op fsync on the WAL (durable deployments only)"),
+		src0:      fs.String("src0", "", "source file to preload as source 0: N-Triples, CSV or JSON-lines by extension"),
+		src1:      fs.String("src1", "", "source file to preload as source 1 (requires -src0)"),
+		idcol:     fs.String("idcol", "", "ID column of tabular source files ('' = \"id\")"),
 	}
 }
 
@@ -82,6 +88,19 @@ func (d *deployFlags) config() (er.Config, error) {
 		// er.Open validates stream-safety (WEP/WNP × CBS/ECBS/JS) and
 		// reports the specific reason a batch-only scheme cannot stream.
 		cfg.Meta = &er.MetaBlocker{Weight: w, Prune: p}
+	}
+	if *d.src1 != "" && *d.src0 == "" {
+		return cfg, fmt.Errorf("-src1 requires -src0")
+	}
+	if *d.src0 != "" {
+		cfg.Sources = append(cfg.Sources, er.Source{
+			Path: *d.src0, Tabular: er.TabularOptions{IDColumn: *d.idcol},
+		})
+	}
+	if *d.src1 != "" {
+		cfg.Sources = append(cfg.Sources, er.Source{
+			Path: *d.src1, Index: 1, Tabular: er.TabularOptions{IDColumn: *d.idcol},
+		})
 	}
 	return cfg, nil
 }
@@ -185,7 +204,18 @@ func serveCmd(args []string) {
 		if err != nil {
 			fail(err)
 		}
-		skip := int(st.Inserts + st.Updates + st.Deletes)
+		// The -src0/-src1 records are the operation stream's fixed prefix:
+		// what the deployment holds beyond them is replayed ops-log state.
+		srcRecords := 0
+		if len(cfg.Sources) > 0 {
+			if srcRecords, err = er.SourceRecords(cfg.Sources); err != nil {
+				fail(err)
+			}
+		}
+		skip := int(st.Inserts+st.Updates+st.Deletes) - srcRecords
+		if skip < 0 {
+			skip = 0
+		}
 		if skip > len(ops) {
 			fail(fmt.Errorf("deployment already holds %d ops but %s has only %d", skip, *opsPath, len(ops)))
 		}

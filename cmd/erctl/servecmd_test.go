@@ -190,3 +190,32 @@ func getJSON(t *testing.T, url string, into any) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeployFlagsSources checks -src0/-src1 render into cfg.Sources with
+// the right indices, and that -src1 alone is refused.
+func TestDeployFlagsSources(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	df := registerDeployFlags(fs)
+	if err := fs.Parse([]string{"-src0", "a.csv", "-src1", "b.jsonl", "-idcol", "key"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := df.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Sources) != 2 ||
+		cfg.Sources[0].Path != "a.csv" || cfg.Sources[0].Index != 0 ||
+		cfg.Sources[1].Path != "b.jsonl" || cfg.Sources[1].Index != 1 ||
+		cfg.Sources[0].Tabular.IDColumn != "key" {
+		t.Fatalf("sources = %+v", cfg.Sources)
+	}
+
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	df2 := registerDeployFlags(fs2)
+	if err := fs2.Parse([]string{"-src1", "b.jsonl"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := df2.config(); err == nil {
+		t.Fatal("-src1 without -src0 accepted")
+	}
+}

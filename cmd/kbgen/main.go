@@ -1,14 +1,19 @@
 // Command kbgen generates synthetic knowledge bases with exact ground
-// truth, in N-Triples format, for use with erctl or external tools.
+// truth for use with erctl, erbench or external tools.
 //
 // Usage:
 //
 //	kbgen -out DIR [-kind dirty|cleanclean|biblio] [-entities N]
-//	      [-dup RATIO] [-domain people|movies] [-corruption light|heavy]
-//	      [-schemanoise P] [-seed N]
+//	      [-formats nt,csv,jsonl] [-dup RATIO] [-domain people|movies]
+//	      [-corruption light|heavy] [-schemanoise P] [-vocabscale N]
+//	      [-seed N]
 //
-// It writes kb0.nt (and kb1.nt for clean-clean kinds) plus truth.tsv with
-// one matching URI pair per line.
+// It writes kb0.<ext> (and kb1.<ext> for clean-clean kinds) per requested
+// format plus truth.tsv with one matching URI pair per line. All formats
+// of one run come from a single generator pass, so the same ground truth
+// scores every format. The dirty and clean-clean kinds stream: a
+// million-record corpus generates in flat memory. Raise -vocabscale when
+// scaling -entities so token frequencies stay realistic.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"strings"
 
 	"entityres/er"
+	"entityres/internal/rdf"
+	"entityres/internal/tabular"
 )
 
 func main() {
@@ -28,7 +35,8 @@ func main() {
 }
 
 // run is the whole command behind the process wrapper: parse flags,
-// generate, split by source, write. The returned value is the exit code.
+// generate, write every requested format. The returned value is the exit
+// code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("kbgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -36,10 +44,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out         = fs.String("out", "", "output directory (required)")
 		kind        = fs.String("kind", "cleanclean", "dirty, cleanclean or biblio")
 		entities    = fs.Int("entities", 1000, "number of distinct real-world entities")
+		formats     = fs.String("formats", "nt", "comma-separated output formats: nt, csv, jsonl")
 		dup         = fs.Float64("dup", 0.5, "duplication / overlap ratio")
 		domain      = fs.String("domain", "people", "people or movies")
 		corruption  = fs.String("corruption", "light", "light or heavy")
 		schemaNoise = fs.Float64("schemanoise", 0.5, "attribute-rename probability for source 1")
+		vocabScale  = fs.Int("vocabscale", 1, "vocabulary scale factor (grow with -entities)")
 		seed        = fs.Int64("seed", 1, "generation seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -49,11 +59,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "kbgen: -out is required")
 		return 2
 	}
+	want, err := parseFormats(*formats)
+	if err != nil {
+		fmt.Fprintln(stderr, "kbgen:", err)
+		return 2
+	}
 	cfg := er.GenConfig{
 		Seed:        *seed,
 		Entities:    *entities,
 		DupRatio:    *dup,
 		SchemaNoise: *schemaNoise,
+		VocabScale:  *vocabScale,
 	}
 	switch strings.ToLower(*domain) {
 	case "people":
@@ -75,75 +91,312 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "kbgen: unknown corruption %q\n", *corruption)
 		return 2
 	}
-
-	var (
-		c   *er.Collection
-		gt  *er.Matches
-		err error
-	)
-	switch strings.ToLower(*kind) {
-	case "dirty":
-		c, gt, err = er.GenerateDirty(cfg)
-	case "cleanclean":
-		c, gt, err = er.GenerateCleanClean(cfg)
-	case "biblio":
-		cfg.Domain = er.Bibliographic
-		c, gt, err = er.GenerateBibliographic(cfg)
-	default:
-		fmt.Fprintf(stderr, "kbgen: unknown kind %q\n", *kind)
-		return 2
-	}
-	if err != nil {
-		fmt.Fprintln(stderr, "kbgen:", err)
-		return 1
-	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(stderr, "kbgen:", err)
 		return 1
 	}
 
-	// Split the collection by source into per-KB files.
-	write := func(name string, source int) error {
-		sub := er.NewCollection(er.Dirty)
+	switch strings.ToLower(*kind) {
+	case "dirty", "cleanclean":
+		if err := streamCorpus(stdout, *out, strings.ToLower(*kind), cfg, want); err != nil {
+			fmt.Fprintln(stderr, "kbgen:", err)
+			return 1
+		}
+		return 0
+	case "biblio":
+		if err := writeBiblio(stdout, *out, cfg, want); err != nil {
+			fmt.Fprintln(stderr, "kbgen:", err)
+			if strings.Contains(err.Error(), "csv cannot") {
+				return 2
+			}
+			return 1
+		}
+		return 0
+	default:
+		fmt.Fprintf(stderr, "kbgen: unknown kind %q\n", *kind)
+		return 2
+	}
+}
+
+// parseFormats validates and dedups the -formats list, preserving order.
+func parseFormats(s string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.ToLower(strings.TrimSpace(f))
+		if f == "" {
+			continue
+		}
+		switch f {
+		case "nt", "csv", "jsonl":
+		default:
+			return nil, fmt.Errorf("unknown format %q (want nt, csv or jsonl)", f)
+		}
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-formats selects no format")
+	}
+	return out, nil
+}
+
+// kbWriters holds one source file's sinks, one per requested format.
+type kbWriters struct {
+	files []*os.File
+	bufs  []*bufio.Writer
+	nt    *bufio.Writer
+	csv   *tabular.CSVWriter
+	jsonl *bufio.Writer
+}
+
+func newKBWriters(dir string, source int, formats []string, columns []string) (*kbWriters, error) {
+	kw := &kbWriters{}
+	for _, format := range formats {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("kb%d.%s", source, format)))
+		if err != nil {
+			kw.close()
+			return nil, err
+		}
+		kw.files = append(kw.files, f)
+		bw := bufio.NewWriterSize(f, 1<<16)
+		kw.bufs = append(kw.bufs, bw)
+		switch format {
+		case "nt":
+			kw.nt = bw
+		case "csv":
+			cw, err := tabular.NewCSVWriter(bw, columns, tabular.Options{})
+			if err != nil {
+				kw.close()
+				return nil, err
+			}
+			kw.csv = cw
+		case "jsonl":
+			kw.jsonl = bw
+		}
+	}
+	return kw, nil
+}
+
+// write renders one record into every open format sink.
+func (kw *kbWriters) write(d *er.Description) error {
+	if kw.nt != nil {
+		if err := rdf.WriteDescription(kw.nt, d); err != nil {
+			return err
+		}
+	}
+	if kw.csv != nil {
+		if err := kw.csv.Write(d); err != nil {
+			return err
+		}
+	}
+	if kw.jsonl != nil {
+		if err := tabular.WriteJSONLRecord(kw.jsonl, d, tabular.Options{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (kw *kbWriters) finish() error {
+	if kw.csv != nil {
+		if err := kw.csv.Flush(); err != nil {
+			return err
+		}
+	}
+	for _, bw := range kw.bufs {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	for _, f := range kw.files {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	kw.files = nil
+	return nil
+}
+
+func (kw *kbWriters) close() {
+	for _, f := range kw.files {
+		f.Close()
+	}
+}
+
+// streamCorpus generates a dirty or clean-clean corpus record by record,
+// fanning each record into every requested format and streaming the truth
+// pairs alongside — memory stays flat in the corpus size, and every
+// format of one run scores against the same truth.tsv.
+func streamCorpus(stdout io.Writer, dir, kind string, cfg er.GenConfig, formats []string) error {
+	var (
+		stream  *er.GenStream
+		sources int
+		err     error
+	)
+	if kind == "dirty" {
+		stream, err = er.StreamDirty(cfg)
+		sources = 1
+	} else {
+		stream, err = er.StreamCleanClean(cfg)
+		sources = 2
+	}
+	if err != nil {
+		return err
+	}
+
+	kbs := make([]*kbWriters, sources)
+	defer func() {
+		for _, kw := range kbs {
+			if kw != nil {
+				kw.close()
+			}
+		}
+	}()
+	for s := 0; s < sources; s++ {
+		// Renamed synonym columns appear wherever corrupted copies land:
+		// the single dirty file, and the second clean-clean KB.
+		renamed := kind == "dirty" || s == 1
+		columns, err := er.GenColumns(cfg, renamed)
+		if err != nil {
+			return err
+		}
+		if kbs[s], err = newKBWriters(dir, s, formats, columns); err != nil {
+			return err
+		}
+	}
+	tf, err := os.Create(filepath.Join(dir, "truth.tsv"))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	tw := bufio.NewWriter(tf)
+
+	records, pairs := 0, 0
+	// Dirty truth is per-cluster: all pairs among an original and its
+	// immediately following duplicates, emitted in ID order — byte-
+	// identical to the materialized WriteTruthTSV rendering.
+	var cluster []string
+	flushCluster := func() error {
+		for i := 0; i < len(cluster); i++ {
+			for j := i + 1; j < len(cluster); j++ {
+				if _, err := fmt.Fprintf(tw, "%s\t%s\n", cluster[i], cluster[j]); err != nil {
+					return err
+				}
+				pairs++
+			}
+		}
+		cluster = cluster[:0]
+		return nil
+	}
+	for {
+		rec, ok := stream.Next()
+		if !ok {
+			break
+		}
+		records++
+		d := &er.Description{URI: rec.URI, Attrs: rec.Attrs}
+		if err := kbs[rec.Source].write(d); err != nil {
+			return err
+		}
+		if kind == "dirty" {
+			if rec.MatchOf == "" {
+				if err := flushCluster(); err != nil {
+					return err
+				}
+			}
+			cluster = append(cluster, rec.URI)
+		} else if rec.MatchOf != "" {
+			// Clean-clean pairs arrive with ascending KB0 partners, so the
+			// stream order is already the sorted truth order.
+			if _, err := fmt.Fprintf(tw, "%s\t%s\n", rec.MatchOf, rec.URI); err != nil {
+				return err
+			}
+			pairs++
+		}
+	}
+	if kind == "dirty" {
+		if err := flushCluster(); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	for s := 0; s < sources; s++ {
+		if err := kbs[s].finish(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "kbgen: wrote %d descriptions, %d truth pairs to %s\n", records, pairs, dir)
+	return nil
+}
+
+// writeBiblio materializes the bibliographic corpus (its generator is not
+// streamed) and splits it per source into every requested format. CSV is
+// refused: bibliographic records carry multi-valued author attributes a
+// CSV cell cannot represent.
+func writeBiblio(stdout io.Writer, dir string, cfg er.GenConfig, formats []string) error {
+	for _, f := range formats {
+		if f == "csv" {
+			return fmt.Errorf("biblio records are multi-valued; csv cannot represent them (use nt or jsonl)")
+		}
+	}
+	cfg.Domain = er.Bibliographic
+	c, gt, err := er.GenerateBibliographic(cfg)
+	if err != nil {
+		return err
+	}
+	for s := 0; s < 2; s++ {
+		var perSource []*er.Description
 		for _, d := range c.All() {
-			if d.Source != source {
+			if d.Source != s {
 				continue
 			}
 			cp := d.Clone()
 			cp.Source = 0
-			sub.MustAdd(cp)
+			perSource = append(perSource, cp)
 		}
-		f, err := os.Create(filepath.Join(*out, name))
-		if err != nil {
-			return err
+		for _, format := range formats {
+			f, err := os.Create(filepath.Join(dir, fmt.Sprintf("kb%d.%s", s, format)))
+			if err != nil {
+				return err
+			}
+			bw := bufio.NewWriterSize(f, 1<<16)
+			switch format {
+			case "nt":
+				sub := er.NewCollection(er.Dirty)
+				for _, d := range perSource {
+					sub.MustAdd(d.Clone())
+				}
+				err = er.WriteNTriples(bw, sub)
+			case "jsonl":
+				err = er.WriteJSONL(bw, perSource, er.TabularOptions{})
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
 		}
-		defer f.Close()
-		w := bufio.NewWriter(f)
-		if err := er.WriteNTriples(w, sub); err != nil {
-			return err
-		}
-		return w.Flush()
 	}
-	if err := write("kb0.nt", 0); err != nil {
-		fmt.Fprintln(stderr, "kbgen:", err)
-		return 1
-	}
-	if c.Kind() == er.CleanClean {
-		if err := write("kb1.nt", 1); err != nil {
-			fmt.Fprintln(stderr, "kbgen:", err)
-			return 1
-		}
-	}
-	tf, err := os.Create(filepath.Join(*out, "truth.tsv"))
+	tf, err := os.Create(filepath.Join(dir, "truth.tsv"))
 	if err != nil {
-		fmt.Fprintln(stderr, "kbgen:", err)
-		return 1
+		return err
 	}
 	defer tf.Close()
 	if err := er.WriteTruthTSV(tf, c, gt); err != nil {
-		fmt.Fprintln(stderr, "kbgen:", err)
-		return 1
+		return err
 	}
-	fmt.Fprintf(stdout, "kbgen: wrote %d descriptions, %d truth pairs to %s\n", c.Len(), gt.Len(), *out)
-	return 0
+	fmt.Fprintf(stdout, "kbgen: wrote %d descriptions, %d truth pairs to %s\n", c.Len(), gt.Len(), dir)
+	return nil
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -68,6 +70,105 @@ func TestRunFlagValidation(t *testing.T) {
 		var stdout, stderr bytes.Buffer
 		if code := run(bad, &stdout, &stderr); code != 2 {
 			t.Errorf("run(%v) = %d, want 2 (stderr %q)", bad, code, stderr.String())
+		}
+	}
+}
+
+// TestRunFormats generates both streamed kinds in every format at once
+// and checks the renderings agree: same URIs from each parser, and a
+// truth.tsv byte-identical to the materialized generator's rendering.
+func TestRunFormats(t *testing.T) {
+	for _, kind := range []string{"dirty", "cleanclean"} {
+		t.Run(kind, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "out")
+			args := []string{"-out", dir, "-kind", kind, "-entities", "40", "-formats", "nt,csv,jsonl"}
+			var stdout, stderr bytes.Buffer
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+			}
+			sources := 1
+			if kind == "cleanclean" {
+				sources = 2
+			}
+			uriList := func(c *er.Collection) []string {
+				var out []string
+				for _, d := range c.All() {
+					out = append(out, d.URI)
+				}
+				return out
+			}
+			for s := 0; s < sources; s++ {
+				perFormat := map[string][]string{}
+				for _, format := range []string{"nt", "csv", "jsonl"} {
+					c := er.NewCollection(er.Dirty)
+					if err := er.ReadSource(c, er.Source{Path: filepath.Join(dir, fmt.Sprintf("kb%d.%s", s, format))}); err != nil {
+						t.Fatalf("kb%d.%s: %v", s, format, err)
+					}
+					if c.Len() == 0 {
+						t.Fatalf("kb%d.%s is empty", s, format)
+					}
+					perFormat[format] = uriList(c)
+				}
+				if !reflect.DeepEqual(perFormat["nt"], perFormat["csv"]) ||
+					!reflect.DeepEqual(perFormat["nt"], perFormat["jsonl"]) {
+					t.Fatalf("kb%d URI sequences differ across formats", s)
+				}
+			}
+
+			// The streamed truth must be byte-identical to what the
+			// materialized generator writes for the same config.
+			cfg := er.GenConfig{Seed: 1, Entities: 40, DupRatio: 0.5, SchemaNoise: 0.5}
+			lc := er.LightCorruption()
+			cfg.Corruption = &lc
+			var c *er.Collection
+			var gt *er.Matches
+			var err error
+			if kind == "dirty" {
+				c, gt, err = er.GenerateDirty(cfg)
+			} else {
+				c, gt, err = er.GenerateCleanClean(cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if err := er.WriteTruthTSV(&want, c, gt); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(dir, "truth.tsv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Fatalf("streamed truth.tsv differs from materialized rendering:\ngot:\n%s\nwant:\n%s", got, want.String())
+			}
+		})
+	}
+}
+
+// TestRunFormatRefusals pins the format-flag exit paths: invalid names
+// and the biblio/CSV clash (multi-valued authors) are usage errors.
+func TestRunFormatRefusals(t *testing.T) {
+	dir := t.TempDir()
+	for _, bad := range [][]string{
+		{"-out", dir, "-formats", "xml"},
+		{"-out", dir, "-formats", ","},
+		{"-out", dir, "-kind", "biblio", "-formats", "nt,csv"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(bad, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr %q)", bad, code, stderr.String())
+		}
+	}
+	// biblio still writes nt and jsonl.
+	out := filepath.Join(t.TempDir(), "bib")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-out", out, "-kind", "biblio", "-entities", "30", "-formats", "jsonl,nt"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("biblio jsonl run = %d, stderr: %s", code, stderr.String())
+	}
+	for _, f := range []string{"kb0.nt", "kb1.nt", "kb0.jsonl", "kb1.jsonl", "truth.tsv"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Errorf("expected output %s: %v", f, err)
 		}
 	}
 }

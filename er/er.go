@@ -63,6 +63,7 @@ import (
 	"entityres/internal/rdf"
 	"entityres/internal/sharded"
 	"entityres/internal/simjoin"
+	"entityres/internal/tabular"
 	"entityres/internal/token"
 )
 
@@ -549,6 +550,27 @@ var (
 	HeavyCorruption       = datagen.HeavyCorruption
 )
 
+// Streaming generation: million-record corpora without materializing them.
+type (
+	// GenRecord is one streamed generated description (URI, source,
+	// attributes, and — for duplicates — the matched original's URI).
+	GenRecord = datagen.Record
+	// GenStream emits generated records one at a time in flat memory,
+	// bit-identical to the materializing generators.
+	GenStream = datagen.Stream
+)
+
+var (
+	// StreamDirty streams GenerateDirty's corpus record by record.
+	StreamDirty = datagen.StreamDirty
+	// StreamCleanClean streams GenerateCleanClean's corpus, all KB0
+	// records before the KB1 counterparts.
+	StreamCleanClean = datagen.StreamCleanClean
+	// GenColumns reports the attribute columns a streamed corpus can
+	// carry, for CSV renderings.
+	GenColumns = datagen.StreamColumns
+)
+
 // Evaluation.
 type (
 	// BlockingMetrics is PC/PQ/RR of a blocking collection.
@@ -589,4 +611,50 @@ func ReadNTriples(c *Collection, r io.Reader, source int) error {
 // WriteNTriples serializes the collection as N-Triples.
 func WriteNTriples(w io.Writer, c *Collection) error {
 	return rdf.WriteCollection(w, c)
+}
+
+// Tabular I/O: CSV and JSON-lines sources, schema-agnostic like the RDF
+// path (package tabular). Every blocker and matcher sees tabular records
+// exactly as it sees triples.
+
+// TabularOptions configures tabular column mapping: ID column, per-source
+// attribute renames, headerless schemas and the CSV delimiter.
+type TabularOptions = tabular.Options
+
+// ReadCSV parses a CSV document into the collection (one row per
+// description), tagging descriptions with the source index.
+func ReadCSV(c *Collection, r io.Reader, source int, opt TabularOptions) error {
+	return tabular.AddCSV(c, r, source, opt)
+}
+
+// ReadJSONL parses a JSON-lines document into the collection (one object
+// per description), tagging descriptions with the source index.
+func ReadJSONL(c *Collection, r io.Reader, source int, opt TabularOptions) error {
+	return tabular.AddJSONL(c, r, source, opt)
+}
+
+// WriteCSV serializes descriptions as headered CSV; the column order
+// defaults to first-appearance attribute order (see TabularColumns).
+func WriteCSV(w io.Writer, descs []*Description, opt TabularOptions) error {
+	return tabular.WriteCSV(w, descs, opt)
+}
+
+// WriteJSONL serializes descriptions as JSON-lines, multi-valued
+// attributes as arrays.
+func WriteJSONL(w io.Writer, descs []*Description, opt TabularOptions) error {
+	return tabular.WriteJSONL(w, descs, opt)
+}
+
+// TabularColumns reports the distinct attribute names of descs in
+// first-appearance order — the derived CSV header.
+func TabularColumns(descs []*Description) []string {
+	return tabular.Columns(descs)
+}
+
+// WriteSourceMatches exports one source's view of a match set: one line
+// per matched description of that source — its URI, then the sorted URIs
+// of its partners — the per-source result export of a clean-clean
+// interlinking run.
+func WriteSourceMatches(w io.Writer, c *Collection, m *Matches, source int) error {
+	return entity.WriteSourceMatches(w, c, m, source)
 }

@@ -52,6 +52,13 @@ type Config struct {
 	Addrs []string
 	// Transport tunes the shard connections (timeouts, retry attempts).
 	Transport TransportOptions
+
+	// Sources are input files — N-Triples, CSV or JSON-lines — preloaded
+	// into the deployment before Open returns, in order, each tagged with
+	// its source index. On a durable deployment that already applied
+	// operations, already-loaded leading records are skipped rather than
+	// re-inserted (the sources are the operation-stream prefix).
+	Sources []Source
 }
 
 // sharded renders the config in the internal deployment form shared by the
@@ -210,13 +217,14 @@ func NewShardServer(dir string, cfg Config, index int) (*ShardServer, error) {
 // The returned Resolver is bit-exact across these forms for the same
 // operation stream; pick by operational need, not by semantics.
 func Open(ctx context.Context, cfg Config) (Resolver, error) {
+	var r Resolver
 	switch {
 	case len(cfg.Addrs) > 0:
 		co, err := transport.OpenCoordinator(ctx, cfg.Dir, cfg.sharded(), cfg.Addrs, cfg.Transport)
 		if err != nil {
 			return nil, err
 		}
-		return &networkedResolver{co: co}, nil
+		r = &networkedResolver{co: co}
 	case cfg.Shards > 1:
 		var sh *ShardedResolver
 		var err error
@@ -228,7 +236,7 @@ func Open(ctx context.Context, cfg Config) (Resolver, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &shardedAdapter{sh: sh}, nil
+		r = &shardedAdapter{sh: sh}
 	default:
 		icfg := incremental.Config{
 			Kind: cfg.Kind, Blocker: cfg.Blocker, Matcher: cfg.Matcher,
@@ -244,8 +252,15 @@ func Open(ctx context.Context, cfg Config) (Resolver, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &singleAdapter{sr: sr}, nil
+		r = &singleAdapter{sr: sr}
 	}
+	if len(cfg.Sources) > 0 {
+		if err := preloadSources(ctx, r, cfg.Sources); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
 }
 
 // queryBackend is the read surface the three adapters share. The

@@ -1,0 +1,212 @@
+package er
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"entityres/internal/entity"
+	"entityres/internal/rdf"
+	"entityres/internal/tabular"
+)
+
+// SourceFormat names a source file format for Source / Open preloading.
+type SourceFormat string
+
+const (
+	// FormatAuto infers the format from the file extension: .nt/.ntriples
+	// → RDF, .csv → CSV, .jsonl/.ndjson → JSON-lines.
+	FormatAuto SourceFormat = ""
+	// FormatRDF is N-Triples.
+	FormatRDF SourceFormat = "rdf"
+	// FormatCSV is headered (or Tabular.Columns-schema'd) CSV.
+	FormatCSV SourceFormat = "csv"
+	// FormatJSONL is JSON-lines, one record object per line.
+	FormatJSONL SourceFormat = "jsonl"
+)
+
+// Source declares one input file of a deployment: Open(cfg) preloads
+// every cfg.Sources entry — streaming, format-selected, source-tagged —
+// before returning the resolver, so RDF dumps, CSV exports and JSON-lines
+// feeds enter the same engine through one config surface.
+type Source struct {
+	// Path locates the file.
+	Path string
+	// Format selects the parser; FormatAuto infers it from the extension.
+	Format SourceFormat
+	// Index is the source index records are tagged with (0 or 1; the
+	// second KB of a clean-clean deployment uses 1).
+	Index int
+	// Tabular configures column mapping for CSV and JSON-lines sources
+	// (ID column, per-source renames, headerless schema, delimiter).
+	Tabular TabularOptions
+}
+
+// format resolves FormatAuto against the path's extension.
+func (s Source) format() (SourceFormat, error) {
+	if s.Format != FormatAuto {
+		switch s.Format {
+		case FormatRDF, FormatCSV, FormatJSONL:
+			return s.Format, nil
+		}
+		return "", fmt.Errorf("er: source %s: unknown format %q (want rdf, csv or jsonl)", s.Path, s.Format)
+	}
+	switch strings.ToLower(filepath.Ext(s.Path)) {
+	case ".nt", ".ntriples":
+		return FormatRDF, nil
+	case ".csv":
+		return FormatCSV, nil
+	case ".jsonl", ".ndjson":
+		return FormatJSONL, nil
+	}
+	return "", fmt.Errorf("er: source %s: cannot infer format from extension (set Format to rdf, csv or jsonl)", s.Path)
+}
+
+// open returns a streaming record reader for the source. The caller owns
+// closing the returned file.
+func (s Source) open() (io.Closer, tabular.Reader, error) {
+	format, err := s.format()
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("er: source: %w", err)
+	}
+	var rr tabular.Reader
+	switch format {
+	case FormatRDF:
+		rr = rdf.NewReader(f)
+	case FormatCSV:
+		cr, err := tabular.NewCSVReader(f, s.Tabular)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("er: source %s: %w", s.Path, err)
+		}
+		rr = cr
+	case FormatJSONL:
+		rr = tabular.NewJSONLReader(f, s.Tabular)
+	}
+	return f, rr, nil
+}
+
+// ReadSource streams one source file into a collection, tagging records
+// with the source's index — the batch-pipeline counterpart of the Open
+// preload. RDF subjects are grouped per consecutive run, exactly like the
+// streaming deployments ingest them.
+func ReadSource(c *Collection, src Source) error {
+	f, rr, err := src.open()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for {
+		d, err := rr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("er: source %s: %w", src.Path, err)
+		}
+		d.Source = src.Index
+		if _, err := c.Add(d); err != nil {
+			return fmt.Errorf("er: source %s: %w", src.Path, err)
+		}
+	}
+}
+
+// SourceRecords counts the records the given sources hold, by streaming
+// them. Ops-log consumers use it to translate a durable resolver's
+// applied-operation count into an ops-log resume position: the sources'
+// records are always the first operations applied.
+func SourceRecords(sources []Source) (int, error) {
+	total := 0
+	for _, src := range sources {
+		f, rr, err := src.open()
+		if err != nil {
+			return 0, err
+		}
+		for {
+			_, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return 0, fmt.Errorf("er: source %s: %w", src.Path, err)
+			}
+			total++
+		}
+		f.Close()
+	}
+	return total, nil
+}
+
+// preloadBatch bounds one ApplyBatch of source records: large enough to
+// amortize the per-batch journal append, small enough to keep preload
+// memory flat.
+const preloadBatch = 256
+
+// preloadSources streams cfg.Sources into a freshly opened resolver. A
+// durable deployment that already applied operations skips that many
+// leading records instead of re-inserting them: the sources are the
+// deployment's operation prefix, so `applied` past the end of the sources
+// means an ops log continued the stream and everything here is loaded.
+func preloadSources(ctx context.Context, r Resolver, sources []Source) error {
+	st, err := r.Stats()
+	if err != nil {
+		return err
+	}
+	skip := int(st.Inserts + st.Updates + st.Deletes)
+	idx := 0
+	batch := make([]StreamOp, 0, preloadBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := r.ApplyBatch(ctx, batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for _, src := range sources {
+		f, rr, err := src.open()
+		if err != nil {
+			return err
+		}
+		for {
+			d, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("er: source %s: %w", src.Path, err)
+			}
+			if idx < skip {
+				idx++
+				continue
+			}
+			idx++
+			batch = append(batch, StreamOp{
+				Kind: StreamInsert, URI: d.URI, Source: src.Index,
+				Attrs: append([]entity.Attribute(nil), d.Attrs...),
+			})
+			if len(batch) == preloadBatch {
+				if err := flush(); err != nil {
+					f.Close()
+					return fmt.Errorf("er: source %s: %w", src.Path, err)
+				}
+			}
+		}
+		f.Close()
+	}
+	if err := flush(); err != nil {
+		return fmt.Errorf("er: sources: %w", err)
+	}
+	return r.Flush(ctx)
+}

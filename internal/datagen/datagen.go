@@ -98,6 +98,13 @@ type Config struct {
 	ZipfS float64
 	// Domain selects the vocabulary profile (default People).
 	Domain Domain
+	// VocabScale multiplies the seed vocabulary pools (default 1, the
+	// historical pools verbatim). Million-record corpora need it: with a
+	// few dozen base words every description shares tokens with every
+	// other, so block sizes — and comparison counts — grow quadratically.
+	// Scaled entries carry letter-only suffixes ("paris" → "parisxb") so
+	// they still normalize to single tokens.
+	VocabScale int
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ZipfS <= 1 {
 		c.ZipfS = 1.2
+	}
+	if c.VocabScale <= 0 {
+		c.VocabScale = 1
 	}
 	return c
 }

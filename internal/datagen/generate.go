@@ -2,8 +2,6 @@ package datagen
 
 import (
 	"fmt"
-	"math/rand"
-	"strconv"
 
 	"entityres/internal/entity"
 )
@@ -12,54 +10,6 @@ import (
 type base struct {
 	uriLocal string
 	attrs    []entity.Attribute
-}
-
-// makeBases generates the distinct real-world entities of the configured
-// domain with Zipf-skewed vocabulary sampling.
-func makeBases(rng *rand.Rand, cfg Config) []base {
-	n := cfg.Entities
-	out := make([]base, 0, n)
-	switch cfg.Domain {
-	case Movies:
-		adj := newZipfPicker(rng, len(titleAdjectives), cfg.ZipfS)
-		noun := newZipfPicker(rng, len(titleNouns), cfg.ZipfS)
-		first := newZipfPicker(rng, len(firstNames), cfg.ZipfS)
-		last := newZipfPicker(rng, len(lastNames), cfg.ZipfS)
-		genre := newZipfPicker(rng, len(genres), cfg.ZipfS)
-		for i := 0; i < n; i++ {
-			title := "the " + titleAdjectives[adj.pick()] + " " + titleNouns[noun.pick()]
-			if rng.Intn(3) == 0 {
-				title += " " + titleNouns[noun.pick()]
-			}
-			out = append(out, base{
-				uriLocal: fmt.Sprintf("movie/%s_%d", sanitize(title), i),
-				attrs: []entity.Attribute{
-					{Name: "title", Value: title},
-					{Name: "director", Value: firstNames[first.pick()] + " " + lastNames[last.pick()]},
-					{Name: "year", Value: strconv.Itoa(1950 + rng.Intn(70))},
-					{Name: "genre", Value: genres[genre.pick()]},
-				},
-			})
-		}
-	default: // People
-		first := newZipfPicker(rng, len(firstNames), cfg.ZipfS)
-		last := newZipfPicker(rng, len(lastNames), cfg.ZipfS)
-		city := newZipfPicker(rng, len(cities), cfg.ZipfS)
-		occ := newZipfPicker(rng, len(occupations), cfg.ZipfS)
-		for i := 0; i < n; i++ {
-			name := firstNames[first.pick()] + " " + lastNames[last.pick()]
-			out = append(out, base{
-				uriLocal: fmt.Sprintf("person/%s_%d", sanitize(name), i),
-				attrs: []entity.Attribute{
-					{Name: "name", Value: name},
-					{Name: "city", Value: cities[city.pick()]},
-					{Name: "occupation", Value: occupations[occ.pick()]},
-					{Name: "born", Value: strconv.Itoa(1920 + rng.Intn(80))},
-				},
-			})
-		}
-	}
-	return out
 }
 
 func sanitize(s string) string {
@@ -76,81 +26,79 @@ func sanitize(s string) string {
 
 // GenerateDirty builds a single collection in which DupRatio of the
 // entities carry 1..MaxDuplicates corrupted duplicate descriptions, and
-// returns the collection with its transitively-closed ground truth.
+// returns the collection with its transitively-closed ground truth. It is
+// a materializing wrapper over StreamDirty — record order and contents are
+// identical; use the stream directly when the corpus must not fit in
+// memory.
 func GenerateDirty(cfg Config) (*entity.Collection, *entity.Matches, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Domain == Bibliographic {
-		return nil, nil, fmt.Errorf("datagen: use GenerateBibliographic for the bibliographic domain")
+	st, err := StreamDirty(cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	bases := makeBases(rng, cfg)
 	c := entity.NewCollection(entity.Dirty)
-	renames := attributeSynonyms[cfg.Domain]
 	var clusters [][]entity.ID
-	for i, b := range bases {
-		d := entity.NewDescription(fmt.Sprintf("http://kb0.example.org/%s", b.uriLocal))
-		d.Attrs = append(d.Attrs, b.attrs...)
-		id, err := c.Add(d)
-		if err != nil {
-			return nil, nil, err
-		}
-		cluster := []entity.ID{id}
-		if rng.Float64() < cfg.DupRatio {
-			copies := 1 + rng.Intn(cfg.MaxDuplicates)
-			for k := 0; k < copies; k++ {
-				dup := corruptCopy(rng, d, *cfg.Corruption, renames, cfg.SchemaNoise)
-				dup.URI = fmt.Sprintf("http://kb0.example.org/%s_dup%d_%d", b.uriLocal, k, i)
-				dupID, err := c.Add(dup)
-				if err != nil {
-					return nil, nil, err
-				}
-				cluster = append(cluster, dupID)
-			}
-		}
+	var cluster []entity.ID
+	flush := func() {
 		if len(cluster) > 1 {
 			clusters = append(clusters, cluster)
 		}
 	}
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		d := entity.NewDescription(rec.URI)
+		d.Attrs = rec.Attrs
+		id, err := c.Add(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rec.MatchOf == "" {
+			flush()
+			cluster = []entity.ID{id}
+		} else {
+			cluster = append(cluster, id)
+		}
+	}
+	flush()
 	return c, entity.FromClusters(clusters), nil
 }
 
 // GenerateCleanClean builds two KBs over the same universe: KB0 holds every
 // entity with canonical schema; KB1 holds DupRatio of them, corrupted and
 // (with probability SchemaNoise per attribute) renamed into its proprietary
-// vocabulary. The ground truth is the cross-KB pairs.
+// vocabulary. The ground truth is the cross-KB pairs. Like GenerateDirty,
+// this materializes StreamCleanClean.
 func GenerateCleanClean(cfg Config) (*entity.Collection, *entity.Matches, error) {
-	cfg = cfg.withDefaults()
-	if cfg.Domain == Bibliographic {
-		return nil, nil, fmt.Errorf("datagen: use GenerateBibliographic for the bibliographic domain")
+	st, err := StreamCleanClean(cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	bases := makeBases(rng, cfg)
 	c := entity.NewCollection(entity.CleanClean)
-	renames := attributeSynonyms[cfg.Domain]
 	gt := entity.NewMatches()
-	ids0 := make([]entity.ID, len(bases))
-	for i, b := range bases {
-		d := entity.NewDescription(fmt.Sprintf("http://kb0.example.org/%s", b.uriLocal))
-		d.Attrs = append(d.Attrs, b.attrs...)
+	kb0 := make(map[string]entity.ID)
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		d := entity.NewDescription(rec.URI)
+		d.Source = rec.Source
+		d.Attrs = rec.Attrs
 		id, err := c.Add(d)
 		if err != nil {
 			return nil, nil, err
 		}
-		ids0[i] = id
-	}
-	for i, b := range bases {
-		if rng.Float64() >= cfg.DupRatio {
+		if rec.MatchOf == "" {
+			kb0[rec.URI] = id
 			continue
 		}
-		src := c.Get(ids0[i])
-		dup := corruptCopy(rng, src, *cfg.Corruption, renames, cfg.SchemaNoise)
-		dup.Source = 1
-		dup.URI = fmt.Sprintf("http://kb1.example.org/%s", b.uriLocal)
-		id, err := c.Add(dup)
-		if err != nil {
-			return nil, nil, err
+		orig, ok := kb0[rec.MatchOf]
+		if !ok {
+			return nil, nil, fmt.Errorf("datagen: record %s matches unknown original %s", rec.URI, rec.MatchOf)
 		}
-		gt.Add(ids0[i], id)
+		gt.Add(orig, id)
 	}
 	return c, gt, nil
 }

@@ -1,0 +1,320 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"entityres/internal/entity"
+)
+
+// Record is one generated description, emitted by a Stream without ever
+// materializing the corpus: URI, source index, attribute values, and — for
+// duplicate copies — the URI of the KB0 original it matches, which is all
+// a consumer needs to reconstruct the ground truth on the fly.
+type Record struct {
+	URI     string
+	Source  int
+	Attrs   []entity.Attribute
+	MatchOf string
+}
+
+// Stream produces generated records one at a time in the exact order (and
+// with the exact contents) the materializing generators use, holding O(1)
+// generator state instead of the whole corpus. Million-record corpora
+// stream through it in flat memory.
+type Stream struct {
+	next func() (Record, bool)
+}
+
+// Next returns the next record, or ok=false once the corpus is exhausted.
+func (s *Stream) Next() (Record, bool) { return s.next() }
+
+// vocabSet is the (possibly scaled) vocabulary a generation run draws
+// from. All same-seed RNG phases of one stream share it.
+type vocabSet struct {
+	firstNames, lastNames, cities, occupations []string
+	titleAdjectives, titleNouns, genres        []string
+}
+
+// vocabSuffix renders k as a letter-only suffix ("", "xb", "xc", ...,
+// "xba", ...). Letters — never digits or punctuation — so a scaled word
+// still normalizes to a single token and keeps its blocking behavior.
+func vocabSuffix(k int) string {
+	if k == 0 {
+		return ""
+	}
+	var buf [8]byte
+	i := len(buf)
+	for k > 0 {
+		i--
+		buf[i] = byte('a' + k%26)
+		k /= 26
+	}
+	i--
+	buf[i] = 'x'
+	return string(buf[i:])
+}
+
+// scaleVocab multiplies a seed pool by scale, suffixing each replica round
+// so entries stay distinct. Scale 1 returns the pool itself: the Zipf
+// domain, permutation size and every downstream draw are bit-identical to
+// the unscaled generator.
+func scaleVocab(pool []string, scale int) []string {
+	if scale <= 1 {
+		return pool
+	}
+	out := make([]string, 0, len(pool)*scale)
+	for k := 0; k < scale; k++ {
+		suffix := vocabSuffix(k)
+		for _, w := range pool {
+			out = append(out, w+suffix)
+		}
+	}
+	return out
+}
+
+func newVocabSet(scale int) *vocabSet {
+	return &vocabSet{
+		firstNames:      scaleVocab(firstNames, scale),
+		lastNames:       scaleVocab(lastNames, scale),
+		cities:          scaleVocab(cities, scale),
+		occupations:     scaleVocab(occupations, scale),
+		titleAdjectives: scaleVocab(titleAdjectives, scale),
+		titleNouns:      scaleVocab(titleNouns, scale),
+		genres:          scaleVocab(genres, scale),
+	}
+}
+
+// baseGen lazily generates the distinct real-world entities of a domain,
+// one at a time, reproducing makeBases' RNG draw sequence exactly: picker
+// construction order, per-entity pick order, and the conditional extra
+// draw in the Movies domain. Several same-seed baseGens per stream let
+// separate phases walk the base sequence independently without storing it.
+type baseGen struct {
+	cfg   Config
+	vocab *vocabSet
+	rng   *rand.Rand
+	// People pickers.
+	first, last, city, occ *zipfPicker
+	// Movies pickers.
+	adj, noun, genre *zipfPicker
+}
+
+func newBaseGen(cfg Config, vocab *vocabSet) *baseGen {
+	g := &baseGen{cfg: cfg, vocab: vocab, rng: rand.New(rand.NewSource(cfg.Seed))}
+	switch cfg.Domain {
+	case Movies:
+		g.adj = newZipfPicker(g.rng, len(vocab.titleAdjectives), cfg.ZipfS)
+		g.noun = newZipfPicker(g.rng, len(vocab.titleNouns), cfg.ZipfS)
+		g.first = newZipfPicker(g.rng, len(vocab.firstNames), cfg.ZipfS)
+		g.last = newZipfPicker(g.rng, len(vocab.lastNames), cfg.ZipfS)
+		g.genre = newZipfPicker(g.rng, len(vocab.genres), cfg.ZipfS)
+	default: // People
+		g.first = newZipfPicker(g.rng, len(vocab.firstNames), cfg.ZipfS)
+		g.last = newZipfPicker(g.rng, len(vocab.lastNames), cfg.ZipfS)
+		g.city = newZipfPicker(g.rng, len(vocab.cities), cfg.ZipfS)
+		g.occ = newZipfPicker(g.rng, len(vocab.occupations), cfg.ZipfS)
+	}
+	return g
+}
+
+// gen produces base i. Callers must request indices sequentially from 0;
+// i only feeds the URI suffix, the draws are positional.
+func (g *baseGen) gen(i int) base {
+	switch g.cfg.Domain {
+	case Movies:
+		title := "the " + g.vocab.titleAdjectives[g.adj.pick()] + " " + g.vocab.titleNouns[g.noun.pick()]
+		if g.rng.Intn(3) == 0 {
+			title += " " + g.vocab.titleNouns[g.noun.pick()]
+		}
+		return base{
+			uriLocal: fmt.Sprintf("movie/%s_%d", sanitize(title), i),
+			attrs: []entity.Attribute{
+				{Name: "title", Value: title},
+				{Name: "director", Value: g.vocab.firstNames[g.first.pick()] + " " + g.vocab.lastNames[g.last.pick()]},
+				{Name: "year", Value: strconv.Itoa(1950 + g.rng.Intn(70))},
+				{Name: "genre", Value: g.vocab.genres[g.genre.pick()]},
+			},
+		}
+	default: // People
+		name := g.vocab.firstNames[g.first.pick()] + " " + g.vocab.lastNames[g.last.pick()]
+		return base{
+			uriLocal: fmt.Sprintf("person/%s_%d", sanitize(name), i),
+			attrs: []entity.Attribute{
+				{Name: "name", Value: name},
+				{Name: "city", Value: g.vocab.cities[g.city.pick()]},
+				{Name: "occupation", Value: g.vocab.occupations[g.occ.pick()]},
+				{Name: "born", Value: strconv.Itoa(1920 + g.rng.Intn(80))},
+			},
+		}
+	}
+}
+
+// skip consumes exactly one base's worth of draws without building
+// strings, used to fast-forward a same-seed RNG past the base phase.
+func (g *baseGen) skip() {
+	switch g.cfg.Domain {
+	case Movies:
+		g.adj.pick()
+		g.noun.pick()
+		if g.rng.Intn(3) == 0 {
+			g.noun.pick()
+		}
+		g.first.pick()
+		g.last.pick()
+		g.rng.Intn(70)
+		g.genre.pick()
+	default: // People
+		g.first.pick()
+		g.last.pick()
+		g.city.pick()
+		g.occ.pick()
+		g.rng.Intn(80)
+	}
+}
+
+// skipAll fast-forwards past all n bases and returns the positioned RNG.
+func skipBases(cfg Config, vocab *vocabSet) *rand.Rand {
+	g := newBaseGen(cfg, vocab)
+	for i := 0; i < cfg.Entities; i++ {
+		g.skip()
+	}
+	return g.rng
+}
+
+func streamableConfig(cfg Config) (Config, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Domain == Bibliographic {
+		return cfg, fmt.Errorf("datagen: use GenerateBibliographic for the bibliographic domain")
+	}
+	return cfg, nil
+}
+
+func baseDescription(b base) *entity.Description {
+	d := entity.NewDescription(fmt.Sprintf("http://kb0.example.org/%s", b.uriLocal))
+	d.Attrs = append(d.Attrs, b.attrs...)
+	return d
+}
+
+// StreamDirty streams the dirty corpus of cfg: each original immediately
+// followed by its corrupted duplicates (MatchOf naming the original), in
+// the exact record order and contents GenerateDirty materializes. Memory
+// stays flat in cfg.Entities.
+//
+// The draw-order trick: the historical generator made every base draw,
+// then every corruption draw, from one RNG. Here two same-seed RNGs split
+// the phases — one regenerates base i lazily at emission, the other is
+// fast-forwarded past the whole base phase at construction and serves the
+// corruption draws — so the merged sequence each phase sees is unchanged.
+func StreamDirty(cfg Config) (*Stream, error) {
+	cfg, err := streamableConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	vocab := newVocabSet(cfg.VocabScale)
+	bases := newBaseGen(cfg, vocab)
+	corruptRNG := skipBases(cfg, vocab)
+	renames := attributeSynonyms[cfg.Domain]
+
+	i := 0
+	var pending []Record
+	return &Stream{next: func() (Record, bool) {
+		if len(pending) > 0 {
+			rec := pending[0]
+			pending = pending[1:]
+			return rec, true
+		}
+		if i >= cfg.Entities {
+			return Record{}, false
+		}
+		b := bases.gen(i)
+		d := baseDescription(b)
+		if corruptRNG.Float64() < cfg.DupRatio {
+			copies := 1 + corruptRNG.Intn(cfg.MaxDuplicates)
+			pending = pending[:0]
+			for k := 0; k < copies; k++ {
+				dup := corruptCopy(corruptRNG, d, *cfg.Corruption, renames, cfg.SchemaNoise)
+				pending = append(pending, Record{
+					URI:     fmt.Sprintf("http://kb0.example.org/%s_dup%d_%d", b.uriLocal, k, i),
+					Attrs:   dup.Attrs,
+					MatchOf: d.URI,
+				})
+			}
+		}
+		i++
+		return Record{URI: d.URI, Attrs: d.Attrs}, true
+	}}, nil
+}
+
+// StreamCleanClean streams the clean-clean corpus of cfg: every KB0
+// description first, then the corrupted KB1 counterparts (MatchOf naming
+// the KB0 original), in the exact order and contents GenerateCleanClean
+// materializes. Two lazy base generators walk the base sequence once per
+// source, so nothing is retained between the passes.
+func StreamCleanClean(cfg Config) (*Stream, error) {
+	cfg, err := streamableConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	vocab := newVocabSet(cfg.VocabScale)
+	kb0Bases := newBaseGen(cfg, vocab)
+	kb1Bases := newBaseGen(cfg, vocab)
+	corruptRNG := skipBases(cfg, vocab)
+	renames := attributeSynonyms[cfg.Domain]
+
+	i0, i1 := 0, 0
+	return &Stream{next: func() (Record, bool) {
+		if i0 < cfg.Entities {
+			d := baseDescription(kb0Bases.gen(i0))
+			i0++
+			return Record{URI: d.URI, Attrs: d.Attrs}, true
+		}
+		for i1 < cfg.Entities {
+			dup := corruptRNG.Float64() < cfg.DupRatio
+			b := kb1Bases.gen(i1)
+			i1++
+			if !dup {
+				continue
+			}
+			d := baseDescription(b)
+			out := corruptCopy(corruptRNG, d, *cfg.Corruption, renames, cfg.SchemaNoise)
+			return Record{
+				URI:     fmt.Sprintf("http://kb1.example.org/%s", b.uriLocal),
+				Source:  1,
+				Attrs:   out.Attrs,
+				MatchOf: d.URI,
+			}, true
+		}
+		return Record{}, false
+	}}, nil
+}
+
+// StreamColumns returns the attribute names a streamed corpus of cfg can
+// carry, in canonical schema order — the column set for a CSV rendering.
+// With renamed set (duplicate copies present in the file and SchemaNoise
+// active), the proprietary synonyms follow the canonical names.
+func StreamColumns(cfg Config, renamed bool) ([]string, error) {
+	cfg, err := streamableConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var canonical []string
+	switch cfg.Domain {
+	case Movies:
+		canonical = []string{"title", "director", "year", "genre"}
+	default:
+		canonical = []string{"name", "city", "occupation", "born"}
+	}
+	if !renamed || cfg.SchemaNoise <= 0 {
+		return canonical, nil
+	}
+	renames := attributeSynonyms[cfg.Domain]
+	out := append([]string(nil), canonical...)
+	for _, name := range canonical {
+		if alt, ok := renames[name]; ok {
+			out = append(out, alt)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,305 @@
+package datagen
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+// drain materializes a stream for comparison purposes.
+func drain(t *testing.T, st *Stream) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, rec)
+	}
+}
+
+// TestStreamDirtyMatchesGenerate pins the contract everything downstream
+// (bench baselines, golden fixtures) depends on: the stream emits exactly
+// the records GenerateDirty materializes, in order, for several shapes.
+func TestStreamDirtyMatchesGenerate(t *testing.T) {
+	configs := []Config{
+		{Seed: 42, Entities: 200},
+		{Seed: 7, Entities: 150, Domain: Movies, MaxDuplicates: 3, DupRatio: 0.7},
+		{Seed: 12345, Entities: 150, DupRatio: 0.6, MaxDuplicates: 2},
+	}
+	for _, cfg := range configs {
+		c, gt, err := GenerateDirty(cfg)
+		if err != nil {
+			t.Fatalf("GenerateDirty: %v", err)
+		}
+		st, err := StreamDirty(cfg)
+		if err != nil {
+			t.Fatalf("StreamDirty: %v", err)
+		}
+		recs := drain(t, st)
+		if len(recs) != c.Len() {
+			t.Fatalf("cfg %+v: stream emitted %d records, collection has %d", cfg, len(recs), c.Len())
+		}
+		truthPairs := 0
+		for i, rec := range recs {
+			d := c.Get(entity.ID(i))
+			if rec.URI != d.URI || rec.Source != d.Source || !reflect.DeepEqual(rec.Attrs, d.Attrs) {
+				t.Fatalf("cfg %+v: record %d diverges:\nstream:   %s %v\ngenerate: %s %v", cfg, i, rec.URI, rec.Attrs, d.URI, d.Attrs)
+			}
+			if rec.MatchOf != "" {
+				truthPairs++
+			}
+		}
+		// Every duplicate names its original; the transitive closure can
+		// only add pairs within a cluster, never drop the dup→orig edges.
+		if truthPairs == 0 || gt.Len() < truthPairs {
+			t.Fatalf("cfg %+v: %d MatchOf records vs %d truth pairs", cfg, truthPairs, gt.Len())
+		}
+	}
+}
+
+func TestStreamCleanCleanMatchesGenerate(t *testing.T) {
+	configs := []Config{
+		{Seed: 42, Entities: 200},
+		{Seed: 9, Entities: 150, Domain: Movies, DupRatio: 0.8},
+	}
+	for _, cfg := range configs {
+		c, gt, err := GenerateCleanClean(cfg)
+		if err != nil {
+			t.Fatalf("GenerateCleanClean: %v", err)
+		}
+		st, err := StreamCleanClean(cfg)
+		if err != nil {
+			t.Fatalf("StreamCleanClean: %v", err)
+		}
+		recs := drain(t, st)
+		if len(recs) != c.Len() {
+			t.Fatalf("cfg %+v: stream emitted %d records, collection has %d", cfg, len(recs), c.Len())
+		}
+		matchOf := 0
+		for i, rec := range recs {
+			d := c.Get(entity.ID(i))
+			if rec.URI != d.URI || rec.Source != d.Source || !reflect.DeepEqual(rec.Attrs, d.Attrs) {
+				t.Fatalf("cfg %+v: record %d diverges:\nstream:   %s src%d %v\ngenerate: %s src%d %v",
+					cfg, i, rec.URI, rec.Source, rec.Attrs, d.URI, d.Source, d.Attrs)
+			}
+			if rec.MatchOf != "" {
+				matchOf++
+			}
+		}
+		if matchOf != gt.Len() {
+			t.Fatalf("cfg %+v: %d MatchOf records vs %d truth pairs", cfg, matchOf, gt.Len())
+		}
+	}
+}
+
+func TestStreamRejectsBibliographic(t *testing.T) {
+	if _, err := StreamDirty(Config{Domain: Bibliographic}); err == nil {
+		t.Fatal("StreamDirty accepted the bibliographic domain")
+	}
+	if _, err := StreamCleanClean(Config{Domain: Bibliographic}); err == nil {
+		t.Fatal("StreamCleanClean accepted the bibliographic domain")
+	}
+	if _, err := StreamColumns(Config{Domain: Bibliographic}, false); err == nil {
+		t.Fatal("StreamColumns accepted the bibliographic domain")
+	}
+}
+
+func TestVocabSuffix(t *testing.T) {
+	cases := map[int]string{0: "", 1: "xb", 2: "xc", 25: "xz", 26: "xba", 27: "xbb", 702: "xbba"}
+	for k, want := range cases {
+		if got := vocabSuffix(k); got != want {
+			t.Errorf("vocabSuffix(%d) = %q, want %q", k, got, want)
+		}
+	}
+	for k := 0; k < 1000; k++ {
+		for _, r := range vocabSuffix(k) {
+			if r < 'a' || r > 'z' {
+				t.Fatalf("vocabSuffix(%d) = %q contains non-letter %q", k, vocabSuffix(k), r)
+			}
+		}
+	}
+}
+
+func TestScaleVocab(t *testing.T) {
+	pool := []string{"paris", "london"}
+	if got := scaleVocab(pool, 1); &got[0] != &pool[0] {
+		t.Fatal("scale 1 must return the pool itself so unscaled draws stay bit-identical")
+	}
+	got := scaleVocab(pool, 3)
+	want := []string{"paris", "london", "parisxb", "londonxb", "parisxc", "londonxc"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scaleVocab = %v, want %v", got, want)
+	}
+	seen := map[string]bool{}
+	for _, w := range scaleVocab(firstNames, 50) {
+		if seen[w] {
+			t.Fatalf("scaled vocab has duplicate %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+// TestVocabScaleOneIsIdentical proves VocabScale's default changes
+// nothing: the committed bench baselines and golden fixtures all pin
+// unscaled corpora.
+func TestVocabScaleOneIsIdentical(t *testing.T) {
+	base := Config{Seed: 42, Entities: 120}
+	scaled := base
+	scaled.VocabScale = 1
+	a, _, err := GenerateDirty(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := GenerateDirty(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		da, db := a.Get(entity.ID(i)), b.Get(entity.ID(i))
+		if da.URI != db.URI || !reflect.DeepEqual(da.Attrs, db.Attrs) {
+			t.Fatalf("record %d differs with explicit VocabScale 1", i)
+		}
+	}
+}
+
+// TestVocabScaleSpreadsTokens checks the point of scaling: a larger
+// vocabulary spreads values, so the biggest name-token block shrinks.
+func TestVocabScaleSpreadsTokens(t *testing.T) {
+	count := func(scale int) int {
+		cfg := Config{Seed: 42, Entities: 500, VocabScale: scale}
+		st, err := StreamDirty(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freq := map[string]int{}
+		max := 0
+		for {
+			rec, ok := st.Next()
+			if !ok {
+				return max
+			}
+			for _, a := range rec.Attrs {
+				for _, tok := range strings.Fields(a.Value) {
+					freq[tok]++
+					if freq[tok] > max {
+						max = freq[tok]
+					}
+				}
+			}
+		}
+	}
+	unscaled, scaled := count(1), count(8)
+	if scaled >= unscaled {
+		t.Fatalf("max token frequency did not shrink: scale 1 = %d, scale 8 = %d", unscaled, scaled)
+	}
+}
+
+func TestStreamColumns(t *testing.T) {
+	cols, err := StreamColumns(Config{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cols, []string{"name", "city", "occupation", "born"}) {
+		t.Fatalf("people canonical = %v", cols)
+	}
+	cols, err = StreamColumns(Config{Domain: Movies}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"title", "director", "year", "genre", "label", "directedBy", "releaseDate", "category"}
+	if !reflect.DeepEqual(cols, want) {
+		t.Fatalf("movies renamed = %v, want %v", cols, want)
+	}
+	cols, err = StreamColumns(Config{SchemaNoise: -1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 4 {
+		t.Fatalf("SchemaNoise 0 should not add synonym columns: %v", cols)
+	}
+	// Every attribute a stream emits must be coverable by its column set.
+	cfg := Config{Seed: 3, Entities: 300, Domain: Movies}
+	allowed := map[string]bool{}
+	cols, err = StreamColumns(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cols {
+		allowed[c] = true
+	}
+	st, err := StreamDirty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		for _, a := range rec.Attrs {
+			if !allowed[a.Name] {
+				t.Fatalf("stream emitted attribute %q outside StreamColumns %v", a.Name, cols)
+			}
+		}
+	}
+}
+
+// peakLiveHeap drains the stream while sampling the live heap, returning
+// the maximum observed. GC runs between samples so the figure tracks
+// retained memory, not allocation rate.
+func peakLiveHeap(t *testing.T, cfg Config) uint64 {
+	t.Helper()
+	st, err := StreamDirty(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms runtime.MemStats
+	var peak uint64
+	n := 0
+	for {
+		_, ok := st.Next()
+		if !ok {
+			break
+		}
+		n++
+		if n%2048 == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peak {
+		peak = ms.HeapAlloc
+	}
+	return peak
+}
+
+// TestStreamDirtyFlatMemory is the regression test for the historical
+// generator, which materialized every base up front: a 20x larger corpus
+// must not grow the stream's live heap. (At 100k entities the old
+// makeBases slice alone retained tens of megabytes; the 4MB margin is
+// noise headroom, not a budget.)
+func TestStreamDirtyFlatMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory profile pass is not -short material")
+	}
+	small := peakLiveHeap(t, Config{Seed: 42, Entities: 5_000})
+	big := peakLiveHeap(t, Config{Seed: 42, Entities: 100_000})
+	const margin = 4 << 20
+	if big > small+margin {
+		t.Fatalf("live heap grew with corpus size: 5k entities peaked at %d bytes, 100k at %d (margin %d)",
+			small, big, margin)
+	}
+}

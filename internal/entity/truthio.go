@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -59,6 +60,34 @@ func WriteURIMatches(w io.Writer, c *Collection, m *Matches) error {
 		ua, ub := uriOf(c, p.A), uriOf(c, p.B)
 		if _, err := fmt.Fprintf(bw, "%s\t%s\n", ua, ub); err != nil {
 			return fmt.Errorf("entity: truth write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSourceMatches serializes one source's view of a match set — the
+// per-source export of a clean-clean interlinking run. Every description
+// of the given source with at least one match produces one line, in ID
+// order: its URI, a tab, and the comma-joined sorted URIs of its partners
+// from the other source(s). Dedup consumers join on the first column;
+// cross-checking the two sources' exports reconstructs the pair set.
+func WriteSourceMatches(w io.Writer, c *Collection, m *Matches, source int) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range c.All() {
+		if d.Source != source {
+			continue
+		}
+		partners := m.Of(d.ID)
+		if len(partners) == 0 {
+			continue
+		}
+		uris := make([]string, 0, len(partners))
+		for _, p := range partners {
+			uris = append(uris, uriOf(c, p))
+		}
+		sort.Strings(uris)
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", uriOf(c, d.ID), strings.Join(uris, ",")); err != nil {
+			return fmt.Errorf("entity: source match write: %w", err)
 		}
 	}
 	return bw.Flush()

@@ -78,3 +78,46 @@ func TestWriteURIMatchesSyntheticURI(t *testing.T) {
 		t.Fatalf("synthetic URI missing: %s", buf.String())
 	}
 }
+
+func TestWriteSourceMatches(t *testing.T) {
+	c := NewCollection(CleanClean)
+	a := MustID(t, c, NewDescription("http://kb0/a"))
+	b := MustID(t, c, NewDescription("http://kb0/b"))
+	MustID(t, c, NewDescription("http://kb0/lonely"))
+	x := NewDescription("http://kb1/x")
+	x.Source = 1
+	y := NewDescription("http://kb1/y")
+	y.Source = 1
+	xid := MustID(t, c, x)
+	yid := MustID(t, c, y)
+	m := NewMatches()
+	m.Add(a, xid)
+	m.Add(a, yid)
+	m.Add(b, xid)
+
+	var buf bytes.Buffer
+	if err := WriteSourceMatches(&buf, c, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	want0 := "http://kb0/a\thttp://kb1/x,http://kb1/y\nhttp://kb0/b\thttp://kb1/x\n"
+	if buf.String() != want0 {
+		t.Fatalf("source 0 export:\n%q\nwant:\n%q", buf.String(), want0)
+	}
+	buf.Reset()
+	if err := WriteSourceMatches(&buf, c, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	want1 := "http://kb1/x\thttp://kb0/a,http://kb0/b\nhttp://kb1/y\thttp://kb0/a\n"
+	if buf.String() != want1 {
+		t.Fatalf("source 1 export:\n%q\nwant:\n%q", buf.String(), want1)
+	}
+}
+
+func MustID(t *testing.T, c *Collection, d *Description) ID {
+	t.Helper()
+	id, err := c.Add(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}

@@ -48,29 +48,39 @@ func AddToCollection(c *entity.Collection, r io.Reader, source int) error {
 // escaped literals.
 func WriteCollection(w io.Writer, c *entity.Collection) error {
 	for _, d := range c.All() {
-		subj := d.URI
-		if subj == "" {
-			subj = fmt.Sprintf("urn:entityres:%d", d.ID)
+		if err := WriteDescription(w, d); err != nil {
+			return err
 		}
-		// Deterministic attribute order: document order is preserved as
-		// inserted; sort a copy by (name, value) for stable output.
-		attrs := append([]entity.Attribute(nil), d.Attrs...)
-		sort.Slice(attrs, func(i, j int) bool {
-			if attrs[i].Name != attrs[j].Name {
-				return attrs[i].Name < attrs[j].Name
-			}
-			return attrs[i].Value < attrs[j].Value
-		})
-		for _, a := range attrs {
-			var obj string
-			if looksLikeIRI(a.Value) {
-				obj = "<" + a.Value + ">"
-			} else {
-				obj = `"` + EscapeLiteral(a.Value) + `"`
-			}
-			if _, err := fmt.Fprintf(w, "<%s> <urn:entityres:attr/%s> %s .\n", subj, a.Name, obj); err != nil {
-				return fmt.Errorf("rdf: write: %w", err)
-			}
+	}
+	return nil
+}
+
+// WriteDescription serializes one description as N-Triples, using the
+// same subject, predicate and object conventions as WriteCollection —
+// streaming exporters call it record by record.
+func WriteDescription(w io.Writer, d *entity.Description) error {
+	subj := d.URI
+	if subj == "" {
+		subj = fmt.Sprintf("urn:entityres:%d", d.ID)
+	}
+	// Deterministic attribute order: document order is preserved as
+	// inserted; sort a copy by (name, value) for stable output.
+	attrs := append([]entity.Attribute(nil), d.Attrs...)
+	sort.Slice(attrs, func(i, j int) bool {
+		if attrs[i].Name != attrs[j].Name {
+			return attrs[i].Name < attrs[j].Name
+		}
+		return attrs[i].Value < attrs[j].Value
+	})
+	for _, a := range attrs {
+		var obj string
+		if looksLikeIRI(a.Value) {
+			obj = "<" + a.Value + ">"
+		} else {
+			obj = `"` + EscapeLiteral(a.Value) + `"`
+		}
+		if _, err := fmt.Fprintf(w, "<%s> <urn:entityres:attr/%s> %s .\n", subj, a.Name, obj); err != nil {
+			return fmt.Errorf("rdf: write: %w", err)
 		}
 	}
 	return nil

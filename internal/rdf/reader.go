@@ -1,0 +1,71 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"entityres/internal/entity"
+)
+
+// Reader streams descriptions out of an N-Triples document without
+// materializing the triple list: consecutive triples sharing a subject
+// are grouped into one description, so a document written subject-by-
+// subject (as WriteCollection and every exporter in this module emit)
+// reads back in bounded memory. A subject that reappears after an
+// intervening subject starts a fresh description — the streaming trade-off
+// against AddToCollection, which merges across the whole document.
+type Reader struct {
+	sc      *bufio.Scanner
+	lineNo  int
+	current *entity.Description
+	done    bool
+}
+
+// NewReader prepares a streaming N-Triples reader over r, with the same
+// line-length ceiling, comment handling and strictness as Parse.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next subject's description, or io.EOF at end of input.
+// Predicate local names become attribute names and values keep document
+// order, exactly as AddToCollection maps them.
+func (r *Reader) Next() (*entity.Description, error) {
+	if r.done {
+		if d := r.current; d != nil {
+			r.current = nil
+			return d, nil
+		}
+		return nil, io.EOF
+	}
+	for r.sc.Scan() {
+		r.lineNo++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", r.lineNo, err)
+		}
+		if r.current != nil && r.current.URI == t.Subject {
+			r.current.Add(LocalName(t.Predicate), t.Object)
+			continue
+		}
+		prev := r.current
+		r.current = entity.NewDescription(t.Subject)
+		r.current.Add(LocalName(t.Predicate), t.Object)
+		if prev != nil {
+			return prev, nil
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: %w", err)
+	}
+	r.done = true
+	return r.Next()
+}

@@ -1,0 +1,101 @@
+package rdf
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func drainReader(t *testing.T, r *Reader) []*entity.Description {
+	t.Helper()
+	var out []*entity.Description
+	for {
+		d, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, d)
+	}
+}
+
+func TestReaderGroupsConsecutiveSubjects(t *testing.T) {
+	doc := `# header comment
+<http://x/a> <urn:entityres:attr/name> "Alice" .
+<http://x/a> <urn:entityres:attr/city> "Paris" .
+
+<http://x/b> <urn:entityres:attr/name> "Bob" .
+`
+	descs := drainReader(t, NewReader(strings.NewReader(doc)))
+	if len(descs) != 2 {
+		t.Fatalf("got %d descriptions, want 2", len(descs))
+	}
+	if descs[0].URI != "http://x/a" || len(descs[0].Attrs) != 2 {
+		t.Fatalf("first description: %+v", descs[0])
+	}
+	if descs[0].Attrs[0].Name != "name" || descs[0].Attrs[1].Value != "Paris" {
+		t.Fatalf("attribute mapping: %+v", descs[0].Attrs)
+	}
+	if descs[1].URI != "http://x/b" {
+		t.Fatalf("second description: %+v", descs[1])
+	}
+}
+
+// TestReaderMatchesAddToCollection pins streaming/batch parity on
+// subject-grouped documents — the shape every writer in this module
+// produces.
+func TestReaderMatchesAddToCollection(t *testing.T) {
+	doc := `<http://x/a> <urn:entityres:attr/name> "Alice" .
+<http://x/a> <urn:entityres:attr/knows> <http://x/b> .
+<http://x/b> <urn:entityres:attr/name> "Bob" .
+<http://x/c> <urn:entityres:attr/name> "Cara" .
+`
+	c := entity.NewCollection(entity.Dirty)
+	if err := AddToCollection(c, strings.NewReader(doc), 0); err != nil {
+		t.Fatal(err)
+	}
+	descs := drainReader(t, NewReader(strings.NewReader(doc)))
+	if len(descs) != c.Len() {
+		t.Fatalf("streamed %d descriptions, batch added %d", len(descs), c.Len())
+	}
+	for i, d := range descs {
+		want := c.Get(entity.ID(i))
+		if d.URI != want.URI || !reflect.DeepEqual(d.Attrs, want.Attrs) {
+			t.Fatalf("description %d diverges:\nstream: %s %v\nbatch:  %s %v", i, d.URI, d.Attrs, want.URI, want.Attrs)
+		}
+	}
+}
+
+func TestReaderReappearingSubjectSplits(t *testing.T) {
+	doc := `<http://x/a> <urn:p> "1" .
+<http://x/b> <urn:p> "2" .
+<http://x/a> <urn:p> "3" .
+`
+	descs := drainReader(t, NewReader(strings.NewReader(doc)))
+	if len(descs) != 3 {
+		t.Fatalf("non-consecutive subject must start a new description, got %d", len(descs))
+	}
+}
+
+func TestReaderErrorsCarryLineNumbers(t *testing.T) {
+	doc := "<http://x/a> <urn:p> \"ok\" .\nnot a triple\n"
+	r := NewReader(strings.NewReader(doc))
+	var err error
+	for err == nil {
+		_, err = r.Next()
+	}
+	if err == io.EOF || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error = %v, want line 2 position", err)
+	}
+}
+
+func TestReaderEmptyDocument(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("\n# only comments\n")).Next(); err != io.EOF {
+		t.Fatalf("empty document: err = %v, want io.EOF", err)
+	}
+}

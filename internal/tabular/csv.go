@@ -1,0 +1,199 @@
+package tabular
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"unicode/utf8"
+
+	"entityres/internal/entity"
+)
+
+// CSVReader streams entity descriptions out of a CSV document: one row,
+// one description. The header row (or Options.Columns for headerless
+// files) names the attributes; the ID column supplies the URI; empty
+// cells are skipped so sparse rows stay schema-agnostic.
+type CSVReader struct {
+	r     *csv.Reader
+	opt   Options
+	cols  []string // attribute name per column; "" for the ID column
+	idIdx int
+}
+
+// NewCSVReader prepares a streaming CSV reader over r. The header is read
+// (and validated) immediately so schema errors surface before the first
+// Next call. Ragged rows, bare quotes and other structural defects are
+// rejected by the underlying encoding/csv parser with line positions;
+// this layer adds UTF-8 strictness and the ID-column contract.
+func NewCSVReader(r io.Reader, opt Options) (*CSVReader, error) {
+	opt = opt.withDefaults()
+	cr := csv.NewReader(stripBOM(r))
+	cr.Comma = opt.Comma
+	cr.ReuseRecord = true
+
+	header := opt.Columns
+	if header == nil {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil, fmt.Errorf("tabular: csv: missing header row")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tabular: %w", err)
+		}
+		header = append([]string(nil), rec...)
+	}
+
+	idIdx := -1
+	seen := make(map[string]int, len(header))
+	cols := make([]string, len(header))
+	for i, name := range header {
+		if !utf8.ValidString(name) {
+			return nil, fmt.Errorf("tabular: csv: header column %d is not valid UTF-8", i+1)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("tabular: csv: header column %d is empty", i+1)
+		}
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("tabular: csv: duplicate header column %q (columns %d and %d)", name, prev+1, i+1)
+		}
+		seen[name] = i
+		if name == opt.IDColumn {
+			idIdx = i
+			continue
+		}
+		cols[i] = opt.attrName(name)
+	}
+	if idIdx < 0 {
+		return nil, fmt.Errorf("tabular: csv: header has no %q column", opt.IDColumn)
+	}
+	return &CSVReader{r: cr, opt: opt, cols: cols, idIdx: idIdx}, nil
+}
+
+// Next returns the next row as a description, or io.EOF at end of input.
+func (c *CSVReader) Next() (*entity.Description, error) {
+	rec, err := c.r.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tabular: %w", err)
+	}
+	if len(rec) != len(c.cols) {
+		// encoding/csv enforces this via FieldsPerRecord, but Options.Columns
+		// may disagree with the first data row's width.
+		line, _ := c.r.FieldPos(0)
+		return nil, fmt.Errorf("tabular: csv: line %d: row has %d fields, schema has %d columns", line, len(rec), len(c.cols))
+	}
+	for i, f := range rec {
+		if !utf8.ValidString(f) {
+			line, col := c.r.FieldPos(i)
+			return nil, fmt.Errorf("tabular: csv: line %d, column %d: field is not valid UTF-8", line, col)
+		}
+	}
+	if rec[c.idIdx] == "" {
+		line, _ := c.r.FieldPos(c.idIdx)
+		return nil, fmt.Errorf("tabular: csv: line %d: empty value in ID column %q", line, c.opt.IDColumn)
+	}
+	d := entity.NewDescription(rec[c.idIdx])
+	for i, f := range rec {
+		if i == c.idIdx || f == "" {
+			continue
+		}
+		d.Add(c.cols[i], f)
+	}
+	return d, nil
+}
+
+// CSVWriter streams entity descriptions into CSV, the inverse of
+// CSVReader: the ID column carries each description's URI and the given
+// columns fix the attribute order. Multi-valued attributes do not fit a
+// cell and are an error — use JSON-lines for those records.
+type CSVWriter struct {
+	w       *csv.Writer
+	columns []string
+	row     []string
+	idx     map[string]int
+}
+
+// NewCSVWriter writes the header row [IDColumn, columns...] immediately
+// and returns a writer whose Write emits one row per description. Call
+// Flush once all records are written.
+func NewCSVWriter(w io.Writer, columns []string, opt Options) (*CSVWriter, error) {
+	opt = opt.withDefaults()
+	cw := csv.NewWriter(w)
+	cw.Comma = opt.Comma
+	header := append([]string{opt.IDColumn}, columns...)
+	if err := cw.Write(header); err != nil {
+		return nil, fmt.Errorf("tabular: %w", err)
+	}
+	idx := make(map[string]int, len(columns))
+	for i, name := range columns {
+		if _, dup := idx[name]; dup {
+			return nil, fmt.Errorf("tabular: csv: duplicate output column %q", name)
+		}
+		if name == opt.IDColumn {
+			return nil, fmt.Errorf("tabular: csv: output column %q collides with the ID column", name)
+		}
+		idx[name] = i + 1
+	}
+	return &CSVWriter{w: cw, columns: columns, row: make([]string, len(header)), idx: idx}, nil
+}
+
+// Write emits one row for d. Attributes outside the declared columns, and
+// attributes appearing more than once, are errors: CSV cannot represent
+// them without inventing a quoting convention the reader would not undo.
+func (c *CSVWriter) Write(d *entity.Description) error {
+	for i := range c.row {
+		c.row[i] = ""
+	}
+	c.row[0] = d.URI
+	if c.row[0] == "" {
+		return fmt.Errorf("tabular: csv: description %d has no URI for the ID column", d.ID)
+	}
+	for _, a := range d.Attrs {
+		i, ok := c.idx[a.Name]
+		if !ok {
+			return fmt.Errorf("tabular: csv: attribute %q of %s is not a declared column", a.Name, d.URI)
+		}
+		if c.row[i] != "" {
+			return fmt.Errorf("tabular: csv: attribute %q of %s is multi-valued; CSV cells hold one value (use jsonl)", a.Name, d.URI)
+		}
+		if a.Value == "" {
+			return fmt.Errorf("tabular: csv: attribute %q of %s has an empty value, indistinguishable from an absent cell", a.Name, d.URI)
+		}
+		c.row[i] = a.Value
+	}
+	if err := c.w.Write(c.row); err != nil {
+		return fmt.Errorf("tabular: %w", err)
+	}
+	return nil
+}
+
+// Flush drains buffered rows to the underlying writer.
+func (c *CSVWriter) Flush() error {
+	c.w.Flush()
+	if err := c.w.Error(); err != nil {
+		return fmt.Errorf("tabular: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV writes descs as a headered CSV document. With opt.Columns
+// unset the column order is the first-appearance attribute order across
+// descs (see Columns).
+func WriteCSV(w io.Writer, descs []*entity.Description, opt Options) error {
+	columns := opt.Columns
+	if columns == nil {
+		columns = Columns(descs)
+	}
+	cw, err := NewCSVWriter(w, columns, opt)
+	if err != nil {
+		return err
+	}
+	for _, d := range descs {
+		if err := cw.Write(d); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
+}

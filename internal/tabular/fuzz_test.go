@@ -1,0 +1,144 @@
+package tabular
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+// parseCSVAll parses a whole CSV document, returning the records or the
+// first error.
+func parseCSVAll(data []byte, opt Options) ([]*entity.Description, error) {
+	cr, err := NewCSVReader(bytes.NewReader(data), opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []*entity.Description
+	for {
+		d, err := cr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+}
+
+func parseJSONLAll(data []byte, opt Options) ([]*entity.Description, error) {
+	jr := NewJSONLReader(bytes.NewReader(data), opt)
+	var out []*entity.Description
+	for {
+		d, err := jr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+}
+
+// stabilize runs one more write∘parse round and demands a fixed point:
+// parse(out) must succeed with the same record count and re-serialize to
+// the identical bytes. One round is allowed to normalize (the CSV reader
+// folds quoted \r\n to \n; the JSONL writer groups duplicate keys into
+// arrays), but the normal form must be stable or data is being corrupted.
+func stabilize(t *testing.T, format string, out []byte, n int,
+	parse func([]byte) ([]*entity.Description, error),
+	write func([]*entity.Description) ([]byte, error)) ([]byte, int) {
+	t.Helper()
+	recs, err := parse(out)
+	if err != nil {
+		t.Fatalf("%s: re-parsing our own output failed: %v\noutput: %q", format, err, out)
+	}
+	if len(recs) != n {
+		t.Fatalf("%s: record count changed on re-parse: %d -> %d\noutput: %q", format, n, len(recs), out)
+	}
+	out2, err := write(recs)
+	if err != nil {
+		t.Fatalf("%s: re-serializing parsed output failed: %v", format, err)
+	}
+	return out2, len(recs)
+}
+
+func fuzzRoundTrip(t *testing.T, format string, data []byte,
+	parse func([]byte) ([]*entity.Description, error),
+	write func([]*entity.Description) ([]byte, error)) {
+	t.Helper()
+	recs, err := parse(data)
+	if err != nil {
+		return // malformed input rejected with an error: fine
+	}
+	out1, err := write(recs)
+	if err != nil {
+		// The only writer rejections are shapes a reader cannot emit
+		// (multi-valued CSV attrs, empty values, ID collisions).
+		t.Fatalf("%s: serializing freshly parsed records failed: %v", format, err)
+	}
+	out2, n := stabilize(t, format, out1, len(recs), parse, write)
+	out3, _ := stabilize(t, format, out2, n, parse, write)
+	if !bytes.Equal(out3, out2) {
+		t.Fatalf("%s: serialization is not a fixed point:\nfirst:  %q\nsecond: %q", format, out2, out3)
+	}
+}
+
+// FuzzCSVRecords feeds arbitrary bytes to the CSV record parser: it must
+// either reject them with a positioned error or produce records whose
+// serialization reaches a byte-stable fixed point. BOMs, ragged rows,
+// bare quotes and invalid UTF-8 are in the seed corpus.
+func FuzzCSVRecords(f *testing.F) {
+	f.Add([]byte("id,name,city\nu1,Alice,Paris\nu2,Bob,\n"))
+	f.Add([]byte("\xEF\xBB\xBFid,name\nu1,\"Al\"\"ice\"\n"))
+	f.Add([]byte("id,name\nu1,\"line\nbreak\"\n"))
+	f.Add([]byte("id,name\nu1,\"cr\r\nlf\"\n"))
+	f.Add([]byte("id,name\nu1,Alice,extra\n"))
+	f.Add([]byte("id,name\nu1,\"bare\n"))
+	f.Add([]byte("id,name\n,Alice\n"))
+	f.Add([]byte("id,na\xffme\nu1,x\n"))
+	f.Add([]byte("name,city\nAlice,Paris\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, "csv", data,
+			func(b []byte) ([]*entity.Description, error) { return parseCSVAll(b, Options{}) },
+			func(recs []*entity.Description) ([]byte, error) {
+				var buf bytes.Buffer
+				if err := WriteCSV(&buf, recs, Options{}); err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			})
+	})
+}
+
+// FuzzJSONLRecords is the JSON-lines counterpart: arbitrary bytes either
+// error with a line position or parse to records whose serialization is a
+// byte-stable fixed point. Duplicate keys, nested objects, truncated
+// objects, trailing garbage and invalid UTF-8 are in the seed corpus.
+func FuzzJSONLRecords(f *testing.F) {
+	f.Add([]byte(`{"id":"u1","name":"Alice","city":"Paris"}` + "\n"))
+	f.Add([]byte(`{"id":"u2","born":1912,"active":true,"gone":null}` + "\n"))
+	f.Add([]byte(`{"id":"u3","author":["A","B"],"author":"C"}` + "\n"))
+	f.Add([]byte(`{"id":"u4","name":{"nested":1}}` + "\n"))
+	f.Add([]byte(`{"id":"u5"} trailing` + "\n"))
+	f.Add([]byte(`{"id":"u6"`))
+	f.Add([]byte("{\"id\":\"u\xff7\"}\n"))
+	f.Add([]byte(`{"name":"no id"}` + "\n"))
+	f.Add([]byte("\xEF\xBB\xBF" + `{"id":"u8"}` + "\n\n" + `{"id":"u9","x":"é"}` + "\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, "jsonl", data,
+			func(b []byte) ([]*entity.Description, error) { return parseJSONLAll(b, Options{}) },
+			func(recs []*entity.Description) ([]byte, error) {
+				var buf bytes.Buffer
+				if err := WriteJSONL(&buf, recs, Options{}); err != nil {
+					return nil, err
+				}
+				return buf.Bytes(), nil
+			})
+	})
+}

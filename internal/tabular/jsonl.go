@@ -1,0 +1,275 @@
+package tabular
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+
+	"entityres/internal/entity"
+)
+
+// maxJSONLLine bounds a single JSON-lines record, mirroring the RDF
+// parser's 16MB line ceiling.
+const maxJSONLLine = 16 * 1024 * 1024
+
+// JSONLReader streams entity descriptions out of a JSON-lines document:
+// one object per line, one description per object. Keys become attribute
+// names in document order; values may be strings, numbers, booleans
+// (rendered "true"/"false"), null (skipped), or arrays of those scalars
+// (multi-valued attributes). Nested objects have no tabular meaning and
+// are rejected.
+type JSONLReader struct {
+	sc   *bufio.Scanner
+	opt  Options
+	line int
+}
+
+// NewJSONLReader prepares a streaming JSON-lines reader over r.
+func NewJSONLReader(r io.Reader, opt Options) *JSONLReader {
+	sc := bufio.NewScanner(stripBOM(r))
+	sc.Buffer(make([]byte, 64*1024), maxJSONLLine)
+	return &JSONLReader{sc: sc, opt: opt.withDefaults()}
+}
+
+// Next returns the next line's description, or io.EOF at end of input.
+// Blank lines are skipped.
+func (j *JSONLReader) Next() (*entity.Description, error) {
+	for j.sc.Scan() {
+		j.line++
+		raw := j.sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		d, err := j.parseLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("tabular: jsonl: line %d: %w", j.line, err)
+		}
+		return d, nil
+	}
+	if err := j.sc.Err(); err != nil {
+		return nil, fmt.Errorf("tabular: jsonl: line %d: %w", j.line+1, err)
+	}
+	return nil, io.EOF
+}
+
+// parseLine walks one object with the streaming token API: unlike
+// unmarshalling into a map, this preserves the document's key order, so
+// JSON-lines and CSV renderings of the same record produce attributes in
+// the same sequence.
+func (j *JSONLReader) parseLine(raw []byte) (*entity.Description, error) {
+	if !utf8.Valid(raw) {
+		return nil, fmt.Errorf("invalid UTF-8")
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, noEOF(err)
+	}
+	if delim, ok := tok.(json.Delim); !ok || delim != '{' {
+		return nil, fmt.Errorf("record is not a JSON object")
+	}
+
+	d := entity.NewDescription("")
+	sawID := false
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, noEOF(err)
+		}
+		key := keyTok.(string)
+		if key == j.opt.IDColumn {
+			if sawID {
+				return nil, fmt.Errorf("duplicate %q key", j.opt.IDColumn)
+			}
+			sawID = true
+			id, err := scalarValue(dec, key)
+			if err != nil {
+				return nil, err
+			}
+			if id == "" {
+				return nil, fmt.Errorf("empty value in ID key %q", j.opt.IDColumn)
+			}
+			d.URI = id
+			continue
+		}
+		if err := j.addValues(dec, d, j.opt.attrName(key), key); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := dec.Token(); err != nil { // consume '}'
+		return nil, noEOF(err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after record object")
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after record object: %v", tok)
+	}
+	if !sawID {
+		return nil, fmt.Errorf("record has no %q key", j.opt.IDColumn)
+	}
+	return d, nil
+}
+
+// addValues consumes the value for key and appends it to d under attr:
+// a scalar appends one attribute, an array appends one per element.
+func (j *JSONLReader) addValues(dec *json.Decoder, d *entity.Description, attr, key string) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return noEOF(err)
+	}
+	if delim, ok := tok.(json.Delim); ok {
+		if delim != '[' {
+			return fmt.Errorf("key %q: nested objects are not tabular values", key)
+		}
+		for dec.More() {
+			v, err := scalarValue(dec, key)
+			if err != nil {
+				return err
+			}
+			if v != "" {
+				d.Add(attr, v)
+			}
+		}
+		_, err := dec.Token() // consume ']'
+		return noEOF(err)
+	}
+	v, err := renderScalar(tok, key)
+	if err != nil {
+		return err
+	}
+	if v != "" {
+		d.Add(attr, v)
+	}
+	return nil
+}
+
+// scalarValue reads one token and renders it as an attribute value.
+func scalarValue(dec *json.Decoder, key string) (string, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return "", noEOF(err)
+	}
+	if _, ok := tok.(json.Delim); ok {
+		return "", fmt.Errorf("key %q: nested values are not tabular scalars", key)
+	}
+	return renderScalar(tok, key)
+}
+
+// noEOF turns the decoder's mid-object io.EOF into io.ErrUnexpectedEOF:
+// a truncated record is malformed input, not end of stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// renderScalar maps a JSON scalar token to its attribute-value string.
+// null renders "" (the caller skips it, matching an absent CSV cell).
+func renderScalar(tok json.Token, key string) (string, error) {
+	switch v := tok.(type) {
+	case string:
+		return v, nil
+	case json.Number:
+		return v.String(), nil
+	case bool:
+		if v {
+			return "true", nil
+		}
+		return "false", nil
+	case nil:
+		return "", nil
+	default:
+		return "", fmt.Errorf("key %q: unsupported JSON value %v", key, tok)
+	}
+}
+
+// WriteJSONLRecord writes one description as a single JSON-lines object.
+// Attribute names keep their first-appearance order; a multi-valued
+// attribute becomes an array in value order, so round-tripping through
+// JSONLReader reproduces the original attribute sequence.
+func WriteJSONLRecord(w io.Writer, d *entity.Description, opt Options) error {
+	opt = opt.withDefaults()
+	if d.URI == "" {
+		return fmt.Errorf("tabular: jsonl: description %d has no URI for the ID key", d.ID)
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	if err := writeJSONString(&sb, opt.IDColumn); err != nil {
+		return err
+	}
+	sb.WriteByte(':')
+	if err := writeJSONString(&sb, d.URI); err != nil {
+		return err
+	}
+
+	order := make([]string, 0, len(d.Attrs))
+	values := make(map[string][]string, len(d.Attrs))
+	for _, a := range d.Attrs {
+		if a.Name == opt.IDColumn {
+			return fmt.Errorf("tabular: jsonl: attribute %q of %s collides with the ID key", a.Name, d.URI)
+		}
+		if _, ok := values[a.Name]; !ok {
+			order = append(order, a.Name)
+		}
+		values[a.Name] = append(values[a.Name], a.Value)
+	}
+	for _, name := range order {
+		sb.WriteByte(',')
+		if err := writeJSONString(&sb, name); err != nil {
+			return err
+		}
+		sb.WriteByte(':')
+		vs := values[name]
+		if len(vs) == 1 {
+			if err := writeJSONString(&sb, vs[0]); err != nil {
+				return err
+			}
+			continue
+		}
+		sb.WriteByte('[')
+		for i, v := range vs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if err := writeJSONString(&sb, v); err != nil {
+				return err
+			}
+		}
+		sb.WriteByte(']')
+	}
+	sb.WriteByte('}')
+	sb.WriteByte('\n')
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writeJSONString(sb *strings.Builder, s string) error {
+	if !utf8.ValidString(s) {
+		return fmt.Errorf("tabular: jsonl: string %q is not valid UTF-8", s)
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("tabular: %w", err)
+	}
+	sb.Write(b)
+	return nil
+}
+
+// WriteJSONL writes descs as a JSON-lines document, one object per line.
+func WriteJSONL(w io.Writer, descs []*entity.Description, opt Options) error {
+	bw := bufio.NewWriterSize(w, 64*1024)
+	for _, d := range descs {
+		if err := WriteJSONLRecord(bw, d, opt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

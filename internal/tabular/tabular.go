@@ -1,0 +1,141 @@
+// Package tabular streams CSV and JSON-lines records into the same
+// schema-agnostic entity descriptions the RDF path produces: one record
+// becomes one Description, the configured ID column becomes its URI, and
+// every remaining cell becomes an attribute-value pair in record order.
+// Attribute-value flattening mirrors the N-Triples mapping (package rdf),
+// so every blocker, matcher and meta-blocking scheme works on tabular
+// sources unchanged — token blocking over a CSV row and over the
+// equivalent triples sees the identical token profile.
+//
+// Both readers are streaming: they hold one record at a time, never the
+// document, so million-record files ingest in bounded memory. Both are as
+// strict as the RDF parser about encoding — invalid UTF-8 is an error, a
+// leading byte-order mark is stripped — and report malformed input (ragged
+// rows, unterminated quotes, nested JSON objects, trailing garbage) with
+// the offending line number.
+package tabular
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"entityres/internal/entity"
+)
+
+// DefaultIDColumn is the column/field consulted for the record identifier
+// when Options.IDColumn is empty.
+const DefaultIDColumn = "id"
+
+// Options configures the mapping between tabular records and entity
+// descriptions. The zero value reads a headered CSV (or JSON-lines) file
+// whose "id" column names each record.
+type Options struct {
+	// IDColumn names the column (CSV) or key (JSON-lines) whose value
+	// becomes the description URI instead of an attribute. Empty selects
+	// DefaultIDColumn. Records with a missing or empty identifier are an
+	// error: downstream streaming deployments address descriptions by URI.
+	IDColumn string
+	// Rename maps source column names to attribute names, modelling the
+	// per-source schema mappings of real interlinking pipelines (e.g.
+	// {"authors": "author", "venue_name": "venue"}). Columns absent from
+	// the map keep their own name; the ID column is never renamed. Several
+	// columns may map to one attribute name, yielding a multi-valued
+	// attribute.
+	Rename map[string]string
+	// Columns, on read, declares the schema of a headerless CSV file: when
+	// set, the first row is data, not a header. On write, it fixes the
+	// emitted column order instead of deriving it from the records.
+	Columns []string
+	// Comma is the CSV field delimiter (default ',').
+	Comma rune
+}
+
+func (o Options) withDefaults() Options {
+	if o.IDColumn == "" {
+		o.IDColumn = DefaultIDColumn
+	}
+	if o.Comma == 0 {
+		o.Comma = ','
+	}
+	return o
+}
+
+// attrName maps a source column name to its attribute name.
+func (o Options) attrName(col string) string {
+	if alt, ok := o.Rename[col]; ok {
+		return alt
+	}
+	return col
+}
+
+// Reader streams entity descriptions out of a tabular document. Next
+// returns io.EOF once the document is exhausted; any other error is
+// positioned (line-numbered) and terminal.
+type Reader interface {
+	Next() (*entity.Description, error)
+}
+
+// Add drains a record reader into the collection, tagging every
+// description with the given source index — the tabular counterpart of
+// rdf.AddToCollection. Each record is one description; records never merge
+// (a duplicated identifier yields two descriptions, exactly as two CSV
+// rows are two rows).
+func Add(c *entity.Collection, rr Reader, source int) error {
+	for {
+		d, err := rr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		d.Source = source
+		if _, err := c.Add(d); err != nil {
+			return fmt.Errorf("tabular: %w", err)
+		}
+	}
+}
+
+// AddCSV parses a CSV document and appends one description per row to c,
+// tagged with the given source.
+func AddCSV(c *entity.Collection, r io.Reader, source int, opt Options) error {
+	cr, err := NewCSVReader(r, opt)
+	if err != nil {
+		return err
+	}
+	return Add(c, cr, source)
+}
+
+// AddJSONL parses a JSON-lines document and appends one description per
+// line to c, tagged with the given source.
+func AddJSONL(c *entity.Collection, r io.Reader, source int, opt Options) error {
+	return Add(c, NewJSONLReader(r, opt), source)
+}
+
+// Columns returns the distinct attribute names of descs in first-appearance
+// order: the header a CSV writer derives when Options.Columns is not set.
+func Columns(descs []*entity.Description) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range descs {
+		for _, a := range d.Attrs {
+			if !seen[a.Name] {
+				seen[a.Name] = true
+				out = append(out, a.Name)
+			}
+		}
+	}
+	return out
+}
+
+// stripBOM returns r with a leading UTF-8 byte-order mark consumed, if
+// present. Spreadsheet exports routinely prepend one; keeping it would
+// corrupt the first column name.
+func stripBOM(r io.Reader) *bufio.Reader {
+	br := bufio.NewReaderSize(r, 64*1024)
+	if b, err := br.Peek(3); err == nil && b[0] == 0xEF && b[1] == 0xBB && b[2] == 0xBF {
+		_, _ = br.Discard(3)
+	}
+	return br
+}

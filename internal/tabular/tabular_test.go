@@ -1,0 +1,340 @@
+package tabular
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"entityres/internal/entity"
+)
+
+func readAll(t *testing.T, r Reader) []*entity.Description {
+	t.Helper()
+	var out []*entity.Description
+	for {
+		d, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, d)
+	}
+}
+
+func attrsOf(d *entity.Description) [][2]string {
+	out := make([][2]string, 0, len(d.Attrs))
+	for _, a := range d.Attrs {
+		out = append(out, [2]string{a.Name, a.Value})
+	}
+	return out
+}
+
+func TestCSVReaderBasic(t *testing.T) {
+	in := "id,name,city\nu1,Alice,Paris\nu2,Bob,\n"
+	cr, err := NewCSVReader(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatalf("NewCSVReader: %v", err)
+	}
+	descs := readAll(t, cr)
+	if len(descs) != 2 {
+		t.Fatalf("got %d records, want 2", len(descs))
+	}
+	if descs[0].URI != "u1" || descs[1].URI != "u2" {
+		t.Fatalf("URIs = %q, %q", descs[0].URI, descs[1].URI)
+	}
+	want := [][2]string{{"name", "Alice"}, {"city", "Paris"}}
+	if got := attrsOf(descs[0]); !reflect.DeepEqual(got, want) {
+		t.Fatalf("attrs = %v, want %v", got, want)
+	}
+	// Empty city cell on u2 is skipped, not an empty-valued attribute.
+	if got := attrsOf(descs[1]); !reflect.DeepEqual(got, [][2]string{{"name", "Bob"}}) {
+		t.Fatalf("u2 attrs = %v", got)
+	}
+}
+
+func TestCSVReaderRenameAndIDColumn(t *testing.T) {
+	in := "uri;label;loc\np1;Ada;London\n"
+	cr, err := NewCSVReader(strings.NewReader(in), Options{
+		IDColumn: "uri",
+		Rename:   map[string]string{"label": "name", "loc": "city"},
+		Comma:    ';',
+	})
+	if err != nil {
+		t.Fatalf("NewCSVReader: %v", err)
+	}
+	descs := readAll(t, cr)
+	if descs[0].URI != "p1" {
+		t.Fatalf("URI = %q", descs[0].URI)
+	}
+	want := [][2]string{{"name", "Ada"}, {"city", "London"}}
+	if got := attrsOf(descs[0]); !reflect.DeepEqual(got, want) {
+		t.Fatalf("attrs = %v, want %v", got, want)
+	}
+}
+
+func TestCSVReaderHeaderless(t *testing.T) {
+	in := "u1,Alice,Paris\n"
+	cr, err := NewCSVReader(strings.NewReader(in), Options{Columns: []string{"id", "name", "city"}})
+	if err != nil {
+		t.Fatalf("NewCSVReader: %v", err)
+	}
+	descs := readAll(t, cr)
+	if len(descs) != 1 || descs[0].URI != "u1" || len(descs[0].Attrs) != 2 {
+		t.Fatalf("unexpected parse: %+v", descs)
+	}
+}
+
+func TestCSVReaderBOM(t *testing.T) {
+	in := "\xEF\xBB\xBFid,name\nu1,Alice\n"
+	cr, err := NewCSVReader(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatalf("NewCSVReader with BOM: %v", err)
+	}
+	descs := readAll(t, cr)
+	if descs[0].URI != "u1" || descs[0].Attrs[0].Name != "name" {
+		t.Fatalf("BOM not stripped: %+v", descs[0])
+	}
+}
+
+func TestCSVReaderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		opt  Options
+		want string
+	}{
+		{"empty input", "", Options{}, "missing header"},
+		{"no id column", "name,city\nAlice,Paris\n", Options{}, `no "id" column`},
+		{"duplicate column", "id,name,name\nu1,a,b\n", Options{}, "duplicate header column"},
+		{"empty column name", "id,,city\nu1,a,b\n", Options{}, "column 2 is empty"},
+		{"header invalid utf8", "id,na\xffme\nu1,a\n", Options{}, "not valid UTF-8"},
+		{"ragged row", "id,name\nu1,Alice,extra\n", Options{}, "wrong number of fields"},
+		{"bare quote", "id,name\nu1,\"al\"ice\n", Options{}, "parse error"},
+		{"empty id", "id,name\n,Alice\n", Options{}, "empty value in ID column"},
+		{"field invalid utf8", "id,name\nu1,Al\xffice\n", Options{}, "not valid UTF-8"},
+		{"schema width mismatch", "u1,Alice\n", Options{Columns: []string{"id", "name", "city"}}, "schema has 3 columns"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cr, err := NewCSVReader(strings.NewReader(tc.in), tc.opt)
+			if err == nil {
+				for err == nil {
+					_, err = cr.Next()
+				}
+				if err == io.EOF {
+					t.Fatalf("parse succeeded, want error containing %q", tc.want)
+				}
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestJSONLReaderBasic(t *testing.T) {
+	in := `{"id":"u1","name":"Alice","city":"Paris"}
+{"id":"u2","born":1912,"active":true,"gone":null}
+
+{"id":"u3","name":["Ada","Countess of Lovelace"]}
+`
+	jr := NewJSONLReader(strings.NewReader(in), Options{})
+	descs := readAll(t, jr)
+	if len(descs) != 3 {
+		t.Fatalf("got %d records, want 3", len(descs))
+	}
+	if got := attrsOf(descs[0]); !reflect.DeepEqual(got, [][2]string{{"name", "Alice"}, {"city", "Paris"}}) {
+		t.Fatalf("u1 attrs = %v", got)
+	}
+	// Numbers render verbatim, booleans as true/false, null is skipped.
+	if got := attrsOf(descs[1]); !reflect.DeepEqual(got, [][2]string{{"born", "1912"}, {"active", "true"}}) {
+		t.Fatalf("u2 attrs = %v", got)
+	}
+	// Arrays fan out to multi-valued attributes in order.
+	if got := descs[2].Values("name"); !reflect.DeepEqual(got, []string{"Ada", "Countess of Lovelace"}) {
+		t.Fatalf("u3 name values = %v", got)
+	}
+}
+
+func TestJSONLReaderRename(t *testing.T) {
+	in := `{"key":"u1","label":"Alice"}` + "\n"
+	jr := NewJSONLReader(strings.NewReader(in), Options{IDColumn: "key", Rename: map[string]string{"label": "name"}})
+	descs := readAll(t, jr)
+	if descs[0].URI != "u1" || descs[0].Attrs[0].Name != "name" {
+		t.Fatalf("rename not applied: %+v", descs[0])
+	}
+}
+
+func TestJSONLReaderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"not an object", `["u1"]` + "\n", "not a JSON object"},
+		{"nested object", `{"id":"u1","name":{"first":"A"}}` + "\n", "nested objects"},
+		{"nested in array", `{"id":"u1","name":[{"x":1}]}` + "\n", "nested values"},
+		{"missing id", `{"name":"Alice"}` + "\n", `no "id" key`},
+		{"empty id", `{"id":"","name":"Alice"}` + "\n", "empty value in ID key"},
+		{"duplicate id", `{"id":"u1","id":"u2"}` + "\n", `duplicate "id" key`},
+		{"array id", `{"id":["u1"]}` + "\n", "nested values"},
+		{"trailing data", `{"id":"u1"} {"id":"u2"}` + "\n", "trailing data"},
+		{"invalid utf8", "{\"id\":\"u\xff1\"}\n", "invalid UTF-8"},
+		{"truncated", `{"id":"u1"`, "unexpected EOF"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jr := NewJSONLReader(strings.NewReader(tc.in), Options{})
+			var err error
+			for err == nil {
+				_, err = jr.Next()
+			}
+			if err == io.EOF {
+				t.Fatalf("parse succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCSVWriterRoundTrip(t *testing.T) {
+	d1 := entity.NewDescription("u1").Add("name", "Ali\"ce,").Add("city", "Par\nis")
+	d2 := entity.NewDescription("u2").Add("city", "Rome")
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []*entity.Description{d1, d2}, Options{}); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	cr, err := NewCSVReader(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	descs := readAll(t, cr)
+	if len(descs) != 2 {
+		t.Fatalf("round trip lost records: %d", len(descs))
+	}
+	if !reflect.DeepEqual(attrsOf(descs[0]), attrsOf(d1)) || descs[0].URI != "u1" {
+		t.Fatalf("u1 round trip = %+v", descs[0])
+	}
+	if !reflect.DeepEqual(attrsOf(descs[1]), attrsOf(d2)) {
+		t.Fatalf("u2 round trip = %+v", descs[1])
+	}
+}
+
+func TestCSVWriterErrors(t *testing.T) {
+	multi := entity.NewDescription("u1").Add("name", "a").Add("name", "b")
+	if err := WriteCSV(io.Discard, []*entity.Description{multi}, Options{}); err == nil || !strings.Contains(err.Error(), "multi-valued") {
+		t.Fatalf("multi-valued error = %v", err)
+	}
+	undeclared := entity.NewDescription("u1").Add("name", "a")
+	if _, err := NewCSVWriter(io.Discard, []string{"name", "name"}, Options{}); err == nil || !strings.Contains(err.Error(), "duplicate output column") {
+		t.Fatalf("duplicate column error = %v", err)
+	}
+	if _, err := NewCSVWriter(io.Discard, []string{"id"}, Options{}); err == nil || !strings.Contains(err.Error(), "collides with the ID column") {
+		t.Fatalf("id collision error = %v", err)
+	}
+	cw, err := NewCSVWriter(io.Discard, []string{"city"}, Options{})
+	if err != nil {
+		t.Fatalf("NewCSVWriter: %v", err)
+	}
+	if err := cw.Write(undeclared); err == nil || !strings.Contains(err.Error(), "not a declared column") {
+		t.Fatalf("undeclared column error = %v", err)
+	}
+	noURI := entity.NewDescription("")
+	if err := cw.Write(noURI); err == nil || !strings.Contains(err.Error(), "no URI") {
+		t.Fatalf("no-URI error = %v", err)
+	}
+	empty := entity.NewDescription("u2").Add("city", "")
+	if err := cw.Write(empty); err == nil || !strings.Contains(err.Error(), "empty value") {
+		t.Fatalf("empty-value error = %v", err)
+	}
+}
+
+func TestJSONLWriterRoundTrip(t *testing.T) {
+	d1 := entity.NewDescription("u1").
+		Add("name", "Ali\"ce").Add("author", "A").Add("author", "B").Add("city", "Par\nis")
+	d2 := entity.NewDescription("u2").Add("city", "Rome")
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, []*entity.Description{d1, d2}, Options{}); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	descs := readAll(t, NewJSONLReader(bytes.NewReader(buf.Bytes()), Options{}))
+	if len(descs) != 2 {
+		t.Fatalf("round trip lost records: %d", len(descs))
+	}
+	if !reflect.DeepEqual(attrsOf(descs[0]), attrsOf(d1)) || descs[0].URI != "u1" {
+		t.Fatalf("u1 round trip = %+v, want %+v", attrsOf(descs[0]), attrsOf(d1))
+	}
+	if !reflect.DeepEqual(attrsOf(descs[1]), attrsOf(d2)) {
+		t.Fatalf("u2 round trip = %+v", descs[1])
+	}
+}
+
+func TestJSONLWriterErrors(t *testing.T) {
+	noURI := entity.NewDescription("")
+	if err := WriteJSONLRecord(io.Discard, noURI, Options{}); err == nil || !strings.Contains(err.Error(), "no URI") {
+		t.Fatalf("no-URI error = %v", err)
+	}
+	collide := entity.NewDescription("u1").Add("id", "x")
+	if err := WriteJSONLRecord(io.Discard, collide, Options{}); err == nil || !strings.Contains(err.Error(), "collides with the ID key") {
+		t.Fatalf("collision error = %v", err)
+	}
+}
+
+func TestColumnsFirstAppearance(t *testing.T) {
+	descs := []*entity.Description{
+		entity.NewDescription("a").Add("name", "x").Add("city", "y"),
+		entity.NewDescription("b").Add("born", "1").Add("name", "z"),
+	}
+	if got := Columns(descs); !reflect.DeepEqual(got, []string{"name", "city", "born"}) {
+		t.Fatalf("Columns = %v", got)
+	}
+}
+
+func TestAddTagsSource(t *testing.T) {
+	c := entity.NewCollection(entity.CleanClean)
+	if err := AddCSV(c, strings.NewReader("id,name\nu1,Alice\n"), 0, Options{}); err != nil {
+		t.Fatalf("AddCSV: %v", err)
+	}
+	if err := AddJSONL(c, strings.NewReader(`{"id":"v1","name":"Alicia"}`+"\n"), 1, Options{}); err != nil {
+		t.Fatalf("AddJSONL: %v", err)
+	}
+	if c.Len() != 2 || c.SourceLen(0) != 1 || c.SourceLen(1) != 1 {
+		t.Fatalf("collection shape: len=%d s0=%d s1=%d", c.Len(), c.SourceLen(0), c.SourceLen(1))
+	}
+	if c.Get(0).Source != 0 || c.Get(1).Source != 1 {
+		t.Fatalf("sources not tagged: %d %d", c.Get(0).Source, c.Get(1).Source)
+	}
+}
+
+// TestFormatsAgreeOnDescriptions pins the core parity contract at the
+// description level: the same logical record rendered as CSV and as
+// JSON-lines parses to the identical URI and attribute sequence.
+func TestFormatsAgreeOnDescriptions(t *testing.T) {
+	csvIn := "id,name,city,born\nu1,Alice Smith,Paris,1990\nu2,Bob Jones,,1985\n"
+	jsonlIn := `{"id":"u1","name":"Alice Smith","city":"Paris","born":"1990"}
+{"id":"u2","name":"Bob Jones","born":"1985"}
+`
+	cr, err := NewCSVReader(strings.NewReader(csvIn), Options{})
+	if err != nil {
+		t.Fatalf("NewCSVReader: %v", err)
+	}
+	fromCSV := readAll(t, cr)
+	fromJSONL := readAll(t, NewJSONLReader(strings.NewReader(jsonlIn), Options{}))
+	if len(fromCSV) != len(fromJSONL) {
+		t.Fatalf("record counts differ: %d vs %d", len(fromCSV), len(fromJSONL))
+	}
+	for i := range fromCSV {
+		if fromCSV[i].URI != fromJSONL[i].URI {
+			t.Fatalf("record %d URI: %q vs %q", i, fromCSV[i].URI, fromJSONL[i].URI)
+		}
+		if !reflect.DeepEqual(attrsOf(fromCSV[i]), attrsOf(fromJSONL[i])) {
+			t.Fatalf("record %d attrs: %v vs %v", i, attrsOf(fromCSV[i]), attrsOf(fromJSONL[i]))
+		}
+	}
+}
